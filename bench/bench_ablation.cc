@@ -1,0 +1,94 @@
+// Ablation studies for the two planner design choices DESIGN.md calls
+// out, which the paper describes but does not plot separately:
+//
+//  A. §4.2 Step 6 preprocessing — expanding virtual nodes with
+//     in*out <= in+out+1. Measures condensed size and C-DUP iteration
+//     speed with and without it.
+//  B. The large-output join threshold (the constant 2 in
+//     |L||R|/d > c(|L|+|R|)) — sweeps c and reports where extraction
+//     flips between condensing and expanding, and the resulting
+//     edge counts / times.
+
+#include <cinttypes>
+
+#include "algos/degree.h"
+#include "bench_util.h"
+#include "common/timer.h"
+#include "gen/relational_generators.h"
+#include "gen/small_datasets.h"
+#include "planner/extractor.h"
+#include "planner/preprocess.h"
+#include "repr/cdup_graph.h"
+
+namespace graphgen {
+namespace {
+
+void AblationPreprocess(double scale) {
+  bench::PrintHeader("Ablation A: Step-6 preprocessing (tiny virtual nodes)");
+  std::printf("%-12s %14s %14s %12s %12s\n", "dataset", "edges before",
+              "edges after", "virt removed", "degree speedup");
+  for (gen::SmallDatasetId id : gen::Table2Datasets()) {
+    CondensedStorage without = gen::MakeSmallDataset(id, scale);
+    CondensedStorage with = without;
+    planner::PreprocessResult pp = planner::ExpandSmallVirtualNodes(with);
+
+    CDupGraph g_without(std::move(without));
+    CDupGraph g_with(std::move(with));
+    WallTimer t;
+    ComputeDegrees(g_without);
+    double before_s = t.Seconds();
+    t.Restart();
+    ComputeDegrees(g_with);
+    double after_s = t.Seconds();
+
+    std::printf("%-12s %14" PRIu64 " %14" PRIu64 " %12zu %11.2fx\n",
+                std::string(gen::SmallDatasetName(id)).c_str(),
+                g_without.CountStoredEdges(), g_with.CountStoredEdges(),
+                pp.expanded_virtual_nodes, before_s / after_s);
+  }
+  std::printf(
+      "(DBLP-shaped data has many size-2 virtual nodes; expanding them\n"
+      " shrinks the graph AND speeds up iteration — why §4.2 runs Step 6\n"
+      " by default.)\n");
+}
+
+void AblationThreshold(double scale) {
+  bench::PrintHeader(
+      "Ablation B: large-output threshold sweep (factor c in the join test)");
+  gen::GeneratedDatabase d =
+      gen::MakeImdbLike(static_cast<size_t>(9000 * scale * 100),
+                        static_cast<size_t>(4000 * scale * 100), 10.0);
+  std::printf("IMDB-like co-actor query; |R||R|/d vs c(|R|+|R|):\n");
+  std::printf("%8s %12s %14s %10s %10s\n", "factor", "virt nodes",
+              "stored edges", "time", "mode");
+  for (double factor : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 1e18}) {
+    planner::ExtractOptions opts;
+    opts.large_output_factor = factor;
+    opts.preprocess = false;
+    WallTimer t;
+    auto result = planner::ExtractFromQuery(d.db, d.datalog, opts);
+    if (!result.ok()) {
+      std::printf("%8.1f extraction failed\n", factor);
+      continue;
+    }
+    std::printf("%8.1f %12zu %14" PRIu64 " %9.3fs %10s\n",
+                factor == 1e18 ? 999.0 : factor, result->virtual_nodes,
+                result->condensed_edges, t.Seconds(),
+                result->virtual_nodes > 0 ? "condensed" : "expanded");
+  }
+  std::printf(
+      "(With ~10 actors per movie, the self-join is large-output for any\n"
+      " reasonable c: the formula flips only at very large factors. The\n"
+      " expanded mode costs far more time and edges — the Table 1 story.)\n");
+}
+
+}  // namespace
+}  // namespace graphgen
+
+int main() {
+  setvbuf(stdout, nullptr, _IOLBF, 0);
+  const double scale = 0.01 * graphgen::bench::BenchScale();
+  graphgen::AblationPreprocess(scale);
+  graphgen::AblationThreshold(scale);
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Reproduces Fig. 10 (plus the Table 2 dataset summary): in-memory graph
+// sizes (#nodes / #edges / bytes) of every representation on the four
+// small datasets, including the VMiner baseline which must expand first.
+
+#include <cinttypes>
+
+#include "bench_util.h"
+#include "common/memory.h"
+#include "common/timer.h"
+#include "compress/vminer.h"
+#include "dedup/bitmap_algorithms.h"
+#include "dedup/dedup1_algorithms.h"
+#include "dedup/dedup2_builder.h"
+#include "gen/small_datasets.h"
+#include "repr/cdup_graph.h"
+#include "repr/dedup1_graph.h"
+#include "repr/expander.h"
+
+namespace graphgen {
+namespace {
+
+void Report(const char* name, size_t nodes, size_t virtuals, uint64_t edges,
+            size_t bytes) {
+  std::printf("  %-9s %9zu nodes (%8zu virtual) %12" PRIu64 " edges  %10s\n",
+              name, nodes, virtuals, edges, FormatBytes(bytes).c_str());
+}
+
+void RunDataset(gen::SmallDatasetId id, double scale) {
+  CondensedStorage s = gen::MakeSmallDataset(id, scale);
+  const size_t nr = s.NumRealNodes();
+  const size_t nv = s.NumVirtualNodes();
+  const uint64_t exp_edges = s.CountExpandedEdges();
+  double avg_size = static_cast<double>(s.CountCondensedEdges()) / 2.0 /
+                    static_cast<double>(std::max<size_t>(1, nv));
+
+  // Table 2 row.
+  std::printf("\n%s: %zu real, %zu virtual, avg size %.1f, EXP edges %" PRIu64
+              "\n",
+              std::string(gen::SmallDatasetName(id)).c_str(), nr, nv, avg_size,
+              exp_edges);
+
+  Report("C-DUP", nr + nv, nv, s.CountCondensedEdges(), s.MemoryBytes());
+
+  ExpandedGraph exp = ExpandCondensed(s);
+  Report("EXP", nr, 0, exp.CountStoredEdges(), exp.MemoryBytes());
+
+  DedupOptions opts;
+  auto d1 = GreedyVirtualNodesFirst(s, opts);
+  if (d1.ok()) {
+    Report("DEDUP-1", nr + d1->NumVirtualNodes(), d1->NumVirtualNodes(),
+           d1->CountStoredEdges(), d1->MemoryBytes());
+  }
+
+  DedupOptions d2_opts;
+  d2_opts.ordering = NodeOrdering::kDegreeDesc;  // process big cliques first
+  auto d2 = BuildDedup2(s, d2_opts);
+  if (d2.ok()) {
+    Report("DEDUP-2", nr + d2->NumVirtualNodes(), d2->NumVirtualNodes(),
+           d2->CountStoredEdges(), d2->MemoryBytes());
+  }
+
+  auto bm1 = BuildBitmap1(s, opts);
+  if (bm1.ok()) {
+    Report("BITMAP-1", nr + bm1->NumVirtualNodes(), bm1->NumVirtualNodes(),
+           bm1->CountStoredEdges(), bm1->MemoryBytes());
+  }
+  auto bm2 = BuildBitmap2(s, opts);
+  if (bm2.ok()) {
+    Report("BITMAP-2", nr + bm2->NumVirtualNodes(), bm2->NumVirtualNodes(),
+           bm2->CountStoredEdges(), bm2->MemoryBytes());
+  }
+
+  // VMiner must start from the expanded graph (its key limitation).
+  VMinerResult vm = VMinerCompress(exp);
+  Report("VMiner", nr + vm.storage.NumVirtualNodes(),
+         vm.storage.NumVirtualNodes(), vm.edges_after,
+         vm.storage.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace graphgen
+
+int main() {
+  const double scale = 0.01 * graphgen::bench::BenchScale();
+  graphgen::bench::PrintHeader(
+      "Fig. 10 / Table 2: in-memory sizes of all representations");
+  for (graphgen::gen::SmallDatasetId id : graphgen::gen::Table2Datasets()) {
+    graphgen::RunDataset(id, scale);
+  }
+  std::printf(
+      "\nPaper shape check: BITMAP-2 smallest edge count on dense data\n"
+      "(IMDB, Synthetic_2); DEDUP-2 < DEDUP-1 on overlapping cliques;\n"
+      "VMiner worse than DEDUP-1 despite starting from EXP.\n");
+  return 0;
+}

@@ -1,0 +1,193 @@
+// Reproduces Fig. 13: microbenchmarks of the basic Graph API operations
+// (GetNeighbors iteration, ExistsEdge, AddEdge/DeleteEdge, DeleteVertex)
+// on every in-memory representation, over the four small datasets.
+// Uses google-benchmark; each operation runs against a fixed set of
+// randomly selected vertices (the paper uses 3000).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "dedup/bitmap_algorithms.h"
+#include "dedup/dedup1_algorithms.h"
+#include "dedup/dedup2_builder.h"
+#include "gen/small_datasets.h"
+#include "repr/cdup_graph.h"
+#include "repr/dedup1_graph.h"
+#include "repr/expander.h"
+
+namespace graphgen {
+namespace {
+
+constexpr double kScale = 0.004;
+constexpr size_t kSampleSize = 512;
+
+enum ReprId { kExp = 0, kCDup, kDedup1, kDedup2, kBitmap1, kBitmap2 };
+const char* kReprNames[] = {"EXP",     "C-DUP",    "DEDUP-1",
+                            "DEDUP-2", "BITMAP-1", "BITMAP-2"};
+
+// One lazily built set of representations per dataset.
+struct DatasetReprs {
+  std::unique_ptr<Graph> graphs[6];
+  std::vector<NodeId> samples;
+};
+
+DatasetReprs& GetReprs(int dataset) {
+  static DatasetReprs cache[4];
+  static bool built[4] = {false, false, false, false};
+  if (!built[dataset]) {
+    auto ids = gen::Table2Datasets();
+    CondensedStorage s = gen::MakeSmallDataset(ids[dataset], kScale);
+    DatasetReprs& d = cache[dataset];
+    d.graphs[kExp] = std::make_unique<ExpandedGraph>(ExpandCondensed(s));
+    d.graphs[kCDup] = std::make_unique<CDupGraph>(s);
+    auto d1 = GreedyVirtualNodesFirst(s);
+    if (d1.ok()) {
+      d.graphs[kDedup1] = std::make_unique<Dedup1Graph>(std::move(*d1));
+    }
+    auto d2 = BuildDedup2(s);
+    if (d2.ok()) {
+      d.graphs[kDedup2] = std::make_unique<Dedup2Graph>(std::move(*d2));
+    }
+    auto b1 = BuildBitmap1(s);
+    if (b1.ok()) {
+      d.graphs[kBitmap1] = std::make_unique<BitmapGraph>(std::move(*b1));
+    }
+    auto b2 = BuildBitmap2(s);
+    if (b2.ok()) {
+      d.graphs[kBitmap2] = std::make_unique<BitmapGraph>(std::move(*b2));
+    }
+    Rng rng(777);
+    for (size_t i = 0; i < kSampleSize; ++i) {
+      d.samples.push_back(
+          static_cast<NodeId>(rng.NextBounded(s.NumRealNodes())));
+    }
+    built[dataset] = true;
+  }
+  return cache[dataset];
+}
+
+void BM_GetNeighbors(benchmark::State& state) {
+  DatasetReprs& d = GetReprs(static_cast<int>(state.range(0)));
+  Graph* g = d.graphs[state.range(1)].get();
+  if (g == nullptr) {
+    state.SkipWithError("representation unavailable");
+    return;
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    NodeId u = d.samples[i++ % d.samples.size()];
+    uint64_t count = 0;
+    g->ForEachNeighbor(u, [&](NodeId) { ++count; });
+    benchmark::DoNotOptimize(count);
+  }
+}
+
+void BM_ExistsEdge(benchmark::State& state) {
+  DatasetReprs& d = GetReprs(static_cast<int>(state.range(0)));
+  Graph* g = d.graphs[state.range(1)].get();
+  if (g == nullptr) {
+    state.SkipWithError("representation unavailable");
+    return;
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    NodeId u = d.samples[i % d.samples.size()];
+    NodeId v = d.samples[(i + 1) % d.samples.size()];
+    ++i;
+    benchmark::DoNotOptimize(g->ExistsEdge(u, v));
+  }
+}
+
+void BM_AddDeleteEdge(benchmark::State& state) {
+  DatasetReprs& d = GetReprs(static_cast<int>(state.range(0)));
+  Graph* g = d.graphs[state.range(1)].get();
+  if (g == nullptr) {
+    state.SkipWithError("representation unavailable");
+    return;
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    NodeId u = d.samples[i % d.samples.size()];
+    NodeId v = d.samples[(i + 13) % d.samples.size()];
+    ++i;
+    if (u == v) continue;
+    bool existed = g->ExistsEdge(u, v);
+    if (existed) continue;  // keep the graph unchanged overall
+    benchmark::DoNotOptimize(g->AddEdge(u, v));
+    benchmark::DoNotOptimize(g->DeleteEdge(u, v));
+  }
+}
+
+void BM_DeleteVertex(benchmark::State& state) {
+  // Lazy deletion (§3.4): build one fresh graph per benchmark run, then
+  // delete a different vertex per iteration (no timer pausing).
+  auto ids = gen::Table2Datasets();
+  CondensedStorage s =
+      gen::MakeSmallDataset(ids[static_cast<int>(state.range(0))], kScale);
+  std::unique_ptr<Graph> g;
+  switch (state.range(1)) {
+    case kExp:
+      g = std::make_unique<ExpandedGraph>(ExpandCondensed(s));
+      break;
+    case kCDup:
+      g = std::make_unique<CDupGraph>(s);
+      break;
+    default: {
+      DedupOptions opts;
+      opts.ordering = NodeOrdering::kDegreeDesc;
+      auto d2 = BuildDedup2(s, opts);
+      if (!d2.ok()) {
+        state.SkipWithError("dedup2 unavailable");
+        return;
+      }
+      g = std::make_unique<Dedup2Graph>(std::move(*d2));
+    }
+  }
+  NodeId next = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g->DeleteVertex(next));
+    next = (next + 1) % static_cast<NodeId>(s.NumRealNodes());
+  }
+}
+
+void RegisterAll() {
+  const char* kDatasets[] = {"DBLP", "IMDB", "Synthetic_1", "Synthetic_2"};
+  for (int ds = 0; ds < 4; ++ds) {
+    for (int r = 0; r < 6; ++r) {
+      std::string suffix = std::string("/") + kDatasets[ds] + "/" +
+                           kReprNames[r];
+      benchmark::RegisterBenchmark(("GetNeighbors" + suffix).c_str(),
+                                   BM_GetNeighbors)
+          ->Args({ds, r});
+      benchmark::RegisterBenchmark(("ExistsEdge" + suffix).c_str(),
+                                   BM_ExistsEdge)
+          ->Args({ds, r});
+      benchmark::RegisterBenchmark(("AddDeleteEdge" + suffix).c_str(),
+                                   BM_AddDeleteEdge)
+          ->Args({ds, r})
+          ->Iterations(200);
+    }
+    for (int r : {kExp, kCDup, kDedup2}) {
+      benchmark::RegisterBenchmark(
+          (std::string("DeleteVertex/") + kDatasets[ds] + "/" +
+           kReprNames[r])
+              .c_str(),
+          BM_DeleteVertex)
+          ->Args({ds, r})
+          ->Iterations(256);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace graphgen
+
+int main(int argc, char** argv) {
+  graphgen::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,33 @@
+#ifndef GRAPHGEN_BENCH_BENCH_UTIL_H_
+#define GRAPHGEN_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace graphgen::bench {
+
+/// Global scale multiplier for benchmark datasets. The defaults reproduce
+/// the paper's *shape* in seconds; set GRAPHGEN_BENCH_SCALE > 1 to grow
+/// datasets toward the paper's sizes (the paper used 24 cores / 64 GB).
+inline double BenchScale() {
+  if (const char* env = std::getenv("GRAPHGEN_BENCH_SCALE")) {
+    double v = std::atof(env);
+    if (v > 0) return v;
+  }
+  return 1.0;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void PrintRule() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+}  // namespace graphgen::bench
+
+#endif  // GRAPHGEN_BENCH_BENCH_UTIL_H_

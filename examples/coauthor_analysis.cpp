@@ -1,0 +1,70 @@
+// Co-authorship analytics at scale: generate a DBLP-like database, compare
+// the representations GraphGen can hand back, and run a small analysis
+// (top collaborators by PageRank, community count) on the condensed graph
+// without ever materializing the expanded co-author graph.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "algos/connected_components.h"
+#include "algos/pagerank.h"
+#include "common/memory.h"
+#include "common/timer.h"
+#include "core/graphgen.h"
+#include "gen/relational_generators.h"
+
+using namespace graphgen;
+
+int main() {
+  // A DBLP-shaped database: prolific authors are Zipf-skewed, ~4 authors
+  // per paper.
+  gen::GeneratedDatabase data = gen::MakeDblpLike(4000, 8000, 4.0, 2024);
+  std::printf("Database: %s\n", data.description.c_str());
+  std::printf("Query:\n%s\n", data.datalog.c_str());
+
+  GraphGen engine(&data.db);
+  for (Representation r : {Representation::kCDup, Representation::kBitmap2,
+                           Representation::kDedup1, Representation::kExp}) {
+    GraphGenOptions options;
+    options.representation = r;
+    options.extract.large_output_factor = 0.0;  // keep it condensed
+    WallTimer timer;
+    auto extracted = engine.Extract(data.datalog, options);
+    if (!extracted.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", RepresentationToString(r).data(),
+                   extracted.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%-9s built in %7.1fms: %8llu stored edges, %s\n",
+                RepresentationToString(r).data(), timer.Millis(),
+                static_cast<unsigned long long>(
+                    extracted->graph->CountStoredEdges()),
+                FormatBytes(extracted->graph->MemoryBytes()).c_str());
+  }
+
+  // Analyze on BITMAP-2 (the §6.5 recommendation for multi-pass algorithms).
+  GraphGenOptions options;
+  options.representation = Representation::kBitmap2;
+  options.extract.large_output_factor = 0.0;
+  auto extracted = engine.Extract(data.datalog, options);
+  if (!extracted.ok()) return 1;
+  const Graph& g = *extracted->graph;
+
+  std::vector<double> ranks = PageRank(g, {.iterations = 15});
+  std::vector<NodeId> order(g.NumVertices());
+  for (NodeId u = 0; u < order.size(); ++u) order[u] = u;
+  std::sort(order.begin(), order.end(),
+            [&](NodeId a, NodeId b) { return ranks[a] > ranks[b]; });
+  std::printf("\nTop-5 authors by PageRank (collaboration hubs):\n");
+  const PropertyTable& props = extracted->stats.storage.properties();
+  (void)props;  // properties live inside the graph after materialization
+  for (size_t i = 0; i < 5 && i < order.size(); ++i) {
+    std::printf("  author #%u  rank %.5f  degree %zu\n", order[i],
+                ranks[order[i]], g.OutDegree(order[i]));
+  }
+
+  std::vector<NodeId> labels = ConnectedComponents(g);
+  std::printf("\nCollaboration communities (connected components): %zu\n",
+              CountComponents(labels));
+  return 0;
+}

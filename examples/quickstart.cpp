@@ -1,0 +1,82 @@
+// Quickstart: build a tiny bibliographic database in code, declare the
+// co-authors graph in the Datalog DSL, extract it, and run analytics —
+// the end-to-end flow of Figure 1 of the paper.
+
+#include <cstdio>
+
+#include "algos/degree.h"
+#include "algos/pagerank.h"
+#include "core/graphgen.h"
+
+using namespace graphgen;
+
+int main() {
+  // 1. A relational database with authors, and author-publication facts.
+  rel::Database db;
+  {
+    rel::Table authors(
+        "Author", rel::Schema({{"id", rel::ValueType::kInt64},
+                               {"name", rel::ValueType::kString}}));
+    const char* names[] = {"ann", "bob", "carol", "dave", "erin"};
+    for (int64_t i = 0; i < 5; ++i) {
+      authors.AppendUnchecked({rel::Value(i), rel::Value(names[i])});
+    }
+    db.PutTable(std::move(authors));
+
+    rel::Table ap("AuthorPub",
+                  rel::Schema({{"aid", rel::ValueType::kInt64},
+                               {"pid", rel::ValueType::kInt64}}));
+    // p1 = {ann, bob, carol, dave}, p2 = {ann, carol, dave}, p3 = {dave,
+    // erin}: ann–dave are co-authors through two papers (duplication!).
+    for (int64_t a : {0, 1, 2, 3}) ap.AppendUnchecked({rel::Value(a), rel::Value(int64_t{1})});
+    for (int64_t a : {0, 2, 3}) ap.AppendUnchecked({rel::Value(a), rel::Value(int64_t{2})});
+    for (int64_t a : {3, 4}) ap.AppendUnchecked({rel::Value(a), rel::Value(int64_t{3})});
+    db.PutTable(std::move(ap));
+  }
+
+  // 2. Declare the hidden graph: authors are nodes, co-authorship edges.
+  const char* query =
+      "Nodes(ID, Name) :- Author(ID, Name).\n"
+      "Edges(ID1, ID2) :- AuthorPub(ID1, P), AuthorPub(ID2, P).";
+
+  // 3. Extract. Force the condensed representation so the virtual nodes
+  //    (one per publication) are visible in the stats.
+  GraphGen engine(&db);
+  GraphGenOptions options;
+  options.representation = Representation::kCDup;
+  options.extract.large_output_factor = 0.0;
+  options.extract.preprocess = false;
+  auto extracted = engine.Extract(query, options);
+  if (!extracted.ok()) {
+    std::fprintf(stderr, "extraction failed: %s\n",
+                 extracted.status().ToString().c_str());
+    return 1;
+  }
+
+  const Graph& graph = *extracted->graph;
+  std::printf("Extracted %zu authors, %zu virtual nodes, %llu condensed edges\n",
+              graph.NumActiveVertices(), graph.NumVirtualNodes(),
+              static_cast<unsigned long long>(graph.CountStoredEdges()));
+  for (const std::string& sql : extracted->stats.sql) {
+    std::printf("  SQL> %s\n", sql.c_str());
+  }
+
+  // 4. Analyze with the Graph API and the algorithm library.
+  std::printf("\nCo-author lists (via getNeighbors iterators):\n");
+  graph.ForEachVertex([&](NodeId u) {
+    std::printf("  author %u:", u);
+    auto it = graph.Neighbors(u);
+    while (it->HasNext()) std::printf(" %u", it->Next());
+    std::printf("\n");
+  });
+
+  std::vector<uint64_t> degrees = ComputeDegrees(graph);
+  std::vector<double> ranks = PageRank(graph, {.iterations = 20});
+  std::printf("\nDegree / PageRank:\n");
+  for (NodeId u = 0; u < graph.NumVertices(); ++u) {
+    std::printf("  author %u: degree %llu, rank %.4f\n", u,
+                static_cast<unsigned long long>(degrees[u]), ranks[u]);
+  }
+  std::printf("\n(dave bridges the two collaboration groups: highest rank)\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// The Table 1 "TPCH" scenario: connect customers who bought the same
+// part. The extraction chain Orders ⋈ LineItem ⋈ LineItem ⋈ Orders mixes
+// key-FK joins (handed to the database) with one large-output join on the
+// part key (postponed into virtual nodes) — a multi-layer condensed graph
+// like Fig. 5a. The expanded co-purchase graph would be enormous; the
+// condensed one is barely larger than the input tables.
+
+#include <cstdio>
+
+#include "algos/bfs.h"
+#include "algos/connected_components.h"
+#include "common/memory.h"
+#include "common/timer.h"
+#include "core/graphgen.h"
+#include "core/serialization.h"
+#include "gen/relational_generators.h"
+
+using namespace graphgen;
+
+int main() {
+  gen::GeneratedDatabase data = gen::MakeTpchLike(
+      /*num_customers=*/3000, /*num_orders=*/12000, /*num_parts=*/120,
+      /*lines_per_order=*/3.0, 7);
+  std::printf("Query:\n%s\n", data.datalog.c_str());
+
+  GraphGen engine(&data.db);
+
+  // Let the planner decide which joins are large-output from catalog
+  // statistics, exactly as §4.2 describes.
+  GraphGenOptions options;
+  options.representation = Representation::kCDup;
+  WallTimer timer;
+  auto extracted = engine.Extract(data.datalog, options);
+  if (!extracted.ok()) {
+    std::fprintf(stderr, "failed: %s\n", extracted.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Extraction took %.1fms; issued SQL:\n", timer.Millis());
+  for (const std::string& sql : extracted->stats.sql) {
+    std::printf("  %s\n", sql.c_str());
+  }
+
+  const Graph& g = *extracted->graph;
+  std::printf("\nCondensed co-purchase graph: %zu customers, %zu virtual, "
+              "%llu stored edges (%s)\n",
+              g.NumActiveVertices(), g.NumVirtualNodes(),
+              static_cast<unsigned long long>(g.CountStoredEdges()),
+              FormatBytes(g.MemoryBytes()).c_str());
+  std::printf("Expanded edges (never materialized): %llu\n",
+              static_cast<unsigned long long>(g.CountExpandedEdges()));
+
+  // Connected components run directly on C-DUP (duplicate-insensitive).
+  std::vector<NodeId> labels = ConnectedComponents(g);
+  std::printf("Market segments (components): %zu\n", CountComponents(labels));
+
+  // How far apart are two random customers in the co-purchase graph?
+  std::vector<uint32_t> dist = Bfs(g, 0);
+  size_t reachable = 0;
+  uint32_t max_dist = 0;
+  for (uint32_t d : dist) {
+    if (d != kUnreachable) {
+      ++reachable;
+      max_dist = std::max(max_dist, d);
+    }
+  }
+  std::printf("Customer 0 reaches %zu customers, eccentricity %u\n",
+              reachable, max_dist);
+
+  // Hand the expanded edge list to external tooling (NetworkX-style flow).
+  std::string path = "/tmp/copurchase_edges.txt";
+  if (SerializeEdgeList(g, path).ok()) {
+    std::printf("Expanded edge list serialized to %s\n", path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Temporal graph analytics (paper §1: "it is often interesting to
+// juxtapose and compare graphs constructed over different time periods").
+// Extracts two co-author graphs from the same database — an early era and
+// a recent era — using selection predicates in the DSL, and compares
+// their structure.
+
+#include <cstdio>
+
+#include "algos/clustering.h"
+#include "algos/connected_components.h"
+#include "algos/degree.h"
+#include "common/rng.h"
+#include "core/graphgen.h"
+
+using namespace graphgen;
+
+namespace {
+
+rel::Database MakeTemporalDblp() {
+  Rng rng(2026);
+  rel::Database db;
+  const int64_t num_authors = 600;
+  const int64_t num_pubs = 1600;
+
+  rel::Table authors("Author", rel::Schema({{"id", rel::ValueType::kInt64},
+                                            {"name", rel::ValueType::kString}}));
+  for (int64_t a = 0; a < num_authors; ++a) {
+    authors.AppendUnchecked({rel::Value(a), rel::Value("author_" + std::to_string(a))});
+  }
+  db.PutTable(std::move(authors));
+
+  // AuthorPub(aid, pid, year): the field grows over time — later papers
+  // draw from a larger author pool, earlier ones from a small core.
+  rel::Table ap("AuthorPub", rel::Schema({{"aid", rel::ValueType::kInt64},
+                                          {"pid", rel::ValueType::kInt64},
+                                          {"year", rel::ValueType::kInt64}}));
+  for (int64_t p = 0; p < num_pubs; ++p) {
+    int64_t year = 2000 + static_cast<int64_t>(rng.NextBounded(26));
+    int64_t pool = 100 + (year - 2000) * 20;  // community growth
+    size_t team = 2 + rng.NextBounded(4);
+    for (size_t i = 0; i < team; ++i) {
+      int64_t a = static_cast<int64_t>(rng.NextBounded(
+          static_cast<uint64_t>(std::min(pool, num_authors))));
+      ap.AppendUnchecked({rel::Value(a), rel::Value(p), rel::Value(year)});
+    }
+  }
+  db.PutTable(std::move(ap));
+  return db;
+}
+
+void Analyze(const GraphGen& engine, const char* label, const char* query) {
+  GraphGenOptions options;
+  options.representation = Representation::kBitmap2;
+  options.extract.large_output_factor = 0.0;
+  auto extracted = engine.Extract(query, options);
+  if (!extracted.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", label,
+                 extracted.status().ToString().c_str());
+    return;
+  }
+  const Graph& g = *extracted->graph;
+  std::vector<uint64_t> degrees = ComputeDegrees(g);
+  uint64_t active = 0;
+  uint64_t edge_endpoints = 0;
+  for (uint64_t d : degrees) {
+    if (d > 0) ++active;
+    edge_endpoints += d;
+  }
+  auto labels = ConnectedComponents(g);
+  // Count only components with >= 2 members.
+  std::vector<int> sizes(g.NumVertices(), 0);
+  for (NodeId l : labels) {
+    if (l != kInvalidNode) ++sizes[l];
+  }
+  size_t real_components = 0;
+  size_t largest = 0;
+  for (NodeId l = 0; l < sizes.size(); ++l) {
+    if (sizes[l] >= 2) {
+      ++real_components;
+      largest = std::max(largest, static_cast<size_t>(sizes[l]));
+    }
+  }
+  std::printf(
+      "%-18s %5llu active authors, avg degree %5.1f, %3zu communities, "
+      "largest %4zu, clustering %.3f\n",
+      label, static_cast<unsigned long long>(active),
+      active ? static_cast<double>(edge_endpoints) / static_cast<double>(active)
+             : 0.0,
+      real_components, largest, AverageClusteringCoefficient(g));
+}
+
+}  // namespace
+
+int main() {
+  rel::Database db = MakeTemporalDblp();
+  GraphGen engine(&db);
+
+  std::printf("Era comparison of the co-author graph (same database, two "
+              "extraction queries):\n\n");
+  Analyze(engine, "2000-2012:",
+          "Nodes(ID, Name) :- Author(ID, Name).\n"
+          "Edges(ID1, ID2) :- AuthorPub(ID1, P, Y), AuthorPub(ID2, P, Y2), "
+          "Y <= 2012, Y2 <= 2012.");
+  Analyze(engine, "2013-2025:",
+          "Nodes(ID, Name) :- Author(ID, Name).\n"
+          "Edges(ID1, ID2) :- AuthorPub(ID1, P, Y), AuthorPub(ID2, P, Y2), "
+          "Y >= 2013, Y2 >= 2013.");
+  Analyze(engine, "all years:",
+          "Nodes(ID, Name) :- Author(ID, Name).\n"
+          "Edges(ID1, ID2) :- AuthorPub(ID1, P, Y), AuthorPub(ID2, P, Y2).");
+
+  std::printf(
+      "\nThe early era is a small dense core; the recent era has more\n"
+      "authors. Both views were extracted declaratively — no ETL.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// The paper's [Q3]: a heterogeneous bipartite graph between instructors
+// and the students who took their courses, extracted from a university
+// schema (db-book.com style). Shows multiple Nodes statements, a directed
+// bipartite condensed graph, and mutation through the Graph API.
+
+#include <cstdio>
+
+#include "algos/degree.h"
+#include "core/graphgen.h"
+#include "gen/relational_generators.h"
+
+using namespace graphgen;
+
+int main() {
+  gen::GeneratedDatabase data =
+      gen::MakeUniversity(/*num_students=*/400, /*num_instructors=*/12,
+                          /*num_courses=*/40, /*courses_per_student=*/3.5, 99);
+
+  const char* q3 =
+      "Nodes(ID, Name) :- Instructor(ID, Name).\n"
+      "Nodes(ID, Name) :- Student(ID, Name).\n"
+      "Edges(ID1, ID2) :- TaughtCourse(ID1, C), TookCourse(ID2, C).";
+  std::printf("Query [Q3]:\n%s\n\n", q3);
+
+  GraphGen engine(&data.db);
+  GraphGenOptions options;
+  options.representation = Representation::kCDup;
+  options.extract.large_output_factor = 0.0;  // courses as virtual nodes
+  options.extract.preprocess = false;
+  auto extracted = engine.Extract(q3, options);
+  if (!extracted.ok()) {
+    std::fprintf(stderr, "failed: %s\n", extracted.status().ToString().c_str());
+    return 1;
+  }
+  Graph& g = *extracted->graph;
+
+  // Instructors were declared first, so they occupy ids [0, 12).
+  std::printf("Bipartite graph: %zu vertices, %zu course virtual nodes\n",
+              g.NumActiveVertices(), g.NumVirtualNodes());
+  std::vector<uint64_t> degrees = ComputeDegrees(g);
+  std::printf("\nTeaching reach (students taught, deduplicated across "
+              "courses):\n");
+  for (NodeId i = 0; i < 12; ++i) {
+    std::printf("  instructor %2u -> %llu students\n", i,
+                static_cast<unsigned long long>(degrees[i]));
+  }
+
+  // Mutate: instructor 0 goes on sabbatical — remove them from the graph
+  // (lazy deletion, §3.4) and re-count.
+  if (g.DeleteVertex(0).ok()) {
+    std::printf("\nAfter deleting instructor 0 (lazy): %zu active vertices\n",
+                g.NumActiveVertices());
+  }
+
+  // Direction check: students have no out-edges in this graph.
+  uint64_t student_out = 0;
+  g.ForEachVertex([&](NodeId u) {
+    if (u >= 12) student_out += g.OutDegree(u);
+  });
+  std::printf("Total student out-degree (expected 0): %llu\n",
+              static_cast<unsigned long long>(student_out));
+  return 0;
+}

@@ -1,0 +1,20 @@
+#ifndef GRAPHGEN_ALGOS_BFS_H_
+#define GRAPHGEN_ALGOS_BFS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace graphgen {
+
+/// Distance marker for unreachable vertices.
+constexpr uint32_t kUnreachable = 0xFFFFFFFFu;
+
+/// Single-threaded breadth-first search from `source` over the Graph API
+/// (the paper's BFS workload, §6.1.2). Returns hop distances.
+std::vector<uint32_t> Bfs(const Graph& graph, NodeId source);
+
+}  // namespace graphgen
+
+#endif  // GRAPHGEN_ALGOS_BFS_H_

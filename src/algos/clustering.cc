@@ -1,0 +1,66 @@
+#include "algos/clustering.h"
+
+#include <algorithm>
+
+#include "common/parallel.h"
+
+namespace graphgen {
+
+std::vector<double> LocalClusteringCoefficients(const Graph& graph) {
+  const size_t n = graph.NumVertices();
+  // Materialize sorted adjacency once; intersection by merge.
+  std::vector<std::vector<NodeId>> adj(n);
+  ParallelFor(n, [&](size_t begin, size_t end) {
+    for (size_t u = begin; u < end; ++u) {
+      if (!graph.VertexExists(static_cast<NodeId>(u))) continue;
+      graph.ForEachNeighbor(static_cast<NodeId>(u),
+                            [&](NodeId v) { adj[u].push_back(v); });
+      std::sort(adj[u].begin(), adj[u].end());
+      adj[u].erase(std::unique(adj[u].begin(), adj[u].end()), adj[u].end());
+    }
+  });
+
+  std::vector<double> out(n, 0.0);
+  ParallelFor(n, [&](size_t begin, size_t end) {
+    for (size_t u = begin; u < end; ++u) {
+      const auto& nu = adj[u];
+      if (nu.size() < 2) continue;
+      uint64_t closed = 0;
+      for (NodeId v : nu) {
+        const auto& nv = adj[v];
+        size_t i = 0;
+        size_t j = 0;
+        while (i < nu.size() && j < nv.size()) {
+          if (nu[i] < nv[j]) {
+            ++i;
+          } else if (nu[i] > nv[j]) {
+            ++j;
+          } else {
+            ++closed;
+            ++i;
+            ++j;
+          }
+        }
+      }
+      const double possible =
+          static_cast<double>(nu.size()) * (static_cast<double>(nu.size()) - 1);
+      out[u] = static_cast<double>(closed) / possible;
+    }
+  });
+  return out;
+}
+
+double AverageClusteringCoefficient(const Graph& graph) {
+  std::vector<double> local = LocalClusteringCoefficients(graph);
+  double sum = 0;
+  size_t count = 0;
+  graph.ForEachVertex([&](NodeId u) {
+    if (graph.OutDegree(u) >= 2) {
+      sum += local[u];
+      ++count;
+    }
+  });
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+}  // namespace graphgen

@@ -1,0 +1,83 @@
+#include "algos/pagerank.h"
+
+#include "algos/degree.h"
+#include "vertexcentric/vertex_centric.h"
+
+namespace graphgen {
+
+namespace {
+
+class PageRankExecutor : public Executor {
+ public:
+  PageRankExecutor(const Graph* graph, const std::vector<uint64_t>* degrees,
+                   std::vector<double>* current, std::vector<double>* next,
+                   double damping, size_t n_active, size_t iterations)
+      : graph_(graph),
+        degrees_(degrees),
+        current_(current),
+        next_(next),
+        damping_(damping),
+        n_active_(n_active),
+        iterations_(iterations) {
+    RecomputeDanglingTerm();
+  }
+
+  void Compute(VertexContext& ctx) override {
+    double sum = 0.0;
+    ctx.ForEachNeighbor([&](NodeId v) {
+      uint64_t d = (*degrees_)[v];
+      if (d > 0) sum += (*current_)[v] / static_cast<double>(d);
+    });
+    (*next_)[ctx.id()] = (1.0 - damping_) / static_cast<double>(n_active_) +
+                         damping_ * (sum + dangling_term_);
+    if (ctx.superstep() + 1 >= iterations_) ctx.VoteToHalt();
+  }
+
+  bool AfterSuperstep(size_t) override {
+    std::swap(*current_, *next_);
+    RecomputeDanglingTerm();
+    return true;
+  }
+
+ private:
+  // Rank mass stuck at degree-0 vertices is spread over all live vertices
+  // so that the distribution keeps summing to 1.
+  void RecomputeDanglingTerm() {
+    double dangling = 0.0;
+    graph_->ForEachVertex([&](NodeId v) {
+      if ((*degrees_)[v] == 0) dangling += (*current_)[v];
+    });
+    dangling_term_ = dangling / static_cast<double>(n_active_);
+  }
+
+  const Graph* graph_;
+  const std::vector<uint64_t>* degrees_;
+  std::vector<double>* current_;
+  std::vector<double>* next_;
+  double damping_;
+  size_t n_active_;
+  size_t iterations_;
+  double dangling_term_ = 0.0;
+};
+
+}  // namespace
+
+std::vector<double> PageRank(const Graph& graph,
+                             const PageRankOptions& options) {
+  const size_t n = graph.NumVertices();
+  const size_t n_active = graph.NumActiveVertices();
+  if (n_active == 0) return {};
+  std::vector<uint64_t> degrees = ComputeDegrees(graph, options.threads);
+  std::vector<double> current(n, 0.0);
+  graph.ForEachVertex([&](NodeId v) {
+    current[v] = 1.0 / static_cast<double>(n_active);
+  });
+  std::vector<double> next(n, 0.0);
+  PageRankExecutor executor(&graph, &degrees, &current, &next, options.damping,
+                            n_active, options.iterations);
+  VertexCentric vc(&graph, options.threads);
+  vc.Run(&executor, options.iterations);
+  return current;
+}
+
+}  // namespace graphgen

@@ -1,0 +1,55 @@
+#include "algos/triangles.h"
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace graphgen {
+
+uint64_t CountTriangles(const Graph& graph) {
+  const size_t n = graph.NumVertices();
+  // Materialize sorted adjacency restricted to higher-id neighbors; each
+  // triangle u < v < w is then counted exactly once.
+  std::vector<std::vector<NodeId>> higher(n);
+  ParallelFor(n, [&](size_t begin, size_t end) {
+    for (size_t u = begin; u < end; ++u) {
+      if (!graph.VertexExists(static_cast<NodeId>(u))) continue;
+      graph.ForEachNeighbor(static_cast<NodeId>(u), [&](NodeId v) {
+        if (v > u) higher[u].push_back(v);
+      });
+      std::sort(higher[u].begin(), higher[u].end());
+      higher[u].erase(std::unique(higher[u].begin(), higher[u].end()),
+                      higher[u].end());
+    }
+  });
+  std::atomic<uint64_t> total{0};
+  ParallelFor(n, [&](size_t begin, size_t end) {
+    uint64_t local = 0;
+    for (size_t u = begin; u < end; ++u) {
+      const auto& nu = higher[u];
+      for (NodeId v : nu) {
+        const auto& nv = higher[v];
+        // |higher(u) ∩ higher(v)| via merge.
+        size_t i = 0;
+        size_t j = 0;
+        while (i < nu.size() && j < nv.size()) {
+          if (nu[i] < nv[j]) {
+            ++i;
+          } else if (nu[i] > nv[j]) {
+            ++j;
+          } else {
+            ++local;
+            ++i;
+            ++j;
+          }
+        }
+      }
+    }
+    total.fetch_add(local, std::memory_order_relaxed);
+  });
+  return total.load();
+}
+
+}  // namespace graphgen

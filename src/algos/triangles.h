@@ -1,0 +1,19 @@
+#ifndef GRAPHGEN_ALGOS_TRIANGLES_H_
+#define GRAPHGEN_ALGOS_TRIANGLES_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace graphgen {
+
+/// Counts triangles in the (symmetric) graph: unordered vertex triples
+/// {u, v, w} with all three edges present. Duplicate-sensitive — running
+/// it on a duplicated representation without dedup would overcount, which
+/// is exactly why the paper's DEDUP representations exist. Uses
+/// materialized sorted neighbor lists and counts each triangle once.
+uint64_t CountTriangles(const Graph& graph);
+
+}  // namespace graphgen
+
+#endif  // GRAPHGEN_ALGOS_TRIANGLES_H_

@@ -1,0 +1,56 @@
+#ifndef GRAPHGEN_BSP_BSP_ENGINE_H_
+#define GRAPHGEN_BSP_BSP_ENGINE_H_
+
+#include <vector>
+
+#include "bsp/bsp_graph.h"
+#include "common/status.h"
+#include "graph/node_ref.h"
+
+namespace graphgen::bsp {
+
+/// Accounting for one BSP run (the Table 4 columns).
+struct BspRunStats {
+  size_t supersteps = 0;
+  uint64_t messages = 0;
+  double seconds = 0.0;
+  size_t memory_bytes = 0;
+};
+
+/// A multi-threaded Pregel-style engine specialized for GraphGen's
+/// condensed representations (§6.4). Virtual nodes are BSP vertices that
+/// aggregate incoming messages and forward per-out-edge combined values,
+/// which caps traffic at 2 * #condensed-edges per logical iteration —
+/// the optimization the paper's Giraph port implements. Correct execution
+/// over DEDUP-1 and BITMAP requires two supersteps per logical iteration
+/// (real -> virtual, virtual -> real); EXP needs one.
+///
+/// Only single-layer condensed graphs are supported (all Giraph-experiment
+/// datasets in the paper are single-layer).
+class BspEngine {
+ public:
+  explicit BspEngine(BspGraph graph, size_t threads = 0)
+      : graph_(std::move(graph)), threads_(threads) {}
+
+  /// Degree of every real vertex.
+  Result<BspRunStats> RunDegree(std::vector<uint64_t>* degrees);
+
+  /// PageRank with precomputed degrees stored as a vertex property
+  /// (required on condensed representations, §6.4).
+  Result<BspRunStats> RunPageRank(size_t iterations, double damping,
+                                  std::vector<double>* ranks);
+
+  /// Min-label connected components. Duplicate-insensitive: runs on the
+  /// condensed structure ignoring bitmaps (the C-DUP fast path of §6.4).
+  Result<BspRunStats> RunConnectedComponents(std::vector<NodeId>* labels);
+
+ private:
+  Status CheckSingleLayer() const;
+
+  BspGraph graph_;
+  size_t threads_;
+};
+
+}  // namespace graphgen::bsp
+
+#endif  // GRAPHGEN_BSP_BSP_ENGINE_H_

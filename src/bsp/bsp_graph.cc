@@ -1,0 +1,14 @@
+#include "bsp/bsp_graph.h"
+
+namespace graphgen::bsp {
+
+std::string_view BspModeToString(BspMode mode) {
+  switch (mode) {
+    case BspMode::kExpanded: return "EXP";
+    case BspMode::kDedup1: return "DEDUP1";
+    case BspMode::kBitmap: return "BMP";
+  }
+  return "?";
+}
+
+}  // namespace graphgen::bsp

@@ -1,0 +1,70 @@
+#ifndef GRAPHGEN_BSP_BSP_GRAPH_H_
+#define GRAPHGEN_BSP_BSP_GRAPH_H_
+
+#include <cstdint>
+
+#include "graph/storage.h"
+#include "repr/bitmap_graph.h"
+#include "repr/expanded_graph.h"
+
+namespace graphgen::bsp {
+
+/// Which in-memory representation a BSP run executes against (the three
+/// compared in the paper's Giraph experiments, §6.4).
+enum class BspMode { kExpanded, kDedup1, kBitmap };
+
+std::string_view BspModeToString(BspMode mode);
+
+/// Read-only topology adapter unifying the three representations for the
+/// BSP engine. Virtual nodes are first-class BSP vertices that aggregate
+/// messages (§6.4).
+class BspGraph {
+ public:
+  /// EXP: direct adjacency only.
+  explicit BspGraph(const ExpandedGraph* expanded)
+      : mode_(BspMode::kExpanded), expanded_(expanded) {}
+  /// DEDUP-1 (or C-DUP for duplicate-insensitive programs).
+  explicit BspGraph(const CondensedStorage* storage)
+      : mode_(BspMode::kDedup1), storage_(storage) {}
+  /// BITMAP: condensed structure plus per-source bitmaps.
+  explicit BspGraph(const BitmapGraph* bitmap)
+      : mode_(BspMode::kBitmap),
+        storage_(&bitmap->storage()),
+        bitmap_(bitmap) {}
+
+  BspMode mode() const { return mode_; }
+  const ExpandedGraph* expanded() const { return expanded_; }
+  const CondensedStorage* storage() const { return storage_; }
+  const BitmapGraph* bitmap() const { return bitmap_; }
+
+  size_t NumReal() const {
+    return mode_ == BspMode::kExpanded ? expanded_->NumVertices()
+                                       : storage_->NumRealNodes();
+  }
+  size_t NumVirtual() const {
+    return mode_ == BspMode::kExpanded ? 0 : storage_->NumVirtualNodes();
+  }
+
+  /// Heap estimate reported in the Table 4 harness.
+  size_t MemoryBytes() const {
+    switch (mode_) {
+      case BspMode::kExpanded:
+        return expanded_->MemoryBytes();
+      case BspMode::kDedup1:
+        return storage_->MemoryBytes();
+      case BspMode::kBitmap:
+        return bitmap_->MemoryBytes();
+    }
+    return 0;
+  }
+
+ private:
+  BspMode mode_;
+  const ExpandedGraph* expanded_ = nullptr;
+  const CondensedStorage* storage_ = nullptr;
+  const BitmapGraph* bitmap_ = nullptr;
+};
+
+}  // namespace graphgen::bsp
+
+#endif  // GRAPHGEN_BSP_BSP_GRAPH_H_

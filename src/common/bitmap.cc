@@ -1,0 +1,49 @@
+#include "common/bitmap.h"
+
+#include <bit>
+
+namespace graphgen {
+
+namespace {
+size_t WordsFor(size_t bits) { return (bits + 63) / 64; }
+}  // namespace
+
+Bitmap::Bitmap(size_t size, bool initial)
+    : size_(size), words_(WordsFor(size), initial ? ~uint64_t{0} : 0) {
+  if (initial && size_ % 64 != 0 && !words_.empty()) {
+    // Keep unused high bits zero so CountSet()/AllOne() stay simple.
+    words_.back() &= (uint64_t{1} << (size_ % 64)) - 1;
+  }
+}
+
+void Bitmap::Fill(bool v) {
+  for (auto& w : words_) w = v ? ~uint64_t{0} : 0;
+  if (v && size_ % 64 != 0 && !words_.empty()) {
+    words_.back() &= (uint64_t{1} << (size_ % 64)) - 1;
+  }
+}
+
+void Bitmap::Resize(size_t size) {
+  size_ = size;
+  words_.resize(WordsFor(size), 0);
+  if (size_ % 64 != 0 && !words_.empty()) {
+    words_.back() &= (uint64_t{1} << (size_ % 64)) - 1;
+  }
+}
+
+size_t Bitmap::CountSet() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+  return n;
+}
+
+bool Bitmap::AllZero() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+bool Bitmap::AllOne() const { return CountSet() == size_; }
+
+}  // namespace graphgen

@@ -1,0 +1,61 @@
+#ifndef GRAPHGEN_COMMON_BITMAP_H_
+#define GRAPHGEN_COMMON_BITMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace graphgen {
+
+/// A dynamically sized bit vector. Used by the BITMAP representations to
+/// mark which out-edges of a virtual node a given source node may traverse.
+class Bitmap {
+ public:
+  Bitmap() = default;
+  /// Creates a bitmap with `size` bits, all initialized to `initial`.
+  explicit Bitmap(size_t size, bool initial = false);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Returns bit `i`; `i` must be < size().
+  bool Get(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void Set(size_t i) { words_[i >> 6] |= (uint64_t{1} << (i & 63)); }
+  void Clear(size_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+  void Assign(size_t i, bool v) {
+    if (v) {
+      Set(i);
+    } else {
+      Clear(i);
+    }
+  }
+
+  /// Sets every bit to `v`.
+  void Fill(bool v);
+  /// Grows (or shrinks) to `size` bits; new bits are zero.
+  void Resize(size_t size);
+
+  /// Number of set bits.
+  size_t CountSet() const;
+  /// True if no bit is set.
+  bool AllZero() const;
+  /// True if every bit is set.
+  bool AllOne() const;
+
+  /// Approximate heap usage in bytes.
+  size_t MemoryBytes() const { return words_.capacity() * sizeof(uint64_t); }
+
+  bool operator==(const Bitmap& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+ private:
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace graphgen
+
+#endif  // GRAPHGEN_COMMON_BITMAP_H_

@@ -1,0 +1,31 @@
+#include "common/memory.h"
+
+#include <cstdio>
+
+namespace graphgen {
+
+std::string FormatBytes(size_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1024.0 && unit < 4) {
+    v /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", v, units[unit]);
+  return buf;
+}
+
+size_t CurrentRssBytes() {
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long pages_total = 0;
+  long pages_resident = 0;
+  int n = std::fscanf(f, "%ld %ld", &pages_total, &pages_resident);
+  std::fclose(f);
+  if (n != 2) return 0;
+  return static_cast<size_t>(pages_resident) * 4096;
+}
+
+}  // namespace graphgen

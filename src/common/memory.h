@@ -1,0 +1,34 @@
+#ifndef GRAPHGEN_COMMON_MEMORY_H_
+#define GRAPHGEN_COMMON_MEMORY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace graphgen {
+
+/// Heap bytes held by a vector (capacity-based).
+template <typename T>
+size_t VectorBytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+/// Heap bytes held by a vector of vectors, including the inner buffers.
+template <typename T>
+size_t NestedVectorBytes(const std::vector<std::vector<T>>& v) {
+  size_t total = v.capacity() * sizeof(std::vector<T>);
+  for (const auto& inner : v) total += inner.capacity() * sizeof(T);
+  return total;
+}
+
+/// Formats a byte count as a human-readable string ("1.25 GB").
+std::string FormatBytes(size_t bytes);
+
+/// Current resident set size of the process in bytes (Linux /proc; returns 0
+/// if unavailable). Used by the large-dataset benchmark harness to report
+/// memory like Table 3 of the paper.
+size_t CurrentRssBytes();
+
+}  // namespace graphgen
+
+#endif  // GRAPHGEN_COMMON_MEMORY_H_

@@ -1,0 +1,57 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace graphgen {
+
+size_t DefaultThreadCount() {
+  static size_t cached = [] {
+    if (const char* env = std::getenv("GRAPHGEN_THREADS")) {
+      long v = std::atol(env);
+      if (v > 0) return static_cast<size_t>(v);
+    }
+    size_t hw = std::thread::hardware_concurrency();
+    return hw == 0 ? size_t{4} : hw;
+  }();
+  return cached;
+}
+
+void ParallelFor(size_t n,
+                 const std::function<void(size_t, size_t)>& fn,
+                 size_t threads) {
+  if (threads == 0) threads = DefaultThreadCount();
+  constexpr size_t kMinChunk = 1024;
+  if (threads <= 1 || n < 2 * kMinChunk) {
+    fn(0, n);
+    return;
+  }
+  threads = std::min(threads, (n + kMinChunk - 1) / kMinChunk);
+  const size_t chunk = (n + threads - 1) / threads;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    size_t begin = t * chunk;
+    size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    workers.emplace_back([&fn, begin, end] { fn(begin, end); });
+  }
+  for (auto& w : workers) w.join();
+}
+
+void ParallelInvoke(size_t threads, const std::function<void(size_t)>& fn) {
+  if (threads <= 1) {
+    fn(0);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&fn, t] { fn(t); });
+  }
+  for (auto& w : workers) w.join();
+}
+
+}  // namespace graphgen

@@ -1,0 +1,26 @@
+#ifndef GRAPHGEN_COMMON_PARALLEL_H_
+#define GRAPHGEN_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace graphgen {
+
+/// Number of worker threads used by ParallelFor (defaults to hardware
+/// concurrency; override with the GRAPHGEN_THREADS environment variable).
+size_t DefaultThreadCount();
+
+/// Runs fn(begin, end) over disjoint chunks of [0, n) on multiple threads
+/// and joins. Falls back to a single inline call when n is small or
+/// `threads` <= 1. Used by the preprocessing step (§4.2 Step 6), BITMAP-2
+/// deduplication, and the vertex-centric framework.
+void ParallelFor(size_t n,
+                 const std::function<void(size_t begin, size_t end)>& fn,
+                 size_t threads = 0);
+
+/// Runs fn(thread_index) on `threads` threads and joins.
+void ParallelInvoke(size_t threads, const std::function<void(size_t)>& fn);
+
+}  // namespace graphgen
+
+#endif  // GRAPHGEN_COMMON_PARALLEL_H_

@@ -1,0 +1,62 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace graphgen {
+
+uint64_t Rng::Next() {
+  uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  // Lemire's nearly-divisionless method would be overkill; modulo bias is
+  // negligible for our bounds (<< 2^32).
+  return Next() % bound;
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(NextBounded(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::NextNormal(double mean, double stddev) {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return mean + stddev * spare_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  double u2 = NextDouble();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  spare_normal_ = r * std::sin(theta);
+  have_spare_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+uint64_t Rng::NextZipf(uint64_t n, double s) {
+  // Rejection-inversion sampling (Hormann & Derflinger).
+  if (n <= 1) return 1;
+  const double b = std::pow(2.0, 1.0 - s);
+  while (true) {
+    double u = NextDouble();
+    double v = NextDouble();
+    uint64_t x = static_cast<uint64_t>(std::pow(static_cast<double>(n) + 1.0, u));
+    if (x < 1 || x > n) continue;
+    double t = std::pow(1.0 + 1.0 / static_cast<double>(x), s);
+    if (v * static_cast<double>(x) * (t - 1.0) / (b - 1.0) <=
+        t / b) {
+      return x;
+    }
+  }
+}
+
+}  // namespace graphgen

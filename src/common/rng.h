@@ -1,0 +1,55 @@
+#ifndef GRAPHGEN_COMMON_RNG_H_
+#define GRAPHGEN_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace graphgen {
+
+/// Deterministic, fast PRNG (splitmix64 core). All generators and property
+/// tests take explicit seeds so every run is reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound); bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Normal sample via Box-Muller.
+  double NextNormal(double mean, double stddev);
+
+  /// Zipf-distributed integer in [1, n] with exponent s (rejection method).
+  uint64_t NextZipf(uint64_t n, double s);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t state_;
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace graphgen
+
+#endif  // GRAPHGEN_COMMON_RNG_H_

@@ -1,0 +1,39 @@
+#include "common/status.h"
+
+namespace graphgen {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kAlreadyExists:
+      return "Already exists";
+    case StatusCode::kParseError:
+      return "Parse error";
+    case StatusCode::kPlanError:
+      return "Plan error";
+    case StatusCode::kExecutionError:
+      return "Execution error";
+    case StatusCode::kUnsupported:
+      return "Unsupported";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kInternal:
+      return "Internal error";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace graphgen

@@ -1,0 +1,125 @@
+#ifndef GRAPHGEN_COMMON_STATUS_H_
+#define GRAPHGEN_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace graphgen {
+
+/// Error categories used across the library (Arrow/RocksDB idiom).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,
+  kPlanError,
+  kExecutionError,
+  kUnsupported,
+  kOutOfRange,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a status code ("Parse error", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value. Functions that can fail return a
+/// Status (or a Result<T>, below) instead of throwing; this keeps failure
+/// paths explicit at call sites.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status PlanError(std::string msg) {
+    return Status(StatusCode::kPlanError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Moves the value out with
+/// ValueOrDie()/operator*; check ok() first.
+template <typename T>
+class Result {
+ public:
+  /* implicit */ Result(T value) : value_(std::move(value)) {}
+  /* implicit */ Result(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& ValueOrDie() const& { return *value_; }
+  T& ValueOrDie() & { return *value_; }
+  T&& ValueOrDie() && { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  T&& operator*() && { return std::move(*value_); }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status out of the current function.
+#define GRAPHGEN_RETURN_NOT_OK(expr)            \
+  do {                                          \
+    ::graphgen::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+/// Evaluates a Result<T> expression; on error returns the Status, otherwise
+/// assigns the value into `lhs`.
+#define GRAPHGEN_ASSIGN_OR_RETURN(lhs, expr)    \
+  auto GRAPHGEN_CONCAT_(result_, __LINE__) = (expr);            \
+  if (!GRAPHGEN_CONCAT_(result_, __LINE__).ok())                \
+    return GRAPHGEN_CONCAT_(result_, __LINE__).status();        \
+  lhs = std::move(GRAPHGEN_CONCAT_(result_, __LINE__)).ValueOrDie()
+
+#define GRAPHGEN_CONCAT_INNER_(a, b) a##b
+#define GRAPHGEN_CONCAT_(a, b) GRAPHGEN_CONCAT_INNER_(a, b)
+
+}  // namespace graphgen
+
+#endif  // GRAPHGEN_COMMON_STATUS_H_

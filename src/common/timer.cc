@@ -1,0 +1,4 @@
+#include "common/timer.h"
+
+// Header-only; this translation unit exists so the target has a .cc per
+// header and the header is verified self-contained.

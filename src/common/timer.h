@@ -1,0 +1,29 @@
+#ifndef GRAPHGEN_COMMON_TIMER_H_
+#define GRAPHGEN_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace graphgen {
+
+/// Simple wall-clock stopwatch used by the benchmark harnesses.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double Millis() const { return Seconds() * 1e3; }
+  double Micros() const { return Seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace graphgen
+
+#endif  // GRAPHGEN_COMMON_TIMER_H_

@@ -1,0 +1,116 @@
+#include "compress/vminer.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace graphgen {
+
+namespace {
+
+// One min-hash of a neighbor list under a splitmix-seeded hash function.
+uint64_t MinHash(const std::vector<NodeId>& list, uint64_t salt) {
+  uint64_t best = ~uint64_t{0};
+  for (NodeId v : list) {
+    uint64_t z = (static_cast<uint64_t>(v) + salt) * 0x9e3779b97f4a7c15ull;
+    z ^= z >> 29;
+    z *= 0xbf58476d1ce4e5b9ull;
+    z ^= z >> 32;
+    best = std::min(best, z);
+  }
+  return best;
+}
+
+}  // namespace
+
+VMinerResult VMinerCompress(const ExpandedGraph& graph,
+                            const VMinerOptions& options) {
+  VMinerResult result;
+  const size_t n = graph.NumVertices();
+
+  // Mutable copy of the expanded adjacency (sorted).
+  std::vector<std::vector<NodeId>> adj(n);
+  for (NodeId u = 0; u < n; ++u) {
+    if (!graph.VertexExists(u)) continue;
+    adj[u] = graph.RawNeighbors(u);
+  }
+  for (const auto& l : adj) result.edges_before += l.size();
+
+  // Virtual nodes mined so far: (sources, targets).
+  std::vector<std::pair<std::vector<NodeId>, std::vector<NodeId>>> bicliques;
+
+  Rng rng(options.seed);
+  for (size_t pass = 0; pass < options.passes; ++pass) {
+    // Group vertices by the tuple of `shingles` min-hashes of their
+    // neighbor lists; fresh salts every pass explore different clusters.
+    std::vector<uint64_t> salts(options.shingles);
+    for (auto& s : salts) s = rng.Next();
+
+    std::unordered_map<uint64_t, std::vector<NodeId>> clusters;
+    for (NodeId u = 0; u < n; ++u) {
+      if (adj[u].size() < options.min_targets) continue;
+      uint64_t key = 1469598103934665603ull;
+      for (uint64_t salt : salts) {
+        key ^= MinHash(adj[u], salt);
+        key *= 1099511628211ull;
+      }
+      clusters[key].push_back(u);
+    }
+
+    for (auto& [key, members] : clusters) {
+      if (members.size() < options.min_sources) continue;
+      // Greedy: grow the source set while the common neighbor set stays
+      // useful.
+      std::vector<NodeId> sources = {members[0]};
+      std::vector<NodeId> common = adj[members[0]];
+      for (size_t i = 1; i < members.size(); ++i) {
+        std::vector<NodeId> next;
+        std::set_intersection(common.begin(), common.end(),
+                              adj[members[i]].begin(), adj[members[i]].end(),
+                              std::back_inserter(next));
+        if (next.size() < options.min_targets) continue;
+        common = std::move(next);
+        sources.push_back(members[i]);
+      }
+      if (sources.size() < options.min_sources ||
+          common.size() < options.min_targets) {
+        continue;
+      }
+      // Replace only when it actually saves edges.
+      const size_t replaced = sources.size() * common.size();
+      if (replaced <= sources.size() + common.size()) continue;
+      for (NodeId a : sources) {
+        std::vector<NodeId> rest;
+        rest.reserve(adj[a].size() - common.size());
+        std::set_difference(adj[a].begin(), adj[a].end(), common.begin(),
+                            common.end(), std::back_inserter(rest));
+        adj[a] = std::move(rest);
+      }
+      bicliques.emplace_back(std::move(sources), common);
+    }
+  }
+
+  // Materialize the condensed result.
+  CondensedStorage& s = result.storage;
+  s.AddRealNodes(n);
+  s.properties() = graph.properties();
+  for (NodeId u = 0; u < n; ++u) {
+    if (!graph.VertexExists(u)) {
+      s.DeleteRealNode(u);
+      continue;
+    }
+    for (NodeId v : adj[u]) s.AddEdge(NodeRef::Real(u), NodeRef::Real(v));
+  }
+  for (const auto& [sources, targets] : bicliques) {
+    uint32_t v = s.AddVirtualNode();
+    for (NodeId a : sources) s.AddEdge(NodeRef::Real(a), NodeRef::Virtual(v));
+    for (NodeId b : targets) s.AddEdge(NodeRef::Virtual(v), NodeRef::Real(b));
+  }
+  result.bicliques_found = bicliques.size();
+  result.edges_after = s.CountCondensedEdges();
+  return result;
+}
+
+}  // namespace graphgen

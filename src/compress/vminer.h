@@ -1,0 +1,43 @@
+#ifndef GRAPHGEN_COMPRESS_VMINER_H_
+#define GRAPHGEN_COMPRESS_VMINER_H_
+
+#include <cstdint>
+
+#include "graph/storage.h"
+#include "repr/expanded_graph.h"
+
+namespace graphgen {
+
+/// Parameters of the Virtual Node Miner baseline (Buehrer & Chellapilla,
+/// WSDM'08), the prior graph-compression algorithm the paper compares
+/// against in Fig. 10.
+struct VMinerOptions {
+  /// Passes over the graph; each pass mines one batch of bicliques.
+  size_t passes = 4;
+  /// Shingles per vertex used to group similar neighbor lists.
+  size_t shingles = 2;
+  /// Minimum |A| x |B| biclique size worth replacing (edges saved must be
+  /// positive: |A|*|B| > |A| + |B|).
+  size_t min_sources = 2;
+  size_t min_targets = 2;
+  uint64_t seed = 7;
+};
+
+struct VMinerResult {
+  CondensedStorage storage;
+  size_t bicliques_found = 0;
+  uint64_t edges_before = 0;
+  uint64_t edges_after = 0;
+};
+
+/// Compresses an *expanded* graph by repeatedly mining bicliques (groups
+/// A, B with every a->b edge present) and replacing each with a virtual
+/// node. Unlike GraphGen's extraction-time condensation, VMiner must
+/// start from the fully expanded graph — the paper's key argument for
+/// condensing during extraction instead (§6.1.1).
+VMinerResult VMinerCompress(const ExpandedGraph& graph,
+                            const VMinerOptions& options = {});
+
+}  // namespace graphgen
+
+#endif  // GRAPHGEN_COMPRESS_VMINER_H_

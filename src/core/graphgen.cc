@@ -1,0 +1,145 @@
+#include "core/graphgen.h"
+
+#include "common/timer.h"
+#include "core/representation_picker.h"
+#include "dedup/bitmap_algorithms.h"
+#include "dedup/dedup1_algorithms.h"
+#include "dedup/dedup2_builder.h"
+#include "repr/cdup_graph.h"
+#include "repr/expander.h"
+
+namespace graphgen {
+
+std::string_view RepresentationToString(Representation r) {
+  switch (r) {
+    case Representation::kAuto: return "AUTO";
+    case Representation::kCDup: return "C-DUP";
+    case Representation::kExp: return "EXP";
+    case Representation::kDedup1: return "DEDUP-1";
+    case Representation::kDedup2: return "DEDUP-2";
+    case Representation::kBitmap1: return "BITMAP-1";
+    case Representation::kBitmap2: return "BITMAP-2";
+  }
+  return "?";
+}
+
+std::string_view Dedup1AlgorithmToString(Dedup1Algorithm a) {
+  switch (a) {
+    case Dedup1Algorithm::kNaiveVirtualFirst: return "NaiveVirtualFirst";
+    case Dedup1Algorithm::kNaiveRealFirst: return "NaiveRealFirst";
+    case Dedup1Algorithm::kGreedyRealFirst: return "GreedyRealFirst";
+    case Dedup1Algorithm::kGreedyVirtualFirst: return "GreedyVirtualFirst";
+  }
+  return "?";
+}
+
+Result<ExtractedGraph> GraphGen::Extract(std::string_view datalog,
+                                         const GraphGenOptions& options) const {
+  GRAPHGEN_ASSIGN_OR_RETURN(
+      planner::ExtractionResult extraction,
+      planner::ExtractFromQuery(*db_, datalog, options.extract));
+  planner::ExtractionResult stats_copy;
+  stats_copy.sql = extraction.sql;
+  stats_copy.rows_scanned = extraction.rows_scanned;
+  stats_copy.condensed_edges = extraction.condensed_edges;
+  stats_copy.virtual_nodes = extraction.virtual_nodes;
+  stats_copy.real_nodes = extraction.real_nodes;
+  stats_copy.nodes_seconds = extraction.nodes_seconds;
+  stats_copy.edges_seconds = extraction.edges_seconds;
+  stats_copy.preprocess_seconds = extraction.preprocess_seconds;
+
+  GRAPHGEN_ASSIGN_OR_RETURN(
+      ExtractedGraph out,
+      Materialize(std::move(extraction.storage), options));
+  stats_copy.storage = CondensedStorage();  // storage moved into the graph
+  out.stats = std::move(stats_copy);
+  return out;
+}
+
+Result<std::vector<ExtractedGraph>> GraphGen::ExtractMany(
+    const std::vector<std::string>& queries, const GraphGenOptions& options,
+    size_t memory_budget_bytes, size_t* completed) const {
+  std::vector<ExtractedGraph> graphs;
+  size_t used = 0;
+  if (completed != nullptr) *completed = 0;
+  for (const std::string& query : queries) {
+    auto result = Extract(query, options);
+    if (!result.ok()) return result.status();
+    used += result->graph->MemoryBytes();
+    if (memory_budget_bytes > 0 && used > memory_budget_bytes) {
+      return Status::OutOfRange(
+          "batch memory budget exceeded after " +
+          std::to_string(graphs.size()) + " graphs (" + std::to_string(used) +
+          " bytes > " + std::to_string(memory_budget_bytes) + ")");
+    }
+    graphs.push_back(std::move(*result));
+    if (completed != nullptr) *completed = graphs.size();
+  }
+  return graphs;
+}
+
+Result<ExtractedGraph> GraphGen::Materialize(CondensedStorage storage,
+                                             const GraphGenOptions& options) {
+  ExtractedGraph out;
+  Representation target = options.representation;
+  if (target == Representation::kAuto) {
+    target = ChooseRepresentation(storage, options.expand_threshold);
+  }
+  out.representation = target;
+
+  WallTimer timer;
+  switch (target) {
+    case Representation::kCDup:
+      out.graph = std::make_unique<CDupGraph>(std::move(storage));
+      break;
+    case Representation::kExp:
+      out.graph = std::make_unique<ExpandedGraph>(ExpandCondensed(storage));
+      break;
+    case Representation::kDedup1: {
+      CondensedStorage input = std::move(storage);
+      if (!input.IsSingleLayer()) input = FlattenToSingleLayer(input);
+      Result<Dedup1Graph> result = [&]() -> Result<Dedup1Graph> {
+        switch (options.dedup1_algorithm) {
+          case Dedup1Algorithm::kNaiveVirtualFirst:
+            return NaiveVirtualNodesFirst(input, options.dedup);
+          case Dedup1Algorithm::kNaiveRealFirst:
+            return NaiveRealNodesFirst(input, options.dedup);
+          case Dedup1Algorithm::kGreedyRealFirst:
+            return GreedyRealNodesFirst(input, options.dedup);
+          case Dedup1Algorithm::kGreedyVirtualFirst:
+            return GreedyVirtualNodesFirst(input, options.dedup);
+        }
+        return Status::Internal("unknown DEDUP-1 algorithm");
+      }();
+      GRAPHGEN_RETURN_NOT_OK(result.status());
+      out.graph = std::make_unique<Dedup1Graph>(std::move(*result));
+      break;
+    }
+    case Representation::kDedup2: {
+      CondensedStorage input = std::move(storage);
+      if (!input.IsSingleLayer()) input = FlattenToSingleLayer(input);
+      GRAPHGEN_ASSIGN_OR_RETURN(Dedup2Graph graph,
+                                BuildDedup2(input, options.dedup));
+      out.graph = std::make_unique<Dedup2Graph>(std::move(graph));
+      break;
+    }
+    case Representation::kBitmap1: {
+      GRAPHGEN_ASSIGN_OR_RETURN(BitmapGraph graph,
+                                BuildBitmap1(storage, options.dedup));
+      out.graph = std::make_unique<BitmapGraph>(std::move(graph));
+      break;
+    }
+    case Representation::kBitmap2: {
+      GRAPHGEN_ASSIGN_OR_RETURN(BitmapGraph graph,
+                                BuildBitmap2(storage, options.dedup));
+      out.graph = std::make_unique<BitmapGraph>(std::move(graph));
+      break;
+    }
+    case Representation::kAuto:
+      return Status::Internal("unresolved AUTO representation");
+  }
+  out.dedup_seconds = timer.Seconds();
+  return out;
+}
+
+}  // namespace graphgen

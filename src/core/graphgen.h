@@ -1,0 +1,91 @@
+#ifndef GRAPHGEN_CORE_GRAPHGEN_H_
+#define GRAPHGEN_CORE_GRAPHGEN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dedup/ordering.h"
+#include "graph/graph.h"
+#include "planner/extractor.h"
+#include "relational/database.h"
+
+namespace graphgen {
+
+/// The in-memory representations of §4.3.
+enum class Representation {
+  kAuto,     // §6.5 policy: expand when cheap, else BITMAP-2
+  kCDup,     // condensed, duplicated; on-the-fly dedup
+  kExp,      // fully expanded
+  kDedup1,   // condensed, deduplicated
+  kDedup2,   // single-layer symmetric optimization
+  kBitmap1,  // bitmaps via the naive pass
+  kBitmap2,  // bitmaps via greedy set cover
+};
+
+std::string_view RepresentationToString(Representation r);
+
+/// Which DEDUP-1 algorithm to run (§5.2.1).
+enum class Dedup1Algorithm {
+  kNaiveVirtualFirst,
+  kNaiveRealFirst,
+  kGreedyRealFirst,
+  kGreedyVirtualFirst,
+};
+
+std::string_view Dedup1AlgorithmToString(Dedup1Algorithm a);
+
+/// End-to-end extraction options.
+struct GraphGenOptions {
+  planner::ExtractOptions extract;
+  Representation representation = Representation::kAuto;
+  Dedup1Algorithm dedup1_algorithm = Dedup1Algorithm::kGreedyVirtualFirst;
+  DedupOptions dedup;
+  /// kAuto expands when the expanded graph is at most (1 + threshold)
+  /// times the condensed size (§6.5 suggests 20%).
+  double expand_threshold = 0.2;
+};
+
+/// The product of an extraction: a ready-to-analyze Graph in the chosen
+/// representation plus the extraction statistics (Table 1 columns).
+struct ExtractedGraph {
+  std::unique_ptr<Graph> graph;
+  Representation representation = Representation::kCDup;
+  planner::ExtractionResult stats;
+  double dedup_seconds = 0.0;
+};
+
+/// The system facade (§3.1): parses a Datalog extraction program,
+/// translates it to queries against the embedded database, assembles the
+/// condensed graph, and hands back an in-memory Graph object.
+class GraphGen {
+ public:
+  explicit GraphGen(const rel::Database* db) : db_(db) {}
+
+  /// Runs the full pipeline on a Datalog program.
+  Result<ExtractedGraph> Extract(std::string_view datalog,
+                                 const GraphGenOptions& options = {}) const;
+
+  /// Builds the requested representation from an existing condensed
+  /// graph (used by benchmarks and after deserialization).
+  static Result<ExtractedGraph> Materialize(CondensedStorage storage,
+                                            const GraphGenOptions& options);
+
+  /// Extracts a collection of graphs in one batch (§3.1: GraphGen builds
+  /// batches whose total condensed size fits in memory). Queries run in
+  /// sequence; if `memory_budget_bytes` > 0 and the accumulated footprint
+  /// of the extracted graphs would exceed it, extraction stops with
+  /// kOutOfRange and the graphs extracted so far are returned through
+  /// `completed`.
+  Result<std::vector<ExtractedGraph>> ExtractMany(
+      const std::vector<std::string>& queries, const GraphGenOptions& options,
+      size_t memory_budget_bytes = 0, size_t* completed = nullptr) const;
+
+ private:
+  const rel::Database* db_;
+};
+
+}  // namespace graphgen
+
+#endif  // GRAPHGEN_CORE_GRAPHGEN_H_

@@ -1,0 +1,16 @@
+#include "core/representation_picker.h"
+
+#include "planner/preprocess.h"
+
+namespace graphgen {
+
+Representation ChooseRepresentation(const CondensedStorage& storage,
+                                    double expand_threshold) {
+  if (storage.NumVirtualNodes() == 0) return Representation::kExp;
+  if (planner::ShouldExpand(storage, expand_threshold)) {
+    return Representation::kExp;
+  }
+  return Representation::kBitmap2;
+}
+
+}  // namespace graphgen

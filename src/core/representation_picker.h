@@ -1,0 +1,17 @@
+#ifndef GRAPHGEN_CORE_REPRESENTATION_PICKER_H_
+#define GRAPHGEN_CORE_REPRESENTATION_PICKER_H_
+
+#include "core/graphgen.h"
+#include "graph/storage.h"
+
+namespace graphgen {
+
+/// The §6.5 policy: expand when the expanded graph is within
+/// (1 + expand_threshold) of the condensed size; otherwise prefer
+/// BITMAP-2 (feasible at any scale, supports multi-layer graphs).
+Representation ChooseRepresentation(const CondensedStorage& storage,
+                                    double expand_threshold);
+
+}  // namespace graphgen
+
+#endif  // GRAPHGEN_CORE_REPRESENTATION_PICKER_H_

@@ -1,0 +1,95 @@
+#include "core/serialization.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace graphgen {
+
+Status SerializeEdgeList(const Graph& graph, const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::ExecutionError("cannot open " + path + " for writing");
+  }
+  graph.ForEachVertex([&](NodeId u) {
+    graph.ForEachNeighbor(u, [&](NodeId v) {
+      std::fprintf(f, "%u %u\n", u, v);
+    });
+  });
+  std::fclose(f);
+  return Status::OK();
+}
+
+Status SerializeCondensed(const CondensedStorage& storage,
+                          const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::ExecutionError("cannot open " + path + " for writing");
+  }
+  std::fprintf(f, "graphgen-condensed 1\n");
+  std::fprintf(f, "%zu %zu\n", storage.NumRealNodes(),
+               storage.NumVirtualNodes());
+  // One line per source node: "<kind><index> <raw-ref>*".
+  for (NodeId u = 0; u < storage.NumRealNodes(); ++u) {
+    const auto& out = storage.OutEdges(NodeRef::Real(u));
+    if (out.empty() && !storage.IsDeleted(u)) continue;
+    std::fprintf(f, "r%u%s", u, storage.IsDeleted(u) ? " D" : "");
+    for (NodeRef r : out) std::fprintf(f, " %" PRIu32, r.raw());
+    std::fputc('\n', f);
+  }
+  for (uint32_t v = 0; v < storage.NumVirtualNodes(); ++v) {
+    const auto& out = storage.OutEdges(NodeRef::Virtual(v));
+    if (out.empty()) continue;
+    std::fprintf(f, "v%u", v);
+    for (NodeRef r : out) std::fprintf(f, " %" PRIu32, r.raw());
+    std::fputc('\n', f);
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+Result<CondensedStorage> LoadCondensed(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open " + path);
+  }
+  char magic[64];
+  int version = 0;
+  if (std::fscanf(f, "%63s %d", magic, &version) != 2 ||
+      std::string(magic) != "graphgen-condensed" || version != 1) {
+    std::fclose(f);
+    return Status::ParseError("not a graphgen condensed file: " + path);
+  }
+  size_t num_real = 0;
+  size_t num_virtual = 0;
+  if (std::fscanf(f, "%zu %zu", &num_real, &num_virtual) != 2) {
+    std::fclose(f);
+    return Status::ParseError("bad header in " + path);
+  }
+  CondensedStorage storage;
+  storage.AddRealNodes(num_real);
+  for (size_t v = 0; v < num_virtual; ++v) storage.AddVirtualNode();
+
+  char kind = 0;
+  while (std::fscanf(f, " %c", &kind) == 1) {
+    uint32_t index = 0;
+    if (std::fscanf(f, "%" SCNu32, &index) != 1) break;
+    NodeRef from = kind == 'r' ? NodeRef::Real(index) : NodeRef::Virtual(index);
+    // Remainder of the line: optional D marker + raw refs.
+    int c = 0;
+    while ((c = std::fgetc(f)) != EOF && c != '\n') {
+      if (c == ' ') continue;
+      if (c == 'D') {
+        storage.DeleteRealNode(index);
+        continue;
+      }
+      std::ungetc(c, f);
+      uint32_t raw = 0;
+      if (std::fscanf(f, "%" SCNu32, &raw) != 1) break;
+      storage.AddEdge(from, NodeRef::FromRaw(raw));
+    }
+  }
+  std::fclose(f);
+  return storage;
+}
+
+}  // namespace graphgen

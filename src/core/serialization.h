@@ -1,0 +1,28 @@
+#ifndef GRAPHGEN_CORE_SERIALIZATION_H_
+#define GRAPHGEN_CORE_SERIALIZATION_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "graph/storage.h"
+
+namespace graphgen {
+
+/// Serializes the *expanded* view of any representation as an edge list
+/// ("u v" per line), the standardized format of §3.1(d) that external
+/// tools (NetworkX & friends) consume.
+Status SerializeEdgeList(const Graph& graph, const std::string& path);
+
+/// Serializes a condensed graph in a compact text format that preserves
+/// virtual nodes (so a deduplicated graph can be stored back and reloaded
+/// without re-running deduplication, §6.5).
+Status SerializeCondensed(const CondensedStorage& storage,
+                          const std::string& path);
+
+/// Loads a condensed graph written by SerializeCondensed.
+Result<CondensedStorage> LoadCondensed(const std::string& path);
+
+}  // namespace graphgen
+
+#endif  // GRAPHGEN_CORE_SERIALIZATION_H_

@@ -1,0 +1,90 @@
+#include "datalog/ast.h"
+
+namespace graphgen::dsl {
+
+std::string_view PredOpToString(PredOp op) {
+  switch (op) {
+    case PredOp::kEq: return "=";
+    case PredOp::kNe: return "!=";
+    case PredOp::kLt: return "<";
+    case PredOp::kLe: return "<=";
+    case PredOp::kGt: return ">";
+    case PredOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+std::string Term::ToString() const {
+  switch (kind) {
+    case Kind::kVariable: return variable;
+    case Kind::kConstant: return constant.ToString();
+    case Kind::kWildcard: return "_";
+  }
+  return "?";
+}
+
+std::string Atom::ToString() const {
+  std::string out = relation + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+std::string Comparison::ToString() const {
+  std::string out = lhs_var;
+  out += ' ';
+  out += PredOpToString(op);
+  out += ' ';
+  out += rhs_is_var ? rhs_var : rhs_const.ToString();
+  return out;
+}
+
+std::string AggregateConstraint::ToString() const {
+  return "COUNT(" + variable + ") " + std::string(PredOpToString(op)) + " " +
+         std::to_string(threshold);
+}
+
+std::string Rule::ToString() const {
+  std::string out = kind == Kind::kNodes ? "Nodes(" : "Edges(";
+  for (size_t i = 0; i < head_args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += head_args[i];
+  }
+  out += ") :- ";
+  bool first = true;
+  for (const Atom& a : body) {
+    if (!first) out += ", ";
+    out += a.ToString();
+    first = false;
+  }
+  for (const Comparison& c : comparisons) {
+    if (!first) out += ", ";
+    out += c.ToString();
+    first = false;
+  }
+  if (count_constraint.has_value()) {
+    if (!first) out += ", ";
+    out += count_constraint->ToString();
+    first = false;
+  }
+  out += ".";
+  return out;
+}
+
+std::string Program::ToString() const {
+  std::string out;
+  for (const Rule& r : nodes_rules) {
+    out += r.ToString();
+    out += '\n';
+  }
+  for (const Rule& r : edges_rules) {
+    out += r.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace graphgen::dsl

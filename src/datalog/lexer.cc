@@ -1,0 +1,179 @@
+#include "datalog/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace graphgen::dsl {
+
+namespace {
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)); }
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int column = 1;
+  size_t i = 0;
+  const size_t n = input.size();
+
+  auto make = [&](TokenType type, std::string text) {
+    Token t;
+    t.type = type;
+    t.text = std::move(text);
+    t.line = line;
+    t.column = column;
+    return t;
+  };
+  auto error = [&](const std::string& msg) {
+    return Status::ParseError(msg + " at line " + std::to_string(line) +
+                              ", column " + std::to_string(column));
+  };
+
+  while (i < n) {
+    char c = input[i];
+    if (c == '\n') {
+      ++line;
+      column = 1;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++column;
+      ++i;
+      continue;
+    }
+    if (c == '%') {  // line comment
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(input[i])) ++i;
+      Token t = make(TokenType::kIdent,
+                     std::string(input.substr(start, i - start)));
+      column += static_cast<int>(i - start);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t start = i;
+      if (c == '-') ++i;
+      bool is_integer = true;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '.')) {
+        // A '.' followed by a non-digit terminates the rule ("42." ends a
+        // statement), so only consume it when a digit follows.
+        if (input[i] == '.') {
+          if (i + 1 >= n || !std::isdigit(static_cast<unsigned char>(input[i + 1]))) {
+            break;
+          }
+          is_integer = false;
+        }
+        ++i;
+      }
+      std::string text(input.substr(start, i - start));
+      Token t = make(TokenType::kNumber, text);
+      t.number = std::strtod(text.c_str(), nullptr);
+      t.number_is_integer = is_integer;
+      column += static_cast<int>(i - start);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    switch (c) {
+      case '"': {
+        size_t start = ++i;
+        while (i < n && input[i] != '"') {
+          if (input[i] == '\n') return error("unterminated string literal");
+          ++i;
+        }
+        if (i >= n) return error("unterminated string literal");
+        Token t = make(TokenType::kString,
+                       std::string(input.substr(start, i - start)));
+        column += static_cast<int>(i - start + 2);
+        ++i;  // closing quote
+        tokens.push_back(std::move(t));
+        continue;
+      }
+      case '(':
+        tokens.push_back(make(TokenType::kLParen, "("));
+        break;
+      case ')':
+        tokens.push_back(make(TokenType::kRParen, ")"));
+        break;
+      case ',':
+        tokens.push_back(make(TokenType::kComma, ","));
+        break;
+      case '.':
+        tokens.push_back(make(TokenType::kDot, "."));
+        break;
+      case '_':
+        if (i + 1 < n && IsIdentChar(input[i + 1])) {
+          return error("identifiers may not start with '_'");
+        }
+        tokens.push_back(make(TokenType::kUnderscore, "_"));
+        break;
+      case ':':
+        if (i + 1 < n && input[i + 1] == '-') {
+          tokens.push_back(make(TokenType::kColonDash, ":-"));
+          ++i;
+          ++column;
+        } else {
+          return error("expected ':-'");
+        }
+        break;
+      case '=':
+        tokens.push_back(make(TokenType::kEq, "="));
+        break;
+      case '!':
+        if (i + 1 < n && input[i + 1] == '=') {
+          tokens.push_back(make(TokenType::kNe, "!="));
+          ++i;
+          ++column;
+        } else {
+          return error("expected '!='");
+        }
+        break;
+      case '<':
+        if (i + 1 < n && input[i + 1] == '=') {
+          tokens.push_back(make(TokenType::kLe, "<="));
+          ++i;
+          ++column;
+        } else if (i + 1 < n && input[i + 1] == '>') {
+          tokens.push_back(make(TokenType::kNe, "<>"));
+          ++i;
+          ++column;
+        } else {
+          tokens.push_back(make(TokenType::kLt, "<"));
+        }
+        break;
+      case '>':
+        if (i + 1 < n && input[i + 1] == '=') {
+          tokens.push_back(make(TokenType::kGe, ">="));
+          ++i;
+          ++column;
+        } else {
+          tokens.push_back(make(TokenType::kGt, ">"));
+        }
+        break;
+      default:
+        return error(std::string("unexpected character '") + c + "'");
+    }
+    ++i;
+    ++column;
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.line = line;
+  end.column = column;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace graphgen::dsl

@@ -1,0 +1,18 @@
+#ifndef GRAPHGEN_DATALOG_LEXER_H_
+#define GRAPHGEN_DATALOG_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/token.h"
+
+namespace graphgen::dsl {
+
+/// Tokenizes a GraphGen DSL program. Supports `%` line comments and the
+/// token set of the paper's Datalog-based DSL.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace graphgen::dsl
+
+#endif  // GRAPHGEN_DATALOG_LEXER_H_

@@ -1,0 +1,249 @@
+#include "datalog/parser.h"
+
+#include <optional>
+
+#include "datalog/lexer.h"
+
+namespace graphgen::dsl {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Program> ParseProgram() {
+    Program program;
+    while (Peek().type != TokenType::kEnd) {
+      GRAPHGEN_ASSIGN_OR_RETURN(Rule rule, ParseRule());
+      if (rule.kind == Rule::Kind::kNodes) {
+        program.nodes_rules.push_back(std::move(rule));
+      } else {
+        program.edges_rules.push_back(std::move(rule));
+      }
+    }
+    if (program.nodes_rules.empty()) {
+      return Error("program must contain at least one Nodes statement");
+    }
+    if (program.edges_rules.empty()) {
+      return Error("program must contain at least one Edges statement");
+    }
+    return program;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  Token Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+
+  Status Error(const std::string& msg) const {
+    const Token& t = Peek();
+    return Status::ParseError(msg + " at line " + std::to_string(t.line) +
+                              ", column " + std::to_string(t.column));
+  }
+
+  Result<Token> Expect(TokenType type) {
+    if (Peek().type != type) {
+      return Error("expected " + std::string(TokenTypeToString(type)) +
+                   ", found " + std::string(TokenTypeToString(Peek().type)) +
+                   (Peek().text.empty() ? "" : " '" + Peek().text + "'"));
+    }
+    return Advance();
+  }
+
+  Result<Rule> ParseRule() {
+    GRAPHGEN_ASSIGN_OR_RETURN(Token head, Expect(TokenType::kIdent));
+    Rule rule;
+    if (head.text == "Nodes") {
+      rule.kind = Rule::Kind::kNodes;
+    } else if (head.text == "Edges") {
+      rule.kind = Rule::Kind::kEdges;
+    } else {
+      return Error("rule head must be 'Nodes' or 'Edges', found '" + head.text +
+                   "'");
+    }
+    GRAPHGEN_RETURN_NOT_OK(Expect(TokenType::kLParen).status());
+    while (true) {
+      GRAPHGEN_ASSIGN_OR_RETURN(Token arg, Expect(TokenType::kIdent));
+      rule.head_args.push_back(arg.text);
+      if (Peek().type == TokenType::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    GRAPHGEN_RETURN_NOT_OK(Expect(TokenType::kRParen).status());
+    GRAPHGEN_RETURN_NOT_OK(Expect(TokenType::kColonDash).status());
+
+    while (true) {
+      GRAPHGEN_RETURN_NOT_OK(ParseLiteral(&rule));
+      if (Peek().type == TokenType::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    GRAPHGEN_RETURN_NOT_OK(Expect(TokenType::kDot).status());
+
+    const size_t min_ids = rule.kind == Rule::Kind::kNodes ? 1 : 2;
+    if (rule.head_args.size() < min_ids) {
+      return Error(rule.kind == Rule::Kind::kNodes
+                       ? "Nodes head needs at least an ID argument"
+                       : "Edges head needs at least ID1, ID2 arguments");
+    }
+    return rule;
+  }
+
+  // A literal is an atom `Rel(t, ...)`, a comparison `X > 5`, or an
+  // aggregate constraint `COUNT(X) >= 2`.
+  Status ParseLiteral(Rule* rule) {
+    if (Peek().type != TokenType::kIdent) {
+      return Error("expected relation atom or comparison");
+    }
+    if (Peek().text == "COUNT" && Peek(1).type == TokenType::kLParen) {
+      return ParseCountConstraint(rule);
+    }
+    if (Peek(1).type == TokenType::kLParen) {
+      GRAPHGEN_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
+      rule->body.push_back(std::move(atom));
+      return Status::OK();
+    }
+    GRAPHGEN_ASSIGN_OR_RETURN(Comparison cmp, ParseComparison());
+    rule->comparisons.push_back(std::move(cmp));
+    return Status::OK();
+  }
+
+  // COUNT(Var) <op> <integer>.
+  Status ParseCountConstraint(Rule* rule) {
+    if (rule->count_constraint.has_value()) {
+      return Error("a rule may have at most one COUNT constraint");
+    }
+    Advance();  // COUNT
+    GRAPHGEN_RETURN_NOT_OK(Expect(TokenType::kLParen).status());
+    GRAPHGEN_ASSIGN_OR_RETURN(Token var, Expect(TokenType::kIdent));
+    GRAPHGEN_RETURN_NOT_OK(Expect(TokenType::kRParen).status());
+    std::optional<PredOp> op = TokenToPredOp(Peek().type);
+    if (!op.has_value()) {
+      return Error("expected comparison operator after COUNT(...)");
+    }
+    Advance();
+    GRAPHGEN_ASSIGN_OR_RETURN(Token num, Expect(TokenType::kNumber));
+    if (!num.number_is_integer) {
+      return Error("COUNT threshold must be an integer");
+    }
+    AggregateConstraint agg;
+    agg.variable = var.text;
+    agg.op = *op;
+    agg.threshold = static_cast<int64_t>(num.number);
+    rule->count_constraint = agg;
+    return Status::OK();
+  }
+
+  Result<Atom> ParseAtom() {
+    GRAPHGEN_ASSIGN_OR_RETURN(Token rel, Expect(TokenType::kIdent));
+    Atom atom;
+    atom.relation = rel.text;
+    GRAPHGEN_RETURN_NOT_OK(Expect(TokenType::kLParen).status());
+    while (true) {
+      GRAPHGEN_ASSIGN_OR_RETURN(Term term, ParseTerm());
+      atom.args.push_back(std::move(term));
+      if (Peek().type == TokenType::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    GRAPHGEN_RETURN_NOT_OK(Expect(TokenType::kRParen).status());
+    return atom;
+  }
+
+  Result<Term> ParseTerm() {
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kIdent: {
+        Token tok = Advance();
+        return Term::Var(tok.text);
+      }
+      case TokenType::kUnderscore:
+        Advance();
+        return Term::Wildcard();
+      case TokenType::kNumber: {
+        Token tok = Advance();
+        if (tok.number_is_integer) {
+          return Term::Const(rel::Value(static_cast<int64_t>(tok.number)));
+        }
+        return Term::Const(rel::Value(tok.number));
+      }
+      case TokenType::kString: {
+        Token tok = Advance();
+        return Term::Const(rel::Value(tok.text));
+      }
+      default:
+        return Error("expected term (variable, constant, or '_')");
+    }
+  }
+
+  std::optional<PredOp> TokenToPredOp(TokenType t) const {
+    switch (t) {
+      case TokenType::kEq: return PredOp::kEq;
+      case TokenType::kNe: return PredOp::kNe;
+      case TokenType::kLt: return PredOp::kLt;
+      case TokenType::kLe: return PredOp::kLe;
+      case TokenType::kGt: return PredOp::kGt;
+      case TokenType::kGe: return PredOp::kGe;
+      default: return std::nullopt;
+    }
+  }
+
+  Result<Comparison> ParseComparison() {
+    GRAPHGEN_ASSIGN_OR_RETURN(Token lhs, Expect(TokenType::kIdent));
+    std::optional<PredOp> op = TokenToPredOp(Peek().type);
+    if (!op.has_value()) {
+      return Error("expected comparison operator after '" + lhs.text + "'");
+    }
+    Advance();
+    Comparison cmp;
+    cmp.lhs_var = lhs.text;
+    cmp.op = *op;
+    const Token& rhs = Peek();
+    switch (rhs.type) {
+      case TokenType::kIdent: {
+        Token tok = Advance();
+        cmp.rhs_is_var = true;
+        cmp.rhs_var = tok.text;
+        break;
+      }
+      case TokenType::kNumber: {
+        Token tok = Advance();
+        cmp.rhs_const = tok.number_is_integer
+                            ? rel::Value(static_cast<int64_t>(tok.number))
+                            : rel::Value(tok.number);
+        break;
+      }
+      case TokenType::kString: {
+        Token tok = Advance();
+        cmp.rhs_const = rel::Value(tok.text);
+        break;
+      }
+      default:
+        return Error("expected comparison right-hand side");
+    }
+    return cmp;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Program> Parse(std::string_view input) {
+  GRAPHGEN_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.ParseProgram();
+}
+
+}  // namespace graphgen::dsl

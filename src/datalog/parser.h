@@ -1,0 +1,29 @@
+#ifndef GRAPHGEN_DATALOG_PARSER_H_
+#define GRAPHGEN_DATALOG_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "datalog/ast.h"
+
+namespace graphgen::dsl {
+
+/// Parses a GraphGen DSL program, e.g.
+///
+///   Nodes(ID, Name) :- Author(ID, Name).
+///   Edges(ID1, ID2) :- AuthorPub(ID1, P), AuthorPub(ID2, P).
+///
+/// Grammar (non-recursive Datalog subset, paper §3.2):
+///   program    := rule+
+///   rule       := head ":-" body "."
+///   head       := ("Nodes" | "Edges") "(" ident ("," ident)* ")"
+///   body       := literal ("," literal)*
+///   literal    := atom | comparison
+///   atom       := ident "(" term ("," term)* ")"
+///   term       := ident | number | string | "_"
+///   comparison := ident cmpop (ident | number | string)
+Result<Program> Parse(std::string_view input);
+
+}  // namespace graphgen::dsl
+
+#endif  // GRAPHGEN_DATALOG_PARSER_H_

@@ -1,0 +1,27 @@
+#include "datalog/token.h"
+
+namespace graphgen::dsl {
+
+std::string_view TokenTypeToString(TokenType t) {
+  switch (t) {
+    case TokenType::kIdent: return "identifier";
+    case TokenType::kNumber: return "number";
+    case TokenType::kString: return "string";
+    case TokenType::kLParen: return "'('";
+    case TokenType::kRParen: return "')'";
+    case TokenType::kComma: return "','";
+    case TokenType::kColonDash: return "':-'";
+    case TokenType::kDot: return "'.'";
+    case TokenType::kUnderscore: return "'_'";
+    case TokenType::kEq: return "'='";
+    case TokenType::kNe: return "'!='";
+    case TokenType::kLt: return "'<'";
+    case TokenType::kLe: return "'<='";
+    case TokenType::kGt: return "'>'";
+    case TokenType::kGe: return "'>='";
+    case TokenType::kEnd: return "end of input";
+  }
+  return "?";
+}
+
+}  // namespace graphgen::dsl

@@ -1,0 +1,42 @@
+#ifndef GRAPHGEN_DATALOG_TOKEN_H_
+#define GRAPHGEN_DATALOG_TOKEN_H_
+
+#include <string>
+
+namespace graphgen::dsl {
+
+enum class TokenType {
+  kIdent,       // Author, ID1, courseId
+  kNumber,      // 42, 3.5
+  kString,      // "SIGMOD"
+  kLParen,      // (
+  kRParen,      // )
+  kComma,       // ,
+  kColonDash,   // :-
+  kDot,         // .
+  kUnderscore,  // _
+  kEq,          // =
+  kNe,          // != or <>
+  kLt,          // <
+  kLe,          // <=
+  kGt,          // >
+  kGe,          // >=
+  kEnd,
+};
+
+std::string_view TokenTypeToString(TokenType t);
+
+/// A lexical token with its source position (1-based line/column) for
+/// error reporting.
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  double number = 0.0;
+  bool number_is_integer = false;
+  int line = 1;
+  int column = 1;
+};
+
+}  // namespace graphgen::dsl
+
+#endif  // GRAPHGEN_DATALOG_TOKEN_H_

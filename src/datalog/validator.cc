@@ -1,0 +1,118 @@
+#include "datalog/validator.h"
+
+#include <set>
+#include <string>
+
+namespace graphgen::dsl {
+
+namespace {
+
+Status ValidateRule(const Rule& rule, const rel::Database& db) {
+  const std::string label = rule.kind == Rule::Kind::kNodes ? "Nodes" : "Edges";
+  if (rule.body.empty()) {
+    return Status::InvalidArgument(label + " rule has an empty body");
+  }
+
+  std::set<std::string> bound;
+  for (const Atom& atom : rule.body) {
+    if (atom.relation == "Nodes" || atom.relation == "Edges") {
+      return Status::InvalidArgument(
+          "recursion is not supported: '" + atom.relation +
+          "' may not appear in a rule body");
+    }
+    auto table = db.GetTable(atom.relation);
+    if (!table.ok()) {
+      return Status::InvalidArgument("unknown relation '" + atom.relation +
+                                     "' in " + label + " rule");
+    }
+    if (atom.args.size() != (*table)->NumColumns()) {
+      return Status::InvalidArgument(
+          "relation '" + atom.relation + "' has " +
+          std::to_string((*table)->NumColumns()) + " columns but the " + label +
+          " rule uses " + std::to_string(atom.args.size()));
+    }
+    for (const Term& term : atom.args) {
+      if (term.kind == Term::Kind::kVariable) bound.insert(term.variable);
+    }
+  }
+
+  for (const std::string& head_var : rule.head_args) {
+    if (!bound.contains(head_var)) {
+      return Status::InvalidArgument("head variable '" + head_var +
+                                     "' is not bound in the " + label +
+                                     " rule body");
+    }
+  }
+  if (rule.count_constraint.has_value()) {
+    if (rule.kind != Rule::Kind::kEdges) {
+      return Status::InvalidArgument(
+          "COUNT constraints are only supported in Edges rules");
+    }
+    if (!bound.contains(rule.count_constraint->variable)) {
+      return Status::InvalidArgument(
+          "COUNT variable '" + rule.count_constraint->variable +
+          "' is not bound in the rule body");
+    }
+  }
+  for (const Comparison& cmp : rule.comparisons) {
+    if (!bound.contains(cmp.lhs_var)) {
+      return Status::InvalidArgument("comparison variable '" + cmp.lhs_var +
+                                     "' is not bound in the rule body");
+    }
+    if (cmp.rhs_is_var && !bound.contains(cmp.rhs_var)) {
+      return Status::InvalidArgument("comparison variable '" + cmp.rhs_var +
+                                     "' is not bound in the rule body");
+    }
+  }
+
+  // Connectivity: treat atoms as hypergraph nodes joined by shared variables
+  // and require one connected component (otherwise the rule encodes a
+  // cartesian product, which extraction never needs).
+  const size_t n = rule.body.size();
+  std::vector<bool> reached(n, false);
+  std::vector<size_t> stack = {0};
+  reached[0] = true;
+  auto shares_var = [&](const Atom& a, const Atom& b) {
+    for (const Term& ta : a.args) {
+      if (ta.kind != Term::Kind::kVariable) continue;
+      for (const Term& tb : b.args) {
+        if (tb.kind == Term::Kind::kVariable && tb.variable == ta.variable) {
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+  while (!stack.empty()) {
+    size_t i = stack.back();
+    stack.pop_back();
+    for (size_t j = 0; j < n; ++j) {
+      if (!reached[j] && shares_var(rule.body[i], rule.body[j])) {
+        reached[j] = true;
+        stack.push_back(j);
+      }
+    }
+  }
+  for (size_t j = 0; j < n; ++j) {
+    if (!reached[j]) {
+      return Status::InvalidArgument(
+          label + " rule body is not a connected join (atom '" +
+          rule.body[j].relation + "' shares no variables)");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Validate(const Program& program, const rel::Database& db) {
+  for (const Rule& rule : program.nodes_rules) {
+    GRAPHGEN_RETURN_NOT_OK(ValidateRule(rule, db));
+  }
+  for (const Rule& rule : program.edges_rules) {
+    GRAPHGEN_RETURN_NOT_OK(ValidateRule(rule, db));
+  }
+  return Status::OK();
+}
+
+}  // namespace graphgen::dsl

@@ -1,0 +1,22 @@
+#ifndef GRAPHGEN_DATALOG_VALIDATOR_H_
+#define GRAPHGEN_DATALOG_VALIDATOR_H_
+
+#include "common/status.h"
+#include "datalog/ast.h"
+#include "relational/database.h"
+
+namespace graphgen::dsl {
+
+/// Semantic checks performed before planning (paper §3.3):
+///  - every body relation exists in the database with matching arity,
+///  - no recursion (Nodes/Edges never appear in a body),
+///  - head variables are bound by some body atom,
+///  - comparison variables are bound,
+///  - each rule's body is a connected join query.
+/// Whether the query is acyclic (Case 1) is decided later by the planner's
+/// chain analysis; the validator rejects only outright malformed programs.
+Status Validate(const Program& program, const rel::Database& db);
+
+}  // namespace graphgen::dsl
+
+#endif  // GRAPHGEN_DATALOG_VALIDATOR_H_

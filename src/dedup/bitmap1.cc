@@ -1,0 +1,100 @@
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/parallel.h"
+#include "dedup/bitmap_algorithms.h"
+
+namespace graphgen {
+
+namespace {
+
+constexpr size_t kLockShards = 512;
+
+/// Per-source DFS that fills local bitmaps using the first-visit policy:
+/// each real target and each virtual node is traversable at most once per
+/// source u (Algorithm 2, generalized to multi-layer inputs).
+class Bitmap1Builder {
+ public:
+  Bitmap1Builder(const CondensedStorage& storage,
+                 std::unordered_map<uint32_t, Bitmap>& local)
+      : storage_(storage), local_(local) {}
+
+  void Run(NodeId u) {
+    u_ = u;
+    seen_real_.clear();
+    seen_virt_.clear();
+    const auto& out = storage_.OutEdges(NodeRef::Real(u));
+    // Direct real targets are claimed first; duplicates among them were
+    // stripped by RemoveParallelEdges.
+    std::vector<uint32_t> roots;
+    for (NodeRef r : out) {
+      if (r.is_real()) {
+        if (r.index() != u) seen_real_.insert(r.index());
+      } else if (seen_virt_.insert(r.index()).second) {
+        roots.push_back(r.index());
+      }
+    }
+    for (uint32_t v : roots) Explore(v);
+  }
+
+ private:
+  void Explore(uint32_t v) {
+    const auto& out = storage_.OutEdges(NodeRef::Virtual(v));
+    Bitmap bm(out.size(), false);
+    for (size_t i = 0; i < out.size(); ++i) {
+      NodeRef r = out[i];
+      if (r.is_real()) {
+        NodeId x = r.index();
+        if (x != u_ && seen_real_.insert(x).second) bm.Set(i);
+      } else {
+        uint32_t w = r.index();
+        if (seen_virt_.insert(w).second) {
+          bm.Set(i);
+          Explore(w);
+        }
+      }
+    }
+    local_.emplace(v, std::move(bm));
+  }
+
+  const CondensedStorage& storage_;
+  std::unordered_map<uint32_t, Bitmap>& local_;
+  NodeId u_ = 0;
+  std::unordered_set<NodeId> seen_real_;
+  std::unordered_set<uint32_t> seen_virt_;
+};
+
+}  // namespace
+
+Result<BitmapGraph> BuildBitmap1(const CondensedStorage& input,
+                                 const DedupOptions& options) {
+  CondensedStorage storage = input;
+  storage.RemoveParallelEdges();
+  BitmapGraph graph(std::move(storage));
+  const CondensedStorage& s = graph.storage();
+  const size_t n = s.NumRealNodes();
+
+  std::vector<std::mutex> locks(kLockShards);
+  ParallelFor(
+      n,
+      [&](size_t begin, size_t end) {
+        std::unordered_map<uint32_t, Bitmap> local;
+        Bitmap1Builder builder(s, local);
+        for (size_t u = begin; u < end; ++u) {
+          if (s.IsDeleted(static_cast<NodeId>(u))) continue;
+          local.clear();
+          builder.Run(static_cast<NodeId>(u));
+          for (auto& [v, bm] : local) {
+            std::lock_guard<std::mutex> guard(locks[v % kLockShards]);
+            graph.MutableBitmapsFor(v).emplace(static_cast<NodeId>(u),
+                                               std::move(bm));
+          }
+        }
+      },
+      options.threads);
+  return graph;
+}
+
+}  // namespace graphgen

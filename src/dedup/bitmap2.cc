@@ -1,0 +1,196 @@
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/parallel.h"
+#include "dedup/bitmap_algorithms.h"
+
+namespace graphgen {
+
+namespace {
+
+constexpr size_t kLockShards = 512;
+
+/// Per-source greedy set-cover pass (§5.1.3). Virtual nodes are adopted in
+/// decreasing order of the number of still-uncovered real targets they can
+/// reach; adopted nodes receive bitmaps claiming exactly the fresh
+/// targets, and useless top-level membership edges are queued for
+/// deletion.
+class Bitmap2Builder {
+ public:
+  Bitmap2Builder(const CondensedStorage& storage,
+                 std::unordered_map<uint32_t, Bitmap>& local_bitmaps,
+                 std::vector<uint32_t>& edge_deletions)
+      : storage_(storage),
+        local_(local_bitmaps),
+        deletions_(edge_deletions) {}
+
+  void Run(NodeId u) {
+    u_ = u;
+    covered_.clear();
+    seen_virt_.clear();
+    const auto& out = storage_.OutEdges(NodeRef::Real(u));
+    std::vector<uint32_t> roots;
+    for (NodeRef r : out) {
+      if (r.is_real()) {
+        if (r.index() != u) covered_.insert(r.index());
+      } else if (seen_virt_.insert(r.index()).second) {
+        roots.push_back(r.index());
+      }
+    }
+    // Greedy over top-level virtual nodes: adopt the one reaching the most
+    // uncovered targets; delete membership edges that contribute nothing.
+    std::vector<bool> done(roots.size(), false);
+    for (size_t round = 0; round < roots.size(); ++round) {
+      size_t best_i = roots.size();
+      size_t best_gain = 0;
+      for (size_t i = 0; i < roots.size(); ++i) {
+        if (done[i]) continue;
+        size_t gain = CountUncoveredReachable(roots[i]);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_i = i;
+        }
+      }
+      if (best_i == roots.size()) {
+        // Nothing left to gain: delete the remaining membership edges
+        // ("there is no reason to traverse those", §5.1.3).
+        for (size_t i = 0; i < roots.size(); ++i) {
+          if (!done[i]) deletions_.push_back(roots[i]);
+        }
+        break;
+      }
+      done[best_i] = true;
+      Explore(roots[best_i]);
+    }
+  }
+
+ private:
+  /// |reachable real targets of v not yet covered|, honoring already-
+  /// explored virtual nodes (their contribution is fixed).
+  size_t CountUncoveredReachable(uint32_t v) {
+    size_t count = 0;
+    scratch_visited_.clear();
+    std::vector<uint32_t> stack = {v};
+    scratch_visited_.insert(v);
+    scratch_reals_.clear();
+    while (!stack.empty()) {
+      uint32_t w = stack.back();
+      stack.pop_back();
+      for (NodeRef r : storage_.OutEdges(NodeRef::Virtual(w))) {
+        if (r.is_real()) {
+          NodeId x = r.index();
+          if (x != u_ && !covered_.contains(x) &&
+              scratch_reals_.insert(x).second) {
+            ++count;
+          }
+        } else if (!seen_virt_.contains(r.index()) &&
+                   scratch_visited_.insert(r.index()).second) {
+          stack.push_back(r.index());
+        }
+      }
+    }
+    return count;
+  }
+
+  /// Adopts virtual node v: installs its bitmap, claims fresh real
+  /// targets, and recursively adopts the most profitable virtual children
+  /// (the per-layer greedy of §5.1.3). v must already be in seen_virt_
+  /// when it is a root; descendants are added here.
+  void Explore(uint32_t v) {
+    const auto& out = storage_.OutEdges(NodeRef::Virtual(v));
+    Bitmap bm(out.size(), false);
+    // Claim fresh real targets first.
+    for (size_t i = 0; i < out.size(); ++i) {
+      NodeRef r = out[i];
+      if (r.is_real()) {
+        NodeId x = r.index();
+        if (x != u_ && covered_.insert(x).second) bm.Set(i);
+      }
+    }
+    // Then descend into virtual children, best-gain first.
+    while (true) {
+      size_t best_i = out.size();
+      size_t best_gain = 0;
+      for (size_t i = 0; i < out.size(); ++i) {
+        NodeRef r = out[i];
+        if (!r.is_virtual() || seen_virt_.contains(r.index())) continue;
+        size_t gain = CountUncoveredReachable(r.index());
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_i = i;
+        }
+      }
+      if (best_i == out.size()) break;
+      uint32_t w = out[best_i].index();
+      seen_virt_.insert(w);
+      bm.Set(best_i);
+      Explore(w);
+    }
+    local_.emplace(v, std::move(bm));
+  }
+
+  const CondensedStorage& storage_;
+  std::unordered_map<uint32_t, Bitmap>& local_;
+  std::vector<uint32_t>& deletions_;
+  NodeId u_ = 0;
+  std::unordered_set<NodeId> covered_;
+  std::unordered_set<uint32_t> seen_virt_;
+  std::unordered_set<uint32_t> scratch_visited_;
+  std::unordered_set<NodeId> scratch_reals_;
+};
+
+}  // namespace
+
+Result<BitmapGraph> BuildBitmap2(const CondensedStorage& input,
+                                 const DedupOptions& options) {
+  CondensedStorage storage = input;
+  storage.RemoveParallelEdges();
+  BitmapGraph graph(std::move(storage));
+  const CondensedStorage& s = graph.storage();
+  const size_t n = s.NumRealNodes();
+
+  std::vector<std::mutex> locks(kLockShards);
+  std::mutex deletions_lock;
+  // (u, v) membership edges to delete, applied after the parallel phase so
+  // shared in-lists are never mutated concurrently.
+  std::vector<std::pair<NodeId, uint32_t>> all_deletions;
+
+  ParallelFor(
+      n,
+      [&](size_t begin, size_t end) {
+        std::unordered_map<uint32_t, Bitmap> local;
+        std::vector<uint32_t> deletions;
+        Bitmap2Builder builder(s, local, deletions);
+        for (size_t u = begin; u < end; ++u) {
+          if (s.IsDeleted(static_cast<NodeId>(u))) continue;
+          local.clear();
+          deletions.clear();
+          builder.Run(static_cast<NodeId>(u));
+          for (auto& [v, bm] : local) {
+            // All-ones bitmaps add no information beyond "traverse all";
+            // skipping them is a pure memory optimization.
+            if (!bm.AllOne()) {
+              std::lock_guard<std::mutex> guard(locks[v % kLockShards]);
+              graph.MutableBitmapsFor(v).emplace(static_cast<NodeId>(u),
+                                                 std::move(bm));
+            }
+          }
+          if (!deletions.empty()) {
+            std::lock_guard<std::mutex> guard(deletions_lock);
+            for (uint32_t v : deletions) {
+              all_deletions.emplace_back(static_cast<NodeId>(u), v);
+            }
+          }
+        }
+      },
+      options.threads);
+
+  for (const auto& [u, v] : all_deletions) {
+    graph.mutable_storage().RemoveEdge(NodeRef::Real(u), NodeRef::Virtual(v));
+  }
+  return graph;
+}
+
+}  // namespace graphgen

@@ -1,0 +1,34 @@
+#ifndef GRAPHGEN_DEDUP_BITMAP_ALGORITHMS_H_
+#define GRAPHGEN_DEDUP_BITMAP_ALGORITHMS_H_
+
+#include "common/status.h"
+#include "dedup/ordering.h"
+#include "graph/storage.h"
+#include "repr/bitmap_graph.h"
+
+namespace graphgen {
+
+/// BITMAP-1 (§5.1.1): the simple preprocessing pass. For every real node
+/// u, a DFS from u_s installs a bitmap at each virtual node visited; a bit
+/// is 1 iff following that out-edge reaches something not yet seen on
+/// behalf of u. Keeps every condensed edge of C-DUP (minus exact parallel
+/// duplicates) and installs the largest number of bitmaps.
+///
+/// Works for single- and multi-layer graphs: bits over virtual-virtual
+/// out-edges suppress re-entering already-visited virtual nodes.
+Result<BitmapGraph> BuildBitmap1(const CondensedStorage& input,
+                                 const DedupOptions& options = {});
+
+/// BITMAP-2 (§5.1.3): greedy-set-cover preprocessing. For each real node
+/// u, virtual out-neighbors are adopted in decreasing order of how many
+/// still-uncovered real targets they reach; adopted nodes get a bitmap
+/// whose set bits claim exactly the fresh targets, and top-level edges to
+/// virtual nodes contributing nothing are deleted. Multi-layer graphs are
+/// handled by applying the same principle at each layer (§5.1.3).
+/// Parallelized over real nodes (chunked, §5.1.3).
+Result<BitmapGraph> BuildBitmap2(const CondensedStorage& input,
+                                 const DedupOptions& options = {});
+
+}  // namespace graphgen
+
+#endif  // GRAPHGEN_DEDUP_BITMAP_ALGORITHMS_H_

@@ -1,0 +1,48 @@
+#ifndef GRAPHGEN_DEDUP_DEDUP1_ALGORITHMS_H_
+#define GRAPHGEN_DEDUP_DEDUP1_ALGORITHMS_H_
+
+#include "common/status.h"
+#include "dedup/ordering.h"
+#include "graph/storage.h"
+#include "repr/dedup1_graph.h"
+
+namespace graphgen {
+
+/// The four DEDUP-1 deduplication algorithms of §5.2.1. Each consumes a
+/// single-layer C-DUP condensed graph and produces an equivalent DEDUP-1
+/// graph with at most one path between any two distinct real nodes.
+/// All return kInvalidArgument for multi-layer inputs (the paper's
+/// recommendation is to flatten first; see FlattenToSingleLayer).
+
+/// Adds virtual nodes one at a time to an initially virtual-free graph,
+/// resolving pairwise overlaps with the earlier-processed virtual nodes by
+/// removing shared target edges (random pick, lower-in-degree side) and
+/// compensating with direct edges.
+Result<Dedup1Graph> NaiveVirtualNodesFirst(const CondensedStorage& input,
+                                           const DedupOptions& options = {});
+
+/// Processes real nodes in order; for each, removes all duplication among
+/// that node's virtual neighborhood (processed-set local to the node).
+Result<Dedup1Graph> NaiveRealNodesFirst(const CondensedStorage& input,
+                                        const DedupOptions& options = {});
+
+/// Greedy set-cover-inspired per-real-node deduplication: keeps the
+/// virtual memberships with the best edge-saving benefit, detaches
+/// overlapping targets, and falls back to direct edges (§5.2.1, Alg. 4).
+Result<Dedup1Graph> GreedyRealNodesFirst(const CondensedStorage& input,
+                                         const DedupOptions& options = {});
+
+/// Greedy vertex-cover-inspired virtual-nodes-first deduplication: picks
+/// which shared target to cut by the best benefit/cost ratio (§5.2.1,
+/// Alg. 3).
+Result<Dedup1Graph> GreedyVirtualNodesFirst(const CondensedStorage& input,
+                                            const DedupOptions& options = {});
+
+/// Converts a multi-layer condensed graph to single-layer by expanding all
+/// virtual nodes in every layer but one (§5.2.2). Use only when this does
+/// not blow up memory; the alternative for multi-layer graphs is BITMAP-2.
+CondensedStorage FlattenToSingleLayer(const CondensedStorage& input);
+
+}  // namespace graphgen
+
+#endif  // GRAPHGEN_DEDUP_DEDUP1_ALGORITHMS_H_

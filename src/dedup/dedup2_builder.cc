@@ -1,0 +1,193 @@
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "dedup/dedup2_builder.h"
+#include "dedup/detail.h"
+
+namespace graphgen {
+
+namespace {
+
+using dedup_internal::InReals;
+using dedup_internal::OutReals;
+
+/// Incorporates one input clique S into the partial DEDUP-2 graph,
+/// preserving both invariants (see header).
+void AddClique(Dedup2Graph& g, const std::vector<NodeId>& s) {
+  if (s.size() < 2) return;
+
+  // Most-overlapping existing virtual node.
+  std::unordered_map<uint32_t, size_t> counts;
+  for (NodeId x : s) {
+    for (uint32_t v : g.MembershipOf(x)) ++counts[v];
+  }
+  uint32_t v1 = 0xFFFFFFFFu;
+  size_t overlap = 0;
+  for (const auto& [v, c] : counts) {
+    if (c > overlap) {
+      overlap = c;
+      v1 = v;
+    }
+  }
+
+  std::unordered_set<NodeId> sset(s.begin(), s.end());
+
+  if (overlap >= 2) {
+    // Split V1 into W1 = V1 ∩ S and W2 = V1 − S (if the overlap is
+    // proper), joined by a virtual edge and inheriting V1's neighbors.
+    std::vector<NodeId> m1 = g.Members(v1);
+    std::vector<NodeId> w1set;
+    std::vector<NodeId> w2set;
+    for (NodeId x : m1) {
+      (sset.contains(x) ? w1set : w2set).push_back(x);
+    }
+    uint32_t w1 = v1;
+    if (!w2set.empty()) {
+      std::vector<uint32_t> neighbors = g.VirtualNeighbors(v1);
+      w1 = g.AddVirtualNode(w1set);
+      uint32_t w2 = g.AddVirtualNode(w2set);
+      g.AddVirtualEdge(w1, w2);
+      for (uint32_t c : neighbors) {
+        g.AddVirtualEdge(w1, c);
+        g.AddVirtualEdge(w2, c);
+        g.RemoveVirtualEdge(v1, c);
+      }
+      for (NodeId m : m1) g.DetachMember(v1, m);
+    }
+
+    // Remainder of S not covered by W1.
+    std::vector<NodeId> remainder;
+    {
+      std::unordered_set<NodeId> w1lookup(w1set.begin(), w1set.end());
+      for (NodeId x : s) {
+        if (!w1lookup.contains(x)) remainder.push_back(x);
+      }
+    }
+    if (!remainder.empty()) {
+      // Nodes already adjacent to w1's neighborhood keep their existing
+      // connections; the disjoint part W3 can safely attach to w1.
+      std::unordered_set<NodeId> nu;
+      for (uint32_t c : g.VirtualNeighbors(w1)) {
+        for (NodeId y : g.Members(c)) nu.insert(y);
+      }
+      std::vector<NodeId> w3;
+      std::unordered_set<NodeId> w1lookup(g.Members(w1).begin(),
+                                          g.Members(w1).end());
+      for (NodeId x : remainder) {
+        if (nu.contains(x)) continue;
+        // x may join W3 only if it is not yet connected to any W1 member
+        // or already-chosen W3 member (otherwise w3--w1 would duplicate).
+        bool clean = true;
+        for (NodeId y : g.Members(w1)) {
+          if (g.ExistsEdge(x, y)) {
+            clean = false;
+            break;
+          }
+        }
+        if (clean) {
+          for (NodeId y : w3) {
+            if (g.ExistsEdge(x, y)) {
+              clean = false;
+              break;
+            }
+          }
+        }
+        if (clean) w3.push_back(x);
+      }
+      if (!w3.empty()) {
+        uint32_t w3id = g.AddVirtualNode(w3);
+        g.AddVirtualEdge(w3id, w1);
+      }
+      // Structure the remainder recursively (it is itself a clique) so
+      // its internal pairs get covered by shared virtual nodes rather
+      // than pair nodes. Strictly smaller than s, so this terminates.
+      if (remainder.size() >= 2 && remainder.size() < s.size()) {
+        AddClique(g, remainder);
+      }
+    }
+  } else {
+    // No significant overlap: cover the mutually fresh part of S with a
+    // new virtual node.
+    std::vector<NodeId> fresh;
+    for (NodeId x : s) {
+      bool clean = true;
+      for (NodeId y : fresh) {
+        if (g.ExistsEdge(x, y)) {
+          clean = false;
+          break;
+        }
+      }
+      if (clean) fresh.push_back(x);
+    }
+    if (fresh.size() >= 2) g.AddVirtualNode(fresh);
+    if (fresh.size() < s.size()) {
+      std::vector<NodeId> leftover;
+      std::unordered_set<NodeId> fresh_set(fresh.begin(), fresh.end());
+      for (NodeId x : s) {
+        if (!fresh_set.contains(x)) leftover.push_back(x);
+      }
+      if (leftover.size() >= 2 && leftover.size() < s.size()) {
+        AddClique(g, leftover);
+      }
+    }
+  }
+
+  // Residual pairs (already-connected pairs no-op inside AddEdge).
+  for (size_t i = 0; i < s.size(); ++i) {
+    for (size_t j = i + 1; j < s.size(); ++j) {
+      Status st = g.AddEdge(s[i], s[j]);
+      (void)st;
+    }
+  }
+}
+
+}  // namespace
+
+Result<Dedup2Graph> BuildDedup2(const CondensedStorage& input,
+                                const DedupOptions& options) {
+  if (!input.IsSingleLayer()) {
+    return Status::InvalidArgument(
+        "DEDUP-2 requires a single-layer condensed graph");
+  }
+  // DEDUP-2 is defined for symmetric graphs (<u->v> implies <v->u>).
+  for (uint32_t v = 0; v < input.NumVirtualNodes(); ++v) {
+    if (InReals(input, v) != OutReals(input, v)) {
+      return Status::InvalidArgument(
+          "DEDUP-2 requires a symmetric condensed graph (I(V) == O(V) for "
+          "every virtual node); virtual node " +
+          std::to_string(v) + " is asymmetric");
+    }
+  }
+
+  Dedup2Graph g(input.NumRealNodes());
+  g.properties() = input.properties();
+  for (NodeId u = 0; u < input.NumRealNodes(); ++u) {
+    if (input.IsDeleted(u)) {
+      Status st = g.DeleteVertex(u);
+      (void)st;
+    }
+  }
+
+  std::vector<uint32_t> order =
+      OrderVirtualNodes(input, options.ordering, options.seed);
+  // Deduplicate clique processing: larger cliques benefit from going
+  // first under kDegreeDesc; the option chooses.
+  for (uint32_t vin : order) {
+    AddClique(g, OutReals(input, vin));
+  }
+
+  // Direct input edges become pair virtual nodes (no-op when covered).
+  for (NodeId u = 0; u < input.NumRealNodes(); ++u) {
+    for (NodeRef r : input.OutEdges(NodeRef::Real(u))) {
+      if (r.is_real() && r.index() != u) {
+        Status st = g.AddEdge(u, r.index());
+        (void)st;
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace graphgen

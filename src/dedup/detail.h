@@ -1,0 +1,144 @@
+#ifndef GRAPHGEN_DEDUP_DETAIL_H_
+#define GRAPHGEN_DEDUP_DETAIL_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/storage.h"
+
+namespace graphgen::dedup_internal {
+
+/// True if a directed path u_s -> ... -> v_t exists (u != v). Linear DFS
+/// with early exit, used for "not already connected" compensation checks.
+inline bool PathExists(const CondensedStorage& s, NodeId u, NodeId v) {
+  if (u == v) return false;
+  std::vector<NodeRef> stack(s.OutEdges(NodeRef::Real(u)).begin(),
+                             s.OutEdges(NodeRef::Real(u)).end());
+  while (!stack.empty()) {
+    NodeRef r = stack.back();
+    stack.pop_back();
+    if (r.is_real()) {
+      if (r.index() == v) return true;
+      continue;
+    }
+    const auto& out = s.OutEdges(r);
+    stack.insert(stack.end(), out.begin(), out.end());
+  }
+  return false;
+}
+
+/// Real targets O(V) of a single-layer virtual node (sorted, unique).
+inline std::vector<NodeId> OutReals(const CondensedStorage& s, uint32_t v) {
+  std::vector<NodeId> out;
+  for (NodeRef r : s.OutEdges(NodeRef::Virtual(v))) {
+    if (r.is_real()) out.push_back(r.index());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+/// Real sources I(V) of a single-layer virtual node (sorted, unique).
+inline std::vector<NodeId> InReals(const CondensedStorage& s, uint32_t v) {
+  std::vector<NodeId> in;
+  for (NodeRef r : s.InEdges(NodeRef::Virtual(v))) {
+    if (r.is_real()) in.push_back(r.index());
+  }
+  std::sort(in.begin(), in.end());
+  in.erase(std::unique(in.begin(), in.end()), in.end());
+  return in;
+}
+
+/// Sorted-vector intersection.
+inline std::vector<NodeId> Intersect(const std::vector<NodeId>& a,
+                                     const std::vector<NodeId>& b) {
+  std::vector<NodeId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+/// Duplication test between two virtual nodes V and W of a single-layer
+/// graph: a duplicate pair (u, x), u != x, exists iff u ∈ I(V)∩I(W) and
+/// x ∈ O(V)∩O(W). (For symmetric graphs where I == O this reduces to the
+/// paper's |O(V)∩O(W)| > 1 test.)
+inline bool HasDuplication(const std::vector<NodeId>& shared_in,
+                           const std::vector<NodeId>& shared_out) {
+  if (shared_in.empty() || shared_out.empty()) return false;
+  if (shared_in.size() > 1 || shared_out.size() > 1) return true;
+  return shared_in[0] != shared_out[0];
+}
+
+/// Removes the edge V -> r and compensates: every real source w ∈ I(V)
+/// that loses its only path to r gets a direct edge w -> r (§5.2.1, the
+/// shared edge-removal step of the Virtual/Real-Nodes-First algorithms).
+inline void DetachTargetWithCompensation(CondensedStorage& s, uint32_t v,
+                                         NodeId r) {
+  NodeRef vref = NodeRef::Virtual(v);
+  if (!s.RemoveEdge(vref, NodeRef::Real(r))) return;
+  for (NodeRef w : s.InEdges(vref)) {
+    if (!w.is_real() || w.index() == r) continue;
+    if (!PathExists(s, w.index(), r)) {
+      s.AddEdge(w, NodeRef::Real(r));
+    }
+  }
+}
+
+/// Direct (real -> real) out-neighbors of u.
+inline std::vector<NodeId> DirectTargets(const CondensedStorage& s, NodeId u) {
+  std::vector<NodeId> out;
+  for (NodeRef r : s.OutEdges(NodeRef::Real(u))) {
+    if (r.is_real()) out.push_back(r.index());
+  }
+  return out;
+}
+
+/// Distinct virtual out-neighbors of u.
+inline std::vector<uint32_t> VirtualTargets(const CondensedStorage& s,
+                                            NodeId u) {
+  std::vector<uint32_t> out;
+  for (NodeRef r : s.OutEdges(NodeRef::Real(u))) {
+    if (r.is_virtual()) out.push_back(r.index());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+/// Copies real nodes, direct real->real edges, properties, and deletion
+/// marks of `input` — the "graph containing only the real nodes and no
+/// virtual nodes" starting point of the Virtual-Nodes-First algorithms.
+inline CondensedStorage CopyRealSkeleton(const CondensedStorage& input) {
+  CondensedStorage g;
+  g.AddRealNodes(input.NumRealNodes());
+  for (NodeId u = 0; u < input.NumRealNodes(); ++u) {
+    for (NodeRef r : input.OutEdges(NodeRef::Real(u))) {
+      if (r.is_real()) g.AddEdge(NodeRef::Real(u), r);
+    }
+  }
+  g.properties() = input.properties();
+  for (NodeId u = 0; u < input.NumRealNodes(); ++u) {
+    if (input.IsDeleted(u)) g.DeleteRealNode(u);
+  }
+  return g;
+}
+
+/// Removes duplicated logical edges between u's direct targets and the
+/// virtual node v: if u ∈ I(v) and x ∈ O(v) while a direct edge u -> x
+/// also exists, the direct edge is dropped (the virtual path is kept).
+inline void DropDirectEdgesCoveredBy(CondensedStorage& g, uint32_t v) {
+  std::vector<NodeId> outs = OutReals(g, v);
+  for (NodeRef w : std::vector<NodeRef>(g.InEdges(NodeRef::Virtual(v)))) {
+    if (!w.is_real()) continue;
+    for (NodeId x : DirectTargets(g, w.index())) {
+      if (x != w.index() &&
+          std::binary_search(outs.begin(), outs.end(), x)) {
+        g.RemoveEdge(w, NodeRef::Real(x));
+      }
+    }
+  }
+}
+
+}  // namespace graphgen::dedup_internal
+
+#endif  // GRAPHGEN_DEDUP_DETAIL_H_

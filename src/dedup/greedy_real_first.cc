@@ -1,0 +1,134 @@
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "dedup/dedup1_algorithms.h"
+#include "dedup/detail.h"
+
+namespace graphgen {
+
+namespace {
+
+using dedup_internal::DirectTargets;
+using dedup_internal::OutReals;
+using dedup_internal::PathExists;
+using dedup_internal::VirtualTargets;
+
+}  // namespace
+
+Result<Dedup1Graph> GreedyRealNodesFirst(const CondensedStorage& input,
+                                         const DedupOptions& options) {
+  if (!input.IsSingleLayer()) {
+    return Status::InvalidArgument(
+        "GreedyRealNodesFirst requires a single-layer condensed graph; "
+        "use FlattenToSingleLayer or BITMAP-2 for multi-layer inputs");
+  }
+  CondensedStorage g = input;
+  g.RemoveParallelEdges();
+  std::vector<NodeId> order =
+      OrderRealNodes(input, options.ordering, options.seed);
+
+  for (NodeId u : order) {
+    // covered[x] = the virtual node through which u currently reaches x,
+    // or kDirect when reached by a direct edge.
+    constexpr uint32_t kDirect = 0xFFFFFFFFu;
+    std::unordered_map<NodeId, uint32_t> covered;
+
+    // Start from the direct edges (dropping exact duplicates).
+    {
+      std::vector<NodeId> direct = DirectTargets(g, u);
+      for (NodeId x : direct) {
+        if (x == u || covered.contains(x)) {
+          g.RemoveEdge(NodeRef::Real(u), NodeRef::Real(x));
+          continue;
+        }
+        covered.emplace(x, kDirect);
+      }
+    }
+
+    std::vector<uint32_t> candidates = VirtualTargets(g, u);
+    std::vector<bool> decided(candidates.size(), false);
+
+    while (true) {
+      // Greedy step: pick the candidate whose adoption saves the most
+      // edges (new coverage minus estimated overlap-resolution cost).
+      long best_benefit = 0;
+      size_t best_i = candidates.size();
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        if (decided[i]) continue;
+        uint32_t v = candidates[i];
+        long fresh = 0;
+        long cost = 0;
+        for (NodeId x : OutReals(g, v)) {
+          if (x == u) continue;
+          auto it = covered.find(x);
+          if (it == covered.end()) {
+            ++fresh;
+          } else if (it->second == kDirect) {
+            --cost;  // dropping the direct edge saves one edge
+          } else {
+            uint32_t w = it->second;
+            size_t iv = g.InEdges(NodeRef::Virtual(v)).size();
+            size_t iw = g.InEdges(NodeRef::Virtual(w)).size();
+            cost += static_cast<long>(std::min(iv, iw)) - 1;
+          }
+        }
+        // Not adopting v costs `fresh` direct edges minus the u->v edge we
+        // would drop; adopting costs the overlap resolution.
+        long benefit = (fresh - 1) - cost;
+        if (fresh > 0 && benefit > best_benefit) {
+          best_benefit = benefit;
+          best_i = i;
+        }
+      }
+      if (best_i == candidates.size()) break;
+
+      uint32_t v = candidates[best_i];
+      decided[best_i] = true;
+      for (NodeId x : OutReals(g, v)) {
+        if (x == u) continue;
+        auto it = covered.find(x);
+        if (it == covered.end()) {
+          covered.emplace(x, v);
+          continue;
+        }
+        if (it->second == kDirect) {
+          // Keep the virtual path, drop the direct edge.
+          g.RemoveEdge(NodeRef::Real(u), NodeRef::Real(x));
+          it->second = v;
+          continue;
+        }
+        // x reachable via both v and the earlier adoptee w: detach x from
+        // the side with the lower in-degree and compensate (§5.2.1).
+        uint32_t w = it->second;
+        uint32_t side = g.InEdges(NodeRef::Virtual(v)).size() <=
+                                g.InEdges(NodeRef::Virtual(w)).size()
+                            ? v
+                            : w;
+        dedup_internal::DetachTargetWithCompensation(g, side, x);
+        it->second = side == v ? w : v;
+      }
+    }
+
+    // Candidates not adopted: drop u's membership edge and compensate the
+    // lost (u, y) pairs with direct edges.
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (decided[i]) continue;
+      uint32_t v = candidates[i];
+      std::vector<NodeId> outs = OutReals(g, v);
+      g.RemoveEdge(NodeRef::Real(u), NodeRef::Virtual(v));
+      for (NodeId y : outs) {
+        if (y == u) continue;
+        if (!covered.contains(y) && !PathExists(g, u, y)) {
+          g.AddEdge(NodeRef::Real(u), NodeRef::Real(y));
+          covered.emplace(y, kDirect);
+        }
+      }
+    }
+  }
+  g.CompactVirtualNodes();
+  return Dedup1Graph(std::move(g));
+}
+
+}  // namespace graphgen

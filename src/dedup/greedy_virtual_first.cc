@@ -1,0 +1,143 @@
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "dedup/dedup1_algorithms.h"
+#include "dedup/detail.h"
+
+namespace graphgen {
+
+namespace {
+
+using dedup_internal::HasDuplication;
+using dedup_internal::InReals;
+using dedup_internal::Intersect;
+using dedup_internal::OutReals;
+using dedup_internal::VirtualTargets;
+
+/// One (real node, side) removal option considered by the vertex-cover
+/// style heuristic (§5.2.1, Greedy Virtual Nodes First).
+struct RemovalOption {
+  uint32_t side = 0;   // virtual node losing the edge
+  NodeId target = 0;   // shared real target r
+  double ratio = -1.0;
+};
+
+}  // namespace
+
+Result<Dedup1Graph> GreedyVirtualNodesFirst(const CondensedStorage& input,
+                                            const DedupOptions& options) {
+  if (!input.IsSingleLayer()) {
+    return Status::InvalidArgument(
+        "GreedyVirtualNodesFirst requires a single-layer condensed graph; "
+        "use FlattenToSingleLayer or BITMAP-2 for multi-layer inputs");
+  }
+  CondensedStorage g = dedup_internal::CopyRealSkeleton(input);
+  std::vector<uint32_t> order =
+      OrderVirtualNodes(input, options.ordering, options.seed);
+
+  for (uint32_t vin : order) {
+    std::vector<NodeId> outs = OutReals(input, vin);
+    std::vector<NodeId> ins = InReals(input, vin);
+    if (outs.empty() && ins.empty()) continue;
+    uint32_t nv = g.AddVirtualNode();
+    for (NodeId u : ins) g.AddEdge(NodeRef::Real(u), NodeRef::Virtual(nv));
+    for (NodeId x : outs) g.AddEdge(NodeRef::Virtual(nv), NodeRef::Real(x));
+
+    dedup_internal::DropDirectEdgesCoveredBy(g, nv);
+
+    // Virtual nodes that share at least one source with nv.
+    std::vector<uint32_t> relevant;
+    for (NodeId u : InReals(g, nv)) {
+      for (uint32_t w : VirtualTargets(g, u)) {
+        if (w != nv) relevant.push_back(w);
+      }
+    }
+    std::sort(relevant.begin(), relevant.end());
+    relevant.erase(std::unique(relevant.begin(), relevant.end()),
+                   relevant.end());
+
+    bool more_dedup = true;
+    while (more_dedup) {
+      more_dedup = false;
+      // Gather all current overlaps C_i = O(nv) ∩ O(V_i) with duplication.
+      std::vector<NodeId> nv_out = OutReals(g, nv);
+      std::vector<NodeId> nv_in = InReals(g, nv);
+      std::vector<std::pair<uint32_t, std::vector<NodeId>>> conflicts;
+      for (uint32_t w : relevant) {
+        std::vector<NodeId> shared_in = Intersect(nv_in, InReals(g, w));
+        std::vector<NodeId> shared_out = Intersect(nv_out, OutReals(g, w));
+        if (HasDuplication(shared_in, shared_out)) {
+          conflicts.emplace_back(w, std::move(shared_out));
+        }
+      }
+      if (conflicts.empty()) break;
+      more_dedup = true;
+
+      // Count, for each shared target r, how many conflicts it appears in:
+      // removing r from O(nv) resolves all of them at once (the "higher
+      // benefit" case of the paper).
+      std::unordered_map<NodeId, int> appearance;
+      for (const auto& [w, shared] : conflicts) {
+        for (NodeId r : shared) ++appearance[r];
+      }
+
+      RemovalOption best;
+      const double nv_cost =
+          static_cast<double>(g.InEdges(NodeRef::Virtual(nv)).size());
+      for (const auto& [w, shared] : conflicts) {
+        const double w_cost =
+            static_cast<double>(g.InEdges(NodeRef::Virtual(w)).size());
+        for (NodeId r : shared) {
+          // Option A: remove r from O(nv) — benefit = #conflicts containing
+          // r, cost ~ in-degree of nv (compensation edges).
+          double ratio_a = static_cast<double>(appearance[r]) / (nv_cost + 1);
+          if (ratio_a > best.ratio) best = {nv, r, ratio_a};
+          // Option B: remove r from O(w) — benefit 1, cost ~ in-degree of w.
+          double ratio_b = 1.0 / (w_cost + 1);
+          if (ratio_b > best.ratio) best = {w, r, ratio_b};
+        }
+      }
+      if (best.ratio < 0) break;
+      dedup_internal::DetachTargetWithCompensation(g, best.side, best.target);
+    }
+  }
+  g.CompactVirtualNodes();
+  return Dedup1Graph(std::move(g));
+}
+
+CondensedStorage FlattenToSingleLayer(const CondensedStorage& input) {
+  CondensedStorage g = input;
+  // Repeatedly expand the deepest-layer virtual nodes (those with virtual
+  // in-edges but no virtual out-edges) until no virtual-virtual edge
+  // remains.
+  bool changed = true;
+  while (changed && !g.IsSingleLayer()) {
+    changed = false;
+    for (uint32_t v = 0; v < g.NumVirtualNodes(); ++v) {
+      const auto& out = g.OutEdges(NodeRef::Virtual(v));
+      bool has_virtual_out = false;
+      for (NodeRef r : out) {
+        if (r.is_virtual()) {
+          has_virtual_out = true;
+          break;
+        }
+      }
+      if (has_virtual_out) continue;
+      bool has_virtual_in = false;
+      for (NodeRef r : g.InEdges(NodeRef::Virtual(v))) {
+        if (r.is_virtual()) {
+          has_virtual_in = true;
+          break;
+        }
+      }
+      if (!has_virtual_in) continue;
+      g.ExpandVirtualNode(v);
+      changed = true;
+    }
+  }
+  g.CompactVirtualNodes();
+  return g;
+}
+
+}  // namespace graphgen

@@ -1,0 +1,71 @@
+#include <vector>
+
+#include "common/rng.h"
+#include "dedup/dedup1_algorithms.h"
+#include "dedup/detail.h"
+
+namespace graphgen {
+
+namespace {
+
+using dedup_internal::HasDuplication;
+using dedup_internal::InReals;
+using dedup_internal::Intersect;
+using dedup_internal::OutReals;
+using dedup_internal::VirtualTargets;
+
+}  // namespace
+
+Result<Dedup1Graph> NaiveRealNodesFirst(const CondensedStorage& input,
+                                        const DedupOptions& options) {
+  if (!input.IsSingleLayer()) {
+    return Status::InvalidArgument(
+        "NaiveRealNodesFirst requires a single-layer condensed graph; "
+        "use FlattenToSingleLayer or BITMAP-2 for multi-layer inputs");
+  }
+  Rng rng(options.seed);
+  CondensedStorage g = input;
+  g.RemoveParallelEdges();
+  std::vector<NodeId> order =
+      OrderRealNodes(input, options.ordering, options.seed);
+
+  for (NodeId u : order) {
+    // The processed set is local to u's virtual neighborhood (§5.2.1).
+    std::vector<uint32_t> processed;
+    for (uint32_t v : VirtualTargets(g, u)) {
+      if (!g.HasEdge(NodeRef::Real(u), NodeRef::Virtual(v))) continue;
+      // Duplication between v's paths and u's direct edges.
+      for (NodeId x : dedup_internal::DirectTargets(g, u)) {
+        std::vector<NodeId> outs = OutReals(g, v);
+        if (x != u && std::binary_search(outs.begin(), outs.end(), x) &&
+            g.HasEdge(NodeRef::Real(u), NodeRef::Virtual(v))) {
+          g.RemoveEdge(NodeRef::Real(u), NodeRef::Real(x));
+        }
+      }
+      // Duplication against the other virtual neighbors handled so far.
+      for (uint32_t p : processed) {
+        while (true) {
+          std::vector<NodeId> shared_in =
+              Intersect(InReals(g, v), InReals(g, p));
+          std::vector<NodeId> shared_out =
+              Intersect(OutReals(g, v), OutReals(g, p));
+          if (!HasDuplication(shared_in, shared_out)) break;
+          NodeId r = shared_out[rng.NextBounded(shared_out.size())];
+          uint32_t side = g.InEdges(NodeRef::Virtual(v)).size() <=
+                                  g.InEdges(NodeRef::Virtual(p)).size()
+                              ? v
+                              : p;
+          if (!g.HasEdge(NodeRef::Virtual(side), NodeRef::Real(r))) {
+            side = side == v ? p : v;
+          }
+          dedup_internal::DetachTargetWithCompensation(g, side, r);
+        }
+      }
+      processed.push_back(v);
+    }
+  }
+  g.CompactVirtualNodes();
+  return Dedup1Graph(std::move(g));
+}
+
+}  // namespace graphgen

@@ -1,0 +1,86 @@
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "dedup/dedup1_algorithms.h"
+#include "dedup/detail.h"
+
+namespace graphgen {
+
+namespace {
+
+using dedup_internal::HasDuplication;
+using dedup_internal::InReals;
+using dedup_internal::Intersect;
+using dedup_internal::OutReals;
+using dedup_internal::VirtualTargets;
+
+/// Resolves all duplication between the freshly added virtual node `nv`
+/// and the rest of the partial graph by removing shared target edges one
+/// at a time (§5.2.1, Naive Virtual Nodes First).
+void ResolveAgainstPartialGraph(CondensedStorage& g, uint32_t nv, Rng& rng) {
+  // Direct edges duplicated by nv's paths: keep the virtual path.
+  dedup_internal::DropDirectEdgesCoveredBy(g, nv);
+
+  // Candidate virtual nodes: those sharing at least one source with nv.
+  std::vector<uint32_t> candidates;
+  for (NodeId u : InReals(g, nv)) {
+    for (uint32_t w : VirtualTargets(g, u)) {
+      if (w != nv) candidates.push_back(w);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  for (uint32_t cand : candidates) {
+    while (true) {
+      std::vector<NodeId> shared_in = Intersect(InReals(g, nv), InReals(g, cand));
+      std::vector<NodeId> shared_out =
+          Intersect(OutReals(g, nv), OutReals(g, cand));
+      if (!HasDuplication(shared_in, shared_out)) break;
+      // Random shared target; remove its edge from the side with the lower
+      // in-degree (fewer compensation edges needed).
+      NodeId r = shared_out[rng.NextBounded(shared_out.size())];
+      uint32_t side =
+          g.InEdges(NodeRef::Virtual(nv)).size() <=
+                  g.InEdges(NodeRef::Virtual(cand)).size()
+              ? nv
+              : cand;
+      // Make sure the chosen side actually has the edge (r may only be in
+      // one side's list after earlier removals).
+      if (!g.HasEdge(NodeRef::Virtual(side), NodeRef::Real(r))) {
+        side = side == nv ? cand : nv;
+      }
+      dedup_internal::DetachTargetWithCompensation(g, side, r);
+    }
+  }
+}
+
+}  // namespace
+
+Result<Dedup1Graph> NaiveVirtualNodesFirst(const CondensedStorage& input,
+                                           const DedupOptions& options) {
+  if (!input.IsSingleLayer()) {
+    return Status::InvalidArgument(
+        "NaiveVirtualNodesFirst requires a single-layer condensed graph; "
+        "use FlattenToSingleLayer or BITMAP-2 for multi-layer inputs");
+  }
+  Rng rng(options.seed);
+  CondensedStorage g = dedup_internal::CopyRealSkeleton(input);
+  std::vector<uint32_t> order =
+      OrderVirtualNodes(input, options.ordering, options.seed);
+  for (uint32_t vin : order) {
+    std::vector<NodeId> outs = OutReals(input, vin);
+    std::vector<NodeId> ins = InReals(input, vin);
+    if (outs.empty() && ins.empty()) continue;
+    uint32_t nv = g.AddVirtualNode();
+    for (NodeId u : ins) g.AddEdge(NodeRef::Real(u), NodeRef::Virtual(nv));
+    for (NodeId x : outs) g.AddEdge(NodeRef::Virtual(nv), NodeRef::Real(x));
+    ResolveAgainstPartialGraph(g, nv, rng);
+  }
+  g.CompactVirtualNodes();
+  return Dedup1Graph(std::move(g));
+}
+
+}  // namespace graphgen

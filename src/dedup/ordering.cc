@@ -1,0 +1,79 @@
+#include "dedup/ordering.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace graphgen {
+
+std::string_view NodeOrderingToString(NodeOrdering o) {
+  switch (o) {
+    case NodeOrdering::kRandom: return "RAND";
+    case NodeOrdering::kId: return "ID";
+    case NodeOrdering::kDegreeAsc: return "ASC";
+    case NodeOrdering::kDegreeDesc: return "DESC";
+  }
+  return "?";
+}
+
+std::vector<uint32_t> OrderVirtualNodes(const CondensedStorage& storage,
+                                        NodeOrdering ordering, uint64_t seed) {
+  std::vector<uint32_t> order(storage.NumVirtualNodes());
+  std::iota(order.begin(), order.end(), 0u);
+  switch (ordering) {
+    case NodeOrdering::kId:
+      break;
+    case NodeOrdering::kRandom: {
+      Rng rng(seed);
+      rng.Shuffle(order);
+      break;
+    }
+    case NodeOrdering::kDegreeAsc:
+      std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+        return storage.OutEdges(NodeRef::Virtual(a)).size() <
+               storage.OutEdges(NodeRef::Virtual(b)).size();
+      });
+      break;
+    case NodeOrdering::kDegreeDesc:
+      std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+        return storage.OutEdges(NodeRef::Virtual(a)).size() >
+               storage.OutEdges(NodeRef::Virtual(b)).size();
+      });
+      break;
+  }
+  return order;
+}
+
+std::vector<NodeId> OrderRealNodes(const CondensedStorage& storage,
+                                   NodeOrdering ordering, uint64_t seed) {
+  std::vector<NodeId> order;
+  order.reserve(storage.NumRealNodes());
+  for (NodeId u = 0; u < storage.NumRealNodes(); ++u) {
+    if (!storage.IsDeleted(u)) order.push_back(u);
+  }
+  switch (ordering) {
+    case NodeOrdering::kId:
+      break;
+    case NodeOrdering::kRandom: {
+      Rng rng(seed);
+      rng.Shuffle(order);
+      break;
+    }
+    case NodeOrdering::kDegreeAsc:
+      std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+        return storage.OutEdges(NodeRef::Real(a)).size() <
+               storage.OutEdges(NodeRef::Real(b)).size();
+      });
+      break;
+    case NodeOrdering::kDegreeDesc:
+      std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+        return storage.OutEdges(NodeRef::Real(a)).size() >
+               storage.OutEdges(NodeRef::Real(b)).size();
+      });
+      break;
+  }
+  return order;
+}
+
+}  // namespace graphgen

@@ -1,0 +1,37 @@
+#ifndef GRAPHGEN_DEDUP_ORDERING_H_
+#define GRAPHGEN_DEDUP_ORDERING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/storage.h"
+
+namespace graphgen {
+
+/// Processing orders for deduplication (paper Fig. 12b studies their
+/// effect; RANDOM is the recommended default).
+enum class NodeOrdering { kRandom, kId, kDegreeAsc, kDegreeDesc };
+
+std::string_view NodeOrderingToString(NodeOrdering o);
+
+/// Returns the virtual-node indices of `storage` in the requested order.
+std::vector<uint32_t> OrderVirtualNodes(const CondensedStorage& storage,
+                                        NodeOrdering ordering, uint64_t seed);
+
+/// Returns the real-node ids of `storage` in the requested order
+/// (logically deleted nodes are skipped).
+std::vector<NodeId> OrderRealNodes(const CondensedStorage& storage,
+                                   NodeOrdering ordering, uint64_t seed);
+
+/// Options shared by all deduplication algorithms.
+struct DedupOptions {
+  NodeOrdering ordering = NodeOrdering::kRandom;
+  uint64_t seed = 42;
+  /// Worker threads for parallel algorithms (0 = hardware default).
+  size_t threads = 0;
+};
+
+}  // namespace graphgen
+
+#endif  // GRAPHGEN_DEDUP_ORDERING_H_

@@ -1,0 +1,165 @@
+#include "gen/condensed_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace graphgen::gen {
+
+namespace {
+
+// Adds real node u as a (symmetric) member of virtual node v.
+void AddMember(CondensedStorage& g, NodeId u, uint32_t v) {
+  g.AddEdge(NodeRef::Real(u), NodeRef::Virtual(v));
+  g.AddEdge(NodeRef::Virtual(v), NodeRef::Real(u));
+}
+
+}  // namespace
+
+CondensedStorage GenerateCondensed(const CondensedGenOptions& options) {
+  Rng rng(options.seed);
+  CondensedStorage g;
+  const size_t nr = options.num_real;
+  g.AddRealNodes(nr);
+
+  // Step 1: draw all virtual node sizes.
+  std::vector<size_t> sizes(options.num_virtual);
+  for (auto& s : sizes) {
+    double raw = rng.NextNormal(options.mean_size, options.sd_size);
+    s = static_cast<size_t>(std::clamp(
+        raw, 2.0, static_cast<double>(std::max<size_t>(2, nr))));
+  }
+
+  // Degrees drive preferential attachment (membership counts).
+  std::vector<uint32_t> degree(nr, 0);
+  std::unordered_set<NodeId> chosen;
+
+  auto assign_random = [&](uint32_t v, size_t size) {
+    chosen.clear();
+    while (chosen.size() < size && chosen.size() < nr) {
+      chosen.insert(static_cast<NodeId>(rng.NextBounded(nr)));
+    }
+    for (NodeId u : chosen) {
+      AddMember(g, u, v);
+      ++degree[u];
+    }
+  };
+
+  // Preferential assignment: seed from a random anchor's co-members with
+  // probability proportional to squared degree (Appendix C.1 step 4),
+  // filling up with random picks.
+  auto assign_preferential = [&](uint32_t v, size_t size) {
+    chosen.clear();
+    // Anchor: pick among a few random candidates the one with max degree.
+    NodeId anchor = static_cast<NodeId>(rng.NextBounded(nr));
+    for (int t = 0; t < 4; ++t) {
+      NodeId c = static_cast<NodeId>(rng.NextBounded(nr));
+      if (degree[c] > degree[anchor]) anchor = c;
+    }
+    chosen.insert(anchor);
+    // Collect anchor's co-members (neighbors in the condensed sense).
+    std::vector<NodeId> pool;
+    for (NodeRef r : g.OutEdges(NodeRef::Real(anchor))) {
+      if (!r.is_virtual()) continue;
+      for (NodeRef m : g.OutEdges(r)) {
+        if (m.is_real() && m.index() != anchor) pool.push_back(m.index());
+      }
+    }
+    // Weighted keep: higher-degree co-members are more likely to join.
+    double total = 0;
+    for (NodeId u : pool) {
+      total += static_cast<double>(degree[u]) * degree[u];
+    }
+    for (NodeId u : pool) {
+      if (chosen.size() >= size) break;
+      double w = total > 0 ? static_cast<double>(degree[u]) * degree[u] / total
+                           : 0.5;
+      if (rng.NextBool(std::min(1.0, w * static_cast<double>(size)))) {
+        chosen.insert(u);
+      }
+    }
+    while (chosen.size() < size && chosen.size() < nr) {
+      chosen.insert(static_cast<NodeId>(rng.NextBounded(nr)));
+    }
+    for (NodeId u : chosen) {
+      AddMember(g, u, v);
+      ++degree[u];
+    }
+  };
+
+  const size_t initial = static_cast<size_t>(
+      std::ceil(options.initial_random_fraction *
+                static_cast<double>(options.num_virtual)));
+  for (uint32_t v = 0; v < options.num_virtual; ++v) {
+    uint32_t id = g.AddVirtualNode();
+    if (v < initial || rng.NextBool(options.random_assignment_probability)) {
+      assign_random(id, sizes[v]);
+    } else {
+      assign_preferential(id, sizes[v]);
+    }
+  }
+  return g;
+}
+
+CondensedStorage GenerateLayeredCondensed(const LayeredGenOptions& options) {
+  Rng rng(options.seed);
+  CondensedStorage g;
+  const size_t nr = options.num_real;
+  g.AddRealNodes(nr);
+
+  // Create all layers.
+  std::vector<std::vector<uint32_t>> layers(options.layer_sizes.size());
+  for (size_t l = 0; l < options.layer_sizes.size(); ++l) {
+    layers[l].resize(options.layer_sizes[l]);
+    for (auto& v : layers[l]) v = g.AddVirtualNode();
+  }
+
+  auto poisson_like = [&](double avg) {
+    // Clamped normal approximation keeps the generator fast.
+    double raw = rng.NextNormal(avg, avg / 3.0 + 0.5);
+    return static_cast<size_t>(std::max(1.0, std::round(raw)));
+  };
+
+  // Reals attach to layer 0 (as sources) and receive from the last layer.
+  std::unordered_set<uint32_t> picks;
+  for (NodeId u = 0; u < nr; ++u) {
+    size_t m = poisson_like(options.avg_real_memberships);
+    picks.clear();
+    while (picks.size() < std::min(m, layers[0].size())) {
+      picks.insert(static_cast<uint32_t>(rng.NextBounded(layers[0].size())));
+    }
+    for (uint32_t i : picks) {
+      g.AddEdge(NodeRef::Real(u), NodeRef::Virtual(layers[0][i]));
+    }
+  }
+  // Virtual-virtual edges between consecutive layers.
+  for (size_t l = 0; l + 1 < layers.size(); ++l) {
+    for (uint32_t v : layers[l]) {
+      size_t m = poisson_like(options.avg_layer_fanout);
+      picks.clear();
+      while (picks.size() < std::min(m, layers[l + 1].size())) {
+        picks.insert(
+            static_cast<uint32_t>(rng.NextBounded(layers[l + 1].size())));
+      }
+      for (uint32_t i : picks) {
+        g.AddEdge(NodeRef::Virtual(v), NodeRef::Virtual(layers[l + 1][i]));
+      }
+    }
+  }
+  // Last layer attaches back to reals.
+  for (uint32_t v : layers.back()) {
+    size_t m = poisson_like(options.avg_real_memberships);
+    std::unordered_set<NodeId> targets;
+    while (targets.size() < std::min(m, static_cast<size_t>(nr))) {
+      targets.insert(static_cast<NodeId>(rng.NextBounded(nr)));
+    }
+    for (NodeId u : targets) {
+      g.AddEdge(NodeRef::Virtual(v), NodeRef::Real(u));
+    }
+  }
+  return g;
+}
+
+}  // namespace graphgen::gen

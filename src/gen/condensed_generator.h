@@ -1,0 +1,58 @@
+#ifndef GRAPHGEN_GEN_CONDENSED_GENERATOR_H_
+#define GRAPHGEN_GEN_CONDENSED_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/storage.h"
+
+namespace graphgen::gen {
+
+/// Parameters of the Appendix C.1 synthetic condensed-graph generator
+/// (Barabási–Albert-flavoured preferential attachment over virtual-node
+/// memberships).
+struct CondensedGenOptions {
+  size_t num_real = 1000;
+  size_t num_virtual = 500;
+  /// Virtual node sizes are drawn from Normal(mean_size, sd_size),
+  /// clamped to [2, num_real].
+  double mean_size = 5.0;
+  double sd_size = 2.0;
+  /// Fraction of virtual nodes assigned purely at random up front
+  /// (Appendix C.1 step 3).
+  double initial_random_fraction = 0.15;
+  /// Probability that a later virtual node is also assigned at random
+  /// (Appendix C.1 step 4).
+  double random_assignment_probability = 0.35;
+  uint64_t seed = 42;
+};
+
+/// Generates a single-layer symmetric condensed graph (I(V) = O(V) for
+/// every virtual node) with preferential-attachment-style membership:
+/// high-degree real nodes are more likely to join new virtual nodes,
+/// which preserves the local densities (overlapping cliques) of real
+/// co-occurrence networks — the structure deduplication must cope with.
+CondensedStorage GenerateCondensed(const CondensedGenOptions& options);
+
+/// Parameters for multi-layer synthetic condensed graphs (the Layered_*
+/// datasets of §6.2 / Appendix C.2).
+struct LayeredGenOptions {
+  size_t num_real = 10000;
+  /// Number of virtual nodes in each layer, outermost first. Must have
+  /// >= 2 layers; reals attach to layer 0 and the last layer attaches back
+  /// to reals, mirroring the TPCH chain of Fig. 5a.
+  std::vector<size_t> layer_sizes = {500, 100};
+  /// Average memberships per real node (edges real -> layer 0 and
+  /// last layer -> real).
+  double avg_real_memberships = 4.0;
+  /// Average out-edges from a virtual node to the next layer.
+  double avg_layer_fanout = 3.0;
+  uint64_t seed = 42;
+};
+
+/// Generates a multi-layer condensed graph with virtual-virtual edges.
+CondensedStorage GenerateLayeredCondensed(const LayeredGenOptions& options);
+
+}  // namespace graphgen::gen
+
+#endif  // GRAPHGEN_GEN_CONDENSED_GENERATOR_H_

@@ -1,0 +1,88 @@
+#include "gen/large_datasets.h"
+
+#include <algorithm>
+
+#include "gen/condensed_generator.h"
+
+namespace graphgen::gen {
+
+std::string_view LargeDatasetName(LargeDatasetId id) {
+  switch (id) {
+    case LargeDatasetId::kLayered1: return "Layered_1";
+    case LargeDatasetId::kLayered2: return "Layered_2";
+    case LargeDatasetId::kSingle1: return "Single_1";
+    case LargeDatasetId::kSingle2: return "Single_2";
+  }
+  return "?";
+}
+
+std::string LargeDatasetSelectivities(LargeDatasetId id) {
+  switch (id) {
+    case LargeDatasetId::kLayered1: return "0.05 -> 0.1 -> 0.05";
+    case LargeDatasetId::kLayered2: return "0.2 -> 0.1 -> 0.2";
+    case LargeDatasetId::kSingle1: return "0.25";
+    case LargeDatasetId::kSingle2: return "0.01";
+  }
+  return "?";
+}
+
+CondensedStorage MakeLargeDataset(LargeDatasetId id, double scale,
+                                  uint64_t seed) {
+  auto scaled = [&](size_t full) {
+    return std::max<size_t>(
+        32, static_cast<size_t>(static_cast<double>(full) * scale));
+  };
+  switch (id) {
+    case LargeDatasetId::kLayered1: {
+      // Table 6: 1.3M condensed nodes, 4M edges; joins 0.05/0.1/0.05.
+      LayeredGenOptions o;
+      o.seed = seed;
+      o.num_real = scaled(1000000);
+      o.layer_sizes = {scaled(200000), scaled(100000)};
+      o.avg_real_memberships = 2.0;
+      o.avg_layer_fanout = 2.0;
+      return GenerateLayeredCondensed(o);
+    }
+    case LargeDatasetId::kLayered2: {
+      // Table 6: 1.5M nodes, 4M edges; higher selectivity (0.2/0.1/0.2)
+      // means more, smaller virtual nodes.
+      LayeredGenOptions o;
+      o.seed = seed;
+      o.num_real = scaled(1000000);
+      o.layer_sizes = {scaled(400000), scaled(100000)};
+      o.avg_real_memberships = 2.0;
+      o.avg_layer_fanout = 1.5;
+      return GenerateLayeredCondensed(o);
+    }
+    case LargeDatasetId::kSingle1: {
+      // Table 6: 1.25M nodes, 2M edges, selectivity 0.25: many small
+      // virtual nodes (avg 4 members).
+      CondensedGenOptions o;
+      o.seed = seed;
+      o.num_real = scaled(1000000);
+      o.num_virtual = scaled(250000);
+      o.mean_size = 4.0;
+      o.sd_size = 1.5;
+      return GenerateCondensed(o);
+    }
+    case LargeDatasetId::kSingle2: {
+      // Table 6: 10M nodes, 20M edges, selectivity 0.01: few huge cliques
+      // (avg 100 members) — the dataset where EXP and C-DUP PageRank DNF.
+      CondensedGenOptions o;
+      o.seed = seed;
+      o.num_real = scaled(10000000);
+      o.num_virtual = std::max<size_t>(16, scaled(100000));
+      o.mean_size = 100.0;
+      o.sd_size = 25.0;
+      return GenerateCondensed(o);
+    }
+  }
+  return CondensedStorage();
+}
+
+std::vector<LargeDatasetId> Table3Datasets() {
+  return {LargeDatasetId::kLayered1, LargeDatasetId::kLayered2,
+          LargeDatasetId::kSingle1, LargeDatasetId::kSingle2};
+}
+
+}  // namespace graphgen::gen

@@ -1,0 +1,30 @@
+#ifndef GRAPHGEN_GEN_LARGE_DATASETS_H_
+#define GRAPHGEN_GEN_LARGE_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/storage.h"
+
+namespace graphgen::gen {
+
+/// The large evaluation datasets of Table 3 / Table 6 (§6.2). Layered_1/2
+/// are multi-layer condensed graphs (TPCH-shaped join chains), Single_1/2
+/// are single-layer graphs with controlled join selectivity. Generated
+/// directly in condensed form with the Table 6 selectivities; node counts
+/// are scaled by `scale`.
+enum class LargeDatasetId { kLayered1, kLayered2, kSingle1, kSingle2 };
+
+std::string_view LargeDatasetName(LargeDatasetId id);
+
+/// The Table 6 join selectivities for each dataset (for harness output).
+std::string LargeDatasetSelectivities(LargeDatasetId id);
+
+CondensedStorage MakeLargeDataset(LargeDatasetId id, double scale = 0.02,
+                                  uint64_t seed = 42);
+
+std::vector<LargeDatasetId> Table3Datasets();
+
+}  // namespace graphgen::gen
+
+#endif  // GRAPHGEN_GEN_LARGE_DATASETS_H_

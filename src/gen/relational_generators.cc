@@ -1,0 +1,256 @@
+#include "gen/relational_generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace graphgen::gen {
+
+namespace {
+
+using rel::ColumnDef;
+using rel::Row;
+using rel::Schema;
+using rel::Table;
+using rel::Value;
+using rel::ValueType;
+
+size_t ClampedNormal(Rng& rng, double mean, double sd, size_t lo, size_t hi) {
+  double raw = rng.NextNormal(mean, sd);
+  return static_cast<size_t>(
+      std::clamp(raw, static_cast<double>(lo), static_cast<double>(hi)));
+}
+
+Table MakeEntityTable(const std::string& name, const std::string& prefix,
+                      int64_t first_id, size_t count) {
+  Table t(name, Schema({{"id", ValueType::kInt64},
+                        {"name", ValueType::kString}}));
+  t.Reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    int64_t id = first_id + static_cast<int64_t>(i);
+    t.AppendUnchecked({Value(id), Value(prefix + std::to_string(id))});
+  }
+  return t;
+}
+
+}  // namespace
+
+GeneratedDatabase MakeDblpLike(size_t num_authors, size_t num_pubs,
+                               double authors_per_pub, uint64_t seed) {
+  Rng rng(seed);
+  GeneratedDatabase out;
+  out.db.PutTable(MakeEntityTable("Author", "author_", 0, num_authors));
+  out.db.PutTable(MakeEntityTable("Pub", "pub_", 0, num_pubs));
+
+  Table ap("AuthorPub", Schema({{"aid", ValueType::kInt64},
+                                {"pid", ValueType::kInt64}}));
+  std::unordered_set<int64_t> authors;
+  for (size_t p = 0; p < num_pubs; ++p) {
+    size_t k = ClampedNormal(rng, authors_per_pub, authors_per_pub / 2.0, 1,
+                             std::max<size_t>(1, num_authors));
+    authors.clear();
+    while (authors.size() < k) {
+      // Zipf-skewed author choice: prolific authors write more papers.
+      int64_t a = static_cast<int64_t>(
+          rng.NextZipf(num_authors, 1.1) - 1);
+      authors.insert(a);
+    }
+    for (int64_t a : authors) {
+      ap.AppendUnchecked({Value(a), Value(static_cast<int64_t>(p))});
+    }
+  }
+  out.db.PutTable(std::move(ap));
+  out.db.AnalyzeAll();
+  out.datalog =
+      "Nodes(ID, Name) :- Author(ID, Name).\n"
+      "Edges(ID1, ID2) :- AuthorPub(ID1, P), AuthorPub(ID2, P).\n";
+  out.description = "DBLP-like co-author dataset";
+  return out;
+}
+
+GeneratedDatabase MakeImdbLike(size_t num_actors, size_t num_movies,
+                               double cast_per_movie, uint64_t seed) {
+  Rng rng(seed);
+  GeneratedDatabase out;
+  out.db.PutTable(MakeEntityTable("name", "person_", 0, num_actors));
+  out.db.PutTable(MakeEntityTable("title", "movie_", 0, num_movies));
+
+  Table ci("cast_info", Schema({{"person_id", ValueType::kInt64},
+                                {"movie_id", ValueType::kInt64}}));
+  std::unordered_set<int64_t> cast;
+  for (size_t m = 0; m < num_movies; ++m) {
+    size_t k = ClampedNormal(rng, cast_per_movie, cast_per_movie / 2.0, 2,
+                             std::max<size_t>(2, num_actors));
+    cast.clear();
+    while (cast.size() < k) {
+      cast.insert(static_cast<int64_t>(rng.NextZipf(num_actors, 1.05) - 1));
+    }
+    for (int64_t a : cast) {
+      ci.AppendUnchecked({Value(a), Value(static_cast<int64_t>(m))});
+    }
+  }
+  out.db.PutTable(std::move(ci));
+  out.db.AnalyzeAll();
+  out.datalog =
+      "Nodes(ID, Name) :- name(ID, Name).\n"
+      "Edges(ID1, ID2) :- cast_info(ID1, M), cast_info(ID2, M).\n";
+  out.description = "IMDB-like co-actor dataset";
+  return out;
+}
+
+GeneratedDatabase MakeTpchLike(size_t num_customers, size_t num_orders,
+                               size_t num_parts, double lines_per_order,
+                               uint64_t seed) {
+  Rng rng(seed);
+  GeneratedDatabase out;
+  out.db.PutTable(MakeEntityTable("Customer", "customer_", 0, num_customers));
+
+  Table orders("Orders", Schema({{"orderkey", ValueType::kInt64},
+                                 {"custkey", ValueType::kInt64}}));
+  orders.Reserve(num_orders);
+  for (size_t o = 0; o < num_orders; ++o) {
+    orders.AppendUnchecked(
+        {Value(static_cast<int64_t>(o)),
+         Value(static_cast<int64_t>(rng.NextBounded(num_customers)))});
+  }
+  out.db.PutTable(std::move(orders));
+
+  Table lineitem("LineItem", Schema({{"orderkey", ValueType::kInt64},
+                                     {"partkey", ValueType::kInt64}}));
+  std::unordered_set<int64_t> parts;
+  for (size_t o = 0; o < num_orders; ++o) {
+    size_t k = ClampedNormal(rng, lines_per_order, lines_per_order / 2.0, 1,
+                             std::max<size_t>(1, num_parts));
+    parts.clear();
+    while (parts.size() < k) {
+      parts.insert(static_cast<int64_t>(rng.NextZipf(num_parts, 1.1) - 1));
+    }
+    for (int64_t p : parts) {
+      lineitem.AppendUnchecked({Value(static_cast<int64_t>(o)), Value(p)});
+    }
+  }
+  out.db.PutTable(std::move(lineitem));
+  out.db.AnalyzeAll();
+  out.datalog =
+      "Nodes(ID, Name) :- Customer(ID, Name).\n"
+      "Edges(ID1, ID2) :- Orders(OK1, ID1), LineItem(OK1, PK), "
+      "LineItem(OK2, PK), Orders(OK2, ID2).\n";
+  out.description = "TPC-H-like co-purchase dataset";
+  return out;
+}
+
+GeneratedDatabase MakeUniversity(size_t num_students, size_t num_instructors,
+                                 size_t num_courses,
+                                 double courses_per_student, uint64_t seed) {
+  Rng rng(seed);
+  GeneratedDatabase out;
+  // Disjoint id ranges so heterogeneous graphs are well-defined.
+  const int64_t instructor_base = static_cast<int64_t>(num_students);
+  out.db.PutTable(MakeEntityTable("Student", "student_", 0, num_students));
+  out.db.PutTable(MakeEntityTable("Instructor", "instructor_",
+                                  instructor_base, num_instructors));
+
+  Table took("TookCourse", Schema({{"sid", ValueType::kInt64},
+                                   {"course", ValueType::kInt64}}));
+  std::unordered_set<int64_t> courses;
+  for (size_t st = 0; st < num_students; ++st) {
+    size_t k = ClampedNormal(rng, courses_per_student,
+                             courses_per_student / 2.0, 1,
+                             std::max<size_t>(1, num_courses));
+    courses.clear();
+    while (courses.size() < k) {
+      courses.insert(static_cast<int64_t>(rng.NextBounded(num_courses)));
+    }
+    for (int64_t c : courses) {
+      took.AppendUnchecked({Value(static_cast<int64_t>(st)), Value(c)});
+    }
+  }
+  out.db.PutTable(std::move(took));
+
+  Table taught("TaughtCourse", Schema({{"iid", ValueType::kInt64},
+                                       {"course", ValueType::kInt64}}));
+  for (size_t c = 0; c < num_courses; ++c) {
+    int64_t i = instructor_base +
+                static_cast<int64_t>(rng.NextBounded(num_instructors));
+    taught.AppendUnchecked({Value(i), Value(static_cast<int64_t>(c))});
+  }
+  out.db.PutTable(std::move(taught));
+  out.db.AnalyzeAll();
+  out.datalog =
+      "Nodes(ID, Name) :- Student(ID, Name).\n"
+      "Edges(ID1, ID2) :- TookCourse(ID1, C), TookCourse(ID2, C).\n";
+  out.description = "University (db-book.com style) dataset";
+  return out;
+}
+
+GeneratedDatabase MakeSingleSelectivity(size_t num_rows, double selectivity,
+                                        uint64_t seed) {
+  Rng rng(seed);
+  GeneratedDatabase out;
+  const size_t distinct =
+      std::max<size_t>(1, static_cast<size_t>(selectivity *
+                                              static_cast<double>(num_rows)));
+  const size_t num_entities = num_rows / 2 + 1;
+  out.db.PutTable(MakeEntityTable("Entity", "e_", 0, num_entities));
+
+  Table r("R", Schema({{"id", ValueType::kInt64},
+                       {"attr", ValueType::kInt64}}));
+  r.Reserve(num_rows);
+  for (size_t i = 0; i < num_rows; ++i) {
+    r.AppendUnchecked(
+        {Value(static_cast<int64_t>(rng.NextBounded(num_entities))),
+         Value(static_cast<int64_t>(rng.NextBounded(distinct)))});
+  }
+  out.db.PutTable(std::move(r));
+  out.db.AnalyzeAll();
+  out.datalog =
+      "Nodes(ID, Name) :- Entity(ID, Name).\n"
+      "Edges(ID1, ID2) :- R(ID1, A), R(ID2, A).\n";
+  out.description = "single-layer selectivity dataset (selectivity=" +
+                    std::to_string(selectivity) + ")";
+  return out;
+}
+
+GeneratedDatabase MakeLayeredSelectivity(size_t rows_a, size_t rows_b,
+                                         double selectivity_a,
+                                         double selectivity_b,
+                                         uint64_t seed) {
+  Rng rng(seed);
+  GeneratedDatabase out;
+  const size_t distinct_a = std::max<size_t>(
+      1, static_cast<size_t>(selectivity_a * static_cast<double>(rows_a)));
+  const size_t distinct_b = std::max<size_t>(
+      1, static_cast<size_t>(selectivity_b * static_cast<double>(rows_b)));
+  const size_t num_entities = rows_a / 2 + 1;
+  out.db.PutTable(MakeEntityTable("Entity", "e_", 0, num_entities));
+
+  Table a("A", Schema({{"j1", ValueType::kInt64},
+                       {"id", ValueType::kInt64}}));
+  a.Reserve(rows_a);
+  for (size_t i = 0; i < rows_a; ++i) {
+    a.AppendUnchecked(
+        {Value(static_cast<int64_t>(rng.NextBounded(distinct_a))),
+         Value(static_cast<int64_t>(rng.NextBounded(num_entities)))});
+  }
+  out.db.PutTable(std::move(a));
+
+  Table b("B", Schema({{"j1", ValueType::kInt64},
+                       {"j2", ValueType::kInt64}}));
+  b.Reserve(rows_b);
+  for (size_t i = 0; i < rows_b; ++i) {
+    b.AppendUnchecked(
+        {Value(static_cast<int64_t>(rng.NextBounded(distinct_a))),
+         Value(static_cast<int64_t>(rng.NextBounded(distinct_b)))});
+  }
+  out.db.PutTable(std::move(b));
+  out.db.AnalyzeAll();
+  out.datalog =
+      "Nodes(ID, Name) :- Entity(ID, Name).\n"
+      "Edges(ID1, ID2) :- A(J1, ID1), B(J1, J2), B(J3, J2), A(J3, ID2).\n";
+  out.description = "layered selectivity dataset";
+  return out;
+}
+
+}  // namespace graphgen::gen

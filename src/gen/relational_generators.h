@@ -1,0 +1,66 @@
+#ifndef GRAPHGEN_GEN_RELATIONAL_GENERATORS_H_
+#define GRAPHGEN_GEN_RELATIONAL_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "relational/database.h"
+
+namespace graphgen::gen {
+
+/// A generated database together with the canonical extraction query the
+/// paper runs on it.
+struct GeneratedDatabase {
+  rel::Database db;
+  std::string datalog;      // the paper's extraction query for this schema
+  std::string description;  // human-readable summary
+};
+
+/// DBLP-like schema (Fig. 15a): Author(id, name), Pub(pid, title),
+/// AuthorPub(aid, pid). The canonical query is the co-authors graph [Q1].
+/// `authors_per_pub` controls virtual-node sizes (the real DBLP averages
+/// ~3; larger values make the co-author join large-output).
+GeneratedDatabase MakeDblpLike(size_t num_authors, size_t num_pubs,
+                               double authors_per_pub, uint64_t seed = 1);
+
+/// IMDB-like schema (Fig. 15b): name(id, person), title(id, name),
+/// cast_info(person_id, movie_id). Canonical query: co-actors graph.
+GeneratedDatabase MakeImdbLike(size_t num_actors, size_t num_movies,
+                               double cast_per_movie, uint64_t seed = 2);
+
+/// TPC-H-like schema (Fig. 15c): Customer(custkey, name),
+/// Orders(orderkey, custkey), LineItem(orderkey, partkey). Canonical
+/// query [Q2]: customers who bought the same part. Orders/LineItem joins
+/// are key-FK; the part_key join is large-output.
+GeneratedDatabase MakeTpchLike(size_t num_customers, size_t num_orders,
+                               size_t num_parts, double lines_per_order,
+                               uint64_t seed = 3);
+
+/// University schema (db-book.com, used for UNIV in Table 1 and [Q3]):
+/// Student(id, name), Instructor(id, name), TookCourse(sid, course),
+/// TaughtCourse(iid, course). Canonical query: students who took the
+/// same course. Student/instructor ids are disjoint ranges so [Q3]'s
+/// heterogeneous graph is well-defined.
+GeneratedDatabase MakeUniversity(size_t num_students, size_t num_instructors,
+                                 size_t num_courses,
+                                 double courses_per_student,
+                                 uint64_t seed = 4);
+
+/// Single-layer selectivity-controlled dataset (Appendix C.2,
+/// Single_1/Single_2): one table R(id, attr) with
+/// selectivity = distinct(attr) / |R|; the query joins R with itself on
+/// attr. Lower selectivity => denser hidden graph.
+GeneratedDatabase MakeSingleSelectivity(size_t num_rows, double selectivity,
+                                        uint64_t seed = 5);
+
+/// Layered selectivity-controlled dataset (Appendix C.2, Layered_1/2):
+/// tables A(j1, id) and B(j1, j2) joined A ⋈ B ⋈ B ⋈ A like the TPCH
+/// chain, with per-join selectivities (distinct/|table|).
+GeneratedDatabase MakeLayeredSelectivity(size_t rows_a, size_t rows_b,
+                                         double selectivity_a,
+                                         double selectivity_b,
+                                         uint64_t seed = 6);
+
+}  // namespace graphgen::gen
+
+#endif  // GRAPHGEN_GEN_RELATIONAL_GENERATORS_H_

@@ -1,0 +1,109 @@
+#include "gen/small_datasets.h"
+
+#include <algorithm>
+
+#include "gen/condensed_generator.h"
+
+namespace graphgen::gen {
+
+std::string_view SmallDatasetName(SmallDatasetId id) {
+  switch (id) {
+    case SmallDatasetId::kDblp: return "DBLP";
+    case SmallDatasetId::kImdb: return "IMDB";
+    case SmallDatasetId::kSynthetic1: return "Synthetic_1";
+    case SmallDatasetId::kSynthetic2: return "Synthetic_2";
+    case SmallDatasetId::kS1: return "S1";
+    case SmallDatasetId::kS2: return "S2";
+    case SmallDatasetId::kN1: return "N1";
+    case SmallDatasetId::kN2: return "N2";
+  }
+  return "?";
+}
+
+CondensedStorage MakeSmallDataset(SmallDatasetId id, double scale,
+                                  uint64_t seed) {
+  auto scaled = [&](size_t full) {
+    return std::max<size_t>(
+        16, static_cast<size_t>(static_cast<double>(full) * scale));
+  };
+  CondensedGenOptions o;
+  o.seed = seed;
+  switch (id) {
+    case SmallDatasetId::kDblp:
+      // Table 2: 523,525 real / 410,000 virtual / avg size 2.
+      o.num_real = scaled(523525);
+      o.num_virtual = scaled(410000);
+      o.mean_size = 2.4;
+      o.sd_size = 1.0;
+      break;
+    case SmallDatasetId::kImdb:
+      // Table 2: 439,639 real / 100,000 virtual / avg size 10.
+      o.num_real = scaled(439639);
+      o.num_virtual = scaled(100000);
+      o.mean_size = 10.0;
+      o.sd_size = 4.0;
+      break;
+    case SmallDatasetId::kSynthetic1:
+      // Table 2: 20,000 real / 200,000 virtual / avg size 7.
+      o.num_real = scaled(200000) / 10;
+      o.num_virtual = scaled(200000);
+      o.mean_size = 7.0;
+      o.sd_size = 3.0;
+      break;
+    case SmallDatasetId::kSynthetic2:
+      // Table 2: 200,000 real / 1,000 virtual / avg size 94 (huge
+      // overlapping cliques).
+      o.num_real = scaled(200000);
+      o.num_virtual = std::max<size_t>(
+          8, static_cast<size_t>(1000 * scale * 10) / 10);
+      o.mean_size = 94.0;
+      o.sd_size = 30.0;
+      // Strong preferential attachment: later cliques heavily overlap
+      // earlier ones (the Fig. 6 regime where DEDUP-2's virtual-virtual
+      // edges pay off).
+      o.initial_random_fraction = 0.3;
+      o.random_assignment_probability = 0.05;
+      break;
+    case SmallDatasetId::kS1:
+      // Table 5: 50,000 real / 100 virtual; EXP ~20M edges => cliques of
+      // several hundred. Scaled-down cliques keep the density ratio.
+      o.num_real = scaled(50000);
+      o.num_virtual = std::max<size_t>(8, static_cast<size_t>(100));
+      o.mean_size = std::max(20.0, 446.0 * scale * 2);
+      o.sd_size = o.mean_size / 6;
+      break;
+    case SmallDatasetId::kS2:
+      o.num_real = scaled(50000);
+      o.num_virtual = std::max<size_t>(8, static_cast<size_t>(100));
+      o.mean_size = std::max(40.0, 1900.0 * scale * 2);
+      o.sd_size = o.mean_size / 6;
+      break;
+    case SmallDatasetId::kN1:
+      // Table 5: 80,000 real / 4,000 virtual, fixed clique size.
+      o.num_real = scaled(80000);
+      o.num_virtual = scaled(4000);
+      o.mean_size = std::max(20.0, 200.0 * scale * 2);
+      o.sd_size = o.mean_size / 6;
+      break;
+    case SmallDatasetId::kN2:
+      // Table 5: 140,000 real / 10,000 virtual.
+      o.num_real = scaled(140000);
+      o.num_virtual = scaled(10000);
+      o.mean_size = std::max(20.0, 200.0 * scale * 2);
+      o.sd_size = o.mean_size / 6;
+      break;
+  }
+  return GenerateCondensed(o);
+}
+
+std::vector<SmallDatasetId> Table2Datasets() {
+  return {SmallDatasetId::kDblp, SmallDatasetId::kImdb,
+          SmallDatasetId::kSynthetic1, SmallDatasetId::kSynthetic2};
+}
+
+std::vector<SmallDatasetId> GiraphDatasets() {
+  return {SmallDatasetId::kS1, SmallDatasetId::kS2, SmallDatasetId::kN1,
+          SmallDatasetId::kN2, SmallDatasetId::kImdb};
+}
+
+}  // namespace graphgen::gen

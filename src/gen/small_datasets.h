@@ -1,0 +1,40 @@
+#ifndef GRAPHGEN_GEN_SMALL_DATASETS_H_
+#define GRAPHGEN_GEN_SMALL_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/storage.h"
+
+namespace graphgen::gen {
+
+/// The four small evaluation datasets of Table 2, plus the Giraph
+/// datasets S1/S2/N1/N2 of Table 5. Generated with the Appendix C.1
+/// condensed-graph generator using the paper's published shape statistics
+/// (node counts scaled by `scale`; the paper ran at scale 1.0 on a
+/// 24-core/64 GB machine).
+enum class SmallDatasetId {
+  kDblp,        // many small virtual nodes (avg size 2)
+  kImdb,        // avg virtual size 10
+  kSynthetic1,  // 10x more virtual nodes than reals, avg size 7
+  kSynthetic2,  // few huge overlapping cliques (avg size 94)
+  kS1,          // Giraph: fixed nodes, moderate clique size
+  kS2,          // Giraph: fixed nodes, large clique size
+  kN1,          // Giraph: more nodes, fixed clique size
+  kN2,          // Giraph: even more nodes, fixed clique size
+};
+
+std::string_view SmallDatasetName(SmallDatasetId id);
+
+/// Generates the dataset. Deterministic for a given (id, scale, seed).
+CondensedStorage MakeSmallDataset(SmallDatasetId id, double scale = 0.1,
+                                  uint64_t seed = 42);
+
+/// The four Table 2 datasets in order (DBLP, IMDB, Synthetic_1/2).
+std::vector<SmallDatasetId> Table2Datasets();
+/// The five Table 4/5 datasets in order (S1, S2, N1, N2, IMDB).
+std::vector<SmallDatasetId> GiraphDatasets();
+
+}  // namespace graphgen::gen
+
+#endif  // GRAPHGEN_GEN_SMALL_DATASETS_H_

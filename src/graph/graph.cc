@@ -1,0 +1,52 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace graphgen {
+
+std::vector<NodeId> NeighborIterator::ToList() {
+  std::vector<NodeId> out;
+  while (HasNext()) out.push_back(Next());
+  return out;
+}
+
+void Graph::ForEachVertex(const std::function<void(NodeId)>& fn) const {
+  const size_t n = NumVertices();
+  for (NodeId v = 0; v < n; ++v) {
+    if (VertexExists(v)) fn(v);
+  }
+}
+
+std::unique_ptr<NeighborIterator> Graph::Neighbors(NodeId u) const {
+  return std::make_unique<VectorNeighborIterator>(NeighborList(u));
+}
+
+std::vector<NodeId> Graph::NeighborList(NodeId u) const {
+  std::vector<NodeId> out;
+  ForEachNeighbor(u, [&](NodeId v) { out.push_back(v); });
+  return out;
+}
+
+size_t Graph::OutDegree(NodeId u) const {
+  size_t n = 0;
+  ForEachNeighbor(u, [&](NodeId) { ++n; });
+  return n;
+}
+
+uint64_t Graph::CountExpandedEdges() const {
+  uint64_t total = 0;
+  ForEachVertex([&](NodeId u) { total += OutDegree(u); });
+  return total;
+}
+
+std::vector<std::pair<NodeId, NodeId>> Graph::ExpandedEdgeSet() const {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  ForEachVertex([&](NodeId u) {
+    ForEachNeighbor(u, [&](NodeId v) { edges.emplace_back(u, v); });
+  });
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+}  // namespace graphgen

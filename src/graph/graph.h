@@ -1,0 +1,108 @@
+#ifndef GRAPHGEN_GRAPH_GRAPH_H_
+#define GRAPHGEN_GRAPH_GRAPH_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/node_ref.h"
+
+namespace graphgen {
+
+/// Pull-style neighbor iterator, the paper's getNeighbors() contract
+/// (§3.4). Obtained from Graph::Neighbors(u); duplicate-free for every
+/// representation (C-DUP performs on-the-fly hash-set dedup inside it).
+class NeighborIterator {
+ public:
+  virtual ~NeighborIterator() = default;
+  virtual bool HasNext() = 0;
+  virtual NodeId Next() = 0;
+
+  /// Drains the iterator into a vector (getNeighbors(v).toList in the
+  /// paper's Java API).
+  std::vector<NodeId> ToList();
+};
+
+/// Iterator over a pre-materialized neighbor list; the default used by
+/// representations whose traversal is cheap to materialize.
+class VectorNeighborIterator : public NeighborIterator {
+ public:
+  explicit VectorNeighborIterator(std::vector<NodeId> items)
+      : items_(std::move(items)) {}
+  bool HasNext() override { return pos_ < items_.size(); }
+  NodeId Next() override { return items_[pos_++]; }
+
+ private:
+  std::vector<NodeId> items_;
+  size_t pos_ = 0;
+};
+
+/// The 7-operation graph API of §3.4 that every in-memory representation
+/// implements (C-DUP, EXP, DEDUP-1, DEDUP-2, BITMAP). All graph
+/// algorithms and the vertex-centric framework are written against this
+/// interface, so any representation can back any analysis.
+///
+/// Vertices are dense ids [0, NumVertices()); deleted vertices leave holes
+/// (lazy deletion, §3.4) which VertexExists reports.
+class Graph {
+ public:
+  virtual ~Graph() = default;
+
+  /// Short representation name ("C-DUP", "EXP", "DEDUP-1", ...).
+  virtual std::string_view Name() const = 0;
+
+  /// Size of the vertex id space (including logically deleted slots).
+  virtual size_t NumVertices() const = 0;
+  /// Number of live vertices.
+  virtual size_t NumActiveVertices() const = 0;
+  virtual bool VertexExists(NodeId v) const = 0;
+
+  /// getVertices(): calls fn for every live vertex id.
+  virtual void ForEachVertex(const std::function<void(NodeId)>& fn) const;
+
+  /// getNeighbors(v): calls fn once per distinct out-neighbor.
+  virtual void ForEachNeighbor(NodeId u,
+                               const std::function<void(NodeId)>& fn) const = 0;
+
+  /// getNeighbors(v) as a pull iterator.
+  virtual std::unique_ptr<NeighborIterator> Neighbors(NodeId u) const;
+
+  /// Materialized distinct neighbor list.
+  std::vector<NodeId> NeighborList(NodeId u) const;
+
+  /// Out-degree of u (distinct neighbors).
+  virtual size_t OutDegree(NodeId u) const;
+
+  /// existsEdge(v, u).
+  virtual bool ExistsEdge(NodeId u, NodeId v) const = 0;
+
+  /// addEdge(v, u). No-op returning OK if the edge already exists.
+  virtual Status AddEdge(NodeId u, NodeId v) = 0;
+  /// deleteEdge(v, u); removes the logical edge u -> v (all paths).
+  virtual Status DeleteEdge(NodeId u, NodeId v) = 0;
+  /// addVertex(): returns the new vertex id.
+  virtual NodeId AddVertex() = 0;
+  /// deleteVertex(v): lazy logical removal (§3.4).
+  virtual Status DeleteVertex(NodeId v) = 0;
+
+  /// Total number of edges in the *expanded* view of this graph.
+  virtual uint64_t CountExpandedEdges() const;
+
+  /// Number of physically stored (condensed) edges.
+  virtual uint64_t CountStoredEdges() const = 0;
+  /// Number of virtual nodes (0 for EXP).
+  virtual size_t NumVirtualNodes() const = 0;
+
+  /// Approximate heap footprint in bytes.
+  virtual size_t MemoryBytes() const = 0;
+
+  /// Sorted unique expanded edge list; the equivalence oracle used by
+  /// tests to verify representations agree.
+  std::vector<std::pair<NodeId, NodeId>> ExpandedEdgeSet() const;
+};
+
+}  // namespace graphgen
+
+#endif  // GRAPHGEN_GRAPH_GRAPH_H_

@@ -1,0 +1,10 @@
+#include "graph/node_ref.h"
+
+namespace graphgen {
+
+std::string NodeRef::ToString() const {
+  if (!valid()) return "<nil>";
+  return (is_virtual() ? "v" : "r") + std::to_string(index());
+}
+
+}  // namespace graphgen

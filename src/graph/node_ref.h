@@ -1,0 +1,57 @@
+#ifndef GRAPHGEN_GRAPH_NODE_REF_H_
+#define GRAPHGEN_GRAPH_NODE_REF_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace graphgen {
+
+/// Index of a *real* vertex (an entity row from the database).
+using NodeId = uint32_t;
+
+constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
+
+/// A reference to either a real node or a virtual node in a condensed
+/// graph, packed into 32 bits (MSB = virtual flag). Condensed adjacency
+/// lists store NodeRefs, so a real node's out-list can mix virtual nodes
+/// and direct real targets, exactly as DEDUP-1 requires (paper §4.3).
+class NodeRef {
+ public:
+  static constexpr uint32_t kVirtualBit = 0x80000000u;
+
+  NodeRef() : raw_(0xFFFFFFFFu) {}
+
+  static NodeRef Real(uint32_t index) { return NodeRef(index); }
+  static NodeRef Virtual(uint32_t index) { return NodeRef(index | kVirtualBit); }
+  static NodeRef FromRaw(uint32_t raw) { return NodeRef(raw); }
+
+  bool is_virtual() const { return (raw_ & kVirtualBit) != 0; }
+  bool is_real() const { return !is_virtual(); }
+  /// Index within the real or virtual node space.
+  uint32_t index() const { return raw_ & ~kVirtualBit; }
+  uint32_t raw() const { return raw_; }
+
+  bool valid() const { return raw_ != 0xFFFFFFFFu; }
+
+  bool operator==(const NodeRef& o) const { return raw_ == o.raw_; }
+  bool operator!=(const NodeRef& o) const { return raw_ != o.raw_; }
+  bool operator<(const NodeRef& o) const { return raw_ < o.raw_; }
+
+  /// "r12" or "v7".
+  std::string ToString() const;
+
+ private:
+  explicit NodeRef(uint32_t raw) : raw_(raw) {}
+  uint32_t raw_;
+};
+
+struct NodeRefHash {
+  size_t operator()(const NodeRef& r) const {
+    return std::hash<uint32_t>{}(r.raw());
+  }
+};
+
+}  // namespace graphgen
+
+#endif  // GRAPHGEN_GRAPH_NODE_REF_H_

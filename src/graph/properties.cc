@@ -1,0 +1,94 @@
+#include "graph/properties.h"
+
+namespace graphgen {
+
+size_t PropertyTable::AddColumn(const std::string& name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  size_t idx = column_names_.size();
+  column_names_.push_back(name);
+  index_[name] = idx;
+  columns_.emplace_back();
+  if (!external_keys_.empty()) columns_.back().resize(external_keys_.size());
+  return idx;
+}
+
+std::vector<std::string> PropertyTable::ColumnNames() const {
+  return column_names_;
+}
+
+void PropertyTable::ResizeVertices(size_t n) {
+  for (auto& col : columns_) col.resize(n);
+  external_keys_.resize(n);
+  key_lookup_valid_ = false;
+}
+
+void PropertyTable::Set(NodeId node, size_t column, std::string value) {
+  auto& col = columns_[column];
+  if (node >= col.size()) col.resize(node + 1);
+  col[node] = std::move(value);
+}
+
+Status PropertyTable::SetByName(NodeId node, const std::string& column,
+                                std::string value) {
+  auto it = index_.find(column);
+  if (it == index_.end()) {
+    return Status::NotFound("no property column named " + column);
+  }
+  Set(node, it->second, std::move(value));
+  return Status::OK();
+}
+
+const std::string& PropertyTable::Get(NodeId node, size_t column) const {
+  const auto& col = columns_[column];
+  if (node >= col.size()) return kEmpty;
+  return col[node];
+}
+
+std::optional<std::string> PropertyTable::GetByName(
+    NodeId node, const std::string& column) const {
+  auto it = index_.find(column);
+  if (it == index_.end()) return std::nullopt;
+  return Get(node, it->second);
+}
+
+void PropertyTable::SetExternalKey(NodeId node, std::string key) {
+  if (node >= external_keys_.size()) external_keys_.resize(node + 1);
+  external_keys_[node] = std::move(key);
+  key_lookup_valid_ = false;
+}
+
+const std::string& PropertyTable::ExternalKey(NodeId node) const {
+  if (node >= external_keys_.size()) return kEmpty;
+  return external_keys_[node];
+}
+
+std::optional<NodeId> PropertyTable::FindByExternalKey(
+    const std::string& key) const {
+  if (!key_lookup_valid_) {
+    key_lookup_.clear();
+    key_lookup_.reserve(external_keys_.size());
+    for (size_t i = 0; i < external_keys_.size(); ++i) {
+      if (!external_keys_[i].empty()) {
+        key_lookup_.emplace(external_keys_[i], static_cast<NodeId>(i));
+      }
+    }
+    key_lookup_valid_ = true;
+  }
+  auto it = key_lookup_.find(key);
+  if (it == key_lookup_.end()) return std::nullopt;
+  return it->second;
+}
+
+size_t PropertyTable::MemoryBytes() const {
+  size_t total = 0;
+  for (const auto& col : columns_) {
+    total += col.capacity() * sizeof(std::string);
+    for (const auto& s : col) total += s.capacity();
+  }
+  total += external_keys_.capacity() * sizeof(std::string);
+  for (const auto& s : external_keys_) total += s.capacity();
+  return total;
+}
+
+}  // namespace graphgen

@@ -1,0 +1,58 @@
+#ifndef GRAPHGEN_GRAPH_PROPERTIES_H_
+#define GRAPHGEN_GRAPH_PROPERTIES_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/node_ref.h"
+
+namespace graphgen {
+
+/// Columnar string properties attached to real vertices (paper §3.2: head
+/// arguments beyond the IDs become vertex properties, e.g. Name). Also
+/// holds the external database key each vertex was extracted from.
+class PropertyTable {
+ public:
+  /// Registers a property column; returns its index (idempotent by name).
+  size_t AddColumn(const std::string& name);
+
+  bool HasColumn(const std::string& name) const {
+    return index_.contains(name);
+  }
+  std::vector<std::string> ColumnNames() const;
+
+  /// Ensures capacity for `n` vertices in every column.
+  void ResizeVertices(size_t n);
+
+  void Set(NodeId node, size_t column, std::string value);
+  Status SetByName(NodeId node, const std::string& column, std::string value);
+
+  /// Value of `column` for `node` ("" when unset).
+  const std::string& Get(NodeId node, size_t column) const;
+  std::optional<std::string> GetByName(NodeId node,
+                                       const std::string& column) const;
+
+  void SetExternalKey(NodeId node, std::string key);
+  const std::string& ExternalKey(NodeId node) const;
+  /// Finds the vertex with the given external key, if any.
+  std::optional<NodeId> FindByExternalKey(const std::string& key) const;
+
+  size_t NumColumns() const { return columns_.size(); }
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<std::string> column_names_;
+  std::unordered_map<std::string, size_t> index_;
+  std::vector<std::vector<std::string>> columns_;
+  std::vector<std::string> external_keys_;
+  mutable std::unordered_map<std::string, NodeId> key_lookup_;
+  mutable bool key_lookup_valid_ = false;
+  inline static const std::string kEmpty{};
+};
+
+}  // namespace graphgen
+
+#endif  // GRAPHGEN_GRAPH_PROPERTIES_H_

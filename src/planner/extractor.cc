@@ -1,0 +1,329 @@
+#include "planner/extractor.h"
+
+#include <optional>
+#include <unordered_map>
+
+#include "common/timer.h"
+#include "datalog/parser.h"
+#include "datalog/validator.h"
+#include "planner/join_analysis.h"
+#include "planner/preprocess.h"
+#include "planner/segmenter.h"
+#include "query/executor.h"
+
+namespace graphgen::planner {
+
+namespace {
+
+// Key for virtual nodes: (edges-rule index, boundary index, join value).
+struct VirtualKey {
+  size_t rule = 0;
+  size_t boundary = 0;
+  rel::Value value;
+
+  bool operator==(const VirtualKey& o) const {
+    return rule == o.rule && boundary == o.boundary && value == o.value;
+  }
+};
+
+struct VirtualKeyHash {
+  size_t operator()(const VirtualKey& k) const {
+    size_t h = k.value.Hash();
+    h ^= k.rule * 0x9e3779b97f4a7c15ull + k.boundary * 0xc2b2ae3d27d4eb4full;
+    return h;
+  }
+};
+
+// Executes the Nodes rules: creates real nodes, assigns properties, and
+// fills the external-key -> NodeId map.
+Status ExecuteNodesRules(const rel::Database& db, const dsl::Program& program,
+                         ExtractionResult& result,
+                         std::unordered_map<rel::Value, NodeId, rel::ValueHash>&
+                             node_ids) {
+  query::Executor executor(&db);
+  CondensedStorage& storage = result.storage;
+
+  for (const dsl::Rule& rule : program.nodes_rules) {
+    if (rule.body.size() != 1) {
+      return Status::Unsupported(
+          "Nodes rules with multiple body atoms are not supported; define a "
+          "view table or use a single atom");
+    }
+    const dsl::Atom& atom = rule.body[0];
+
+    // Map head args to body columns.
+    std::vector<size_t> columns;
+    for (const std::string& head_var : rule.head_args) {
+      std::optional<size_t> col;
+      for (size_t i = 0; i < atom.args.size(); ++i) {
+        if (atom.args[i].kind == dsl::Term::Kind::kVariable &&
+            atom.args[i].variable == head_var) {
+          col = i;
+          break;
+        }
+      }
+      if (!col.has_value()) {
+        return Status::PlanError("head variable " + head_var +
+                                 " not found in Nodes body");
+      }
+      columns.push_back(*col);
+    }
+
+    // Predicates: constants in args + comparisons.
+    std::vector<query::Predicate> predicates;
+    for (size_t c = 0; c < atom.args.size(); ++c) {
+      if (atom.args[c].kind == dsl::Term::Kind::kConstant) {
+        predicates.push_back(
+            {c, query::CompareOp::kEq, atom.args[c].constant});
+      }
+    }
+    for (const dsl::Comparison& cmp : rule.comparisons) {
+      if (cmp.rhs_is_var) {
+        return Status::Unsupported(
+            "variable-variable comparisons are not supported in Nodes rules");
+      }
+      for (size_t i = 0; i < atom.args.size(); ++i) {
+        if (atom.args[i].kind == dsl::Term::Kind::kVariable &&
+            atom.args[i].variable == cmp.lhs_var) {
+          query::CompareOp op = query::CompareOp::kEq;
+          switch (cmp.op) {
+            case dsl::PredOp::kEq: op = query::CompareOp::kEq; break;
+            case dsl::PredOp::kNe: op = query::CompareOp::kNe; break;
+            case dsl::PredOp::kLt: op = query::CompareOp::kLt; break;
+            case dsl::PredOp::kLe: op = query::CompareOp::kLe; break;
+            case dsl::PredOp::kGt: op = query::CompareOp::kGt; break;
+            case dsl::PredOp::kGe: op = query::CompareOp::kGe; break;
+          }
+          predicates.push_back({i, op, cmp.rhs_const});
+          break;
+        }
+      }
+    }
+
+    query::ProjectNode plan(
+        std::make_unique<query::ScanNode>(atom.relation, predicates), columns,
+        rule.head_args, /*distinct=*/true);
+    result.sql.push_back(plan.ToSql());
+    GRAPHGEN_ASSIGN_OR_RETURN(query::ResultSet rows, executor.Execute(plan));
+    result.rows_scanned += rows.NumRows();
+
+    // Property columns registered once.
+    std::vector<size_t> prop_cols;
+    for (size_t i = 1; i < rule.head_args.size(); ++i) {
+      prop_cols.push_back(storage.properties().AddColumn(rule.head_args[i]));
+    }
+
+    for (const rel::Row& row : rows.rows) {
+      const rel::Value& key = row[0];
+      if (key.is_null()) continue;
+      auto [it, inserted] = node_ids.emplace(key, 0);
+      if (inserted) {
+        it->second = storage.AddRealNode();
+        storage.properties().SetExternalKey(it->second, key.ToString());
+      }
+      for (size_t i = 1; i < row.size(); ++i) {
+        storage.properties().Set(it->second, prop_cols[i - 1],
+                                 row[i].is_null() ? "" : row[i].ToString());
+      }
+    }
+  }
+  result.real_nodes = storage.NumRealNodes();
+  return Status::OK();
+}
+
+bool CompareCount(int64_t count, dsl::PredOp op, int64_t threshold) {
+  switch (op) {
+    case dsl::PredOp::kEq: return count == threshold;
+    case dsl::PredOp::kNe: return count != threshold;
+    case dsl::PredOp::kLt: return count < threshold;
+    case dsl::PredOp::kLe: return count <= threshold;
+    case dsl::PredOp::kGt: return count > threshold;
+    case dsl::PredOp::kGe: return count >= threshold;
+  }
+  return false;
+}
+
+// Case 2 of §3.3: a COUNT aggregate forces the full join. Executes the
+// whole chain, counts distinct bindings of the aggregate variable per
+// (ID1, ID2) pair, and adds a direct edge for every pair passing the
+// threshold ("co-authored multiple papers together", §1).
+Status ExtractWithCountConstraint(
+    const rel::Database& db, const JoinChain& chain,
+    const dsl::AggregateConstraint& agg,
+    const std::unordered_map<rel::Value, NodeId, rel::ValueHash>& node_ids,
+    ExtractionResult& result) {
+  // Column offsets of each atom in the concatenated join output.
+  std::vector<size_t> offsets(chain.atoms.size(), 0);
+  for (size_t i = 1; i < chain.atoms.size(); ++i) {
+    offsets[i] = offsets[i - 1] + chain.atoms[i - 1].atom->args.size();
+  }
+  // Locate the aggregate variable.
+  size_t agg_col = 0;
+  bool found = false;
+  for (size_t i = 0; i < chain.atoms.size() && !found; ++i) {
+    const dsl::Atom& atom = *chain.atoms[i].atom;
+    for (size_t c = 0; c < atom.args.size(); ++c) {
+      if (atom.args[c].kind == dsl::Term::Kind::kVariable &&
+          atom.args[c].variable == agg.variable) {
+        agg_col = offsets[i] + c;
+        found = true;
+        break;
+      }
+    }
+  }
+  if (!found) {
+    return Status::PlanError("COUNT variable not found in join chain");
+  }
+
+  // Full left-deep join over the entire chain.
+  std::unique_ptr<query::PlanNode> plan = std::make_unique<query::ScanNode>(
+      chain.atoms[0].atom->relation, chain.atoms[0].predicates);
+  for (size_t k = 1; k < chain.atoms.size(); ++k) {
+    auto right = std::make_unique<query::ScanNode>(
+        chain.atoms[k].atom->relation, chain.atoms[k].predicates);
+    size_t left_col = offsets[k - 1] + chain.atoms[k - 1].out_col;
+    plan = std::make_unique<query::HashJoinNode>(
+        std::move(plan), std::move(right), left_col, chain.atoms[k].in_col);
+  }
+  size_t src_col = chain.atoms.front().in_col;
+  size_t dst_col = offsets.back() + chain.atoms.back().out_col;
+  // DISTINCT (src, dst, aggvar) so each binding counts once per pair.
+  query::ProjectNode project(
+      std::move(plan), {src_col, dst_col, agg_col},
+      {"src", "dst", agg.variable}, /*distinct=*/true);
+  result.sql.push_back(project.ToSql() + "  -- GROUP BY src, dst HAVING COUNT(" +
+                       agg.variable + ") " +
+                       std::string(dsl::PredOpToString(agg.op)) + " " +
+                       std::to_string(agg.threshold));
+
+  query::Executor executor(&db);
+  GRAPHGEN_ASSIGN_OR_RETURN(query::ResultSet rows, executor.Execute(project));
+  result.rows_scanned += rows.NumRows();
+
+  // GROUP BY (src, dst) HAVING COUNT(aggvar) <op> threshold.
+  struct PairHash {
+    size_t operator()(const std::pair<NodeId, NodeId>& p) const {
+      return std::hash<uint64_t>{}((static_cast<uint64_t>(p.first) << 32) |
+                                   p.second);
+    }
+  };
+  std::unordered_map<std::pair<NodeId, NodeId>, int64_t, PairHash> counts;
+  for (const rel::Row& row : rows.rows) {
+    if (row[0].is_null() || row[1].is_null()) continue;
+    auto src = node_ids.find(row[0]);
+    auto dst = node_ids.find(row[1]);
+    if (src == node_ids.end() || dst == node_ids.end()) continue;
+    if (src->second == dst->second) continue;  // self pairs never edges
+    ++counts[{src->second, dst->second}];
+  }
+  for (const auto& [pair, count] : counts) {
+    if (CompareCount(count, agg.op, agg.threshold)) {
+      result.storage.AddEdge(NodeRef::Real(pair.first),
+                             NodeRef::Real(pair.second));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ExtractionResult> Extract(const rel::Database& db,
+                                 const dsl::Program& program,
+                                 const ExtractOptions& options) {
+  ExtractionResult result;
+  std::unordered_map<rel::Value, NodeId, rel::ValueHash> node_ids;
+
+  WallTimer timer;
+  GRAPHGEN_RETURN_NOT_OK(ExecuteNodesRules(db, program, result, node_ids));
+  result.nodes_seconds = timer.Seconds();
+
+  timer.Restart();
+  query::Executor executor(&db);
+  std::unordered_map<VirtualKey, uint32_t, VirtualKeyHash> virtual_ids;
+
+  for (size_t rule_idx = 0; rule_idx < program.edges_rules.size();
+       ++rule_idx) {
+    const dsl::Rule& rule = program.edges_rules[rule_idx];
+    GRAPHGEN_ASSIGN_OR_RETURN(
+        JoinChain chain,
+        AnalyzeEdgesRule(rule, db, options.large_output_factor));
+
+    if (rule.count_constraint.has_value()) {
+      GRAPHGEN_RETURN_NOT_OK(ExtractWithCountConstraint(
+          db, chain, *rule.count_constraint, node_ids, result));
+      continue;
+    }
+
+    GRAPHGEN_ASSIGN_OR_RETURN(std::vector<Segment> segments,
+                              BuildSegments(chain));
+
+    // Maps a segment boundary to the chain boundary index it postpones.
+    // Segment i's output feeds the large-output boundary after its last
+    // atom (if any).
+    for (size_t si = 0; si < segments.size(); ++si) {
+      const Segment& seg = segments[si];
+      result.sql.push_back(seg.sql);
+      GRAPHGEN_ASSIGN_OR_RETURN(query::ResultSet rows,
+                                executor.Execute(*seg.plan));
+      result.rows_scanned += rows.NumRows();
+
+      const bool first = si == 0;
+      const bool last = si + 1 == segments.size();
+
+      auto virtual_for = [&](size_t boundary,
+                             const rel::Value& value) -> NodeRef {
+        VirtualKey key{rule_idx, boundary, value};
+        auto [it, inserted] = virtual_ids.emplace(key, 0);
+        if (inserted) it->second = result.storage.AddVirtualNode();
+        return NodeRef::Virtual(it->second);
+      };
+
+      for (const rel::Row& row : rows.rows) {
+        const rel::Value& src = row[0];
+        const rel::Value& dst = row[1];
+        if (src.is_null() || dst.is_null()) continue;
+
+        NodeRef from;
+        NodeRef to;
+        if (first) {
+          auto it = node_ids.find(src);
+          if (it == node_ids.end()) continue;  // dangling key: no node
+          from = NodeRef::Real(it->second);
+        } else {
+          from = virtual_for(segments[si - 1].last_atom, src);
+        }
+        if (last) {
+          auto it = node_ids.find(dst);
+          if (it == node_ids.end()) continue;
+          to = NodeRef::Real(it->second);
+        } else {
+          to = virtual_for(seg.last_atom, dst);
+        }
+        result.storage.AddEdge(from, to);
+      }
+    }
+  }
+  result.edges_seconds = timer.Seconds();
+
+  if (options.preprocess) {
+    timer.Restart();
+    PreprocessResult pp =
+        ExpandSmallVirtualNodes(result.storage, options.threads);
+    (void)pp;
+    result.preprocess_seconds = timer.Seconds();
+  }
+
+  result.condensed_edges = result.storage.CountCondensedEdges();
+  result.virtual_nodes = result.storage.NumVirtualNodes();
+  return result;
+}
+
+Result<ExtractionResult> ExtractFromQuery(const rel::Database& db,
+                                          std::string_view datalog,
+                                          const ExtractOptions& options) {
+  GRAPHGEN_ASSIGN_OR_RETURN(dsl::Program program, dsl::Parse(datalog));
+  GRAPHGEN_RETURN_NOT_OK(dsl::Validate(program, db));
+  return Extract(db, program, options);
+}
+
+}  // namespace graphgen::planner

@@ -1,0 +1,55 @@
+#ifndef GRAPHGEN_PLANNER_EXTRACTOR_H_
+#define GRAPHGEN_PLANNER_EXTRACTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/ast.h"
+#include "graph/storage.h"
+#include "relational/database.h"
+
+namespace graphgen::planner {
+
+/// Extraction tuning knobs.
+struct ExtractOptions {
+  /// The constant in the large-output test (2.0 in the paper, §4.2).
+  /// <= 0 forces every join boundary large (always condense).
+  double large_output_factor = 2.0;
+  /// Run the §4.2 Step 6 preprocessing pass (expand tiny virtual nodes).
+  bool preprocess = true;
+  /// Worker threads for preprocessing (0 = hardware default).
+  size_t threads = 0;
+};
+
+/// What Extract produces: the condensed (possibly duplicated) graph plus
+/// bookkeeping that the benchmark harness reports (Table 1 columns).
+struct ExtractionResult {
+  CondensedStorage storage;
+  /// SQL issued to the database, one entry per executed query (Fig. 16).
+  std::vector<std::string> sql;
+  uint64_t rows_scanned = 0;
+  uint64_t condensed_edges = 0;
+  size_t virtual_nodes = 0;
+  size_t real_nodes = 0;
+  double nodes_seconds = 0.0;
+  double edges_seconds = 0.0;
+  double preprocess_seconds = 0.0;
+};
+
+/// Runs the full §4.2 pipeline for a validated program: executes the
+/// Nodes queries, analyzes each Edges rule, executes the per-segment SQL,
+/// materializes virtual nodes for the postponed large-output joins, and
+/// optionally preprocesses. The result is the C-DUP condensed graph.
+Result<ExtractionResult> Extract(const rel::Database& db,
+                                 const dsl::Program& program,
+                                 const ExtractOptions& options = {});
+
+/// Convenience: parse + validate + extract.
+Result<ExtractionResult> ExtractFromQuery(const rel::Database& db,
+                                          std::string_view datalog,
+                                          const ExtractOptions& options = {});
+
+}  // namespace graphgen::planner
+
+#endif  // GRAPHGEN_PLANNER_EXTRACTOR_H_

@@ -1,0 +1,68 @@
+#include "planner/preprocess.h"
+
+#include <mutex>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace graphgen::planner {
+
+PreprocessResult ExpandSmallVirtualNodes(CondensedStorage& storage,
+                                         size_t threads) {
+  PreprocessResult result;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++result.rounds;
+    const size_t nv = storage.NumVirtualNodes();
+    std::vector<uint32_t> candidates;
+    std::mutex mu;
+    ParallelFor(
+        nv,
+        [&](size_t begin, size_t end) {
+          std::vector<uint32_t> local;
+          for (size_t v = begin; v < end; ++v) {
+            const size_t in =
+                storage.InEdges(NodeRef::Virtual(static_cast<uint32_t>(v)))
+                    .size();
+            const size_t out =
+                storage.OutEdges(NodeRef::Virtual(static_cast<uint32_t>(v)))
+                    .size();
+            if (in == 0 && out == 0) continue;  // already expanded/husk
+            if (in * out <= in + out + 1) {
+              local.push_back(static_cast<uint32_t>(v));
+            }
+          }
+          if (!local.empty()) {
+            std::lock_guard<std::mutex> guard(mu);
+            candidates.insert(candidates.end(), local.begin(), local.end());
+          }
+        },
+        threads);
+    // Apply serially: expansion mutates shared adjacency. Re-check the
+    // condition because an earlier expansion in this round may have grown
+    // this node's degree.
+    for (uint32_t v : candidates) {
+      const size_t in = storage.InEdges(NodeRef::Virtual(v)).size();
+      const size_t out = storage.OutEdges(NodeRef::Virtual(v)).size();
+      if (in == 0 && out == 0) continue;
+      if (in * out <= in + out + 1) {
+        storage.ExpandVirtualNode(v);
+        ++result.expanded_virtual_nodes;
+        changed = true;
+      }
+    }
+  }
+  storage.CompactVirtualNodes();
+  return result;
+}
+
+bool ShouldExpand(const CondensedStorage& storage, double threshold) {
+  const uint64_t condensed = storage.CountCondensedEdges() +
+                             storage.NumVirtualNodes();
+  const uint64_t expanded = storage.CountExpandedEdges();
+  return static_cast<double>(expanded) <=
+         (1.0 + threshold) * static_cast<double>(condensed);
+}
+
+}  // namespace graphgen::planner

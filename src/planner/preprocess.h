@@ -1,0 +1,30 @@
+#ifndef GRAPHGEN_PLANNER_PREPROCESS_H_
+#define GRAPHGEN_PLANNER_PREPROCESS_H_
+
+#include <cstddef>
+
+#include "graph/storage.h"
+
+namespace graphgen::planner {
+
+struct PreprocessResult {
+  size_t expanded_virtual_nodes = 0;
+  size_t rounds = 0;
+};
+
+/// §4.2 Step 6: expands every virtual node whose expansion does not grow
+/// the graph — in*out <= in + out + 1 — replacing it with direct edges
+/// from its in-neighbors to its out-neighbors. Candidates are found in
+/// parallel; mutations are applied serially (the concurrency issues the
+/// paper alludes to are sidestepped by phase separation). Runs to a
+/// fixpoint since expanding one node can shrink its neighbors' degrees.
+PreprocessResult ExpandSmallVirtualNodes(CondensedStorage& storage,
+                                         size_t threads = 0);
+
+/// §6.5 guidance: expand the whole graph when the size increase is small.
+/// Returns true when expanded_edges <= (1 + threshold) * condensed size.
+bool ShouldExpand(const CondensedStorage& storage, double threshold = 0.2);
+
+}  // namespace graphgen::planner
+
+#endif  // GRAPHGEN_PLANNER_PREPROCESS_H_

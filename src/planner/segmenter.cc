@@ -1,0 +1,53 @@
+#include "planner/segmenter.h"
+
+namespace graphgen::planner {
+
+namespace {
+
+// Builds the plan for atoms [first, last] of the chain: left-deep hash
+// joins over the segment's small-output boundaries, then a DISTINCT
+// projection of the segment's endpoint columns.
+std::unique_ptr<query::PlanNode> BuildSegmentPlan(const JoinChain& chain,
+                                                  size_t first, size_t last) {
+  std::unique_ptr<query::PlanNode> plan = std::make_unique<query::ScanNode>(
+      chain.atoms[first].atom->relation, chain.atoms[first].predicates);
+  // Offset of each atom's columns in the concatenated join output.
+  size_t prev_offset = 0;
+  size_t width = chain.atoms[first].atom->args.size();
+  for (size_t k = first + 1; k <= last; ++k) {
+    auto right = std::make_unique<query::ScanNode>(
+        chain.atoms[k].atom->relation, chain.atoms[k].predicates);
+    size_t left_col = prev_offset + chain.atoms[k - 1].out_col;
+    plan = std::make_unique<query::HashJoinNode>(
+        std::move(plan), std::move(right), left_col, chain.atoms[k].in_col);
+    prev_offset = width;
+    width += chain.atoms[k].atom->args.size();
+  }
+  size_t in_col = chain.atoms[first].in_col;  // offset of first atom is 0
+  size_t out_col = prev_offset + chain.atoms[last].out_col;
+  return std::make_unique<query::ProjectNode>(
+      std::move(plan), std::vector<size_t>{in_col, out_col},
+      std::vector<std::string>{"src", "dst"}, /*distinct=*/true);
+}
+
+}  // namespace
+
+Result<std::vector<Segment>> BuildSegments(const JoinChain& chain) {
+  std::vector<Segment> segments;
+  size_t first = 0;
+  for (size_t i = 0; i <= chain.boundaries.size(); ++i) {
+    const bool cut =
+        i == chain.boundaries.size() || chain.boundaries[i].large_output;
+    if (!cut) continue;
+    Segment seg;
+    seg.first_atom = first;
+    seg.last_atom = i;
+    seg.plan = BuildSegmentPlan(chain, first, i);
+    seg.sql = seg.plan->ToSql();
+    segments.push_back(std::move(seg));
+    first = i + 1;
+  }
+  return segments;
+}
+
+}  // namespace graphgen::planner

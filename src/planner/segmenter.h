@@ -1,0 +1,30 @@
+#ifndef GRAPHGEN_PLANNER_SEGMENTER_H_
+#define GRAPHGEN_PLANNER_SEGMENTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "planner/join_analysis.h"
+
+namespace graphgen::planner {
+
+/// One executable segment of a join chain (§4.2 Step 3): a maximal run of
+/// atoms with only small-output joins between them. The segment's joins
+/// are handed to the database; the large-output joins at its ends are
+/// *postponed* and realized as virtual nodes.
+struct Segment {
+  size_t first_atom = 0;
+  size_t last_atom = 0;
+  std::unique_ptr<query::PlanNode> plan;  // projects (in_value, out_value)
+  std::string sql;
+};
+
+/// Splits the chain at its large-output boundaries and builds one
+/// DISTINCT-projecting query plan per segment. A chain with no
+/// large-output joins yields a single segment computing (ID1, ID2)
+/// directly (the "expand via the database" case).
+Result<std::vector<Segment>> BuildSegments(const JoinChain& chain);
+
+}  // namespace graphgen::planner
+
+#endif  // GRAPHGEN_PLANNER_SEGMENTER_H_

@@ -1,0 +1,146 @@
+#include "query/executor.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace graphgen::query {
+
+namespace {
+
+// Combines hashes of projected row values (FNV-style mix).
+struct RowHash {
+  size_t operator()(const rel::Row& r) const {
+    size_t h = 1469598103934665603ull;
+    for (const rel::Value& v : r) {
+      h ^= v.Hash();
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+Result<ResultSet> Executor::Execute(const PlanNode& plan) const {
+  if (const auto* scan = dynamic_cast<const ScanNode*>(&plan)) {
+    return ExecuteScan(*scan);
+  }
+  if (const auto* join = dynamic_cast<const HashJoinNode*>(&plan)) {
+    return ExecuteJoin(*join);
+  }
+  if (const auto* project = dynamic_cast<const ProjectNode*>(&plan)) {
+    return ExecuteProject(*project);
+  }
+  return Status::Internal("unknown plan node type");
+}
+
+Result<ResultSet> Executor::ExecuteScan(const ScanNode& node) const {
+  GRAPHGEN_ASSIGN_OR_RETURN(const rel::Table* table,
+                            db_->GetTable(node.table()));
+  ResultSet out;
+  out.schema = table->schema();
+  for (const Predicate& p : node.predicates()) {
+    if (p.column >= table->NumColumns()) {
+      return Status::PlanError("predicate column out of range for table " +
+                               node.table());
+    }
+  }
+  out.rows.reserve(node.predicates().empty() ? table->NumRows() : 0);
+  for (const rel::Row& row : table->rows()) {
+    bool keep = true;
+    for (const Predicate& p : node.predicates()) {
+      if (!p.Matches(row)) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) out.rows.push_back(row);
+  }
+  return out;
+}
+
+Result<ResultSet> Executor::ExecuteJoin(const HashJoinNode& node) const {
+  GRAPHGEN_ASSIGN_OR_RETURN(ResultSet left, Execute(node.left()));
+  GRAPHGEN_ASSIGN_OR_RETURN(ResultSet right, Execute(node.right()));
+  if (node.left_col() >= left.schema.NumColumns() ||
+      node.right_col() >= right.schema.NumColumns()) {
+    return Status::PlanError("join column out of range");
+  }
+
+  // Build on the smaller side.
+  const bool build_left = left.NumRows() <= right.NumRows();
+  const ResultSet& build = build_left ? left : right;
+  const ResultSet& probe = build_left ? right : left;
+  const size_t build_col = build_left ? node.left_col() : node.right_col();
+  const size_t probe_col = build_left ? node.right_col() : node.left_col();
+
+  std::unordered_map<rel::Value, std::vector<size_t>, rel::ValueHash> ht;
+  ht.reserve(build.NumRows());
+  for (size_t i = 0; i < build.NumRows(); ++i) {
+    const rel::Value& key = build.rows[i][build_col];
+    if (key.is_null()) continue;  // SQL semantics: NULL joins nothing.
+    ht[key].push_back(i);
+  }
+
+  ResultSet out;
+  {
+    std::vector<rel::ColumnDef> cols = left.schema.columns();
+    for (const auto& c : right.schema.columns()) cols.push_back(c);
+    out.schema = rel::Schema(std::move(cols));
+  }
+  for (const rel::Row& prow : probe.rows) {
+    const rel::Value& key = prow[probe_col];
+    if (key.is_null()) continue;
+    auto it = ht.find(key);
+    if (it == ht.end()) continue;
+    for (size_t bi : it->second) {
+      const rel::Row& brow = build.rows[bi];
+      rel::Row joined;
+      joined.reserve(left.schema.NumColumns() + right.schema.NumColumns());
+      const rel::Row& lrow = build_left ? brow : prow;
+      const rel::Row& rrow = build_left ? prow : brow;
+      joined.insert(joined.end(), lrow.begin(), lrow.end());
+      joined.insert(joined.end(), rrow.begin(), rrow.end());
+      out.rows.push_back(std::move(joined));
+    }
+  }
+  return out;
+}
+
+Result<ResultSet> Executor::ExecuteProject(const ProjectNode& node) const {
+  GRAPHGEN_ASSIGN_OR_RETURN(ResultSet child, Execute(node.child()));
+  for (size_t c : node.columns()) {
+    if (c >= child.schema.NumColumns()) {
+      return Status::PlanError("projection column out of range");
+    }
+  }
+  ResultSet out;
+  {
+    std::vector<rel::ColumnDef> cols;
+    cols.reserve(node.columns().size());
+    for (size_t i = 0; i < node.columns().size(); ++i) {
+      rel::ColumnDef def = child.schema.column(node.columns()[i]);
+      if (i < node.output_names().size() && !node.output_names()[i].empty()) {
+        def.name = node.output_names()[i];
+      }
+      cols.push_back(std::move(def));
+    }
+    out.schema = rel::Schema(std::move(cols));
+  }
+
+  std::unordered_set<rel::Row, RowHash> seen;
+  if (node.distinct()) seen.reserve(child.NumRows());
+  out.rows.reserve(child.NumRows());
+  for (const rel::Row& row : child.rows) {
+    rel::Row projected;
+    projected.reserve(node.columns().size());
+    for (size_t c : node.columns()) projected.push_back(row[c]);
+    if (node.distinct()) {
+      if (!seen.insert(projected).second) continue;
+    }
+    out.rows.push_back(std::move(projected));
+  }
+  return out;
+}
+
+}  // namespace graphgen::query

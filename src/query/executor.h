@@ -1,0 +1,30 @@
+#ifndef GRAPHGEN_QUERY_EXECUTOR_H_
+#define GRAPHGEN_QUERY_EXECUTOR_H_
+
+#include "common/status.h"
+#include "query/plan.h"
+#include "relational/database.h"
+
+namespace graphgen::query {
+
+/// Executes plan trees against a Database, materializing every operator
+/// (the extraction queries in this system are one-shot batch queries, so a
+/// simple materializing executor matches the paper's usage of PostgreSQL).
+class Executor {
+ public:
+  explicit Executor(const rel::Database* db) : db_(db) {}
+
+  /// Runs the plan and returns its result set.
+  Result<ResultSet> Execute(const PlanNode& plan) const;
+
+ private:
+  Result<ResultSet> ExecuteScan(const ScanNode& node) const;
+  Result<ResultSet> ExecuteJoin(const HashJoinNode& node) const;
+  Result<ResultSet> ExecuteProject(const ProjectNode& node) const;
+
+  const rel::Database* db_;
+};
+
+}  // namespace graphgen::query
+
+#endif  // GRAPHGEN_QUERY_EXECUTOR_H_

@@ -1,0 +1,63 @@
+#include "query/plan.h"
+
+namespace graphgen::query {
+
+std::string_view CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "<>";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+bool Predicate::Matches(const rel::Row& row) const {
+  const rel::Value& v = row[column];
+  switch (op) {
+    case CompareOp::kEq: return v == constant;
+    case CompareOp::kNe: return v != constant;
+    case CompareOp::kLt: return v < constant;
+    case CompareOp::kLe: return v < constant || v == constant;
+    case CompareOp::kGt: return constant < v;
+    case CompareOp::kGe: return constant < v || v == constant;
+  }
+  return false;
+}
+
+std::string ScanNode::ToSql() const {
+  std::string sql = "SELECT * FROM " + table_;
+  if (!predicates_.empty()) {
+    sql += " WHERE ";
+    for (size_t i = 0; i < predicates_.size(); ++i) {
+      if (i > 0) sql += " AND ";
+      sql += "$" + std::to_string(predicates_[i].column) + " " +
+             std::string(CompareOpToString(predicates_[i].op)) + " " +
+             predicates_[i].constant.ToString();
+    }
+  }
+  return sql;
+}
+
+std::string HashJoinNode::ToSql() const {
+  return "(" + left_->ToSql() + ") L JOIN (" + right_->ToSql() + ") R ON L.$" +
+         std::to_string(left_col_) + " = R.$" + std::to_string(right_col_);
+}
+
+std::string ProjectNode::ToSql() const {
+  std::string sql = "SELECT ";
+  if (distinct_) sql += "DISTINCT ";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) sql += ", ";
+    sql += "$" + std::to_string(columns_[i]);
+    if (i < output_names_.size() && !output_names_[i].empty()) {
+      sql += " AS " + output_names_[i];
+    }
+  }
+  sql += " FROM (" + child_->ToSql() + ")";
+  return sql;
+}
+
+}  // namespace graphgen::query

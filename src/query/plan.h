@@ -1,0 +1,111 @@
+#ifndef GRAPHGEN_QUERY_PLAN_H_
+#define GRAPHGEN_QUERY_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/schema.h"
+#include "relational/table.h"
+
+namespace graphgen::query {
+
+/// A fully materialized intermediate or final query result.
+struct ResultSet {
+  rel::Schema schema;
+  std::vector<rel::Row> rows;
+
+  size_t NumRows() const { return rows.size(); }
+};
+
+/// Comparison operators for selection predicates.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+std::string_view CompareOpToString(CompareOp op);
+
+/// column <op> constant.
+struct Predicate {
+  size_t column = 0;
+  CompareOp op = CompareOp::kEq;
+  rel::Value constant;
+
+  /// Evaluates the predicate against a row.
+  bool Matches(const rel::Row& row) const;
+};
+
+/// Base class of the (tiny) logical/physical plan tree. Plans are built by
+/// the GraphGen translation layer (§3.3) and executed by Executor. ToSql()
+/// renders the equivalent SQL text, mirroring the queries GraphGen would
+/// send to PostgreSQL (paper Fig. 16).
+class PlanNode {
+ public:
+  virtual ~PlanNode() = default;
+  virtual std::string ToSql() const = 0;
+};
+
+/// Sequential scan of a base table with optional predicates.
+class ScanNode : public PlanNode {
+ public:
+  ScanNode(std::string table, std::vector<Predicate> predicates = {})
+      : table_(std::move(table)), predicates_(std::move(predicates)) {}
+
+  const std::string& table() const { return table_; }
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+  std::string ToSql() const override;
+
+ private:
+  std::string table_;
+  std::vector<Predicate> predicates_;
+};
+
+/// Hash equi-join on one column from each side. Output schema is the
+/// concatenation of left and right schemas.
+class HashJoinNode : public PlanNode {
+ public:
+  HashJoinNode(std::unique_ptr<PlanNode> left, std::unique_ptr<PlanNode> right,
+               size_t left_col, size_t right_col)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        left_col_(left_col),
+        right_col_(right_col) {}
+
+  const PlanNode& left() const { return *left_; }
+  const PlanNode& right() const { return *right_; }
+  size_t left_col() const { return left_col_; }
+  size_t right_col() const { return right_col_; }
+  std::string ToSql() const override;
+
+ private:
+  std::unique_ptr<PlanNode> left_;
+  std::unique_ptr<PlanNode> right_;
+  size_t left_col_;
+  size_t right_col_;
+};
+
+/// Projection with optional DISTINCT and column renaming.
+class ProjectNode : public PlanNode {
+ public:
+  ProjectNode(std::unique_ptr<PlanNode> child, std::vector<size_t> columns,
+              std::vector<std::string> output_names, bool distinct)
+      : child_(std::move(child)),
+        columns_(std::move(columns)),
+        output_names_(std::move(output_names)),
+        distinct_(distinct) {}
+
+  const PlanNode& child() const { return *child_; }
+  const std::vector<size_t>& columns() const { return columns_; }
+  const std::vector<std::string>& output_names() const { return output_names_; }
+  bool distinct() const { return distinct_; }
+  std::string ToSql() const override;
+
+ private:
+  std::unique_ptr<PlanNode> child_;
+  std::vector<size_t> columns_;
+  std::vector<std::string> output_names_;
+  bool distinct_;
+};
+
+}  // namespace graphgen::query
+
+#endif  // GRAPHGEN_QUERY_PLAN_H_

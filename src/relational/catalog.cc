@@ -1,0 +1,38 @@
+#include "relational/catalog.h"
+
+#include "relational/table.h"
+
+namespace graphgen::rel {
+
+void Catalog::Analyze(const Table& table) {
+  TableStats ts;
+  ts.row_count = table.NumRows();
+  ts.columns.resize(table.NumColumns());
+  for (size_t c = 0; c < table.NumColumns(); ++c) {
+    ts.columns[c].n_distinct = table.CountDistinct(c);
+  }
+  stats_[table.name()] = std::move(ts);
+}
+
+Result<TableStats> Catalog::GetStats(const std::string& table) const {
+  auto it = stats_.find(table);
+  if (it == stats_.end()) {
+    return Status::NotFound("no statistics for table " + table +
+                            " (run ANALYZE)");
+  }
+  return it->second;
+}
+
+Result<uint64_t> Catalog::DistinctCount(const std::string& table,
+                                        size_t col) const {
+  auto it = stats_.find(table);
+  if (it == stats_.end()) {
+    return Status::NotFound("no statistics for table " + table);
+  }
+  if (col >= it->second.columns.size()) {
+    return Status::OutOfRange("column index out of range for " + table);
+  }
+  return it->second.columns[col].n_distinct;
+}
+
+}  // namespace graphgen::rel

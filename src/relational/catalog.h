@@ -1,0 +1,49 @@
+#ifndef GRAPHGEN_RELATIONAL_CATALOG_H_
+#define GRAPHGEN_RELATIONAL_CATALOG_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace graphgen::rel {
+
+class Table;
+
+/// Per-column statistics, equivalent to PostgreSQL's pg_stats.n_distinct
+/// which the paper consults to classify large-output joins (§4.2 Step 2).
+struct ColumnStats {
+  uint64_t n_distinct = 0;
+};
+
+/// Per-table statistics.
+struct TableStats {
+  uint64_t row_count = 0;
+  std::vector<ColumnStats> columns;
+};
+
+/// The system catalog: row counts and distinct-value counts, refreshed by
+/// Analyze(). The planner's large-output-join test reads from here, never
+/// from the raw tables, mirroring how GraphGen reads pg_stats.
+class Catalog {
+ public:
+  /// Computes exact statistics for a table (our ANALYZE).
+  void Analyze(const Table& table);
+
+  bool HasStats(const std::string& table) const {
+    return stats_.contains(table);
+  }
+  /// Stats for a table; Analyze must have been called for it.
+  Result<TableStats> GetStats(const std::string& table) const;
+
+  /// n_distinct for a column, or error if unknown.
+  Result<uint64_t> DistinctCount(const std::string& table, size_t col) const;
+
+ private:
+  std::unordered_map<std::string, TableStats> stats_;
+};
+
+}  // namespace graphgen::rel
+
+#endif  // GRAPHGEN_RELATIONAL_CATALOG_H_

@@ -1,0 +1,176 @@
+#include "relational/csv_loader.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace graphgen::rel {
+
+namespace {
+
+// Splits one CSV record; supports double-quoted fields with "" escapes.
+Result<std::vector<std::string>> SplitRecord(std::string_view line,
+                                             char delimiter, int line_no) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      if (!current.empty()) {
+        return Status::ParseError("unexpected quote mid-field at line " +
+                                  std::to_string(line_no));
+      }
+      quoted = true;
+    } else if (c == delimiter) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c != '\r') {
+      current += c;
+    }
+  }
+  if (quoted) {
+    return Status::ParseError("unterminated quoted field at line " +
+                              std::to_string(line_no));
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+bool LooksLikeInt(const std::string& s) {
+  if (s.empty()) return false;
+  size_t i = s[0] == '-' || s[0] == '+' ? 1 : 0;
+  if (i == s.size()) return false;
+  for (; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+  }
+  return true;
+}
+
+bool LooksLikeDouble(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+Value ParseField(const std::string& field, bool infer_types) {
+  if (field.empty()) return Value::Null();
+  if (infer_types) {
+    if (LooksLikeInt(field)) {
+      return Value(static_cast<int64_t>(std::strtoll(field.c_str(), nullptr, 10)));
+    }
+    if (LooksLikeDouble(field)) {
+      return Value(std::strtod(field.c_str(), nullptr));
+    }
+  }
+  return Value(field);
+}
+
+}  // namespace
+
+Result<Table> ParseCsv(const std::string& table_name, std::string_view text,
+                       const CsvOptions& options) {
+  std::vector<std::string_view> lines;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    if (end > start) lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  if (lines.empty()) {
+    return Status::ParseError("empty CSV input for table " + table_name);
+  }
+
+  size_t first_data = 0;
+  std::vector<std::string> names;
+  GRAPHGEN_ASSIGN_OR_RETURN(std::vector<std::string> first,
+                            SplitRecord(lines[0], options.delimiter, 1));
+  if (options.header) {
+    names = std::move(first);
+    first_data = 1;
+  } else {
+    for (size_t c = 0; c < first.size(); ++c) {
+      names.push_back("c" + std::to_string(c));
+    }
+  }
+
+  // First pass: parse all rows and track the dominant type per column.
+  std::vector<Row> rows;
+  std::vector<ValueType> types(names.size(), ValueType::kNull);
+  for (size_t li = first_data; li < lines.size(); ++li) {
+    GRAPHGEN_ASSIGN_OR_RETURN(
+        std::vector<std::string> fields,
+        SplitRecord(lines[li], options.delimiter, static_cast<int>(li + 1)));
+    if (fields.size() != names.size()) {
+      return Status::ParseError(
+          "line " + std::to_string(li + 1) + " has " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(names.size()));
+    }
+    Row row;
+    row.reserve(fields.size());
+    for (size_t c = 0; c < fields.size(); ++c) {
+      Value v = ParseField(fields[c], options.infer_types);
+      if (!v.is_null()) {
+        // Column type widens: int -> double -> string.
+        ValueType t = v.type();
+        if (types[c] == ValueType::kNull) {
+          types[c] = t;
+        } else if (types[c] != t) {
+          if ((types[c] == ValueType::kInt64 && t == ValueType::kDouble) ||
+              (types[c] == ValueType::kDouble && t == ValueType::kInt64)) {
+            types[c] = ValueType::kDouble;
+          } else {
+            types[c] = ValueType::kString;
+          }
+        }
+      }
+      row.push_back(std::move(v));
+    }
+    rows.push_back(std::move(row));
+  }
+
+  std::vector<ColumnDef> columns;
+  for (size_t c = 0; c < names.size(); ++c) {
+    columns.push_back(
+        {names[c],
+         types[c] == ValueType::kNull ? ValueType::kString : types[c]});
+  }
+  Table table(table_name, Schema(std::move(columns)));
+  table.Reserve(rows.size());
+  for (Row& row : rows) table.AppendUnchecked(std::move(row));
+  return table;
+}
+
+Result<Table*> LoadCsv(Database& db, const std::string& table_name,
+                       const std::string& path, const CsvOptions& options) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::string text;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+  GRAPHGEN_ASSIGN_OR_RETURN(Table table, ParseCsv(table_name, text, options));
+  return db.PutTable(std::move(table));
+}
+
+}  // namespace graphgen::rel

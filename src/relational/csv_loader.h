@@ -1,0 +1,33 @@
+#ifndef GRAPHGEN_RELATIONAL_CSV_LOADER_H_
+#define GRAPHGEN_RELATIONAL_CSV_LOADER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "relational/database.h"
+
+namespace graphgen::rel {
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// Treat the first row as column names. When false, columns are named
+  /// c0, c1, ...
+  bool header = true;
+  /// Values parsed per column: integers stay kInt64, decimal numbers
+  /// kDouble, everything else kString. Empty fields become NULL.
+  bool infer_types = true;
+};
+
+/// Loads a CSV file into a new table of `db` (replacing any table of the
+/// same name) and analyzes it. This is the practical ingestion path for
+/// users bringing their own relational data.
+Result<Table*> LoadCsv(Database& db, const std::string& table_name,
+                       const std::string& path, const CsvOptions& options = {});
+
+/// Parses CSV text already in memory (used by tests).
+Result<Table> ParseCsv(const std::string& table_name, std::string_view text,
+                       const CsvOptions& options = {});
+
+}  // namespace graphgen::rel
+
+#endif  // GRAPHGEN_RELATIONAL_CSV_LOADER_H_

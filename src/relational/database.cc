@@ -1,0 +1,56 @@
+#include "relational/database.h"
+
+namespace graphgen::rel {
+
+Result<Table*> Database::CreateTable(const std::string& name, Schema schema) {
+  if (tables_.contains(name)) {
+    return Status::AlreadyExists("table " + name + " already exists");
+  }
+  auto [it, _] = tables_.emplace(name, Table(name, std::move(schema)));
+  return &it->second;
+}
+
+Table* Database::PutTable(Table table) {
+  std::string name = table.name();
+  auto [it, _] = tables_.insert_or_assign(name, std::move(table));
+  catalog_.Analyze(it->second);
+  return &it->second;
+}
+
+Result<const Table*> Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table named " + name);
+  return &it->second;
+}
+
+Result<Table*> Database::GetMutableTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table named " + name);
+  return &it->second;
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+Status Database::Analyze(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table named " + name);
+  catalog_.Analyze(it->second);
+  return Status::OK();
+}
+
+void Database::AnalyzeAll() {
+  for (const auto& [_, table] : tables_) catalog_.Analyze(table);
+}
+
+size_t Database::MemoryBytes() const {
+  size_t total = 0;
+  for (const auto& [_, table] : tables_) total += table.MemoryBytes();
+  return total;
+}
+
+}  // namespace graphgen::rel

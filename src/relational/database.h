@@ -1,0 +1,57 @@
+#ifndef GRAPHGEN_RELATIONAL_DATABASE_H_
+#define GRAPHGEN_RELATIONAL_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/catalog.h"
+#include "relational/table.h"
+
+namespace graphgen::rel {
+
+/// The embedded relational database: a named collection of tables plus the
+/// system catalog. Stands in for PostgreSQL in this reproduction; the
+/// GraphGen planner needs only scans, hash joins, DISTINCT projection, and
+/// catalog statistics from it (paper footnote 2).
+class Database {
+ public:
+  Database() = default;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates an empty table; error if one with the same name exists.
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+
+  /// Adds a fully built table (generators use this), replacing any existing
+  /// table with the same name, and analyzes it.
+  Table* PutTable(Table table);
+
+  bool HasTable(const std::string& name) const { return tables_.contains(name); }
+  Result<const Table*> GetTable(const std::string& name) const;
+  Result<Table*> GetMutableTable(const std::string& name);
+
+  std::vector<std::string> TableNames() const;
+
+  /// Recomputes statistics for one table or all tables.
+  Status Analyze(const std::string& name);
+  void AnalyzeAll();
+
+  const Catalog& catalog() const { return catalog_; }
+
+  /// Sum of table footprints; the paper's guarantee is that a condensed
+  /// graph never exceeds this.
+  size_t MemoryBytes() const;
+
+ private:
+  std::map<std::string, Table> tables_;
+  Catalog catalog_;
+};
+
+}  // namespace graphgen::rel
+
+#endif  // GRAPHGEN_RELATIONAL_DATABASE_H_

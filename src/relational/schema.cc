@@ -1,0 +1,25 @@
+#include "relational/schema.h"
+
+namespace graphgen::rel {
+
+Schema::Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {}
+
+std::optional<size_t> Schema::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ' ';
+    out += ValueTypeToString(columns_[i].type);
+  }
+  return out;
+}
+
+}  // namespace graphgen::rel

@@ -1,0 +1,40 @@
+#ifndef GRAPHGEN_RELATIONAL_SCHEMA_H_
+#define GRAPHGEN_RELATIONAL_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace graphgen::rel {
+
+/// A named, typed column.
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+};
+
+/// Ordered list of columns for a table or intermediate result.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns);
+
+  size_t NumColumns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Index of the column with `name`, or nullopt.
+  std::optional<size_t> IndexOf(std::string_view name) const;
+
+  /// "name BIGINT, title VARCHAR" — used for DDL-style debug output.
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace graphgen::rel
+
+#endif  // GRAPHGEN_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,48 @@
+#include "relational/table.h"
+
+#include <unordered_set>
+
+namespace graphgen::rel {
+
+Status Table::Append(Row row) {
+  if (row.size() != schema_.NumColumns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match schema of " +
+        name_ + " (" + std::to_string(schema_.NumColumns()) + " columns)");
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Result<std::vector<int64_t>> Table::Int64Column(size_t col) const {
+  std::vector<int64_t> out;
+  out.reserve(rows_.size());
+  for (const Row& r : rows_) {
+    if (r[col].type() != ValueType::kInt64) {
+      return Status::ExecutionError("column " + std::to_string(col) + " of " +
+                                    name_ + " is not BIGINT");
+    }
+    out.push_back(r[col].AsInt64());
+  }
+  return out;
+}
+
+size_t Table::CountDistinct(size_t col) const {
+  std::unordered_set<Value, ValueHash> seen;
+  seen.reserve(rows_.size());
+  for (const Row& r : rows_) seen.insert(r[col]);
+  return seen.size();
+}
+
+size_t Table::MemoryBytes() const {
+  size_t total = rows_.capacity() * sizeof(Row);
+  for (const Row& r : rows_) {
+    total += r.capacity() * sizeof(Value);
+    for (const Value& v : r) {
+      if (v.type() == ValueType::kString) total += v.AsString().capacity();
+    }
+  }
+  return total;
+}
+
+}  // namespace graphgen::rel

@@ -1,0 +1,59 @@
+#ifndef GRAPHGEN_RELATIONAL_TABLE_H_
+#define GRAPHGEN_RELATIONAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace graphgen::rel {
+
+/// A materialized row (one Value per column).
+using Row = std::vector<Value>;
+
+/// An in-memory, row-oriented table. This plays the role of a PostgreSQL
+/// heap table in the paper's architecture: the planner only ever scans,
+/// filters, joins, and DISTINCT-projects these.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t NumRows() const { return rows_.size(); }
+  size_t NumColumns() const { return schema_.NumColumns(); }
+
+  const Row& row(size_t i) const { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Appends a row; returns InvalidArgument if the arity mismatches the
+  /// schema. Type checking is lenient (values are dynamically typed).
+  Status Append(Row row);
+
+  /// Appends without checks; used by generators on hot paths.
+  void AppendUnchecked(Row row) { rows_.push_back(std::move(row)); }
+  void Reserve(size_t n) { rows_.reserve(n); }
+
+  /// Extracts one column as a vector of int64 keys. Returns ExecutionError
+  /// if any value in the column is not an integer. Fast path for joins.
+  Result<std::vector<int64_t>> Int64Column(size_t col) const;
+
+  /// Number of distinct values in a column (exact; computed by ANALYZE).
+  size_t CountDistinct(size_t col) const;
+
+  /// Approximate heap footprint.
+  size_t MemoryBytes() const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace graphgen::rel
+
+#endif  // GRAPHGEN_RELATIONAL_TABLE_H_

@@ -1,0 +1,66 @@
+#include "relational/value.h"
+
+#include <cstdio>
+
+namespace graphgen::rel {
+
+std::string_view ValueTypeToString(ValueType t) {
+  switch (t) {
+    case ValueType::kNull: return "NULL";
+    case ValueType::kInt64: return "BIGINT";
+    case ValueType::kDouble: return "DOUBLE";
+    case ValueType::kString: return "VARCHAR";
+  }
+  return "?";
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(std::get<int64_t>(data_));
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", std::get<double>(data_));
+      return buf;
+    }
+    case ValueType::kString:
+      return "'" + std::get<std::string>(data_) + "'";
+  }
+  return "?";
+}
+
+bool Value::operator<(const Value& other) const {
+  ValueType a = type();
+  ValueType b = other.type();
+  // Numeric types compare by value across int/double.
+  bool a_num = a == ValueType::kInt64 || a == ValueType::kDouble;
+  bool b_num = b == ValueType::kInt64 || b == ValueType::kDouble;
+  if (a_num && b_num) return AsDouble() < other.AsDouble();
+  if (a != b) return static_cast<int>(a) < static_cast<int>(b);
+  switch (a) {
+    case ValueType::kNull:
+      return false;
+    case ValueType::kString:
+      return AsString() < other.AsString();
+    default:
+      return false;  // unreachable
+  }
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b9;
+    case ValueType::kInt64:
+      return std::hash<int64_t>{}(std::get<int64_t>(data_));
+    case ValueType::kDouble:
+      return std::hash<double>{}(std::get<double>(data_));
+    case ValueType::kString:
+      return std::hash<std::string>{}(std::get<std::string>(data_));
+  }
+  return 0;
+}
+
+}  // namespace graphgen::rel

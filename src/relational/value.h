@@ -1,0 +1,68 @@
+#ifndef GRAPHGEN_RELATIONAL_VALUE_H_
+#define GRAPHGEN_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+
+namespace graphgen::rel {
+
+/// Column types supported by the embedded relational engine. This is the
+/// minimal set needed by graph extraction queries (integer keys, numeric
+/// measures, and text properties).
+enum class ValueType { kNull = 0, kInt64, kDouble, kString };
+
+std::string_view ValueTypeToString(ValueType t);
+
+/// A dynamically typed cell value. Join keys are almost always kInt64; the
+/// executor has fast paths keyed on that.
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  /* implicit */ Value(int64_t v) : data_(v) {}
+  /* implicit */ Value(double v) : data_(v) {}
+  /* implicit */ Value(std::string v) : data_(std::move(v)) {}
+  /* implicit */ Value(const char* v) : data_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    switch (data_.index()) {
+      case 0: return ValueType::kNull;
+      case 1: return ValueType::kInt64;
+      case 2: return ValueType::kDouble;
+      default: return ValueType::kString;
+    }
+  }
+
+  bool is_null() const { return data_.index() == 0; }
+  int64_t AsInt64() const { return std::get<int64_t>(data_); }
+  double AsDouble() const {
+    if (data_.index() == 1) return static_cast<double>(std::get<int64_t>(data_));
+    return std::get<double>(data_);
+  }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  /// Renders the value for SQL text / debugging ('quoted' strings).
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  /// Total order: null < int/double (by numeric value) < string.
+  bool operator<(const Value& other) const;
+
+  /// Hash suitable for unordered containers.
+  size_t Hash() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace graphgen::rel
+
+#endif  // GRAPHGEN_RELATIONAL_VALUE_H_

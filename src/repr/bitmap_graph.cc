@@ -1,0 +1,152 @@
+#include "repr/bitmap_graph.h"
+
+#include <vector>
+
+namespace graphgen {
+
+void BitmapGraph::Traverse(NodeId u,
+                           const std::function<bool(NodeId)>& fn) const {
+  if (u >= storage_.NumRealNodes() || storage_.IsDeleted(u)) return;
+  std::vector<NodeRef> stack;
+  const auto& out = storage_.OutEdges(NodeRef::Real(u));
+  stack.assign(out.begin(), out.end());
+  while (!stack.empty()) {
+    NodeRef r = stack.back();
+    stack.pop_back();
+    if (r.is_real()) {
+      if (r.index() == u || storage_.IsDeleted(r.index())) continue;
+      if (!fn(r.index())) return;
+      continue;
+    }
+    const uint32_t v = r.index();
+    const auto& vout = storage_.OutEdges(r);
+    auto it = bitmaps_[v].find(u);
+    if (it == bitmaps_[v].end()) {
+      stack.insert(stack.end(), vout.begin(), vout.end());
+    } else {
+      const Bitmap& bm = it->second;
+      const size_t n = std::min(vout.size(), bm.size());
+      for (size_t i = 0; i < n; ++i) {
+        if (bm.Get(i)) stack.push_back(vout[i]);
+      }
+      // Edges appended after the bitmap was built are always traversable.
+      for (size_t i = bm.size(); i < vout.size(); ++i) {
+        stack.push_back(vout[i]);
+      }
+    }
+  }
+}
+
+void BitmapGraph::ForEachNeighbor(
+    NodeId u, const std::function<void(NodeId)>& fn) const {
+  Traverse(u, [&](NodeId v) {
+    fn(v);
+    return true;
+  });
+}
+
+bool BitmapGraph::ExistsEdge(NodeId u, NodeId v) const {
+  if (!VertexExists(u) || !VertexExists(v)) return false;
+  bool found = false;
+  Traverse(u, [&](NodeId w) {
+    if (w == v) {
+      found = true;
+      return false;
+    }
+    return true;
+  });
+  return found;
+}
+
+Status BitmapGraph::AddEdge(NodeId u, NodeId v) {
+  if (!VertexExists(u) || !VertexExists(v)) {
+    return Status::InvalidArgument("AddEdge endpoint does not exist");
+  }
+  if (ExistsEdge(u, v)) return Status::OK();
+  storage_.AddEdge(NodeRef::Real(u), NodeRef::Real(v));
+  return Status::OK();
+}
+
+Status BitmapGraph::DeleteEdge(NodeId u, NodeId v) {
+  if (!VertexExists(u) || !VertexExists(v)) {
+    return Status::InvalidArgument("DeleteEdge endpoint does not exist");
+  }
+  bool removed = false;
+  while (storage_.RemoveEdge(NodeRef::Real(u), NodeRef::Real(v))) {
+    removed = true;
+  }
+  // Bitmaps make logical deletion local: find the virtual node whose
+  // permitted out-edge reaches v and clear that bit. Repeat until no path
+  // remains (there is exactly one in a deduplicated graph).
+  while (true) {
+    // DFS carrying the (virtual node, out-edge index) that led to v.
+    struct Frame {
+      NodeRef node;
+      uint32_t via_virtual;
+      size_t via_index;
+    };
+    std::vector<Frame> stack;
+    for (NodeRef r : storage_.OutEdges(NodeRef::Real(u))) {
+      stack.push_back({r, 0xFFFFFFFFu, 0});
+    }
+    bool found = false;
+    while (!stack.empty()) {
+      Frame f = stack.back();
+      stack.pop_back();
+      if (f.node.is_real()) {
+        if (f.node.index() == v && f.via_virtual != 0xFFFFFFFFu) {
+          auto& bms = bitmaps_[f.via_virtual];
+          auto it = bms.find(u);
+          if (it == bms.end()) {
+            Bitmap bm(storage_.OutEdges(NodeRef::Virtual(f.via_virtual)).size(),
+                      true);
+            it = bms.emplace(u, std::move(bm)).first;
+          }
+          if (f.via_index < it->second.size()) it->second.Clear(f.via_index);
+          found = true;
+          removed = true;
+          break;
+        }
+        continue;
+      }
+      const uint32_t vn = f.node.index();
+      const auto& vout = storage_.OutEdges(f.node);
+      auto it = bitmaps_[vn].find(u);
+      for (size_t i = 0; i < vout.size(); ++i) {
+        if (it != bitmaps_[vn].end() && i < it->second.size() &&
+            !it->second.Get(i)) {
+          continue;
+        }
+        stack.push_back({vout[i], vn, i});
+      }
+    }
+    if (!found) break;
+  }
+  if (!removed) return Status::NotFound("edge does not exist");
+  return Status::OK();
+}
+
+Status BitmapGraph::DeleteVertex(NodeId v) {
+  if (!VertexExists(v)) {
+    return Status::NotFound("vertex does not exist");
+  }
+  storage_.DeleteRealNode(v);
+  return Status::OK();
+}
+
+size_t BitmapGraph::BitmapMemoryBytes() const {
+  size_t total = bitmaps_.capacity() * sizeof(bitmaps_[0]);
+  for (const auto& m : bitmaps_) {
+    total += m.size() * (sizeof(NodeId) + sizeof(Bitmap) + 16);
+    for (const auto& [_, bm] : m) total += bm.MemoryBytes();
+  }
+  return total;
+}
+
+size_t BitmapGraph::NumBitmaps() const {
+  size_t n = 0;
+  for (const auto& m : bitmaps_) n += m.size();
+  return n;
+}
+
+}  // namespace graphgen

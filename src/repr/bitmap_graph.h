@@ -1,0 +1,91 @@
+#ifndef GRAPHGEN_REPR_BITMAP_GRAPH_H_
+#define GRAPHGEN_REPR_BITMAP_GRAPH_H_
+
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/bitmap.h"
+#include "graph/graph.h"
+#include "graph/storage.h"
+
+namespace graphgen {
+
+/// BITMAP: the condensed structure of C-DUP augmented with per-virtual-node
+/// bitmaps (§4.3). A virtual node V may hold a bitmap for a source real
+/// node u, sized |out(V)|; during a traversal that started at u_s, bit i
+/// tells whether out-edge i of V may be followed. The bitmaps are set by
+/// the BITMAP-1 / BITMAP-2 preprocessing algorithms (§5.1) so that every
+/// real target is reached exactly once — getNeighbors needs no hash set.
+///
+/// A (u, V) pair with no bitmap is traversed unrestricted; the
+/// preprocessing algorithms install bitmaps for every reachable pair, so
+/// this fallback only fires for edges added after preprocessing.
+class BitmapGraph : public Graph {
+ public:
+  explicit BitmapGraph(CondensedStorage storage)
+      : storage_(std::move(storage)),
+        bitmaps_(storage_.NumVirtualNodes()) {}
+
+  std::string_view Name() const override { return "BITMAP"; }
+
+  size_t NumVertices() const override { return storage_.NumRealNodes(); }
+  size_t NumActiveVertices() const override {
+    return storage_.NumActiveRealNodes();
+  }
+  bool VertexExists(NodeId v) const override {
+    return v < storage_.NumRealNodes() && !storage_.IsDeleted(v);
+  }
+
+  void ForEachNeighbor(NodeId u,
+                       const std::function<void(NodeId)>& fn) const override;
+
+  bool ExistsEdge(NodeId u, NodeId v) const override;
+  Status AddEdge(NodeId u, NodeId v) override;
+  Status DeleteEdge(NodeId u, NodeId v) override;
+  NodeId AddVertex() override { return storage_.AddRealNode(); }
+  Status DeleteVertex(NodeId v) override;
+
+  uint64_t CountStoredEdges() const override {
+    return storage_.CountCondensedEdges();
+  }
+  size_t NumVirtualNodes() const override {
+    return storage_.NumVirtualNodes();
+  }
+  size_t MemoryBytes() const override {
+    return storage_.MemoryBytes() + storage_.properties().MemoryBytes() +
+           BitmapMemoryBytes();
+  }
+
+  /// Extra heap used by the bitmaps themselves — the overhead the paper
+  /// flags as this representation's main drawback.
+  size_t BitmapMemoryBytes() const;
+  /// Number of (source, virtual-node) bitmaps installed.
+  size_t NumBitmaps() const;
+
+  /// Bitmap accessors used by the preprocessing algorithms.
+  std::unordered_map<NodeId, Bitmap>& MutableBitmapsFor(uint32_t virt) {
+    return bitmaps_[virt];
+  }
+  const std::unordered_map<NodeId, Bitmap>& BitmapsFor(uint32_t virt) const {
+    return bitmaps_[virt];
+  }
+
+  const CondensedStorage& storage() const { return storage_; }
+  CondensedStorage& mutable_storage() { return storage_; }
+
+ private:
+  // Traverses from `r` on behalf of source u, honoring bitmaps; returns
+  // via fn. Used by ForEachNeighbor / ExistsEdge.
+  void Traverse(NodeId u, const std::function<bool(NodeId)>& fn) const;
+
+  CondensedStorage storage_;
+  // bitmaps_[v][u] = allowed out-edges of virtual node v for traversals
+  // originating at real node u.
+  std::vector<std::unordered_map<NodeId, Bitmap>> bitmaps_;
+};
+
+}  // namespace graphgen
+
+#endif  // GRAPHGEN_REPR_BITMAP_GRAPH_H_

@@ -1,0 +1,86 @@
+#ifndef GRAPHGEN_REPR_DEDUP2_GRAPH_H_
+#define GRAPHGEN_REPR_DEDUP2_GRAPH_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/properties.h"
+
+namespace graphgen {
+
+/// DEDUP-2: the optimized representation for single-layer *symmetric*
+/// condensed graphs (§4.3, Appendix B). All edges are undirected:
+///  * a real node belongs to zero or more virtual nodes (cliques), and
+///  * virtual nodes may be linked by undirected virtual-virtual edges.
+/// u and v are neighbors iff they share a virtual node, or belong to two
+/// virtual nodes connected by a virtual-virtual edge (exactly 1 hop).
+///
+/// Invariants (maintained by the DEDUP-2 builder, verified in tests):
+///  (1) any two virtual nodes share at most one real member, and
+///  (2) the virtual neighbors of a virtual node are pairwise disjoint and
+///      disjoint from it — so getNeighbors is duplicate-free with no
+///      hash set.
+class Dedup2Graph : public Graph {
+ public:
+  Dedup2Graph() = default;
+  explicit Dedup2Graph(size_t num_real)
+      : membership_(num_real), deleted_(num_real, 0) {}
+
+  std::string_view Name() const override { return "DEDUP-2"; }
+
+  size_t NumVertices() const override { return membership_.size(); }
+  size_t NumActiveVertices() const override {
+    return membership_.size() - num_deleted_;
+  }
+  bool VertexExists(NodeId v) const override {
+    return v < membership_.size() && !deleted_[v];
+  }
+
+  void ForEachNeighbor(NodeId u,
+                       const std::function<void(NodeId)>& fn) const override;
+
+  bool ExistsEdge(NodeId u, NodeId v) const override;
+  /// Adds an *undirected* logical edge (creates a pair virtual node).
+  Status AddEdge(NodeId u, NodeId v) override;
+  /// Deletes the undirected logical edge u -- v (both directions).
+  Status DeleteEdge(NodeId u, NodeId v) override;
+  NodeId AddVertex() override;
+  Status DeleteVertex(NodeId v) override;
+
+  uint64_t CountStoredEdges() const override;
+  size_t NumVirtualNodes() const override { return members_.size(); }
+  size_t MemoryBytes() const override;
+
+  // ---- Builder interface (used by the DEDUP-2 greedy algorithm) ----
+
+  /// Creates a virtual node with the given members; returns its id.
+  uint32_t AddVirtualNode(std::vector<NodeId> members);
+  /// Adds an undirected virtual-virtual edge.
+  void AddVirtualEdge(uint32_t v, uint32_t w);
+  void RemoveVirtualEdge(uint32_t v, uint32_t w);
+  /// Removes `u` from virtual node `v`'s member list.
+  void DetachMember(uint32_t v, NodeId u);
+
+  const std::vector<NodeId>& Members(uint32_t v) const { return members_[v]; }
+  const std::vector<uint32_t>& VirtualNeighbors(uint32_t v) const {
+    return vadj_[v];
+  }
+  const std::vector<uint32_t>& MembershipOf(NodeId u) const {
+    return membership_[u];
+  }
+
+  PropertyTable& properties() { return properties_; }
+  const PropertyTable& properties() const { return properties_; }
+
+ private:
+  std::vector<std::vector<uint32_t>> membership_;  // real -> virtual ids
+  std::vector<std::vector<NodeId>> members_;       // virtual -> real ids
+  std::vector<std::vector<uint32_t>> vadj_;        // undirected virtual adj
+  std::vector<uint8_t> deleted_;
+  size_t num_deleted_ = 0;
+  PropertyTable properties_;
+};
+
+}  // namespace graphgen
+
+#endif  // GRAPHGEN_REPR_DEDUP2_GRAPH_H_

@@ -1,0 +1,105 @@
+#include "repr/expanded_graph.h"
+
+#include <algorithm>
+
+#include "common/memory.h"
+
+namespace graphgen {
+
+void ExpandedGraph::ForEachNeighbor(
+    NodeId u, const std::function<void(NodeId)>& fn) const {
+  if (!VertexExists(u)) return;
+  for (NodeId v : out_[u]) {
+    if (!deleted_[v]) fn(v);
+  }
+}
+
+size_t ExpandedGraph::OutDegree(NodeId u) const {
+  if (!VertexExists(u)) return 0;
+  if (num_deleted_ == 0) return out_[u].size();
+  size_t n = 0;
+  for (NodeId v : out_[u]) {
+    if (!deleted_[v]) ++n;
+  }
+  return n;
+}
+
+bool ExpandedGraph::ExistsEdge(NodeId u, NodeId v) const {
+  if (!VertexExists(u) || !VertexExists(v)) return false;
+  return std::binary_search(out_[u].begin(), out_[u].end(), v);
+}
+
+Status ExpandedGraph::AddEdge(NodeId u, NodeId v) {
+  if (!VertexExists(u) || !VertexExists(v)) {
+    return Status::InvalidArgument("AddEdge endpoint does not exist");
+  }
+  auto it = std::lower_bound(out_[u].begin(), out_[u].end(), v);
+  if (it != out_[u].end() && *it == v) return Status::OK();
+  out_[u].insert(it, v);
+  auto it2 = std::lower_bound(in_[v].begin(), in_[v].end(), u);
+  in_[v].insert(it2, u);
+  return Status::OK();
+}
+
+Status ExpandedGraph::DeleteEdge(NodeId u, NodeId v) {
+  if (!VertexExists(u) || !VertexExists(v)) {
+    return Status::InvalidArgument("DeleteEdge endpoint does not exist");
+  }
+  auto it = std::lower_bound(out_[u].begin(), out_[u].end(), v);
+  if (it == out_[u].end() || *it != v) {
+    return Status::NotFound("edge does not exist");
+  }
+  out_[u].erase(it);
+  auto it2 = std::lower_bound(in_[v].begin(), in_[v].end(), u);
+  if (it2 != in_[v].end() && *it2 == u) in_[v].erase(it2);
+  return Status::OK();
+}
+
+NodeId ExpandedGraph::AddVertex() {
+  out_.emplace_back();
+  in_.emplace_back();
+  deleted_.push_back(0);
+  return static_cast<NodeId>(out_.size() - 1);
+}
+
+Status ExpandedGraph::DeleteVertex(NodeId v) {
+  if (!VertexExists(v)) {
+    return Status::NotFound("vertex does not exist");
+  }
+  deleted_[v] = 1;
+  ++num_deleted_;
+  return Status::OK();
+}
+
+uint64_t ExpandedGraph::CountStoredEdges() const {
+  uint64_t total = 0;
+  for (NodeId u = 0; u < out_.size(); ++u) {
+    if (deleted_[u]) continue;
+    if (num_deleted_ == 0) {
+      total += out_[u].size();
+    } else {
+      for (NodeId v : out_[u]) {
+        if (!deleted_[v]) ++total;
+      }
+    }
+  }
+  return total;
+}
+
+size_t ExpandedGraph::MemoryBytes() const {
+  return NestedVectorBytes(out_) + NestedVectorBytes(in_) +
+         VectorBytes(deleted_) + properties_.MemoryBytes();
+}
+
+void ExpandedGraph::FinishBulkLoad() {
+  for (auto& l : out_) {
+    std::sort(l.begin(), l.end());
+    l.erase(std::unique(l.begin(), l.end()), l.end());
+  }
+  for (auto& l : in_) {
+    std::sort(l.begin(), l.end());
+    l.erase(std::unique(l.begin(), l.end()), l.end());
+  }
+}
+
+}  // namespace graphgen

@@ -1,0 +1,72 @@
+#ifndef GRAPHGEN_REPR_EXPANDED_GRAPH_H_
+#define GRAPHGEN_REPR_EXPANDED_GRAPH_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/properties.h"
+
+namespace graphgen {
+
+/// EXP: the fully expanded graph — every logical edge is a direct real-to-
+/// real edge, no virtual nodes (§4.3). Fastest to iterate, largest
+/// footprint; the baseline all other representations are compared against.
+/// Adjacency lists are kept sorted so ExistsEdge is a binary search.
+class ExpandedGraph : public Graph {
+ public:
+  ExpandedGraph() = default;
+  explicit ExpandedGraph(size_t num_vertices)
+      : out_(num_vertices), in_(num_vertices), deleted_(num_vertices, 0) {}
+
+  std::string_view Name() const override { return "EXP"; }
+
+  size_t NumVertices() const override { return out_.size(); }
+  size_t NumActiveVertices() const override {
+    return out_.size() - num_deleted_;
+  }
+  bool VertexExists(NodeId v) const override {
+    return v < out_.size() && !deleted_[v];
+  }
+
+  void ForEachNeighbor(NodeId u,
+                       const std::function<void(NodeId)>& fn) const override;
+
+  size_t OutDegree(NodeId u) const override;
+
+  bool ExistsEdge(NodeId u, NodeId v) const override;
+  Status AddEdge(NodeId u, NodeId v) override;
+  Status DeleteEdge(NodeId u, NodeId v) override;
+  NodeId AddVertex() override;
+  Status DeleteVertex(NodeId v) override;
+
+  uint64_t CountStoredEdges() const override;
+  size_t NumVirtualNodes() const override { return 0; }
+  size_t MemoryBytes() const override;
+
+  /// Direct access to a (sorted) adjacency list; used by the expander and
+  /// compression baselines.
+  const std::vector<NodeId>& RawNeighbors(NodeId u) const { return out_[u]; }
+  const std::vector<NodeId>& RawInNeighbors(NodeId u) const { return in_[u]; }
+
+  /// Bulk edge insertion without sorting; call FinishBulkLoad afterwards.
+  void AddEdgeUnchecked(NodeId u, NodeId v) {
+    out_[u].push_back(v);
+    in_[v].push_back(u);
+  }
+  /// Sorts and deduplicates all adjacency lists after bulk loading.
+  void FinishBulkLoad();
+
+  PropertyTable& properties() { return properties_; }
+  const PropertyTable& properties() const { return properties_; }
+
+ private:
+  std::vector<std::vector<NodeId>> out_;
+  std::vector<std::vector<NodeId>> in_;
+  std::vector<uint8_t> deleted_;
+  size_t num_deleted_ = 0;
+  PropertyTable properties_;
+};
+
+}  // namespace graphgen
+
+#endif  // GRAPHGEN_REPR_EXPANDED_GRAPH_H_

@@ -1,0 +1,42 @@
+#include "repr/expander.h"
+
+#include <mutex>
+#include <unordered_set>
+
+#include "common/parallel.h"
+
+namespace graphgen {
+
+ExpandedGraph ExpandCondensed(const CondensedStorage& storage) {
+  const size_t n = storage.NumRealNodes();
+  ExpandedGraph graph(n);
+  // Out-lists are independent per source node, so fill them in parallel;
+  // in-lists are rebuilt afterwards to avoid cross-thread writes.
+  std::vector<std::vector<NodeId>> out(n);
+  ParallelFor(n, [&](size_t begin, size_t end) {
+    std::unordered_set<NodeId> seen;
+    for (size_t u = begin; u < end; ++u) {
+      if (storage.IsDeleted(static_cast<NodeId>(u))) continue;
+      seen.clear();
+      storage.ForEachPathNeighbor(static_cast<NodeId>(u), [&](NodeId v) {
+        if (seen.insert(v).second) out[u].push_back(v);
+      });
+    }
+  });
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : out[u]) graph.AddEdgeUnchecked(u, v);
+  }
+  graph.FinishBulkLoad();
+  // Copy vertex properties across.
+  graph.properties() = storage.properties();
+  // Propagate lazy deletions.
+  for (NodeId u = 0; u < n; ++u) {
+    if (storage.IsDeleted(u)) {
+      Status st = graph.DeleteVertex(u);
+      (void)st;
+    }
+  }
+  return graph;
+}
+
+}  // namespace graphgen

@@ -1,0 +1,19 @@
+#ifndef GRAPHGEN_REPR_EXPANDER_H_
+#define GRAPHGEN_REPR_EXPANDER_H_
+
+#include "graph/storage.h"
+#include "repr/expanded_graph.h"
+
+namespace graphgen {
+
+/// Materializes the fully expanded graph (EXP) from a condensed graph:
+/// for every real node, all distinct reachable real targets become direct
+/// edges and the virtual nodes are dropped. This is the step the paper's
+/// condensed representations exist to avoid; it is provided both as the
+/// evaluation baseline and for the "expand if the increase is small"
+/// policy of §4.2 Step 6 / §6.5.
+ExpandedGraph ExpandCondensed(const CondensedStorage& storage);
+
+}  // namespace graphgen
+
+#endif  // GRAPHGEN_REPR_EXPANDER_H_

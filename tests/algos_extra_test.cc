@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "algos/clustering.h"
+#include "algos/kcore.h"
+#include "dedup/bitmap_algorithms.h"
+#include "repr/cdup_graph.h"
+#include "repr/expander.h"
+#include "test_util.h"
+
+namespace graphgen {
+namespace {
+
+using testing::AddMember;
+using testing::MakeFigure1Graph;
+using testing::MakeRandomSymmetric;
+
+ExpandedGraph Clique(size_t n) {
+  ExpandedGraph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u != v) {
+        EXPECT_TRUE(g.AddEdge(u, v).ok());
+      }
+    }
+  }
+  return g;
+}
+
+TEST(KCoreTest, CliqueHasUniformCore) {
+  ExpandedGraph g = Clique(6);
+  std::vector<uint32_t> core = KCoreDecomposition(g);
+  for (uint32_t c : core) EXPECT_EQ(c, 5u);
+  EXPECT_EQ(Degeneracy(core), 5u);
+}
+
+TEST(KCoreTest, PathGraphIsOneCore) {
+  ExpandedGraph g(5);
+  for (NodeId u = 0; u + 1 < 5; ++u) {
+    ASSERT_TRUE(g.AddEdge(u, u + 1).ok());
+    ASSERT_TRUE(g.AddEdge(u + 1, u).ok());
+  }
+  std::vector<uint32_t> core = KCoreDecomposition(g);
+  for (uint32_t c : core) EXPECT_EQ(c, 1u);
+}
+
+TEST(KCoreTest, CliqueWithPendant) {
+  // 4-clique {0..3} plus pendant 4 attached to 0.
+  ExpandedGraph g(5);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = 0; v < 4; ++v) {
+      if (u != v) {
+        ASSERT_TRUE(g.AddEdge(u, v).ok());
+      }
+    }
+  }
+  ASSERT_TRUE(g.AddEdge(0, 4).ok());
+  ASSERT_TRUE(g.AddEdge(4, 0).ok());
+  std::vector<uint32_t> core = KCoreDecomposition(g);
+  EXPECT_EQ(core[4], 1u);
+  for (NodeId u = 0; u < 4; ++u) EXPECT_EQ(core[u], 3u);
+}
+
+TEST(KCoreTest, Figure1Cores) {
+  CDupGraph g(MakeFigure1Graph());
+  std::vector<uint32_t> core = KCoreDecomposition(g);
+  // {a1,a2,a3,a4} form a 4-clique (3-core); a5 is a pendant.
+  EXPECT_EQ(core[0], 3u);
+  EXPECT_EQ(core[1], 3u);
+  EXPECT_EQ(core[2], 3u);
+  EXPECT_EQ(core[3], 3u);
+  EXPECT_EQ(core[4], 1u);
+}
+
+TEST(KCoreTest, AgreesAcrossRepresentations) {
+  CondensedStorage s = MakeRandomSymmetric(60, 20, 6, 17);
+  CDupGraph cdup(s);
+  ExpandedGraph exp = ExpandCondensed(s);
+  auto bm = BuildBitmap2(s);
+  ASSERT_TRUE(bm.ok());
+  std::vector<uint32_t> a = KCoreDecomposition(cdup);
+  EXPECT_EQ(a, KCoreDecomposition(exp));
+  EXPECT_EQ(a, KCoreDecomposition(*bm));
+}
+
+TEST(ClusteringTest, CliqueIsFullyClustered) {
+  ExpandedGraph g = Clique(5);
+  std::vector<double> c = LocalClusteringCoefficients(g);
+  for (double x : c) EXPECT_DOUBLE_EQ(x, 1.0);
+  EXPECT_DOUBLE_EQ(AverageClusteringCoefficient(g), 1.0);
+}
+
+TEST(ClusteringTest, StarHasZeroClustering) {
+  ExpandedGraph g(5);
+  for (NodeId leaf = 1; leaf < 5; ++leaf) {
+    ASSERT_TRUE(g.AddEdge(0, leaf).ok());
+    ASSERT_TRUE(g.AddEdge(leaf, 0).ok());
+  }
+  std::vector<double> c = LocalClusteringCoefficients(g);
+  EXPECT_DOUBLE_EQ(c[0], 0.0);
+  EXPECT_DOUBLE_EQ(AverageClusteringCoefficient(g), 0.0);
+}
+
+TEST(ClusteringTest, TriangleWithTail) {
+  // Triangle {0,1,2} plus 3 attached to 2: c(0)=c(1)=1, c(2)=1/3.
+  ExpandedGraph g(4);
+  auto bi = [&](NodeId a, NodeId b) {
+    ASSERT_TRUE(g.AddEdge(a, b).ok());
+    ASSERT_TRUE(g.AddEdge(b, a).ok());
+  };
+  bi(0, 1);
+  bi(1, 2);
+  bi(0, 2);
+  bi(2, 3);
+  std::vector<double> c = LocalClusteringCoefficients(g);
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+  EXPECT_DOUBLE_EQ(c[1], 1.0);
+  EXPECT_NEAR(c[2], 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(c[3], 0.0);
+}
+
+TEST(ClusteringTest, CoOccurrenceGraphsAreHighlyClustered) {
+  // Clique-union graphs should have average clustering near 1 — a sanity
+  // property of the condensed model (cliques come from virtual nodes).
+  CondensedStorage s = MakeRandomSymmetric(80, 10, 8, 23);
+  CDupGraph g(s);
+  EXPECT_GT(AverageClusteringCoefficient(g), 0.5);
+}
+
+TEST(ClusteringTest, AgreesAcrossRepresentations) {
+  CondensedStorage s = MakeRandomSymmetric(50, 15, 5, 29);
+  CDupGraph cdup(s);
+  ExpandedGraph exp = ExpandCondensed(s);
+  std::vector<double> a = LocalClusteringCoefficients(cdup);
+  std::vector<double> b = LocalClusteringCoefficients(exp);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-12);
+}
+
+}  // namespace
+}  // namespace graphgen

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "algos/bfs.h"
+#include "algos/connected_components.h"
+#include "algos/degree.h"
+#include "algos/pagerank.h"
+#include "algos/triangles.h"
+#include "dedup/bitmap_algorithms.h"
+#include "dedup/dedup1_algorithms.h"
+#include "dedup/dedup2_builder.h"
+#include "repr/cdup_graph.h"
+#include "repr/expander.h"
+#include "test_util.h"
+
+namespace graphgen {
+namespace {
+
+using testing::MakeFigure1Graph;
+using testing::MakeRandomSymmetric;
+
+TEST(DegreeTest, Figure1) {
+  CDupGraph g(MakeFigure1Graph());
+  std::vector<uint64_t> d = ComputeDegrees(g);
+  // a1: {a2,a3,a4}; a2: {a1,a3,a4}; a3: {a1,a2,a4}; a4: {a1,a2,a3,a5};
+  // a5: {a4}.
+  EXPECT_EQ(d, (std::vector<uint64_t>{3, 3, 3, 4, 1}));
+}
+
+TEST(BfsTest, DistancesOnFigure1) {
+  CDupGraph g(MakeFigure1Graph());
+  std::vector<uint32_t> dist = Bfs(g, 0);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[3], 1u);
+  EXPECT_EQ(dist[4], 2u);  // a5 via a4
+}
+
+TEST(BfsTest, UnreachableMarked) {
+  CondensedStorage s;
+  s.AddRealNodes(3);
+  uint32_t v = s.AddVirtualNode();
+  testing::AddMember(s, 0, v);
+  testing::AddMember(s, 1, v);
+  CDupGraph g(std::move(s));
+  std::vector<uint32_t> dist = Bfs(g, 0);
+  EXPECT_EQ(dist[2], kUnreachable);
+}
+
+TEST(BfsTest, InvalidSourceReturnsAllUnreachable) {
+  CDupGraph g(MakeFigure1Graph());
+  std::vector<uint32_t> dist = Bfs(g, 99);
+  EXPECT_TRUE(dist.empty() ||
+              std::all_of(dist.begin(), dist.end(),
+                          [](uint32_t d) { return d == kUnreachable; }));
+}
+
+TEST(ConnectedComponentsTest, TwoComponents) {
+  CondensedStorage s;
+  s.AddRealNodes(6);
+  uint32_t v1 = s.AddVirtualNode();
+  uint32_t v2 = s.AddVirtualNode();
+  for (NodeId u : {0, 1, 2}) testing::AddMember(s, u, v1);
+  for (NodeId u : {3, 4}) testing::AddMember(s, u, v2);
+  CDupGraph g(std::move(s));
+  std::vector<NodeId> labels = ConnectedComponents(g);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_NE(labels[0], labels[3]);
+  EXPECT_EQ(labels[5], 5u);  // isolated
+  EXPECT_EQ(CountComponents(labels), 3u);
+}
+
+TEST(PageRankTest, SumsToOne) {
+  CDupGraph g(MakeFigure1Graph());
+  std::vector<double> pr = PageRank(g, {.iterations = 20});
+  double sum = 0;
+  for (double r : pr) sum += r;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  // The hub a4 outranks the leaf a5.
+  EXPECT_GT(pr[3], pr[4]);
+}
+
+TEST(PageRankTest, SymmetricCliqueIsUniform) {
+  CondensedStorage s;
+  s.AddRealNodes(4);
+  uint32_t v = s.AddVirtualNode();
+  for (NodeId u = 0; u < 4; ++u) testing::AddMember(s, u, v);
+  CDupGraph g(std::move(s));
+  std::vector<double> pr = PageRank(g, {.iterations = 15});
+  for (double r : pr) EXPECT_NEAR(r, 0.25, 1e-9);
+}
+
+TEST(TrianglesTest, CliqueCount) {
+  CondensedStorage s;
+  s.AddRealNodes(4);
+  uint32_t v = s.AddVirtualNode();
+  for (NodeId u = 0; u < 4; ++u) testing::AddMember(s, u, v);
+  CDupGraph g(std::move(s));
+  EXPECT_EQ(CountTriangles(g), 4u);  // C(4,3)
+}
+
+TEST(TrianglesTest, NoTrianglesInPath) {
+  ExpandedGraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 0).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ASSERT_TRUE(g.AddEdge(2, 1).ok());
+  EXPECT_EQ(CountTriangles(g), 0u);
+}
+
+// Results must be identical across every representation of one graph —
+// the end-to-end guarantee of the whole system.
+TEST(CrossRepresentationTest, AlgorithmsAgreeEverywhere) {
+  CondensedStorage s = MakeRandomSymmetric(80, 25, 6, 99);
+
+  CDupGraph cdup(s);
+  ExpandedGraph exp = ExpandCondensed(s);
+  auto bm2 = BuildBitmap2(s);
+  ASSERT_TRUE(bm2.ok());
+  auto d1 = GreedyVirtualNodesFirst(s);
+  ASSERT_TRUE(d1.ok());
+  auto d2 = BuildDedup2(s);
+  ASSERT_TRUE(d2.ok());
+
+  const Graph* graphs[] = {&cdup, &exp, &*bm2, &*d1, &*d2};
+
+  std::vector<uint64_t> deg0 = ComputeDegrees(*graphs[0]);
+  std::vector<uint32_t> bfs0 = Bfs(*graphs[0], 0);
+  std::vector<NodeId> cc0 = ConnectedComponents(*graphs[0]);
+  std::vector<double> pr0 = PageRank(*graphs[0], {.iterations = 8});
+  uint64_t tri0 = CountTriangles(*graphs[0]);
+
+  for (size_t i = 1; i < 5; ++i) {
+    EXPECT_EQ(ComputeDegrees(*graphs[i]), deg0) << graphs[i]->Name();
+    EXPECT_EQ(Bfs(*graphs[i], 0), bfs0) << graphs[i]->Name();
+    EXPECT_EQ(ConnectedComponents(*graphs[i]), cc0) << graphs[i]->Name();
+    std::vector<double> pr = PageRank(*graphs[i], {.iterations = 8});
+    ASSERT_EQ(pr.size(), pr0.size());
+    for (size_t u = 0; u < pr.size(); ++u) {
+      EXPECT_NEAR(pr[u], pr0[u], 1e-9) << graphs[i]->Name() << " v" << u;
+    }
+    EXPECT_EQ(CountTriangles(*graphs[i]), tri0) << graphs[i]->Name();
+  }
+}
+
+TEST(CrossRepresentationTest, DegreeAfterVertexDeletion) {
+  CondensedStorage s = MakeFigure1Graph();
+  CDupGraph g(std::move(s));
+  ASSERT_TRUE(g.DeleteVertex(3).ok());
+  std::vector<uint64_t> d = ComputeDegrees(g);
+  EXPECT_EQ(d, (std::vector<uint64_t>{2, 2, 2, 0, 0}));
+}
+
+}  // namespace
+}  // namespace graphgen

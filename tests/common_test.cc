@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include "common/bitmap.h"
+#include "common/memory.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace graphgen {
+namespace {
+
+double benchmark_sink_ = 0;  // defeats optimization in TimerTest
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "Parse error: bad token");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::PlanError("x").code(), StatusCode::kPlanError);
+  EXPECT_EQ(Status::ExecutionError("x").code(), StatusCode::kExecutionError);
+  EXPECT_EQ(Status::Unsupported("x").code(), StatusCode::kUnsupported);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("gone");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("hello");
+  std::string s = std::move(r).ValueOrDie();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(BitmapTest, StartsZeroed) {
+  Bitmap bm(100);
+  EXPECT_EQ(bm.size(), 100u);
+  EXPECT_TRUE(bm.AllZero());
+  EXPECT_EQ(bm.CountSet(), 0u);
+}
+
+TEST(BitmapTest, SetAndGet) {
+  Bitmap bm(70);
+  bm.Set(0);
+  bm.Set(63);
+  bm.Set(64);
+  bm.Set(69);
+  EXPECT_TRUE(bm.Get(0));
+  EXPECT_TRUE(bm.Get(63));
+  EXPECT_TRUE(bm.Get(64));
+  EXPECT_TRUE(bm.Get(69));
+  EXPECT_FALSE(bm.Get(1));
+  EXPECT_EQ(bm.CountSet(), 4u);
+}
+
+TEST(BitmapTest, InitialOnesRespectsSize) {
+  Bitmap bm(70, true);
+  EXPECT_TRUE(bm.AllOne());
+  EXPECT_EQ(bm.CountSet(), 70u);
+}
+
+TEST(BitmapTest, ClearAndAssign) {
+  Bitmap bm(10, true);
+  bm.Clear(3);
+  EXPECT_FALSE(bm.Get(3));
+  bm.Assign(3, true);
+  EXPECT_TRUE(bm.Get(3));
+  bm.Assign(3, false);
+  EXPECT_FALSE(bm.Get(3));
+}
+
+TEST(BitmapTest, FillAndResize) {
+  Bitmap bm(65);
+  bm.Fill(true);
+  EXPECT_EQ(bm.CountSet(), 65u);
+  bm.Resize(130);
+  EXPECT_EQ(bm.CountSet(), 65u);
+  EXPECT_FALSE(bm.Get(100));
+}
+
+TEST(BitmapTest, EqualityComparesContent) {
+  Bitmap a(64);
+  Bitmap b(64);
+  EXPECT_EQ(a, b);
+  a.Set(5);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextIntInclusive) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NormalRoughMoments) {
+  Rng rng(11);
+  double sum = 0;
+  double sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.NextNormal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RngTest, ZipfSkewsLow) {
+  Rng rng(13);
+  size_t low = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    uint64_t v = rng.NextZipf(1000, 1.1);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 1000u);
+    if (v <= 10) ++low;
+  }
+  // Zipf concentrates mass on small values.
+  EXPECT_GT(low, n / 4);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(17);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(ParallelTest, CoversAllIndices) {
+  std::vector<std::atomic<int>> hits(10000);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(hits.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelTest, SmallInputRunsInline) {
+  int calls = 0;
+  ParallelFor(10, [&](size_t begin, size_t end) {
+    ++calls;
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 10u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelTest, InvokeRunsEachThread) {
+  std::vector<std::atomic<int>> hits(4);
+  for (auto& h : hits) h.store(0);
+  ParallelInvoke(4, [&](size_t t) { hits[t].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(MemoryTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512.00 B");
+  EXPECT_EQ(FormatBytes(2048), "2.00 KB");
+  EXPECT_EQ(FormatBytes(3 * 1024 * 1024), "3.00 MB");
+}
+
+TEST(MemoryTest, VectorBytesUsesCapacity) {
+  std::vector<uint64_t> v;
+  v.reserve(100);
+  EXPECT_EQ(VectorBytes(v), 100 * sizeof(uint64_t));
+}
+
+TEST(MemoryTest, RssIsPositiveOnLinux) {
+  EXPECT_GT(CurrentRssBytes(), 0u);
+}
+
+TEST(TimerTest, MeasuresElapsed) {
+  WallTimer t;
+  double a = t.Seconds();
+  EXPECT_GE(a, 0.0);
+  double x = 0;
+  for (int i = 0; i < 100000; ++i) x += i;
+  benchmark_sink_ = x;
+  EXPECT_GE(t.Seconds(), a);
+}
+
+}  // namespace
+}  // namespace graphgen

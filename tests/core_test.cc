@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/graphgen.h"
+#include "core/representation_picker.h"
+#include "core/serialization.h"
+#include "gen/relational_generators.h"
+#include "repr/cdup_graph.h"
+#include "test_util.h"
+
+namespace graphgen {
+namespace {
+
+using testing::MakeFigure1Graph;
+using testing::MakeRandomSymmetric;
+
+class GraphGenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = gen::MakeDblpLike(60, 90, 4.0, 123);
+  }
+  gen::GeneratedDatabase data_;
+};
+
+TEST_F(GraphGenTest, ExtractEveryRepresentation) {
+  GraphGen engine(&data_.db);
+  GraphGenOptions base;
+  base.extract.large_output_factor = 0.0;
+  base.extract.preprocess = false;
+
+  std::vector<std::pair<NodeId, NodeId>> oracle;
+  for (Representation r :
+       {Representation::kCDup, Representation::kExp, Representation::kDedup1,
+        Representation::kDedup2, Representation::kBitmap1,
+        Representation::kBitmap2}) {
+    GraphGenOptions opts = base;
+    opts.representation = r;
+    auto result = engine.Extract(data_.datalog, opts);
+    ASSERT_TRUE(result.ok())
+        << RepresentationToString(r) << ": " << result.status().ToString();
+    EXPECT_EQ(result->representation, r);
+    ASSERT_NE(result->graph, nullptr);
+    auto edges = result->graph->ExpandedEdgeSet();
+    if (oracle.empty()) {
+      oracle = edges;
+      EXPECT_FALSE(oracle.empty());
+    } else {
+      EXPECT_EQ(edges, oracle) << RepresentationToString(r);
+    }
+  }
+}
+
+TEST_F(GraphGenTest, AutoPicksSomethingValid) {
+  GraphGen engine(&data_.db);
+  GraphGenOptions opts;
+  opts.extract.large_output_factor = 0.0;
+  auto result = engine.Extract(data_.datalog, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NE(result->representation, Representation::kAuto);
+  EXPECT_GT(result->graph->NumActiveVertices(), 0u);
+}
+
+TEST_F(GraphGenTest, StatsPopulated) {
+  GraphGen engine(&data_.db);
+  GraphGenOptions opts;
+  opts.representation = Representation::kCDup;
+  opts.extract.large_output_factor = 0.0;
+  auto result = engine.Extract(data_.datalog, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.real_nodes, 60u);
+  EXPECT_GT(result->stats.virtual_nodes, 0u);
+  EXPECT_GT(result->stats.condensed_edges, 0u);
+  EXPECT_FALSE(result->stats.sql.empty());
+}
+
+TEST_F(GraphGenTest, Dedup1AlgorithmsSelectable) {
+  GraphGen engine(&data_.db);
+  for (Dedup1Algorithm a :
+       {Dedup1Algorithm::kNaiveVirtualFirst, Dedup1Algorithm::kNaiveRealFirst,
+        Dedup1Algorithm::kGreedyRealFirst,
+        Dedup1Algorithm::kGreedyVirtualFirst}) {
+    GraphGenOptions opts;
+    opts.representation = Representation::kDedup1;
+    opts.dedup1_algorithm = a;
+    opts.extract.large_output_factor = 0.0;
+    opts.extract.preprocess = false;
+    auto result = engine.Extract(data_.datalog, opts);
+    ASSERT_TRUE(result.ok()) << Dedup1AlgorithmToString(a);
+    EXPECT_TRUE(testing::IsDuplicateFree(*result->graph))
+        << Dedup1AlgorithmToString(a);
+  }
+}
+
+TEST(MaterializeTest, Dedup1FlattensMultiLayerInput) {
+  gen::LayeredGenOptions o;
+  o.num_real = 50;
+  o.layer_sizes = {8, 4};
+  o.seed = 3;
+  CondensedStorage g = gen::GenerateLayeredCondensed(o);
+  auto oracle = g.ExpandedEdgeSet();
+  GraphGenOptions opts;
+  opts.representation = Representation::kDedup1;
+  auto result = GraphGen::Materialize(std::move(g), opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->graph->ExpandedEdgeSet(), oracle);
+}
+
+TEST(RepresentationPickerTest, ExpandsSparseCondensesDense) {
+  CondensedStorage sparse;
+  sparse.AddRealNodes(6);
+  uint32_t v = sparse.AddVirtualNode();
+  testing::AddMember(sparse, 0, v);
+  testing::AddMember(sparse, 1, v);
+  EXPECT_EQ(ChooseRepresentation(sparse, 0.2), Representation::kExp);
+
+  CondensedStorage dense;
+  dense.AddRealNodes(100);
+  uint32_t w = dense.AddVirtualNode();
+  for (NodeId u = 0; u < 100; ++u) testing::AddMember(dense, u, w);
+  EXPECT_EQ(ChooseRepresentation(dense, 0.2), Representation::kBitmap2);
+}
+
+TEST(SerializationTest, EdgeListWritesExpandedView) {
+  CDupGraph g(MakeFigure1Graph());
+  std::string path = ::testing::TempDir() + "/edges.txt";
+  ASSERT_TRUE(SerializeEdgeList(g, path).ok());
+  FILE* f = fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  size_t lines = 0;
+  int a = 0;
+  int b = 0;
+  while (fscanf(f, "%d %d", &a, &b) == 2) ++lines;
+  fclose(f);
+  EXPECT_EQ(lines, 14u);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, CondensedRoundTrip) {
+  CondensedStorage g = MakeRandomSymmetric(40, 15, 5, 9);
+  g.DeleteRealNode(3);
+  std::string path = ::testing::TempDir() + "/graph.cnd";
+  ASSERT_TRUE(SerializeCondensed(g, path).ok());
+  auto loaded = LoadCondensed(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->NumRealNodes(), g.NumRealNodes());
+  EXPECT_EQ(loaded->NumVirtualNodes(), g.NumVirtualNodes());
+  EXPECT_TRUE(loaded->IsDeleted(3));
+  EXPECT_EQ(loaded->ExpandedEdgeSet(), g.ExpandedEdgeSet());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, LoadRejectsGarbage) {
+  std::string path = ::testing::TempDir() + "/garbage.cnd";
+  FILE* f = fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  fputs("not a graph\n", f);
+  fclose(f);
+  EXPECT_FALSE(LoadCondensed(path).ok());
+  EXPECT_FALSE(LoadCondensed("/no/such/file").ok());
+  std::remove(path.c_str());
+}
+
+TEST(ExtractManyTest, BatchExtraction) {
+  gen::GeneratedDatabase d = gen::MakeUniversity(40, 6, 12, 2.5);
+  GraphGen engine(&d.db);
+  GraphGenOptions opts;
+  opts.representation = Representation::kCDup;
+  opts.extract.large_output_factor = 0.0;
+  opts.extract.preprocess = false;
+  std::vector<std::string> queries = {
+      "Nodes(ID, Name) :- Student(ID, Name).\n"
+      "Edges(ID1, ID2) :- TookCourse(ID1, C), TookCourse(ID2, C).",
+      "Nodes(ID, Name) :- Instructor(ID, Name).\n"
+      "Nodes(ID, Name) :- Student(ID, Name).\n"
+      "Edges(ID1, ID2) :- TaughtCourse(ID1, C), TookCourse(ID2, C).",
+  };
+  auto graphs = engine.ExtractMany(queries, opts);
+  ASSERT_TRUE(graphs.ok()) << graphs.status().ToString();
+  ASSERT_EQ(graphs->size(), 2u);
+  EXPECT_EQ((*graphs)[0].graph->NumVertices(), 40u);   // students only
+  EXPECT_EQ((*graphs)[1].graph->NumVertices(), 46u);   // bipartite
+}
+
+TEST(ExtractManyTest, MemoryBudgetEnforced) {
+  gen::GeneratedDatabase d = gen::MakeUniversity(40, 6, 12, 2.5);
+  GraphGen engine(&d.db);
+  GraphGenOptions opts;
+  opts.representation = Representation::kCDup;
+  opts.extract.large_output_factor = 0.0;
+  std::vector<std::string> queries(3,
+      "Nodes(ID, Name) :- Student(ID, Name).\n"
+      "Edges(ID1, ID2) :- TookCourse(ID1, C), TookCourse(ID2, C).");
+  size_t completed = 99;
+  auto graphs = engine.ExtractMany(queries, opts, /*memory_budget_bytes=*/1,
+                                   &completed);
+  EXPECT_EQ(graphs.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(completed, 0u);
+}
+
+TEST(ExtractManyTest, PropagatesQueryErrors) {
+  gen::GeneratedDatabase d = gen::MakeUniversity(20, 4, 8, 2.0);
+  GraphGen engine(&d.db);
+  std::vector<std::string> queries = {"garbage("};
+  EXPECT_FALSE(engine.ExtractMany(queries, GraphGenOptions{}).ok());
+}
+
+TEST(EnumStringsTest, AllNamed) {
+  EXPECT_EQ(RepresentationToString(Representation::kCDup), "C-DUP");
+  EXPECT_EQ(RepresentationToString(Representation::kExp), "EXP");
+  EXPECT_EQ(RepresentationToString(Representation::kDedup1), "DEDUP-1");
+  EXPECT_EQ(RepresentationToString(Representation::kDedup2), "DEDUP-2");
+  EXPECT_EQ(RepresentationToString(Representation::kBitmap1), "BITMAP-1");
+  EXPECT_EQ(RepresentationToString(Representation::kBitmap2), "BITMAP-2");
+  EXPECT_EQ(Dedup1AlgorithmToString(Dedup1Algorithm::kGreedyVirtualFirst),
+            "GreedyVirtualFirst");
+}
+
+}  // namespace
+}  // namespace graphgen

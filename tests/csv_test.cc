@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "planner/extractor.h"
+#include "relational/csv_loader.h"
+
+namespace graphgen::rel {
+namespace {
+
+TEST(CsvTest, ParsesHeaderAndTypes) {
+  auto table = ParseCsv("T",
+                        "id,name,score\n"
+                        "1,ann,3.5\n"
+                        "2,bob,4\n");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->NumRows(), 2u);
+  EXPECT_EQ(table->schema().column(0).name, "id");
+  EXPECT_EQ(table->schema().column(0).type, ValueType::kInt64);
+  EXPECT_EQ(table->schema().column(1).type, ValueType::kString);
+  // Mixed 3.5 / 4 widens to double.
+  EXPECT_EQ(table->schema().column(2).type, ValueType::kDouble);
+  EXPECT_EQ(table->row(0)[1].AsString(), "ann");
+  EXPECT_EQ(table->row(1)[0].AsInt64(), 2);
+}
+
+TEST(CsvTest, NoHeaderNamesColumns) {
+  CsvOptions opts;
+  opts.header = false;
+  auto table = ParseCsv("T", "1,2\n3,4\n", opts);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->schema().column(0).name, "c0");
+  EXPECT_EQ(table->NumRows(), 2u);
+}
+
+TEST(CsvTest, QuotedFieldsAndEscapes) {
+  auto table = ParseCsv("T",
+                        "id,text\n"
+                        "1,\"hello, world\"\n"
+                        "2,\"she said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->row(0)[1].AsString(), "hello, world");
+  EXPECT_EQ(table->row(1)[1].AsString(), "she said \"hi\"");
+}
+
+TEST(CsvTest, EmptyFieldsBecomeNull) {
+  auto table = ParseCsv("T", "a,b\n1,\n,2\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(table->row(0)[1].is_null());
+  EXPECT_TRUE(table->row(1)[0].is_null());
+}
+
+TEST(CsvTest, CustomDelimiter) {
+  CsvOptions opts;
+  opts.delimiter = '|';
+  auto table = ParseCsv("T", "a|b\n1|2\n", opts);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->row(0)[0].AsInt64(), 1);
+}
+
+TEST(CsvTest, NoTypeInference) {
+  CsvOptions opts;
+  opts.infer_types = false;
+  auto table = ParseCsv("T", "a\n42\n", opts);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->row(0)[0].type(), ValueType::kString);
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  EXPECT_FALSE(ParseCsv("T", "a,b\n1\n").ok());
+}
+
+TEST(CsvTest, RejectsUnterminatedQuote) {
+  EXPECT_FALSE(ParseCsv("T", "a\n\"oops\n").ok());
+}
+
+TEST(CsvTest, RejectsEmptyInput) {
+  EXPECT_FALSE(ParseCsv("T", "").ok());
+}
+
+TEST(CsvTest, CarriageReturnsStripped) {
+  auto table = ParseCsv("T", "a,b\r\n1,2\r\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->row(0)[1].AsInt64(), 2);
+}
+
+TEST(CsvTest, LoadCsvIntoDatabaseAndExtract) {
+  std::string dir = ::testing::TempDir();
+  std::string authors_path = dir + "/authors.csv";
+  std::string ap_path = dir + "/ap.csv";
+  {
+    FILE* f = fopen(authors_path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("id,name\n1,ann\n2,bob\n3,cat\n", f);
+    fclose(f);
+    f = fopen(ap_path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("aid,pid\n1,10\n2,10\n2,20\n3,20\n", f);
+    fclose(f);
+  }
+  Database db;
+  ASSERT_TRUE(LoadCsv(db, "Author", authors_path).ok());
+  ASSERT_TRUE(LoadCsv(db, "AuthorPub", ap_path).ok());
+  EXPECT_TRUE(db.catalog().HasStats("AuthorPub"));
+
+  planner::ExtractOptions opts;
+  opts.large_output_factor = 0.0;
+  opts.preprocess = false;
+  auto result = planner::ExtractFromQuery(
+      db,
+      "Nodes(ID, Name) :- Author(ID, Name).\n"
+      "Edges(ID1, ID2) :- AuthorPub(ID1, P), AuthorPub(ID2, P).",
+      opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->real_nodes, 3u);
+  EXPECT_EQ(result->virtual_nodes, 2u);
+  // ann–bob via pub 10, bob–cat via pub 20: 4 directed edges.
+  EXPECT_EQ(result->storage.CountExpandedEdges(), 4u);
+  std::remove(authors_path.c_str());
+  std::remove(ap_path.c_str());
+}
+
+TEST(CsvTest, LoadMissingFileFails) {
+  Database db;
+  EXPECT_EQ(LoadCsv(db, "T", "/no/such/file.csv").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace graphgen::rel

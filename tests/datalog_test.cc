@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include "datalog/lexer.h"
+#include "datalog/parser.h"
+#include "datalog/validator.h"
+
+namespace graphgen::dsl {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("Nodes(ID) :- Author(ID).");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenType> types;
+  for (const Token& t : *tokens) types.push_back(t.type);
+  EXPECT_EQ(types,
+            (std::vector<TokenType>{
+                TokenType::kIdent, TokenType::kLParen, TokenType::kIdent,
+                TokenType::kRParen, TokenType::kColonDash, TokenType::kIdent,
+                TokenType::kLParen, TokenType::kIdent, TokenType::kRParen,
+                TokenType::kDot, TokenType::kEnd}));
+}
+
+TEST(LexerTest, NumbersIntegerAndFloat) {
+  auto tokens = Tokenize("42 3.5 -7");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[0].number_is_integer);
+  EXPECT_EQ((*tokens)[0].number, 42.0);
+  EXPECT_FALSE((*tokens)[1].number_is_integer);
+  EXPECT_EQ((*tokens)[1].number, 3.5);
+  EXPECT_EQ((*tokens)[2].number, -7.0);
+}
+
+TEST(LexerTest, NumberFollowedByDotTerminator) {
+  // "Pub(ID, 2016)." — the final dot is a statement terminator.
+  auto tokens = Tokenize("2016.");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kNumber);
+  EXPECT_TRUE((*tokens)[0].number_is_integer);
+  EXPECT_EQ((*tokens)[1].type, TokenType::kDot);
+}
+
+TEST(LexerTest, StringsAndComments) {
+  auto tokens = Tokenize("\"SIGMOD\" % trailing comment\nX");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[0].text, "SIGMOD");
+  EXPECT_EQ((*tokens)[1].type, TokenType::kIdent);
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  auto tokens = Tokenize("= != <> < <= > >=");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenType> types;
+  for (const Token& t : *tokens) types.push_back(t.type);
+  EXPECT_EQ(types, (std::vector<TokenType>{
+                       TokenType::kEq, TokenType::kNe, TokenType::kNe,
+                       TokenType::kLt, TokenType::kLe, TokenType::kGt,
+                       TokenType::kGe, TokenType::kEnd}));
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("\"oops").ok());
+}
+
+TEST(LexerTest, ReportsPosition) {
+  auto tokens = Tokenize("a\n  b");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].line, 2);
+  EXPECT_EQ((*tokens)[1].column, 3);
+}
+
+TEST(LexerTest, RejectsLeadingUnderscoreIdent) {
+  EXPECT_FALSE(Tokenize("_foo").ok());
+}
+
+TEST(ParserTest, ParsesQ1) {
+  auto program = Parse(
+      "Nodes(ID, Name) :- Author(ID, Name).\n"
+      "Edges(ID1, ID2) :- AuthorPub(ID1, PubID), AuthorPub(ID2, PubID).");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_EQ(program->nodes_rules.size(), 1u);
+  EXPECT_EQ(program->edges_rules.size(), 1u);
+  const Rule& nodes = program->nodes_rules[0];
+  EXPECT_EQ(nodes.head_args, (std::vector<std::string>{"ID", "Name"}));
+  EXPECT_EQ(nodes.body[0].relation, "Author");
+  const Rule& edges = program->edges_rules[0];
+  EXPECT_EQ(edges.body.size(), 2u);
+  EXPECT_EQ(edges.body[1].args[0].variable, "ID2");
+}
+
+TEST(ParserTest, ParsesQ3HeterogeneousProgram) {
+  auto program = Parse(
+      "Nodes(ID, Name) :- Instructor(ID, Name).\n"
+      "Nodes(ID, Name) :- Student(ID, Name).\n"
+      "Edges(ID1, ID2) :- TaughtCourse(ID1, C), TookCourse(ID2, C).");
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->nodes_rules.size(), 2u);
+  EXPECT_EQ(program->edges_rules.size(), 1u);
+}
+
+TEST(ParserTest, ParsesWildcardsAndConstants) {
+  auto program = Parse(
+      "Nodes(ID) :- Author(ID, _).\n"
+      "Edges(ID1, ID2) :- Pub(ID1, ID2, \"SIGMOD\", 2016, _).");
+  ASSERT_TRUE(program.ok());
+  const Atom& atom = program->edges_rules[0].body[0];
+  EXPECT_EQ(atom.args[2].kind, Term::Kind::kConstant);
+  EXPECT_EQ(atom.args[2].constant.AsString(), "SIGMOD");
+  EXPECT_EQ(atom.args[3].constant.AsInt64(), 2016);
+  EXPECT_EQ(atom.args[4].kind, Term::Kind::kWildcard);
+}
+
+TEST(ParserTest, ParsesComparisons) {
+  auto program = Parse(
+      "Nodes(ID) :- Author(ID, _).\n"
+      "Edges(ID1, ID2) :- CoAuth(ID1, ID2, Year), Year >= 2010, ID1 != ID2.");
+  ASSERT_TRUE(program.ok());
+  const Rule& edges = program->edges_rules[0];
+  ASSERT_EQ(edges.comparisons.size(), 2u);
+  EXPECT_EQ(edges.comparisons[0].lhs_var, "Year");
+  EXPECT_EQ(edges.comparisons[0].op, PredOp::kGe);
+  EXPECT_TRUE(edges.comparisons[1].rhs_is_var);
+}
+
+TEST(ParserTest, ParsesCountConstraint) {
+  auto program = Parse(
+      "Nodes(ID) :- Author(ID, _).\n"
+      "Edges(ID1, ID2) :- AuthorPub(ID1, P), AuthorPub(ID2, P), "
+      "COUNT(P) >= 2.");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  const Rule& edges = program->edges_rules[0];
+  ASSERT_TRUE(edges.count_constraint.has_value());
+  EXPECT_EQ(edges.count_constraint->variable, "P");
+  EXPECT_EQ(edges.count_constraint->op, PredOp::kGe);
+  EXPECT_EQ(edges.count_constraint->threshold, 2);
+  // Round trip.
+  auto reparsed = Parse(program->ToString());
+  ASSERT_TRUE(reparsed.ok()) << program->ToString();
+  EXPECT_TRUE(reparsed->edges_rules[0].count_constraint.has_value());
+}
+
+TEST(ParserTest, RejectsTwoCountConstraints) {
+  EXPECT_FALSE(Parse("Nodes(ID) :- A(ID).\n"
+                     "Edges(X, Y) :- R(X, P), R(Y, P), COUNT(P) >= 2, "
+                     "COUNT(P) >= 3.")
+                   .ok());
+}
+
+TEST(ParserTest, RejectsNonIntegerCountThreshold) {
+  EXPECT_FALSE(Parse("Nodes(ID) :- A(ID).\n"
+                     "Edges(X, Y) :- R(X, P), R(Y, P), COUNT(P) >= 1.5.")
+                   .ok());
+}
+
+TEST(ParserTest, RequiresNodesAndEdges) {
+  EXPECT_FALSE(Parse("Nodes(ID) :- A(ID).").ok());
+  EXPECT_FALSE(Parse("Edges(A, B) :- R(A, B).").ok());
+}
+
+TEST(ParserTest, RejectsUnknownHead) {
+  auto r = Parse("Vertices(ID) :- A(ID).");
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(ParserTest, RejectsMissingDot) {
+  EXPECT_FALSE(Parse("Nodes(ID) :- A(ID)").ok());
+}
+
+TEST(ParserTest, RejectsEdgesWithOneId) {
+  EXPECT_FALSE(
+      Parse("Nodes(ID) :- A(ID).\nEdges(ID1) :- R(ID1, ID1).").ok());
+}
+
+TEST(ParserTest, RoundTripsToString) {
+  auto program = Parse(
+      "Nodes(ID, Name) :- Author(ID, Name).\n"
+      "Edges(ID1, ID2) :- AuthorPub(ID1, P), AuthorPub(ID2, P).");
+  ASSERT_TRUE(program.ok());
+  std::string text = program->ToString();
+  auto reparsed = Parse(text);
+  ASSERT_TRUE(reparsed.ok()) << text;
+  EXPECT_EQ(reparsed->ToString(), text);
+}
+
+class ValidatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    using rel::Schema;
+    using rel::Table;
+    using rel::ValueType;
+    db_.PutTable(Table("Author", Schema({{"id", ValueType::kInt64},
+                                         {"name", ValueType::kString}})));
+    db_.PutTable(Table("AuthorPub", Schema({{"aid", ValueType::kInt64},
+                                            {"pid", ValueType::kInt64}})));
+  }
+  rel::Database db_;
+};
+
+TEST_F(ValidatorTest, AcceptsValidProgram) {
+  auto program = Parse(
+      "Nodes(ID, Name) :- Author(ID, Name).\n"
+      "Edges(ID1, ID2) :- AuthorPub(ID1, P), AuthorPub(ID2, P).");
+  ASSERT_TRUE(program.ok());
+  EXPECT_TRUE(Validate(*program, db_).ok());
+}
+
+TEST_F(ValidatorTest, RejectsUnknownRelation) {
+  auto program = Parse(
+      "Nodes(ID) :- Missing(ID).\n"
+      "Edges(A, B) :- AuthorPub(A, P), AuthorPub(B, P).");
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(Validate(*program, db_).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ValidatorTest, RejectsArityMismatch) {
+  auto program = Parse(
+      "Nodes(ID) :- Author(ID).\n"
+      "Edges(A, B) :- AuthorPub(A, P), AuthorPub(B, P).");
+  ASSERT_TRUE(program.ok());
+  EXPECT_FALSE(Validate(*program, db_).ok());
+}
+
+TEST_F(ValidatorTest, RejectsUnboundHeadVariable) {
+  auto program = Parse(
+      "Nodes(ID, Oops) :- Author(ID, _).\n"
+      "Edges(A, B) :- AuthorPub(A, P), AuthorPub(B, P).");
+  ASSERT_TRUE(program.ok());
+  EXPECT_FALSE(Validate(*program, db_).ok());
+}
+
+TEST_F(ValidatorTest, RejectsRecursion) {
+  auto program = Parse(
+      "Nodes(ID) :- Author(ID, _).\n"
+      "Edges(A, B) :- Edges(A, C), AuthorPub(C, B).");
+  ASSERT_TRUE(program.ok());
+  EXPECT_FALSE(Validate(*program, db_).ok());
+}
+
+TEST_F(ValidatorTest, RejectsDisconnectedBody) {
+  auto program = Parse(
+      "Nodes(ID) :- Author(ID, _).\n"
+      "Edges(A, B) :- AuthorPub(A, P), Author(B, N).");
+  ASSERT_TRUE(program.ok());
+  EXPECT_FALSE(Validate(*program, db_).ok());
+}
+
+TEST_F(ValidatorTest, RejectsUnboundComparisonVariable) {
+  auto program = Parse(
+      "Nodes(ID) :- Author(ID, _).\n"
+      "Edges(A, B) :- AuthorPub(A, P), AuthorPub(B, P), Zed > 3.");
+  ASSERT_TRUE(program.ok());
+  EXPECT_FALSE(Validate(*program, db_).ok());
+}
+
+TEST_F(ValidatorTest, CountVariableMustBeBound) {
+  auto program = Parse(
+      "Nodes(ID) :- Author(ID, _).\n"
+      "Edges(A, B) :- AuthorPub(A, P), AuthorPub(B, P), COUNT(Zed) >= 2.");
+  ASSERT_TRUE(program.ok());
+  EXPECT_FALSE(Validate(*program, db_).ok());
+}
+
+TEST_F(ValidatorTest, AcceptsBoundCountVariable) {
+  auto program = Parse(
+      "Nodes(ID) :- Author(ID, _).\n"
+      "Edges(A, B) :- AuthorPub(A, P), AuthorPub(B, P), COUNT(P) >= 2.");
+  ASSERT_TRUE(program.ok());
+  EXPECT_TRUE(Validate(*program, db_).ok());
+}
+
+}  // namespace
+}  // namespace graphgen::dsl

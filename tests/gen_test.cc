@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "dedup/detail.h"
+#include "gen/condensed_generator.h"
+#include "gen/large_datasets.h"
+#include "gen/relational_generators.h"
+#include "gen/small_datasets.h"
+
+namespace graphgen::gen {
+namespace {
+
+TEST(CondensedGeneratorTest, ShapeMatchesOptions) {
+  CondensedGenOptions o;
+  o.num_real = 200;
+  o.num_virtual = 50;
+  o.mean_size = 6;
+  o.sd_size = 2;
+  o.seed = 1;
+  CondensedStorage g = GenerateCondensed(o);
+  EXPECT_EQ(g.NumRealNodes(), 200u);
+  EXPECT_EQ(g.NumVirtualNodes(), 50u);
+  EXPECT_TRUE(g.IsSingleLayer());
+  EXPECT_TRUE(g.IsAcyclic());
+}
+
+TEST(CondensedGeneratorTest, OutputIsSymmetric) {
+  CondensedGenOptions o;
+  o.num_real = 100;
+  o.num_virtual = 30;
+  o.seed = 2;
+  CondensedStorage g = GenerateCondensed(o);
+  for (uint32_t v = 0; v < g.NumVirtualNodes(); ++v) {
+    EXPECT_EQ(dedup_internal::InReals(g, v), dedup_internal::OutReals(g, v));
+  }
+}
+
+TEST(CondensedGeneratorTest, SizesNearMean) {
+  CondensedGenOptions o;
+  o.num_real = 1000;
+  o.num_virtual = 200;
+  o.mean_size = 8;
+  o.sd_size = 2;
+  o.seed = 3;
+  CondensedStorage g = GenerateCondensed(o);
+  double total = 0;
+  for (uint32_t v = 0; v < g.NumVirtualNodes(); ++v) {
+    total += static_cast<double>(dedup_internal::OutReals(g, v).size());
+  }
+  double avg = total / static_cast<double>(g.NumVirtualNodes());
+  EXPECT_NEAR(avg, 8.0, 1.5);
+}
+
+TEST(CondensedGeneratorTest, Deterministic) {
+  CondensedGenOptions o;
+  o.num_real = 80;
+  o.num_virtual = 20;
+  o.seed = 4;
+  EXPECT_EQ(GenerateCondensed(o).ExpandedEdgeSet(),
+            GenerateCondensed(o).ExpandedEdgeSet());
+}
+
+TEST(LayeredGeneratorTest, ProducesMultiLayerDag) {
+  LayeredGenOptions o;
+  o.num_real = 100;
+  o.layer_sizes = {20, 8};
+  o.seed = 5;
+  CondensedStorage g = GenerateLayeredCondensed(o);
+  EXPECT_FALSE(g.IsSingleLayer());
+  EXPECT_EQ(g.NumLayers(), 2u);
+  EXPECT_TRUE(g.IsAcyclic());
+  EXPECT_EQ(g.NumVirtualNodes(), 28u);
+  EXPECT_GT(g.CountExpandedEdges(), 0u);
+}
+
+TEST(RelationalGeneratorTest, DblpShape) {
+  GeneratedDatabase d = MakeDblpLike(200, 300, 3.0);
+  ASSERT_TRUE(d.db.HasTable("Author"));
+  ASSERT_TRUE(d.db.HasTable("AuthorPub"));
+  const rel::Table* ap = d.db.GetTable("AuthorPub").ValueOrDie();
+  EXPECT_GT(ap->NumRows(), 300u);  // ~3 authors per pub
+  EXPECT_LT(ap->NumRows(), 300u * 8u);
+  // Catalog statistics are ready for the planner.
+  EXPECT_TRUE(d.db.catalog().HasStats("AuthorPub"));
+  EXPECT_FALSE(d.datalog.empty());
+}
+
+TEST(RelationalGeneratorTest, TpchChainTables) {
+  GeneratedDatabase d = MakeTpchLike(50, 200, 30, 3.0);
+  EXPECT_TRUE(d.db.HasTable("Customer"));
+  EXPECT_TRUE(d.db.HasTable("Orders"));
+  EXPECT_TRUE(d.db.HasTable("LineItem"));
+  const rel::Table* orders = d.db.GetTable("Orders").ValueOrDie();
+  EXPECT_EQ(orders->NumRows(), 200u);
+}
+
+TEST(RelationalGeneratorTest, UniversityDisjointIds) {
+  GeneratedDatabase d = MakeUniversity(100, 10, 20, 3.0);
+  const rel::Table* students = d.db.GetTable("Student").ValueOrDie();
+  const rel::Table* instructors = d.db.GetTable("Instructor").ValueOrDie();
+  int64_t max_student = 0;
+  for (const auto& row : students->rows()) {
+    max_student = std::max(max_student, row[0].AsInt64());
+  }
+  for (const auto& row : instructors->rows()) {
+    EXPECT_GT(row[0].AsInt64(), max_student);
+  }
+}
+
+TEST(RelationalGeneratorTest, SingleSelectivityIsRespected) {
+  GeneratedDatabase d = MakeSingleSelectivity(5000, 0.1);
+  auto stats = d.db.catalog().GetStats("R");
+  ASSERT_TRUE(stats.ok());
+  double sel = static_cast<double>(stats->columns[1].n_distinct) /
+               static_cast<double>(stats->row_count);
+  EXPECT_NEAR(sel, 0.1, 0.02);
+}
+
+TEST(RelationalGeneratorTest, LayeredSelectivityTables) {
+  GeneratedDatabase d = MakeLayeredSelectivity(2000, 2000, 0.05, 0.1);
+  auto a = d.db.catalog().GetStats("A");
+  ASSERT_TRUE(a.ok());
+  double sel = static_cast<double>(a->columns[0].n_distinct) /
+               static_cast<double>(a->row_count);
+  EXPECT_NEAR(sel, 0.05, 0.02);
+}
+
+TEST(SmallDatasetsTest, AllGenerate) {
+  for (SmallDatasetId id : Table2Datasets()) {
+    CondensedStorage g = MakeSmallDataset(id, 0.005);
+    EXPECT_GT(g.NumRealNodes(), 0u) << SmallDatasetName(id);
+    EXPECT_GT(g.NumVirtualNodes(), 0u) << SmallDatasetName(id);
+    EXPECT_TRUE(g.IsSingleLayer()) << SmallDatasetName(id);
+  }
+}
+
+TEST(SmallDatasetsTest, ShapesDiffer) {
+  // DBLP: many tiny virtual nodes. Synthetic_2: few huge ones.
+  CondensedStorage dblp = MakeSmallDataset(SmallDatasetId::kDblp, 0.01);
+  CondensedStorage syn2 = MakeSmallDataset(SmallDatasetId::kSynthetic2, 0.01);
+  double dblp_avg = static_cast<double>(dblp.CountCondensedEdges()) / 2.0 /
+                    static_cast<double>(dblp.NumVirtualNodes());
+  double syn2_avg = static_cast<double>(syn2.CountCondensedEdges()) / 2.0 /
+                    static_cast<double>(syn2.NumVirtualNodes());
+  EXPECT_LT(dblp_avg, 5.0);
+  EXPECT_GT(syn2_avg, 40.0);
+}
+
+TEST(SmallDatasetsTest, GiraphListNames) {
+  auto ids = GiraphDatasets();
+  ASSERT_EQ(ids.size(), 5u);
+  EXPECT_EQ(SmallDatasetName(ids[0]), "S1");
+  EXPECT_EQ(SmallDatasetName(ids[4]), "IMDB");
+}
+
+TEST(LargeDatasetsTest, AllGenerate) {
+  for (LargeDatasetId id : Table3Datasets()) {
+    CondensedStorage g = MakeLargeDataset(id, 0.002);
+    EXPECT_GT(g.NumRealNodes(), 0u) << LargeDatasetName(id);
+    EXPECT_FALSE(LargeDatasetSelectivities(id).empty());
+  }
+}
+
+TEST(LargeDatasetsTest, LayeredAreMultiLayer) {
+  CondensedStorage g = MakeLargeDataset(LargeDatasetId::kLayered1, 0.002);
+  EXPECT_FALSE(g.IsSingleLayer());
+  CondensedStorage s = MakeLargeDataset(LargeDatasetId::kSingle1, 0.002);
+  EXPECT_TRUE(s.IsSingleLayer());
+}
+
+}  // namespace
+}  // namespace graphgen::gen

@@ -1,0 +1,421 @@
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "gen/relational_generators.h"
+#include "planner/extractor.h"
+#include "planner/join_analysis.h"
+#include "planner/preprocess.h"
+#include "planner/segmenter.h"
+#include "repr/cdup_graph.h"
+#include "test_util.h"
+
+namespace graphgen::planner {
+namespace {
+
+using rel::Database;
+using rel::Schema;
+using rel::Table;
+using rel::Value;
+using rel::ValueType;
+
+// The Figure 1 toy database: authors a1..a5 (ids 1..5), pubs p1..p3,
+// memberships p1={1,2,3,4}, p2={1,3,4}, p3={4,5}.
+Database MakeToyDblp() {
+  Database db;
+  Table authors("Author", Schema({{"id", ValueType::kInt64},
+                                  {"name", ValueType::kString}}));
+  for (int64_t i = 1; i <= 5; ++i) {
+    authors.AppendUnchecked({Value(i), Value("a" + std::to_string(i))});
+  }
+  db.PutTable(std::move(authors));
+  Table ap("AuthorPub", Schema({{"aid", ValueType::kInt64},
+                                {"pid", ValueType::kInt64}}));
+  for (int64_t a : {1, 2, 3, 4}) ap.AppendUnchecked({Value(a), Value(int64_t{1})});
+  for (int64_t a : {1, 3, 4}) ap.AppendUnchecked({Value(a), Value(int64_t{2})});
+  for (int64_t a : {4, 5}) ap.AppendUnchecked({Value(a), Value(int64_t{3})});
+  db.PutTable(std::move(ap));
+  return db;
+}
+
+constexpr char kQ1[] =
+    "Nodes(ID, Name) :- Author(ID, Name).\n"
+    "Edges(ID1, ID2) :- AuthorPub(ID1, P), AuthorPub(ID2, P).";
+
+TEST(JoinAnalysisTest, Q1SelfJoinChain) {
+  Database db = MakeToyDblp();
+  auto program = dsl::Parse(kQ1);
+  ASSERT_TRUE(program.ok());
+  auto chain = AnalyzeEdgesRule(program->edges_rules[0], db, 2.0);
+  ASSERT_TRUE(chain.ok()) << chain.status().ToString();
+  ASSERT_EQ(chain->atoms.size(), 2u);
+  EXPECT_EQ(chain->atoms[0].in_col, 0u);   // ID1
+  EXPECT_EQ(chain->atoms[0].out_col, 1u);  // P
+  EXPECT_EQ(chain->atoms[1].in_col, 1u);   // P
+  EXPECT_EQ(chain->atoms[1].out_col, 0u);  // ID2
+  ASSERT_EQ(chain->boundaries.size(), 1u);
+  EXPECT_EQ(chain->boundaries[0].variable, "P");
+  EXPECT_EQ(chain->boundaries[0].distinct_values, 3u);
+}
+
+TEST(JoinAnalysisTest, LargeOutputFormula) {
+  Database db = MakeToyDblp();
+  auto program = dsl::Parse(kQ1);
+  ASSERT_TRUE(program.ok());
+  // |R||R|/d = 81/3 = 27; 2(|R|+|R|) = 36: not large at factor 2...
+  auto chain = AnalyzeEdgesRule(program->edges_rules[0], db, 2.0);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_FALSE(chain->boundaries[0].large_output);
+  // ...but large at a lower factor, and always large when forced.
+  auto forced = AnalyzeEdgesRule(program->edges_rules[0], db, 0.0);
+  ASSERT_TRUE(forced.ok());
+  EXPECT_TRUE(forced->boundaries[0].large_output);
+  auto low = AnalyzeEdgesRule(program->edges_rules[0], db, 1.0);
+  ASSERT_TRUE(low.ok());
+  EXPECT_TRUE(low->boundaries[0].large_output);
+}
+
+TEST(JoinAnalysisTest, Q2FourAtomChainOrdering) {
+  gen::GeneratedDatabase d = gen::MakeTpchLike(20, 60, 10, 2.0);
+  auto program = dsl::Parse(d.datalog);
+  ASSERT_TRUE(program.ok()) << d.datalog;
+  auto chain = AnalyzeEdgesRule(program->edges_rules[0], d.db, 2.0);
+  ASSERT_TRUE(chain.ok()) << chain.status().ToString();
+  ASSERT_EQ(chain->atoms.size(), 4u);
+  EXPECT_EQ(chain->atoms[0].atom->relation, "Orders");
+  EXPECT_EQ(chain->atoms[1].atom->relation, "LineItem");
+  EXPECT_EQ(chain->atoms[2].atom->relation, "LineItem");
+  EXPECT_EQ(chain->atoms[3].atom->relation, "Orders");
+  ASSERT_EQ(chain->boundaries.size(), 3u);
+  EXPECT_EQ(chain->boundaries[1].variable, "PK");
+}
+
+TEST(JoinAnalysisTest, ConstantArgsBecomePredicates) {
+  Database db = MakeToyDblp();
+  auto program = dsl::Parse(
+      "Nodes(ID) :- Author(ID, _).\n"
+      "Edges(ID1, ID2) :- AuthorPub(ID1, 1), AuthorPub(ID2, 1).");
+  ASSERT_TRUE(program.ok());
+  // Constant join value: both atoms filtered; join var still P? No — the
+  // shared variable disappears, so the chain cannot be built.
+  auto chain = AnalyzeEdgesRule(program->edges_rules[0], db, 2.0);
+  EXPECT_FALSE(chain.ok());
+}
+
+TEST(JoinAnalysisTest, ComparisonsAttach) {
+  Database db = MakeToyDblp();
+  auto program = dsl::Parse(
+      "Nodes(ID) :- Author(ID, _).\n"
+      "Edges(ID1, ID2) :- AuthorPub(ID1, P), AuthorPub(ID2, P), P >= 2, "
+      "ID1 != ID2.");
+  ASSERT_TRUE(program.ok());
+  auto chain = AnalyzeEdgesRule(program->edges_rules[0], db, 2.0);
+  ASSERT_TRUE(chain.ok()) << chain.status().ToString();
+  EXPECT_FALSE(chain->atoms[0].predicates.empty());
+}
+
+TEST(SegmenterTest, NoLargeJoinsSingleSegment) {
+  Database db = MakeToyDblp();
+  auto program = dsl::Parse(kQ1);
+  ASSERT_TRUE(program.ok());
+  auto chain = AnalyzeEdgesRule(program->edges_rules[0], db, 2.0);
+  ASSERT_TRUE(chain.ok());
+  auto segments = BuildSegments(*chain);
+  ASSERT_TRUE(segments.ok());
+  EXPECT_EQ(segments->size(), 1u);
+  EXPECT_NE((*segments)[0].sql.find("DISTINCT"), std::string::npos);
+}
+
+TEST(SegmenterTest, LargeJoinSplitsSegments) {
+  Database db = MakeToyDblp();
+  auto program = dsl::Parse(kQ1);
+  ASSERT_TRUE(program.ok());
+  auto chain = AnalyzeEdgesRule(program->edges_rules[0], db, 0.0);
+  ASSERT_TRUE(chain.ok());
+  auto segments = BuildSegments(*chain);
+  ASSERT_TRUE(segments.ok());
+  EXPECT_EQ(segments->size(), 2u);
+}
+
+TEST(ExtractorTest, ToyDblpCondensed) {
+  Database db = MakeToyDblp();
+  ExtractOptions opts;
+  opts.large_output_factor = 0.0;  // force condensed
+  opts.preprocess = false;
+  auto result = ExtractFromQuery(db, kQ1, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->real_nodes, 5u);
+  EXPECT_EQ(result->virtual_nodes, 3u);
+  // Memberships 4 + 3 + 2 in both directions.
+  EXPECT_EQ(result->condensed_edges, 18u);
+  // The expanded co-author relation matches the Figure 1c oracle.
+  CondensedStorage expected = graphgen::testing::MakeFigure1Graph();
+  // Map: our toy uses external ids 1..5 in insertion order => same order.
+  EXPECT_EQ(result->storage.ExpandedEdgeSet(), expected.ExpandedEdgeSet());
+  EXPECT_EQ(result->storage.CountExpandedEdges(), 14u);
+}
+
+TEST(ExtractorTest, ToyDblpExpandedWhenJoinsAreSmall) {
+  Database db = MakeToyDblp();
+  ExtractOptions opts;
+  opts.preprocess = false;  // factor 2.0: join is small-output
+  auto result = ExtractFromQuery(db, kQ1, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->virtual_nodes, 0u);
+  CondensedStorage expected = graphgen::testing::MakeFigure1Graph();
+  EXPECT_EQ(result->storage.ExpandedEdgeSet(), expected.ExpandedEdgeSet());
+}
+
+TEST(ExtractorTest, NodePropertiesAndExternalKeys) {
+  Database db = MakeToyDblp();
+  ExtractOptions opts;
+  opts.preprocess = false;
+  auto result = ExtractFromQuery(db, kQ1, opts);
+  ASSERT_TRUE(result.ok());
+  const PropertyTable& props = result->storage.properties();
+  EXPECT_EQ(props.GetByName(0, "Name").value(), "'a1'");
+  EXPECT_EQ(props.ExternalKey(4), "5");
+}
+
+TEST(ExtractorTest, HeterogeneousBipartiteQ3) {
+  gen::GeneratedDatabase d = gen::MakeUniversity(30, 5, 10, 2.0);
+  const char* q3 =
+      "Nodes(ID, Name) :- Instructor(ID, Name).\n"
+      "Nodes(ID, Name) :- Student(ID, Name).\n"
+      "Edges(ID1, ID2) :- TaughtCourse(ID1, C), TookCourse(ID2, C).";
+  ExtractOptions opts;
+  opts.large_output_factor = 0.0;
+  opts.preprocess = false;
+  auto result = ExtractFromQuery(d.db, q3, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->real_nodes, 35u);
+  EXPECT_GT(result->virtual_nodes, 0u);
+  // Bipartite: only instructor -> student logical edges. Instructors were
+  // created first (ids 0..4).
+  CDupGraph g(std::move(result->storage));
+  g.ForEachVertex([&](NodeId u) {
+    g.ForEachNeighbor(u, [&](NodeId v) {
+      EXPECT_LT(u, 5u);
+      EXPECT_GE(v, 5u);
+    });
+  });
+}
+
+TEST(ExtractorTest, MultiLayerTpchChain) {
+  gen::GeneratedDatabase d = gen::MakeTpchLike(30, 100, 12, 2.5);
+  ExtractOptions opts;
+  opts.large_output_factor = 0.0;  // all three boundaries condensed
+  opts.preprocess = false;
+  auto result = ExtractFromQuery(d.db, d.datalog, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->storage.IsSingleLayer());
+  EXPECT_TRUE(result->storage.IsAcyclic());
+  // Oracle: same query extracted fully expanded.
+  ExtractOptions expand;
+  expand.large_output_factor = 1e18;  // nothing is large-output
+  expand.preprocess = false;
+  auto full = ExtractFromQuery(d.db, d.datalog, expand);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->virtual_nodes, 0u);
+  EXPECT_EQ(result->storage.ExpandedEdgeSet(), full->storage.ExpandedEdgeSet());
+}
+
+TEST(ExtractorTest, MultipleEdgesRulesUnion) {
+  gen::GeneratedDatabase d = gen::MakeUniversity(20, 4, 8, 2.0);
+  const char* program =
+      "Nodes(ID, Name) :- Student(ID, Name).\n"
+      "Nodes(ID, Name) :- Instructor(ID, Name).\n"
+      "Edges(ID1, ID2) :- TookCourse(ID1, C), TookCourse(ID2, C).\n"
+      "Edges(ID1, ID2) :- TaughtCourse(ID1, C), TookCourse(ID2, C).";
+  ExtractOptions opts;
+  opts.large_output_factor = 0.0;
+  opts.preprocess = false;
+  auto result = ExtractFromQuery(d.db, program, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Both rules contributed: students co-enrolled AND instructor->student.
+  CDupGraph g(std::move(result->storage));
+  bool instructor_edge = false;
+  g.ForEachVertex([&](NodeId u) {
+    if (u < 20) return;  // instructors have ids >= 20 (students first)
+    if (g.OutDegree(u) > 0) instructor_edge = true;
+  });
+  EXPECT_TRUE(instructor_edge);
+}
+
+TEST(ExtractorTest, SelectionPredicatePushdown) {
+  Database db = MakeToyDblp();
+  const char* query =
+      "Nodes(ID, Name) :- Author(ID, Name).\n"
+      "Edges(ID1, ID2) :- AuthorPub(ID1, P), AuthorPub(ID2, P), P < 3.";
+  ExtractOptions opts;
+  opts.large_output_factor = 0.0;
+  opts.preprocess = false;
+  auto result = ExtractFromQuery(db, query, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Only p1 and p2 qualify: a5 (node 4) has no edges.
+  EXPECT_EQ(result->virtual_nodes, 2u);
+  CDupGraph g(std::move(result->storage));
+  EXPECT_EQ(g.OutDegree(4), 0u);
+}
+
+TEST(ExtractorTest, DanglingForeignKeysIgnored) {
+  Database db = MakeToyDblp();
+  // Add a membership row for an author id that has no Author row.
+  Table* ap = db.GetMutableTable("AuthorPub").ValueOrDie();
+  ap->AppendUnchecked({Value(int64_t{99}), Value(int64_t{1})});
+  ASSERT_TRUE(db.Analyze("AuthorPub").ok());
+  ExtractOptions opts;
+  opts.large_output_factor = 0.0;
+  opts.preprocess = false;
+  auto result = ExtractFromQuery(db, kQ1, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->real_nodes, 5u);
+}
+
+TEST(ExtractorTest, RejectsInvalidPrograms) {
+  Database db = MakeToyDblp();
+  EXPECT_FALSE(ExtractFromQuery(db, "garbage(", {}).ok());
+  EXPECT_FALSE(
+      ExtractFromQuery(db,
+                       "Nodes(ID) :- Missing(ID).\n"
+                       "Edges(A, B) :- AuthorPub(A, P), AuthorPub(B, P).",
+                       {})
+          .ok());
+}
+
+TEST(ExtractorTest, GeneratesSqlText) {
+  Database db = MakeToyDblp();
+  ExtractOptions opts;
+  opts.large_output_factor = 0.0;
+  auto result = ExtractFromQuery(db, kQ1, opts);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GE(result->sql.size(), 3u);  // 1 nodes query + 2 segment queries
+  EXPECT_NE(result->sql[0].find("Author"), std::string::npos);
+}
+
+TEST(ExtractorTest, CountConstraintMultiPaperCoAuthors) {
+  // "Co-authored at least 2 papers": in the Figure 1 toy data only the
+  // pairs within {a1, a3, a4} share both p1 and p2.
+  Database db = MakeToyDblp();
+  const char* query =
+      "Nodes(ID, Name) :- Author(ID, Name).\n"
+      "Edges(ID1, ID2) :- AuthorPub(ID1, P), AuthorPub(ID2, P), "
+      "COUNT(P) >= 2.";
+  auto result = ExtractFromQuery(db, query, {});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->virtual_nodes, 0u);  // Case 2: full join, direct edges
+  auto edges = result->storage.ExpandedEdgeSet();
+  // ids: a1=0, a3=2, a4=3 (insertion order of Author rows).
+  std::vector<std::pair<NodeId, NodeId>> expected = {
+      {0, 2}, {0, 3}, {2, 0}, {2, 3}, {3, 0}, {3, 2}};
+  EXPECT_EQ(edges, expected);
+}
+
+TEST(ExtractorTest, CountConstraintExactAndUpperBounds) {
+  Database db = MakeToyDblp();
+  // Exactly one shared paper: all co-author pairs except the {a1,a3,a4}
+  // triangle.
+  auto result = ExtractFromQuery(
+      db,
+      "Nodes(ID, Name) :- Author(ID, Name).\n"
+      "Edges(ID1, ID2) :- AuthorPub(ID1, P), AuthorPub(ID2, P), "
+      "COUNT(P) = 1.",
+      {});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Full co-author graph has 14 directed edges; 6 of them have 2 shared
+  // papers, so 8 remain.
+  EXPECT_EQ(result->storage.ExpandedEdgeSet().size(), 8u);
+}
+
+TEST(ExtractorTest, CountConstraintOnMultiAtomChain) {
+  // Customers who bought the same part in >= 2 distinct orders... of the
+  // other customer: count distinct shared part keys per pair.
+  gen::GeneratedDatabase d = gen::MakeTpchLike(15, 60, 8, 3.0);
+  std::string query =
+      "Nodes(ID, Name) :- Customer(ID, Name).\n"
+      "Edges(ID1, ID2) :- Orders(OK1, ID1), LineItem(OK1, PK), "
+      "LineItem(OK2, PK), Orders(OK2, ID2), COUNT(PK) >= 2.";
+  auto strict = ExtractFromQuery(d.db, query, {});
+  ASSERT_TRUE(strict.ok()) << strict.status().ToString();
+  auto loose = ExtractFromQuery(
+      d.db,
+      "Nodes(ID, Name) :- Customer(ID, Name).\n"
+      "Edges(ID1, ID2) :- Orders(OK1, ID1), LineItem(OK1, PK), "
+      "LineItem(OK2, PK), Orders(OK2, ID2).",
+      {});
+  ASSERT_TRUE(loose.ok());
+  // Thresholded graph is a subgraph of the unconstrained one.
+  auto strict_edges = strict->storage.ExpandedEdgeSet();
+  auto loose_edges = loose->storage.ExpandedEdgeSet();
+  EXPECT_LT(strict_edges.size(), loose_edges.size());
+  for (const auto& e : strict_edges) {
+    EXPECT_TRUE(std::binary_search(loose_edges.begin(), loose_edges.end(), e));
+  }
+}
+
+TEST(PreprocessTest, ExpandsTinyVirtualNodes) {
+  // A virtual node with in=1/out=1 is always expanded (1 <= 3).
+  CondensedStorage g;
+  g.AddRealNodes(3);
+  uint32_t v = g.AddVirtualNode();
+  g.AddEdge(NodeRef::Real(0), NodeRef::Virtual(v));
+  g.AddEdge(NodeRef::Virtual(v), NodeRef::Real(1));
+  auto before = g.ExpandedEdgeSet();
+  PreprocessResult r = ExpandSmallVirtualNodes(g);
+  EXPECT_EQ(r.expanded_virtual_nodes, 1u);
+  EXPECT_EQ(g.NumVirtualNodes(), 0u);
+  EXPECT_EQ(g.ExpandedEdgeSet(), before);
+}
+
+TEST(PreprocessTest, KeepsLargeVirtualNodes) {
+  CondensedStorage g;
+  g.AddRealNodes(10);
+  uint32_t v = g.AddVirtualNode();
+  for (NodeId u = 0; u < 10; ++u) graphgen::testing::AddMember(g, u, v);
+  // in = out = 10: 100 > 21, keep.
+  PreprocessResult r = ExpandSmallVirtualNodes(g);
+  EXPECT_EQ(r.expanded_virtual_nodes, 0u);
+  EXPECT_EQ(g.NumVirtualNodes(), 1u);
+}
+
+TEST(PreprocessTest, PreservesEdgeSetOnRandomGraphs) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    CondensedStorage g = graphgen::testing::MakeRandomSymmetric(60, 30, 3, seed);
+    auto before = g.ExpandedEdgeSet();
+    ExpandSmallVirtualNodes(g);
+    EXPECT_EQ(g.ExpandedEdgeSet(), before) << seed;
+  }
+}
+
+TEST(PreprocessTest, ShouldExpandDecision) {
+  // A sparse graph: expansion is cheap.
+  CondensedStorage sparse;
+  sparse.AddRealNodes(4);
+  uint32_t v = sparse.AddVirtualNode();
+  graphgen::testing::AddMember(sparse, 0, v);
+  graphgen::testing::AddMember(sparse, 1, v);
+  EXPECT_TRUE(ShouldExpand(sparse, 0.2));
+  // A dense clique: expansion is quadratic.
+  CondensedStorage dense;
+  dense.AddRealNodes(64);
+  uint32_t w = dense.AddVirtualNode();
+  for (NodeId u = 0; u < 64; ++u) graphgen::testing::AddMember(dense, u, w);
+  EXPECT_FALSE(ShouldExpand(dense, 0.2));
+}
+
+// Appendix A: the factorization F1 (with PubID kept) is exactly C-DUP;
+// projecting PubID away (F2) forces the expanded listing.
+TEST(FactorizationTest, CdupMatchesF1SizeAndExpMatchesF2) {
+  Database db = MakeToyDblp();
+  ExtractOptions opts;
+  opts.large_output_factor = 0.0;
+  opts.preprocess = false;
+  auto condensed = ExtractFromQuery(db, kQ1, opts);
+  ASSERT_TRUE(condensed.ok());
+  // F1 size is linear in |AuthorPub| (9 rows -> 18 directed memberships).
+  EXPECT_EQ(condensed->condensed_edges, 2u * 9u);
+  // F2 (projection) must enumerate all co-author pairs: 14 > 9 rows.
+  EXPECT_EQ(condensed->storage.CountExpandedEdges(), 14u);
+}
+
+}  // namespace
+}  // namespace graphgen::planner

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "query/executor.h"
+
+namespace graphgen::query {
+namespace {
+
+using rel::Database;
+using rel::Schema;
+using rel::Table;
+using rel::Value;
+using rel::ValueType;
+
+Database MakeDb() {
+  Database db;
+  Table authors("Author", Schema({{"id", ValueType::kInt64},
+                                  {"name", ValueType::kString}}));
+  authors.AppendUnchecked({Value(int64_t{1}), Value("ann")});
+  authors.AppendUnchecked({Value(int64_t{2}), Value("bob")});
+  authors.AppendUnchecked({Value(int64_t{3}), Value("cat")});
+  db.PutTable(std::move(authors));
+
+  Table ap("AuthorPub", Schema({{"aid", ValueType::kInt64},
+                                {"pid", ValueType::kInt64}}));
+  // Pub 10: {1, 2}; Pub 20: {2, 3}; Pub 30: {3}.
+  ap.AppendUnchecked({Value(int64_t{1}), Value(int64_t{10})});
+  ap.AppendUnchecked({Value(int64_t{2}), Value(int64_t{10})});
+  ap.AppendUnchecked({Value(int64_t{2}), Value(int64_t{20})});
+  ap.AppendUnchecked({Value(int64_t{3}), Value(int64_t{20})});
+  ap.AppendUnchecked({Value(int64_t{3}), Value(int64_t{30})});
+  db.PutTable(std::move(ap));
+  return db;
+}
+
+TEST(ExecutorTest, ScanReturnsAllRows) {
+  Database db = MakeDb();
+  Executor ex(&db);
+  ScanNode scan("Author");
+  auto rs = ex.Execute(scan);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->NumRows(), 3u);
+  EXPECT_EQ(rs->schema.NumColumns(), 2u);
+}
+
+TEST(ExecutorTest, ScanMissingTableFails) {
+  Database db = MakeDb();
+  Executor ex(&db);
+  ScanNode scan("Nope");
+  EXPECT_EQ(ex.Execute(scan).status().code(), StatusCode::kNotFound);
+}
+
+TEST(ExecutorTest, ScanWithPredicate) {
+  Database db = MakeDb();
+  Executor ex(&db);
+  ScanNode scan("AuthorPub", {{1, CompareOp::kEq, Value(int64_t{10})}});
+  auto rs = ex.Execute(scan);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->NumRows(), 2u);
+}
+
+TEST(ExecutorTest, PredicateOperators) {
+  Database db = MakeDb();
+  Executor ex(&db);
+  auto count = [&](CompareOp op, int64_t v) {
+    ScanNode scan("AuthorPub", {{1, op, Value(v)}});
+    return ex.Execute(scan).ValueOrDie().NumRows();
+  };
+  EXPECT_EQ(count(CompareOp::kEq, 10), 2u);
+  EXPECT_EQ(count(CompareOp::kNe, 10), 3u);
+  EXPECT_EQ(count(CompareOp::kLt, 20), 2u);
+  EXPECT_EQ(count(CompareOp::kLe, 20), 4u);
+  EXPECT_EQ(count(CompareOp::kGt, 20), 1u);
+  EXPECT_EQ(count(CompareOp::kGe, 20), 3u);
+}
+
+TEST(ExecutorTest, PredicateColumnOutOfRange) {
+  Database db = MakeDb();
+  Executor ex(&db);
+  ScanNode scan("Author", {{9, CompareOp::kEq, Value(int64_t{1})}});
+  EXPECT_EQ(ex.Execute(scan).status().code(), StatusCode::kPlanError);
+}
+
+TEST(ExecutorTest, SelfJoinProducesCoAuthorPairs) {
+  Database db = MakeDb();
+  Executor ex(&db);
+  // AuthorPub a JOIN AuthorPub b ON a.pid = b.pid
+  HashJoinNode join(std::make_unique<ScanNode>("AuthorPub"),
+                    std::make_unique<ScanNode>("AuthorPub"), 1, 1);
+  auto rs = ex.Execute(join);
+  ASSERT_TRUE(rs.ok());
+  // Pub 10: 2x2, pub 20: 2x2, pub 30: 1x1 => 9 joined rows.
+  EXPECT_EQ(rs->NumRows(), 9u);
+  EXPECT_EQ(rs->schema.NumColumns(), 4u);
+}
+
+TEST(ExecutorTest, JoinThenDistinctProject) {
+  Database db = MakeDb();
+  Executor ex(&db);
+  auto join = std::make_unique<HashJoinNode>(
+      std::make_unique<ScanNode>("AuthorPub"),
+      std::make_unique<ScanNode>("AuthorPub"), 1, 1);
+  ProjectNode project(std::move(join), {0, 2}, {"ID1", "ID2"}, true);
+  auto rs = ex.Execute(project);
+  ASSERT_TRUE(rs.ok());
+  // Distinct (a, b) pairs incl. self pairs: (1,1),(1,2),(2,1),(2,2),
+  // (2,3),(3,2),(3,3) => 7.
+  EXPECT_EQ(rs->NumRows(), 7u);
+  EXPECT_EQ(rs->schema.column(0).name, "ID1");
+}
+
+TEST(ExecutorTest, JoinSkipsNullKeys) {
+  Database db;
+  Table t("T", Schema({{"k", ValueType::kInt64}}));
+  t.AppendUnchecked({Value()});
+  t.AppendUnchecked({Value(int64_t{1})});
+  db.PutTable(std::move(t));
+  Executor ex(&db);
+  HashJoinNode join(std::make_unique<ScanNode>("T"),
+                    std::make_unique<ScanNode>("T"), 0, 0);
+  auto rs = ex.Execute(join);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->NumRows(), 1u);  // only the non-null key matches
+}
+
+TEST(ExecutorTest, ProjectWithoutDistinctKeepsDuplicates) {
+  Database db = MakeDb();
+  Executor ex(&db);
+  ProjectNode project(std::make_unique<ScanNode>("AuthorPub"), {1}, {"pid"},
+                      false);
+  auto rs = ex.Execute(project);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->NumRows(), 5u);
+}
+
+TEST(ExecutorTest, ProjectDistinctDeduplicates) {
+  Database db = MakeDb();
+  Executor ex(&db);
+  ProjectNode project(std::make_unique<ScanNode>("AuthorPub"), {1}, {"pid"},
+                      true);
+  auto rs = ex.Execute(project);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->NumRows(), 3u);
+}
+
+TEST(ExecutorTest, ProjectColumnOutOfRange) {
+  Database db = MakeDb();
+  Executor ex(&db);
+  ProjectNode project(std::make_unique<ScanNode>("Author"), {5}, {}, false);
+  EXPECT_EQ(ex.Execute(project).status().code(), StatusCode::kPlanError);
+}
+
+TEST(PlanSqlTest, RendersReadableSql) {
+  ScanNode scan("AuthorPub", {{1, CompareOp::kEq, Value(int64_t{10})}});
+  EXPECT_EQ(scan.ToSql(), "SELECT * FROM AuthorPub WHERE $1 = 10");
+
+  auto join = std::make_unique<HashJoinNode>(
+      std::make_unique<ScanNode>("A"), std::make_unique<ScanNode>("B"), 1, 0);
+  EXPECT_NE(join->ToSql().find("JOIN"), std::string::npos);
+
+  ProjectNode project(std::move(join), {0, 2}, {"src", "dst"}, true);
+  std::string sql = project.ToSql();
+  EXPECT_NE(sql.find("SELECT DISTINCT"), std::string::npos);
+  EXPECT_NE(sql.find("AS src"), std::string::npos);
+}
+
+TEST(PlanSqlTest, CompareOpStrings) {
+  EXPECT_EQ(CompareOpToString(CompareOp::kEq), "=");
+  EXPECT_EQ(CompareOpToString(CompareOp::kNe), "<>");
+  EXPECT_EQ(CompareOpToString(CompareOp::kLe), "<=");
+}
+
+}  // namespace
+}  // namespace graphgen::query

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "relational/database.h"
+
+namespace graphgen::rel {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value().type(), ValueType::kNull);
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(int64_t{7}).type(), ValueType::kInt64);
+  EXPECT_EQ(Value(int64_t{7}).AsInt64(), 7);
+  EXPECT_EQ(Value(2.5).type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("abc").type(), ValueType::kString);
+  EXPECT_EQ(Value("abc").AsString(), "abc");
+}
+
+TEST(ValueTest, IntPromotesToDouble) {
+  EXPECT_DOUBLE_EQ(Value(int64_t{3}).AsDouble(), 3.0);
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_NE(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_NE(Value(int64_t{1}), Value(1.0));  // different types
+  EXPECT_EQ(Value("x"), Value("x"));
+  EXPECT_EQ(Value(), Value());
+}
+
+TEST(ValueTest, OrderingAcrossNumericTypes) {
+  EXPECT_TRUE(Value(int64_t{1}) < Value(2.5));
+  EXPECT_TRUE(Value(2.5) < Value(int64_t{3}));
+  EXPECT_FALSE(Value(int64_t{3}) < Value(int64_t{3}));
+  EXPECT_TRUE(Value("a") < Value("b"));
+}
+
+TEST(ValueTest, ToStringQuotesStrings) {
+  EXPECT_EQ(Value(int64_t{42}).ToString(), "42");
+  EXPECT_EQ(Value("hi").ToString(), "'hi'");
+  EXPECT_EQ(Value().ToString(), "NULL");
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(int64_t{5}).Hash(), Value(int64_t{5}).Hash());
+  EXPECT_EQ(Value("k").Hash(), Value("k").Hash());
+}
+
+TEST(SchemaTest, IndexOf) {
+  Schema s({{"id", ValueType::kInt64}, {"name", ValueType::kString}});
+  EXPECT_EQ(s.NumColumns(), 2u);
+  EXPECT_EQ(s.IndexOf("name").value(), 1u);
+  EXPECT_FALSE(s.IndexOf("missing").has_value());
+}
+
+TEST(SchemaTest, ToString) {
+  Schema s({{"id", ValueType::kInt64}});
+  EXPECT_EQ(s.ToString(), "id BIGINT");
+}
+
+TEST(TableTest, AppendChecksArity) {
+  Table t("T", Schema({{"a", ValueType::kInt64}, {"b", ValueType::kInt64}}));
+  EXPECT_TRUE(t.Append({Value(int64_t{1}), Value(int64_t{2})}).ok());
+  Status bad = t.Append({Value(int64_t{1})});
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.NumRows(), 1u);
+}
+
+TEST(TableTest, Int64ColumnFastPath) {
+  Table t("T", Schema({{"a", ValueType::kInt64}}));
+  t.AppendUnchecked({Value(int64_t{3})});
+  t.AppendUnchecked({Value(int64_t{9})});
+  auto col = t.Int64Column(0);
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(*col, (std::vector<int64_t>{3, 9}));
+}
+
+TEST(TableTest, Int64ColumnRejectsStrings) {
+  Table t("T", Schema({{"a", ValueType::kString}}));
+  t.AppendUnchecked({Value("x")});
+  EXPECT_FALSE(t.Int64Column(0).ok());
+}
+
+TEST(TableTest, CountDistinct) {
+  Table t("T", Schema({{"a", ValueType::kInt64}}));
+  for (int64_t v : {1, 2, 2, 3, 3, 3}) t.AppendUnchecked({Value(v)});
+  EXPECT_EQ(t.CountDistinct(0), 3u);
+}
+
+TEST(CatalogTest, AnalyzeComputesStats) {
+  Table t("T", Schema({{"a", ValueType::kInt64}, {"b", ValueType::kInt64}}));
+  for (int64_t v : {1, 1, 2, 2, 2}) {
+    t.AppendUnchecked({Value(v), Value(int64_t{7})});
+  }
+  Catalog c;
+  c.Analyze(t);
+  auto stats = c.GetStats("T");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->row_count, 5u);
+  EXPECT_EQ(stats->columns[0].n_distinct, 2u);
+  EXPECT_EQ(stats->columns[1].n_distinct, 1u);
+  EXPECT_EQ(c.DistinctCount("T", 0).ValueOrDie(), 2u);
+}
+
+TEST(CatalogTest, MissingTableIsNotFound) {
+  Catalog c;
+  EXPECT_EQ(c.GetStats("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(c.HasStats("nope"));
+}
+
+TEST(DatabaseTest, CreateAndGet) {
+  Database db;
+  auto t = db.CreateTable("T", Schema({{"a", ValueType::kInt64}}));
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(db.HasTable("T"));
+  EXPECT_EQ(db.CreateTable("T", Schema()).status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(db.GetTable("missing").status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, PutTableAnalyzesAutomatically) {
+  Database db;
+  Table t("T", Schema({{"a", ValueType::kInt64}}));
+  t.AppendUnchecked({Value(int64_t{1})});
+  t.AppendUnchecked({Value(int64_t{1})});
+  db.PutTable(std::move(t));
+  EXPECT_EQ(db.catalog().DistinctCount("T", 0).ValueOrDie(), 1u);
+}
+
+TEST(DatabaseTest, TableNamesSorted) {
+  Database db;
+  db.PutTable(Table("B", Schema()));
+  db.PutTable(Table("A", Schema()));
+  EXPECT_EQ(db.TableNames(), (std::vector<std::string>{"A", "B"}));
+}
+
+TEST(DatabaseTest, MemoryBytesGrowsWithData) {
+  Database db;
+  Table t("T", Schema({{"a", ValueType::kInt64}}));
+  for (int64_t i = 0; i < 1000; ++i) t.AppendUnchecked({Value(i)});
+  db.PutTable(std::move(t));
+  EXPECT_GT(db.MemoryBytes(), 1000u * sizeof(Value));
+}
+
+}  // namespace
+}  // namespace graphgen::rel

@@ -1,0 +1,68 @@
+#ifndef GRAPHGEN_TESTS_TEST_UTIL_H_
+#define GRAPHGEN_TESTS_TEST_UTIL_H_
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "gen/condensed_generator.h"
+#include "graph/graph.h"
+#include "graph/storage.h"
+
+namespace graphgen::testing {
+
+/// Adds real node u as a symmetric member of virtual node v.
+inline void AddMember(CondensedStorage& g, NodeId u, uint32_t v) {
+  g.AddEdge(NodeRef::Real(u), NodeRef::Virtual(v));
+  g.AddEdge(NodeRef::Virtual(v), NodeRef::Real(u));
+}
+
+/// Builds the Figure 1 toy DBLP graph: 5 authors, 3 pubs,
+/// memberships p1 = {a1, a2, a3, a4}, p2 = {a1, a3, a4}, p3 = {a4, a5}.
+/// (The a1--a4 pair is duplicated through p1 and p2.)
+inline CondensedStorage MakeFigure1Graph() {
+  CondensedStorage g;
+  g.AddRealNodes(5);  // a1 .. a5 are ids 0 .. 4
+  uint32_t p1 = g.AddVirtualNode();
+  uint32_t p2 = g.AddVirtualNode();
+  uint32_t p3 = g.AddVirtualNode();
+  for (NodeId a : {0, 1, 2, 3}) AddMember(g, a, p1);
+  for (NodeId a : {0, 2, 3}) AddMember(g, a, p2);
+  for (NodeId a : {3, 4}) AddMember(g, a, p3);
+  return g;
+}
+
+/// A symmetric single-layer condensed graph from the Appendix C.1
+/// generator, seeded for determinism.
+inline CondensedStorage MakeRandomSymmetric(size_t reals, size_t virtuals,
+                                            double mean, uint64_t seed) {
+  gen::CondensedGenOptions o;
+  o.num_real = reals;
+  o.num_virtual = virtuals;
+  o.mean_size = mean;
+  o.sd_size = mean / 3;
+  o.seed = seed;
+  return gen::GenerateCondensed(o);
+}
+
+/// Sorted, unique expanded edge set of any Graph implementation.
+inline std::vector<std::pair<NodeId, NodeId>> EdgeSetOf(const Graph& g) {
+  return g.ExpandedEdgeSet();
+}
+
+/// Asserts helper: true iff iterating neighbors of every vertex yields no
+/// duplicates and no self loops (the DEDUP-1 / BITMAP invariant).
+inline bool IsDuplicateFree(const Graph& g) {
+  bool clean = true;
+  g.ForEachVertex([&](NodeId u) {
+    std::set<NodeId> seen;
+    g.ForEachNeighbor(u, [&](NodeId v) {
+      if (v == u || !seen.insert(v).second) clean = false;
+    });
+  });
+  return clean;
+}
+
+}  // namespace graphgen::testing
+
+#endif  // GRAPHGEN_TESTS_TEST_UTIL_H_
