@@ -1,0 +1,158 @@
+// bench_service_cache — serving-layer throughput: cold extraction (full
+// planner/executor pipeline) vs. cache hits from the GraphService's
+// memory-budgeted LRU cache, on the paper's small relational datasets
+// (Fig. 15 schemas). Also drives the worker pool with concurrent clients.
+//
+// Writes a JSON summary (default BENCH_service_cache.json, override with
+// --out=<path>) so successive PRs can track serving performance.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "gen/relational_generators.h"
+#include "service/graph_service.h"
+
+namespace {
+
+using namespace graphgen;
+
+struct Row {
+  std::string dataset;
+  double cold_ms = 0;
+  double hit_ms = 0;
+  double speedup = 0;
+  double hit_rps = 0;
+  double concurrent_rps = 0;
+  size_t footprint_bytes = 0;
+};
+
+constexpr int kColdIters = 5;
+constexpr int kHitIters = 200;
+constexpr int kClients = 4;
+constexpr int kRequestsPerClient = 50;
+
+Row BenchDataset(const std::string& name, gen::GeneratedDatabase data) {
+  Row row;
+  row.dataset = name;
+
+  service::ServiceOptions options;
+  options.cache_budget_bytes = 0;  // unlimited: isolate hit/miss cost
+  options.worker_threads = kClients;
+  service::GraphService svc(&data.db, options);
+
+  // Cold: clear the cache before every request so each one runs the
+  // pipeline (the one-shot GraphGen::Extract cost a library user pays).
+  for (int i = 0; i < kColdIters; ++i) {
+    svc.ClearCache();
+    WallTimer timer;
+    auto handle = svc.Extract(data.datalog);
+    if (!handle.ok()) {
+      std::fprintf(stderr, "[%s] extraction failed: %s\n", name.c_str(),
+                   handle.status().ToString().c_str());
+      std::exit(1);
+    }
+    row.cold_ms += timer.Millis();
+    row.footprint_bytes = (*handle)->FootprintBytes();
+  }
+  row.cold_ms /= kColdIters;
+
+  // Hit: the graph is resident; every request is a canonical-key lookup.
+  {
+    WallTimer timer;
+    for (int i = 0; i < kHitIters; ++i) {
+      auto handle = svc.Extract(data.datalog);
+      if (!handle.ok()) std::exit(1);
+    }
+    double total_ms = timer.Millis();
+    row.hit_ms = total_ms / kHitIters;
+    row.hit_rps = kHitIters / (total_ms / 1e3);
+  }
+  row.speedup = row.hit_ms > 0 ? row.cold_ms / row.hit_ms : 0;
+
+  // Concurrent clients hammering the warm cache through the worker pool.
+  {
+    WallTimer timer;
+    std::vector<std::future<Result<service::GraphHandle>>> futures;
+    futures.reserve(kClients * kRequestsPerClient);
+    for (int i = 0; i < kClients * kRequestsPerClient; ++i) {
+      futures.push_back(svc.ExtractAsync(data.datalog));
+    }
+    for (auto& f : futures) {
+      if (!f.get().ok()) std::exit(1);
+    }
+    row.concurrent_rps =
+        kClients * kRequestsPerClient / (timer.Millis() / 1e3);
+  }
+  return row;
+}
+
+void WriteJson(const std::string& path, double scale,
+               const std::vector<Row>& rows) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"service_cache\",\n  \"scale\": %g,\n",
+               scale);
+  std::fprintf(f, "  \"datasets\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"cold_ms\": %.3f, \"hit_ms\": %.4f, "
+                 "\"speedup\": %.1f, \"hit_rps\": %.0f, "
+                 "\"concurrent_rps\": %.0f, \"footprint_bytes\": %zu}%s\n",
+                 r.dataset.c_str(), r.cold_ms, r.hit_ms, r.speedup, r.hit_rps,
+                 r.concurrent_rps, r.footprint_bytes,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nJSON written to %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out = "BENCH_service_cache.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out = argv[i] + 6;
+  }
+  const double s = bench::BenchScale();
+
+  bench::PrintHeader(
+      "Service cache: cold extraction vs. cache hit (small datasets)");
+
+  std::vector<Row> rows;
+  rows.push_back(BenchDataset(
+      "dblp", gen::MakeDblpLike(static_cast<size_t>(2000 * s),
+                                static_cast<size_t>(4000 * s), 4.0)));
+  rows.push_back(BenchDataset(
+      "imdb", gen::MakeImdbLike(static_cast<size_t>(2000 * s),
+                                static_cast<size_t>(1000 * s), 10.0)));
+  rows.push_back(BenchDataset(
+      "tpch", gen::MakeTpchLike(static_cast<size_t>(1000 * s),
+                                static_cast<size_t>(4000 * s),
+                                static_cast<size_t>(50 * s) + 20, 3.0)));
+  rows.push_back(BenchDataset(
+      "univ", gen::MakeUniversity(static_cast<size_t>(800 * s), 20,
+                                  static_cast<size_t>(60 * s) + 10, 3.5)));
+
+  std::printf("%-8s %12s %12s %9s %12s %14s %12s\n", "dataset", "cold (ms)",
+              "hit (ms)", "speedup", "hit req/s", "4-client req/s", "graph");
+  bench::PrintRule();
+  for (const Row& r : rows) {
+    std::printf("%-8s %12.2f %12.4f %8.0fx %12.0f %14.0f %9zu B\n",
+                r.dataset.c_str(), r.cold_ms, r.hit_ms, r.speedup, r.hit_rps,
+                r.concurrent_rps, r.footprint_bytes);
+  }
+
+  WriteJson(out, s, rows);
+  return 0;
+}

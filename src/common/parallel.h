@@ -1,8 +1,13 @@
 #ifndef GRAPHGEN_COMMON_PARALLEL_H_
 #define GRAPHGEN_COMMON_PARALLEL_H_
 
+#include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace graphgen {
 
@@ -20,6 +25,44 @@ void ParallelFor(size_t n,
 
 /// Runs fn(thread_index) on `threads` threads and joins.
 void ParallelInvoke(size_t threads, const std::function<void(size_t)>& fn);
+
+/// A fixed-size pool of persistent worker threads draining a FIFO task
+/// queue. Unlike ParallelFor/ParallelInvoke (spawn-join helpers for data
+/// parallelism), the pool serves long-lived request workloads: the graph
+/// service submits one task per extraction request and clients block on
+/// their own future, not on the whole batch.
+class ThreadPool {
+ public:
+  /// Starts `threads` workers (0 = DefaultThreadCount()).
+  explicit ThreadPool(size_t threads = 0);
+  /// Drains outstanding tasks, then stops and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; it runs on some worker thread. Must not be called
+  /// after destruction has begun.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void Wait();
+
+  size_t NumThreads() const { return workers_.size(); }
+  /// Tasks enqueued but not yet started (approximate; racy by nature).
+  size_t QueueDepth() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
 
 }  // namespace graphgen
 

@@ -65,7 +65,7 @@ Result<std::vector<ExtractedGraph>> GraphGen::ExtractMany(
   for (const std::string& query : queries) {
     auto result = Extract(query, options);
     if (!result.ok()) return result.status();
-    used += result->graph->MemoryBytes();
+    used += result->FootprintBytes();
     if (memory_budget_bytes > 0 && used > memory_budget_bytes) {
       return Status::OutOfRange(
           "batch memory budget exceeded after " +

@@ -54,6 +54,13 @@ struct ExtractedGraph {
   Representation representation = Representation::kCDup;
   planner::ExtractionResult stats;
   double dedup_seconds = 0.0;
+
+  /// Bytes this graph costs to keep resident: the representation-aware
+  /// footprint the batch extractor and the service cache charge against
+  /// their memory budgets.
+  size_t FootprintBytes() const {
+    return graph == nullptr ? 0 : graph->MemoryFootprint().Total();
+  }
 };
 
 /// The system facade (§3.1): parses a Datalog extraction program,

@@ -39,6 +39,18 @@ class VectorNeighborIterator : public NeighborIterator {
   size_t pos_ = 0;
 };
 
+/// Byte-level breakdown of a representation's heap footprint. The graph
+/// service charges MemoryFootprint().Total() against its cache budget, and
+/// the shell's `stats` command reports the split so analysts can see where
+/// a representation spends its memory (the paper's Fig. 10 axis).
+struct GraphFootprint {
+  size_t adjacency_bytes = 0;  // condensed or expanded adjacency structure
+  size_t property_bytes = 0;   // vertex property columns
+  size_t aux_bytes = 0;        // representation extras (BITMAP's bitmaps)
+
+  size_t Total() const { return adjacency_bytes + property_bytes + aux_bytes; }
+};
+
 /// The 7-operation graph API of §3.4 that every in-memory representation
 /// implements (C-DUP, EXP, DEDUP-1, DEDUP-2, BITMAP). All graph
 /// algorithms and the vertex-centric framework are written against this
@@ -96,7 +108,11 @@ class Graph {
   virtual size_t NumVirtualNodes() const = 0;
 
   /// Approximate heap footprint in bytes.
-  virtual size_t MemoryBytes() const = 0;
+  size_t MemoryBytes() const { return MemoryFootprint().Total(); }
+
+  /// The heap footprint broken down by component; the single source of
+  /// byte accounting every representation implements.
+  virtual GraphFootprint MemoryFootprint() const = 0;
 
   /// Sorted unique expanded edge list; the equivalence oracle used by
   /// tests to verify representations agree.

@@ -53,9 +53,9 @@ class BitmapGraph : public Graph {
   size_t NumVirtualNodes() const override {
     return storage_.NumVirtualNodes();
   }
-  size_t MemoryBytes() const override {
-    return storage_.MemoryBytes() + storage_.properties().MemoryBytes() +
-           BitmapMemoryBytes();
+  GraphFootprint MemoryFootprint() const override {
+    return {storage_.MemoryBytes(), storage_.properties().MemoryBytes(),
+            BitmapMemoryBytes()};
   }
 
   /// Extra heap used by the bitmaps themselves — the overhead the paper

@@ -48,8 +48,8 @@ class Dedup1Graph : public Graph {
   size_t NumVirtualNodes() const override {
     return storage_.NumVirtualNodes();
   }
-  size_t MemoryBytes() const override {
-    return storage_.MemoryBytes() + storage_.properties().MemoryBytes();
+  GraphFootprint MemoryFootprint() const override {
+    return {storage_.MemoryBytes(), storage_.properties().MemoryBytes(), 0};
   }
 
   const CondensedStorage& storage() const { return storage_; }

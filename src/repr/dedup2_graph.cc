@@ -112,10 +112,10 @@ uint64_t Dedup2Graph::CountStoredEdges() const {
   return membership_edges + vv / 2;
 }
 
-size_t Dedup2Graph::MemoryBytes() const {
-  return NestedVectorBytes(membership_) + NestedVectorBytes(members_) +
-         NestedVectorBytes(vadj_) + VectorBytes(deleted_) +
-         properties_.MemoryBytes();
+GraphFootprint Dedup2Graph::MemoryFootprint() const {
+  return {NestedVectorBytes(membership_) + NestedVectorBytes(members_) +
+              NestedVectorBytes(vadj_) + VectorBytes(deleted_),
+          properties_.MemoryBytes(), 0};
 }
 
 uint32_t Dedup2Graph::AddVirtualNode(std::vector<NodeId> members) {

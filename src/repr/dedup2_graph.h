@@ -49,7 +49,7 @@ class Dedup2Graph : public Graph {
 
   uint64_t CountStoredEdges() const override;
   size_t NumVirtualNodes() const override { return members_.size(); }
-  size_t MemoryBytes() const override;
+  GraphFootprint MemoryFootprint() const override;
 
   // ---- Builder interface (used by the DEDUP-2 greedy algorithm) ----
 

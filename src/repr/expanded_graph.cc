@@ -86,9 +86,10 @@ uint64_t ExpandedGraph::CountStoredEdges() const {
   return total;
 }
 
-size_t ExpandedGraph::MemoryBytes() const {
-  return NestedVectorBytes(out_) + NestedVectorBytes(in_) +
-         VectorBytes(deleted_) + properties_.MemoryBytes();
+GraphFootprint ExpandedGraph::MemoryFootprint() const {
+  return {NestedVectorBytes(out_) + NestedVectorBytes(in_) +
+              VectorBytes(deleted_),
+          properties_.MemoryBytes(), 0};
 }
 
 void ExpandedGraph::FinishBulkLoad() {

@@ -41,7 +41,7 @@ class ExpandedGraph : public Graph {
 
   uint64_t CountStoredEdges() const override;
   size_t NumVirtualNodes() const override { return 0; }
-  size_t MemoryBytes() const override;
+  GraphFootprint MemoryFootprint() const override;
 
   /// Direct access to a (sorted) adjacency list; used by the expander and
   /// compression baselines.

@@ -1,0 +1,55 @@
+#include "service/cache_key.h"
+
+#include <sstream>
+
+#include "datalog/parser.h"
+
+namespace graphgen::service {
+
+namespace {
+
+/// Does this representation run one of the dedup/bitmap preprocessing
+/// passes whose output depends on DedupOptions (ordering + seed)?
+bool UsesDedupOptions(Representation r) {
+  switch (r) {
+    case Representation::kDedup1:
+    case Representation::kDedup2:
+    case Representation::kBitmap1:
+    case Representation::kBitmap2:
+    case Representation::kAuto:  // may resolve to BITMAP-2 (§6.5)
+      return true;
+    case Representation::kCDup:
+    case Representation::kExp:
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string OptionsFingerprint(const GraphGenOptions& options) {
+  std::ostringstream out;
+  out << "repr=" << RepresentationToString(options.representation)
+      << ";lof=" << options.extract.large_output_factor
+      << ";pre=" << (options.extract.preprocess ? 1 : 0);
+  if (options.representation == Representation::kAuto) {
+    out << ";expand=" << options.expand_threshold;
+  }
+  if (options.representation == Representation::kDedup1) {
+    out << ";d1=" << Dedup1AlgorithmToString(options.dedup1_algorithm);
+  }
+  if (UsesDedupOptions(options.representation)) {
+    out << ";ord=" << NodeOrderingToString(options.dedup.ordering)
+        << ";seed=" << options.dedup.seed;
+  }
+  return out.str();
+}
+
+Result<std::string> CanonicalCacheKey(std::string_view datalog,
+                                      const GraphGenOptions& options) {
+  GRAPHGEN_ASSIGN_OR_RETURN(dsl::Program program, dsl::Parse(datalog));
+  // \x1f (unit separator) cannot appear in either half.
+  return program.ToString() + "\x1f" + OptionsFingerprint(options);
+}
+
+}  // namespace graphgen::service

@@ -1,0 +1,29 @@
+#ifndef GRAPHGEN_SERVICE_CACHE_KEY_H_
+#define GRAPHGEN_SERVICE_CACHE_KEY_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "core/graphgen.h"
+
+namespace graphgen::service {
+
+/// Canonical cache key for an extraction request. Two requests that must
+/// produce an identical graph map to the same key:
+///  * the Datalog program is parsed and re-printed from the AST, so
+///    whitespace, comment, and rule-formatting differences disappear;
+///  * only the options that influence the extracted graph participate
+///    (e.g. Dedup1Algorithm is ignored unless the representation is
+///    DEDUP-1, and thread counts never participate).
+/// Returns kParseError for programs the DSL parser rejects, so malformed
+/// requests fail before they reach the extraction pipeline.
+Result<std::string> CanonicalCacheKey(std::string_view datalog,
+                                      const GraphGenOptions& options);
+
+/// The options half of the key, exposed for tests.
+std::string OptionsFingerprint(const GraphGenOptions& options);
+
+}  // namespace graphgen::service
+
+#endif  // GRAPHGEN_SERVICE_CACHE_KEY_H_

@@ -1,0 +1,75 @@
+#include "service/graph_cache.h"
+
+namespace graphgen::service {
+
+GraphHandle GraphCache::Get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return it->second.graph;
+}
+
+bool GraphCache::Put(const std::string& key, GraphHandle graph) {
+  const size_t cost = graph == nullptr ? 0 : graph->FootprintBytes();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (budget_bytes_ > 0 && cost > budget_bytes_) return false;
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    bytes_ -= it->second.bytes;
+    lru_.erase(it->second.lru_it);
+    entries_.erase(it);
+  }
+  lru_.push_front(key);
+  entries_[key] = Entry{std::move(graph), cost, lru_.begin()};
+  bytes_ += cost;
+  EvictToBudgetLocked();
+  return true;
+}
+
+void GraphCache::Erase(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  bytes_ -= it->second.bytes;
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+void GraphCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+  bytes_ = 0;
+}
+
+size_t GraphCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+size_t GraphCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+uint64_t GraphCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+void GraphCache::EvictToBudgetLocked() {
+  if (budget_bytes_ == 0) return;
+  // The newest entry (front) is never the victim: Put rejects any graph
+  // that alone exceeds the budget, so the loop terminates with >= 1 entry.
+  while (bytes_ > budget_bytes_ && lru_.size() > 1) {
+    const std::string& victim = lru_.back();
+    auto it = entries_.find(victim);
+    bytes_ -= it->second.bytes;
+    entries_.erase(it);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+}  // namespace graphgen::service

@@ -1,0 +1,67 @@
+#ifndef GRAPHGEN_SERVICE_GRAPH_CACHE_H_
+#define GRAPHGEN_SERVICE_GRAPH_CACHE_H_
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/graphgen.h"
+
+namespace graphgen::service {
+
+/// A shared, immutable handle to an extracted graph. Clients, the named
+/// registry, and the cache all hold the same instance; eviction or Drop
+/// only releases a reference, never frees a graph a client still uses.
+using GraphHandle = std::shared_ptr<const ExtractedGraph>;
+
+/// Memory-budgeted LRU cache of extracted graphs, keyed by the canonical
+/// (program, options) string from cache_key.h. This is the paper's §3.1
+/// batching constraint made long-lived: the engine keeps as many condensed
+/// graphs resident as fit the budget and recycles the least recently used
+/// ones. Thread-safe; every method takes the internal lock.
+class GraphCache {
+ public:
+  /// `budget_bytes` bounds the summed representation-aware footprint
+  /// (Graph::MemoryFootprint().Total()) of resident entries. 0 = unlimited.
+  explicit GraphCache(size_t budget_bytes) : budget_bytes_(budget_bytes) {}
+
+  /// Returns the cached graph and marks it most recently used, or nullptr.
+  GraphHandle Get(const std::string& key);
+
+  /// Inserts (or replaces) an entry and evicts LRU entries until the
+  /// budget holds again. A graph whose footprint alone exceeds a non-zero
+  /// budget is not cached at all (it would just evict everything else);
+  /// returns false in that case.
+  bool Put(const std::string& key, GraphHandle graph);
+
+  void Erase(const std::string& key);
+  void Clear();
+
+  size_t bytes() const;
+  size_t size() const;
+  size_t budget_bytes() const { return budget_bytes_; }
+  /// Total entries evicted to make room since construction.
+  uint64_t evictions() const;
+
+ private:
+  struct Entry {
+    GraphHandle graph;
+    size_t bytes = 0;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  void EvictToBudgetLocked();
+
+  const size_t budget_bytes_;
+  mutable std::mutex mu_;
+  size_t bytes_ = 0;
+  uint64_t evictions_ = 0;
+  std::list<std::string> lru_;  // front = most recently used
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+}  // namespace graphgen::service
+
+#endif  // GRAPHGEN_SERVICE_GRAPH_CACHE_H_

@@ -1,0 +1,216 @@
+#include "service/graph_service.h"
+
+#include <utility>
+
+#include "service/cache_key.h"
+
+namespace graphgen::service {
+
+GraphService::GraphService(const rel::Database* db, ServiceOptions options)
+    : db_(db),
+      options_(std::move(options)),
+      engine_(db),
+      cache_(options_.cache_budget_bytes),
+      pool_(options_.worker_threads) {}
+
+GraphService::~GraphService() = default;
+
+Result<GraphHandle> GraphService::Extract(std::string_view datalog) {
+  return ExtractWithKey(datalog, options_.default_options);
+}
+
+Result<GraphHandle> GraphService::Extract(std::string_view datalog,
+                                          const GraphGenOptions& options) {
+  return ExtractWithKey(datalog, options);
+}
+
+std::future<Result<GraphHandle>> GraphService::ExtractAsync(
+    std::string datalog) {
+  return ExtractAsync(std::move(datalog), options_.default_options);
+}
+
+std::future<Result<GraphHandle>> GraphService::ExtractAsync(
+    std::string datalog, GraphGenOptions options) {
+  auto promise = std::make_shared<std::promise<Result<GraphHandle>>>();
+  std::future<Result<GraphHandle>> future = promise->get_future();
+  pool_.Submit([this, promise, datalog = std::move(datalog),
+                options = std::move(options)] {
+    promise->set_value(ExtractWithKey(datalog, options));
+  });
+  return future;
+}
+
+Result<GraphHandle> GraphService::ExtractWithKey(
+    std::string_view datalog, const GraphGenOptions& options) {
+  auto record_failure = [this](Status status) -> Result<GraphHandle> {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++failed_;
+    return status;
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++requests_;
+  }
+  auto key = CanonicalCacheKey(datalog, options);
+  if (!key.ok()) return record_failure(key.status());
+
+  std::shared_ptr<Inflight> flight;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (GraphHandle cached = cache_.Get(*key)) {
+      ++cache_hits_;
+      return cached;
+    }
+    auto it = inflight_.find(*key);
+    if (it != inflight_.end()) {
+      flight = it->second;
+      ++coalesced_;
+    } else {
+      flight = std::make_shared<Inflight>();
+      inflight_[*key] = flight;
+      owner = true;
+    }
+  }
+
+  if (!owner) {
+    std::unique_lock<std::mutex> wait_lock(flight->mu);
+    flight->cv.wait(wait_lock, [&] { return flight->done; });
+    if (!flight->status.ok()) return record_failure(flight->status);
+    return flight->graph;
+  }
+
+  // This thread runs the pipeline; everyone else with this key waits. An
+  // escaping exception (std::bad_alloc on a huge graph) must still reach
+  // the cleanup below, or the stranded inflight_ entry would deadlock
+  // every later request for this key — convert it to a Status instead.
+  GraphHandle handle;
+  Status status;
+  try {
+    Result<ExtractedGraph> extracted = engine_.Extract(datalog, options);
+    status = extracted.status();
+    if (extracted.ok()) {
+      handle = std::make_shared<const ExtractedGraph>(std::move(*extracted));
+    }
+  } catch (const std::exception& e) {
+    handle = nullptr;
+    status = Status::Internal(std::string("extraction threw: ") + e.what());
+  } catch (...) {
+    handle = nullptr;
+    status = Status::Internal("extraction threw an unknown exception");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_.erase(*key);
+    if (handle != nullptr) {
+      ++cold_extractions_;
+      if (!cache_.Put(*key, handle)) ++uncacheable_;
+    } else {
+      ++failed_;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> flight_lock(flight->mu);
+    flight->done = true;
+    flight->status = status;
+    flight->graph = handle;
+  }
+  flight->cv.notify_all();
+  if (!status.ok()) return status;
+  return handle;
+}
+
+Result<GraphHandle> GraphService::ExtractNamed(const std::string& name,
+                                               std::string_view datalog) {
+  return ExtractNamed(name, datalog, options_.default_options);
+}
+
+Result<GraphHandle> GraphService::ExtractNamed(
+    const std::string& name, std::string_view datalog,
+    const GraphGenOptions& options) {
+  GRAPHGEN_ASSIGN_OR_RETURN(GraphHandle handle,
+                            ExtractWithKey(datalog, options));
+  GRAPHGEN_RETURN_NOT_OK(Register(name, handle, /*overwrite=*/true));
+  return handle;
+}
+
+Status GraphService::Register(const std::string& name, GraphHandle graph,
+                              bool overwrite) {
+  if (name.empty()) {
+    return Status::InvalidArgument("graph name must not be empty");
+  }
+  if (graph == nullptr || graph->graph == nullptr) {
+    return Status::InvalidArgument("cannot register a null graph");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!overwrite && names_.count(name) > 0) {
+    return Status::AlreadyExists("graph '" + name + "' is already registered");
+  }
+  names_[name] = std::move(graph);
+  return Status::OK();
+}
+
+Result<GraphHandle> GraphService::Lookup(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = names_.find(name);
+  if (it == names_.end()) {
+    return Status::NotFound("no graph named '" + name + "'");
+  }
+  return it->second;
+}
+
+Status GraphService::Drop(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (names_.erase(name) == 0) {
+    return Status::NotFound("no graph named '" + name + "'");
+  }
+  return Status::OK();
+}
+
+std::vector<NamedGraphInfo> GraphService::List() const {
+  // Snapshot the registry, then compute per-graph stats (CountStoredEdges
+  // walks adjacency lists) without holding mu_ — handles are immutable.
+  std::vector<std::pair<std::string, GraphHandle>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.assign(names_.begin(), names_.end());
+  }
+  std::vector<NamedGraphInfo> out;
+  out.reserve(snapshot.size());
+  for (const auto& [name, handle] : snapshot) {
+    NamedGraphInfo info;
+    info.name = name;
+    info.representation = RepresentationToString(handle->representation);
+    info.active_vertices = handle->graph->NumActiveVertices();
+    info.virtual_nodes = handle->graph->NumVirtualNodes();
+    info.stored_edges = handle->graph->CountStoredEdges();
+    info.footprint_bytes = handle->FootprintBytes();
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+void GraphService::ClearCache() { cache_.Clear(); }
+
+ServiceStats GraphService::Stats() const {
+  ServiceStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.requests = requests_;
+    stats.cache_hits = cache_hits_;
+    stats.cold_extractions = cold_extractions_;
+    stats.coalesced = coalesced_;
+    stats.failed = failed_;
+    stats.uncacheable = uncacheable_;
+    stats.named_graphs = names_.size();
+  }
+  stats.evictions = cache_.evictions();
+  stats.cache_bytes = cache_.bytes();
+  stats.cache_graphs = cache_.size();
+  stats.cache_budget_bytes = cache_.budget_bytes();
+  stats.worker_threads = pool_.NumThreads();
+  return stats;
+}
+
+}  // namespace graphgen::service

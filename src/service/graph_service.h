@@ -1,0 +1,149 @@
+#ifndef GRAPHGEN_SERVICE_GRAPH_SERVICE_H_
+#define GRAPHGEN_SERVICE_GRAPH_SERVICE_H_
+
+#include <condition_variable>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/status.h"
+#include "core/graphgen.h"
+#include "service/graph_cache.h"
+
+namespace graphgen::service {
+
+struct ServiceOptions {
+  /// Budget for the extraction cache (summed representation-aware graph
+  /// footprints, §3.1's "batches that fit in memory"). 0 = unlimited.
+  size_t cache_budget_bytes = size_t{256} << 20;
+  /// Worker threads serving ExtractAsync (0 = DefaultThreadCount()).
+  size_t worker_threads = 0;
+  /// Extraction options applied when a request does not pass its own.
+  GraphGenOptions default_options;
+};
+
+/// One row of List(): a graph the analyst has registered under a name.
+struct NamedGraphInfo {
+  std::string name;
+  std::string representation;
+  size_t active_vertices = 0;
+  size_t virtual_nodes = 0;
+  uint64_t stored_edges = 0;
+  size_t footprint_bytes = 0;
+};
+
+/// Counters exposed by Stats() (monotonic except the gauge fields).
+struct ServiceStats {
+  uint64_t requests = 0;          // Extract calls (sync + async)
+  uint64_t cache_hits = 0;        // served from cache, no pipeline run
+  uint64_t cold_extractions = 0;  // ran the full planner/executor pipeline
+  uint64_t coalesced = 0;         // waited on an identical in-flight request
+  uint64_t failed = 0;            // requests that returned a non-OK status
+  uint64_t evictions = 0;         // cache entries dropped for the budget
+  uint64_t uncacheable = 0;       // graphs larger than the whole budget
+  size_t cache_bytes = 0;         // gauge: resident cache footprint
+  size_t cache_graphs = 0;        // gauge: resident cache entries
+  size_t named_graphs = 0;        // gauge: registry size
+  size_t cache_budget_bytes = 0;
+  size_t worker_threads = 0;
+};
+
+/// The serving layer of §3.1: a long-lived engine that owns a relational
+/// database and answers repeated extraction/analysis requests from many
+/// analysts. Wraps the one-shot GraphGen library call with
+///  * a canonical-key extraction cache (GraphCache) so re-extracting the
+///    same hidden graph is a lookup, not a pipeline run,
+///  * single-flight coalescing — concurrent requests for the same key run
+///    the pipeline once and share the result,
+///  * a ThreadPool so different graphs extract concurrently, and
+///  * a named-graph registry so analysts can pin, enumerate, and drop
+///    result graphs independent of cache eviction.
+/// All public methods are thread-safe. Returned GraphHandles are immutable
+/// shared snapshots: safe to read from any thread, never invalidated by
+/// eviction or Drop.
+class GraphService {
+ public:
+  explicit GraphService(const rel::Database* db, ServiceOptions options = {});
+  ~GraphService();
+
+  GraphService(const GraphService&) = delete;
+  GraphService& operator=(const GraphService&) = delete;
+
+  /// Extracts the hidden graph `datalog` describes (or returns the cached
+  /// instance). Blocks until the graph is available.
+  Result<GraphHandle> Extract(std::string_view datalog);
+  Result<GraphHandle> Extract(std::string_view datalog,
+                              const GraphGenOptions& options);
+
+  /// Queues the extraction on the worker pool and returns immediately.
+  std::future<Result<GraphHandle>> ExtractAsync(std::string datalog);
+  std::future<Result<GraphHandle>> ExtractAsync(std::string datalog,
+                                                GraphGenOptions options);
+
+  /// Extract + bind the result to `name` (rebinding a taken name replaces
+  /// the old graph, like shell variable assignment).
+  Result<GraphHandle> ExtractNamed(const std::string& name,
+                                   std::string_view datalog);
+  Result<GraphHandle> ExtractNamed(const std::string& name,
+                                   std::string_view datalog,
+                                   const GraphGenOptions& options);
+
+  /// Binds an externally produced graph. Fails with kAlreadyExists if the
+  /// name is taken and `overwrite` is false.
+  Status Register(const std::string& name, GraphHandle graph,
+                  bool overwrite = false);
+  Result<GraphHandle> Lookup(const std::string& name) const;
+  Status Drop(const std::string& name);
+  /// Registry contents sorted by name.
+  std::vector<NamedGraphInfo> List() const;
+
+  /// Drops every cached graph (named graphs stay pinned).
+  void ClearCache();
+
+  ServiceStats Stats() const;
+  const rel::Database& db() const { return *db_; }
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  /// A request being extracted right now; later arrivals with the same
+  /// key block on `cv` instead of re-running the pipeline.
+  struct Inflight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status;
+    GraphHandle graph;
+  };
+
+  Result<GraphHandle> ExtractWithKey(std::string_view datalog,
+                                     const GraphGenOptions& options);
+
+  const rel::Database* db_;
+  const ServiceOptions options_;
+  GraphGen engine_;
+  GraphCache cache_;
+
+  mutable std::mutex mu_;  // guards inflight_, names_, and the counters
+  std::unordered_map<std::string, std::shared_ptr<Inflight>> inflight_;
+  std::map<std::string, GraphHandle> names_;
+  uint64_t requests_ = 0;
+  uint64_t cache_hits_ = 0;
+  uint64_t cold_extractions_ = 0;
+  uint64_t coalesced_ = 0;
+  uint64_t failed_ = 0;
+  uint64_t uncacheable_ = 0;
+
+  // Last member: destroyed (and joined) first, so queued tasks finish
+  // while the rest of the service is still alive.
+  ThreadPool pool_;
+};
+
+}  // namespace graphgen::service
+
+#endif  // GRAPHGEN_SERVICE_GRAPH_SERVICE_H_

@@ -198,6 +198,47 @@ TEST(ExtractManyTest, MemoryBudgetEnforced) {
   EXPECT_EQ(completed, 0u);
 }
 
+TEST(ExtractManyTest, BudgetAdmitsGraphsThatFit) {
+  gen::GeneratedDatabase d = gen::MakeUniversity(40, 6, 12, 2.5);
+  GraphGen engine(&d.db);
+  GraphGenOptions opts;
+  opts.representation = Representation::kCDup;
+  opts.extract.large_output_factor = 0.0;
+  const std::string query =
+      "Nodes(ID, Name) :- Student(ID, Name).\n"
+      "Edges(ID1, ID2) :- TookCourse(ID1, C), TookCourse(ID2, C).";
+
+  // The footprint of one extraction, from a probe run.
+  auto probe = engine.Extract(query, opts);
+  ASSERT_TRUE(probe.ok());
+  const size_t one_graph = probe->FootprintBytes();
+  ASSERT_GT(one_graph, 0u);
+
+  // Budget for exactly two graphs: the third must trip kOutOfRange with
+  // `completed` reporting the two that made it.
+  std::vector<std::string> queries(3, query);
+  size_t completed = 99;
+  auto graphs =
+      engine.ExtractMany(queries, opts, /*memory_budget_bytes=*/2 * one_graph,
+                         &completed);
+  EXPECT_EQ(graphs.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(completed, 2u);
+
+  // A budget that covers all three succeeds and completes everything.
+  completed = 99;
+  auto all = engine.ExtractMany(queries, opts,
+                                /*memory_budget_bytes=*/3 * one_graph,
+                                &completed);
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  EXPECT_EQ(all->size(), 3u);
+  EXPECT_EQ(completed, 3u);
+
+  // Budget 0 means unlimited.
+  completed = 99;
+  EXPECT_TRUE(engine.ExtractMany(queries, opts, 0, &completed).ok());
+  EXPECT_EQ(completed, 3u);
+}
+
 TEST(ExtractManyTest, PropagatesQueryErrors) {
   gen::GeneratedDatabase d = gen::MakeUniversity(20, 4, 8, 2.0);
   GraphGen engine(&d.db);

@@ -1,0 +1,338 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gen/relational_generators.h"
+#include "repr/expanded_graph.h"
+#include "service/cache_key.h"
+#include "service/graph_cache.h"
+#include "service/graph_service.h"
+
+namespace graphgen {
+namespace {
+
+const char* kStudentQuery =
+    "Nodes(ID, Name) :- Student(ID, Name).\n"
+    "Edges(ID1, ID2) :- TookCourse(ID1, C), TookCourse(ID2, C).";
+const char* kBipartiteQuery =
+    "Nodes(ID, Name) :- Instructor(ID, Name).\n"
+    "Nodes(ID, Name) :- Student(ID, Name).\n"
+    "Edges(ID1, ID2) :- TaughtCourse(ID1, C), TookCourse(ID2, C).";
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { data_ = gen::MakeUniversity(40, 6, 12, 2.5); }
+
+  GraphGenOptions CDupOptions() const {
+    GraphGenOptions o;
+    o.representation = Representation::kCDup;
+    o.extract.large_output_factor = 0.0;
+    o.extract.preprocess = false;
+    return o;
+  }
+
+  gen::GeneratedDatabase data_;
+};
+
+TEST_F(ServiceTest, CacheHitReturnsSameInstance) {
+  service::GraphService svc(&data_.db);
+  auto first = svc.Extract(kStudentQuery, CDupOptions());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  // Same program with different whitespace/formatting: the canonical key
+  // is built from the parsed AST, so this must be a hit.
+  std::string reformatted =
+      "Nodes(ID,Name):-Student(ID,Name).  "
+      "Edges(ID1,ID2):-TookCourse(ID1,C),TookCourse(ID2,C).";
+  auto second = svc.Extract(reformatted, CDupOptions());
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(first->get(), second->get());  // literally the same graph
+
+  service::ServiceStats stats = svc.Stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.cold_extractions, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+}
+
+TEST_F(ServiceTest, DifferentOptionsAreDifferentEntries) {
+  service::GraphService svc(&data_.db);
+  GraphGenOptions exp = CDupOptions();
+  exp.representation = Representation::kExp;
+  auto cdup = svc.Extract(kStudentQuery, CDupOptions());
+  auto expanded = svc.Extract(kStudentQuery, exp);
+  ASSERT_TRUE(cdup.ok());
+  ASSERT_TRUE(expanded.ok());
+  EXPECT_NE(cdup->get(), expanded->get());
+  EXPECT_EQ((*cdup)->representation, Representation::kCDup);
+  EXPECT_EQ((*expanded)->representation, Representation::kExp);
+  EXPECT_EQ(svc.Stats().cold_extractions, 2u);
+}
+
+TEST_F(ServiceTest, IrrelevantOptionsDoNotChangeTheKey) {
+  GraphGenOptions a;
+  a.representation = Representation::kCDup;
+  a.dedup1_algorithm = Dedup1Algorithm::kNaiveRealFirst;
+  a.dedup.seed = 7;
+  a.extract.threads = 3;
+  GraphGenOptions b;
+  b.representation = Representation::kCDup;
+  b.dedup1_algorithm = Dedup1Algorithm::kGreedyVirtualFirst;
+  b.dedup.seed = 99;
+  b.extract.threads = 8;
+  // C-DUP never runs a dedup pass, so those knobs cannot affect the graph.
+  EXPECT_EQ(service::OptionsFingerprint(a), service::OptionsFingerprint(b));
+
+  GraphGenOptions d1 = a;
+  d1.representation = Representation::kDedup1;
+  GraphGenOptions d2 = b;
+  d2.representation = Representation::kDedup1;
+  EXPECT_NE(service::OptionsFingerprint(d1), service::OptionsFingerprint(d2));
+}
+
+TEST_F(ServiceTest, MalformedProgramFailsBeforeExtraction) {
+  service::GraphService svc(&data_.db);
+  auto result = svc.Extract("garbage(");
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  EXPECT_EQ(svc.Stats().failed, 1u);
+  EXPECT_EQ(svc.Stats().cold_extractions, 0u);
+}
+
+TEST_F(ServiceTest, LruEvictionUnderTightBudget) {
+  // Measure both graphs' footprints with an unlimited cache first.
+  size_t fp_student = 0, fp_bipartite = 0;
+  {
+    service::GraphService probe(&data_.db);
+    auto a = probe.Extract(kStudentQuery, CDupOptions());
+    auto b = probe.Extract(kBipartiteQuery, CDupOptions());
+    ASSERT_TRUE(a.ok() && b.ok());
+    fp_student = (*a)->FootprintBytes();
+    fp_bipartite = (*b)->FootprintBytes();
+    ASSERT_GT(fp_student, 0u);
+    ASSERT_GT(fp_bipartite, 0u);
+  }
+
+  // Budget fits either graph alone but not both together.
+  service::ServiceOptions options;
+  options.cache_budget_bytes = fp_student + fp_bipartite - 1;
+  service::GraphService svc(&data_.db, options);
+
+  auto student = svc.Extract(kStudentQuery, CDupOptions());
+  ASSERT_TRUE(student.ok());
+  auto bipartite = svc.Extract(kBipartiteQuery, CDupOptions());
+  ASSERT_TRUE(bipartite.ok());
+
+  service::ServiceStats stats = svc.Stats();
+  EXPECT_EQ(stats.evictions, 1u);  // the student graph was pushed out
+  EXPECT_EQ(stats.cache_graphs, 1u);
+  EXPECT_LE(stats.cache_bytes, options.cache_budget_bytes);
+
+  // The evicted handle is still alive for its holder...
+  EXPECT_EQ((*student)->graph->NumVertices(), 40u);
+  // ...but re-requesting it is a cold extraction, not a hit.
+  auto again = svc.Extract(kStudentQuery, CDupOptions());
+  ASSERT_TRUE(again.ok());
+  EXPECT_NE(student->get(), again->get());
+  EXPECT_EQ(svc.Stats().cold_extractions, 3u);
+  EXPECT_EQ(svc.Stats().cache_hits, 0u);
+}
+
+TEST_F(ServiceTest, OversizedGraphIsNotCached) {
+  service::ServiceOptions options;
+  options.cache_budget_bytes = 1;  // nothing fits
+  service::GraphService svc(&data_.db, options);
+  auto a = svc.Extract(kStudentQuery, CDupOptions());
+  ASSERT_TRUE(a.ok());
+  service::ServiceStats stats = svc.Stats();
+  EXPECT_EQ(stats.uncacheable, 1u);
+  EXPECT_EQ(stats.cache_graphs, 0u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST_F(ServiceTest, NamedRegistryLifecycle) {
+  service::GraphService svc(&data_.db);
+  auto handle = svc.ExtractNamed("students", kStudentQuery, CDupOptions());
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+
+  auto looked_up = svc.Lookup("students");
+  ASSERT_TRUE(looked_up.ok());
+  EXPECT_EQ(handle->get(), looked_up->get());
+
+  // Strict Register refuses to clobber; ExtractNamed rebinds.
+  EXPECT_EQ(svc.Register("students", *handle).code(),
+            StatusCode::kAlreadyExists);
+  auto rebound = svc.ExtractNamed("students", kBipartiteQuery, CDupOptions());
+  ASSERT_TRUE(rebound.ok());
+  EXPECT_EQ(svc.Lookup("students")->get(), rebound->get());
+
+  auto rows = svc.List();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].name, "students");
+  EXPECT_EQ(rows[0].active_vertices, 46u);
+  EXPECT_GT(rows[0].footprint_bytes, 0u);
+
+  EXPECT_TRUE(svc.Drop("students").ok());
+  EXPECT_EQ(svc.Drop("students").code(), StatusCode::kNotFound);
+  EXPECT_EQ(svc.Lookup("students").status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(svc.List().empty());
+
+  // The dropped name never invalidated the client's handle.
+  EXPECT_EQ((*rebound)->graph->NumActiveVertices(), 46u);
+}
+
+TEST_F(ServiceTest, NamedGraphSurvivesCacheEviction) {
+  service::ServiceOptions options;
+  options.cache_budget_bytes = 1;  // evict/reject everything immediately
+  service::GraphService svc(&data_.db, options);
+  auto handle = svc.ExtractNamed("pinned", kStudentQuery, CDupOptions());
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ(svc.Stats().cache_graphs, 0u);
+  auto looked_up = svc.Lookup("pinned");
+  ASSERT_TRUE(looked_up.ok());
+  EXPECT_EQ(looked_up->get(), handle->get());
+  EXPECT_EQ((*looked_up)->graph->NumVertices(), 40u);
+}
+
+TEST_F(ServiceTest, AsyncExtractionDeliversThroughFutures) {
+  service::ServiceOptions options;
+  options.worker_threads = 4;
+  service::GraphService svc(&data_.db, options);
+  auto f1 = svc.ExtractAsync(kStudentQuery, CDupOptions());
+  auto f2 = svc.ExtractAsync(kBipartiteQuery, CDupOptions());
+  auto f3 = svc.ExtractAsync(kStudentQuery, CDupOptions());
+  auto r1 = f1.get();
+  auto r2 = f2.get();
+  auto r3 = f3.get();
+  ASSERT_TRUE(r1.ok() && r2.ok() && r3.ok());
+  EXPECT_EQ((*r1)->graph->NumVertices(), 40u);
+  EXPECT_EQ((*r2)->graph->NumVertices(), 46u);
+  EXPECT_EQ(r1->get(), r3->get());  // same key, shared instance
+
+  service::ServiceStats stats = svc.Stats();
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.cold_extractions, 2u);
+  EXPECT_EQ(stats.cache_hits + stats.coalesced, 1u);
+}
+
+// N threads extract a mix of cached and uncached programs concurrently
+// through both the sync and async paths while names are rebound and
+// dropped. Run with -DGRAPHGEN_SANITIZE=thread to verify race freedom.
+TEST_F(ServiceTest, ConcurrentStress) {
+  constexpr size_t kThreads = 8;
+  constexpr int kItersPerThread = 25;
+
+  service::ServiceOptions options;
+  options.worker_threads = 4;
+  service::GraphService svc(&data_.db, options);
+
+  std::vector<GraphGenOptions> variants;
+  variants.push_back(CDupOptions());
+  {
+    GraphGenOptions exp = CDupOptions();
+    exp.representation = Representation::kExp;
+    variants.push_back(exp);
+  }
+  const std::vector<std::pair<std::string, size_t>> programs = {
+      {kStudentQuery, 40u}, {kBipartiteQuery, 46u}};
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        const auto& [program, vertices] = programs[(t + i) % programs.size()];
+        const GraphGenOptions& opts = variants[i % variants.size()];
+        Result<service::GraphHandle> result =
+            (i % 3 == 0) ? svc.ExtractAsync(program, opts).get()
+                         : svc.Extract(program, opts);
+        if (!result.ok() || (*result)->graph->NumVertices() != vertices) {
+          ++failures;
+          continue;
+        }
+        // Exercise the registry from every thread too.
+        std::string name = "g" + std::to_string(t);
+        if (!svc.Register(name, *result, /*overwrite=*/true).ok()) ++failures;
+        auto looked_up = svc.Lookup(name);
+        if (!looked_up.ok()) ++failures;
+        if (i % 10 == 9) svc.Drop(name);
+        svc.List();
+        svc.Stats();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  service::ServiceStats stats = svc.Stats();
+  EXPECT_EQ(stats.requests, kThreads * kItersPerThread);
+  EXPECT_EQ(stats.failed, 0u);
+  // Every request either hit the cache, ran the pipeline, or piggybacked
+  // on an identical in-flight extraction — nothing fell through.
+  EXPECT_EQ(stats.cache_hits + stats.cold_extractions + stats.coalesced,
+            stats.requests);
+  // 2 programs x 2 option variants, each extracted exactly once (budget is
+  // unlimited, so nothing was ever evicted and re-extracted).
+  EXPECT_EQ(stats.cold_extractions, 4u);
+}
+
+TEST_F(ServiceTest, FootprintMatchesMemoryBytesAcrossRepresentations) {
+  GraphGen engine(&data_.db);
+  for (Representation r :
+       {Representation::kCDup, Representation::kExp, Representation::kDedup1,
+        Representation::kDedup2, Representation::kBitmap1,
+        Representation::kBitmap2}) {
+    GraphGenOptions o = CDupOptions();
+    o.representation = r;
+    auto extracted = engine.Extract(kStudentQuery, o);
+    ASSERT_TRUE(extracted.ok()) << extracted.status().ToString();
+    GraphFootprint fp = extracted->graph->MemoryFootprint();
+    EXPECT_EQ(fp.Total(), extracted->graph->MemoryBytes())
+        << RepresentationToString(r);
+    EXPECT_GT(fp.adjacency_bytes, 0u) << RepresentationToString(r);
+  }
+}
+
+TEST(GraphCacheTest, LruOrderAndBudget) {
+  auto make_graph = [](size_t vertices) {
+    auto g = std::make_shared<ExtractedGraph>();
+    g->graph = std::make_unique<ExpandedGraph>(vertices);
+    return std::static_pointer_cast<const ExtractedGraph>(g);
+  };
+  auto a = make_graph(10);
+  auto b = make_graph(10);
+  auto c = make_graph(10);
+  const size_t each = a->FootprintBytes();
+  ASSERT_GT(each, 0u);
+
+  service::GraphCache cache(2 * each);
+  EXPECT_TRUE(cache.Put("a", a));
+  EXPECT_TRUE(cache.Put("b", b));
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Touch "a" so "b" becomes the LRU victim when "c" arrives.
+  EXPECT_NE(cache.Get("a"), nullptr);
+  EXPECT_TRUE(cache.Put("c", c));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  EXPECT_NE(cache.Get("a"), nullptr);
+  EXPECT_NE(cache.Get("c"), nullptr);
+
+  // An entry larger than the whole budget is rejected outright.
+  service::GraphCache tiny(1);
+  EXPECT_FALSE(tiny.Put("a", a));
+  EXPECT_EQ(tiny.size(), 0u);
+
+  // Budget 0 = unlimited.
+  service::GraphCache unlimited(0);
+  EXPECT_TRUE(unlimited.Put("a", a));
+  EXPECT_TRUE(unlimited.Put("b", b));
+  EXPECT_TRUE(unlimited.Put("c", c));
+  EXPECT_EQ(unlimited.size(), 3u);
+  EXPECT_EQ(unlimited.evictions(), 0u);
+}
+
+}  // namespace
+}  // namespace graphgen
