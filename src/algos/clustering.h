@@ -4,17 +4,23 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/traversal.h"
 
 namespace graphgen {
 
 /// Local clustering coefficient of every vertex: the fraction of a
 /// vertex's neighbor pairs that are themselves connected. 0 for vertices
 /// of degree < 2. Duplicate-sensitive (overcounts on raw C-DUP paths
-/// without its hash-set dedup). Treats the graph as undirected.
-std::vector<double> LocalClusteringCoefficients(const Graph& graph);
+/// without its hash-set dedup). Treats the graph as undirected. On
+/// flat-adjacency graphs the kernel intersects the graph's own sorted
+/// neighbor spans in place; otherwise it materializes sorted lists
+/// through the virtual iterator first.
+std::vector<double> LocalClusteringCoefficients(
+    const Graph& graph, TraversalPath path = TraversalPath::kAuto);
 
 /// Mean of the local coefficients over live vertices of degree >= 2.
-double AverageClusteringCoefficient(const Graph& graph);
+double AverageClusteringCoefficient(const Graph& graph,
+                                    TraversalPath path = TraversalPath::kAuto);
 
 }  // namespace graphgen
 

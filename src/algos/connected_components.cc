@@ -20,7 +20,7 @@ class MinLabelExecutor : public Executor {
 
   void Compute(VertexContext& ctx) override {
     NodeId best = (*current_)[ctx.id()];
-    ctx.ForEachNeighbor([&](NodeId v) {
+    ctx.VisitNeighbors([&](NodeId v) {
       if ((*current_)[v] < best) best = (*current_)[v];
     });
     (*next_)[ctx.id()] = best;
@@ -42,16 +42,19 @@ class MinLabelExecutor : public Executor {
 
 }  // namespace
 
-std::vector<NodeId> ConnectedComponents(const Graph& graph, size_t threads) {
+std::vector<NodeId> ConnectedComponents(const Graph& graph, size_t threads,
+                                        TraversalPath path) {
   const size_t n = graph.NumVertices();
   std::vector<NodeId> current(n);
-  for (NodeId v = 0; v < n; ++v) {
-    current[v] = graph.VertexExists(v) ? v : kInvalidNode;
+  for (size_t v = 0; v < n; ++v) {
+    current[v] = graph.VertexExists(static_cast<NodeId>(v))
+                     ? static_cast<NodeId>(v)
+                     : kInvalidNode;
   }
   std::vector<NodeId> next = current;
   std::atomic<bool> changed{false};
   MinLabelExecutor executor(&current, &next, &changed);
-  VertexCentric vc(&graph, threads);
+  VertexCentric vc(&graph, threads, path);
   vc.Run(&executor);
   return current;
 }

@@ -11,8 +11,14 @@ class DegreeExecutor : public Executor {
   explicit DegreeExecutor(std::vector<uint64_t>* out) : out_(out) {}
 
   void Compute(VertexContext& ctx) override {
-    uint64_t d = 0;
-    ctx.ForEachNeighbor([&](NodeId) { ++d; });
+    uint64_t d;
+    if (ctx.has_flat()) {
+      // Flat spans are exact (distinct, live), so degree is span length.
+      d = ctx.NeighborSpan().size();
+    } else {
+      d = 0;
+      ctx.ForEachNeighbor([&](NodeId) { ++d; });
+    }
     (*out_)[ctx.id()] = d;
     ctx.VoteToHalt();
   }
@@ -23,10 +29,11 @@ class DegreeExecutor : public Executor {
 
 }  // namespace
 
-std::vector<uint64_t> ComputeDegrees(const Graph& graph, size_t threads) {
+std::vector<uint64_t> ComputeDegrees(const Graph& graph, size_t threads,
+                                     TraversalPath path) {
   std::vector<uint64_t> degrees(graph.NumVertices(), 0);
   DegreeExecutor executor(&degrees);
-  VertexCentric vc(&graph, threads);
+  VertexCentric vc(&graph, threads, path);
   vc.Run(&executor);
   return degrees;
 }

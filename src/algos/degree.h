@@ -5,13 +5,17 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/traversal.h"
 
 namespace graphgen {
 
 /// Computes the (distinct-neighbor) out-degree of every vertex, running
 /// the paper's Degree workload on the vertex-centric framework
-/// (multi-threaded, one superstep). Deleted vertices get degree 0.
-std::vector<uint64_t> ComputeDegrees(const Graph& graph, size_t threads = 0);
+/// (multi-threaded, one superstep). Deleted vertices get degree 0. On
+/// flat-adjacency graphs a vertex's degree is its span length — no edge
+/// iteration at all.
+std::vector<uint64_t> ComputeDegrees(const Graph& graph, size_t threads = 0,
+                                     TraversalPath path = TraversalPath::kAuto);
 
 }  // namespace graphgen
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/traversal.h"
 
 namespace graphgen {
 
@@ -13,8 +14,10 @@ namespace graphgen {
 /// where every vertex has degree >= k. A classic dense-subgraph detection
 /// primitive the paper's introduction motivates; duplicate-sensitive, so
 /// it needs a deduplicated (or C-DUP) representation. Treats the graph as
-/// undirected (GraphGen's symmetric co-occurrence graphs).
-std::vector<uint32_t> KCoreDecomposition(const Graph& graph);
+/// undirected (GraphGen's symmetric co-occurrence graphs). The peeling
+/// loop walks NeighborSpan when the graph has flat adjacency.
+std::vector<uint32_t> KCoreDecomposition(
+    const Graph& graph, TraversalPath path = TraversalPath::kAuto);
 
 /// Largest k with a non-empty k-core.
 uint32_t Degeneracy(const std::vector<uint32_t>& core_numbers);

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/traversal.h"
 
 namespace graphgen {
 
@@ -11,6 +12,9 @@ struct PageRankOptions {
   size_t iterations = 10;
   double damping = 0.85;
   size_t threads = 0;
+  /// kAuto pulls ranks over NeighborSpan when the graph has flat
+  /// adjacency; kFunction pins the virtual-callback baseline.
+  TraversalPath traversal = TraversalPath::kAuto;
 };
 
 /// PageRank on the vertex-centric framework. Neighbor access is

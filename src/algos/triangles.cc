@@ -2,13 +2,55 @@
 
 #include <algorithm>
 #include <atomic>
+#include <span>
 #include <vector>
 
+#include "algos/intersect.h"
+#include "algos/orientation.h"
 #include "common/parallel.h"
 
 namespace graphgen {
 
-uint64_t CountTriangles(const Graph& graph) {
+namespace {
+
+/// Span fast path: forward counting over a degree-ordered orientation.
+/// Every triangle has exactly one vertex from which both others are
+/// higher-ranked, so it is counted once from that root; degree ordering
+/// bounds out-fanouts by the degeneracy. Intersections use a per-thread
+/// mark array instead of list merges: the root's out-neighborhood is
+/// flagged once, then every wedge closes with a single byte lookup —
+/// half the memory touches of a merge and no branch misprediction.
+uint64_t CountTrianglesSpan(const Graph& graph) {
+  const detail::OrientedCsr csr = detail::BuildOrientedCsr(graph);
+  const size_t n = csr.order.size();
+  std::atomic<uint64_t> total{0};
+  ParallelForRanges(
+      BalancedRanges(n,
+                     [&](size_t r) {
+                       return uint64_t{1} +
+                              csr.Out(static_cast<NodeId>(r)).size();
+                     }),
+      [&](size_t begin, size_t end) {
+        std::vector<uint8_t> mark(n, 0);
+        uint64_t local = 0;
+        for (size_t r = begin; r < end; ++r) {
+          const std::span<const NodeId> nu = csr.Out(static_cast<NodeId>(r));
+          for (NodeId s : nu) mark[s] = 1;
+          for (NodeId s : nu) {
+            for (NodeId t : csr.Out(s)) local += mark[t];
+          }
+          for (NodeId s : nu) mark[s] = 0;
+        }
+        total.fetch_add(local, std::memory_order_relaxed);
+      });
+  return total.load();
+}
+
+}  // namespace
+
+uint64_t CountTriangles(const Graph& graph, TraversalPath path) {
+  if (UseSpanPath(graph, path)) return CountTrianglesSpan(graph);
+
   const size_t n = graph.NumVertices();
   // Materialize sorted adjacency restricted to higher-id neighbors; each
   // triangle u < v < w is then counted exactly once.

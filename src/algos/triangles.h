@@ -4,15 +4,21 @@
 #include <cstdint>
 
 #include "graph/graph.h"
+#include "graph/traversal.h"
 
 namespace graphgen {
 
 /// Counts triangles in the (symmetric) graph: unordered vertex triples
 /// {u, v, w} with all three edges present. Duplicate-sensitive — running
 /// it on a duplicated representation without dedup would overcount, which
-/// is exactly why the paper's DEDUP representations exist. Uses
-/// materialized sorted neighbor lists and counts each triangle once.
-uint64_t CountTriangles(const Graph& graph);
+/// is exactly why the paper's DEDUP representations exist. On
+/// flat-adjacency graphs the kernel merge-intersects the sorted neighbor
+/// spans in place (galloping on skewed pairs) — no per-vertex
+/// materialization, no per-edge callbacks; otherwise it materializes
+/// sorted higher-id lists through the virtual iterator first. Both paths
+/// count each triangle exactly once.
+uint64_t CountTriangles(const Graph& graph,
+                        TraversalPath path = TraversalPath::kAuto);
 
 }  // namespace graphgen
 

@@ -41,6 +41,57 @@ void ParallelFor(size_t n,
   for (auto& w : workers) w.join();
 }
 
+std::vector<IndexRange> BalancedRanges(
+    size_t n, const std::function<uint64_t(size_t)>& weight, size_t threads) {
+  if (n == 0) return {};
+  if (threads == 0) threads = DefaultThreadCount();
+  // Below this total weight the spawn/join cost outweighs the win; the
+  // threshold mirrors ParallelFor's kMinChunk scale.
+  constexpr uint64_t kMinTotalWeight = 2048;
+  uint64_t total = 0;
+  for (size_t i = 0; i < n; ++i) total += weight(i);
+  if (threads <= 1 || total < 2 * kMinTotalWeight) return {{0, n}};
+
+  std::vector<IndexRange> ranges;
+  ranges.reserve(threads);
+  // Cut whenever the open range's weight reaches an even share of the
+  // weight *not yet assigned* — recomputed per cut, so a single hub that
+  // swallows most of the total still leaves the tail evenly split across
+  // the remaining slots instead of serialized into one range.
+  uint64_t remaining = total;
+  uint64_t acc = 0;
+  size_t begin = 0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += weight(i);
+    const size_t slots_left = threads - ranges.size();
+    if (slots_left > 1 && i + 1 < n &&
+        acc >= (remaining + slots_left - 1) / slots_left) {
+      ranges.push_back({begin, i + 1});
+      begin = i + 1;
+      remaining -= acc;
+      acc = 0;
+    }
+  }
+  ranges.push_back({begin, n});
+  return ranges;
+}
+
+void ParallelForRanges(
+    const std::vector<IndexRange>& ranges,
+    const std::function<void(size_t begin, size_t end)>& fn) {
+  if (ranges.empty()) return;
+  if (ranges.size() == 1) {
+    fn(ranges[0].begin, ranges[0].end);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(ranges.size());
+  for (const IndexRange& r : ranges) {
+    workers.emplace_back([&fn, r] { fn(r.begin, r.end); });
+  }
+  for (auto& w : workers) w.join();
+}
+
 ThreadPool::ThreadPool(size_t threads) {
   if (threads == 0) threads = DefaultThreadCount();
   workers_.reserve(threads);

@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -25,6 +26,29 @@ void ParallelFor(size_t n,
 
 /// Runs fn(thread_index) on `threads` threads and joins.
 void ParallelInvoke(size_t threads, const std::function<void(size_t)>& fn);
+
+/// A contiguous index range [begin, end).
+struct IndexRange {
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+/// Splits [0, n) into at most `threads` contiguous ranges whose *total
+/// weight* is approximately equal, where weight(i) is the cost of index i
+/// (e.g. a vertex's degree). Equal-index chunking stalls on skewed degree
+/// distributions — one chunk owning the hubs runs long while the rest sit
+/// idle — so the CSR kernels split by cumulative edge count instead.
+/// Collapses to a single range when the total weight is too small to be
+/// worth fanning out. The returned ranges always cover [0, n) exactly.
+std::vector<IndexRange> BalancedRanges(
+    size_t n, const std::function<uint64_t(size_t)>& weight,
+    size_t threads = 0);
+
+/// Runs fn(begin, end) for each precomputed range, one thread per range
+/// (inline when there is at most one range). Pair with BalancedRanges for
+/// edge-balanced data parallelism.
+void ParallelForRanges(const std::vector<IndexRange>& ranges,
+                       const std::function<void(size_t begin, size_t end)>& fn);
 
 /// A fixed-size pool of persistent worker threads draining a FIFO task
 /// queue. Unlike ParallelFor/ParallelInvoke (spawn-join helpers for data

@@ -1,6 +1,7 @@
 #include "compress/vminer.h"
 
 #include <algorithm>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -32,9 +33,10 @@ VMinerResult VMinerCompress(const ExpandedGraph& graph,
 
   // Mutable copy of the expanded adjacency (sorted).
   std::vector<std::vector<NodeId>> adj(n);
-  for (NodeId u = 0; u < n; ++u) {
-    if (!graph.VertexExists(u)) continue;
-    adj[u] = graph.RawNeighbors(u);
+  for (size_t u = 0; u < n; ++u) {
+    if (!graph.VertexExists(static_cast<NodeId>(u))) continue;
+    std::span<const NodeId> raw = graph.RawNeighbors(static_cast<NodeId>(u));
+    adj[u].assign(raw.begin(), raw.end());
   }
   for (const auto& l : adj) result.edges_before += l.size();
 
@@ -49,14 +51,14 @@ VMinerResult VMinerCompress(const ExpandedGraph& graph,
     for (auto& s : salts) s = rng.Next();
 
     std::unordered_map<uint64_t, std::vector<NodeId>> clusters;
-    for (NodeId u = 0; u < n; ++u) {
+    for (size_t u = 0; u < n; ++u) {
       if (adj[u].size() < options.min_targets) continue;
       uint64_t key = 1469598103934665603ull;
       for (uint64_t salt : salts) {
         key ^= MinHash(adj[u], salt);
         key *= 1099511628211ull;
       }
-      clusters[key].push_back(u);
+      clusters[key].push_back(static_cast<NodeId>(u));
     }
 
     for (auto& [key, members] : clusters) {
@@ -96,7 +98,8 @@ VMinerResult VMinerCompress(const ExpandedGraph& graph,
   CondensedStorage& s = result.storage;
   s.AddRealNodes(n);
   s.properties() = graph.properties();
-  for (NodeId u = 0; u < n; ++u) {
+  for (size_t ui = 0; ui < n; ++ui) {
+    const NodeId u = static_cast<NodeId>(ui);
     if (!graph.VertexExists(u)) {
       s.DeleteRealNode(u);
       continue;

@@ -12,14 +12,16 @@ std::vector<NodeId> NeighborIterator::ToList() {
 
 void Graph::ForEachVertex(const std::function<void(NodeId)>& fn) const {
   const size_t n = NumVertices();
-  for (NodeId v = 0; v < n; ++v) {
-    if (VertexExists(v)) fn(v);
+  for (size_t v = 0; v < n; ++v) {
+    if (VertexExists(static_cast<NodeId>(v))) fn(static_cast<NodeId>(v));
   }
 }
 
 std::unique_ptr<NeighborIterator> Graph::Neighbors(NodeId u) const {
   return std::make_unique<VectorNeighborIterator>(NeighborList(u));
 }
+
+std::span<const NodeId> Graph::NeighborSpan(NodeId) const { return {}; }
 
 std::vector<NodeId> Graph::NeighborList(NodeId u) const {
   std::vector<NodeId> out;

@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -80,6 +81,21 @@ class Graph {
 
   /// getNeighbors(v) as a pull iterator.
   virtual std::unique_ptr<NeighborIterator> Neighbors(NodeId u) const;
+
+  /// Flat-adjacency capability: when true, NeighborSpan(u) is valid for
+  /// every live vertex u and returns the exact neighbor set — sorted,
+  /// duplicate-free, live targets only — as one contiguous span. Kernels
+  /// use it to traverse edges with zero virtual dispatch and zero
+  /// std::function indirection; when false they fall back to
+  /// ForEachNeighbor. EXP implements it natively (and reports false while
+  /// lazy vertex deletions are pending, since stale targets would leak
+  /// into the spans); CsrGraph materializes it for any representation.
+  virtual bool HasFlatAdjacency() const { return false; }
+
+  /// Sorted distinct live out-neighbors of u as a contiguous span. Only
+  /// meaningful when HasFlatAdjacency() is true; the default returns an
+  /// empty span. The span is invalidated by any mutation of the graph.
+  virtual std::span<const NodeId> NeighborSpan(NodeId u) const;
 
   /// Materialized distinct neighbor list.
   std::vector<NodeId> NeighborList(NodeId u) const;

@@ -1,0 +1,25 @@
+#ifndef GRAPHGEN_GRAPH_TRAVERSAL_H_
+#define GRAPHGEN_GRAPH_TRAVERSAL_H_
+
+#include "graph/graph.h"
+
+namespace graphgen {
+
+/// How a graph algorithm iterates neighbors.
+///
+///  * kAuto — use the devirtualized NeighborSpan fast path whenever the
+///    graph reports HasFlatAdjacency(), else the virtual
+///    ForEachNeighbor(std::function) path. The default everywhere.
+///  * kFunction — always use the virtual callback path, even when flat
+///    adjacency is available. Exists so benchmarks and parity tests can
+///    pin the baseline; never faster.
+enum class TraversalPath { kAuto, kFunction };
+
+/// True when `path` permits the span fast path and `g` supports it.
+inline bool UseSpanPath(const Graph& g, TraversalPath path) {
+  return path == TraversalPath::kAuto && g.HasFlatAdjacency();
+}
+
+}  // namespace graphgen
+
+#endif  // GRAPHGEN_GRAPH_TRAVERSAL_H_

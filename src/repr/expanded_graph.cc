@@ -1,24 +1,40 @@
 #include "repr/expanded_graph.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "common/memory.h"
 
 namespace graphgen {
 
+namespace {
+
+size_t PatchBytes(const std::unordered_map<NodeId, std::vector<NodeId>>& m) {
+  // Bucket array + node overhead estimate, plus the inner buffers.
+  size_t total = m.bucket_count() * sizeof(void*);
+  for (const auto& [u, list] : m) {
+    total += sizeof(u) + sizeof(list) + list.capacity() * sizeof(NodeId) +
+             2 * sizeof(void*);
+  }
+  return total;
+}
+
+}  // namespace
+
 void ExpandedGraph::ForEachNeighbor(
     NodeId u, const std::function<void(NodeId)>& fn) const {
   if (!VertexExists(u)) return;
-  for (NodeId v : out_[u]) {
+  for (NodeId v : OutSpan(u)) {
     if (!deleted_[v]) fn(v);
   }
 }
 
 size_t ExpandedGraph::OutDegree(NodeId u) const {
   if (!VertexExists(u)) return 0;
-  if (num_deleted_ == 0) return out_[u].size();
+  std::span<const NodeId> out = OutSpan(u);
+  if (stale_deletions_ == 0) return out.size();
   size_t n = 0;
-  for (NodeId v : out_[u]) {
+  for (NodeId v : out) {
     if (!deleted_[v]) ++n;
   }
   return n;
@@ -26,18 +42,39 @@ size_t ExpandedGraph::OutDegree(NodeId u) const {
 
 bool ExpandedGraph::ExistsEdge(NodeId u, NodeId v) const {
   if (!VertexExists(u) || !VertexExists(v)) return false;
-  return std::binary_search(out_[u].begin(), out_[u].end(), v);
+  std::span<const NodeId> out = OutSpan(u);
+  return std::binary_search(out.begin(), out.end(), v);
+}
+
+std::vector<NodeId>& ExpandedGraph::MutableOut(NodeId u) {
+  auto [it, inserted] = out_patch_.try_emplace(u);
+  if (inserted) {
+    std::span<const NodeId> base = BaseSlice(out_offsets_, out_neighbors_, u);
+    it->second.assign(base.begin(), base.end());
+  }
+  return it->second;
+}
+
+std::vector<NodeId>& ExpandedGraph::MutableIn(NodeId u) {
+  auto [it, inserted] = in_patch_.try_emplace(u);
+  if (inserted) {
+    std::span<const NodeId> base = BaseSlice(in_offsets_, in_neighbors_, u);
+    it->second.assign(base.begin(), base.end());
+  }
+  return it->second;
 }
 
 Status ExpandedGraph::AddEdge(NodeId u, NodeId v) {
   if (!VertexExists(u) || !VertexExists(v)) {
     return Status::InvalidArgument("AddEdge endpoint does not exist");
   }
-  auto it = std::lower_bound(out_[u].begin(), out_[u].end(), v);
-  if (it != out_[u].end() && *it == v) return Status::OK();
-  out_[u].insert(it, v);
-  auto it2 = std::lower_bound(in_[v].begin(), in_[v].end(), u);
-  in_[v].insert(it2, u);
+  std::span<const NodeId> cur = OutSpan(u);
+  if (std::binary_search(cur.begin(), cur.end(), v)) return Status::OK();
+  std::vector<NodeId>& out = MutableOut(u);
+  out.insert(std::lower_bound(out.begin(), out.end(), v), v);
+  std::vector<NodeId>& in = MutableIn(v);
+  auto it = std::lower_bound(in.begin(), in.end(), u);
+  if (it == in.end() || *it != u) in.insert(it, u);
   return Status::OK();
 }
 
@@ -45,21 +82,25 @@ Status ExpandedGraph::DeleteEdge(NodeId u, NodeId v) {
   if (!VertexExists(u) || !VertexExists(v)) {
     return Status::InvalidArgument("DeleteEdge endpoint does not exist");
   }
-  auto it = std::lower_bound(out_[u].begin(), out_[u].end(), v);
-  if (it == out_[u].end() || *it != v) {
+  std::span<const NodeId> cur = OutSpan(u);
+  if (!std::binary_search(cur.begin(), cur.end(), v)) {
     return Status::NotFound("edge does not exist");
   }
-  out_[u].erase(it);
-  auto it2 = std::lower_bound(in_[v].begin(), in_[v].end(), u);
-  if (it2 != in_[v].end() && *it2 == u) in_[v].erase(it2);
+  std::vector<NodeId>& out = MutableOut(u);
+  out.erase(std::lower_bound(out.begin(), out.end(), v));
+  std::vector<NodeId>& in = MutableIn(v);
+  auto it = std::lower_bound(in.begin(), in.end(), u);
+  if (it != in.end() && *it == u) in.erase(it);
   return Status::OK();
 }
 
 NodeId ExpandedGraph::AddVertex() {
-  out_.emplace_back();
-  in_.emplace_back();
+  // Appending an empty CSR range keeps the base covering every vertex, so
+  // the new vertex needs no patch entry until its first edge.
+  out_offsets_.push_back(out_offsets_.back());
+  in_offsets_.push_back(in_offsets_.back());
   deleted_.push_back(0);
-  return static_cast<NodeId>(out_.size() - 1);
+  return static_cast<NodeId>(deleted_.size() - 1);
 }
 
 Status ExpandedGraph::DeleteVertex(NodeId v) {
@@ -68,17 +109,20 @@ Status ExpandedGraph::DeleteVertex(NodeId v) {
   }
   deleted_[v] = 1;
   ++num_deleted_;
+  ++stale_deletions_;
   return Status::OK();
 }
 
 uint64_t ExpandedGraph::CountStoredEdges() const {
   uint64_t total = 0;
-  for (NodeId u = 0; u < out_.size(); ++u) {
+  const size_t n = deleted_.size();
+  for (size_t u = 0; u < n; ++u) {
     if (deleted_[u]) continue;
-    if (num_deleted_ == 0) {
-      total += out_[u].size();
+    std::span<const NodeId> out = OutSpan(static_cast<NodeId>(u));
+    if (stale_deletions_ == 0) {
+      total += out.size();
     } else {
-      for (NodeId v : out_[u]) {
+      for (NodeId v : out) {
         if (!deleted_[v]) ++total;
       }
     }
@@ -87,20 +131,39 @@ uint64_t ExpandedGraph::CountStoredEdges() const {
 }
 
 GraphFootprint ExpandedGraph::MemoryFootprint() const {
-  return {NestedVectorBytes(out_) + NestedVectorBytes(in_) +
+  return {VectorBytes(out_offsets_) + VectorBytes(out_neighbors_) +
+              VectorBytes(in_offsets_) + VectorBytes(in_neighbors_) +
+              PatchBytes(out_patch_) + PatchBytes(in_patch_) +
               VectorBytes(deleted_),
           properties_.MemoryBytes(), 0};
 }
 
-void ExpandedGraph::FinishBulkLoad() {
-  for (auto& l : out_) {
-    std::sort(l.begin(), l.end());
-    l.erase(std::unique(l.begin(), l.end()), l.end());
+void ExpandedGraph::AdoptCsr(std::vector<uint64_t> out_offsets,
+                             std::vector<NodeId> out_neighbors,
+                             std::vector<uint64_t> in_offsets,
+                             std::vector<NodeId> in_neighbors,
+                             std::vector<uint8_t> deleted) {
+  assert(!out_offsets.empty() && out_offsets.size() == in_offsets.size());
+  assert(out_offsets.back() == out_neighbors.size());
+  assert(in_offsets.back() == in_neighbors.size());
+  assert(deleted.empty() || deleted.size() == out_offsets.size() - 1);
+  out_offsets_ = std::move(out_offsets);
+  out_neighbors_ = std::move(out_neighbors);
+  in_offsets_ = std::move(in_offsets);
+  in_neighbors_ = std::move(in_neighbors);
+  out_patch_.clear();
+  in_patch_.clear();
+  if (deleted.empty()) {
+    deleted_.assign(out_offsets_.size() - 1, 0);
+    num_deleted_ = 0;
+  } else {
+    // Pre-scrubbed deletions: the arrays contain no edge touching these
+    // vertices, so the span contract holds despite them.
+    deleted_ = std::move(deleted);
+    num_deleted_ = 0;
+    for (uint8_t d : deleted_) num_deleted_ += d != 0;
   }
-  for (auto& l : in_) {
-    std::sort(l.begin(), l.end());
-    l.erase(std::unique(l.begin(), l.end()), l.end());
-  }
+  stale_deletions_ = 0;
 }
 
 }  // namespace graphgen

@@ -1,6 +1,9 @@
 #ifndef GRAPHGEN_REPR_EXPANDED_GRAPH_H_
 #define GRAPHGEN_REPR_EXPANDED_GRAPH_H_
 
+#include <cstdint>
+#include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "graph/graph.h"
@@ -11,27 +14,52 @@ namespace graphgen {
 /// EXP: the fully expanded graph — every logical edge is a direct real-to-
 /// real edge, no virtual nodes (§4.3). Fastest to iterate, largest
 /// footprint; the baseline all other representations are compared against.
-/// Adjacency lists are kept sorted so ExistsEdge is a binary search.
+///
+/// Storage is flat CSR: one offsets array plus one contiguous neighbors
+/// array per direction, so traversal is pure pointer arithmetic and the
+/// whole adjacency lives in two cache-friendly allocations instead of one
+/// heap vector per vertex. Per-range neighbor lists are kept sorted, so
+/// ExistsEdge is a binary search and NeighborSpan feeds the sorted-span
+/// merge kernels directly.
+///
+/// The §3.4 mutation API is served by a copy-on-write patch overlay: the
+/// first AddEdge/DeleteEdge touching a vertex copies its CSR slice into a
+/// per-vertex vector and mutates there; untouched vertices keep reading
+/// the contiguous base. Analytic workloads (extract once, analyze many
+/// times) therefore never pay for mutability. Vertex deletion stays lazy
+/// (§3.4): a DeleteVertex *after* the adjacency was built leaves stale
+/// targets in the stored lists, so HasFlatAdjacency() reports false and
+/// kernels fall back to the filtering ForEachNeighbor path. Vertices
+/// already deleted when the CSR is adopted (the expander's propagation of
+/// storage deletions) are excluded from the arrays at build time and do
+/// not cost the fast path.
 class ExpandedGraph : public Graph {
  public:
   ExpandedGraph() = default;
   explicit ExpandedGraph(size_t num_vertices)
-      : out_(num_vertices), in_(num_vertices), deleted_(num_vertices, 0) {}
+      : out_offsets_(num_vertices + 1, 0),
+        in_offsets_(num_vertices + 1, 0),
+        deleted_(num_vertices, 0) {}
 
   std::string_view Name() const override { return "EXP"; }
 
-  size_t NumVertices() const override { return out_.size(); }
+  size_t NumVertices() const override { return deleted_.size(); }
   size_t NumActiveVertices() const override {
-    return out_.size() - num_deleted_;
+    return deleted_.size() - num_deleted_;
   }
   bool VertexExists(NodeId v) const override {
-    return v < out_.size() && !deleted_[v];
+    return v < deleted_.size() && !deleted_[v];
   }
 
   void ForEachNeighbor(NodeId u,
                        const std::function<void(NodeId)>& fn) const override;
 
   size_t OutDegree(NodeId u) const override;
+
+  bool HasFlatAdjacency() const override { return stale_deletions_ == 0; }
+  std::span<const NodeId> NeighborSpan(NodeId u) const override {
+    return OutSpan(u);
+  }
 
   bool ExistsEdge(NodeId u, NodeId v) const override;
   Status AddEdge(NodeId u, NodeId v) override;
@@ -43,27 +71,71 @@ class ExpandedGraph : public Graph {
   size_t NumVirtualNodes() const override { return 0; }
   GraphFootprint MemoryFootprint() const override;
 
-  /// Direct access to a (sorted) adjacency list; used by the expander and
-  /// compression baselines.
-  const std::vector<NodeId>& RawNeighbors(NodeId u) const { return out_[u]; }
-  const std::vector<NodeId>& RawInNeighbors(NodeId u) const { return in_[u]; }
+  /// Direct access to a (sorted) adjacency range; used by the expander,
+  /// the BSP engine, and compression baselines. May include logically
+  /// deleted targets while deletions are pending.
+  std::span<const NodeId> RawNeighbors(NodeId u) const { return OutSpan(u); }
+  std::span<const NodeId> RawInNeighbors(NodeId u) const { return InSpan(u); }
 
-  /// Bulk edge insertion without sorting; call FinishBulkLoad afterwards.
-  void AddEdgeUnchecked(NodeId u, NodeId v) {
-    out_[u].push_back(v);
-    in_[v].push_back(u);
-  }
-  /// Sorts and deduplicates all adjacency lists after bulk loading.
-  void FinishBulkLoad();
+  /// Adopts fully built CSR arrays in one move (the expander's bulk-load
+  /// path). `out_offsets`/`in_offsets` must have num_vertices + 1 entries
+  /// and every [offsets[u], offsets[u+1]) range must be sorted and
+  /// duplicate-free. `deleted` (empty = none) marks vertices that are
+  /// already logically deleted; the arrays must contain no edge touching
+  /// them, so the span contract stays intact. Replaces any existing
+  /// adjacency and patches.
+  void AdoptCsr(std::vector<uint64_t> out_offsets,
+                std::vector<NodeId> out_neighbors,
+                std::vector<uint64_t> in_offsets,
+                std::vector<NodeId> in_neighbors,
+                std::vector<uint8_t> deleted = {});
 
   PropertyTable& properties() { return properties_; }
   const PropertyTable& properties() const { return properties_; }
 
  private:
-  std::vector<std::vector<NodeId>> out_;
-  std::vector<std::vector<NodeId>> in_;
+  std::span<const NodeId> OutSpan(NodeId u) const {
+    if (!out_patch_.empty()) {
+      auto it = out_patch_.find(u);
+      if (it != out_patch_.end()) return {it->second.data(), it->second.size()};
+    }
+    return BaseSlice(out_offsets_, out_neighbors_, u);
+  }
+  std::span<const NodeId> InSpan(NodeId u) const {
+    if (!in_patch_.empty()) {
+      auto it = in_patch_.find(u);
+      if (it != in_patch_.end()) return {it->second.data(), it->second.size()};
+    }
+    return BaseSlice(in_offsets_, in_neighbors_, u);
+  }
+  static std::span<const NodeId> BaseSlice(const std::vector<uint64_t>& offsets,
+                                           const std::vector<NodeId>& neighbors,
+                                           NodeId u) {
+    const uint64_t begin = offsets[u];
+    const uint64_t end = offsets[u + 1];
+    return {neighbors.data() + begin, static_cast<size_t>(end - begin)};
+  }
+
+  /// The mutable per-vertex list for u, copying the CSR slice into the
+  /// patch overlay on first touch.
+  std::vector<NodeId>& MutableOut(NodeId u);
+  std::vector<NodeId>& MutableIn(NodeId u);
+
+  // Flat CSR base (offsets always have NumVertices() + 1 entries).
+  std::vector<uint64_t> out_offsets_{0};
+  std::vector<NodeId> out_neighbors_;
+  std::vector<uint64_t> in_offsets_{0};
+  std::vector<NodeId> in_neighbors_;
+  // Copy-on-write overlay for mutated vertices; a present entry fully
+  // replaces that vertex's base slice (and stays sorted).
+  std::unordered_map<NodeId, std::vector<NodeId>> out_patch_;
+  std::unordered_map<NodeId, std::vector<NodeId>> in_patch_;
   std::vector<uint8_t> deleted_;
   size_t num_deleted_ = 0;
+  // Deletions applied after the adjacency was built: only these can leave
+  // stale targets in the stored lists (adoption-time deletions are
+  // already scrubbed), so only these withdraw the span contract.
+  size_t stale_deletions_ = 0;
   PropertyTable properties_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "repr/csr_graph.h"
 #include "service/cache_key.h"
 
 namespace graphgen::service {
@@ -191,7 +192,47 @@ std::vector<NamedGraphInfo> GraphService::List() const {
   return out;
 }
 
-void GraphService::ClearCache() { cache_.Clear(); }
+void GraphService::ClearCache() {
+  cache_.Clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  flat_views_.clear();
+}
+
+std::shared_ptr<const Graph> GraphService::FlatView(const GraphHandle& handle) {
+  if (handle == nullptr || handle->graph == nullptr) return nullptr;
+  const Graph* key = handle->graph.get();
+  if (key->HasFlatAdjacency()) {
+    // Already devirtualizable in place; alias the handle so the view keeps
+    // the ExtractedGraph alive.
+    return std::shared_ptr<const Graph>(handle, key);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Reap adapters whose source graphs have been released (eviction,
+    // Drop) so abandoned CSR snapshots don't accumulate between builds.
+    for (auto it = flat_views_.begin(); it != flat_views_.end();) {
+      it = it->second.owner.expired() ? flat_views_.erase(it) : std::next(it);
+    }
+    auto it = flat_views_.find(key);
+    if (it != flat_views_.end()) {
+      // Guard against a recycled Graph* address: the cached adapter is
+      // only valid while the same ExtractedGraph is still alive.
+      if (it->second.owner.lock() == handle) return it->second.view;
+      flat_views_.erase(it);
+    }
+  }
+  // Build outside the lock — materialization walks every edge of the
+  // condensed representation. Concurrent callers may race to build the
+  // same adapter; the first insert wins and the losers share it.
+  auto built = std::make_shared<const CsrGraph>(CsrGraph::Build(*key));
+  std::lock_guard<std::mutex> lock(mu_);
+  ++csr_builds_;
+  auto [it, inserted] = flat_views_.try_emplace(key);
+  if (inserted || it->second.owner.lock() != handle) {
+    it->second = {handle, built};
+  }
+  return it->second.view;
+}
 
 ServiceStats GraphService::Stats() const {
   ServiceStats stats;
@@ -203,6 +244,8 @@ ServiceStats GraphService::Stats() const {
     stats.coalesced = coalesced_;
     stats.failed = failed_;
     stats.uncacheable = uncacheable_;
+    stats.csr_builds = csr_builds_;
+    stats.flat_views = flat_views_.size();
     stats.named_graphs = names_.size();
   }
   stats.evictions = cache_.evictions();

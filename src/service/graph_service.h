@@ -47,6 +47,8 @@ struct ServiceStats {
   uint64_t failed = 0;            // requests that returned a non-OK status
   uint64_t evictions = 0;         // cache entries dropped for the budget
   uint64_t uncacheable = 0;       // graphs larger than the whole budget
+  uint64_t csr_builds = 0;        // materialized-CSR adapters built
+  size_t flat_views = 0;          // gauge: resident CSR adapters
   size_t cache_bytes = 0;         // gauge: resident cache footprint
   size_t cache_graphs = 0;        // gauge: resident cache entries
   size_t named_graphs = 0;        // gauge: registry size
@@ -103,7 +105,20 @@ class GraphService {
   /// Registry contents sorted by name.
   std::vector<NamedGraphInfo> List() const;
 
-  /// Drops every cached graph (named graphs stay pinned).
+  /// Flat-adjacency analytics view of a handle's graph: the graph itself
+  /// when it already exposes NeighborSpan (EXP), else a materialized CSR
+  /// snapshot (CsrGraph) built once and cached alongside the graph, so
+  /// repeated kernels on a condensed representation share one adapter.
+  /// The returned pointer keeps the adapter alive independently of the
+  /// cache. Adapters whose source graph has been released (evicted +
+  /// unpinned) are reaped on the next FlatView call or ClearCache; their
+  /// bytes are *not* charged against the extraction-cache budget — they
+  /// are working state of active analyses, reported via Stats()
+  /// (flat_views / csr_builds) rather than bounded by it.
+  std::shared_ptr<const Graph> FlatView(const GraphHandle& handle);
+
+  /// Drops every cached graph (named graphs stay pinned) and every
+  /// cached flat view.
   void ClearCache();
 
   ServiceStats Stats() const;
@@ -129,15 +144,25 @@ class GraphService {
   GraphGen engine_;
   GraphCache cache_;
 
-  mutable std::mutex mu_;  // guards inflight_, names_, and the counters
+  /// One cached flat view: the CSR adapter plus a weak reference to the
+  /// ExtractedGraph that owns the source Graph, so a recycled Graph*
+  /// address can never serve a stale adapter.
+  struct FlatViewEntry {
+    std::weak_ptr<const ExtractedGraph> owner;
+    std::shared_ptr<const Graph> view;
+  };
+
+  mutable std::mutex mu_;  // guards inflight_, names_, flat_views_, counters
   std::unordered_map<std::string, std::shared_ptr<Inflight>> inflight_;
   std::map<std::string, GraphHandle> names_;
+  std::unordered_map<const Graph*, FlatViewEntry> flat_views_;
   uint64_t requests_ = 0;
   uint64_t cache_hits_ = 0;
   uint64_t cold_extractions_ = 0;
   uint64_t coalesced_ = 0;
   uint64_t failed_ = 0;
   uint64_t uncacheable_ = 0;
+  uint64_t csr_builds_ = 0;
 
   // Last member: destroyed (and joined) first, so queued tasks finish
   // while the rest of the service is still alive.

@@ -204,6 +204,43 @@ TEST(ParallelTest, InvokeRunsEachThread) {
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+TEST(ParallelTest, BalancedRangesCoverEverything) {
+  // Heavily skewed weights: index 0 owns almost all the mass.
+  const size_t n = 5000;
+  auto weight = [](size_t i) { return i == 0 ? uint64_t{1} << 20 : 1; };
+  std::vector<IndexRange> ranges = BalancedRanges(n, weight, 4);
+  ASSERT_FALSE(ranges.empty());
+  EXPECT_EQ(ranges.front().begin, 0u);
+  EXPECT_EQ(ranges.back().end, n);
+  for (size_t i = 1; i < ranges.size(); ++i) {
+    EXPECT_EQ(ranges[i].begin, ranges[i - 1].end);  // contiguous, disjoint
+  }
+  // The hub must not drag half the uniform tail into its range.
+  EXPECT_LE(ranges.front().end, 2u);
+}
+
+TEST(ParallelTest, BalancedRangesCollapseWhenLight) {
+  std::vector<IndexRange> ranges =
+      BalancedRanges(100, [](size_t) { return uint64_t{1}; }, 8);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].begin, 0u);
+  EXPECT_EQ(ranges[0].end, 100u);
+  EXPECT_TRUE(BalancedRanges(0, [](size_t) { return uint64_t{1}; }).empty());
+}
+
+TEST(ParallelTest, ForRangesRunsEachRangeOnce) {
+  const size_t n = 40000;
+  std::vector<IndexRange> ranges =
+      BalancedRanges(n, [](size_t) { return uint64_t{1}; }, 4);
+  EXPECT_GT(ranges.size(), 1u);
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  ParallelForRanges(ranges, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 TEST(ThreadPoolTest, RunsEverySubmittedTask) {
   ThreadPool pool(4);
   EXPECT_EQ(pool.NumThreads(), 4u);

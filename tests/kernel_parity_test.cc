@@ -1,0 +1,212 @@
+// Parity suite for the flat-CSR fast path: for every representation and
+// every algorithm, the devirtualized NeighborSpan kernel must produce the
+// same result as the virtual ForEachNeighbor baseline — on EXP (native
+// flat adjacency) bit for bit, and through the materialized CsrGraph
+// adapter for the condensed representations. Also pins the CSR
+// ExpandedGraph's edge set to the condensed-storage oracle, including
+// after DeleteVertex / DeleteEdge / AddVertex mutations.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "algos/bfs.h"
+#include "algos/clustering.h"
+#include "algos/connected_components.h"
+#include "algos/degree.h"
+#include "algos/kcore.h"
+#include "algos/pagerank.h"
+#include "algos/triangles.h"
+#include "common/parallel.h"
+#include "dedup/bitmap_algorithms.h"
+#include "dedup/dedup1_algorithms.h"
+#include "dedup/dedup2_builder.h"
+#include "repr/bitmap_graph.h"
+#include "repr/cdup_graph.h"
+#include "repr/csr_graph.h"
+#include "repr/dedup1_graph.h"
+#include "repr/dedup2_graph.h"
+#include "repr/expander.h"
+#include "test_util.h"
+
+namespace graphgen {
+namespace {
+
+using testing::EdgeSetOf;
+using testing::MakeRandomSymmetric;
+
+constexpr TraversalPath kFn = TraversalPath::kFunction;
+constexpr TraversalPath kSpan = TraversalPath::kAuto;
+
+void ExpectNear(const std::vector<double>& a, const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-9) << "index " << i;
+  }
+}
+
+/// Runs all seven kernels with the function path on `base` and the span
+/// path on `flat` (which must expose the same expanded view) and asserts
+/// the results agree. Integer outputs must match exactly; double outputs
+/// get a tolerance because `base` may iterate neighbors in a different
+/// order (C-DUP's hash-set dedup) than the sorted spans.
+void ExpectKernelParity(const Graph& base, const Graph& flat) {
+  ASSERT_TRUE(flat.HasFlatAdjacency());
+  EXPECT_EQ(EdgeSetOf(base), EdgeSetOf(flat));
+
+  EXPECT_EQ(ComputeDegrees(base, 0, kFn), ComputeDegrees(flat, 0, kSpan));
+  EXPECT_EQ(CountTriangles(base, kFn), CountTriangles(flat, kSpan));
+  EXPECT_EQ(ConnectedComponents(base, 0, kFn),
+            ConnectedComponents(flat, 0, kSpan));
+  EXPECT_EQ(Bfs(base, 0, kFn), Bfs(flat, 0, kSpan));
+  EXPECT_EQ(KCoreDecomposition(base, kFn), KCoreDecomposition(flat, kSpan));
+  ExpectNear(PageRank(base, {.iterations = 6, .traversal = kFn}),
+             PageRank(flat, {.iterations = 6, .traversal = kSpan}));
+  ExpectNear(LocalClusteringCoefficients(base, kFn),
+             LocalClusteringCoefficients(flat, kSpan));
+}
+
+class KernelParityTest : public ::testing::Test {
+ protected:
+  void SetUp() override { storage_ = MakeRandomSymmetric(300, 80, 6, 99); }
+  CondensedStorage storage_;
+};
+
+TEST_F(KernelParityTest, ExpSpanPathMatchesFunctionPathExactly) {
+  ExpandedGraph exp = ExpandCondensed(storage_);
+  ASSERT_TRUE(exp.HasFlatAdjacency());
+  // Same graph, same iteration order: even the floating-point kernels
+  // must agree bit for bit.
+  EXPECT_EQ(PageRank(exp, {.iterations = 8, .traversal = kFn}),
+            PageRank(exp, {.iterations = 8, .traversal = kSpan}));
+  EXPECT_EQ(LocalClusteringCoefficients(exp, kFn),
+            LocalClusteringCoefficients(exp, kSpan));
+  ExpectKernelParity(exp, exp);
+}
+
+TEST_F(KernelParityTest, CsrAdapterParityForAllRepresentations) {
+  std::vector<std::unique_ptr<Graph>> graphs;
+  graphs.push_back(std::make_unique<CDupGraph>(storage_));
+  graphs.push_back(
+      std::make_unique<ExpandedGraph>(ExpandCondensed(storage_)));
+  auto d1 = GreedyVirtualNodesFirst(storage_);
+  ASSERT_TRUE(d1.ok());
+  graphs.push_back(std::make_unique<Dedup1Graph>(std::move(*d1)));
+  auto d2 = BuildDedup2(storage_);
+  ASSERT_TRUE(d2.ok());
+  graphs.push_back(std::make_unique<Dedup2Graph>(std::move(*d2)));
+  auto b1 = BuildBitmap1(storage_);
+  ASSERT_TRUE(b1.ok());
+  graphs.push_back(std::make_unique<BitmapGraph>(std::move(*b1)));
+  auto b2 = BuildBitmap2(storage_);
+  ASSERT_TRUE(b2.ok());
+  graphs.push_back(std::make_unique<BitmapGraph>(std::move(*b2)));
+
+  for (const auto& g : graphs) {
+    SCOPED_TRACE(std::string(g->Name()));
+    CsrGraph csr = CsrGraph::Build(*g);
+    ExpectKernelParity(*g, csr);
+  }
+}
+
+TEST_F(KernelParityTest, ExpandedEdgeSetMatchesStorageOracle) {
+  ExpandedGraph exp = ExpandCondensed(storage_);
+  EXPECT_EQ(exp.ExpandedEdgeSet(), storage_.ExpandedEdgeSet());
+  EXPECT_EQ(exp.CountStoredEdges(), storage_.CountExpandedEdges());
+}
+
+TEST_F(KernelParityTest, EdgeMutationsKeepFlatAdjacencyAndParity) {
+  ExpandedGraph exp = ExpandCondensed(storage_);
+  CDupGraph mirror(storage_);
+
+  // Structural edits that don't delete vertices keep the spans exact:
+  // patched vertices serve their overlay, the rest the CSR base.
+  NodeId added = exp.AddVertex();
+  EXPECT_EQ(added, mirror.AddVertex());
+  ASSERT_TRUE(exp.AddEdge(0, added).ok());
+  ASSERT_TRUE(mirror.AddEdge(0, added).ok());
+  ASSERT_TRUE(exp.AddEdge(added, 0).ok());
+  ASSERT_TRUE(mirror.AddEdge(added, 0).ok());
+
+  // Delete both directions: the triangle/clustering kernels are defined
+  // on GraphGen's symmetric graphs, so mutations keep the symmetry.
+  auto edges = EdgeSetOf(exp);
+  ASSERT_FALSE(edges.empty());
+  auto [du, dv] = edges[edges.size() / 2];
+  ASSERT_TRUE(exp.DeleteEdge(du, dv).ok());
+  ASSERT_TRUE(mirror.DeleteEdge(du, dv).ok());
+  ASSERT_TRUE(exp.DeleteEdge(dv, du).ok());
+  ASSERT_TRUE(mirror.DeleteEdge(dv, du).ok());
+
+  EXPECT_TRUE(exp.HasFlatAdjacency());
+  EXPECT_EQ(EdgeSetOf(exp), EdgeSetOf(mirror));
+  ExpectKernelParity(mirror, exp);
+
+  // Re-adding the deleted edge through the patch overlay round-trips.
+  ASSERT_TRUE(exp.AddEdge(du, dv).ok());
+  ASSERT_TRUE(mirror.AddEdge(du, dv).ok());
+  ASSERT_TRUE(exp.AddEdge(dv, du).ok());
+  ASSERT_TRUE(mirror.AddEdge(dv, du).ok());
+  EXPECT_EQ(EdgeSetOf(exp), EdgeSetOf(mirror));
+}
+
+TEST_F(KernelParityTest, VertexDeletionDisablesFlatPathButStaysCorrect) {
+  ExpandedGraph exp = ExpandCondensed(storage_);
+  CDupGraph mirror(storage_);
+
+  ASSERT_TRUE(exp.DeleteVertex(3).ok());
+  ASSERT_TRUE(mirror.DeleteVertex(3).ok());
+  // Lazy deletion leaves stale targets in the CSR base, so the span
+  // contract is withdrawn and kAuto kernels transparently fall back.
+  EXPECT_FALSE(exp.HasFlatAdjacency());
+  EXPECT_EQ(EdgeSetOf(exp), EdgeSetOf(mirror));
+  EXPECT_EQ(ComputeDegrees(exp, 0, kSpan), ComputeDegrees(mirror, 0, kFn));
+  EXPECT_EQ(CountTriangles(exp, kSpan), CountTriangles(mirror, kFn));
+  EXPECT_EQ(Bfs(exp, 0, kSpan), Bfs(mirror, 0, kFn));
+
+  // A fresh snapshot of the mutated graph restores the fast path.
+  CsrGraph csr = CsrGraph::Build(exp);
+  EXPECT_FALSE(csr.VertexExists(3));
+  ExpectKernelParity(exp, csr);
+}
+
+TEST_F(KernelParityTest, AdoptionTimeDeletionsKeepFlatPath) {
+  // Deletions already present in the condensed storage are scrubbed from
+  // the CSR at build time, so they must not cost the span fast path.
+  storage_.DeleteRealNode(5);
+  storage_.DeleteRealNode(17);
+  ExpandedGraph exp = ExpandCondensed(storage_);
+  EXPECT_TRUE(exp.HasFlatAdjacency());
+  EXPECT_FALSE(exp.VertexExists(5));
+  EXPECT_EQ(exp.NumActiveVertices(), exp.NumVertices() - 2);
+  EXPECT_EQ(exp.ExpandedEdgeSet(), storage_.ExpandedEdgeSet());
+  CDupGraph mirror(storage_);
+  ExpectKernelParity(mirror, exp);
+  // A *runtime* deletion still withdraws the contract.
+  ASSERT_TRUE(exp.DeleteVertex(9).ok());
+  EXPECT_FALSE(exp.HasFlatAdjacency());
+}
+
+TEST(CsrGraphTest, SnapshotIsImmutable) {
+  CondensedStorage s = MakeRandomSymmetric(40, 12, 4, 7);
+  CDupGraph cdup(s);
+  CsrGraph csr = CsrGraph::Build(cdup);
+  EXPECT_FALSE(csr.AddEdge(0, 1).ok());
+  EXPECT_FALSE(csr.DeleteEdge(0, 1).ok());
+  EXPECT_FALSE(csr.DeleteVertex(0).ok());
+  EXPECT_EQ(csr.AddVertex(), kInvalidNode);
+  EXPECT_EQ(EdgeSetOf(csr), EdgeSetOf(cdup));
+}
+
+TEST(CsrGraphTest, EmptyGraphSnapshots) {
+  ExpandedGraph empty;
+  CsrGraph csr = CsrGraph::Build(empty);
+  EXPECT_EQ(csr.NumVertices(), 0u);
+  EXPECT_EQ(csr.CountStoredEdges(), 0u);
+  EXPECT_EQ(CountTriangles(csr), 0u);
+}
+
+}  // namespace
+}  // namespace graphgen

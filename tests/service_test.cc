@@ -218,6 +218,44 @@ TEST_F(ServiceTest, AsyncExtractionDeliversThroughFutures) {
 // N threads extract a mix of cached and uncached programs concurrently
 // through both the sync and async paths while names are rebound and
 // dropped. Run with -DGRAPHGEN_SANITIZE=thread to verify race freedom.
+TEST_F(ServiceTest, FlatViewMaterializesAndCachesCsrAdapter) {
+  service::GraphService svc(&data_.db);
+  auto handle = svc.Extract(kStudentQuery, CDupOptions());
+  ASSERT_TRUE(handle.ok());
+  ASSERT_FALSE((*handle)->graph->HasFlatAdjacency());  // C-DUP
+
+  auto flat = svc.FlatView(*handle);
+  ASSERT_NE(flat, nullptr);
+  EXPECT_TRUE(flat->HasFlatAdjacency());
+  EXPECT_EQ(flat->ExpandedEdgeSet(), (*handle)->graph->ExpandedEdgeSet());
+  EXPECT_EQ(svc.Stats().csr_builds, 1u);
+  EXPECT_EQ(svc.Stats().flat_views, 1u);
+
+  // Second request for the same graph shares the adapter.
+  auto again = svc.FlatView(*handle);
+  EXPECT_EQ(again.get(), flat.get());
+  EXPECT_EQ(svc.Stats().csr_builds, 1u);
+
+  // ClearCache drops the adapter cache too; the old view stays usable.
+  svc.ClearCache();
+  EXPECT_EQ(svc.Stats().flat_views, 0u);
+  EXPECT_EQ(flat->NumVertices(), (*handle)->graph->NumVertices());
+}
+
+TEST_F(ServiceTest, FlatViewAliasesGraphsWithNativeFlatAdjacency) {
+  service::GraphService svc(&data_.db);
+  GraphGenOptions exp_options = CDupOptions();
+  exp_options.representation = Representation::kExp;
+  auto handle = svc.Extract(kStudentQuery, exp_options);
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE((*handle)->graph->HasFlatAdjacency());
+
+  auto flat = svc.FlatView(*handle);
+  // EXP is already CSR-backed: no adapter is built, the view is the graph.
+  EXPECT_EQ(flat.get(), (*handle)->graph.get());
+  EXPECT_EQ(svc.Stats().csr_builds, 0u);
+}
+
 TEST_F(ServiceTest, ConcurrentStress) {
   constexpr size_t kThreads = 8;
   constexpr int kItersPerThread = 25;

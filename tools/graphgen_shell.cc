@@ -210,7 +210,11 @@ void CmdRun(ShellState& state, const std::vector<std::string>& args) {
     std::printf("%s\n", handle.status().ToString().c_str());
     return;
   }
-  const Graph& g = *(*handle)->graph;
+  // Analytics run on the service's flat view: the graph itself when it is
+  // already CSR-backed (EXP), else a cached materialized-CSR adapter, so
+  // every kernel below takes the devirtualized span path.
+  std::shared_ptr<const Graph> flat = state.svc->FlatView(*handle);
+  const Graph& g = flat ? *flat : *(*handle)->graph;
   const std::string& algo = args[1];
   WallTimer timer;
   if (algo == "degree") {
@@ -221,11 +225,11 @@ void CmdRun(ShellState& state, const std::vector<std::string>& args) {
                 static_cast<unsigned long long>(max_d), timer.Millis());
   } else if (algo == "pagerank") {
     std::vector<double> pr = PageRank(g, {.iterations = 20});
-    NodeId best = 0;
-    for (NodeId u = 1; u < pr.size(); ++u) {
+    size_t best = 0;
+    for (size_t u = 1; u < pr.size(); ++u) {
       if (pr[u] > pr[best]) best = u;
     }
-    std::printf("top vertex %u, rank %.5f (%.1fms)\n", best,
+    std::printf("top vertex %zu, rank %.5f (%.1fms)\n", best,
                 pr.empty() ? 0.0 : pr[best], timer.Millis());
   } else if (algo == "components") {
     auto labels = ConnectedComponents(g);
@@ -294,6 +298,7 @@ void CmdStats(const ShellState& state) {
       "cache               %zu graphs, %s / %s budget\n"
       "  evictions         %llu\n"
       "  uncacheable       %llu\n"
+      "flat views          %zu resident (%llu CSR builds)\n"
       "registry            %zu named graphs\n"
       "workers             %zu threads\n"
       "database            %s\n",
@@ -306,7 +311,8 @@ void CmdStats(const ShellState& state) {
       s.cache_budget_bytes == 0 ? "unlimited"
                                 : FormatBytes(s.cache_budget_bytes).c_str(),
       static_cast<unsigned long long>(s.evictions),
-      static_cast<unsigned long long>(s.uncacheable), s.named_graphs,
+      static_cast<unsigned long long>(s.uncacheable), s.flat_views,
+      static_cast<unsigned long long>(s.csr_builds), s.named_graphs,
       s.worker_threads, FormatBytes(state.db.MemoryBytes()).c_str());
 }
 
