@@ -1,7 +1,9 @@
 #include "common/parallel.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -115,6 +117,45 @@ void ThreadPool::Submit(std::function<void()> task) {
     queue_.push_back(std::move(task));
   }
   work_available_.notify_one();
+}
+
+void ThreadPool::RunBatch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (tasks.size() == 1) {
+    tasks[0]();
+    return;
+  }
+  // Shared by the caller and any helpers; helpers that start after the
+  // batch has drained see next >= size and return immediately, so the
+  // state must outlive this call (shared_ptr).
+  struct BatchState {
+    std::vector<std::function<void()>> tasks;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<BatchState>();
+  state->tasks = std::move(tasks);
+  const size_t total = state->tasks.size();
+  auto drain = [state, total] {
+    for (;;) {
+      const size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) return;
+      state->tasks[i]();
+      if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == total) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->cv.notify_all();
+      }
+    }
+  };
+  const size_t helpers = std::min(workers_.size(), total - 1);
+  for (size_t h = 0; h < helpers; ++h) Submit(drain);
+  drain();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == total;
+  });
 }
 
 void ThreadPool::Wait() {

@@ -69,6 +69,14 @@ class ThreadPool {
   /// after destruction has begun.
   void Submit(std::function<void()> task);
 
+  /// Runs every task to completion, using idle pool workers
+  /// opportunistically while the *calling thread also participates*.
+  /// Because the caller drains the batch itself when no worker is free,
+  /// RunBatch never deadlocks — even when invoked from inside a pool task
+  /// (the extraction pipeline fans out per-rule queries on the same pool
+  /// that runs the extraction request). Tasks must not throw.
+  void RunBatch(std::vector<std::function<void()>> tasks);
+
   /// Blocks until the queue is empty and every worker is idle.
   void Wait();
 

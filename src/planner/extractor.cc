@@ -1,8 +1,12 @@
 #include "planner/extractor.h"
 
+#include <atomic>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 
+#include "common/parallel.h"
 #include "common/timer.h"
 #include "datalog/parser.h"
 #include "datalog/validator.h"
@@ -34,15 +38,90 @@ struct VirtualKeyHash {
   }
 };
 
+// Output of one executed extraction query, under either engine.
+struct ExecOutput {
+  Status status = Status::OK();
+  std::optional<query::RowIdResult> columnar;
+  std::optional<query::ResultSet> rows;
+
+  query::RowsView View() const {
+    return columnar.has_value() ? query::RowsView(&*columnar)
+                                : query::RowsView(&*rows);
+  }
+  size_t NumRows() const {
+    if (columnar.has_value()) return columnar->NumRows();
+    return rows.has_value() ? rows->NumRows() : 0;
+  }
+};
+
+// Executes every plan, independent queries concurrently: on the shared
+// pool when one is provided (deadlock-free — RunBatch lets the caller
+// participate), else on scoped threads; inline when serial. Results land
+// at the plan's index, so callers consume them in deterministic order.
+// The thread budget is split between rule fan-out and intra-query
+// parallelism rather than multiplied (N concurrent rules each get
+// ~budget/N operator threads; a lone rule gets the whole budget). The
+// split never changes results — output is identical for every count.
+std::vector<ExecOutput> RunPlans(
+    const rel::Database& db, const std::vector<const query::PlanNode*>& plans,
+    const ExtractOptions& options) {
+  const size_t n = plans.size();
+  const size_t budget =
+      options.threads == 0 ? DefaultThreadCount() : options.threads;
+  const size_t fan_out =
+      (n <= 1 || options.threads == 1) ? 1 : std::min(n, budget);
+  const query::Executor executor(
+      &db, {.threads = std::max<size_t>(1, budget / fan_out),
+            .engine = options.engine});
+  std::vector<ExecOutput> outs(plans.size());
+  auto run_one = [&executor, &plans, &outs, &options](size_t i) {
+    if (options.engine == query::ExecEngine::kColumnar) {
+      auto result = executor.ExecuteColumnar(*plans[i]);
+      outs[i].status = result.status();
+      if (result.ok()) outs[i].columnar = std::move(result).ValueOrDie();
+    } else {
+      auto result = executor.ExecuteRowAtATime(*plans[i]);
+      outs[i].status = result.status();
+      if (result.ok()) outs[i].rows = std::move(result).ValueOrDie();
+    }
+  };
+  if (fan_out <= 1) {
+    for (size_t i = 0; i < n; ++i) run_one(i);
+    return outs;
+  }
+  // Bound concurrency to fan_out even on a pool larger than the thread
+  // budget: submit fan_out drainers over a shared index, not one task
+  // per plan.
+  std::atomic<size_t> next{0};
+  auto drain = [&run_one, &next, n] {
+    for (;;) {
+      const size_t i = next.fetch_add(1);
+      if (i >= n) return;
+      run_one(i);
+    }
+  };
+  if (options.pool != nullptr) {
+    std::vector<std::function<void()>> tasks(fan_out, drain);
+    options.pool->RunBatch(std::move(tasks));
+    return outs;
+  }
+  ParallelInvoke(fan_out, [&drain](size_t) { drain(); });
+  return outs;
+}
+
 // Executes the Nodes rules: creates real nodes, assigns properties, and
-// fills the external-key -> NodeId map.
+// fills the external-key -> NodeId map. Queries run concurrently (phase
+// 2); node-id assignment applies their results serially in rule order
+// (phase 3), so ids are deterministic.
 Status ExecuteNodesRules(const rel::Database& db, const dsl::Program& program,
+                         const ExtractOptions& options,
                          ExtractionResult& result,
                          std::unordered_map<rel::Value, NodeId, rel::ValueHash>&
                              node_ids) {
-  query::Executor executor(&db);
   CondensedStorage& storage = result.storage;
 
+  // Phase 1: translate each rule into a DISTINCT projection plan.
+  std::vector<std::unique_ptr<query::PlanNode>> plans;
   for (const dsl::Rule& rule : program.nodes_rules) {
     if (rule.body.size() != 1) {
       return Status::Unsupported(
@@ -100,12 +179,24 @@ Status ExecuteNodesRules(const rel::Database& db, const dsl::Program& program,
       }
     }
 
-    query::ProjectNode plan(
+    auto plan = std::make_unique<query::ProjectNode>(
         std::make_unique<query::ScanNode>(atom.relation, predicates), columns,
         rule.head_args, /*distinct=*/true);
-    result.sql.push_back(plan.ToSql());
-    GRAPHGEN_ASSIGN_OR_RETURN(query::ResultSet rows, executor.Execute(plan));
-    result.rows_scanned += rows.NumRows();
+    result.sql.push_back(plan->ToSql());
+    plans.push_back(std::move(plan));
+  }
+
+  // Phase 2: run the node queries concurrently.
+  std::vector<const query::PlanNode*> refs;
+  refs.reserve(plans.size());
+  for (const auto& p : plans) refs.push_back(p.get());
+  std::vector<ExecOutput> outs = RunPlans(db, refs, options);
+
+  // Phase 3: apply serially in rule order.
+  for (size_t r = 0; r < program.nodes_rules.size(); ++r) {
+    const dsl::Rule& rule = program.nodes_rules[r];
+    GRAPHGEN_RETURN_NOT_OK(outs[r].status);
+    result.rows_scanned += outs[r].NumRows();
 
     // Property columns registered once.
     std::vector<size_t> prop_cols;
@@ -113,17 +204,19 @@ Status ExecuteNodesRules(const rel::Database& db, const dsl::Program& program,
       prop_cols.push_back(storage.properties().AddColumn(rule.head_args[i]));
     }
 
-    for (const rel::Row& row : rows.rows) {
-      const rel::Value& key = row[0];
+    const query::RowsView rows = outs[r].View();
+    for (size_t ri = 0; ri < rows.NumRows(); ++ri) {
+      const rel::Value& key = rows.ValueAt(ri, 0);
       if (key.is_null()) continue;
       auto [it, inserted] = node_ids.emplace(key, 0);
       if (inserted) {
         it->second = storage.AddRealNode();
         storage.properties().SetExternalKey(it->second, key.ToString());
       }
-      for (size_t i = 1; i < row.size(); ++i) {
+      for (size_t i = 1; i < rule.head_args.size(); ++i) {
+        const rel::Value& v = rows.ValueAt(ri, i);
         storage.properties().Set(it->second, prop_cols[i - 1],
-                                 row[i].is_null() ? "" : row[i].ToString());
+                                 v.is_null() ? "" : v.ToString());
       }
     }
   }
@@ -143,15 +236,16 @@ bool CompareCount(int64_t count, dsl::PredOp op, int64_t threshold) {
   return false;
 }
 
-// Case 2 of §3.3: a COUNT aggregate forces the full join. Executes the
-// whole chain, counts distinct bindings of the aggregate variable per
-// (ID1, ID2) pair, and adds a direct edge for every pair passing the
-// threshold ("co-authored multiple papers together", §1).
-Status ExtractWithCountConstraint(
-    const rel::Database& db, const JoinChain& chain,
-    const dsl::AggregateConstraint& agg,
-    const std::unordered_map<rel::Value, NodeId, rel::ValueHash>& node_ids,
-    ExtractionResult& result) {
+struct CountPlanParts {
+  std::unique_ptr<query::PlanNode> plan;
+  std::string sql;
+};
+
+// Case 2 of §3.3: a COUNT aggregate forces the full join. Builds the
+// whole-chain plan projecting DISTINCT (src, dst, aggvar) so each
+// binding counts once per pair.
+Result<CountPlanParts> BuildCountConstraintPlan(
+    const JoinChain& chain, const dsl::AggregateConstraint& agg) {
   // Column offsets of each atom in the concatenated join output.
   std::vector<size_t> offsets(chain.atoms.size(), 0);
   for (size_t i = 1; i < chain.atoms.size(); ++i) {
@@ -187,20 +281,25 @@ Status ExtractWithCountConstraint(
   }
   size_t src_col = chain.atoms.front().in_col;
   size_t dst_col = offsets.back() + chain.atoms.back().out_col;
-  // DISTINCT (src, dst, aggvar) so each binding counts once per pair.
-  query::ProjectNode project(
-      std::move(plan), {src_col, dst_col, agg_col},
-      {"src", "dst", agg.variable}, /*distinct=*/true);
-  result.sql.push_back(project.ToSql() + "  -- GROUP BY src, dst HAVING COUNT(" +
-                       agg.variable + ") " +
-                       std::string(dsl::PredOpToString(agg.op)) + " " +
-                       std::to_string(agg.threshold));
+  auto project = std::make_unique<query::ProjectNode>(
+      std::move(plan), std::vector<size_t>{src_col, dst_col, agg_col},
+      std::vector<std::string>{"src", "dst", agg.variable},
+      /*distinct=*/true);
+  CountPlanParts parts;
+  parts.sql = project->ToSql() + "  -- GROUP BY src, dst HAVING COUNT(" +
+              agg.variable + ") " + std::string(dsl::PredOpToString(agg.op)) +
+              " " + std::to_string(agg.threshold);
+  parts.plan = std::move(project);
+  return parts;
+}
 
-  query::Executor executor(&db);
-  GRAPHGEN_ASSIGN_OR_RETURN(query::ResultSet rows, executor.Execute(project));
-  result.rows_scanned += rows.NumRows();
-
-  // GROUP BY (src, dst) HAVING COUNT(aggvar) <op> threshold.
+// GROUP BY (src, dst) HAVING COUNT(aggvar) <op> threshold over the
+// distinct (src, dst, aggvar) bindings; adds a direct edge per passing
+// pair ("co-authored multiple papers together", §1).
+Status ApplyCountConstraint(
+    const query::RowsView& rows, const dsl::AggregateConstraint& agg,
+    const std::unordered_map<rel::Value, NodeId, rel::ValueHash>& node_ids,
+    ExtractionResult& result) {
   struct PairHash {
     size_t operator()(const std::pair<NodeId, NodeId>& p) const {
       return std::hash<uint64_t>{}((static_cast<uint64_t>(p.first) << 32) |
@@ -208,10 +307,12 @@ Status ExtractWithCountConstraint(
     }
   };
   std::unordered_map<std::pair<NodeId, NodeId>, int64_t, PairHash> counts;
-  for (const rel::Row& row : rows.rows) {
-    if (row[0].is_null() || row[1].is_null()) continue;
-    auto src = node_ids.find(row[0]);
-    auto dst = node_ids.find(row[1]);
+  for (size_t ri = 0; ri < rows.NumRows(); ++ri) {
+    const rel::Value& sv = rows.ValueAt(ri, 0);
+    const rel::Value& dv = rows.ValueAt(ri, 1);
+    if (sv.is_null() || dv.is_null()) continue;
+    auto src = node_ids.find(sv);
+    auto dst = node_ids.find(dv);
     if (src == node_ids.end() || dst == node_ids.end()) continue;
     if (src->second == dst->second) continue;  // self pairs never edges
     ++counts[{src->second, dst->second}];
@@ -225,6 +326,14 @@ Status ExtractWithCountConstraint(
   return Status::OK();
 }
 
+// Planned work for one Edges rule: either a segment list or a
+// count-constraint plan, plus the index of its first query unit.
+struct EdgeRuleWork {
+  std::vector<Segment> segments;
+  std::unique_ptr<query::PlanNode> count_plan;
+  size_t first_unit = 0;
+};
+
 }  // namespace
 
 Result<ExtractionResult> Extract(const rel::Database& db,
@@ -234,13 +343,15 @@ Result<ExtractionResult> Extract(const rel::Database& db,
   std::unordered_map<rel::Value, NodeId, rel::ValueHash> node_ids;
 
   WallTimer timer;
-  GRAPHGEN_RETURN_NOT_OK(ExecuteNodesRules(db, program, result, node_ids));
+  GRAPHGEN_RETURN_NOT_OK(
+      ExecuteNodesRules(db, program, options, result, node_ids));
   result.nodes_seconds = timer.Seconds();
 
   timer.Restart();
-  query::Executor executor(&db);
-  std::unordered_map<VirtualKey, uint32_t, VirtualKeyHash> virtual_ids;
 
+  // Phase 1: analyze every Edges rule and collect all query units.
+  std::vector<EdgeRuleWork> works;
+  std::vector<const query::PlanNode*> units;
   for (size_t rule_idx = 0; rule_idx < program.edges_rules.size();
        ++rule_idx) {
     const dsl::Rule& rule = program.edges_rules[rule_idx];
@@ -248,27 +359,52 @@ Result<ExtractionResult> Extract(const rel::Database& db,
         JoinChain chain,
         AnalyzeEdgesRule(rule, db, options.large_output_factor));
 
+    EdgeRuleWork work;
+    work.first_unit = units.size();
     if (rule.count_constraint.has_value()) {
-      GRAPHGEN_RETURN_NOT_OK(ExtractWithCountConstraint(
-          db, chain, *rule.count_constraint, node_ids, result));
+      GRAPHGEN_ASSIGN_OR_RETURN(
+          CountPlanParts parts,
+          BuildCountConstraintPlan(chain, *rule.count_constraint));
+      result.sql.push_back(parts.sql);
+      work.count_plan = std::move(parts.plan);
+      units.push_back(work.count_plan.get());
+    } else {
+      GRAPHGEN_ASSIGN_OR_RETURN(work.segments, BuildSegments(chain));
+      for (const Segment& seg : work.segments) {
+        result.sql.push_back(seg.sql);
+        units.push_back(seg.plan.get());
+      }
+    }
+    works.push_back(std::move(work));
+  }
+
+  // Phase 2: execute all segment/count queries, rules concurrently.
+  std::vector<ExecOutput> outs = RunPlans(db, units, options);
+
+  // Phase 3: assemble the condensed graph serially in (rule, segment,
+  // row) order — virtual-node numbering and edge order are identical to
+  // a fully serial run.
+  std::unordered_map<VirtualKey, uint32_t, VirtualKeyHash> virtual_ids;
+  for (size_t rule_idx = 0; rule_idx < works.size(); ++rule_idx) {
+    EdgeRuleWork& work = works[rule_idx];
+    if (work.count_plan != nullptr) {
+      ExecOutput& out = outs[work.first_unit];
+      GRAPHGEN_RETURN_NOT_OK(out.status);
+      result.rows_scanned += out.NumRows();
+      GRAPHGEN_RETURN_NOT_OK(ApplyCountConstraint(
+          out.View(), *program.edges_rules[rule_idx].count_constraint,
+          node_ids, result));
       continue;
     }
 
-    GRAPHGEN_ASSIGN_OR_RETURN(std::vector<Segment> segments,
-                              BuildSegments(chain));
-
-    // Maps a segment boundary to the chain boundary index it postpones.
-    // Segment i's output feeds the large-output boundary after its last
-    // atom (if any).
-    for (size_t si = 0; si < segments.size(); ++si) {
-      const Segment& seg = segments[si];
-      result.sql.push_back(seg.sql);
-      GRAPHGEN_ASSIGN_OR_RETURN(query::ResultSet rows,
-                                executor.Execute(*seg.plan));
-      result.rows_scanned += rows.NumRows();
+    for (size_t si = 0; si < work.segments.size(); ++si) {
+      const Segment& seg = work.segments[si];
+      ExecOutput& out = outs[work.first_unit + si];
+      GRAPHGEN_RETURN_NOT_OK(out.status);
+      result.rows_scanned += out.NumRows();
 
       const bool first = si == 0;
-      const bool last = si + 1 == segments.size();
+      const bool last = si + 1 == work.segments.size();
 
       auto virtual_for = [&](size_t boundary,
                              const rel::Value& value) -> NodeRef {
@@ -278,9 +414,10 @@ Result<ExtractionResult> Extract(const rel::Database& db,
         return NodeRef::Virtual(it->second);
       };
 
-      for (const rel::Row& row : rows.rows) {
-        const rel::Value& src = row[0];
-        const rel::Value& dst = row[1];
+      const query::RowsView rows = out.View();
+      for (size_t ri = 0; ri < rows.NumRows(); ++ri) {
+        const rel::Value& src = rows.ValueAt(ri, 0);
+        const rel::Value& dst = rows.ValueAt(ri, 1);
         if (src.is_null() || dst.is_null()) continue;
 
         NodeRef from;
@@ -290,7 +427,7 @@ Result<ExtractionResult> Extract(const rel::Database& db,
           if (it == node_ids.end()) continue;  // dangling key: no node
           from = NodeRef::Real(it->second);
         } else {
-          from = virtual_for(segments[si - 1].last_atom, src);
+          from = virtual_for(work.segments[si - 1].last_atom, src);
         }
         if (last) {
           auto it = node_ids.find(dst);
@@ -324,6 +461,66 @@ Result<ExtractionResult> ExtractFromQuery(const rel::Database& db,
   GRAPHGEN_ASSIGN_OR_RETURN(dsl::Program program, dsl::Parse(datalog));
   GRAPHGEN_RETURN_NOT_OK(dsl::Validate(program, db));
   return Extract(db, program, options);
+}
+
+std::string DiffExtraction(const ExtractionResult& a,
+                           const ExtractionResult& b) {
+  auto num = [](uint64_t v) { return std::to_string(v); };
+  if (a.real_nodes != b.real_nodes) {
+    return "real_nodes: " + num(a.real_nodes) + " vs " + num(b.real_nodes);
+  }
+  if (a.virtual_nodes != b.virtual_nodes) {
+    return "virtual_nodes: " + num(a.virtual_nodes) + " vs " +
+           num(b.virtual_nodes);
+  }
+  if (a.condensed_edges != b.condensed_edges) {
+    return "condensed_edges: " + num(a.condensed_edges) + " vs " +
+           num(b.condensed_edges);
+  }
+  if (a.rows_scanned != b.rows_scanned) {
+    return "rows_scanned: " + num(a.rows_scanned) + " vs " +
+           num(b.rows_scanned);
+  }
+  const CondensedStorage& sa = a.storage;
+  const CondensedStorage& sb = b.storage;
+  if (sa.NumRealNodes() != sb.NumRealNodes() ||
+      sa.NumVirtualNodes() != sb.NumVirtualNodes()) {
+    return "storage node counts differ";
+  }
+  for (size_t i = 0; i < sa.NumRealNodes(); ++i) {
+    const NodeRef r = NodeRef::Real(static_cast<uint32_t>(i));
+    if (sa.OutEdges(r) != sb.OutEdges(r)) {
+      return "out-adjacency of real node " + num(i) + " differs";
+    }
+    if (sa.InEdges(r) != sb.InEdges(r)) {
+      return "in-adjacency of real node " + num(i) + " differs";
+    }
+  }
+  for (size_t v = 0; v < sa.NumVirtualNodes(); ++v) {
+    const NodeRef r = NodeRef::Virtual(static_cast<uint32_t>(v));
+    if (sa.OutEdges(r) != sb.OutEdges(r)) {
+      return "out-adjacency of virtual node " + num(v) + " differs";
+    }
+    if (sa.InEdges(r) != sb.InEdges(r)) {
+      return "in-adjacency of virtual node " + num(v) + " differs";
+    }
+  }
+  const PropertyTable& pa = sa.properties();
+  const PropertyTable& pb = sb.properties();
+  if (pa.ColumnNames() != pb.ColumnNames()) return "property columns differ";
+  const std::vector<std::string> cols = pa.ColumnNames();
+  for (size_t i = 0; i < sa.NumRealNodes(); ++i) {
+    const NodeId u = static_cast<NodeId>(i);
+    if (pa.ExternalKey(u) != pb.ExternalKey(u)) {
+      return "external key of node " + num(i) + " differs";
+    }
+    for (const std::string& c : cols) {
+      if (pa.GetByName(u, c) != pb.GetByName(u, c)) {
+        return "property '" + c + "' of node " + num(i) + " differs";
+      }
+    }
+  }
+  return "";
 }
 
 }  // namespace graphgen::planner

@@ -7,7 +7,12 @@
 #include "common/status.h"
 #include "datalog/ast.h"
 #include "graph/storage.h"
+#include "query/executor.h"
 #include "relational/database.h"
+
+namespace graphgen {
+class ThreadPool;
+}
 
 namespace graphgen::planner {
 
@@ -18,8 +23,19 @@ struct ExtractOptions {
   double large_output_factor = 2.0;
   /// Run the §4.2 Step 6 preprocessing pass (expand tiny virtual nodes).
   bool preprocess = true;
-  /// Worker threads for preprocessing (0 = hardware default).
+  /// Worker threads for the pipeline — intra-query parallelism (scans,
+  /// partitioned joins, DISTINCT) and preprocessing. 0 = hardware
+  /// default, 1 = fully serial. Extraction output is identical for every
+  /// value.
   size_t threads = 0;
+  /// Query engine: the parallel columnar pipeline (default) or the legacy
+  /// row-at-a-time interpreter kept as the correctness/benchmark baseline.
+  query::ExecEngine engine = query::ExecEngine::kColumnar;
+  /// Optional shared worker pool for inter-rule parallelism (independent
+  /// Nodes/Edges rules execute their queries concurrently). Not owned;
+  /// typically the graph service's pool. When null and threads != 1, the
+  /// extractor fans rules out on scoped threads instead.
+  ThreadPool* pool = nullptr;
 };
 
 /// What Extract produces: the condensed (possibly duplicated) graph plus
@@ -38,9 +54,12 @@ struct ExtractionResult {
 };
 
 /// Runs the full §4.2 pipeline for a validated program: executes the
-/// Nodes queries, analyzes each Edges rule, executes the per-segment SQL,
-/// materializes virtual nodes for the postponed large-output joins, and
-/// optionally preprocesses. The result is the C-DUP condensed graph.
+/// Nodes queries, analyzes each Edges rule, executes the per-segment SQL
+/// (independent rules concurrently, each query on the parallel columnar
+/// engine), materializes virtual nodes for the postponed large-output
+/// joins, and optionally preprocesses. Graph assembly applies query
+/// results serially in rule order, so the result is deterministic —
+/// bitwise-identical for every thread count and engine.
 Result<ExtractionResult> Extract(const rel::Database& db,
                                  const dsl::Program& program,
                                  const ExtractOptions& options = {});
@@ -49,6 +68,14 @@ Result<ExtractionResult> Extract(const rel::Database& db,
 Result<ExtractionResult> ExtractFromQuery(const rel::Database& db,
                                           std::string_view datalog,
                                           const ExtractOptions& options = {});
+
+/// Exact structural comparison of two extraction results (adjacency in
+/// stored order, virtual nodes, properties, external keys). Returns ""
+/// when identical, else a description of the first difference. The
+/// parity suite and bench gate use this to prove the parallel pipeline
+/// reproduces the serial output bit for bit.
+std::string DiffExtraction(const ExtractionResult& a,
+                           const ExtractionResult& b);
 
 }  // namespace graphgen::planner
 

@@ -1,5 +1,6 @@
 #include "planner/preprocess.h"
 
+#include <algorithm>
 #include <mutex>
 #include <vector>
 
@@ -39,6 +40,10 @@ PreprocessResult ExpandSmallVirtualNodes(CondensedStorage& storage,
           }
         },
         threads);
+    // Chunks append in thread-arrival order; restore index order so the
+    // apply pass (and therefore the stored adjacency) is deterministic
+    // for every thread count.
+    std::sort(candidates.begin(), candidates.end());
     // Apply serially: expansion mutates shared adjacency. Re-check the
     // condition because an earlier expansion in this round may have grown
     // this node's degree.

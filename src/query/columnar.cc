@@ -1,0 +1,28 @@
+#include "query/columnar.h"
+
+#include "common/parallel.h"
+
+namespace graphgen::query {
+
+ResultSet RowIdResult::Materialize(size_t threads) const {
+  ResultSet out;
+  out.schema = schema;
+  out.origins = origins;
+  const size_t n = NumRows();
+  const size_t m = columns.size();
+  out.rows.resize(n);
+  ParallelFor(
+      n,
+      [&](size_t begin, size_t end) {
+        for (size_t r = begin; r < end; ++r) {
+          rel::Row row;
+          row.reserve(m);
+          for (size_t c = 0; c < m; ++c) row.push_back(ValueAt(r, c));
+          out.rows[r] = std::move(row);
+        }
+      },
+      threads);
+  return out;
+}
+
+}  // namespace graphgen::query

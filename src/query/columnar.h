@@ -1,0 +1,78 @@
+#ifndef GRAPHGEN_QUERY_COLUMNAR_H_
+#define GRAPHGEN_QUERY_COLUMNAR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "query/plan.h"
+#include "relational/table.h"
+
+namespace graphgen::query {
+
+/// Binds one output column of an operator to a physical column of one of
+/// the base tables underneath it. Projection only rewrites bindings — no
+/// value is touched until the final consumer reads it.
+struct ColumnBinding {
+  uint32_t source = 0;  // index into RowIdResult::sources
+  uint32_t column = 0;  // column of that base table
+};
+
+/// The copy-light intermediate of the extraction pipeline. Instead of
+/// materializing `rel::Row` copies at every operator, a result is
+///  * a list of base tables (`sources`, one per scan under the operator),
+///  * one row-id tuple per logical row (`tuples`, row-major, Width() ids
+///    each — a scan's selection vector, a join's concatenated tuples), and
+///  * lazy column bindings mapping output columns onto source columns.
+/// Values are read in place from the base tables; only the row-id tuples
+/// (4 bytes per source per row) are ever copied between operators.
+struct RowIdResult {
+  rel::Schema schema;
+  /// Base table name per output column (join-column qualification).
+  std::vector<std::string> origins;
+  std::vector<const rel::Table*> sources;
+  std::vector<ColumnBinding> columns;
+  std::vector<uint32_t> tuples;
+
+  size_t Width() const { return sources.size(); }
+  size_t NumRows() const {
+    return sources.empty() ? 0 : tuples.size() / sources.size();
+  }
+  const rel::Value& ValueAt(size_t row, size_t col) const {
+    const ColumnBinding& b = columns[col];
+    return sources[b.source]->row(tuples[row * sources.size() + b.source])
+        [b.column];
+  }
+
+  /// Copies the bound values out into a classic materialized ResultSet
+  /// (the one place the pipeline pays per-value copies).
+  ResultSet Materialize(size_t threads = 1) const;
+};
+
+/// Uniform read view over either executor output form, so downstream
+/// consumers (the extractor) are engine-agnostic.
+class RowsView {
+ public:
+  explicit RowsView(const RowIdResult* columnar) : columnar_(columnar) {}
+  explicit RowsView(const ResultSet* rows) : rows_(rows) {}
+
+  size_t NumRows() const {
+    return columnar_ != nullptr ? columnar_->NumRows() : rows_->NumRows();
+  }
+  const rel::Value& ValueAt(size_t row, size_t col) const {
+    return columnar_ != nullptr ? columnar_->ValueAt(row, col)
+                                : rows_->rows[row][col];
+  }
+  size_t NumColumns() const {
+    return columnar_ != nullptr ? columnar_->columns.size()
+                                : rows_->schema.NumColumns();
+  }
+
+ private:
+  const RowIdResult* columnar_ = nullptr;
+  const ResultSet* rows_ = nullptr;
+};
+
+}  // namespace graphgen::query
+
+#endif  // GRAPHGEN_QUERY_COLUMNAR_H_

@@ -1,11 +1,25 @@
 #include "query/executor.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <limits>
 #include <unordered_map>
 #include <unordered_set>
+
+#include "common/parallel.h"
 
 namespace graphgen::query {
 
 namespace {
+
+// Below these sizes the spawn/partition overhead outweighs the win; the
+// operator runs its serial path (output is identical either way).
+constexpr size_t kParallelScanThreshold = 1 << 13;
+constexpr size_t kParallelProbeThreshold = 1 << 12;
+constexpr size_t kPartitionedBuildThreshold = 1 << 11;
+constexpr size_t kParallelDistinctThreshold = 1 << 13;
+constexpr size_t kMaxPartitions = 16;
 
 // Combines hashes of projected row values (FNV-style mix).
 struct RowHash {
@@ -19,26 +33,424 @@ struct RowHash {
   }
 };
 
+// Splits [0, n) into at most `parts` equal contiguous chunks.
+std::vector<IndexRange> EqualRanges(size_t n, size_t parts) {
+  parts = std::max<size_t>(1, std::min(parts, n));
+  const size_t chunk = (n + parts - 1) / parts;
+  std::vector<IndexRange> ranges;
+  for (size_t begin = 0; begin < n; begin += chunk) {
+    ranges.push_back({begin, std::min(n, begin + chunk)});
+  }
+  if (ranges.empty()) ranges.push_back({0, 0});
+  return ranges;
+}
+
+// Output schema of a hash join: left columns keep their names; a right
+// column whose name is already taken is qualified as "<table>.<name>"
+// and, if even that collides (self-joins), suffixed "#2", "#3", ... —
+// deterministic, so downstream name resolution is unambiguous.
+void JoinOutputSchema(const rel::Schema& left,
+                      const std::vector<std::string>& left_origins,
+                      const rel::Schema& right,
+                      const std::vector<std::string>& right_origins,
+                      rel::Schema* out_schema,
+                      std::vector<std::string>* out_origins) {
+  std::vector<rel::ColumnDef> cols = left.columns();
+  std::unordered_set<std::string> taken;
+  taken.reserve(cols.size() + right.NumColumns());
+  for (const rel::ColumnDef& c : cols) taken.insert(c.name);
+  out_origins->clear();
+  out_origins->reserve(cols.size() + right.NumColumns());
+  for (size_t i = 0; i < left.NumColumns(); ++i) {
+    out_origins->push_back(i < left_origins.size() ? left_origins[i] : "");
+  }
+  for (size_t i = 0; i < right.NumColumns(); ++i) {
+    rel::ColumnDef def = right.column(i);
+    const std::string origin =
+        i < right_origins.size() ? right_origins[i] : "";
+    if (taken.contains(def.name) && !origin.empty()) {
+      def.name = origin + "." + def.name;
+    }
+    if (taken.contains(def.name)) {
+      const std::string base = def.name;
+      for (int k = 2;; ++k) {
+        def.name = base + "#" + std::to_string(k);
+        if (!taken.contains(def.name)) break;
+      }
+    }
+    taken.insert(def.name);
+    out_origins->push_back(origin);
+    cols.push_back(std::move(def));
+  }
+  *out_schema = rel::Schema(std::move(cols));
+}
+
+// Projection output schema shared by both engines.
+Status ProjectOutputSchema(const ProjectNode& node, const rel::Schema& child,
+                           const std::vector<std::string>& child_origins,
+                           rel::Schema* out_schema,
+                           std::vector<std::string>* out_origins) {
+  for (size_t c : node.columns()) {
+    if (c >= child.NumColumns()) {
+      return Status::PlanError("projection column out of range");
+    }
+  }
+  std::vector<rel::ColumnDef> cols;
+  cols.reserve(node.columns().size());
+  out_origins->clear();
+  out_origins->reserve(node.columns().size());
+  for (size_t i = 0; i < node.columns().size(); ++i) {
+    const size_t src = node.columns()[i];
+    rel::ColumnDef def = child.column(src);
+    if (i < node.output_names().size() && !node.output_names()[i].empty()) {
+      def.name = node.output_names()[i];
+    }
+    cols.push_back(std::move(def));
+    out_origins->push_back(src < child_origins.size() ? child_origins[src]
+                                                      : "");
+  }
+  *out_schema = rel::Schema(std::move(cols));
+  return Status::OK();
+}
+
+// Hash-table key for the partitioned join: a pointer into the base table
+// (no Value copy) plus its precomputed hash.
+struct JoinKey {
+  const rel::Value* value;
+  uint64_t hash;
+};
+struct JoinKeyHash {
+  size_t operator()(const JoinKey& k) const { return k.hash; }
+};
+struct JoinKeyEq {
+  bool operator()(const JoinKey& a, const JoinKey& b) const {
+    return *a.value == *b.value;
+  }
+};
+using JoinTable =
+    std::unordered_map<JoinKey, std::vector<uint32_t>, JoinKeyHash, JoinKeyEq>;
+
+uint64_t HashProjected(const RowIdResult& rows,
+                       const std::vector<size_t>& cols, size_t r) {
+  uint64_t h = 1469598103934665603ull;
+  for (size_t c : cols) {
+    h ^= rows.ValueAt(r, c).Hash();
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 }  // namespace
 
+Executor::Executor(const rel::Database* db, ExecOptions options)
+    : db_(db), options_(options) {
+  if (options_.threads == 0) options_.threads = DefaultThreadCount();
+}
+
 Result<ResultSet> Executor::Execute(const PlanNode& plan) const {
-  if (const auto* scan = dynamic_cast<const ScanNode*>(&plan)) {
-    return ExecuteScan(*scan);
+  if (options_.engine == ExecEngine::kRowAtATime) {
+    return ExecuteRowAtATime(plan);
   }
-  if (const auto* join = dynamic_cast<const HashJoinNode*>(&plan)) {
-    return ExecuteJoin(*join);
-  }
-  if (const auto* project = dynamic_cast<const ProjectNode*>(&plan)) {
-    return ExecuteProject(*project);
+  GRAPHGEN_ASSIGN_OR_RETURN(RowIdResult result, ExecuteColumnar(plan));
+  return result.Materialize(options_.threads);
+}
+
+Result<RowIdResult> Executor::ExecuteColumnar(const PlanNode& plan) const {
+  switch (plan.kind()) {
+    case PlanNode::Kind::kScan:
+      return ScanColumnar(static_cast<const ScanNode&>(plan));
+    case PlanNode::Kind::kHashJoin:
+      return JoinColumnar(static_cast<const HashJoinNode&>(plan));
+    case PlanNode::Kind::kProject:
+      return ProjectColumnar(static_cast<const ProjectNode&>(plan));
   }
   return Status::Internal("unknown plan node type");
 }
 
-Result<ResultSet> Executor::ExecuteScan(const ScanNode& node) const {
+Result<ResultSet> Executor::ExecuteRowAtATime(const PlanNode& plan) const {
+  switch (plan.kind()) {
+    case PlanNode::Kind::kScan:
+      return ScanRows(static_cast<const ScanNode&>(plan));
+    case PlanNode::Kind::kHashJoin:
+      return JoinRows(static_cast<const HashJoinNode&>(plan));
+    case PlanNode::Kind::kProject:
+      return ProjectRows(static_cast<const ProjectNode&>(plan));
+  }
+  return Status::Internal("unknown plan node type");
+}
+
+// ---------------------------------------------------------------- columnar
+
+Result<RowIdResult> Executor::ScanColumnar(const ScanNode& node) const {
+  GRAPHGEN_ASSIGN_OR_RETURN(const rel::Table* table,
+                            db_->GetTable(node.table()));
+  for (const Predicate& p : node.predicates()) {
+    if (p.column >= table->NumColumns()) {
+      return Status::PlanError("predicate column out of range for table " +
+                               node.table());
+    }
+  }
+  const size_t n = table->NumRows();
+  if (n > std::numeric_limits<uint32_t>::max()) {
+    return Status::Unsupported("table " + node.table() +
+                               " exceeds 2^32 rows");
+  }
+  RowIdResult out;
+  out.schema = table->schema();
+  out.origins.assign(table->NumColumns(), node.table());
+  out.sources = {table};
+  out.columns.resize(table->NumColumns());
+  for (size_t c = 0; c < table->NumColumns(); ++c) {
+    out.columns[c] = {0, static_cast<uint32_t>(c)};
+  }
+  if (node.predicates().empty()) {
+    out.tuples.resize(n);
+    ParallelFor(
+        n,
+        [&](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            out.tuples[i] = static_cast<uint32_t>(i);
+          }
+        },
+        options_.threads);
+    return out;
+  }
+  // Parallel predicate evaluation into a byte mask, then an in-order
+  // collect — the selection vector is identical to the serial scan's.
+  std::vector<uint8_t> keep(n, 0);
+  const auto evaluate = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const rel::Row& row = table->row(i);
+      bool ok = true;
+      for (const Predicate& p : node.predicates()) {
+        if (!p.Matches(row)) {
+          ok = false;
+          break;
+        }
+      }
+      keep[i] = ok ? 1 : 0;
+    }
+  };
+  if (options_.threads > 1 && n >= kParallelScanThreshold) {
+    ParallelFor(n, evaluate, options_.threads);
+  } else {
+    evaluate(0, n);
+  }
+  out.tuples.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (keep[i] != 0) out.tuples.push_back(static_cast<uint32_t>(i));
+  }
+  return out;
+}
+
+Result<RowIdResult> Executor::JoinColumnar(const HashJoinNode& node) const {
+  GRAPHGEN_ASSIGN_OR_RETURN(RowIdResult left, ExecuteColumnar(node.left()));
+  GRAPHGEN_ASSIGN_OR_RETURN(RowIdResult right, ExecuteColumnar(node.right()));
+  if (node.left_col() >= left.schema.NumColumns() ||
+      node.right_col() >= right.schema.NumColumns()) {
+    return Status::PlanError("join column out of range");
+  }
+
+  // Build on the smaller side (same heuristic as the row engine, so both
+  // engines emit identical row order).
+  const bool build_left = left.NumRows() <= right.NumRows();
+  const RowIdResult& build = build_left ? left : right;
+  const RowIdResult& probe = build_left ? right : left;
+  const size_t build_col = build_left ? node.left_col() : node.right_col();
+  const size_t probe_col = build_left ? node.right_col() : node.left_col();
+  const size_t bn = build.NumRows();
+  const size_t pn = probe.NumRows();
+  if (bn > std::numeric_limits<uint32_t>::max()) {
+    return Status::Unsupported("join build side exceeds 2^32 rows");
+  }
+
+  // Precompute build-key hashes (parallel), then build P per-partition
+  // hash tables keyed by hash % P. Each partition scans the build rows in
+  // ascending order, so every per-key bucket lists build rows in the same
+  // order a single serial build would.
+  std::vector<uint64_t> bhash(bn);
+  std::vector<uint8_t> bnull(bn);
+  ParallelFor(
+      bn,
+      [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          const rel::Value& v = build.ValueAt(i, build_col);
+          bnull[i] = v.is_null() ? 1 : 0;  // SQL semantics: NULL joins nothing
+          bhash[i] = bnull[i] != 0 ? 0 : v.Hash();
+        }
+      },
+      options_.threads);
+
+  const size_t partitions =
+      (options_.threads > 1 && bn >= kPartitionedBuildThreshold)
+          ? std::min(options_.threads, kMaxPartitions)
+          : 1;
+  std::vector<JoinTable> tables(partitions);
+  ParallelInvoke(partitions, [&](size_t p) {
+    JoinTable& ht = tables[p];
+    ht.reserve(bn / partitions + 1);
+    for (size_t i = 0; i < bn; ++i) {
+      if (bnull[i] != 0 || bhash[i] % partitions != p) continue;
+      ht[{&build.ValueAt(i, build_col), bhash[i]}].push_back(
+          static_cast<uint32_t>(i));
+    }
+  });
+
+  RowIdResult out;
+  out.sources = left.sources;
+  out.sources.insert(out.sources.end(), right.sources.begin(),
+                     right.sources.end());
+  const size_t lw = left.Width();
+  const size_t rw = right.Width();
+  out.columns = left.columns;
+  for (const ColumnBinding& b : right.columns) {
+    out.columns.push_back({static_cast<uint32_t>(b.source + lw), b.column});
+  }
+  JoinOutputSchema(left.schema, left.origins, right.schema, right.origins,
+                   &out.schema, &out.origins);
+
+  // Probe in contiguous ranges; each range emits matches in probe-row
+  // order into its own buffer and buffers concatenate in range order, so
+  // the output equals the serial probe exactly for any thread count.
+  const size_t probe_ways =
+      (options_.threads > 1 && pn >= kParallelProbeThreshold)
+          ? options_.threads
+          : 1;
+  std::vector<IndexRange> ranges = EqualRanges(pn, probe_ways);
+  std::vector<std::vector<uint32_t>> parts(ranges.size());
+  ParallelInvoke(ranges.size(), [&](size_t t) {
+    std::vector<uint32_t>& buf = parts[t];
+    for (size_t pr = ranges[t].begin; pr < ranges[t].end; ++pr) {
+      const rel::Value& key = probe.ValueAt(pr, probe_col);
+      if (key.is_null()) continue;
+      const uint64_t h = key.Hash();
+      const JoinTable& ht = tables[h % partitions];
+      auto it = ht.find({&key, h});
+      if (it == ht.end()) continue;
+      for (uint32_t bi : it->second) {
+        const size_t lrow = build_left ? bi : pr;
+        const size_t rrow = build_left ? pr : bi;
+        const uint32_t* ltup = &left.tuples[lrow * lw];
+        const uint32_t* rtup = &right.tuples[rrow * rw];
+        buf.insert(buf.end(), ltup, ltup + lw);
+        buf.insert(buf.end(), rtup, rtup + rw);
+      }
+    }
+  });
+  size_t total = 0;
+  for (const auto& buf : parts) total += buf.size();
+  out.tuples.reserve(total);
+  for (auto& buf : parts) {
+    out.tuples.insert(out.tuples.end(), buf.begin(), buf.end());
+  }
+  return out;
+}
+
+Result<RowIdResult> Executor::ProjectColumnar(const ProjectNode& node) const {
+  GRAPHGEN_ASSIGN_OR_RETURN(RowIdResult child, ExecuteColumnar(node.child()));
+  RowIdResult out;
+  GRAPHGEN_RETURN_NOT_OK(ProjectOutputSchema(node, child.schema, child.origins,
+                                             &out.schema, &out.origins));
+  out.sources = child.sources;
+  out.columns.reserve(node.columns().size());
+  for (size_t c : node.columns()) out.columns.push_back(child.columns[c]);
+  if (!node.distinct()) {
+    out.tuples = std::move(child.tuples);
+    return out;
+  }
+
+  // DISTINCT: keep the first occurrence of every projected key, in input
+  // order. Parallel mode partitions rows by key hash; within a partition
+  // rows are visited in ascending index order, so each partition's
+  // survivors are exactly the globally-first occurrences of its keys, and
+  // the index merge reproduces the serial order bit for bit.
+  const size_t n = child.NumRows();
+  if (n > std::numeric_limits<uint32_t>::max()) {
+    return Status::Unsupported("DISTINCT input exceeds 2^32 rows");
+  }
+  std::vector<uint64_t> hashes(n);
+  ParallelFor(
+      n,
+      [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          hashes[i] = HashProjected(child, node.columns(), i);
+        }
+      },
+      options_.threads);
+
+  struct ProjHash {
+    const std::vector<uint64_t>* hashes;
+    size_t operator()(uint32_t r) const { return (*hashes)[r]; }
+  };
+  struct ProjEq {
+    const RowIdResult* rows;
+    const std::vector<size_t>* cols;
+    bool operator()(uint32_t a, uint32_t b) const {
+      for (size_t c : *cols) {
+        if (!(rows->ValueAt(a, c) == rows->ValueAt(b, c))) return false;
+      }
+      return true;
+    }
+  };
+  const ProjHash hasher{&hashes};
+  const ProjEq eq{&child, &node.columns()};
+
+  std::vector<uint32_t> survivors;
+  const size_t partitions =
+      (options_.threads > 1 && n >= kParallelDistinctThreshold)
+          ? std::min(options_.threads, kMaxPartitions)
+          : 1;
+  if (partitions == 1) {
+    std::unordered_set<uint32_t, ProjHash, ProjEq> seen(n, hasher, eq);
+    survivors.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (seen.insert(static_cast<uint32_t>(i)).second) {
+        survivors.push_back(static_cast<uint32_t>(i));
+      }
+    }
+  } else {
+    std::vector<std::vector<uint32_t>> parts(partitions);
+    ParallelInvoke(partitions, [&](size_t p) {
+      std::unordered_set<uint32_t, ProjHash, ProjEq> seen(
+          n / partitions + 1, hasher, eq);
+      for (size_t i = 0; i < n; ++i) {
+        if (hashes[i] % partitions != p) continue;
+        if (seen.insert(static_cast<uint32_t>(i)).second) {
+          parts[p].push_back(static_cast<uint32_t>(i));
+        }
+      }
+    });
+    size_t total = 0;
+    for (const auto& part : parts) total += part.size();
+    survivors.reserve(total);
+    for (const auto& part : parts) {
+      survivors.insert(survivors.end(), part.begin(), part.end());
+    }
+    std::sort(survivors.begin(), survivors.end());
+  }
+
+  const size_t w = child.Width();
+  out.tuples.resize(survivors.size() * w);
+  ParallelFor(
+      survivors.size(),
+      [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          const uint32_t* src = &child.tuples[survivors[i] * w];
+          std::copy(src, src + w, &out.tuples[i * w]);
+        }
+      },
+      options_.threads);
+  return out;
+}
+
+// ------------------------------------------------------------ row-at-a-time
+
+Result<ResultSet> Executor::ScanRows(const ScanNode& node) const {
   GRAPHGEN_ASSIGN_OR_RETURN(const rel::Table* table,
                             db_->GetTable(node.table()));
   ResultSet out;
   out.schema = table->schema();
+  out.origins.assign(table->NumColumns(), node.table());
   for (const Predicate& p : node.predicates()) {
     if (p.column >= table->NumColumns()) {
       return Status::PlanError("predicate column out of range for table " +
@@ -59,9 +471,9 @@ Result<ResultSet> Executor::ExecuteScan(const ScanNode& node) const {
   return out;
 }
 
-Result<ResultSet> Executor::ExecuteJoin(const HashJoinNode& node) const {
-  GRAPHGEN_ASSIGN_OR_RETURN(ResultSet left, Execute(node.left()));
-  GRAPHGEN_ASSIGN_OR_RETURN(ResultSet right, Execute(node.right()));
+Result<ResultSet> Executor::JoinRows(const HashJoinNode& node) const {
+  GRAPHGEN_ASSIGN_OR_RETURN(ResultSet left, ExecuteRowAtATime(node.left()));
+  GRAPHGEN_ASSIGN_OR_RETURN(ResultSet right, ExecuteRowAtATime(node.right()));
   if (node.left_col() >= left.schema.NumColumns() ||
       node.right_col() >= right.schema.NumColumns()) {
     return Status::PlanError("join column out of range");
@@ -83,11 +495,8 @@ Result<ResultSet> Executor::ExecuteJoin(const HashJoinNode& node) const {
   }
 
   ResultSet out;
-  {
-    std::vector<rel::ColumnDef> cols = left.schema.columns();
-    for (const auto& c : right.schema.columns()) cols.push_back(c);
-    out.schema = rel::Schema(std::move(cols));
-  }
+  JoinOutputSchema(left.schema, left.origins, right.schema, right.origins,
+                   &out.schema, &out.origins);
   for (const rel::Row& prow : probe.rows) {
     const rel::Value& key = prow[probe_col];
     if (key.is_null()) continue;
@@ -107,26 +516,11 @@ Result<ResultSet> Executor::ExecuteJoin(const HashJoinNode& node) const {
   return out;
 }
 
-Result<ResultSet> Executor::ExecuteProject(const ProjectNode& node) const {
-  GRAPHGEN_ASSIGN_OR_RETURN(ResultSet child, Execute(node.child()));
-  for (size_t c : node.columns()) {
-    if (c >= child.schema.NumColumns()) {
-      return Status::PlanError("projection column out of range");
-    }
-  }
+Result<ResultSet> Executor::ProjectRows(const ProjectNode& node) const {
+  GRAPHGEN_ASSIGN_OR_RETURN(ResultSet child, ExecuteRowAtATime(node.child()));
   ResultSet out;
-  {
-    std::vector<rel::ColumnDef> cols;
-    cols.reserve(node.columns().size());
-    for (size_t i = 0; i < node.columns().size(); ++i) {
-      rel::ColumnDef def = child.schema.column(node.columns()[i]);
-      if (i < node.output_names().size() && !node.output_names()[i].empty()) {
-        def.name = node.output_names()[i];
-      }
-      cols.push_back(std::move(def));
-    }
-    out.schema = rel::Schema(std::move(cols));
-  }
+  GRAPHGEN_RETURN_NOT_OK(ProjectOutputSchema(node, child.schema, child.origins,
+                                             &out.schema, &out.origins));
 
   std::unordered_set<rel::Row, RowHash> seen;
   if (node.distinct()) seen.reserve(child.NumRows());

@@ -14,6 +14,10 @@ namespace graphgen::query {
 /// A fully materialized intermediate or final query result.
 struct ResultSet {
   rel::Schema schema;
+  /// Base table each output column physically comes from ("" when unknown,
+  /// e.g. hand-built test fixtures). Used to qualify ambiguous join
+  /// columns as "table.col".
+  std::vector<std::string> origins;
   std::vector<rel::Row> rows;
 
   size_t NumRows() const { return rows.size(); }
@@ -40,15 +44,28 @@ struct Predicate {
 /// send to PostgreSQL (paper Fig. 16).
 class PlanNode {
  public:
+  /// Closed set of physical operators. The executor dispatches on this tag
+  /// (one predictable switch) instead of a dynamic_cast chain.
+  enum class Kind { kScan, kHashJoin, kProject };
+
   virtual ~PlanNode() = default;
+  Kind kind() const { return kind_; }
   virtual std::string ToSql() const = 0;
+
+ protected:
+  explicit PlanNode(Kind kind) : kind_(kind) {}
+
+ private:
+  Kind kind_;
 };
 
 /// Sequential scan of a base table with optional predicates.
 class ScanNode : public PlanNode {
  public:
   ScanNode(std::string table, std::vector<Predicate> predicates = {})
-      : table_(std::move(table)), predicates_(std::move(predicates)) {}
+      : PlanNode(Kind::kScan),
+        table_(std::move(table)),
+        predicates_(std::move(predicates)) {}
 
   const std::string& table() const { return table_; }
   const std::vector<Predicate>& predicates() const { return predicates_; }
@@ -65,7 +82,8 @@ class HashJoinNode : public PlanNode {
  public:
   HashJoinNode(std::unique_ptr<PlanNode> left, std::unique_ptr<PlanNode> right,
                size_t left_col, size_t right_col)
-      : left_(std::move(left)),
+      : PlanNode(Kind::kHashJoin),
+        left_(std::move(left)),
         right_(std::move(right)),
         left_col_(left_col),
         right_col_(right_col) {}
@@ -88,7 +106,8 @@ class ProjectNode : public PlanNode {
  public:
   ProjectNode(std::unique_ptr<PlanNode> child, std::vector<size_t> columns,
               std::vector<std::string> output_names, bool distinct)
-      : child_(std::move(child)),
+      : PlanNode(Kind::kProject),
+        child_(std::move(child)),
         columns_(std::move(columns)),
         output_names_(std::move(output_names)),
         distinct_(distinct) {}

@@ -1,15 +1,65 @@
 #include "relational/csv_loader.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <vector>
 
 namespace graphgen::rel {
 
 namespace {
 
-// Splits one CSV record; supports double-quoted fields with "" escapes.
+// One physical CSV record (may span multiple text lines when a quoted
+// field embeds newlines) and the 1-based line it starts on.
+struct RawRecord {
+  std::string_view text;
+  int line = 1;
+};
+
+// True for a record that contains no data at all (empty, or a lone '\r'
+// from a blank CRLF line).
+bool IsBlankRecord(std::string_view rec) {
+  for (char c : rec) {
+    if (c != '\r') return false;
+  }
+  return true;
+}
+
+// Splits the input into records at newlines *outside* double quotes
+// (RFC 4180: quoted fields may embed line breaks). An escaped quote ""
+// toggles the state twice, so it cannot misplace a record boundary; a
+// genuinely unterminated quote leaves the tail as one record, which
+// SplitRecord then rejects with a line-accurate error.
+std::vector<RawRecord> SplitRecords(std::string_view text) {
+  std::vector<RawRecord> records;
+  size_t start = 0;
+  int line = 1;
+  int start_line = 1;
+  bool quoted = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '"') {
+      quoted = !quoted;
+    } else if (c == '\n') {
+      ++line;
+      if (!quoted) {
+        records.push_back({text.substr(start, i - start), start_line});
+        start = i + 1;
+        start_line = line;
+      }
+    }
+  }
+  if (start < text.size()) {
+    records.push_back({text.substr(start), start_line});
+  }
+  return records;
+}
+
+// Splits one CSV record; supports double-quoted fields with "" escapes
+// and embedded newlines (preserved verbatim inside quotes).
 Result<std::vector<std::string>> SplitRecord(std::string_view line,
                                              char delimiter, int line_no) {
   std::vector<std::string> fields;
@@ -59,22 +109,63 @@ bool LooksLikeInt(const std::string& s) {
   return true;
 }
 
-bool LooksLikeDouble(const std::string& s) {
-  if (s.empty()) return false;
-  char* end = nullptr;
-  std::strtod(s.c_str(), &end);
-  return end == s.c_str() + s.size();
+// Accepts only plain finite decimal literals: [+-]digits[.digits][e[+-]d].
+// strtod alone would also accept "nan", "inf", and hex floats — NaN join
+// keys silently drop rows in hash joins (NaN != NaN), so those widen to
+// string instead.
+bool IsDecimalLiteral(const std::string& s) {
+  size_t i = 0;
+  if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+  size_t mantissa_digits = 0;
+  while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+    ++i;
+    ++mantissa_digits;
+  }
+  if (i < s.size() && s[i] == '.') {
+    ++i;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+      ++i;
+      ++mantissa_digits;
+    }
+  }
+  if (mantissa_digits == 0) return false;
+  if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+    size_t exp_digits = 0;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+      ++i;
+      ++exp_digits;
+    }
+    if (exp_digits == 0) return false;
+  }
+  return i == s.size();
+}
+
+std::optional<double> TryParseDouble(const std::string& s) {
+  if (!IsDecimalLiteral(s)) return std::nullopt;
+  errno = 0;
+  const double d = std::strtod(s.c_str(), nullptr);
+  // Overflow to +-inf widens to string; underflow toward 0 stays finite
+  // and is accepted.
+  if (!std::isfinite(d)) return std::nullopt;
+  return d;
 }
 
 Value ParseField(const std::string& field, bool infer_types) {
   if (field.empty()) return Value::Null();
   if (infer_types) {
     if (LooksLikeInt(field)) {
-      return Value(static_cast<int64_t>(std::strtoll(field.c_str(), nullptr, 10)));
+      errno = 0;
+      const long long v = std::strtoll(field.c_str(), nullptr, 10);
+      // strtoll clamps out-of-range values to LLONG_MIN/MAX; such an id
+      // stays a string, preserved exactly — a double would round
+      // distinct large ids onto the same value and silently merge
+      // entities / mismatch join keys.
+      if (errno != ERANGE) return Value(static_cast<int64_t>(v));
+      return Value(field);
     }
-    if (LooksLikeDouble(field)) {
-      return Value(std::strtod(field.c_str(), nullptr));
-    }
+    if (std::optional<double> d = TryParseDouble(field)) return Value(*d);
   }
   return Value(field);
 }
@@ -83,22 +174,31 @@ Value ParseField(const std::string& field, bool infer_types) {
 
 Result<Table> ParseCsv(const std::string& table_name, std::string_view text,
                        const CsvOptions& options) {
-  std::vector<std::string_view> lines;
-  size_t start = 0;
-  while (start <= text.size()) {
-    size_t end = text.find('\n', start);
-    if (end == std::string_view::npos) end = text.size();
-    if (end > start) lines.push_back(text.substr(start, end - start));
-    start = end + 1;
-  }
-  if (lines.empty()) {
+  std::vector<RawRecord> records = SplitRecords(text);
+  // Leading and trailing blank lines are tolerated (trailing newline,
+  // editor padding); a blank line *inside* the data is an error rather
+  // than a silently dropped row.
+  size_t lo = 0;
+  size_t hi = records.size();
+  while (lo < hi && IsBlankRecord(records[lo].text)) ++lo;
+  while (hi > lo && IsBlankRecord(records[hi - 1].text)) --hi;
+  records.erase(records.begin() + hi, records.end());
+  records.erase(records.begin(), records.begin() + lo);
+  if (records.empty()) {
     return Status::ParseError("empty CSV input for table " + table_name);
+  }
+  for (const RawRecord& rec : records) {
+    if (IsBlankRecord(rec.text)) {
+      return Status::ParseError("blank line " + std::to_string(rec.line) +
+                                " inside data of table " + table_name);
+    }
   }
 
   size_t first_data = 0;
   std::vector<std::string> names;
-  GRAPHGEN_ASSIGN_OR_RETURN(std::vector<std::string> first,
-                            SplitRecord(lines[0], options.delimiter, 1));
+  GRAPHGEN_ASSIGN_OR_RETURN(
+      std::vector<std::string> first,
+      SplitRecord(records[0].text, options.delimiter, records[0].line));
   if (options.header) {
     names = std::move(first);
     first_data = 1;
@@ -111,13 +211,13 @@ Result<Table> ParseCsv(const std::string& table_name, std::string_view text,
   // First pass: parse all rows and track the dominant type per column.
   std::vector<Row> rows;
   std::vector<ValueType> types(names.size(), ValueType::kNull);
-  for (size_t li = first_data; li < lines.size(); ++li) {
+  for (size_t ri = first_data; ri < records.size(); ++ri) {
     GRAPHGEN_ASSIGN_OR_RETURN(
         std::vector<std::string> fields,
-        SplitRecord(lines[li], options.delimiter, static_cast<int>(li + 1)));
+        SplitRecord(records[ri].text, options.delimiter, records[ri].line));
     if (fields.size() != names.size()) {
       return Status::ParseError(
-          "line " + std::to_string(li + 1) + " has " +
+          "line " + std::to_string(records[ri].line) + " has " +
           std::to_string(fields.size()) + " fields, expected " +
           std::to_string(names.size()));
     }

@@ -89,7 +89,13 @@ Result<GraphHandle> GraphService::ExtractWithKey(
   GraphHandle handle;
   Status status;
   try {
-    Result<ExtractedGraph> extracted = engine_.Extract(datalog, options);
+    // Share the service pool with the extraction pipeline so independent
+    // Datalog rules fan out onto idle workers. RunBatch lets this thread
+    // participate, so running on a pool worker (ExtractAsync) can never
+    // deadlock.
+    GraphGenOptions run_options = options;
+    run_options.extract.pool = &pool_;
+    Result<ExtractedGraph> extracted = engine_.Extract(datalog, run_options);
     status = extracted.status();
     if (extracted.ok()) {
       handle = std::make_shared<const ExtractedGraph>(std::move(*extracted));

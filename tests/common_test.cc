@@ -264,6 +264,44 @@ TEST(ThreadPoolTest, WaitIsReusable) {
   EXPECT_EQ(count.load(), 2);
 }
 
+TEST(ThreadPoolTest, RunBatchRunsEveryTask) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  std::vector<std::function<void()>> tasks;
+  for (size_t i = 0; i < hits.size(); ++i) {
+    tasks.push_back([&hits, i] { hits[i].fetch_add(1); });
+  }
+  pool.RunBatch(std::move(tasks));  // returns only when all tasks ran
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, RunBatchHandlesEmptyAndSingle) {
+  ThreadPool pool(2);
+  pool.RunBatch({});
+  std::atomic<int> count{0};
+  std::vector<std::function<void()>> one;
+  one.push_back([&count] { count.fetch_add(1); });
+  pool.RunBatch(std::move(one));
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, RunBatchFromInsidePoolTaskDoesNotDeadlock) {
+  // The extraction pipeline fans out per-rule queries on the same pool
+  // that runs the extraction request. With a single worker, the nested
+  // batch can only finish because the submitting task drains it itself.
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  pool.Submit([&pool, &count] {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 8; ++i) {
+      tasks.push_back([&count] { count.fetch_add(1); });
+    }
+    pool.RunBatch(std::move(tasks));
+  });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 8);
+}
+
 TEST(ThreadPoolTest, DestructorDrainsQueue) {
   std::atomic<int> count{0};
   {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <limits>
 
 #include "planner/extractor.h"
 #include "relational/csv_loader.h"
@@ -82,6 +83,115 @@ TEST(CsvTest, CarriageReturnsStripped) {
   auto table = ParseCsv("T", "a,b\r\n1,2\r\n");
   ASSERT_TRUE(table.ok());
   EXPECT_EQ(table->row(0)[1].AsInt64(), 2);
+}
+
+TEST(CsvTest, QuotedFieldsEmbedNewlines) {
+  // RFC 4180: a quoted field may contain line breaks; the record does not
+  // end until the closing quote's line.
+  auto table = ParseCsv("T",
+                        "id,text\n"
+                        "1,\"line one\nline two\"\n"
+                        "2,plain\n");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->NumRows(), 2u);
+  EXPECT_EQ(table->row(0)[1].AsString(), "line one\nline two");
+  EXPECT_EQ(table->row(1)[1].AsString(), "plain");
+}
+
+TEST(CsvTest, CrlfWithQuotedNewlineAndEscapes) {
+  auto table = ParseCsv("T",
+                        "a,b\r\n"
+                        "1,\"x\ny \"\"q\"\"\"\r\n"
+                        "2,z\r\n");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->NumRows(), 2u);
+  EXPECT_EQ(table->row(0)[1].AsString(), "x\ny \"q\"");
+}
+
+TEST(CsvTest, LeadingAndTrailingBlankLinesSkipped) {
+  auto table = ParseCsv("T", "\n\na,b\n1,2\n3,4\n\n\n");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->NumRows(), 2u);
+  EXPECT_EQ(table->schema().column(0).name, "a");
+}
+
+TEST(CsvTest, InteriorBlankLineRejected) {
+  // Previously blank lines were silently dropped mid-file; now they
+  // surface as an error naming the line.
+  auto table = ParseCsv("T", "a,b\n1,2\n\n3,4\n");
+  ASSERT_FALSE(table.ok());
+  EXPECT_NE(table.status().message().find("blank line 3"), std::string::npos)
+      << table.status().ToString();
+}
+
+TEST(CsvTest, Int64BoundsParseExactly) {
+  auto table = ParseCsv("T",
+                        "lo,hi\n"
+                        "-9223372036854775808,9223372036854775807\n");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->schema().column(0).type, ValueType::kInt64);
+  EXPECT_EQ(table->row(0)[0].AsInt64(),
+            std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(table->row(0)[1].AsInt64(),
+            std::numeric_limits<int64_t>::max());
+}
+
+TEST(CsvTest, OverflowingIntWidensToString) {
+  // strtoll would silently clamp to LLONG_MAX, and a double would round
+  // distinct 20-digit ids onto the same value; both corrupt join keys,
+  // so out-of-range integers stay strings, preserved exactly.
+  auto table = ParseCsv("T",
+                        "k\n"
+                        "18446744073709551616\n"
+                        "18446744073709551617\n");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->schema().column(0).type, ValueType::kString);
+  EXPECT_NE(table->row(0)[0], table->row(1)[0]);  // ids stay distinct
+  EXPECT_EQ(table->row(0)[0].AsString(), "18446744073709551616");
+}
+
+TEST(CsvTest, NanInfHexFloatsStayStrings) {
+  // NaN join keys silently drop rows (NaN != NaN), so inference must not
+  // produce them; hex floats are not CSV numbers either.
+  auto table = ParseCsv("T",
+                        "a,b,c,d\n"
+                        "nan,inf,-inf,0x1A\n");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  for (size_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(table->schema().column(c).type, ValueType::kString) << c;
+  }
+  EXPECT_EQ(table->row(0)[0].AsString(), "nan");
+}
+
+TEST(CsvTest, OverflowingExponentWidensToString) {
+  auto table = ParseCsv("T", "a\n1e999\n");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->schema().column(0).type, ValueType::kString);
+}
+
+TEST(CsvTest, DecimalLiteralsStillInferDouble) {
+  auto table = ParseCsv("T", "a,b,c\n-1.5,.5,2e3\n");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  for (size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(table->schema().column(c).type, ValueType::kDouble) << c;
+  }
+  EXPECT_DOUBLE_EQ(table->row(0)[2].AsDouble(), 2000.0);
+}
+
+TEST(CsvTest, RoundTripFileWithQuotedNewlines) {
+  std::string path = ::testing::TempDir() + "/quoted.csv";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("id,bio\n1,\"first\nsecond\"\n2,short\n", f);
+    fclose(f);
+  }
+  Database db;
+  auto loaded = LoadCsv(db, "People", path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->NumRows(), 2u);
+  EXPECT_EQ((*loaded)->row(0)[1].AsString(), "first\nsecond");
+  std::remove(path.c_str());
 }
 
 TEST(CsvTest, LoadCsvIntoDatabaseAndExtract) {

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <unordered_set>
+
 #include "query/executor.h"
 
 namespace graphgen::query {
@@ -147,6 +150,104 @@ TEST(ExecutorTest, ProjectColumnOutOfRange) {
   Executor ex(&db);
   ProjectNode project(std::make_unique<ScanNode>("Author"), {5}, {}, false);
   EXPECT_EQ(ex.Execute(project).status().code(), StatusCode::kPlanError);
+}
+
+TEST(ExecutorTest, JoinQualifiesDuplicateColumnNames) {
+  Database db = MakeDb();
+  Executor ex(&db);
+  HashJoinNode join(std::make_unique<ScanNode>("AuthorPub"),
+                    std::make_unique<ScanNode>("AuthorPub"), 1, 1);
+  auto rs = ex.Execute(join);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->schema.NumColumns(), 4u);
+  EXPECT_EQ(rs->schema.column(0).name, "aid");
+  EXPECT_EQ(rs->schema.column(1).name, "pid");
+  // Right side of a self-join is qualified with its base table name.
+  EXPECT_EQ(rs->schema.column(2).name, "AuthorPub.aid");
+  EXPECT_EQ(rs->schema.column(3).name, "AuthorPub.pid");
+  // Name lookup is now unambiguous.
+  EXPECT_EQ(rs->schema.IndexOf("aid"), std::optional<size_t>{0});
+  EXPECT_EQ(rs->schema.IndexOf("AuthorPub.aid"), std::optional<size_t>{2});
+}
+
+TEST(ExecutorTest, ThreeWaySelfJoinStaysUnambiguous) {
+  Database db = MakeDb();
+  Executor ex(&db);
+  auto inner = std::make_unique<HashJoinNode>(
+      std::make_unique<ScanNode>("AuthorPub"),
+      std::make_unique<ScanNode>("AuthorPub"), 1, 1);
+  HashJoinNode outer(std::move(inner), std::make_unique<ScanNode>("AuthorPub"),
+                     1, 1);
+  auto rs = ex.Execute(outer);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->schema.NumColumns(), 6u);
+  // Even the third copy gets a deterministic unique name.
+  EXPECT_EQ(rs->schema.column(4).name, "AuthorPub.aid#2");
+  EXPECT_EQ(rs->schema.column(5).name, "AuthorPub.pid#2");
+  std::unordered_set<std::string> names;
+  for (size_t c = 0; c < rs->schema.NumColumns(); ++c) {
+    EXPECT_TRUE(names.insert(rs->schema.column(c).name).second);
+  }
+}
+
+// Both engines, at any thread count, must produce bitwise-identical
+// results in identical row order.
+TEST(ExecutorTest, ColumnarMatchesRowAtATimeOnLargeJoin) {
+  Database db;
+  Table t("R", Schema({{"k", ValueType::kInt64}, {"v", ValueType::kInt64}}));
+  // 30k rows, keys with skewed multiplicity, some NULLs — big enough to
+  // cross every parallel threshold.
+  for (int64_t i = 0; i < 30000; ++i) {
+    t.AppendUnchecked({i % 7 == 0 ? Value() : Value(i % 997),
+                       Value(i)});
+  }
+  db.PutTable(std::move(t));
+
+  auto make_plan = [] {
+    auto join = std::make_unique<HashJoinNode>(
+        std::make_unique<ScanNode>("R", std::vector<Predicate>{
+                                            {1, CompareOp::kLt,
+                                             Value(int64_t{20000})}}),
+        std::make_unique<ScanNode>("R"), 0, 0);
+    return std::make_unique<ProjectNode>(
+        std::move(join), std::vector<size_t>{0, 3},
+        std::vector<std::string>{"a", "b"}, /*distinct=*/true);
+  };
+  auto plan = make_plan();
+
+  Executor reference(&db, {.threads = 1, .engine = ExecEngine::kRowAtATime});
+  auto oracle = reference.Execute(*plan);
+  ASSERT_TRUE(oracle.ok());
+  ASSERT_GT(oracle->NumRows(), 0u);
+
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    Executor columnar(&db, {.threads = threads});
+    auto rs = columnar.Execute(*plan);
+    ASSERT_TRUE(rs.ok());
+    EXPECT_EQ(rs->schema.columns().size(), oracle->schema.columns().size());
+    for (size_t c = 0; c < rs->schema.NumColumns(); ++c) {
+      EXPECT_EQ(rs->schema.column(c).name, oracle->schema.column(c).name);
+    }
+    ASSERT_EQ(rs->NumRows(), oracle->NumRows()) << "threads=" << threads;
+    EXPECT_EQ(rs->rows, oracle->rows) << "threads=" << threads;
+  }
+}
+
+TEST(ExecutorTest, ExecuteColumnarIsLazyUntilMaterialize) {
+  Database db = MakeDb();
+  Executor ex(&db);
+  ProjectNode project(std::make_unique<ScanNode>("AuthorPub"), {1}, {"pid"},
+                      false);
+  auto columnar = ex.ExecuteColumnar(project);
+  ASSERT_TRUE(columnar.ok());
+  // One source table, no value copies: the tuples are row ids.
+  EXPECT_EQ(columnar->Width(), 1u);
+  EXPECT_EQ(columnar->NumRows(), 5u);
+  EXPECT_EQ(columnar->ValueAt(2, 0).AsInt64(), 20);
+  ResultSet rs = columnar->Materialize();
+  EXPECT_EQ(rs.NumRows(), 5u);
+  EXPECT_EQ(rs.rows[2][0].AsInt64(), 20);
+  EXPECT_EQ(rs.schema.column(0).name, "pid");
 }
 
 TEST(PlanSqlTest, RendersReadableSql) {
