@@ -6,6 +6,7 @@
 #include "common/status.h"
 #include "graph/graph.h"
 #include "graph/storage.h"
+#include "relational/table.h"
 
 namespace graphgen {
 
@@ -22,6 +23,18 @@ Status SerializeCondensed(const CondensedStorage& storage,
 
 /// Loads a condensed graph written by SerializeCondensed.
 Result<CondensedStorage> LoadCondensed(const std::string& path);
+
+/// Serializes a relational table as a binary columnar snapshot: each
+/// column is written in its physical encoding (raw int64/double arrays,
+/// dictionary + codes for strings, null masks), so reloading skips CSV
+/// parsing and type inference entirely.
+Status SerializeTableColumnar(const rel::Table& table,
+                              const std::string& path);
+
+/// Loads a snapshot written by SerializeTableColumnar. The reloaded table
+/// is cell-for-cell identical — same schema, same values, same physical
+/// encodings and dictionary codes.
+Result<rel::Table> LoadTableColumnar(const std::string& path);
 
 }  // namespace graphgen
 

@@ -11,7 +11,7 @@ namespace graphgen::gen {
 namespace {
 
 using rel::ColumnDef;
-using rel::Row;
+using rel::ColumnVector;
 using rel::Schema;
 using rel::Table;
 using rel::Value;
@@ -23,16 +23,40 @@ size_t ClampedNormal(Rng& rng, double mean, double sd, size_t lo, size_t hi) {
       std::clamp(raw, static_cast<double>(lo), static_cast<double>(hi)));
 }
 
+// Generators build full typed vectors and adopt them as columns in one
+// move — no per-cell Value dispatch on the ingest path.
 Table MakeEntityTable(const std::string& name, const std::string& prefix,
                       int64_t first_id, size_t count) {
-  Table t(name, Schema({{"id", ValueType::kInt64},
-                        {"name", ValueType::kString}}));
-  t.Reserve(count);
+  std::vector<int64_t> ids;
+  std::vector<std::string> names;
+  ids.reserve(count);
+  names.reserve(count);
   for (size_t i = 0; i < count; ++i) {
     int64_t id = first_id + static_cast<int64_t>(i);
-    t.AppendUnchecked({Value(id), Value(prefix + std::to_string(id))});
+    ids.push_back(id);
+    names.push_back(prefix + std::to_string(id));
   }
-  return t;
+  std::vector<ColumnVector> cols;
+  cols.push_back(ColumnVector::OfInt64(std::move(ids)));
+  cols.push_back(ColumnVector::OfStrings(names));
+  return Table::FromColumns(name,
+                            Schema({{"id", ValueType::kInt64},
+                                    {"name", ValueType::kString}}),
+                            std::move(cols));
+}
+
+// A two-int64-column link table (the shape of every relationship table in
+// the evaluation schemas).
+Table MakeLinkTable(const std::string& name, const std::string& col_a,
+                    const std::string& col_b, std::vector<int64_t> a,
+                    std::vector<int64_t> b) {
+  std::vector<ColumnVector> cols;
+  cols.push_back(ColumnVector::OfInt64(std::move(a)));
+  cols.push_back(ColumnVector::OfInt64(std::move(b)));
+  return Table::FromColumns(name,
+                            Schema({{col_a, ValueType::kInt64},
+                                    {col_b, ValueType::kInt64}}),
+                            std::move(cols));
 }
 
 }  // namespace
@@ -44,8 +68,8 @@ GeneratedDatabase MakeDblpLike(size_t num_authors, size_t num_pubs,
   out.db.PutTable(MakeEntityTable("Author", "author_", 0, num_authors));
   out.db.PutTable(MakeEntityTable("Pub", "pub_", 0, num_pubs));
 
-  Table ap("AuthorPub", Schema({{"aid", ValueType::kInt64},
-                                {"pid", ValueType::kInt64}}));
+  std::vector<int64_t> aids;
+  std::vector<int64_t> pids;
   std::unordered_set<int64_t> authors;
   for (size_t p = 0; p < num_pubs; ++p) {
     size_t k = ClampedNormal(rng, authors_per_pub, authors_per_pub / 2.0, 1,
@@ -58,10 +82,13 @@ GeneratedDatabase MakeDblpLike(size_t num_authors, size_t num_pubs,
       authors.insert(a);
     }
     for (int64_t a : authors) {
-      ap.AppendUnchecked({Value(a), Value(static_cast<int64_t>(p))});
+      aids.push_back(a);
+      pids.push_back(static_cast<int64_t>(p));
     }
   }
-  out.db.PutTable(std::move(ap));
+  out.db.PutTable(
+      MakeLinkTable("AuthorPub", "aid", "pid", std::move(aids),
+                    std::move(pids)));
   out.db.AnalyzeAll();
   out.datalog =
       "Nodes(ID, Name) :- Author(ID, Name).\n"
@@ -77,8 +104,8 @@ GeneratedDatabase MakeImdbLike(size_t num_actors, size_t num_movies,
   out.db.PutTable(MakeEntityTable("name", "person_", 0, num_actors));
   out.db.PutTable(MakeEntityTable("title", "movie_", 0, num_movies));
 
-  Table ci("cast_info", Schema({{"person_id", ValueType::kInt64},
-                                {"movie_id", ValueType::kInt64}}));
+  std::vector<int64_t> person_ids;
+  std::vector<int64_t> movie_ids;
   std::unordered_set<int64_t> cast;
   for (size_t m = 0; m < num_movies; ++m) {
     size_t k = ClampedNormal(rng, cast_per_movie, cast_per_movie / 2.0, 2,
@@ -88,10 +115,12 @@ GeneratedDatabase MakeImdbLike(size_t num_actors, size_t num_movies,
       cast.insert(static_cast<int64_t>(rng.NextZipf(num_actors, 1.05) - 1));
     }
     for (int64_t a : cast) {
-      ci.AppendUnchecked({Value(a), Value(static_cast<int64_t>(m))});
+      person_ids.push_back(a);
+      movie_ids.push_back(static_cast<int64_t>(m));
     }
   }
-  out.db.PutTable(std::move(ci));
+  out.db.PutTable(MakeLinkTable("cast_info", "person_id", "movie_id",
+                                std::move(person_ids), std::move(movie_ids)));
   out.db.AnalyzeAll();
   out.datalog =
       "Nodes(ID, Name) :- name(ID, Name).\n"
@@ -107,18 +136,19 @@ GeneratedDatabase MakeTpchLike(size_t num_customers, size_t num_orders,
   GeneratedDatabase out;
   out.db.PutTable(MakeEntityTable("Customer", "customer_", 0, num_customers));
 
-  Table orders("Orders", Schema({{"orderkey", ValueType::kInt64},
-                                 {"custkey", ValueType::kInt64}}));
-  orders.Reserve(num_orders);
+  std::vector<int64_t> orderkeys;
+  std::vector<int64_t> custkeys;
+  orderkeys.reserve(num_orders);
+  custkeys.reserve(num_orders);
   for (size_t o = 0; o < num_orders; ++o) {
-    orders.AppendUnchecked(
-        {Value(static_cast<int64_t>(o)),
-         Value(static_cast<int64_t>(rng.NextBounded(num_customers)))});
+    orderkeys.push_back(static_cast<int64_t>(o));
+    custkeys.push_back(static_cast<int64_t>(rng.NextBounded(num_customers)));
   }
-  out.db.PutTable(std::move(orders));
+  out.db.PutTable(MakeLinkTable("Orders", "orderkey", "custkey",
+                                std::move(orderkeys), std::move(custkeys)));
 
-  Table lineitem("LineItem", Schema({{"orderkey", ValueType::kInt64},
-                                     {"partkey", ValueType::kInt64}}));
+  std::vector<int64_t> line_orders;
+  std::vector<int64_t> line_parts;
   std::unordered_set<int64_t> parts;
   for (size_t o = 0; o < num_orders; ++o) {
     size_t k = ClampedNormal(rng, lines_per_order, lines_per_order / 2.0, 1,
@@ -128,10 +158,13 @@ GeneratedDatabase MakeTpchLike(size_t num_customers, size_t num_orders,
       parts.insert(static_cast<int64_t>(rng.NextZipf(num_parts, 1.1) - 1));
     }
     for (int64_t p : parts) {
-      lineitem.AppendUnchecked({Value(static_cast<int64_t>(o)), Value(p)});
+      line_orders.push_back(static_cast<int64_t>(o));
+      line_parts.push_back(p);
     }
   }
-  out.db.PutTable(std::move(lineitem));
+  out.db.PutTable(MakeLinkTable("LineItem", "orderkey", "partkey",
+                                std::move(line_orders),
+                                std::move(line_parts)));
   out.db.AnalyzeAll();
   out.datalog =
       "Nodes(ID, Name) :- Customer(ID, Name).\n"
@@ -152,8 +185,8 @@ GeneratedDatabase MakeUniversity(size_t num_students, size_t num_instructors,
   out.db.PutTable(MakeEntityTable("Instructor", "instructor_",
                                   instructor_base, num_instructors));
 
-  Table took("TookCourse", Schema({{"sid", ValueType::kInt64},
-                                   {"course", ValueType::kInt64}}));
+  std::vector<int64_t> sids;
+  std::vector<int64_t> taken;
   std::unordered_set<int64_t> courses;
   for (size_t st = 0; st < num_students; ++st) {
     size_t k = ClampedNormal(rng, courses_per_student,
@@ -164,19 +197,24 @@ GeneratedDatabase MakeUniversity(size_t num_students, size_t num_instructors,
       courses.insert(static_cast<int64_t>(rng.NextBounded(num_courses)));
     }
     for (int64_t c : courses) {
-      took.AppendUnchecked({Value(static_cast<int64_t>(st)), Value(c)});
+      sids.push_back(static_cast<int64_t>(st));
+      taken.push_back(c);
     }
   }
-  out.db.PutTable(std::move(took));
+  out.db.PutTable(MakeLinkTable("TookCourse", "sid", "course",
+                                std::move(sids), std::move(taken)));
 
-  Table taught("TaughtCourse", Schema({{"iid", ValueType::kInt64},
-                                       {"course", ValueType::kInt64}}));
+  std::vector<int64_t> iids;
+  std::vector<int64_t> taught;
+  iids.reserve(num_courses);
+  taught.reserve(num_courses);
   for (size_t c = 0; c < num_courses; ++c) {
-    int64_t i = instructor_base +
-                static_cast<int64_t>(rng.NextBounded(num_instructors));
-    taught.AppendUnchecked({Value(i), Value(static_cast<int64_t>(c))});
+    iids.push_back(instructor_base +
+                   static_cast<int64_t>(rng.NextBounded(num_instructors)));
+    taught.push_back(static_cast<int64_t>(c));
   }
-  out.db.PutTable(std::move(taught));
+  out.db.PutTable(MakeLinkTable("TaughtCourse", "iid", "course",
+                                std::move(iids), std::move(taught)));
   out.db.AnalyzeAll();
   out.datalog =
       "Nodes(ID, Name) :- Student(ID, Name).\n"
@@ -195,15 +233,16 @@ GeneratedDatabase MakeSingleSelectivity(size_t num_rows, double selectivity,
   const size_t num_entities = num_rows / 2 + 1;
   out.db.PutTable(MakeEntityTable("Entity", "e_", 0, num_entities));
 
-  Table r("R", Schema({{"id", ValueType::kInt64},
-                       {"attr", ValueType::kInt64}}));
-  r.Reserve(num_rows);
+  std::vector<int64_t> ids;
+  std::vector<int64_t> attrs;
+  ids.reserve(num_rows);
+  attrs.reserve(num_rows);
   for (size_t i = 0; i < num_rows; ++i) {
-    r.AppendUnchecked(
-        {Value(static_cast<int64_t>(rng.NextBounded(num_entities))),
-         Value(static_cast<int64_t>(rng.NextBounded(distinct)))});
+    ids.push_back(static_cast<int64_t>(rng.NextBounded(num_entities)));
+    attrs.push_back(static_cast<int64_t>(rng.NextBounded(distinct)));
   }
-  out.db.PutTable(std::move(r));
+  out.db.PutTable(
+      MakeLinkTable("R", "id", "attr", std::move(ids), std::move(attrs)));
   out.db.AnalyzeAll();
   out.datalog =
       "Nodes(ID, Name) :- Entity(ID, Name).\n"
@@ -226,25 +265,27 @@ GeneratedDatabase MakeLayeredSelectivity(size_t rows_a, size_t rows_b,
   const size_t num_entities = rows_a / 2 + 1;
   out.db.PutTable(MakeEntityTable("Entity", "e_", 0, num_entities));
 
-  Table a("A", Schema({{"j1", ValueType::kInt64},
-                       {"id", ValueType::kInt64}}));
-  a.Reserve(rows_a);
+  std::vector<int64_t> a_j1;
+  std::vector<int64_t> a_id;
+  a_j1.reserve(rows_a);
+  a_id.reserve(rows_a);
   for (size_t i = 0; i < rows_a; ++i) {
-    a.AppendUnchecked(
-        {Value(static_cast<int64_t>(rng.NextBounded(distinct_a))),
-         Value(static_cast<int64_t>(rng.NextBounded(num_entities)))});
+    a_j1.push_back(static_cast<int64_t>(rng.NextBounded(distinct_a)));
+    a_id.push_back(static_cast<int64_t>(rng.NextBounded(num_entities)));
   }
-  out.db.PutTable(std::move(a));
+  out.db.PutTable(
+      MakeLinkTable("A", "j1", "id", std::move(a_j1), std::move(a_id)));
 
-  Table b("B", Schema({{"j1", ValueType::kInt64},
-                       {"j2", ValueType::kInt64}}));
-  b.Reserve(rows_b);
+  std::vector<int64_t> b_j1;
+  std::vector<int64_t> b_j2;
+  b_j1.reserve(rows_b);
+  b_j2.reserve(rows_b);
   for (size_t i = 0; i < rows_b; ++i) {
-    b.AppendUnchecked(
-        {Value(static_cast<int64_t>(rng.NextBounded(distinct_a))),
-         Value(static_cast<int64_t>(rng.NextBounded(distinct_b)))});
+    b_j1.push_back(static_cast<int64_t>(rng.NextBounded(distinct_a)));
+    b_j2.push_back(static_cast<int64_t>(rng.NextBounded(distinct_b)));
   }
-  out.db.PutTable(std::move(b));
+  out.db.PutTable(
+      MakeLinkTable("B", "j1", "j2", std::move(b_j1), std::move(b_j2)));
   out.db.AnalyzeAll();
   out.datalog =
       "Nodes(ID, Name) :- Entity(ID, Name).\n"

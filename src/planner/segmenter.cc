@@ -6,17 +6,30 @@ namespace {
 
 // Builds the plan for atoms [first, last] of the chain: left-deep hash
 // joins over the segment's small-output boundaries, then a DISTINCT
-// projection of the segment's endpoint columns.
-std::unique_ptr<query::PlanNode> BuildSegmentPlan(const JoinChain& chain,
-                                                  size_t first, size_t last) {
-  std::unique_ptr<query::PlanNode> plan = std::make_unique<query::ScanNode>(
+// projection of the segment's endpoint columns. `src_keys`/`dst_keys`
+// attach Nodes-filter semi-joins to the endpoint scans.
+std::unique_ptr<query::PlanNode> BuildSegmentPlan(
+    const JoinChain& chain, size_t first, size_t last,
+    const std::shared_ptr<const query::KeyFilter>& src_keys,
+    const std::shared_ptr<const query::KeyFilter>& dst_keys) {
+  auto first_scan = std::make_unique<query::ScanNode>(
       chain.atoms[first].atom->relation, chain.atoms[first].predicates);
+  if (src_keys != nullptr) {
+    first_scan->AddSemiJoin(chain.atoms[first].in_col, src_keys);
+  }
+  if (dst_keys != nullptr && first == last) {
+    first_scan->AddSemiJoin(chain.atoms[last].out_col, dst_keys);
+  }
+  std::unique_ptr<query::PlanNode> plan = std::move(first_scan);
   // Offset of each atom's columns in the concatenated join output.
   size_t prev_offset = 0;
   size_t width = chain.atoms[first].atom->args.size();
   for (size_t k = first + 1; k <= last; ++k) {
     auto right = std::make_unique<query::ScanNode>(
         chain.atoms[k].atom->relation, chain.atoms[k].predicates);
+    if (dst_keys != nullptr && k == last) {
+      right->AddSemiJoin(chain.atoms[k].out_col, dst_keys);
+    }
     size_t left_col = prev_offset + chain.atoms[k - 1].out_col;
     plan = std::make_unique<query::HashJoinNode>(
         std::move(plan), std::move(right), left_col, chain.atoms[k].in_col);
@@ -32,17 +45,24 @@ std::unique_ptr<query::PlanNode> BuildSegmentPlan(const JoinChain& chain,
 
 }  // namespace
 
-Result<std::vector<Segment>> BuildSegments(const JoinChain& chain) {
+Result<std::vector<Segment>> BuildSegments(
+    const JoinChain& chain,
+    std::shared_ptr<const query::KeyFilter> src_keys,
+    std::shared_ptr<const query::KeyFilter> dst_keys) {
   std::vector<Segment> segments;
   size_t first = 0;
   for (size_t i = 0; i <= chain.boundaries.size(); ++i) {
     const bool cut =
         i == chain.boundaries.size() || chain.boundaries[i].large_output;
     if (!cut) continue;
+    const bool is_first_segment = segments.empty();
+    const bool is_last_segment = i == chain.boundaries.size();
     Segment seg;
     seg.first_atom = first;
     seg.last_atom = i;
-    seg.plan = BuildSegmentPlan(chain, first, i);
+    seg.plan = BuildSegmentPlan(chain, first, i,
+                                is_first_segment ? src_keys : nullptr,
+                                is_last_segment ? dst_keys : nullptr);
     seg.sql = seg.plan->ToSql();
     segments.push_back(std::move(seg));
     first = i + 1;

@@ -23,7 +23,20 @@ struct Segment {
 /// DISTINCT-projecting query plan per segment. A chain with no
 /// large-output joins yields a single segment computing (ID1, ID2)
 /// directly (the "expand via the database" case).
-Result<std::vector<Segment>> BuildSegments(const JoinChain& chain);
+///
+/// `src_keys` / `dst_keys` are optional semi-join pushdowns of the Nodes
+/// filter: when set, the first segment's ID1-binding scan drops rows
+/// whose key is not a real node, and likewise the last segment's
+/// ID2-binding scan. The extractor only passes `dst_keys` for
+/// single-segment chains — on a multi-segment chain the assembly loop
+/// allocates a virtual node for the boundary value *before* it checks the
+/// dst key, so filtering dst rows early would change virtual-node
+/// numbering (src-side pushdown is always safe: a dangling src row is
+/// skipped before any side effect).
+Result<std::vector<Segment>> BuildSegments(
+    const JoinChain& chain,
+    std::shared_ptr<const query::KeyFilter> src_keys = nullptr,
+    std::shared_ptr<const query::KeyFilter> dst_keys = nullptr);
 
 }  // namespace graphgen::planner
 

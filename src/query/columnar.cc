@@ -10,6 +10,9 @@ ResultSet RowIdResult::Materialize(size_t threads) const {
   out.origins = origins;
   const size_t n = NumRows();
   const size_t m = columns.size();
+  std::vector<BoundColumn> bound;
+  bound.reserve(m);
+  for (size_t c = 0; c < m; ++c) bound.push_back(Bind(c));
   out.rows.resize(n);
   ParallelFor(
       n,
@@ -17,12 +20,32 @@ ResultSet RowIdResult::Materialize(size_t threads) const {
         for (size_t r = begin; r < end; ++r) {
           rel::Row row;
           row.reserve(m);
-          for (size_t c = 0; c < m; ++c) row.push_back(ValueAt(r, c));
+          for (size_t c = 0; c < m; ++c) {
+            row.push_back(bound[c].col->ValueAt(RowId(bound[c], r)));
+          }
           out.rows[r] = std::move(row);
         }
       },
       threads);
   return out;
+}
+
+std::string RowsView::ToStringAt(size_t row, size_t col) const {
+  if (columnar_ == nullptr) return rows_->rows[row][col].ToString();
+  const BoundColumn b = columnar_->Bind(col);
+  const size_t id = columnar_->RowId(b, row);
+  using Encoding = rel::ColumnVector::Encoding;
+  if (b.col->IsNull(id) || b.col->encoding() == Encoding::kEmpty) {
+    return "NULL";
+  }
+  switch (b.col->encoding()) {
+    case Encoding::kInt64:
+      return std::to_string(b.col->Int64At(id));
+    case Encoding::kDictString:
+      return "'" + b.col->StringAt(id) + "'";
+    default:
+      return b.col->ValueAt(id).ToString();
+  }
 }
 
 }  // namespace graphgen::query

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "query/plan.h"
+#include "relational/column.h"
 #include "relational/table.h"
 
 namespace graphgen::query {
@@ -18,14 +19,24 @@ struct ColumnBinding {
   uint32_t column = 0;  // column of that base table
 };
 
+/// A binding resolved against its physical storage: the typed base-table
+/// column plus the tuple slot holding its row id. Operators resolve each
+/// output column once and then read raw arrays instead of re-chasing
+/// the binding per cell.
+struct BoundColumn {
+  const rel::ColumnVector* col = nullptr;
+  uint32_t slot = 0;  // == ColumnBinding::source
+};
+
 /// The copy-light intermediate of the extraction pipeline. Instead of
 /// materializing `rel::Row` copies at every operator, a result is
 ///  * a list of base tables (`sources`, one per scan under the operator),
 ///  * one row-id tuple per logical row (`tuples`, row-major, Width() ids
 ///    each — a scan's selection vector, a join's concatenated tuples), and
 ///  * lazy column bindings mapping output columns onto source columns.
-/// Values are read in place from the base tables; only the row-id tuples
-/// (4 bytes per source per row) are ever copied between operators.
+/// Values are read in place from the base tables' typed column vectors;
+/// only the row-id tuples (4 bytes per source per row) are ever copied
+/// between operators.
 struct RowIdResult {
   rel::Schema schema;
   /// Base table name per output column (join-column qualification).
@@ -38,10 +49,19 @@ struct RowIdResult {
   size_t NumRows() const {
     return sources.empty() ? 0 : tuples.size() / sources.size();
   }
-  const rel::Value& ValueAt(size_t row, size_t col) const {
+  BoundColumn Bind(size_t col) const {
     const ColumnBinding& b = columns[col];
-    return sources[b.source]->row(tuples[row * sources.size() + b.source])
-        [b.column];
+    return {&sources[b.source]->column(b.column), b.source};
+  }
+  /// Row id of `row` in the base table behind `b`.
+  size_t RowId(const BoundColumn& b, size_t row) const {
+    return tuples[row * sources.size() + b.slot];
+  }
+  /// Materializes one cell (a copy — the storage is typed columns, so
+  /// there is no Value to reference).
+  rel::Value ValueAt(size_t row, size_t col) const {
+    const BoundColumn b = Bind(col);
+    return b.col->ValueAt(RowId(b, row));
   }
 
   /// Copies the bound values out into a classic materialized ResultSet
@@ -59,10 +79,22 @@ class RowsView {
   size_t NumRows() const {
     return columnar_ != nullptr ? columnar_->NumRows() : rows_->NumRows();
   }
-  const rel::Value& ValueAt(size_t row, size_t col) const {
+  rel::Value ValueAt(size_t row, size_t col) const {
     return columnar_ != nullptr ? columnar_->ValueAt(row, col)
                                 : rows_->rows[row][col];
   }
+  bool IsNullAt(size_t row, size_t col) const {
+    if (columnar_ == nullptr) return rows_->rows[row][col].is_null();
+    const BoundColumn b = columnar_->Bind(col);
+    const size_t id = columnar_->RowId(b, row);
+    return b.col->IsNull(id) ||
+           b.col->encoding() == rel::ColumnVector::Encoding::kEmpty;
+  }
+  /// SQL-literal text of the cell, identical to ValueAt(row, col)
+  /// .ToString() — but a dictionary-encoded string renders straight from
+  /// the dictionary entry (one final string build, no intermediate Value
+  /// copy). This is how the extractor materializes node properties.
+  std::string ToStringAt(size_t row, size_t col) const;
   size_t NumColumns() const {
     return columnar_ != nullptr ? columnar_->columns.size()
                                 : rows_->schema.NumColumns();

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -13,6 +14,9 @@ namespace graphgen::query {
 
 namespace {
 
+using rel::ColumnVector;
+using Encoding = rel::ColumnVector::Encoding;
+
 // Below these sizes the spawn/partition overhead outweighs the win; the
 // operator runs its serial path (output is identical either way).
 constexpr size_t kParallelScanThreshold = 1 << 13;
@@ -20,6 +24,20 @@ constexpr size_t kParallelProbeThreshold = 1 << 12;
 constexpr size_t kPartitionedBuildThreshold = 1 << 11;
 constexpr size_t kParallelDistinctThreshold = 1 << 13;
 constexpr size_t kMaxPartitions = 16;
+// Predicate evaluation works column-at-a-time over sub-ranges this size,
+// so every predicate's pass over a morsel stays in cache.
+constexpr size_t kScanMorselRows = 1 << 11;
+
+// SplitMix64 finalizer: cheap, well-mixed hash for raw int64 join keys and
+// dictionary codes. Output row order never depends on the hash function
+// (probe order and ascending-build-row buckets fix it), so the typed
+// engine is free to hash differently from Value::Hash.
+inline uint64_t MixInt64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
 
 // Combines hashes of projected row values (FNV-style mix).
 struct RowHash {
@@ -113,31 +131,516 @@ Status ProjectOutputSchema(const ProjectNode& node, const rel::Schema& child,
   return Status::OK();
 }
 
-// Hash-table key for the partitioned join: a pointer into the base table
-// (no Value copy) plus its precomputed hash.
-struct JoinKey {
-  const rel::Value* value;
-  uint64_t hash;
-};
-struct JoinKeyHash {
-  size_t operator()(const JoinKey& k) const { return k.hash; }
-};
-struct JoinKeyEq {
-  bool operator()(const JoinKey& a, const JoinKey& b) const {
-    return *a.value == *b.value;
-  }
-};
-using JoinTable =
-    std::unordered_map<JoinKey, std::vector<uint32_t>, JoinKeyHash, JoinKeyEq>;
+// ------------------------------------------------- typed scan evaluation
 
-uint64_t HashProjected(const RowIdResult& rows,
-                       const std::vector<size_t>& cols, size_t r) {
-  uint64_t h = 1469598103934665603ull;
-  for (size_t c : cols) {
-    h ^= rows.ValueAt(r, c).Hash();
-    h *= 1099511628211ull;
+// A predicate compiled against the physical encoding of its column. The
+// compile step hoists everything value-independent out of the row loop:
+// the NULL verdict, comparisons that cannot read the cell (a string
+// constant against an int64 column), and — for dictionary columns — one
+// verdict per distinct string instead of per row.
+struct CompiledPredicate {
+  enum class Kind { kConst, kInt64Exact, kNumeric, kCodeTable, kGeneric };
+
+  const ColumnVector* col = nullptr;
+  const Predicate* pred = nullptr;
+  Kind kind = Kind::kGeneric;
+  bool null_match = false;
+  bool const_match = false;           // kConst
+  double const_double = 0.0;          // kNumeric / kInt64Exact
+  int64_t const_int = 0;              // kInt64Exact
+  bool same_type = false;             // kNumeric: exact equality possible
+  std::vector<uint8_t> code_match;    // kCodeTable
+
+  void Apply(size_t begin, size_t end, uint8_t* keep) const;
+};
+
+CompiledPredicate CompilePredicate(const ColumnVector& col,
+                                   const Predicate& p) {
+  CompiledPredicate cp;
+  cp.col = &col;
+  cp.pred = &p;
+  cp.null_match = p.MatchesValue(rel::Value::Null());
+  const rel::ValueType ct = p.constant.type();
+  const bool const_numeric =
+      ct == rel::ValueType::kInt64 || ct == rel::ValueType::kDouble;
+  switch (col.encoding()) {
+    case Encoding::kEmpty:
+      cp.kind = CompiledPredicate::Kind::kConst;
+      cp.const_match = cp.null_match;  // every cell is NULL
+      break;
+    case Encoding::kInt64:
+      if (ct == rel::ValueType::kInt64) {
+        cp.kind = CompiledPredicate::Kind::kInt64Exact;
+        cp.const_int = p.constant.AsInt64();
+        cp.const_double = static_cast<double>(cp.const_int);
+      } else if (ct == rel::ValueType::kDouble) {
+        cp.kind = CompiledPredicate::Kind::kNumeric;
+        cp.const_double = p.constant.AsDouble();
+        cp.same_type = false;
+      } else {
+        // Ordering against strings/NULL depends only on the types.
+        cp.kind = CompiledPredicate::Kind::kConst;
+        cp.const_match = p.MatchesValue(rel::Value(int64_t{0}));
+      }
+      break;
+    case Encoding::kDouble:
+      if (const_numeric) {
+        cp.kind = CompiledPredicate::Kind::kNumeric;
+        cp.const_double = p.constant.AsDouble();
+        cp.same_type = ct == rel::ValueType::kDouble;
+      } else {
+        cp.kind = CompiledPredicate::Kind::kConst;
+        cp.const_match = p.MatchesValue(rel::Value(0.0));
+      }
+      break;
+    case Encoding::kDictString: {
+      cp.kind = CompiledPredicate::Kind::kCodeTable;
+      const rel::StringDictionary& dict = col.dict();
+      cp.code_match.resize(dict.size());
+      for (uint32_t code = 0; code < dict.size(); ++code) {
+        cp.code_match[code] =
+            p.MatchesValue(rel::Value(dict.At(code))) ? 1 : 0;
+      }
+      break;
+    }
+    case Encoding::kMixed:
+      cp.kind = CompiledPredicate::Kind::kGeneric;
+      break;
   }
-  return h;
+  return cp;
+}
+
+void CompiledPredicate::Apply(size_t begin, size_t end, uint8_t* keep) const {
+  const uint8_t* nulls = col->NullMask();
+  // AND-accumulates `match(i)` into keep over [begin, end), with the
+  // hoisted NULL verdict applied first.
+  auto run = [&](auto match) {
+    for (size_t i = begin; i < end; ++i) {
+      if (keep[i] == 0) continue;
+      const bool m =
+          (nulls != nullptr && nulls[i] != 0) ? null_match : match(i);
+      if (!m) keep[i] = 0;
+    }
+  };
+  switch (kind) {
+    case Kind::kConst:
+      run([&](size_t) { return const_match; });
+      return;
+    case Kind::kInt64Exact: {
+      const int64_t* data = col->Int64Data();
+      const int64_t c = const_int;
+      const double cd = const_double;
+      switch (pred->op) {
+        // Ordering promotes through double exactly like Value::operator<;
+        // equality stays exact int64 like Value::operator==.
+        case CompareOp::kEq: run([&](size_t i) { return data[i] == c; }); return;
+        case CompareOp::kNe: run([&](size_t i) { return data[i] != c; }); return;
+        case CompareOp::kLt:
+          run([&](size_t i) { return static_cast<double>(data[i]) < cd; });
+          return;
+        case CompareOp::kLe:
+          run([&](size_t i) {
+            return static_cast<double>(data[i]) < cd || data[i] == c;
+          });
+          return;
+        case CompareOp::kGt:
+          run([&](size_t i) { return cd < static_cast<double>(data[i]); });
+          return;
+        case CompareOp::kGe:
+          run([&](size_t i) {
+            return cd < static_cast<double>(data[i]) || data[i] == c;
+          });
+          return;
+      }
+      return;
+    }
+    case Kind::kNumeric: {
+      const int64_t* ip = col->Int64Data();
+      const double* dp = col->DoubleData();
+      const double cd = const_double;
+      auto dv = [&](size_t i) {
+        return ip != nullptr ? static_cast<double>(ip[i]) : dp[i];
+      };
+      // Equality never crosses int64/double (Value semantics); within
+      // kDouble it is exact double equality.
+      auto eq = [&](size_t i) { return same_type && dp[i] == cd; };
+      switch (pred->op) {
+        case CompareOp::kEq: run(eq); return;
+        case CompareOp::kNe: run([&](size_t i) { return !eq(i); }); return;
+        case CompareOp::kLt: run([&](size_t i) { return dv(i) < cd; }); return;
+        case CompareOp::kLe:
+          run([&](size_t i) { return dv(i) < cd || eq(i); });
+          return;
+        case CompareOp::kGt: run([&](size_t i) { return cd < dv(i); }); return;
+        case CompareOp::kGe:
+          run([&](size_t i) { return cd < dv(i) || eq(i); });
+          return;
+      }
+      return;
+    }
+    case Kind::kCodeTable: {
+      const uint32_t* codes = col->CodeData();
+      run([&](size_t i) { return code_match[codes[i]] != 0; });
+      return;
+    }
+    case Kind::kGeneric:
+      run([&](size_t i) { return pred->MatchesValue(col->ValueAt(i)); });
+      return;
+  }
+}
+
+// A semi-join key filter compiled against its column's encoding. NULL is
+// never a member of the node-key set.
+struct CompiledSemiJoin {
+  const ColumnVector* col = nullptr;
+  const KeyFilter* keys = nullptr;
+  std::vector<uint8_t> code_match;  // dict columns: per-code membership
+
+  void Apply(size_t begin, size_t end, uint8_t* keep) const {
+    const uint8_t* nulls = col->NullMask();
+    auto run = [&](auto match) {
+      for (size_t i = begin; i < end; ++i) {
+        if (keep[i] == 0) continue;
+        const bool m = (nulls != nullptr && nulls[i] != 0) ? false : match(i);
+        if (!m) keep[i] = 0;
+      }
+    };
+    switch (col->encoding()) {
+      case Encoding::kEmpty:
+        run([&](size_t) { return false; });
+        return;
+      case Encoding::kInt64: {
+        const int64_t* data = col->Int64Data();
+        run([&](size_t i) { return keys->ints.contains(data[i]); });
+        return;
+      }
+      case Encoding::kDictString: {
+        const uint32_t* codes = col->CodeData();
+        run([&](size_t i) { return code_match[codes[i]] != 0; });
+        return;
+      }
+      case Encoding::kDouble: {
+        const double* data = col->DoubleData();
+        run([&](size_t i) {
+          return keys->others.contains(rel::Value(data[i]));
+        });
+        return;
+      }
+      case Encoding::kMixed:
+        run([&](size_t i) { return keys->Contains(col->ValueAt(i)); });
+        return;
+    }
+  }
+};
+
+CompiledSemiJoin CompileSemiJoin(const ColumnVector& col,
+                                 const SemiJoin& sj) {
+  CompiledSemiJoin cf;
+  cf.col = &col;
+  cf.keys = sj.keys.get();
+  if (col.encoding() == Encoding::kDictString) {
+    const rel::StringDictionary& dict = col.dict();
+    cf.code_match.resize(dict.size());
+    for (uint32_t code = 0; code < dict.size(); ++code) {
+      cf.code_match[code] = sj.keys->strings.contains(dict.At(code)) ? 1 : 0;
+    }
+  }
+  return cf;
+}
+
+// ---------------------------------------------------- typed join kernels
+
+size_t PowerOfTwoCapacity(size_t n) {
+  size_t cap = 16;
+  while (cap < 2 * n) cap <<= 1;
+  return cap;
+}
+
+// Open-addressing hash table from Key to an ascending chain of build row
+// ids. Slots are flat arrays (no per-node allocation, linear probing);
+// chains thread through one `next` array indexed by build row — the array
+// is shared across partitions (partitions own disjoint rows), so chain
+// memory is paid once, not per partition. Rows must be inserted in
+// ascending order so chains stay ascending.
+template <typename Key>
+struct FlatChainTable {
+  std::vector<Key> keys;      // per slot; meaningful when head >= 0
+  std::vector<int64_t> hash;  // per slot, cached full hash
+  std::vector<int32_t> head;  // per slot, first build row or -1 (empty)
+  std::vector<int32_t> tail;  // per slot, last build row of the chain
+  int32_t* next = nullptr;    // shared: per build row, next equal-key row
+  uint64_t mask = 0;
+
+  void Init(size_t rows_in_partition, int32_t* shared_next) {
+    const size_t cap = PowerOfTwoCapacity(rows_in_partition);
+    mask = cap - 1;
+    keys.resize(cap);
+    hash.resize(cap);
+    head.assign(cap, -1);
+    tail.resize(cap);
+    next = shared_next;
+  }
+
+  void Insert(const Key& k, uint64_t h, uint32_t row) {
+    size_t pos = h & mask;
+    for (;;) {
+      if (head[pos] < 0) {
+        keys[pos] = k;
+        hash[pos] = static_cast<int64_t>(h);
+        head[pos] = static_cast<int32_t>(row);
+        tail[pos] = static_cast<int32_t>(row);
+        next[row] = -1;
+        return;
+      }
+      if (hash[pos] == static_cast<int64_t>(h) && keys[pos] == k) {
+        next[tail[pos]] = static_cast<int32_t>(row);
+        tail[pos] = static_cast<int32_t>(row);
+        next[row] = -1;
+        return;
+      }
+      pos = (pos + 1) & mask;
+    }
+  }
+
+  // First build row with key k, or -1.
+  int32_t Find(const Key& k, uint64_t h) const {
+    size_t pos = h & mask;
+    for (;;) {
+      if (head[pos] < 0) return -1;
+      if (hash[pos] == static_cast<int64_t>(h) && keys[pos] == k) {
+        return head[pos];
+      }
+      pos = (pos + 1) & mask;
+    }
+  }
+};
+
+// ------------------------------------------------- typed DISTINCT kernel
+
+// Flattened per-column readers for DISTINCT hashing/equality: everything
+// is raw array reads (int64 data, dictionary codes, cached string
+// hashes), no per-cell function calls or Value materialization.
+struct DistinctCol {
+  enum class Kind : uint8_t { kInt64, kDouble, kDict, kMixed, kAllNull };
+  Kind kind = Kind::kAllNull;
+  const int64_t* ints = nullptr;
+  const double* doubles = nullptr;
+  const uint32_t* codes = nullptr;
+  const rel::StringDictionary* dict = nullptr;
+  const ColumnVector* col = nullptr;  // mixed fallback
+  const uint8_t* nulls = nullptr;
+  uint32_t slot = 0;
+
+  static DistinctCol Make(const BoundColumn& b) {
+    DistinctCol d;
+    d.slot = b.slot;
+    d.nulls = b.col->NullMask();
+    d.col = b.col;
+    switch (b.col->encoding()) {
+      case Encoding::kInt64:
+        d.kind = Kind::kInt64;
+        d.ints = b.col->Int64Data();
+        break;
+      case Encoding::kDouble:
+        d.kind = Kind::kDouble;
+        d.doubles = b.col->DoubleData();
+        break;
+      case Encoding::kDictString:
+        d.kind = Kind::kDict;
+        d.codes = b.col->CodeData();
+        d.dict = &b.col->dict();
+        break;
+      case Encoding::kMixed:
+        d.kind = Kind::kMixed;
+        break;
+      case Encoding::kEmpty:
+        d.kind = Kind::kAllNull;
+        break;
+    }
+    return d;
+  }
+
+  bool IsNull(size_t id) const {
+    return kind == Kind::kAllNull || (nulls != nullptr && nulls[id] != 0);
+  }
+
+  uint64_t Hash(size_t id) const {
+    if (IsNull(id)) return 0x9e3779b9u;
+    switch (kind) {
+      case Kind::kInt64: return MixInt64(static_cast<uint64_t>(ints[id]));
+      case Kind::kDouble: return std::hash<double>{}(doubles[id]);
+      case Kind::kDict: return dict->HashOf(codes[id]);
+      case Kind::kMixed: return col->MixedAt(id).Hash();
+      case Kind::kAllNull: break;
+    }
+    return 0x9e3779b9u;
+  }
+
+  // Value-equality of two cells of this column (codes compare directly:
+  // one column has one dictionary).
+  bool Equal(size_t a, size_t b) const {
+    const bool an = IsNull(a);
+    const bool bn = IsNull(b);
+    if (an || bn) return an == bn;
+    switch (kind) {
+      case Kind::kInt64: return ints[a] == ints[b];
+      case Kind::kDouble: return doubles[a] == doubles[b];
+      case Kind::kDict: return codes[a] == codes[b];
+      case Kind::kMixed: return col->MixedAt(a) == col->MixedAt(b);
+      case Kind::kAllNull: break;
+    }
+    return true;
+  }
+};
+
+// Open-addressing first-occurrence set over row ids with precomputed
+// hashes (no per-insert allocation). Rows must be offered in ascending
+// order; survivors come out in that same order.
+class FlatDistinctSet {
+ public:
+  FlatDistinctSet(size_t expected_rows, const std::vector<uint64_t>& hashes,
+                  const RowIdResult& rows, const std::vector<DistinctCol>& cols)
+      : hashes_(hashes), rows_(rows), cols_(cols) {
+    const size_t cap = PowerOfTwoCapacity(expected_rows);
+    mask_ = cap - 1;
+    slots_.assign(cap, kEmptySlot);
+  }
+
+  // True if row i is the first occurrence of its key.
+  bool Insert(uint32_t i) {
+    const uint64_t h = hashes_[i];
+    size_t pos = h & mask_;
+    for (;;) {
+      const uint32_t r = slots_[pos];
+      if (r == kEmptySlot) {
+        slots_[pos] = i;
+        return true;
+      }
+      if (hashes_[r] == h && RowsEqual(r, i)) return false;
+      pos = (pos + 1) & mask_;
+    }
+  }
+
+ private:
+  static constexpr uint32_t kEmptySlot = 0xffffffffu;
+
+  bool RowsEqual(uint32_t a, uint32_t b) const {
+    const size_t w = rows_.Width();
+    const uint32_t* ta = &rows_.tuples[static_cast<size_t>(a) * w];
+    const uint32_t* tb = &rows_.tuples[static_cast<size_t>(b) * w];
+    for (const DistinctCol& c : cols_) {
+      if (!c.Equal(ta[c.slot], tb[c.slot])) return false;
+    }
+    return true;
+  }
+
+  const std::vector<uint64_t>& hashes_;
+  const RowIdResult& rows_;
+  const std::vector<DistinctCol>& cols_;
+  std::vector<uint32_t> slots_;
+  uint64_t mask_ = 0;
+};
+
+// Partitioned hash join over typed keys. `bkey`/`pkey` extract the key of
+// a build/probe row (returning false for NULL — NULL joins nothing), and
+// `hash` mixes it. Output row order is the serial probe order for every
+// thread count and every key type: partitions scan build rows in
+// ascending order (so per-key chains are ascending) and probe ranges
+// concatenate in index order.
+template <typename Key, typename HashFn, typename BuildKeyFn,
+          typename ProbeKeyFn>
+std::vector<uint32_t> PartitionedJoin(const RowIdResult& left,
+                                      const RowIdResult& right,
+                                      bool build_left, size_t threads,
+                                      HashFn hash, BuildKeyFn bkey,
+                                      ProbeKeyFn pkey) {
+  const RowIdResult& build = build_left ? left : right;
+  const RowIdResult& probe = build_left ? right : left;
+  const size_t bn = build.NumRows();
+  const size_t pn = probe.NumRows();
+  const size_t lw = left.Width();
+  const size_t rw = right.Width();
+
+  // Precompute build keys and hashes (parallel), then build P flat
+  // per-partition tables keyed by hash % P.
+  std::vector<uint64_t> bhash(bn);
+  std::vector<uint8_t> bnull(bn);
+  std::vector<Key> bkeys(bn);
+  ParallelFor(
+      bn,
+      [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          Key k{};
+          if (bkey(i, &k)) {
+            bkeys[i] = std::move(k);
+            bhash[i] = hash(bkeys[i]);
+            bnull[i] = 0;
+          } else {
+            bnull[i] = 1;
+          }
+        }
+      },
+      threads);
+
+  const size_t partitions = (threads > 1 && bn >= kPartitionedBuildThreshold)
+                                ? std::min(threads, kMaxPartitions)
+                                : 1;
+  std::vector<size_t> partition_rows(partitions, 0);
+  if (partitions == 1) {
+    for (size_t i = 0; i < bn; ++i) {
+      if (bnull[i] == 0) ++partition_rows[0];
+    }
+  } else {
+    for (size_t i = 0; i < bn; ++i) {
+      if (bnull[i] == 0) ++partition_rows[bhash[i] % partitions];
+    }
+  }
+  std::vector<int32_t> chain_next(bn);
+  std::vector<FlatChainTable<Key>> tables(partitions);
+  ParallelInvoke(partitions, [&](size_t p) {
+    FlatChainTable<Key>& ht = tables[p];
+    ht.Init(partition_rows[p], chain_next.data());
+    for (size_t i = 0; i < bn; ++i) {
+      if (bnull[i] != 0 || bhash[i] % partitions != p) continue;
+      ht.Insert(bkeys[i], bhash[i], static_cast<uint32_t>(i));
+    }
+  });
+
+  // Probe in contiguous ranges; each range emits matches in probe-row
+  // order into its own buffer and buffers concatenate in range order.
+  const size_t probe_ways =
+      (threads > 1 && pn >= kParallelProbeThreshold) ? threads : 1;
+  std::vector<IndexRange> ranges = EqualRanges(pn, probe_ways);
+  std::vector<std::vector<uint32_t>> parts(ranges.size());
+  ParallelInvoke(ranges.size(), [&](size_t t) {
+    std::vector<uint32_t>& buf = parts[t];
+    for (size_t pr = ranges[t].begin; pr < ranges[t].end; ++pr) {
+      Key k{};
+      if (!pkey(pr, &k)) continue;
+      const uint64_t h = hash(k);
+      const FlatChainTable<Key>& ht = tables[h % partitions];
+      int32_t bi = ht.Find(k, h);
+      if (bi < 0) continue;
+      const uint32_t* ptup =
+          &probe.tuples[pr * (build_left ? rw : lw)];
+      for (; bi >= 0; bi = ht.next[bi]) {
+        const uint32_t* btup =
+            &build.tuples[static_cast<size_t>(bi) * (build_left ? lw : rw)];
+        const uint32_t* ltup = build_left ? btup : ptup;
+        const uint32_t* rtup = build_left ? ptup : btup;
+        buf.insert(buf.end(), ltup, ltup + lw);
+        buf.insert(buf.end(), rtup, rtup + rw);
+      }
+    }
+  });
+  size_t total = 0;
+  for (const auto& buf : parts) total += buf.size();
+  std::vector<uint32_t> tuples;
+  tuples.reserve(total);
+  for (auto& buf : parts) {
+    tuples.insert(tuples.end(), buf.begin(), buf.end());
+  }
+  return tuples;
 }
 
 }  // namespace
@@ -190,6 +693,12 @@ Result<RowIdResult> Executor::ScanColumnar(const ScanNode& node) const {
                                node.table());
     }
   }
+  for (const SemiJoin& sj : node.semi_joins()) {
+    if (sj.column >= table->NumColumns()) {
+      return Status::PlanError("semi-join column out of range for table " +
+                               node.table());
+    }
+  }
   const size_t n = table->NumRows();
   if (n > std::numeric_limits<uint32_t>::max()) {
     return Status::Unsupported("table " + node.table() +
@@ -203,7 +712,7 @@ Result<RowIdResult> Executor::ScanColumnar(const ScanNode& node) const {
   for (size_t c = 0; c < table->NumColumns(); ++c) {
     out.columns[c] = {0, static_cast<uint32_t>(c)};
   }
-  if (node.predicates().empty()) {
+  if (node.predicates().empty() && node.semi_joins().empty()) {
     out.tuples.resize(n);
     ParallelFor(
         n,
@@ -215,27 +724,38 @@ Result<RowIdResult> Executor::ScanColumnar(const ScanNode& node) const {
         options_.threads);
     return out;
   }
-  // Parallel predicate evaluation into a byte mask, then an in-order
-  // collect — the selection vector is identical to the serial scan's.
-  std::vector<uint8_t> keep(n, 0);
-  const auto evaluate = [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      const rel::Row& row = table->row(i);
-      bool ok = true;
-      for (const Predicate& p : node.predicates()) {
-        if (!p.Matches(row)) {
-          ok = false;
-          break;
-        }
-      }
-      keep[i] = ok ? 1 : 0;
-    }
-  };
-  if (options_.threads > 1 && n >= kParallelScanThreshold) {
-    ParallelFor(n, evaluate, options_.threads);
-  } else {
-    evaluate(0, n);
+
+  // Compile each predicate/filter against its column's physical encoding,
+  // then evaluate column-at-a-time over morsel-sized sub-ranges into a
+  // byte mask; the in-order collect makes the selection vector identical
+  // to a serial scan's for every thread count.
+  std::vector<CompiledPredicate> preds;
+  preds.reserve(node.predicates().size());
+  for (const Predicate& p : node.predicates()) {
+    preds.push_back(CompilePredicate(table->column(p.column), p));
   }
+  std::vector<CompiledSemiJoin> filters;
+  filters.reserve(node.semi_joins().size());
+  for (const SemiJoin& sj : node.semi_joins()) {
+    filters.push_back(CompileSemiJoin(table->column(sj.column), sj));
+  }
+
+  std::vector<uint8_t> keep(n, 1);
+  const size_t ways =
+      (options_.threads > 1 && n >= kParallelScanThreshold)
+          ? options_.threads
+          : 1;
+  ParallelForRanges(EqualRanges(n, ways), [&](size_t begin, size_t end) {
+    for (size_t mb = begin; mb < end; mb += kScanMorselRows) {
+      const size_t me = std::min(end, mb + kScanMorselRows);
+      for (const CompiledPredicate& cp : preds) {
+        cp.Apply(mb, me, keep.data());
+      }
+      for (const CompiledSemiJoin& cf : filters) {
+        cf.Apply(mb, me, keep.data());
+      }
+    }
+  });
   out.tuples.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     if (keep[i] != 0) out.tuples.push_back(static_cast<uint32_t>(i));
@@ -258,50 +778,16 @@ Result<RowIdResult> Executor::JoinColumnar(const HashJoinNode& node) const {
   const RowIdResult& probe = build_left ? right : left;
   const size_t build_col = build_left ? node.left_col() : node.right_col();
   const size_t probe_col = build_left ? node.right_col() : node.left_col();
-  const size_t bn = build.NumRows();
-  const size_t pn = probe.NumRows();
-  if (bn > std::numeric_limits<uint32_t>::max()) {
-    return Status::Unsupported("join build side exceeds 2^32 rows");
+  // FlatChainTable chains build rows through int32 indices.
+  if (build.NumRows() > std::numeric_limits<int32_t>::max()) {
+    return Status::Unsupported("join build side exceeds 2^31 rows");
   }
-
-  // Precompute build-key hashes (parallel), then build P per-partition
-  // hash tables keyed by hash % P. Each partition scans the build rows in
-  // ascending order, so every per-key bucket lists build rows in the same
-  // order a single serial build would.
-  std::vector<uint64_t> bhash(bn);
-  std::vector<uint8_t> bnull(bn);
-  ParallelFor(
-      bn,
-      [&](size_t begin, size_t end) {
-        for (size_t i = begin; i < end; ++i) {
-          const rel::Value& v = build.ValueAt(i, build_col);
-          bnull[i] = v.is_null() ? 1 : 0;  // SQL semantics: NULL joins nothing
-          bhash[i] = bnull[i] != 0 ? 0 : v.Hash();
-        }
-      },
-      options_.threads);
-
-  const size_t partitions =
-      (options_.threads > 1 && bn >= kPartitionedBuildThreshold)
-          ? std::min(options_.threads, kMaxPartitions)
-          : 1;
-  std::vector<JoinTable> tables(partitions);
-  ParallelInvoke(partitions, [&](size_t p) {
-    JoinTable& ht = tables[p];
-    ht.reserve(bn / partitions + 1);
-    for (size_t i = 0; i < bn; ++i) {
-      if (bnull[i] != 0 || bhash[i] % partitions != p) continue;
-      ht[{&build.ValueAt(i, build_col), bhash[i]}].push_back(
-          static_cast<uint32_t>(i));
-    }
-  });
 
   RowIdResult out;
   out.sources = left.sources;
   out.sources.insert(out.sources.end(), right.sources.begin(),
                      right.sources.end());
   const size_t lw = left.Width();
-  const size_t rw = right.Width();
   out.columns = left.columns;
   for (const ColumnBinding& b : right.columns) {
     out.columns.push_back({static_cast<uint32_t>(b.source + lw), b.column});
@@ -309,40 +795,125 @@ Result<RowIdResult> Executor::JoinColumnar(const HashJoinNode& node) const {
   JoinOutputSchema(left.schema, left.origins, right.schema, right.origins,
                    &out.schema, &out.origins);
 
-  // Probe in contiguous ranges; each range emits matches in probe-row
-  // order into its own buffer and buffers concatenate in range order, so
-  // the output equals the serial probe exactly for any thread count.
-  const size_t probe_ways =
-      (options_.threads > 1 && pn >= kParallelProbeThreshold)
-          ? options_.threads
-          : 1;
-  std::vector<IndexRange> ranges = EqualRanges(pn, probe_ways);
-  std::vector<std::vector<uint32_t>> parts(ranges.size());
-  ParallelInvoke(ranges.size(), [&](size_t t) {
-    std::vector<uint32_t>& buf = parts[t];
-    for (size_t pr = ranges[t].begin; pr < ranges[t].end; ++pr) {
-      const rel::Value& key = probe.ValueAt(pr, probe_col);
-      if (key.is_null()) continue;
-      const uint64_t h = key.Hash();
-      const JoinTable& ht = tables[h % partitions];
-      auto it = ht.find({&key, h});
-      if (it == ht.end()) continue;
-      for (uint32_t bi : it->second) {
-        const size_t lrow = build_left ? bi : pr;
-        const size_t rrow = build_left ? pr : bi;
-        const uint32_t* ltup = &left.tuples[lrow * lw];
-        const uint32_t* rtup = &right.tuples[rrow * rw];
-        buf.insert(buf.end(), ltup, ltup + lw);
-        buf.insert(buf.end(), rtup, rtup + rw);
+  const BoundColumn bcol = build.Bind(build_col);
+  const BoundColumn pcol = probe.Bind(probe_col);
+  const Encoding be = bcol.col->encoding();
+  const Encoding pe = pcol.col->encoding();
+  const size_t threads = options_.threads;
+
+  // Value equality never crosses int64/double/string, so two differently
+  // typed (non-mixed) key columns cannot match at all; an all-NULL column
+  // joins nothing. Only a mixed column needs the generic Value kernel.
+  const bool impossible = be == Encoding::kEmpty || pe == Encoding::kEmpty ||
+                          (be != pe && be != Encoding::kMixed &&
+                           pe != Encoding::kMixed);
+  if (impossible) {
+    return out;  // empty tuples, correct schema/bindings
+  }
+
+  if (be == Encoding::kInt64 && pe == Encoding::kInt64) {
+    // int64-specialized kernel: raw key arrays, no Value, no Value::Hash.
+    const ColumnVector& bc = *bcol.col;
+    const ColumnVector& pc = *pcol.col;
+    out.tuples = PartitionedJoin<int64_t>(
+        left, right, build_left, threads,
+        [](int64_t k) { return MixInt64(static_cast<uint64_t>(k)); },
+        [&](size_t i, int64_t* k) {
+          const size_t id = build.RowId(bcol, i);
+          if (bc.IsNull(id)) return false;
+          *k = bc.Int64At(id);
+          return true;
+        },
+        [&](size_t i, int64_t* k) {
+          const size_t id = probe.RowId(pcol, i);
+          if (pc.IsNull(id)) return false;
+          *k = pc.Int64At(id);
+          return true;
+        });
+    return out;
+  }
+
+  if (be == Encoding::kDouble && pe == Encoding::kDouble) {
+    const ColumnVector& bc = *bcol.col;
+    const ColumnVector& pc = *pcol.col;
+    out.tuples = PartitionedJoin<double>(
+        left, right, build_left, threads,
+        [](double k) { return std::hash<double>{}(k); },
+        [&](size_t i, double* k) {
+          const size_t id = build.RowId(bcol, i);
+          if (bc.IsNull(id)) return false;
+          *k = bc.DoubleAt(id);
+          return true;
+        },
+        [&](size_t i, double* k) {
+          const size_t id = probe.RowId(pcol, i);
+          if (pc.IsNull(id)) return false;
+          *k = pc.DoubleAt(id);
+          return true;
+        });
+    return out;
+  }
+
+  if (be == Encoding::kDictString && pe == Encoding::kDictString) {
+    // Dictionary kernel: join on build-side codes. Both dictionaries are
+    // deduplicated, so "strings equal" <=> "codes equal after translating
+    // probe codes into the build dictionary" — one string lookup per
+    // distinct probe value, zero per row.
+    const ColumnVector& bc = *bcol.col;
+    const ColumnVector& pc = *pcol.col;
+    const rel::StringDictionary& bd = bc.dict();
+    const rel::StringDictionary& pd = pc.dict();
+    const bool same_dict = &bd == &pd;
+    std::vector<int64_t> trans;
+    if (!same_dict) {
+      trans.resize(pd.size());
+      for (uint32_t code = 0; code < pd.size(); ++code) {
+        std::optional<uint32_t> t = bd.Find(pd.At(code));
+        trans[code] = t.has_value() ? static_cast<int64_t>(*t) : -1;
       }
     }
-  });
-  size_t total = 0;
-  for (const auto& buf : parts) total += buf.size();
-  out.tuples.reserve(total);
-  for (auto& buf : parts) {
-    out.tuples.insert(out.tuples.end(), buf.begin(), buf.end());
+    out.tuples = PartitionedJoin<uint32_t>(
+        left, right, build_left, threads,
+        [](uint32_t k) { return MixInt64(k); },
+        [&](size_t i, uint32_t* k) {
+          const size_t id = build.RowId(bcol, i);
+          if (bc.IsNull(id)) return false;
+          *k = bc.CodeAt(id);
+          return true;
+        },
+        [&](size_t i, uint32_t* k) {
+          const size_t id = probe.RowId(pcol, i);
+          if (pc.IsNull(id)) return false;
+          const uint32_t code = pc.CodeAt(id);
+          if (same_dict) {
+            *k = code;
+            return true;
+          }
+          const int64_t t = trans[code];
+          if (t < 0) return false;
+          *k = static_cast<uint32_t>(t);
+          return true;
+        });
+    return out;
   }
+
+  // Generic fallback (a mixed-encoding key column): owned Value keys with
+  // Value hashing/equality, same partitioned structure.
+  out.tuples = PartitionedJoin<rel::Value>(
+      left, right, build_left, threads,
+      [](const rel::Value& k) { return k.Hash(); },
+      [&](size_t i, rel::Value* k) {
+        rel::Value v = bcol.col->ValueAt(build.RowId(bcol, i));
+        if (v.is_null()) return false;
+        *k = std::move(v);
+        return true;
+      },
+      [&](size_t i, rel::Value* k) {
+        rel::Value v = pcol.col->ValueAt(probe.RowId(pcol, i));
+        if (v.is_null()) return false;
+        *k = std::move(v);
+        return true;
+      });
   return out;
 }
 
@@ -360,40 +931,39 @@ Result<RowIdResult> Executor::ProjectColumnar(const ProjectNode& node) const {
   }
 
   // DISTINCT: keep the first occurrence of every projected key, in input
-  // order. Parallel mode partitions rows by key hash; within a partition
-  // rows are visited in ascending index order, so each partition's
-  // survivors are exactly the globally-first occurrences of its keys, and
-  // the index merge reproduces the serial order bit for bit.
+  // order. Hashing and equality run on the typed base columns (raw int64
+  // arrays, dictionary codes) — a row never materializes a Value. Parallel
+  // mode partitions rows by key hash; within a partition rows are visited
+  // in ascending index order, so each partition's survivors are exactly
+  // the globally-first occurrences of its keys, and the index merge
+  // reproduces the serial order bit for bit.
   const size_t n = child.NumRows();
   if (n > std::numeric_limits<uint32_t>::max()) {
     return Status::Unsupported("DISTINCT input exceeds 2^32 rows");
   }
+  std::vector<DistinctCol> cols;
+  cols.reserve(node.columns().size());
+  for (size_t c : node.columns()) {
+    cols.push_back(DistinctCol::Make(child.Bind(c)));
+  }
+
+  const size_t w0 = child.Width();
   std::vector<uint64_t> hashes(n);
   ParallelFor(
       n,
       [&](size_t begin, size_t end) {
         for (size_t i = begin; i < end; ++i) {
-          hashes[i] = HashProjected(child, node.columns(), i);
+          const uint32_t* tup = &child.tuples[i * w0];
+          uint64_t h = 1469598103934665603ull;
+          for (const DistinctCol& c : cols) {
+            h ^= c.Hash(tup[c.slot]);
+            h *= 1099511628211ull;
+          }
+          // Final avalanche: the flat set masks the low bits.
+          hashes[i] = MixInt64(h);
         }
       },
       options_.threads);
-
-  struct ProjHash {
-    const std::vector<uint64_t>* hashes;
-    size_t operator()(uint32_t r) const { return (*hashes)[r]; }
-  };
-  struct ProjEq {
-    const RowIdResult* rows;
-    const std::vector<size_t>* cols;
-    bool operator()(uint32_t a, uint32_t b) const {
-      for (size_t c : *cols) {
-        if (!(rows->ValueAt(a, c) == rows->ValueAt(b, c))) return false;
-      }
-      return true;
-    }
-  };
-  const ProjHash hasher{&hashes};
-  const ProjEq eq{&child, &node.columns()};
 
   std::vector<uint32_t> survivors;
   const size_t partitions =
@@ -401,21 +971,24 @@ Result<RowIdResult> Executor::ProjectColumnar(const ProjectNode& node) const {
           ? std::min(options_.threads, kMaxPartitions)
           : 1;
   if (partitions == 1) {
-    std::unordered_set<uint32_t, ProjHash, ProjEq> seen(n, hasher, eq);
+    FlatDistinctSet seen(n, hashes, child, cols);
     survivors.reserve(n);
     for (size_t i = 0; i < n; ++i) {
-      if (seen.insert(static_cast<uint32_t>(i)).second) {
+      if (seen.Insert(static_cast<uint32_t>(i))) {
         survivors.push_back(static_cast<uint32_t>(i));
       }
     }
   } else {
     std::vector<std::vector<uint32_t>> parts(partitions);
     ParallelInvoke(partitions, [&](size_t p) {
-      std::unordered_set<uint32_t, ProjHash, ProjEq> seen(
-          n / partitions + 1, hasher, eq);
+      size_t mine = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (hashes[i] % partitions == p) ++mine;
+      }
+      FlatDistinctSet seen(mine, hashes, child, cols);
       for (size_t i = 0; i < n; ++i) {
         if (hashes[i] % partitions != p) continue;
-        if (seen.insert(static_cast<uint32_t>(i)).second) {
+        if (seen.Insert(static_cast<uint32_t>(i))) {
           parts[p].push_back(static_cast<uint32_t>(i));
         }
       }
@@ -457,8 +1030,17 @@ Result<ResultSet> Executor::ScanRows(const ScanNode& node) const {
                                node.table());
     }
   }
-  out.rows.reserve(node.predicates().empty() ? table->NumRows() : 0);
-  for (const rel::Row& row : table->rows()) {
+  for (const SemiJoin& sj : node.semi_joins()) {
+    if (sj.column >= table->NumColumns()) {
+      return Status::PlanError("semi-join column out of range for table " +
+                               node.table());
+    }
+  }
+  const bool unfiltered =
+      node.predicates().empty() && node.semi_joins().empty();
+  out.rows.reserve(unfiltered ? table->NumRows() : 0);
+  for (size_t i = 0; i < table->NumRows(); ++i) {
+    rel::Row row = table->row(i);
     bool keep = true;
     for (const Predicate& p : node.predicates()) {
       if (!p.Matches(row)) {
@@ -466,7 +1048,11 @@ Result<ResultSet> Executor::ScanRows(const ScanNode& node) const {
         break;
       }
     }
-    if (keep) out.rows.push_back(row);
+    for (const SemiJoin& sj : node.semi_joins()) {
+      if (!keep) break;
+      if (!sj.keys->Contains(row[sj.column])) keep = false;
+    }
+    if (keep) out.rows.push_back(std::move(row));
   }
   return out;
 }

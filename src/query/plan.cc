@@ -14,8 +14,7 @@ std::string_view CompareOpToString(CompareOp op) {
   return "?";
 }
 
-bool Predicate::Matches(const rel::Row& row) const {
-  const rel::Value& v = row[column];
+bool Predicate::MatchesValue(const rel::Value& v) const {
   switch (op) {
     case CompareOp::kEq: return v == constant;
     case CompareOp::kNe: return v != constant;
@@ -27,16 +26,35 @@ bool Predicate::Matches(const rel::Row& row) const {
   return false;
 }
 
+bool KeyFilter::Contains(const rel::Value& v) const {
+  switch (v.type()) {
+    case rel::ValueType::kNull:
+      return false;
+    case rel::ValueType::kInt64:
+      return ints.contains(v.AsInt64());
+    case rel::ValueType::kString:
+      return strings.contains(v.AsString());
+    case rel::ValueType::kDouble:
+      return others.contains(v);
+  }
+  return false;
+}
+
 std::string ScanNode::ToSql() const {
   std::string sql = "SELECT * FROM " + table_;
-  if (!predicates_.empty()) {
-    sql += " WHERE ";
-    for (size_t i = 0; i < predicates_.size(); ++i) {
-      if (i > 0) sql += " AND ";
-      sql += "$" + std::to_string(predicates_[i].column) + " " +
-             std::string(CompareOpToString(predicates_[i].op)) + " " +
-             predicates_[i].constant.ToString();
-    }
+  bool where = false;
+  for (const Predicate& p : predicates_) {
+    sql += where ? " AND " : " WHERE ";
+    where = true;
+    sql += "$" + std::to_string(p.column) + " " +
+           std::string(CompareOpToString(p.op)) + " " + p.constant.ToString();
+  }
+  for (const SemiJoin& sj : semi_joins_) {
+    sql += where ? " AND " : " WHERE ";
+    where = true;
+    // Rendered as the semi-join it is, not as a literal IN-list of up to
+    // millions of node keys.
+    sql += "$" + std::to_string(sj.column) + " IN (SELECT key FROM Nodes)";
   }
   return sql;
 }

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -35,7 +36,34 @@ struct Predicate {
   rel::Value constant;
 
   /// Evaluates the predicate against a row.
-  bool Matches(const rel::Row& row) const;
+  bool Matches(const rel::Row& row) const {
+    return MatchesValue(row[column]);
+  }
+  /// Evaluates the predicate against a single cell (Value semantics:
+  /// equality never crosses int64/double, ordering is numeric).
+  bool MatchesValue(const rel::Value& v) const;
+};
+
+/// A membership set for semi-join pushdown: the extractor collects every
+/// node key once and scans of edge-rule base tables drop rows whose
+/// endpoint key cannot possibly bind a real node. Keys are bucketed by
+/// type so typed scan paths probe flat int64/string sets instead of
+/// hashing Values.
+struct KeyFilter {
+  std::unordered_set<int64_t> ints;
+  std::unordered_set<std::string> strings;
+  /// Doubles and other oddballs; NULL is never a member.
+  std::unordered_set<rel::Value, rel::ValueHash> others;
+
+  bool Contains(const rel::Value& v) const;
+  size_t size() const { return ints.size() + strings.size() + others.size(); }
+};
+
+/// One semi-join filter attached to a scan: keep only rows whose `column`
+/// value is a member of `keys`.
+struct SemiJoin {
+  size_t column = 0;
+  std::shared_ptr<const KeyFilter> keys;
 };
 
 /// Base class of the (tiny) logical/physical plan tree. Plans are built by
@@ -59,7 +87,8 @@ class PlanNode {
   Kind kind_;
 };
 
-/// Sequential scan of a base table with optional predicates.
+/// Sequential scan of a base table with optional predicates and optional
+/// semi-join key filters (Nodes-filter pushdown).
 class ScanNode : public PlanNode {
  public:
   ScanNode(std::string table, std::vector<Predicate> predicates = {})
@@ -69,11 +98,16 @@ class ScanNode : public PlanNode {
 
   const std::string& table() const { return table_; }
   const std::vector<Predicate>& predicates() const { return predicates_; }
+  const std::vector<SemiJoin>& semi_joins() const { return semi_joins_; }
+  void AddSemiJoin(size_t column, std::shared_ptr<const KeyFilter> keys) {
+    semi_joins_.push_back({column, std::move(keys)});
+  }
   std::string ToSql() const override;
 
  private:
   std::string table_;
   std::vector<Predicate> predicates_;
+  std::vector<SemiJoin> semi_joins_;
 };
 
 /// Hash equi-join on one column from each side. Output schema is the

@@ -1,0 +1,322 @@
+#include "relational/column.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_set>
+
+namespace graphgen::rel {
+
+StringDictionary& StringDictionary::operator=(const StringDictionary& other) {
+  if (this == &other) return *this;
+  strings_ = other.strings_;
+  hashes_ = other.hashes_;
+  // The index must view *our* deque, not the source's.
+  index_.clear();
+  index_.reserve(strings_.size());
+  for (uint32_t code = 0; code < strings_.size(); ++code) {
+    index_.emplace(std::string_view(strings_[code]), code);
+  }
+  return *this;
+}
+
+uint32_t StringDictionary::Intern(std::string_view s) {
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  const uint32_t code = static_cast<uint32_t>(strings_.size());
+  strings_.emplace_back(s);
+  hashes_.push_back(std::hash<std::string>{}(strings_.back()));
+  index_.emplace(std::string_view(strings_.back()), code);
+  return code;
+}
+
+std::optional<uint32_t> StringDictionary::Find(std::string_view s) const {
+  auto it = index_.find(s);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+size_t StringDictionary::MemoryBytes() const {
+  size_t total = 0;
+  for (const std::string& s : strings_) {
+    total += sizeof(std::string);
+    // Heap allocation beyond the in-object (SSO) buffer.
+    if (s.capacity() > sizeof(std::string)) total += s.capacity();
+  }
+  total += hashes_.capacity() * sizeof(uint64_t);
+  total += index_.bucket_count() *
+           (sizeof(std::string_view) + sizeof(uint32_t) + sizeof(void*));
+  return total;
+}
+
+ColumnVector ColumnVector::OfInt64(std::vector<int64_t> values) {
+  ColumnVector c;
+  c.encoding_ = Encoding::kInt64;
+  c.size_ = values.size();
+  c.ints_ = std::move(values);
+  return c;
+}
+
+ColumnVector ColumnVector::OfDouble(std::vector<double> values) {
+  ColumnVector c;
+  c.encoding_ = Encoding::kDouble;
+  c.size_ = values.size();
+  c.doubles_ = std::move(values);
+  return c;
+}
+
+ColumnVector ColumnVector::OfStrings(const std::vector<std::string>& values) {
+  ColumnVector c;
+  c.encoding_ = Encoding::kDictString;
+  c.size_ = values.size();
+  c.codes_.reserve(values.size());
+  for (const std::string& s : values) c.codes_.push_back(c.dict_.Intern(s));
+  return c;
+}
+
+std::string_view ColumnVector::EncodingName() const {
+  switch (encoding_) {
+    case Encoding::kEmpty: return "empty";
+    case Encoding::kInt64: return "int64";
+    case Encoding::kDouble: return "double";
+    case Encoding::kDictString: return "dict";
+    case Encoding::kMixed: return "mixed";
+  }
+  return "?";
+}
+
+void ColumnVector::EnsureNulls() {
+  if (nulls_.empty()) {
+    nulls_.reserve(std::max(pending_reserve_, size_ + 1));
+    nulls_.assign(size_, 0);
+  }
+}
+
+void ColumnVector::ConvertToMixed() {
+  mixed_.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) mixed_.push_back(ValueAt(i));
+  ints_.clear();
+  ints_.shrink_to_fit();
+  doubles_.clear();
+  doubles_.shrink_to_fit();
+  codes_.clear();
+  codes_.shrink_to_fit();
+  dict_ = StringDictionary();
+  encoding_ = Encoding::kMixed;
+}
+
+void ColumnVector::AppendNull() {
+  EnsureNulls();
+  nulls_.push_back(1);
+  ++null_count_;
+  ++size_;
+  switch (encoding_) {
+    case Encoding::kEmpty: break;  // no data array yet
+    case Encoding::kInt64: ints_.push_back(0); break;
+    case Encoding::kDouble: doubles_.push_back(0.0); break;
+    case Encoding::kDictString: codes_.push_back(0); break;
+    case Encoding::kMixed: mixed_.emplace_back(); break;
+  }
+}
+
+void ColumnVector::AppendInt64(int64_t v) {
+  switch (encoding_) {
+    case Encoding::kEmpty:
+      encoding_ = Encoding::kInt64;
+      ints_.reserve(std::max(pending_reserve_, size_ + 1));
+      ints_.assign(size_, 0);  // placeholders for the leading NULLs
+      break;
+    case Encoding::kInt64:
+      break;
+    case Encoding::kMixed:
+      break;
+    default:
+      ConvertToMixed();
+      break;
+  }
+  if (encoding_ == Encoding::kMixed) {
+    mixed_.emplace_back(v);
+  } else {
+    ints_.push_back(v);
+  }
+  if (!nulls_.empty()) nulls_.push_back(0);
+  ++size_;
+}
+
+void ColumnVector::AppendDouble(double v) {
+  switch (encoding_) {
+    case Encoding::kEmpty:
+      encoding_ = Encoding::kDouble;
+      doubles_.reserve(std::max(pending_reserve_, size_ + 1));
+      doubles_.assign(size_, 0.0);
+      break;
+    case Encoding::kDouble:
+      break;
+    case Encoding::kMixed:
+      break;
+    default:
+      ConvertToMixed();
+      break;
+  }
+  if (encoding_ == Encoding::kMixed) {
+    mixed_.emplace_back(v);
+  } else {
+    doubles_.push_back(v);
+  }
+  if (!nulls_.empty()) nulls_.push_back(0);
+  ++size_;
+}
+
+void ColumnVector::AppendString(std::string_view s) {
+  switch (encoding_) {
+    case Encoding::kEmpty:
+      encoding_ = Encoding::kDictString;
+      codes_.reserve(std::max(pending_reserve_, size_ + 1));
+      codes_.assign(size_, 0);
+      break;
+    case Encoding::kDictString:
+      break;
+    case Encoding::kMixed:
+      break;
+    default:
+      ConvertToMixed();
+      break;
+  }
+  if (encoding_ == Encoding::kMixed) {
+    mixed_.emplace_back(std::string(s));
+  } else {
+    codes_.push_back(dict_.Intern(s));
+  }
+  if (!nulls_.empty()) nulls_.push_back(0);
+  ++size_;
+}
+
+void ColumnVector::Append(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull: AppendNull(); break;
+    case ValueType::kInt64: AppendInt64(v.AsInt64()); break;
+    case ValueType::kDouble: AppendDouble(v.AsDouble()); break;
+    case ValueType::kString: AppendString(v.AsString()); break;
+  }
+}
+
+void ColumnVector::Reserve(size_t n) {
+  switch (encoding_) {
+    case Encoding::kEmpty: pending_reserve_ = n; break;
+    case Encoding::kInt64: ints_.reserve(n); break;
+    case Encoding::kDouble: doubles_.reserve(n); break;
+    case Encoding::kDictString: codes_.reserve(n); break;
+    case Encoding::kMixed: mixed_.reserve(n); break;
+  }
+  if (!nulls_.empty()) nulls_.reserve(n);
+}
+
+Value ColumnVector::ValueAt(size_t i) const {
+  if (IsNull(i)) return Value::Null();
+  switch (encoding_) {
+    case Encoding::kEmpty: return Value::Null();
+    case Encoding::kInt64: return Value(ints_[i]);
+    case Encoding::kDouble: return Value(doubles_[i]);
+    case Encoding::kDictString: return Value(dict_.At(codes_[i]));
+    case Encoding::kMixed: return mixed_[i];
+  }
+  return Value::Null();
+}
+
+uint64_t ColumnVector::HashAt(size_t i) const {
+  if (IsNull(i)) return Value::Null().Hash();
+  switch (encoding_) {
+    case Encoding::kEmpty: return Value::Null().Hash();
+    case Encoding::kInt64: return std::hash<int64_t>{}(ints_[i]);
+    case Encoding::kDouble: return std::hash<double>{}(doubles_[i]);
+    case Encoding::kDictString: return dict_.HashOf(codes_[i]);
+    case Encoding::kMixed: return mixed_[i].Hash();
+  }
+  return 0;
+}
+
+bool ColumnVector::EqualAt(size_t i, const ColumnVector& other,
+                           size_t j) const {
+  const bool a_null = IsNull(i) || encoding_ == Encoding::kEmpty;
+  const bool b_null = other.IsNull(j) || other.encoding_ == Encoding::kEmpty;
+  if (a_null || b_null) return a_null == b_null;  // NULL == NULL
+  if (encoding_ == other.encoding_) {
+    switch (encoding_) {
+      case Encoding::kInt64:
+        return ints_[i] == other.ints_[j];
+      case Encoding::kDouble:
+        return doubles_[i] == other.doubles_[j];
+      case Encoding::kDictString:
+        if (&dict_ == &other.dict_) return codes_[i] == other.codes_[j];
+        return dict_.At(codes_[i]) == other.dict_.At(other.codes_[j]);
+      case Encoding::kMixed:
+        return mixed_[i] == other.mixed_[j];
+      default:
+        break;
+    }
+  }
+  return ValueAt(i) == other.ValueAt(j);
+}
+
+size_t ColumnVector::DistinctCount() const {
+  const size_t null_distinct = has_nulls() ? 1 : 0;
+  switch (encoding_) {
+    case Encoding::kEmpty:
+      return size_ > 0 ? 1 : 0;
+    case Encoding::kInt64: {
+      std::unordered_set<int64_t> seen;
+      seen.reserve(size_);
+      for (size_t i = 0; i < size_; ++i) {
+        if (!IsNull(i)) seen.insert(ints_[i]);
+      }
+      return seen.size() + null_distinct;
+    }
+    case Encoding::kDouble: {
+      std::unordered_set<double> seen;
+      seen.reserve(size_);
+      for (size_t i = 0; i < size_; ++i) {
+        if (!IsNull(i)) seen.insert(doubles_[i]);
+      }
+      return seen.size() + null_distinct;
+    }
+    case Encoding::kDictString: {
+      // Every code was interned by an append; with no nulls the dictionary
+      // cardinality *is* the distinct count. Null placeholders may shadow
+      // code 0, so count used codes exactly when nulls exist.
+      if (!has_nulls()) return dict_.size();
+      std::vector<uint8_t> used(dict_.size(), 0);
+      for (size_t i = 0; i < size_; ++i) {
+        if (!IsNull(i)) used[codes_[i]] = 1;
+      }
+      size_t n = 0;
+      for (uint8_t u : used) n += u;
+      return n + null_distinct;
+    }
+    case Encoding::kMixed: {
+      std::unordered_set<Value, ValueHash> seen;
+      seen.reserve(size_);
+      for (size_t i = 0; i < size_; ++i) {
+        if (!IsNull(i)) seen.insert(mixed_[i]);
+      }
+      return seen.size() + null_distinct;
+    }
+  }
+  return 0;
+}
+
+size_t ColumnVector::MemoryBytes() const {
+  size_t total = nulls_.capacity();
+  total += ints_.capacity() * sizeof(int64_t);
+  total += doubles_.capacity() * sizeof(double);
+  total += codes_.capacity() * sizeof(uint32_t);
+  total += dict_.MemoryBytes();
+  total += mixed_.capacity() * sizeof(Value);
+  for (const Value& v : mixed_) {
+    if (v.type() == ValueType::kString &&
+        v.AsString().capacity() > sizeof(std::string)) {
+      total += v.AsString().capacity();
+    }
+  }
+  return total;
+}
+
+}  // namespace graphgen::rel

@@ -1,0 +1,150 @@
+#ifndef GRAPHGEN_RELATIONAL_COLUMN_H_
+#define GRAPHGEN_RELATIONAL_COLUMN_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace graphgen::rel {
+
+/// Interning dictionary for one string column: codes are assigned in first
+/// appearance order, the backing strings never move (deque), and each
+/// code's std::hash is cached so hashing a cell never touches the bytes
+/// twice. Equal strings always share one code, so within a column
+/// "codes equal" <=> "strings equal".
+class StringDictionary {
+ public:
+  StringDictionary() = default;
+  StringDictionary(StringDictionary&&) = default;
+  StringDictionary& operator=(StringDictionary&&) = default;
+  StringDictionary(const StringDictionary& other) { *this = other; }
+  StringDictionary& operator=(const StringDictionary& other);
+
+  /// Returns the code of `s`, interning it if unseen.
+  uint32_t Intern(std::string_view s);
+
+  /// Code of `s` if already interned.
+  std::optional<uint32_t> Find(std::string_view s) const;
+
+  const std::string& At(uint32_t code) const { return strings_[code]; }
+  /// Cached std::hash<std::string> of the code's string (matches
+  /// Value::Hash for the same content).
+  uint64_t HashOf(uint32_t code) const { return hashes_[code]; }
+  size_t size() const { return strings_.size(); }
+
+  /// Heap footprint: string storage + per-code hash cache + intern index.
+  size_t MemoryBytes() const;
+
+ private:
+  std::deque<std::string> strings_;  // code -> string; element-stable
+  std::vector<uint64_t> hashes_;     // code -> std::hash of the string
+  // Views point into strings_ elements; a deque never relocates them.
+  std::unordered_map<std::string_view, uint32_t> index_;
+};
+
+/// One typed column of a Table. The physical encoding is inferred from the
+/// appended data, independent of the declared schema type (values stay
+/// dynamically typed at the API surface):
+///   kEmpty      no non-null value appended yet (all rows NULL)
+///   kInt64      contiguous int64 array
+///   kDouble     contiguous double array
+///   kDictString dictionary codes over an interning StringDictionary
+///   kMixed      heterogeneous fallback: one Value per row
+/// A column silently converts to kMixed the first time a value of a
+/// different type is appended, so the lenient row-oriented API keeps
+/// working; hot paths test the encoding and read the raw arrays.
+/// NULLs are tracked in a lazily allocated byte mask valid for every
+/// encoding; typed arrays hold a zero placeholder at null positions.
+class ColumnVector {
+ public:
+  enum class Encoding : uint8_t { kEmpty, kInt64, kDouble, kDictString, kMixed };
+
+  ColumnVector() = default;
+
+  /// Bulk adoption of fully typed data (generators); no per-cell dispatch.
+  static ColumnVector OfInt64(std::vector<int64_t> values);
+  static ColumnVector OfDouble(std::vector<double> values);
+  static ColumnVector OfStrings(const std::vector<std::string>& values);
+
+  void Append(const Value& v);
+  void AppendNull();
+  void AppendInt64(int64_t v);
+  void AppendDouble(double v);
+  void AppendString(std::string_view s);
+  void Reserve(size_t n);
+
+  size_t size() const { return size_; }
+  Encoding encoding() const { return encoding_; }
+  std::string_view EncodingName() const;
+  size_t null_count() const { return null_count_; }
+  bool has_nulls() const { return null_count_ > 0; }
+  bool IsNull(size_t i) const { return !nulls_.empty() && nulls_[i] != 0; }
+  /// Raw null mask, or nullptr when the column has no nulls.
+  const uint8_t* NullMask() const {
+    return nulls_.empty() ? nullptr : nulls_.data();
+  }
+
+  /// Reconstructs the dynamically typed cell (exact round-trip of what was
+  /// appended; strings are copied out of the dictionary).
+  Value ValueAt(size_t i) const;
+
+  // Typed readers; valid only for the matching encoding.
+  int64_t Int64At(size_t i) const { return ints_[i]; }
+  double DoubleAt(size_t i) const { return doubles_[i]; }
+  uint32_t CodeAt(size_t i) const { return codes_[i]; }
+  const std::string& StringAt(size_t i) const { return dict_.At(codes_[i]); }
+  const Value& MixedAt(size_t i) const { return mixed_[i]; }
+  const int64_t* Int64Data() const {
+    return encoding_ == Encoding::kInt64 ? ints_.data() : nullptr;
+  }
+  const double* DoubleData() const {
+    return encoding_ == Encoding::kDouble ? doubles_.data() : nullptr;
+  }
+  const uint32_t* CodeData() const {
+    return encoding_ == Encoding::kDictString ? codes_.data() : nullptr;
+  }
+  const StringDictionary& dict() const { return dict_; }
+
+  /// Hash of cell i, identical to ValueAt(i).Hash() (dict columns read the
+  /// cached per-code hash instead of rehashing the bytes).
+  uint64_t HashAt(size_t i) const;
+
+  /// Value-equality of cell i with cell j of `other` (Value semantics:
+  /// NULL == NULL, int64 never equals double). Dict cells of the *same*
+  /// column compare by code.
+  bool EqualAt(size_t i, const ColumnVector& other, size_t j) const;
+
+  /// Exact distinct count including NULL as one value (ANALYZE).
+  size_t DistinctCount() const;
+
+  /// Heap footprint of this column (arrays, null mask, dictionary,
+  /// string storage of a mixed column).
+  size_t MemoryBytes() const;
+
+ private:
+  void EnsureNulls();
+  void ConvertToMixed();
+
+  Encoding encoding_ = Encoding::kEmpty;
+  size_t size_ = 0;
+  size_t null_count_ = 0;
+  // Reserve() called before the encoding is known (bulk loaders reserve
+  // an empty column); applied when the first value fixes the encoding.
+  size_t pending_reserve_ = 0;
+  std::vector<uint8_t> nulls_;  // empty <=> no nulls so far
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<uint32_t> codes_;
+  std::vector<Value> mixed_;
+  StringDictionary dict_;
+};
+
+}  // namespace graphgen::rel
+
+#endif  // GRAPHGEN_RELATIONAL_COLUMN_H_

@@ -142,32 +142,40 @@ bool IsDecimalLiteral(const std::string& s) {
   return i == s.size();
 }
 
-std::optional<double> TryParseDouble(const std::string& s) {
-  if (!IsDecimalLiteral(s)) return std::nullopt;
-  errno = 0;
-  const double d = std::strtod(s.c_str(), nullptr);
-  // Overflow to +-inf widens to string; underflow toward 0 stays finite
-  // and is accepted.
-  if (!std::isfinite(d)) return std::nullopt;
-  return d;
+// Cell classification for type inference. The *column* type is the widened
+// meet of its cells (int -> double -> string); cells are parsed once the
+// column type is final, so a column never mixes physical cell types.
+ValueType ClassifyField(const std::string& field, bool infer_types) {
+  if (field.empty()) return ValueType::kNull;
+  if (!infer_types) return ValueType::kString;
+  if (LooksLikeInt(field)) {
+    errno = 0;
+    (void)std::strtoll(field.c_str(), nullptr, 10);
+    // strtoll clamps out-of-range values to LLONG_MIN/MAX; such an id
+    // stays a string, preserved exactly — a double would round distinct
+    // large ids onto the same value and silently merge entities /
+    // mismatch join keys.
+    if (errno != ERANGE) return ValueType::kInt64;
+    return ValueType::kString;
+  }
+  if (IsDecimalLiteral(field)) {
+    errno = 0;
+    const double d = std::strtod(field.c_str(), nullptr);
+    // Overflow to +-inf widens to string; underflow toward 0 stays finite
+    // and is accepted.
+    if (std::isfinite(d)) return ValueType::kDouble;
+  }
+  return ValueType::kString;
 }
 
-Value ParseField(const std::string& field, bool infer_types) {
-  if (field.empty()) return Value::Null();
-  if (infer_types) {
-    if (LooksLikeInt(field)) {
-      errno = 0;
-      const long long v = std::strtoll(field.c_str(), nullptr, 10);
-      // strtoll clamps out-of-range values to LLONG_MIN/MAX; such an id
-      // stays a string, preserved exactly — a double would round
-      // distinct large ids onto the same value and silently merge
-      // entities / mismatch join keys.
-      if (errno != ERANGE) return Value(static_cast<int64_t>(v));
-      return Value(field);
-    }
-    if (std::optional<double> d = TryParseDouble(field)) return Value(*d);
-  }
-  return Value(field);
+ValueType Widen(ValueType column, ValueType cell) {
+  if (cell == ValueType::kNull) return column;
+  if (column == ValueType::kNull) return cell;
+  if (column == cell) return column;
+  const bool both_numeric =
+      (column == ValueType::kInt64 || column == ValueType::kDouble) &&
+      (cell == ValueType::kInt64 || cell == ValueType::kDouble);
+  return both_numeric ? ValueType::kDouble : ValueType::kString;
 }
 
 }  // namespace
@@ -208,8 +216,13 @@ Result<Table> ParseCsv(const std::string& table_name, std::string_view text,
     }
   }
 
-  // First pass: parse all rows and track the dominant type per column.
-  std::vector<Row> rows;
+  // Pass 1: split every record and widen each column's type over its
+  // cells. Type inference finalizes a *column*, not a cell: "4" in a
+  // column that elsewhere holds "3.5" becomes the double 4.0, and an
+  // id column with one out-of-range value keeps every id as its exact
+  // original text.
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(records.size() - first_data);
   std::vector<ValueType> types(names.size(), ValueType::kNull);
   for (size_t ri = first_data; ri < records.size(); ++ri) {
     GRAPHGEN_ASSIGN_OR_RETURN(
@@ -221,39 +234,38 @@ Result<Table> ParseCsv(const std::string& table_name, std::string_view text,
           std::to_string(fields.size()) + " fields, expected " +
           std::to_string(names.size()));
     }
-    Row row;
-    row.reserve(fields.size());
     for (size_t c = 0; c < fields.size(); ++c) {
-      Value v = ParseField(fields[c], options.infer_types);
-      if (!v.is_null()) {
-        // Column type widens: int -> double -> string.
-        ValueType t = v.type();
-        if (types[c] == ValueType::kNull) {
-          types[c] = t;
-        } else if (types[c] != t) {
-          if ((types[c] == ValueType::kInt64 && t == ValueType::kDouble) ||
-              (types[c] == ValueType::kDouble && t == ValueType::kInt64)) {
-            types[c] = ValueType::kDouble;
-          } else {
-            types[c] = ValueType::kString;
-          }
-        }
-      }
-      row.push_back(std::move(v));
+      types[c] = Widen(types[c], ClassifyField(fields[c], options.infer_types));
     }
-    rows.push_back(std::move(row));
+    cells.push_back(std::move(fields));
   }
 
+  // Pass 2: append column-wise into typed vectors under the final type.
   std::vector<ColumnDef> columns;
+  columns.reserve(names.size());
+  std::vector<ColumnVector> data(names.size());
   for (size_t c = 0; c < names.size(); ++c) {
-    columns.push_back(
-        {names[c],
-         types[c] == ValueType::kNull ? ValueType::kString : types[c]});
+    const ValueType t =
+        types[c] == ValueType::kNull ? ValueType::kString : types[c];
+    columns.push_back({names[c], t});
+    ColumnVector& col = data[c];
+    col.Reserve(cells.size());
+    for (const std::vector<std::string>& row : cells) {
+      const std::string& field = row[c];
+      if (field.empty()) {
+        col.AppendNull();
+      } else if (t == ValueType::kInt64) {
+        col.AppendInt64(static_cast<int64_t>(
+            std::strtoll(field.c_str(), nullptr, 10)));
+      } else if (t == ValueType::kDouble) {
+        col.AppendDouble(std::strtod(field.c_str(), nullptr));
+      } else {
+        col.AppendString(field);
+      }
+    }
   }
-  Table table(table_name, Schema(std::move(columns)));
-  table.Reserve(rows.size());
-  for (Row& row : rows) table.AppendUnchecked(std::move(row));
-  return table;
+  return Table::FromColumns(table_name, Schema(std::move(columns)),
+                            std::move(data));
 }
 
 Result<Table*> LoadCsv(Database& db, const std::string& table_name,

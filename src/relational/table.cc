@@ -1,8 +1,28 @@
 #include "relational/table.h"
 
-#include <unordered_set>
+#include <cassert>
 
 namespace graphgen::rel {
+
+Table Table::FromColumns(std::string name, Schema schema,
+                         std::vector<ColumnVector> columns) {
+  Table t(std::move(name), std::move(schema));
+  assert(columns.size() == t.schema_.NumColumns());
+  t.num_rows_ = columns.empty() ? 0 : columns[0].size();
+  for (const ColumnVector& c : columns) {
+    assert(c.size() == t.num_rows_);
+    (void)c;
+  }
+  t.columns_ = std::move(columns);
+  return t;
+}
+
+Row Table::row(size_t i) const {
+  Row out;
+  out.reserve(columns_.size());
+  for (const ColumnVector& c : columns_) out.push_back(c.ValueAt(i));
+  return out;
+}
 
 Status Table::Append(Row row) {
   if (row.size() != schema_.NumColumns()) {
@@ -10,38 +30,54 @@ Status Table::Append(Row row) {
         "row arity " + std::to_string(row.size()) + " does not match schema of " +
         name_ + " (" + std::to_string(schema_.NumColumns()) + " columns)");
   }
-  rows_.push_back(std::move(row));
+  AppendUnchecked(row);
   return Status::OK();
 }
 
+void Table::AppendUnchecked(const Row& row) {
+  for (size_t c = 0; c < columns_.size(); ++c) columns_[c].Append(row[c]);
+  ++num_rows_;
+}
+
+void Table::Reserve(size_t n) {
+  for (ColumnVector& c : columns_) c.Reserve(n);
+}
+
 Result<std::vector<int64_t>> Table::Int64Column(size_t col) const {
-  std::vector<int64_t> out;
-  out.reserve(rows_.size());
-  for (const Row& r : rows_) {
-    if (r[col].type() != ValueType::kInt64) {
-      return Status::ExecutionError("column " + std::to_string(col) + " of " +
-                                    name_ + " is not BIGINT");
+  const ColumnVector& c = columns_[col];
+  const auto fail = [&] {
+    return Status::ExecutionError("column " + std::to_string(col) + " of " +
+                                  name_ + " is not BIGINT");
+  };
+  if (c.has_nulls()) return fail();
+  switch (c.encoding()) {
+    case ColumnVector::Encoding::kInt64:
+      return std::vector<int64_t>(c.Int64Data(), c.Int64Data() + c.size());
+    case ColumnVector::Encoding::kEmpty:
+      if (c.size() == 0) return std::vector<int64_t>{};
+      return fail();
+    case ColumnVector::Encoding::kMixed: {
+      std::vector<int64_t> out;
+      out.reserve(c.size());
+      for (size_t i = 0; i < c.size(); ++i) {
+        const Value& v = c.MixedAt(i);
+        if (v.type() != ValueType::kInt64) return fail();
+        out.push_back(v.AsInt64());
+      }
+      return out;
     }
-    out.push_back(r[col].AsInt64());
+    default:
+      return fail();
   }
-  return out;
 }
 
 size_t Table::CountDistinct(size_t col) const {
-  std::unordered_set<Value, ValueHash> seen;
-  seen.reserve(rows_.size());
-  for (const Row& r : rows_) seen.insert(r[col]);
-  return seen.size();
+  return columns_[col].DistinctCount();
 }
 
 size_t Table::MemoryBytes() const {
-  size_t total = rows_.capacity() * sizeof(Row);
-  for (const Row& r : rows_) {
-    total += r.capacity() * sizeof(Value);
-    for (const Value& v : r) {
-      if (v.type() == ValueType::kString) total += v.AsString().capacity();
-    }
-  }
+  size_t total = columns_.capacity() * sizeof(ColumnVector);
+  for (const ColumnVector& c : columns_) total += c.MemoryBytes();
   return total;
 }
 

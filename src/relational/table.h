@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "relational/column.h"
 #include "relational/schema.h"
 #include "relational/value.h"
 
@@ -13,30 +14,52 @@ namespace graphgen::rel {
 /// A materialized row (one Value per column).
 using Row = std::vector<Value>;
 
-/// An in-memory, row-oriented table. This plays the role of a PostgreSQL
-/// heap table in the paper's architecture: the planner only ever scans,
-/// filters, joins, and DISTINCT-projects these.
+/// An in-memory table stored as typed column vectors (int64 / double /
+/// dictionary-encoded string arrays with null masks — see ColumnVector).
+/// This plays the role of a PostgreSQL heap table in the paper's
+/// architecture: the planner only ever scans, filters, joins, and
+/// DISTINCT-projects these, and the columnar executor reads the raw typed
+/// arrays directly. The row-oriented API (`Append`, `row(i)`) is retained
+/// as a compatibility view: rows are decomposed into / materialized from
+/// the columns cell by cell.
 class Table {
  public:
   Table() = default;
   Table(std::string name, Schema schema)
-      : name_(std::move(name)), schema_(std::move(schema)) {}
+      : name_(std::move(name)),
+        schema_(std::move(schema)),
+        columns_(schema_.NumColumns()) {}
+
+  /// Bulk columnar construction (generators, snapshot loader). All columns
+  /// must have the same length and match the schema's arity.
+  static Table FromColumns(std::string name, Schema schema,
+                           std::vector<ColumnVector> columns);
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
-  size_t NumRows() const { return rows_.size(); }
+  size_t NumRows() const { return num_rows_; }
   size_t NumColumns() const { return schema_.NumColumns(); }
 
-  const Row& row(size_t i) const { return rows_[i]; }
-  const std::vector<Row>& rows() const { return rows_; }
+  /// Physical column storage (the executor's fast paths read these).
+  const ColumnVector& column(size_t c) const { return columns_[c]; }
+
+  /// Compatibility view: materializes row i from the columns (a copy, not
+  /// a reference into storage — the table has no row-major storage).
+  Row row(size_t i) const;
+
+  /// Cell access without materializing the whole row.
+  Value ValueAt(size_t row, size_t col) const {
+    return columns_[col].ValueAt(row);
+  }
 
   /// Appends a row; returns InvalidArgument if the arity mismatches the
-  /// schema. Type checking is lenient (values are dynamically typed).
+  /// schema. Type checking is lenient (values are dynamically typed; a
+  /// column converts to the mixed encoding on a type mismatch).
   Status Append(Row row);
 
-  /// Appends without checks; used by generators on hot paths.
-  void AppendUnchecked(Row row) { rows_.push_back(std::move(row)); }
-  void Reserve(size_t n) { rows_.reserve(n); }
+  /// Appends without checks; used by row-oriented callers on hot paths.
+  void AppendUnchecked(const Row& row);
+  void Reserve(size_t n);
 
   /// Extracts one column as a vector of int64 keys. Returns ExecutionError
   /// if any value in the column is not an integer. Fast path for joins.
@@ -45,13 +68,16 @@ class Table {
   /// Number of distinct values in a column (exact; computed by ANALYZE).
   size_t CountDistinct(size_t col) const;
 
-  /// Approximate heap footprint.
+  /// Heap footprint: typed arrays, null masks, string dictionaries (the
+  /// numbers the memory-budgeted caches and the paper's condensed-vs-input
+  /// guarantee compare against).
   size_t MemoryBytes() const;
 
  private:
   std::string name_;
   Schema schema_;
-  std::vector<Row> rows_;
+  size_t num_rows_ = 0;
+  std::vector<ColumnVector> columns_;
 };
 
 }  // namespace graphgen::rel

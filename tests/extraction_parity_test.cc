@@ -33,13 +33,15 @@ const Config kConfigs[] = {
 
 ExtractionResult RunConfig(const gen::GeneratedDatabase& data,
                            const std::string& datalog, double factor,
-                           const Config& config, ThreadPool* pool) {
+                           const Config& config, ThreadPool* pool,
+                           bool semi_join_pushdown = false) {
   ExtractOptions opts;
   opts.large_output_factor = factor;
   opts.preprocess = false;
   opts.engine = config.engine;
   opts.threads = config.threads;
   opts.pool = config.use_pool ? pool : nullptr;
+  opts.semi_join_pushdown = semi_join_pushdown;
   auto result = ExtractFromQuery(data.db, datalog, opts);
   EXPECT_TRUE(result.ok()) << config.name << ": "
                            << result.status().ToString();
@@ -59,6 +61,27 @@ void ExpectParity(const gen::GeneratedDatabase& data,
       EXPECT_EQ(DiffExtraction(oracle, got), "")
           << dataset << " factor=" << factor << " config=" << config.name;
       EXPECT_EQ(got.sql, oracle.sql) << dataset << " " << config.name;
+    }
+
+    // Semi-join pushdown: the extracted graph must be identical to the
+    // non-pushdown oracle (rows_scanned legitimately shrinks), and all
+    // engines/thread counts must agree bitwise among themselves.
+    ExtractionResult push_oracle =
+        RunConfig(data, datalog, factor, kBaseline, nullptr, true);
+    EXPECT_EQ(DiffExtraction(oracle, push_oracle,
+                             /*compare_scan_counts=*/false),
+              "")
+        << dataset << " factor=" << factor << " pushdown vs oracle";
+    EXPECT_LE(push_oracle.rows_scanned, oracle.rows_scanned)
+        << dataset << " factor=" << factor;
+    for (const Config& config : kConfigs) {
+      ExtractionResult got =
+          RunConfig(data, datalog, factor, config, &pool, true);
+      EXPECT_EQ(DiffExtraction(push_oracle, got), "")
+          << dataset << " factor=" << factor << " pushdown config="
+          << config.name;
+      EXPECT_EQ(got.sql, push_oracle.sql)
+          << dataset << " pushdown " << config.name;
     }
   }
 }
@@ -103,6 +126,40 @@ TEST(ExtractionParityTest, MultipleRulesExtractConcurrently) {
       "Edges(ID1, ID2) :- TaughtCourse(ID1, C), TookCourse(ID2, C).\n"
       "Edges(ID1, ID2) :- TaughtCourse(ID1, C), TaughtCourse(ID2, C).";
   ExpectParity(d, program, "UNIV multi-rule");
+}
+
+TEST(ExtractionParityTest, StringKeysExerciseDictionaryKernels) {
+  // String node keys: scans, the dictionary join kernel, DISTINCT over
+  // codes, and dict property materialization all run on interned strings,
+  // with NULLs and dangling keys sprinkled in.
+  gen::GeneratedDatabase d;
+  {
+    rel::Table people("People", rel::Schema({{"id", rel::ValueType::kString},
+                                             {"name", rel::ValueType::kString}}));
+    for (int i = 0; i < 40; ++i) {
+      const std::string id = "p" + std::to_string(i);
+      people.AppendUnchecked({rel::Value(id), rel::Value("Person " + id)});
+    }
+    d.db.PutTable(std::move(people));
+    rel::Table follows("Follows",
+                       rel::Schema({{"who", rel::ValueType::kString},
+                                    {"topic", rel::ValueType::kString}}));
+    for (int i = 0; i < 200; ++i) {
+      // Some rows reference people that do not exist; every 17th row has
+      // a NULL key.
+      rel::Value who = i % 17 == 0
+                           ? rel::Value()
+                           : rel::Value("p" + std::to_string(i % 50));
+      follows.AppendUnchecked(
+          {std::move(who), rel::Value("t" + std::to_string(i % 13))});
+    }
+    d.db.PutTable(std::move(follows));
+    d.db.AnalyzeAll();
+    d.datalog =
+        "Nodes(ID, Name) :- People(ID, Name).\n"
+        "Edges(ID1, ID2) :- Follows(ID1, T), Follows(ID2, T).\n";
+  }
+  ExpectParity(d, d.datalog, "StringKeys");
 }
 
 TEST(ExtractionParityTest, CountConstraint) {

@@ -98,11 +98,11 @@ TEST(RelationalGeneratorTest, UniversityDisjointIds) {
   const rel::Table* students = d.db.GetTable("Student").ValueOrDie();
   const rel::Table* instructors = d.db.GetTable("Instructor").ValueOrDie();
   int64_t max_student = 0;
-  for (const auto& row : students->rows()) {
-    max_student = std::max(max_student, row[0].AsInt64());
+  for (size_t i = 0; i < students->NumRows(); ++i) {
+    max_student = std::max(max_student, students->ValueAt(i, 0).AsInt64());
   }
-  for (const auto& row : instructors->rows()) {
-    EXPECT_GT(row[0].AsInt64(), max_student);
+  for (size_t i = 0; i < instructors->NumRows(); ++i) {
+    EXPECT_GT(instructors->ValueAt(i, 0).AsInt64(), max_student);
   }
 }
 

@@ -250,6 +250,157 @@ TEST(ExecutorTest, ExecuteColumnarIsLazyUntilMaterialize) {
   EXPECT_EQ(rs.schema.column(0).name, "pid");
 }
 
+// Runs `plan` on both engines and expects bitwise-identical results.
+ResultSet ExpectEngineParity(const Database& db, const PlanNode& plan) {
+  Executor reference(&db, {.threads = 1, .engine = ExecEngine::kRowAtATime});
+  auto oracle = reference.Execute(plan);
+  EXPECT_TRUE(oracle.ok()) << oracle.status().ToString();
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    Executor columnar(&db, {.threads = threads});
+    auto rs = columnar.Execute(plan);
+    EXPECT_TRUE(rs.ok()) << rs.status().ToString();
+    EXPECT_EQ(rs->rows, oracle->rows) << "threads=" << threads;
+  }
+  return std::move(oracle).ValueOrDie();
+}
+
+TEST(ExecutorTest, DictStringJoinMatchesRowEngine) {
+  Database db;
+  Table people("P", Schema({{"id", ValueType::kString},
+                            {"city", ValueType::kString}}));
+  people.AppendUnchecked({Value("ann"), Value("nyc")});
+  people.AppendUnchecked({Value("bob"), Value("sfo")});
+  people.AppendUnchecked({Value("cat"), Value("nyc")});
+  people.AppendUnchecked({Value(), Value("nyc")});  // NULL joins nothing
+  db.PutTable(std::move(people));
+  Table visits("V", Schema({{"pid", ValueType::kString},
+                            {"site", ValueType::kInt64}}));
+  visits.AppendUnchecked({Value("bob"), Value(int64_t{1})});
+  visits.AppendUnchecked({Value("ann"), Value(int64_t{2})});
+  visits.AppendUnchecked({Value("zed"), Value(int64_t{3})});  // dangling
+  visits.AppendUnchecked({Value(), Value(int64_t{4})});
+  db.PutTable(std::move(visits));
+
+  // Dictionary join kernel: probe codes translate into the build dict.
+  HashJoinNode join(std::make_unique<ScanNode>("P"),
+                    std::make_unique<ScanNode>("V"), 0, 0);
+  ResultSet rs = ExpectEngineParity(db, join);
+  EXPECT_EQ(rs.NumRows(), 2u);
+}
+
+TEST(ExecutorTest, CrossTypeKeyColumnsJoinEmpty) {
+  // Value equality never crosses int64/string/double: a join between an
+  // int64 column and a string column (or double column) has no matches.
+  Database db;
+  Table ints("I", Schema({{"k", ValueType::kInt64}}));
+  ints.AppendUnchecked({Value(int64_t{1})});
+  db.PutTable(std::move(ints));
+  Table strs("S", Schema({{"k", ValueType::kString}}));
+  strs.AppendUnchecked({Value("1")});
+  db.PutTable(std::move(strs));
+  Table dbls("D", Schema({{"k", ValueType::kDouble}}));
+  dbls.AppendUnchecked({Value(1.0)});
+  db.PutTable(std::move(dbls));
+
+  for (const char* right : {"S", "D"}) {
+    HashJoinNode join(std::make_unique<ScanNode>("I"),
+                      std::make_unique<ScanNode>(right), 0, 0);
+    ResultSet rs = ExpectEngineParity(db, join);
+    EXPECT_EQ(rs.NumRows(), 0u) << right;
+  }
+}
+
+TEST(ExecutorTest, MixedKeyColumnFallsBackToGenericJoin) {
+  // A column holding both int64 and string keys (mixed encoding) joins
+  // through the generic Value kernel: int cells match int columns, the
+  // string cells match nothing there.
+  Database db;
+  Table mixed("M", Schema({{"k", ValueType::kString}}));
+  mixed.AppendUnchecked({Value(int64_t{1})});
+  mixed.AppendUnchecked({Value("one")});
+  mixed.AppendUnchecked({Value(int64_t{2})});
+  mixed.AppendUnchecked({Value()});
+  db.PutTable(std::move(mixed));
+  Table ints("I", Schema({{"k", ValueType::kInt64}}));
+  ints.AppendUnchecked({Value(int64_t{1})});
+  ints.AppendUnchecked({Value(int64_t{3})});
+  db.PutTable(std::move(ints));
+
+  HashJoinNode join(std::make_unique<ScanNode>("M"),
+                    std::make_unique<ScanNode>("I"), 0, 0);
+  ResultSet rs = ExpectEngineParity(db, join);
+  EXPECT_EQ(rs.NumRows(), 1u);  // only int 1 matches
+}
+
+TEST(ExecutorTest, NullBitmapRespectedInFiltersAndJoins) {
+  Database db;
+  Table t("T", Schema({{"k", ValueType::kInt64}, {"v", ValueType::kInt64}}));
+  for (int64_t i = 0; i < 100; ++i) {
+    t.AppendUnchecked({i % 3 == 0 ? Value() : Value(i % 5), Value(i)});
+  }
+  db.PutTable(std::move(t));
+
+  // NULL < int in the total order, so kLt matches NULL rows; kEq and kGt
+  // do not.
+  ScanNode lt("T", {{0, CompareOp::kLt, Value(int64_t{2})}});
+  ScanNode eq("T", {{0, CompareOp::kEq, Value(int64_t{2})}});
+  ResultSet lt_rs = ExpectEngineParity(db, lt);
+  ResultSet eq_rs = ExpectEngineParity(db, eq);
+  size_t nulls = 0;
+  size_t eq2 = 0;
+  size_t lt2 = 0;
+  for (int64_t i = 0; i < 100; ++i) {
+    if (i % 3 == 0) {
+      ++nulls;
+    } else if (i % 5 == 2) {
+      ++eq2;
+    } else if (i % 5 < 2) {
+      ++lt2;
+    }
+  }
+  EXPECT_EQ(lt_rs.NumRows(), nulls + lt2);
+  EXPECT_EQ(eq_rs.NumRows(), eq2);
+
+  // Self-join drops every NULL key on both sides.
+  HashJoinNode join(std::make_unique<ScanNode>("T"),
+                    std::make_unique<ScanNode>("T"), 0, 0);
+  ResultSet join_rs = ExpectEngineParity(db, join);
+  for (const auto& row : join_rs.rows) {
+    EXPECT_FALSE(row[0].is_null());
+  }
+}
+
+TEST(ExecutorTest, SemiJoinFilterDropsNonMembers) {
+  Database db = MakeDb();
+  auto keys = std::make_shared<KeyFilter>();
+  keys->ints = {1, 3};
+  auto scan = std::make_unique<ScanNode>("AuthorPub");
+  scan->AddSemiJoin(0, keys);
+  ResultSet rs = ExpectEngineParity(db, *scan);
+  EXPECT_EQ(rs.NumRows(), 3u);  // aid 2 rows dropped
+  for (const auto& row : rs.rows) {
+    EXPECT_NE(row[0].AsInt64(), 2);
+  }
+  EXPECT_NE(scan->ToSql().find("IN (SELECT key FROM Nodes)"),
+            std::string::npos);
+}
+
+TEST(ExecutorTest, SemiJoinFilterOnDictColumn) {
+  Database db;
+  Table t("T", Schema({{"who", ValueType::kString}}));
+  for (const char* w : {"ann", "bob", "ann", "cat", "zed"}) {
+    t.AppendUnchecked({Value(w)});
+  }
+  t.AppendUnchecked({Value()});
+  db.PutTable(std::move(t));
+  auto keys = std::make_shared<KeyFilter>();
+  keys->strings = {"ann", "cat"};
+  auto scan = std::make_unique<ScanNode>("T");
+  scan->AddSemiJoin(0, keys);
+  ResultSet rs = ExpectEngineParity(db, *scan);
+  EXPECT_EQ(rs.NumRows(), 3u);
+}
+
 TEST(PlanSqlTest, RendersReadableSql) {
   ScanNode scan("AuthorPub", {{1, CompareOp::kEq, Value(int64_t{10})}});
   EXPECT_EQ(scan.ToSql(), "SELECT * FROM AuthorPub WHERE $1 = 10");

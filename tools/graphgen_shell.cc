@@ -70,6 +70,8 @@ void PrintHelp() {
       "  list                                registered graphs\n"
       "  drop <name>                         unregister a graph\n"
       "  stats                               service counters (cache, workers)\n"
+      "  tables                              per-table storage: column types,\n"
+      "                                      encodings, dictionary sizes, bytes\n"
       "  clear-cache                         drop all cached extractions\n"
       "  help | quit");
 }
@@ -316,6 +318,38 @@ void CmdStats(const ShellState& state) {
       s.worker_threads, FormatBytes(state.db.MemoryBytes()).c_str());
 }
 
+// Storage introspection for the typed columnar layer: one block per
+// table, one line per column with its declared type, physical encoding,
+// dictionary cardinality, null count, and footprint.
+void CmdTables(const ShellState& state) {
+  const std::vector<std::string> names = state.db.TableNames();
+  if (names.empty()) {
+    std::puts("(no tables: use `open` or `csv` first)");
+    return;
+  }
+  for (const std::string& name : names) {
+    auto table = state.db.GetTable(name);
+    if (!table.ok()) continue;
+    const rel::Table& t = **table;
+    std::printf("%s: %zu rows, %zu columns, %s\n", name.c_str(), t.NumRows(),
+                t.NumColumns(), FormatBytes(t.MemoryBytes()).c_str());
+    for (size_t c = 0; c < t.NumColumns(); ++c) {
+      const rel::ColumnDef& def = t.schema().column(c);
+      const rel::ColumnVector& col = t.column(c);
+      std::string encoding(col.EncodingName());
+      if (col.encoding() == rel::ColumnVector::Encoding::kDictString) {
+        encoding += "(" + std::to_string(col.dict().size()) + " distinct)";
+      }
+      std::printf("  %-20s %-8s %-22s %8zu nulls %10s\n", def.name.c_str(),
+                  std::string(rel::ValueTypeToString(def.type)).c_str(),
+                  encoding.c_str(), col.null_count(),
+                  FormatBytes(col.MemoryBytes()).c_str());
+    }
+  }
+  std::printf("total database footprint: %s\n",
+              FormatBytes(state.db.MemoryBytes()).c_str());
+}
+
 int RunShell(ShellState& state, std::istream& in, bool interactive) {
   std::string line;
   for (;;) {
@@ -358,6 +392,8 @@ int RunShell(ShellState& state, std::istream& in, bool interactive) {
       }
     } else if (cmd == "stats") {
       CmdStats(state);
+    } else if (cmd == "tables") {
+      CmdTables(state);
     } else if (cmd == "clear-cache") {
       if (state.svc != nullptr) state.svc->ClearCache();
     } else {
