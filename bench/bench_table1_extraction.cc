@@ -1,13 +1,19 @@
 // Reproduces Table 1 (condensed C-DUP vs fully expanded EXP extraction)
 // and measures the extraction pipeline itself: the legacy serial
 // row-at-a-time interpreter versus the parallel columnar pipeline
-// (selection vectors, partitioned hash join, lazy projection), on the
-// four evaluation schemas.
+// (selection vectors, partitioned hash join, fused morsel-driven
+// join→DISTINCT, typed-key graph assembly), on the four evaluation
+// schemas. The columnar engine is additionally timed with the fused
+// join→DISTINCT pipeline forced on and forced off.
 //
-// For every workload the harness also *proves* parity: the parallel
-// pipeline's output (node ids, condensed adjacency in stored order,
-// properties) must be bitwise-identical to the serial baseline, else the
-// process exits non-zero — the CI regression gate for optimized builds.
+// For every workload the harness also *proves* parity: the output of the
+// parallel pipeline — under the adaptive default, with fusion forced,
+// and with fusion disabled — must be bitwise-identical to the serial
+// baseline (node ids, condensed adjacency in stored order, properties),
+// else the process exits non-zero. In --smoke mode the harness further
+// fails if the forced-fused path regresses more than 20% (geomean) below
+// the unfused operator chain — the CI regression gate for optimized
+// builds.
 //
 // Writes a JSON summary (default BENCH_extraction.json, override with
 // --out=<path>). --smoke shrinks the datasets and runs one iteration.
@@ -36,10 +42,15 @@ struct WorkloadRow {
   uint64_t condensed_edges = 0;
   uint64_t full_edges = 0;
   double serial_ms = 0;    // row-at-a-time interpreter, 1 thread
-  double parallel_ms = 0;  // columnar pipeline, hardware threads
+  double parallel_ms = 0;  // columnar pipeline (adaptive fusion), hw threads
+  double fused_ms = 0;     // columnar, join→DISTINCT fusion forced on
+  double unfused_ms = 0;   // columnar, unfused operator chain
   bool parity = true;
   double Speedup() const {
     return parallel_ms > 0 ? serial_ms / parallel_ms : 0;
+  }
+  double FusedVsUnfused() const {
+    return fused_ms > 0 ? unfused_ms / fused_ms : 0;
   }
 };
 
@@ -55,15 +66,25 @@ double MedianMs(int iters, const std::function<void()>& fn) {
   return times[times.size() / 2];
 }
 
+// Engine configurations measured per workload.
+enum class Mode {
+  kSerial,    // row-at-a-time interpreter, 1 thread (the oracle)
+  kParallel,  // columnar, adaptive join→DISTINCT fusion (the default)
+  kFused,     // columnar, fusion forced for any output size
+  kUnfused,   // columnar, fusion disabled (classic operator chain)
+};
+
 // End-to-end extraction (both policies, like an analyst extracting the
 // condensed graph and the full graph) under one engine configuration.
-planner::ExtractOptions MakeOpts(double factor, bool parallel) {
+planner::ExtractOptions MakeOpts(double factor, Mode mode) {
   planner::ExtractOptions opts;
   opts.large_output_factor = factor;
   opts.preprocess = false;
-  opts.threads = parallel ? 0 : 1;
-  opts.engine = parallel ? query::ExecEngine::kColumnar
-                         : query::ExecEngine::kRowAtATime;
+  opts.threads = mode == Mode::kSerial ? 1 : 0;
+  opts.engine = mode == Mode::kSerial ? query::ExecEngine::kRowAtATime
+                                      : query::ExecEngine::kColumnar;
+  opts.fuse_join_distinct = mode != Mode::kUnfused;
+  if (mode == Mode::kFused) opts.fuse_min_output_bytes = 0;
   return opts;
 }
 
@@ -75,24 +96,31 @@ bool RunWorkload(const std::string& name, const gen::GeneratedDatabase& data,
     row.input_rows += data.db.GetTable(t).ValueOrDie()->NumRows();
   }
 
-  // Parity first (also warms caches): every policy, serial vs parallel.
+  // Parity first (also warms caches): every policy, serial vs every
+  // columnar fusion mode — the fused pipeline must be indistinguishable.
   for (double factor : {0.0, 1e18}) {
-    auto serial =
-        planner::ExtractFromQuery(data.db, data.datalog, MakeOpts(factor, false));
-    auto parallel =
-        planner::ExtractFromQuery(data.db, data.datalog, MakeOpts(factor, true));
-    if (!serial.ok() || !parallel.ok()) {
+    auto serial = planner::ExtractFromQuery(data.db, data.datalog,
+                                            MakeOpts(factor, Mode::kSerial));
+    if (!serial.ok()) {
       std::printf("%-8s extraction failed: %s\n", name.c_str(),
-                  (!serial.ok() ? serial.status() : parallel.status())
-                      .ToString()
-                      .c_str());
+                  serial.status().ToString().c_str());
       return false;
     }
-    std::string diff = planner::DiffExtraction(*serial, *parallel);
-    if (!diff.empty()) {
-      std::printf("%-8s PARITY FAILURE (factor %g): %s\n", name.c_str(),
-                  factor, diff.c_str());
-      row.parity = false;
+    for (Mode mode : {Mode::kParallel, Mode::kFused, Mode::kUnfused}) {
+      auto got = planner::ExtractFromQuery(data.db, data.datalog,
+                                           MakeOpts(factor, mode));
+      if (!got.ok()) {
+        std::printf("%-8s extraction failed: %s\n", name.c_str(),
+                    got.status().ToString().c_str());
+        return false;
+      }
+      std::string diff = planner::DiffExtraction(*serial, *got);
+      if (!diff.empty()) {
+        std::printf("%-8s PARITY FAILURE (factor %g, mode %d): %s\n",
+                    name.c_str(), factor, static_cast<int>(mode),
+                    diff.c_str());
+        row.parity = false;
+      }
     }
     if (factor == 0.0) {
       row.condensed_edges = serial->condensed_edges;
@@ -102,19 +130,23 @@ bool RunWorkload(const std::string& name, const gen::GeneratedDatabase& data,
   }
 
   // Timed runs: both policies back to back = the Table 1 workload.
-  auto run_both = [&](bool parallel) {
+  auto run_both = [&](Mode mode) {
     (void)planner::ExtractFromQuery(data.db, data.datalog,
-                                    MakeOpts(0.0, parallel));
+                                    MakeOpts(0.0, mode));
     (void)planner::ExtractFromQuery(data.db, data.datalog,
-                                    MakeOpts(1e18, parallel));
+                                    MakeOpts(1e18, mode));
   };
-  row.serial_ms = MedianMs(iters, [&] { run_both(false); });
-  row.parallel_ms = MedianMs(iters, [&] { run_both(true); });
+  row.serial_ms = MedianMs(iters, [&] { run_both(Mode::kSerial); });
+  row.parallel_ms = MedianMs(iters, [&] { run_both(Mode::kParallel); });
+  row.fused_ms = MedianMs(iters, [&] { run_both(Mode::kFused); });
+  row.unfused_ms = MedianMs(iters, [&] { run_both(Mode::kUnfused); });
 
   std::printf("%-8s %9" PRIu64 " rows | C-DUP %10" PRIu64 " e | EXP %11" PRIu64
-              " e | serial %9.1fms | parallel %9.1fms | %5.2fx %s\n",
+              " e | serial %9.1fms | parallel %9.1fms | %5.2fx | fused %9.1fms"
+              " | unfused %9.1fms | %s\n",
               name.c_str(), row.input_rows, row.condensed_edges,
               row.full_edges, row.serial_ms, row.parallel_ms, row.Speedup(),
+              row.fused_ms, row.unfused_ms,
               row.parity ? "ok" : "PARITY FAIL");
   bool ok = row.parity;
   rows.push_back(std::move(row));
@@ -137,7 +169,9 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
   }
   const double s = smoke ? 0.05 : graphgen::bench::BenchScale();
-  const int iters = smoke ? 1 : 3;
+  // Smoke runs are sub-50ms per mode, so the median-of-3 that stabilizes
+  // the fused-vs-unfused regression gate costs almost nothing.
+  const int iters = 3;
 
   graphgen::bench::PrintHeader(
       "Table 1 extraction: serial row-at-a-time vs parallel columnar");
@@ -170,28 +204,52 @@ int main(int argc, char** argv) {
       iters, rows);
 
   double geo = 1.0;
+  double fuse_geo = 1.0;
   size_t counted = 0;
+  size_t fuse_counted = 0;
   for (const auto& r : rows) {
     if (r.Speedup() > 0) {
       geo *= r.Speedup();
       ++counted;
     }
+    if (r.FusedVsUnfused() > 0) {
+      fuse_geo *= r.FusedVsUnfused();
+      ++fuse_counted;
+    }
   }
   geo = counted > 0 ? std::pow(geo, 1.0 / static_cast<double>(counted)) : 0.0;
+  fuse_geo = fuse_counted > 0
+                 ? std::pow(fuse_geo, 1.0 / static_cast<double>(fuse_counted))
+                 : 0.0;
   std::printf("\ngeometric-mean extraction speedup: %.2fx (%zu workloads)\n",
               geo, counted);
+  std::printf("geometric-mean fused vs unfused: %.2fx\n", fuse_geo);
   std::printf(
       "Paper shape check: EXP >> C-DUP everywhere; TPCH/UNIV show the\n"
       "space explosion (dense co-purchase / co-enrollment cliques).\n");
+
+  // Smoke regression gate: the forced-fused pipeline must stay within 20%
+  // of the unfused operator chain (geomean) — a divergence-from-oracle
+  // failure is caught by the parity checks above.
+  bool fuse_regressed = false;
+  if (smoke && fuse_counted > 0 && fuse_geo < 1.0 / 1.2) {
+    std::fprintf(stderr,
+                 "FAIL: fused join->DISTINCT geomean %.2fx is more than 20%% "
+                 "slower than the unfused chain on the smoke workloads\n",
+                 fuse_geo);
+    fuse_regressed = true;
+  }
 
   FILE* f = std::fopen(out_path.c_str(), "w");
   if (f != nullptr) {
     std::fprintf(f, "{\n  \"bench\": \"table1_extraction\",\n");
     std::fprintf(f, "  \"scale\": %g,\n  \"threads\": %zu,\n", s,
                  graphgen::DefaultThreadCount());
-    std::fprintf(f,
-                 "  \"serial\": \"row-at-a-time interpreter, 1 thread\",\n"
-                 "  \"parallel\": \"columnar pipeline, hardware threads\",\n");
+    std::fprintf(
+        f,
+        "  \"serial\": \"row-at-a-time interpreter, 1 thread\",\n"
+        "  \"parallel\": \"columnar pipeline (adaptive fused "
+        "join->DISTINCT, typed-key assembly), hardware threads\",\n");
     std::fprintf(f, "  \"workloads\": [\n");
     for (size_t i = 0; i < rows.size(); ++i) {
       const auto& r = rows[i];
@@ -199,21 +257,25 @@ int main(int argc, char** argv) {
                    "    {\"name\": \"%s\", \"input_rows\": %" PRIu64
                    ", \"condensed_edges\": %" PRIu64 ", \"full_edges\": %" PRIu64
                    ", \"serial_ms\": %.2f, \"parallel_ms\": %.2f, "
-                   "\"speedup\": %.2f, \"parity\": %s}%s\n",
+                   "\"speedup\": %.2f, \"fused_ms\": %.2f, "
+                   "\"unfused_ms\": %.2f, \"parity\": %s}%s\n",
                    r.name.c_str(), r.input_rows, r.condensed_edges,
                    r.full_edges, r.serial_ms, r.parallel_ms, r.Speedup(),
-                   r.parity ? "true" : "false",
+                   r.fused_ms, r.unfused_ms, r.parity ? "true" : "false",
                    i + 1 < rows.size() ? "," : "");
     }
-    std::fprintf(f, "  ],\n  \"geomean_speedup\": %.2f\n}\n", geo);
+    std::fprintf(f,
+                 "  ],\n  \"geomean_speedup\": %.2f,\n"
+                 "  \"geomean_fused_vs_unfused\": %.2f\n}\n",
+                 geo, fuse_geo);
     std::fclose(f);
     std::printf("JSON written to %s\n", out_path.c_str());
   }
 
-  if (!all_ok) {
+  if (!all_ok || fuse_regressed) {
     std::fprintf(stderr,
-                 "FAIL: extraction error or serial/parallel parity mismatch "
-                 "(see workload lines above)\n");
+                 "FAIL: extraction error, parity mismatch, or fused-path "
+                 "regression (see lines above)\n");
     return 1;
   }
   return 0;

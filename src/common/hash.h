@@ -1,0 +1,23 @@
+#ifndef GRAPHGEN_COMMON_HASH_H_
+#define GRAPHGEN_COMMON_HASH_H_
+
+#include <cstdint>
+
+namespace graphgen {
+
+/// SplitMix64 finalizer: a cheap, well-mixed 64-bit hash for raw integer
+/// keys and dictionary codes. Shared by the typed join/DISTINCT kernels
+/// (query/executor.cc) and the extractor's flat key tables
+/// (planner/extractor.cc). No output-visible state depends on the exact
+/// mixing (probe order and insertion order fix every result), so the
+/// function may evolve — in this one place.
+inline uint64_t MixInt64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace graphgen
+
+#endif  // GRAPHGEN_COMMON_HASH_H_

@@ -40,6 +40,57 @@ void CondensedStorage::AddEdge(NodeRef from, NodeRef to) {
   sorted_ = false;
 }
 
+void CondensedStorage::AddEdges(
+    const std::vector<std::pair<NodeRef, NodeRef>>& edges) {
+  if (edges.empty()) return;
+  // The bulk path scans every node's count slot (O(all nodes) zeroing);
+  // for batches small relative to the graph, plain appends are cheaper.
+  const size_t nodes = real_out_.size() + virt_out_.size();
+  if (edges.size() < 1024 || edges.size() * 8 < nodes) {
+    for (const auto& [from, to] : edges) AddEdge(from, to);
+    return;
+  }
+  // Pass 1: per-node degree deltas (node ids are dense in both spaces).
+  std::vector<uint32_t> real_out(real_out_.size(), 0);
+  std::vector<uint32_t> real_in(real_in_.size(), 0);
+  std::vector<uint32_t> virt_out(virt_out_.size(), 0);
+  std::vector<uint32_t> virt_in(virt_in_.size(), 0);
+  for (const auto& [from, to] : edges) {
+    ++(from.is_virtual() ? virt_out : real_out)[from.index()];
+    ++(to.is_virtual() ? virt_in : real_in)[to.index()];
+  }
+  // Pass 2: one exact resize per touched list; the count slots become
+  // per-node write cursors (the list's previous size).
+  auto prepare = [](std::vector<std::vector<NodeRef>>& lists,
+                    std::vector<uint32_t>& counts) {
+    for (size_t i = 0; i < counts.size(); ++i) {
+      if (counts[i] == 0) continue;
+      const uint32_t old = static_cast<uint32_t>(lists[i].size());
+      lists[i].resize(old + counts[i]);
+      counts[i] = old;
+    }
+  };
+  prepare(real_out_, real_out);
+  prepare(real_in_, real_in);
+  prepare(virt_out_, virt_out);
+  prepare(virt_in_, virt_in);
+  // Pass 3: scatter in order — one indexed write per edge per direction,
+  // no per-push capacity checks or size updates.
+  for (const auto& [from, to] : edges) {
+    if (from.is_virtual()) {
+      virt_out_[from.index()][virt_out[from.index()]++] = to;
+    } else {
+      real_out_[from.index()][real_out[from.index()]++] = to;
+    }
+    if (to.is_virtual()) {
+      virt_in_[to.index()][virt_in[to.index()]++] = from;
+    } else {
+      real_in_[to.index()][real_in[to.index()]++] = from;
+    }
+  }
+  sorted_ = false;
+}
+
 bool CondensedStorage::RemoveEdge(NodeRef from, NodeRef to) {
   auto& out = MutableOutEdges(from);
   auto it = std::find(out.begin(), out.end(), to);

@@ -56,6 +56,14 @@ class CondensedStorage {
   /// this edge) and a real target acts as v_t.
   void AddEdge(NodeRef from, NodeRef to);
 
+  /// Adds a batch of edges, element-for-element identical to calling
+  /// AddEdge in order, but each touched adjacency list is reserved to its
+  /// exact final size first. The extraction assembly loop appends
+  /// hundreds of thousands of edges; per-edge geometric vector growth
+  /// (reallocate + copy, per node) costs more than the appends
+  /// themselves.
+  void AddEdges(const std::vector<std::pair<NodeRef, NodeRef>>& edges);
+
   /// Removes one occurrence of the edge; returns false if absent.
   bool RemoveEdge(NodeRef from, NodeRef to);
 

@@ -1,11 +1,16 @@
 #include "planner/extractor.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cassert>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string_view>
 #include <unordered_map>
 
+#include "common/hash.h"
 #include "common/parallel.h"
 #include "common/timer.h"
 #include "datalog/parser.h"
@@ -19,22 +24,151 @@ namespace graphgen::planner {
 
 namespace {
 
-// Key for virtual nodes: (edges-rule index, boundary index, join value).
-struct VirtualKey {
-  size_t rule = 0;
-  size_t boundary = 0;
-  rel::Value value;
+// Flat open-addressing map from int64 keys to 32-bit ids (linear probing,
+// power-of-two capacity, no per-node allocation). Insert-only — exactly
+// the shape of the node-id and virtual-id tables.
+class FlatInt64Map {
+ public:
+  static constexpr uint32_t kNotFound = 0xffffffffu;
 
-  bool operator==(const VirtualKey& o) const {
-    return rule == o.rule && boundary == o.boundary && value == o.value;
+  FlatInt64Map() { Rehash(64); }
+
+  uint32_t Find(int64_t key) const {
+    size_t pos = MixInt64(static_cast<uint64_t>(key)) & mask_;
+    for (;;) {
+      if (used_[pos] == 0) return kNotFound;
+      if (keys_[pos] == key) return vals_[pos];
+      pos = (pos + 1) & mask_;
+    }
+  }
+
+  // Existing id of `key`, or the result of make() (invoked exactly once,
+  // only for a new key).
+  template <typename Make>
+  uint32_t GetOrInsert(int64_t key, Make make) {
+    if ((size_ + 1) * 4 >= (mask_ + 1) * 3) Grow();
+    size_t pos = MixInt64(static_cast<uint64_t>(key)) & mask_;
+    for (;;) {
+      if (used_[pos] == 0) {
+        used_[pos] = 1;
+        keys_[pos] = key;
+        vals_[pos] = make();
+        ++size_;
+        return vals_[pos];
+      }
+      if (keys_[pos] == key) return vals_[pos];
+      pos = (pos + 1) & mask_;
+    }
+  }
+
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    for (size_t i = 0; i <= mask_; ++i) {
+      if (used_[i] != 0) fn(keys_[i], vals_[i]);
+    }
+  }
+
+  size_t size() const { return size_; }
+
+ private:
+  void Rehash(size_t cap) {
+    keys_.assign(cap, 0);
+    vals_.assign(cap, 0);
+    used_.assign(cap, 0);
+    mask_ = cap - 1;
+  }
+
+  void Grow() {
+    std::vector<int64_t> okeys = std::move(keys_);
+    std::vector<uint32_t> ovals = std::move(vals_);
+    std::vector<uint8_t> oused = std::move(used_);
+    Rehash((mask_ + 1) * 2);
+    for (size_t i = 0; i < oused.size(); ++i) {
+      if (oused[i] == 0) continue;
+      size_t pos = MixInt64(static_cast<uint64_t>(okeys[i])) & mask_;
+      while (used_[pos] != 0) pos = (pos + 1) & mask_;
+      used_[pos] = 1;
+      keys_[pos] = okeys[i];
+      vals_[pos] = ovals[i];
+    }
+  }
+
+  std::vector<int64_t> keys_;
+  std::vector<uint32_t> vals_;
+  std::vector<uint8_t> used_;
+  uint64_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
   }
 };
 
-struct VirtualKeyHash {
-  size_t operator()(const VirtualKey& k) const {
-    size_t h = k.value.Hash();
-    h ^= k.rule * 0x9e3779b97f4a7c15ull + k.boundary * 0xc2b2ae3d27d4eb4full;
-    return h;
+// Key → id table bucketed by physical type, replacing the former
+// unordered_map<Value, id>. Value equality never crosses
+// int64/double/string, so bucketing by type preserves the Value-map
+// semantics exactly: integer keys live in a flat open-addressing table,
+// string keys in a heterogeneous-lookup map (probed by dictionary entry
+// without copying), and doubles/exotics in the Value fallback.
+struct TypedIdMap {
+  FlatInt64Map ints;
+  std::unordered_map<std::string, uint32_t, TransparentStringHash,
+                     std::equal_to<>>
+      strings;
+  std::unordered_map<rel::Value, uint32_t, rel::ValueHash> others;
+
+  size_t size() const {
+    return ints.size() + strings.size() + others.size();
+  }
+
+  std::optional<uint32_t> FindString(std::string_view s) const {
+    auto it = strings.find(s);
+    if (it == strings.end()) return std::nullopt;
+    return it->second;
+  }
+
+  // Find by dynamically typed key; `v` must not be NULL.
+  std::optional<uint32_t> FindValue(const rel::Value& v) const {
+    switch (v.type()) {
+      case rel::ValueType::kInt64: {
+        const uint32_t id = ints.Find(v.AsInt64());
+        if (id == FlatInt64Map::kNotFound) return std::nullopt;
+        return id;
+      }
+      case rel::ValueType::kString:
+        return FindString(v.AsString());
+      default: {
+        auto it = others.find(v);
+        if (it == others.end()) return std::nullopt;
+        return it->second;
+      }
+    }
+  }
+
+  // Existing id of `v`, or make() (invoked exactly once for a new key).
+  template <typename Make>
+  uint32_t GetOrInsertValue(const rel::Value& v, Make make) {
+    switch (v.type()) {
+      case rel::ValueType::kInt64:
+        return ints.GetOrInsert(v.AsInt64(), make);
+      case rel::ValueType::kString: {
+        auto it = strings.find(std::string_view(v.AsString()));
+        if (it != strings.end()) return it->second;
+        const uint32_t id = make();
+        strings.emplace(v.AsString(), id);
+        return id;
+      }
+      default: {
+        auto it = others.find(v);
+        if (it != others.end()) return it->second;
+        const uint32_t id = make();
+        others.emplace(v, id);
+        return id;
+      }
+    }
   }
 };
 
@@ -52,6 +186,157 @@ struct ExecOutput {
     if (columnar.has_value()) return columnar->NumRows();
     return rows.has_value() ? rows->NumRows() : 0;
   }
+};
+
+// One endpoint column of an executed query result, read without Value
+// construction whenever the storage is typed: raw int64 keys or raw
+// dictionary codes for the columnar engine, per-row Values only for mixed
+// columns and the row-at-a-time oracle.
+class EndpointColumn {
+ public:
+  enum class Kind { kInt64, kDict, kValue };
+
+  EndpointColumn(const ExecOutput& out, size_t col)
+      : view_(out.View()), col_(col) {
+    if (out.columnar.has_value()) {
+      cr_ = &*out.columnar;
+      b_ = cr_->Bind(col);
+      switch (b_.col->encoding()) {
+        case rel::ColumnVector::Encoding::kInt64:
+          kind_ = Kind::kInt64;
+          break;
+        case rel::ColumnVector::Encoding::kDictString:
+          kind_ = Kind::kDict;
+          break;
+        default:
+          kind_ = Kind::kValue;
+          break;
+      }
+    }
+  }
+
+  Kind kind() const { return kind_; }
+
+  bool IsNull(size_t row) const {
+    if (cr_ == nullptr) return view_.IsNullAt(row, col_);
+    return b_.col->encoding() == rel::ColumnVector::Encoding::kEmpty ||
+           b_.col->IsNull(cr_->RowId(b_, row));
+  }
+  int64_t Int64(size_t row) const {
+    return b_.col->Int64At(cr_->RowId(b_, row));
+  }
+  uint32_t Code(size_t row) const {
+    return b_.col->CodeAt(cr_->RowId(b_, row));
+  }
+  const rel::StringDictionary& dict() const { return b_.col->dict(); }
+  rel::Value ValueAt(size_t row) const { return view_.ValueAt(row, col_); }
+
+ private:
+  query::RowsView view_;
+  const query::RowIdResult* cr_ = nullptr;
+  query::BoundColumn b_{};
+  Kind kind_ = Kind::kValue;
+  size_t col_ = 0;
+};
+
+// Resolves endpoint keys of one result column against a const TypedIdMap
+// (the real-node table). Dictionary columns memoize the answer per code —
+// one string probe per *distinct* value, raw array reads per row; int64
+// columns probe the flat table directly. Rows must be non-NULL.
+class RealNodeResolver {
+ public:
+  RealNodeResolver(const EndpointColumn& col, const TypedIdMap& ids)
+      : col_(col), ids_(ids) {
+    if (col_.kind() == EndpointColumn::Kind::kDict) {
+      code_cache_.assign(col_.dict().size(), kUnresolved);
+    }
+  }
+
+  // True with *id set when the key binds a real node; false when dangling.
+  bool Resolve(size_t row, NodeId* id) {
+    switch (col_.kind()) {
+      case EndpointColumn::Kind::kInt64: {
+        const uint32_t f = ids_.ints.Find(col_.Int64(row));
+        if (f == FlatInt64Map::kNotFound) return false;
+        *id = f;
+        return true;
+      }
+      case EndpointColumn::Kind::kDict: {
+        int64_t& c = code_cache_[col_.Code(row)];
+        if (c == kUnresolved) {
+          std::optional<uint32_t> f =
+              ids_.FindString(col_.dict().At(col_.Code(row)));
+          c = f.has_value() ? static_cast<int64_t>(*f) : kDangling;
+        }
+        if (c < 0) return false;
+        *id = static_cast<NodeId>(c);
+        return true;
+      }
+      case EndpointColumn::Kind::kValue: {
+        std::optional<uint32_t> f = ids_.FindValue(col_.ValueAt(row));
+        if (!f.has_value()) return false;
+        *id = *f;
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  static constexpr int64_t kUnresolved = -2;
+  static constexpr int64_t kDangling = -1;
+
+  EndpointColumn col_;
+  const TypedIdMap& ids_;
+  std::vector<int64_t> code_cache_;  // dict code → node id / kDangling
+};
+
+// Resolves boundary keys of one result column to virtual-node ids,
+// allocating on first sight. Allocation happens at the first row where a
+// key appears — the (rule, segment, row) visit order — so virtual-node
+// numbering is bit-identical to the legacy Value-keyed map for every
+// engine and thread count. Rows must be non-NULL.
+class VirtualNodeResolver {
+ public:
+  VirtualNodeResolver(const EndpointColumn& col, TypedIdMap& keys,
+                      CondensedStorage& storage)
+      : col_(col), keys_(keys), storage_(storage) {
+    if (col_.kind() == EndpointColumn::Kind::kDict) {
+      code_cache_.assign(col_.dict().size(), kUnresolved);
+    }
+  }
+
+  NodeRef Resolve(size_t row) {
+    switch (col_.kind()) {
+      case EndpointColumn::Kind::kInt64:
+        return NodeRef::Virtual(keys_.ints.GetOrInsert(
+            col_.Int64(row), [this] { return storage_.AddVirtualNode(); }));
+      case EndpointColumn::Kind::kDict: {
+        int64_t& c = code_cache_[col_.Code(row)];
+        if (c < 0) {
+          const std::string& s = col_.dict().At(col_.Code(row));
+          auto it = keys_.strings.find(std::string_view(s));
+          if (it == keys_.strings.end()) {
+            it = keys_.strings.emplace(s, storage_.AddVirtualNode()).first;
+          }
+          c = it->second;
+        }
+        return NodeRef::Virtual(static_cast<uint32_t>(c));
+      }
+      case EndpointColumn::Kind::kValue:
+      default:
+        return NodeRef::Virtual(keys_.GetOrInsertValue(
+            col_.ValueAt(row), [this] { return storage_.AddVirtualNode(); }));
+    }
+  }
+
+ private:
+  static constexpr int64_t kUnresolved = -1;
+
+  EndpointColumn col_;
+  TypedIdMap& keys_;
+  CondensedStorage& storage_;
+  std::vector<int64_t> code_cache_;  // dict code → virtual id
 };
 
 // Executes every plan, independent queries concurrently: on the shared
@@ -72,7 +357,9 @@ std::vector<ExecOutput> RunPlans(
       (n <= 1 || options.threads == 1) ? 1 : std::min(n, budget);
   const query::Executor executor(
       &db, {.threads = std::max<size_t>(1, budget / fan_out),
-            .engine = options.engine});
+            .engine = options.engine,
+            .fuse_join_distinct = options.fuse_join_distinct,
+            .fuse_min_output_bytes = options.fuse_min_output_bytes});
   std::vector<ExecOutput> outs(plans.size());
   auto run_one = [&executor, &plans, &outs, &options](size_t i) {
     if (options.engine == query::ExecEngine::kColumnar) {
@@ -110,14 +397,14 @@ std::vector<ExecOutput> RunPlans(
 }
 
 // Executes the Nodes rules: creates real nodes, assigns properties, and
-// fills the external-key -> NodeId map. Queries run concurrently (phase
-// 2); node-id assignment applies their results serially in rule order
-// (phase 3), so ids are deterministic.
+// fills the typed external-key → NodeId table. Queries run concurrently
+// (phase 2); node-id assignment applies their results serially in rule
+// order (phase 3), so ids are deterministic. Key resolution is typed:
+// int64 keys probe the flat table, dictionary keys resolve once per
+// distinct code, and only mixed columns (or the row oracle) touch Values.
 Status ExecuteNodesRules(const rel::Database& db, const dsl::Program& program,
                          const ExtractOptions& options,
-                         ExtractionResult& result,
-                         std::unordered_map<rel::Value, NodeId, rel::ValueHash>&
-                             node_ids) {
+                         ExtractionResult& result, TypedIdMap& node_ids) {
   CondensedStorage& storage = result.storage;
 
   // Phase 1: translate each rule into a DISTINCT projection plan.
@@ -205,20 +492,49 @@ Status ExecuteNodesRules(const rel::Database& db, const dsl::Program& program,
     }
 
     const query::RowsView rows = outs[r].View();
+    EndpointColumn key_col(outs[r], 0);
+    // Dictionary key columns memoize the resolved node id per code.
+    std::vector<int64_t> code_cache;
+    if (key_col.kind() == EndpointColumn::Kind::kDict) {
+      code_cache.assign(key_col.dict().size(), -1);
+    }
     for (size_t ri = 0; ri < rows.NumRows(); ++ri) {
-      rel::Value key = rows.ValueAt(ri, 0);
-      if (key.is_null()) continue;
-      auto [it, inserted] = node_ids.emplace(std::move(key), 0);
-      if (inserted) {
-        it->second = storage.AddRealNode();
+      if (key_col.IsNull(ri)) continue;
+      bool fresh = false;
+      auto alloc = [&] {
+        fresh = true;
+        return storage.AddRealNode();
+      };
+      NodeId id = 0;
+      switch (key_col.kind()) {
+        case EndpointColumn::Kind::kInt64:
+          id = node_ids.ints.GetOrInsert(key_col.Int64(ri), alloc);
+          break;
+        case EndpointColumn::Kind::kDict: {
+          int64_t& c = code_cache[key_col.Code(ri)];
+          if (c < 0) {
+            const std::string& s = key_col.dict().At(key_col.Code(ri));
+            auto it = node_ids.strings.find(std::string_view(s));
+            if (it == node_ids.strings.end()) {
+              it = node_ids.strings.emplace(s, alloc()).first;
+            }
+            c = it->second;
+          }
+          id = static_cast<NodeId>(c);
+          break;
+        }
+        case EndpointColumn::Kind::kValue:
+          id = node_ids.GetOrInsertValue(key_col.ValueAt(ri), alloc);
+          break;
+      }
+      if (fresh) {
         // ToStringAt renders dictionary-encoded keys straight from the
         // dictionary entry (identical text to Value::ToString).
-        storage.properties().SetExternalKey(it->second,
-                                            rows.ToStringAt(ri, 0));
+        storage.properties().SetExternalKey(id, rows.ToStringAt(ri, 0));
       }
       for (size_t i = 1; i < rule.head_args.size(); ++i) {
         storage.properties().Set(
-            it->second, prop_cols[i - 1],
+            id, prop_cols[i - 1],
             rows.IsNullAt(ri, i) ? "" : rows.ToStringAt(ri, i));
       }
     }
@@ -310,34 +626,43 @@ Result<CountPlanParts> BuildCountConstraintPlan(
 
 // GROUP BY (src, dst) HAVING COUNT(aggvar) <op> threshold over the
 // distinct (src, dst, aggvar) bindings; adds a direct edge per passing
-// pair ("co-authored multiple papers together", §1).
-Status ApplyCountConstraint(
-    const query::RowsView& rows, const dsl::AggregateConstraint& agg,
-    const std::unordered_map<rel::Value, NodeId, rel::ValueHash>& node_ids,
-    ExtractionResult& result) {
-  struct PairHash {
-    size_t operator()(const std::pair<NodeId, NodeId>& p) const {
-      return std::hash<uint64_t>{}((static_cast<uint64_t>(p.first) << 32) |
-                                   p.second);
-    }
-  };
-  std::unordered_map<std::pair<NodeId, NodeId>, int64_t, PairHash> counts;
-  for (size_t ri = 0; ri < rows.NumRows(); ++ri) {
-    const rel::Value& sv = rows.ValueAt(ri, 0);
-    const rel::Value& dv = rows.ValueAt(ri, 1);
-    if (sv.is_null() || dv.is_null()) continue;
-    auto src = node_ids.find(sv);
-    auto dst = node_ids.find(dv);
-    if (src == node_ids.end() || dst == node_ids.end()) continue;
-    if (src->second == dst->second) continue;  // self pairs never edges
-    ++counts[{src->second, dst->second}];
+// pair ("co-authored multiple papers together", §1). Edges are emitted in
+// ascending (src, dst) order — the counting map iterates in hash-layout
+// order, which must never leak into the stored adjacency.
+Status ApplyCountConstraint(const ExecOutput& out,
+                            const dsl::AggregateConstraint& agg,
+                            const TypedIdMap& node_ids,
+                            ExtractionResult& result) {
+  EndpointColumn src_col(out, 0);
+  EndpointColumn dst_col(out, 1);
+  RealNodeResolver src(src_col, node_ids);
+  RealNodeResolver dst(dst_col, node_ids);
+  const size_t n = out.NumRows();
+  std::unordered_map<uint64_t, int64_t> counts;  // (src << 32 | dst) → count
+  for (size_t ri = 0; ri < n; ++ri) {
+    if (src_col.IsNull(ri) || dst_col.IsNull(ri)) continue;
+    NodeId s = 0;
+    NodeId d = 0;
+    if (!src.Resolve(ri, &s) || !dst.Resolve(ri, &d)) continue;
+    if (s == d) continue;  // self pairs never edges
+    ++counts[(static_cast<uint64_t>(s) << 32) | d];
   }
+  std::vector<uint64_t> passing;
+  passing.reserve(counts.size());
   for (const auto& [pair, count] : counts) {
-    if (CompareCount(count, agg.op, agg.threshold)) {
-      result.storage.AddEdge(NodeRef::Real(pair.first),
-                             NodeRef::Real(pair.second));
-    }
+    if (CompareCount(count, agg.op, agg.threshold)) passing.push_back(pair);
   }
+  std::sort(passing.begin(), passing.end());
+  // Parity assertion: pairs are unique map keys, so the sorted emission
+  // order must be strictly increasing.
+  assert(std::adjacent_find(passing.begin(), passing.end()) == passing.end());
+  std::vector<std::pair<NodeRef, NodeRef>> batch;
+  batch.reserve(passing.size());
+  for (uint64_t pair : passing) {
+    batch.emplace_back(NodeRef::Real(static_cast<NodeId>(pair >> 32)),
+                       NodeRef::Real(static_cast<NodeId>(pair & 0xffffffffull)));
+  }
+  result.storage.AddEdges(batch);
   return Status::OK();
 }
 
@@ -355,7 +680,7 @@ Result<ExtractionResult> Extract(const rel::Database& db,
                                  const dsl::Program& program,
                                  const ExtractOptions& options) {
   ExtractionResult result;
-  std::unordered_map<rel::Value, NodeId, rel::ValueHash> node_ids;
+  TypedIdMap node_ids;
 
   WallTimer timer;
   GRAPHGEN_RETURN_NOT_OK(
@@ -365,23 +690,20 @@ Result<ExtractionResult> Extract(const rel::Database& db,
   timer.Restart();
 
   // Optional semi-join pushdown: bucket the node keys once; edge-rule
-  // endpoint scans then drop dangling rows inside the query.
+  // endpoint scans then drop dangling rows inside the query. The typed
+  // table is already bucketed the way KeyFilter wants it.
   std::shared_ptr<const query::KeyFilter> node_keys;
   if (options.semi_join_pushdown) {
     auto filter = std::make_shared<query::KeyFilter>();
-    for (const auto& [key, id] : node_ids) {
+    node_ids.ints.ForEach(
+        [&](int64_t k, uint32_t) { filter->ints.insert(k); });
+    for (const auto& [s, id] : node_ids.strings) {
       (void)id;
-      switch (key.type()) {
-        case rel::ValueType::kInt64:
-          filter->ints.insert(key.AsInt64());
-          break;
-        case rel::ValueType::kString:
-          filter->strings.insert(key.AsString());
-          break;
-        default:
-          filter->others.insert(key);
-          break;
-      }
+      filter->strings.insert(s);
+    }
+    for (const auto& [v, id] : node_ids.others) {
+      (void)id;
+      filter->others.insert(v);
     }
     node_keys = std::move(filter);
   }
@@ -428,8 +750,14 @@ Result<ExtractionResult> Extract(const rel::Database& db,
 
   // Phase 3: assemble the condensed graph serially in (rule, segment,
   // row) order — virtual-node numbering and edge order are identical to
-  // a fully serial run.
-  std::unordered_map<VirtualKey, uint32_t, VirtualKeyHash> virtual_ids;
+  // a fully serial run. Endpoint keys stay typed end to end: dictionary
+  // codes and raw int64 keys resolve through flat maps and per-code
+  // caches; no Value is constructed on this loop for typed columns.
+  std::unordered_map<uint64_t, TypedIdMap> virtual_maps;
+  auto boundary_map = [&virtual_maps](size_t rule,
+                                      size_t boundary) -> TypedIdMap& {
+    return virtual_maps[(static_cast<uint64_t>(rule) << 32) | boundary];
+  };
   for (size_t rule_idx = 0; rule_idx < works.size(); ++rule_idx) {
     EdgeRuleWork& work = works[rule_idx];
     if (work.count_plan != nullptr) {
@@ -437,8 +765,8 @@ Result<ExtractionResult> Extract(const rel::Database& db,
       GRAPHGEN_RETURN_NOT_OK(out.status);
       result.rows_scanned += out.NumRows();
       GRAPHGEN_RETURN_NOT_OK(ApplyCountConstraint(
-          out.View(), *program.edges_rules[rule_idx].count_constraint,
-          node_ids, result));
+          out, *program.edges_rules[rule_idx].count_constraint, node_ids,
+          result));
       continue;
     }
 
@@ -451,38 +779,57 @@ Result<ExtractionResult> Extract(const rel::Database& db,
       const bool first = si == 0;
       const bool last = si + 1 == work.segments.size();
 
-      auto virtual_for = [&](size_t boundary,
-                             const rel::Value& value) -> NodeRef {
-        VirtualKey key{rule_idx, boundary, value};
-        auto [it, inserted] = virtual_ids.emplace(key, 0);
-        if (inserted) it->second = result.storage.AddVirtualNode();
-        return NodeRef::Virtual(it->second);
-      };
+      EndpointColumn src_col(out, 0);
+      EndpointColumn dst_col(out, 1);
+      std::optional<RealNodeResolver> src_real;
+      std::optional<VirtualNodeResolver> src_virt;
+      if (first) {
+        src_real.emplace(src_col, node_ids);
+      } else {
+        src_virt.emplace(
+            src_col,
+            boundary_map(rule_idx, work.segments[si - 1].last_atom),
+            result.storage);
+      }
+      std::optional<RealNodeResolver> dst_real;
+      std::optional<VirtualNodeResolver> dst_virt;
+      if (last) {
+        dst_real.emplace(dst_col, node_ids);
+      } else {
+        dst_virt.emplace(dst_col, boundary_map(rule_idx, seg.last_atom),
+                         result.storage);
+      }
 
-      const query::RowsView rows = out.View();
-      for (size_t ri = 0; ri < rows.NumRows(); ++ri) {
-        const rel::Value src = rows.ValueAt(ri, 0);
-        const rel::Value dst = rows.ValueAt(ri, 1);
-        if (src.is_null() || dst.is_null()) continue;
+      const size_t nrows = out.NumRows();
+      std::vector<std::pair<NodeRef, NodeRef>> batch;
+      batch.reserve(nrows);
+      for (size_t ri = 0; ri < nrows; ++ri) {
+        // Both NULL checks come before any virtual-node allocation, and a
+        // dangling src skips the row before dst is resolved — exactly the
+        // legacy order, so numbering never shifts.
+        if (src_col.IsNull(ri) || dst_col.IsNull(ri)) continue;
 
         NodeRef from;
-        NodeRef to;
         if (first) {
-          auto it = node_ids.find(src);
-          if (it == node_ids.end()) continue;  // dangling key: no node
-          from = NodeRef::Real(it->second);
+          NodeId id = 0;
+          if (!src_real->Resolve(ri, &id)) continue;  // dangling key
+          from = NodeRef::Real(id);
         } else {
-          from = virtual_for(work.segments[si - 1].last_atom, src);
+          from = src_virt->Resolve(ri);
         }
+        NodeRef to;
         if (last) {
-          auto it = node_ids.find(dst);
-          if (it == node_ids.end()) continue;
-          to = NodeRef::Real(it->second);
+          NodeId id = 0;
+          if (!dst_real->Resolve(ri, &id)) continue;
+          to = NodeRef::Real(id);
         } else {
-          to = virtual_for(seg.last_atom, dst);
+          to = dst_virt->Resolve(ri);
         }
-        result.storage.AddEdge(from, to);
+        batch.emplace_back(from, to);
       }
+      // Batched append: adjacency lists reserve their exact final size,
+      // edge order identical to per-row AddEdge.
+      result.storage.AddEdges(batch);
     }
   }
   result.edges_seconds = timer.Seconds();

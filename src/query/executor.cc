@@ -4,10 +4,12 @@
 #include <atomic>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/hash.h"
 #include "common/parallel.h"
 
 namespace graphgen::query {
@@ -27,17 +29,12 @@ constexpr size_t kMaxPartitions = 16;
 // Predicate evaluation works column-at-a-time over sub-ranges this size,
 // so every predicate's pass over a morsel stays in cache.
 constexpr size_t kScanMorselRows = 1 << 11;
-
-// SplitMix64 finalizer: cheap, well-mixed hash for raw int64 join keys and
-// dictionary codes. Output row order never depends on the hash function
-// (probe order and ascending-build-row buckets fix it), so the typed
-// engine is free to hash differently from Value::Hash.
-inline uint64_t MixInt64(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
+// The fused join→DISTINCT pipeline buffers probe matches in morsels of
+// this many tuples, then batch-hashes and batch-inserts each morsel in
+// tight per-phase loops: the bounded buffer stays in L1/L2 and the hash
+// pass pipelines like the unfused operator's, while the join's full
+// output is still never materialized.
+constexpr size_t kFusedMorselRows = 1 << 15;
 
 // Combines hashes of projected row values (FNV-style mix).
 struct RowHash {
@@ -212,9 +209,30 @@ CompiledPredicate CompilePredicate(const ColumnVector& col,
 
 void CompiledPredicate::Apply(size_t begin, size_t end, uint8_t* keep) const {
   const uint8_t* nulls = col->NullMask();
-  // AND-accumulates `match(i)` into keep over [begin, end), with the
-  // hoisted NULL verdict applied first.
+  // AND-accumulates `match(i)` into keep over [begin, end) as straight
+  // byte arithmetic: no branch on keep, no branch on NULL. Typed arrays
+  // hold a zero placeholder at null positions, so match(i) is always safe
+  // (and cheap) to evaluate, and the loop body reduces to compares + byte
+  // ANDs the compiler can vectorize.
   auto run = [&](auto match) {
+    if (nulls == nullptr) {
+      for (size_t i = begin; i < end; ++i) {
+        keep[i] &= static_cast<uint8_t>(match(i));
+      }
+      return;
+    }
+    const uint8_t nm = null_match ? 1 : 0;
+    for (size_t i = begin; i < end; ++i) {
+      const uint8_t nn = static_cast<uint8_t>(nulls[i] != 0);
+      keep[i] &= static_cast<uint8_t>(
+          (nn & nm) |
+          (static_cast<uint8_t>(nn ^ 1) & static_cast<uint8_t>(match(i))));
+    }
+  };
+  // The generic kind materializes a Value per cell — far too expensive to
+  // evaluate on rows other predicates already dropped, so it alone keeps
+  // the per-row guard.
+  auto run_guarded = [&](auto match) {
     for (size_t i = begin; i < end; ++i) {
       if (keep[i] == 0) continue;
       const bool m =
@@ -284,7 +302,8 @@ void CompiledPredicate::Apply(size_t begin, size_t end, uint8_t* keep) const {
       return;
     }
     case Kind::kGeneric:
-      run([&](size_t i) { return pred->MatchesValue(col->ValueAt(i)); });
+      run_guarded(
+          [&](size_t i) { return pred->MatchesValue(col->ValueAt(i)); });
       return;
   }
 }
@@ -298,6 +317,9 @@ struct CompiledSemiJoin {
 
   void Apply(size_t begin, size_t end, uint8_t* keep) const {
     const uint8_t* nulls = col->NullMask();
+    // Hash-set membership probes are too costly to run on rows already
+    // dropped, so those paths keep the per-row guard; the dictionary path
+    // is a flat per-code table read and runs branch-light.
     auto run = [&](auto match) {
       for (size_t i = begin; i < end; ++i) {
         if (keep[i] == 0) continue;
@@ -307,7 +329,7 @@ struct CompiledSemiJoin {
     };
     switch (col->encoding()) {
       case Encoding::kEmpty:
-        run([&](size_t) { return false; });
+        std::fill(keep + begin, keep + end, uint8_t{0});
         return;
       case Encoding::kInt64: {
         const int64_t* data = col->Int64Data();
@@ -315,8 +337,21 @@ struct CompiledSemiJoin {
         return;
       }
       case Encoding::kDictString: {
+        // NULL placeholders store code 0; masking the code verdict with
+        // the null byte keeps the loop free of per-row branches.
         const uint32_t* codes = col->CodeData();
-        run([&](size_t i) { return code_match[codes[i]] != 0; });
+        if (nulls == nullptr) {
+          for (size_t i = begin; i < end; ++i) {
+            keep[i] &= code_match[codes[i]];
+          }
+        } else {
+          for (size_t i = begin; i < end; ++i) {
+            const uint8_t nn = static_cast<uint8_t>(nulls[i] != 0);
+            keep[i] &=
+                static_cast<uint8_t>(static_cast<uint8_t>(nn ^ 1) &
+                                     code_match[codes[i]]);
+          }
+        }
         return;
       }
       case Encoding::kDouble: {
@@ -368,6 +403,7 @@ struct FlatChainTable {
   std::vector<int64_t> hash;  // per slot, cached full hash
   std::vector<int32_t> head;  // per slot, first build row or -1 (empty)
   std::vector<int32_t> tail;  // per slot, last build row of the chain
+  std::vector<uint32_t> count;  // per slot, chain length (match estimates)
   int32_t* next = nullptr;    // shared: per build row, next equal-key row
   uint64_t mask = 0;
 
@@ -378,6 +414,7 @@ struct FlatChainTable {
     hash.resize(cap);
     head.assign(cap, -1);
     tail.resize(cap);
+    count.assign(cap, 0);
     next = shared_next;
   }
 
@@ -389,12 +426,14 @@ struct FlatChainTable {
         hash[pos] = static_cast<int64_t>(h);
         head[pos] = static_cast<int32_t>(row);
         tail[pos] = static_cast<int32_t>(row);
+        count[pos] = 1;
         next[row] = -1;
         return;
       }
       if (hash[pos] == static_cast<int64_t>(h) && keys[pos] == k) {
         next[tail[pos]] = static_cast<int32_t>(row);
         tail[pos] = static_cast<int32_t>(row);
+        ++count[pos];
         next[row] = -1;
         return;
       }
@@ -409,6 +448,18 @@ struct FlatChainTable {
       if (head[pos] < 0) return -1;
       if (hash[pos] == static_cast<int64_t>(h) && keys[pos] == k) {
         return head[pos];
+      }
+      pos = (pos + 1) & mask;
+    }
+  }
+
+  // Number of build rows with key k (0 when absent).
+  uint32_t CountFor(const Key& k, uint64_t h) const {
+    size_t pos = h & mask;
+    for (;;) {
+      if (head[pos] < 0) return 0;
+      if (hash[pos] == static_cast<int64_t>(h) && keys[pos] == k) {
+        return count[pos];
       }
       pos = (pos + 1) & mask;
     }
@@ -541,6 +592,266 @@ class FlatDistinctSet {
   uint64_t mask_ = 0;
 };
 
+// ------------------------------------------- fused join→DISTINCT kernel
+
+// Projected-key hash of one (concatenated) row-id tuple — the same
+// FNV-combine + avalanche the unfused DISTINCT uses.
+uint64_t DistinctHash(const std::vector<DistinctCol>& cols,
+                      const uint32_t* tup) {
+  uint64_t h = 1469598103934665603ull;
+  for (const DistinctCol& c : cols) {
+    h ^= c.Hash(tup[c.slot]);
+    h *= 1099511628211ull;
+  }
+  return MixInt64(h);
+}
+
+// Open-addressing first-occurrence set that *stores* surviving tuples:
+// the fused pipeline offers every probe match as a candidate concatenated
+// row-id tuple, and only first occurrences are retained — the join's full
+// output is never materialized anywhere. Hashing and equality run on the
+// projected typed base columns exactly like the unfused DISTINCT kernel.
+// The slot table is presized for the exact offer count (survivors can
+// never exceed offers), so Insert carries no load-factor check, and
+// ReserveBatch makes room for one morsel of potential survivors up front
+// so the insert loop writes raw arrays instead of re-checking vector
+// capacity per element.
+class FusedDistinctSet {
+ public:
+  // `expected` is the number of candidates that will be offered (the
+  // range's match count, from the join build's chain lengths) — the same
+  // presize guarantee the unfused DISTINCT gets from its materialized
+  // input's length.
+  FusedDistinctSet(size_t width, const std::vector<DistinctCol>& cols,
+                   size_t expected)
+      : width_(width), cols_(cols) {
+    const size_t cap = PowerOfTwoCapacity(expected);
+    slots_.assign(cap, kEmptySlot);
+    mask_ = cap - 1;
+  }
+
+  // Guarantees room for `n` more survivors; call before a batch of at
+  // most `n` Insert offers. Survivor storage is raw geometric buffers —
+  // no value-initialization, no per-element capacity checks in Insert.
+  void ReserveBatch(size_t n) {
+    if (size_ + n > cap_) {
+      const size_t cap = std::max(cap_ * 2, size_ + n);
+      auto tuples = std::make_unique_for_overwrite<uint32_t[]>(cap * width_);
+      auto hashes = std::make_unique_for_overwrite<uint64_t[]>(cap);
+      std::copy(tuples_.get(), tuples_.get() + size_ * width_, tuples.get());
+      std::copy(hashes_.get(), hashes_.get() + size_, hashes.get());
+      tuples_ = std::move(tuples);
+      hashes_ = std::move(hashes);
+      cap_ = cap;
+    }
+  }
+
+  // True if the candidate's projected key is unseen; the tuple is then
+  // retained (survivors keep their offer order). Requires ReserveBatch.
+  bool Insert(const uint32_t* tup, uint64_t h) {
+    size_t pos = h & mask_;
+    for (;;) {
+      const uint32_t s = slots_[pos];
+      if (s == kEmptySlot) {
+        slots_[pos] = static_cast<uint32_t>(size_);
+        uint32_t* dst = tuples_.get() + size_ * width_;
+        for (size_t j = 0; j < width_; ++j) dst[j] = tup[j];
+        hashes_[size_] = h;
+        ++size_;
+        return true;
+      }
+      if (hashes_[s] == h &&
+          Equal(tuples_.get() + static_cast<size_t>(s) * width_, tup)) {
+        return false;
+      }
+      pos = (pos + 1) & mask_;
+    }
+  }
+
+  size_t size() const { return size_; }
+  // Survivor tuples in offer order, size() rows of width() ids.
+  const uint32_t* tuples() const { return tuples_.get(); }
+  const uint64_t* hashes() const { return hashes_.get(); }
+
+ private:
+  static constexpr uint32_t kEmptySlot = 0xffffffffu;
+
+  bool Equal(const uint32_t* a, const uint32_t* b) const {
+    for (const DistinctCol& c : cols_) {
+      if (!c.Equal(a[c.slot], b[c.slot])) return false;
+    }
+    return true;
+  }
+
+  size_t width_;
+  const std::vector<DistinctCol>& cols_;
+  std::vector<uint32_t> slots_;
+  uint64_t mask_ = 0;
+  size_t size_ = 0;
+  size_t cap_ = 0;
+  std::unique_ptr<uint32_t[]> tuples_;  // survivor tuples, width_ ids each
+  std::unique_ptr<uint64_t[]> hashes_;  // survivor projected-key hashes
+};
+
+// The build phase of the partitioned hash join, shared by the
+// materializing join and the fused join→DISTINCT pipeline: typed keys and
+// hashes are precomputed in parallel, then P flat per-partition tables are
+// built over build rows in ascending order (per-key chains stay ascending,
+// which is what makes probe output order the serial order).
+template <typename Key>
+struct JoinBuild {
+  std::vector<uint64_t> bhash;
+  std::vector<uint8_t> bnull;
+  std::vector<Key> bkeys;
+  std::vector<int32_t> chain_next;
+  std::vector<FlatChainTable<Key>> tables;
+  size_t partitions = 1;
+};
+
+template <typename Key, typename HashFn, typename BuildKeyFn>
+JoinBuild<Key> BuildJoinTables(size_t bn, size_t threads, HashFn hash,
+                               BuildKeyFn bkey) {
+  JoinBuild<Key> jb;
+  jb.bhash.resize(bn);
+  jb.bnull.resize(bn);
+  jb.bkeys.resize(bn);
+  ParallelFor(
+      bn,
+      [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          Key k{};
+          if (bkey(i, &k)) {
+            jb.bkeys[i] = std::move(k);
+            jb.bhash[i] = hash(jb.bkeys[i]);
+            jb.bnull[i] = 0;
+          } else {
+            jb.bnull[i] = 1;
+          }
+        }
+      },
+      threads);
+
+  jb.partitions = (threads > 1 && bn >= kPartitionedBuildThreshold)
+                      ? std::min(threads, kMaxPartitions)
+                      : 1;
+  std::vector<size_t> partition_rows(jb.partitions, 0);
+  if (jb.partitions == 1) {
+    for (size_t i = 0; i < bn; ++i) {
+      if (jb.bnull[i] == 0) ++partition_rows[0];
+    }
+  } else {
+    for (size_t i = 0; i < bn; ++i) {
+      if (jb.bnull[i] == 0) ++partition_rows[jb.bhash[i] % jb.partitions];
+    }
+  }
+  jb.chain_next.resize(bn);
+  jb.tables.resize(jb.partitions);
+  ParallelInvoke(jb.partitions, [&](size_t p) {
+    FlatChainTable<Key>& ht = jb.tables[p];
+    ht.Init(partition_rows[p], jb.chain_next.data());
+    for (size_t i = 0; i < bn; ++i) {
+      if (jb.bnull[i] != 0 || jb.bhash[i] % jb.partitions != p) continue;
+      ht.Insert(jb.bkeys[i], jb.bhash[i], static_cast<uint32_t>(i));
+    }
+  });
+  return jb;
+}
+
+// Total number of join matches a probe range will emit, from the build
+// chains' cached lengths — O(range rows), no chain walking.
+template <typename Key, typename HashFn, typename ProbeKeyFn>
+size_t CountJoinRange(const JoinBuild<Key>& jb, IndexRange range, HashFn hash,
+                      ProbeKeyFn pkey) {
+  size_t expected = 0;
+  for (size_t pr = range.begin; pr < range.end; ++pr) {
+    Key k{};
+    if (!pkey(pr, &k)) continue;
+    const uint64_t h = hash(k);
+    expected += jb.tables[h % jb.partitions].CountFor(k, h);
+  }
+  return expected;
+}
+
+// Materializes one probe range's matches as concatenated (left, right)
+// row-id tuples in serial probe order.
+template <typename Key, typename HashFn, typename ProbeKeyFn>
+void EmitJoinRange(const JoinBuild<Key>& jb, IndexRange range, HashFn hash,
+                   ProbeKeyFn pkey, const RowIdResult& build,
+                   const RowIdResult& probe, bool build_left, size_t lw,
+                   size_t rw, std::vector<uint32_t>& buf) {
+  const size_t bw = build_left ? lw : rw;
+  const size_t pw = build_left ? rw : lw;
+  for (size_t pr = range.begin; pr < range.end; ++pr) {
+    Key k{};
+    if (!pkey(pr, &k)) continue;
+    const uint64_t h = hash(k);
+    const FlatChainTable<Key>& ht = jb.tables[h % jb.partitions];
+    int32_t bi = ht.Find(k, h);
+    if (bi < 0) continue;
+    const uint32_t* ptup = &probe.tuples[pr * pw];
+    for (; bi >= 0; bi = ht.next[bi]) {
+      const uint32_t* btup = &build.tuples[static_cast<size_t>(bi) * bw];
+      const uint32_t* ltup = build_left ? btup : ptup;
+      const uint32_t* rtup = build_left ? ptup : btup;
+      buf.insert(buf.end(), ltup, ltup + lw);
+      buf.insert(buf.end(), rtup, rtup + rw);
+    }
+  }
+}
+
+// One probe range of the fused join→DISTINCT pipeline: walks the range's
+// chains exactly like ProbeJoinRange, buffers matches in a bounded morsel
+// (flushed at probe-row boundaries so the chain walk carries no extra
+// branch), and batch-hashes + batch-offers each morsel to the range-local
+// first-occurrence set. A free function so `hash`/`pkey` land in
+// registers, matching the materializing probe's code shape.
+template <typename Key, typename HashFn, typename ProbeKeyFn>
+void FuseJoinRange(const JoinBuild<Key>& jb, IndexRange range, HashFn hash,
+                   ProbeKeyFn pkey, const RowIdResult& build,
+                   const RowIdResult& probe, bool build_left, size_t lw,
+                   size_t rw, const std::vector<DistinctCol>& cols,
+                   FusedDistinctSet& local) {
+  const size_t w = lw + rw;
+  const size_t bw = build_left ? lw : rw;
+  const size_t pw = build_left ? rw : lw;
+  std::vector<uint32_t> morsel;
+  morsel.reserve(2 * kFusedMorselRows * w);
+  std::vector<uint64_t> mhashes(2 * kFusedMorselRows);
+  auto flush = [&] {
+    const size_t m = morsel.size() / w;
+    if (mhashes.size() < m) mhashes.resize(m);
+    for (size_t i = 0; i < m; ++i) {
+      mhashes[i] = DistinctHash(cols, &morsel[i * w]);
+    }
+    local.ReserveBatch(m);
+    for (size_t i = 0; i < m; ++i) {
+      local.Insert(&morsel[i * w], mhashes[i]);
+    }
+    morsel.clear();
+  };
+  for (size_t pr = range.begin; pr < range.end; ++pr) {
+    Key k{};
+    if (!pkey(pr, &k)) continue;
+    const uint64_t h = hash(k);
+    const FlatChainTable<Key>& ht = jb.tables[h % jb.partitions];
+    int32_t bi = ht.Find(k, h);
+    if (bi < 0) continue;
+    const uint32_t* ptup = &probe.tuples[pr * pw];
+    for (; bi >= 0; bi = ht.next[bi]) {
+      const uint32_t* btup = &build.tuples[static_cast<size_t>(bi) * bw];
+      const uint32_t* ltup = build_left ? btup : ptup;
+      const uint32_t* rtup = build_left ? ptup : btup;
+      morsel.insert(morsel.end(), ltup, ltup + lw);
+      morsel.insert(morsel.end(), rtup, rtup + rw);
+    }
+    // A single row's chain may overshoot the morsel target; it is bounded
+    // by the build side and the unfused join would have materialized it
+    // whole anyway.
+    if (morsel.size() >= kFusedMorselRows * w) flush();
+  }
+  flush();
+}
+
 // Partitioned hash join over typed keys. `bkey`/`pkey` extract the key of
 // a build/probe row (returning false for NULL — NULL joins nothing), and
 // `hash` mixes it. Output row order is the serial probe order for every
@@ -556,55 +867,12 @@ std::vector<uint32_t> PartitionedJoin(const RowIdResult& left,
                                       ProbeKeyFn pkey) {
   const RowIdResult& build = build_left ? left : right;
   const RowIdResult& probe = build_left ? right : left;
-  const size_t bn = build.NumRows();
   const size_t pn = probe.NumRows();
   const size_t lw = left.Width();
   const size_t rw = right.Width();
 
-  // Precompute build keys and hashes (parallel), then build P flat
-  // per-partition tables keyed by hash % P.
-  std::vector<uint64_t> bhash(bn);
-  std::vector<uint8_t> bnull(bn);
-  std::vector<Key> bkeys(bn);
-  ParallelFor(
-      bn,
-      [&](size_t begin, size_t end) {
-        for (size_t i = begin; i < end; ++i) {
-          Key k{};
-          if (bkey(i, &k)) {
-            bkeys[i] = std::move(k);
-            bhash[i] = hash(bkeys[i]);
-            bnull[i] = 0;
-          } else {
-            bnull[i] = 1;
-          }
-        }
-      },
-      threads);
-
-  const size_t partitions = (threads > 1 && bn >= kPartitionedBuildThreshold)
-                                ? std::min(threads, kMaxPartitions)
-                                : 1;
-  std::vector<size_t> partition_rows(partitions, 0);
-  if (partitions == 1) {
-    for (size_t i = 0; i < bn; ++i) {
-      if (bnull[i] == 0) ++partition_rows[0];
-    }
-  } else {
-    for (size_t i = 0; i < bn; ++i) {
-      if (bnull[i] == 0) ++partition_rows[bhash[i] % partitions];
-    }
-  }
-  std::vector<int32_t> chain_next(bn);
-  std::vector<FlatChainTable<Key>> tables(partitions);
-  ParallelInvoke(partitions, [&](size_t p) {
-    FlatChainTable<Key>& ht = tables[p];
-    ht.Init(partition_rows[p], chain_next.data());
-    for (size_t i = 0; i < bn; ++i) {
-      if (bnull[i] != 0 || bhash[i] % partitions != p) continue;
-      ht.Insert(bkeys[i], bhash[i], static_cast<uint32_t>(i));
-    }
-  });
+  JoinBuild<Key> jb = BuildJoinTables<Key>(build.NumRows(), threads, hash,
+                                           bkey);
 
   // Probe in contiguous ranges; each range emits matches in probe-row
   // order into its own buffer and buffers concatenate in range order.
@@ -613,25 +881,8 @@ std::vector<uint32_t> PartitionedJoin(const RowIdResult& left,
   std::vector<IndexRange> ranges = EqualRanges(pn, probe_ways);
   std::vector<std::vector<uint32_t>> parts(ranges.size());
   ParallelInvoke(ranges.size(), [&](size_t t) {
-    std::vector<uint32_t>& buf = parts[t];
-    for (size_t pr = ranges[t].begin; pr < ranges[t].end; ++pr) {
-      Key k{};
-      if (!pkey(pr, &k)) continue;
-      const uint64_t h = hash(k);
-      const FlatChainTable<Key>& ht = tables[h % partitions];
-      int32_t bi = ht.Find(k, h);
-      if (bi < 0) continue;
-      const uint32_t* ptup =
-          &probe.tuples[pr * (build_left ? rw : lw)];
-      for (; bi >= 0; bi = ht.next[bi]) {
-        const uint32_t* btup =
-            &build.tuples[static_cast<size_t>(bi) * (build_left ? lw : rw)];
-        const uint32_t* ltup = build_left ? btup : ptup;
-        const uint32_t* rtup = build_left ? ptup : btup;
-        buf.insert(buf.end(), ltup, ltup + lw);
-        buf.insert(buf.end(), rtup, rtup + rw);
-      }
-    }
+    EmitJoinRange(jb, ranges[t], hash, pkey, build, probe, build_left, lw,
+                  rw, parts[t]);
   });
   size_t total = 0;
   for (const auto& buf : parts) total += buf.size();
@@ -641,6 +892,129 @@ std::vector<uint32_t> PartitionedJoin(const RowIdResult& left,
     tuples.insert(tuples.end(), buf.begin(), buf.end());
   }
   return tuples;
+}
+
+// Encoding-specialized key extraction for a hash join, shared by the
+// materializing join and the fused join→DISTINCT. Invokes
+// run(KeyTag<Key>{}, hash, bkey, pkey) with lambdas specialized for the
+// key column pair, or returns false (without invoking run) when the
+// encodings make the join provably empty: Value equality never crosses
+// int64/double/string, so differently typed (non-mixed) key columns
+// cannot match, and an all-NULL column joins nothing.
+template <typename T>
+struct KeyTag {
+  using type = T;
+};
+
+template <typename Run>
+bool WithTypedJoinKeys(const RowIdResult& build, const RowIdResult& probe,
+                       const BoundColumn& bcol, const BoundColumn& pcol,
+                       Run run) {
+  const Encoding be = bcol.col->encoding();
+  const Encoding pe = pcol.col->encoding();
+  const bool impossible = be == Encoding::kEmpty || pe == Encoding::kEmpty ||
+                          (be != pe && be != Encoding::kMixed &&
+                           pe != Encoding::kMixed);
+  if (impossible) return false;
+
+  if (be == Encoding::kInt64 && pe == Encoding::kInt64) {
+    // int64-specialized kernel: raw key arrays, no Value, no Value::Hash.
+    const ColumnVector& bc = *bcol.col;
+    const ColumnVector& pc = *pcol.col;
+    run(KeyTag<int64_t>{},
+        [](int64_t k) { return MixInt64(static_cast<uint64_t>(k)); },
+        [&](size_t i, int64_t* k) {
+          const size_t id = build.RowId(bcol, i);
+          if (bc.IsNull(id)) return false;
+          *k = bc.Int64At(id);
+          return true;
+        },
+        [&](size_t i, int64_t* k) {
+          const size_t id = probe.RowId(pcol, i);
+          if (pc.IsNull(id)) return false;
+          *k = pc.Int64At(id);
+          return true;
+        });
+    return true;
+  }
+
+  if (be == Encoding::kDouble && pe == Encoding::kDouble) {
+    const ColumnVector& bc = *bcol.col;
+    const ColumnVector& pc = *pcol.col;
+    run(KeyTag<double>{}, [](double k) { return std::hash<double>{}(k); },
+        [&](size_t i, double* k) {
+          const size_t id = build.RowId(bcol, i);
+          if (bc.IsNull(id)) return false;
+          *k = bc.DoubleAt(id);
+          return true;
+        },
+        [&](size_t i, double* k) {
+          const size_t id = probe.RowId(pcol, i);
+          if (pc.IsNull(id)) return false;
+          *k = pc.DoubleAt(id);
+          return true;
+        });
+    return true;
+  }
+
+  if (be == Encoding::kDictString && pe == Encoding::kDictString) {
+    // Dictionary kernel: join on build-side codes. Both dictionaries are
+    // deduplicated, so "strings equal" <=> "codes equal after translating
+    // probe codes into the build dictionary" — one string lookup per
+    // distinct probe value, zero per row.
+    const ColumnVector& bc = *bcol.col;
+    const ColumnVector& pc = *pcol.col;
+    const rel::StringDictionary& bd = bc.dict();
+    const rel::StringDictionary& pd = pc.dict();
+    const bool same_dict = &bd == &pd;
+    std::vector<int64_t> trans;
+    if (!same_dict) {
+      trans.resize(pd.size());
+      for (uint32_t code = 0; code < pd.size(); ++code) {
+        std::optional<uint32_t> t = bd.Find(pd.At(code));
+        trans[code] = t.has_value() ? static_cast<int64_t>(*t) : -1;
+      }
+    }
+    run(KeyTag<uint32_t>{}, [](uint32_t k) { return MixInt64(k); },
+        [&](size_t i, uint32_t* k) {
+          const size_t id = build.RowId(bcol, i);
+          if (bc.IsNull(id)) return false;
+          *k = bc.CodeAt(id);
+          return true;
+        },
+        [&](size_t i, uint32_t* k) {
+          const size_t id = probe.RowId(pcol, i);
+          if (pc.IsNull(id)) return false;
+          const uint32_t code = pc.CodeAt(id);
+          if (same_dict) {
+            *k = code;
+            return true;
+          }
+          const int64_t t = trans[code];
+          if (t < 0) return false;
+          *k = static_cast<uint32_t>(t);
+          return true;
+        });
+    return true;
+  }
+
+  // Generic fallback (a mixed-encoding key column): owned Value keys with
+  // Value hashing/equality, same partitioned structure.
+  run(KeyTag<rel::Value>{},
+      [](const rel::Value& k) { return k.Hash(); },
+      [&](size_t i, rel::Value* k) {
+        rel::Value v = bcol.col->ValueAt(build.RowId(bcol, i));
+        if (v.is_null()) return false;
+        *k = std::move(v);
+        return true;
+      },
+      [&](size_t i, rel::Value* k) {
+        rel::Value v = pcol.col->ValueAt(probe.RowId(pcol, i));
+        if (v.is_null()) return false;
+        *k = std::move(v);
+        return true;
+      });
+  return true;
 }
 
 }  // namespace
@@ -763,162 +1137,212 @@ Result<RowIdResult> Executor::ScanColumnar(const ScanNode& node) const {
   return out;
 }
 
-Result<RowIdResult> Executor::JoinColumnar(const HashJoinNode& node) const {
-  GRAPHGEN_ASSIGN_OR_RETURN(RowIdResult left, ExecuteColumnar(node.left()));
-  GRAPHGEN_ASSIGN_OR_RETURN(RowIdResult right, ExecuteColumnar(node.right()));
+namespace {
+
+// Shared setup of a hash join whose children have executed: validates the
+// key columns, picks the build side (smaller input — the same heuristic
+// as the row engine, so both engines emit identical row order), guards
+// the int32 chain indices, and assembles the join's output metadata
+// (concatenated sources/bindings + qualified schema) into *joined with
+// tuples left empty. Used by the materializing join and the fused
+// join→DISTINCT so their setups cannot drift apart.
+struct JoinSides {
+  bool build_left = false;
+  size_t build_col = 0;
+  size_t probe_col = 0;
+};
+
+Result<JoinSides> PrepareJoin(const HashJoinNode& node,
+                              const RowIdResult& left,
+                              const RowIdResult& right, RowIdResult* joined) {
   if (node.left_col() >= left.schema.NumColumns() ||
       node.right_col() >= right.schema.NumColumns()) {
     return Status::PlanError("join column out of range");
   }
-
-  // Build on the smaller side (same heuristic as the row engine, so both
-  // engines emit identical row order).
-  const bool build_left = left.NumRows() <= right.NumRows();
-  const RowIdResult& build = build_left ? left : right;
-  const RowIdResult& probe = build_left ? right : left;
-  const size_t build_col = build_left ? node.left_col() : node.right_col();
-  const size_t probe_col = build_left ? node.right_col() : node.left_col();
+  JoinSides sides;
+  sides.build_left = left.NumRows() <= right.NumRows();
+  sides.build_col = sides.build_left ? node.left_col() : node.right_col();
+  sides.probe_col = sides.build_left ? node.right_col() : node.left_col();
   // FlatChainTable chains build rows through int32 indices.
-  if (build.NumRows() > std::numeric_limits<int32_t>::max()) {
+  if ((sides.build_left ? left : right).NumRows() >
+      std::numeric_limits<int32_t>::max()) {
     return Status::Unsupported("join build side exceeds 2^31 rows");
   }
-
-  RowIdResult out;
-  out.sources = left.sources;
-  out.sources.insert(out.sources.end(), right.sources.begin(),
-                     right.sources.end());
+  joined->sources = left.sources;
+  joined->sources.insert(joined->sources.end(), right.sources.begin(),
+                         right.sources.end());
   const size_t lw = left.Width();
-  out.columns = left.columns;
+  joined->columns = left.columns;
   for (const ColumnBinding& b : right.columns) {
-    out.columns.push_back({static_cast<uint32_t>(b.source + lw), b.column});
+    joined->columns.push_back(
+        {static_cast<uint32_t>(b.source + lw), b.column});
   }
   JoinOutputSchema(left.schema, left.origins, right.schema, right.origins,
-                   &out.schema, &out.origins);
+                   &joined->schema, &joined->origins);
+  return sides;
+}
 
-  const BoundColumn bcol = build.Bind(build_col);
-  const BoundColumn pcol = probe.Bind(probe_col);
-  const Encoding be = bcol.col->encoding();
-  const Encoding pe = pcol.col->encoding();
+}  // namespace
+
+Result<RowIdResult> Executor::JoinColumnar(const HashJoinNode& node) const {
+  GRAPHGEN_ASSIGN_OR_RETURN(RowIdResult left, ExecuteColumnar(node.left()));
+  GRAPHGEN_ASSIGN_OR_RETURN(RowIdResult right, ExecuteColumnar(node.right()));
+  RowIdResult out;
+  GRAPHGEN_ASSIGN_OR_RETURN(JoinSides sides,
+                            PrepareJoin(node, left, right, &out));
+  const RowIdResult& build = sides.build_left ? left : right;
+  const RowIdResult& probe = sides.build_left ? right : left;
+  const BoundColumn bcol = build.Bind(sides.build_col);
+  const BoundColumn pcol = probe.Bind(sides.probe_col);
   const size_t threads = options_.threads;
 
-  // Value equality never crosses int64/double/string, so two differently
-  // typed (non-mixed) key columns cannot match at all; an all-NULL column
-  // joins nothing. Only a mixed column needs the generic Value kernel.
-  const bool impossible = be == Encoding::kEmpty || pe == Encoding::kEmpty ||
-                          (be != pe && be != Encoding::kMixed &&
-                           pe != Encoding::kMixed);
-  if (impossible) {
-    return out;  // empty tuples, correct schema/bindings
-  }
-
-  if (be == Encoding::kInt64 && pe == Encoding::kInt64) {
-    // int64-specialized kernel: raw key arrays, no Value, no Value::Hash.
-    const ColumnVector& bc = *bcol.col;
-    const ColumnVector& pc = *pcol.col;
-    out.tuples = PartitionedJoin<int64_t>(
-        left, right, build_left, threads,
-        [](int64_t k) { return MixInt64(static_cast<uint64_t>(k)); },
-        [&](size_t i, int64_t* k) {
-          const size_t id = build.RowId(bcol, i);
-          if (bc.IsNull(id)) return false;
-          *k = bc.Int64At(id);
-          return true;
-        },
-        [&](size_t i, int64_t* k) {
-          const size_t id = probe.RowId(pcol, i);
-          if (pc.IsNull(id)) return false;
-          *k = pc.Int64At(id);
-          return true;
-        });
-    return out;
-  }
-
-  if (be == Encoding::kDouble && pe == Encoding::kDouble) {
-    const ColumnVector& bc = *bcol.col;
-    const ColumnVector& pc = *pcol.col;
-    out.tuples = PartitionedJoin<double>(
-        left, right, build_left, threads,
-        [](double k) { return std::hash<double>{}(k); },
-        [&](size_t i, double* k) {
-          const size_t id = build.RowId(bcol, i);
-          if (bc.IsNull(id)) return false;
-          *k = bc.DoubleAt(id);
-          return true;
-        },
-        [&](size_t i, double* k) {
-          const size_t id = probe.RowId(pcol, i);
-          if (pc.IsNull(id)) return false;
-          *k = pc.DoubleAt(id);
-          return true;
-        });
-    return out;
-  }
-
-  if (be == Encoding::kDictString && pe == Encoding::kDictString) {
-    // Dictionary kernel: join on build-side codes. Both dictionaries are
-    // deduplicated, so "strings equal" <=> "codes equal after translating
-    // probe codes into the build dictionary" — one string lookup per
-    // distinct probe value, zero per row.
-    const ColumnVector& bc = *bcol.col;
-    const ColumnVector& pc = *pcol.col;
-    const rel::StringDictionary& bd = bc.dict();
-    const rel::StringDictionary& pd = pc.dict();
-    const bool same_dict = &bd == &pd;
-    std::vector<int64_t> trans;
-    if (!same_dict) {
-      trans.resize(pd.size());
-      for (uint32_t code = 0; code < pd.size(); ++code) {
-        std::optional<uint32_t> t = bd.Find(pd.At(code));
-        trans[code] = t.has_value() ? static_cast<int64_t>(*t) : -1;
-      }
-    }
-    out.tuples = PartitionedJoin<uint32_t>(
-        left, right, build_left, threads,
-        [](uint32_t k) { return MixInt64(k); },
-        [&](size_t i, uint32_t* k) {
-          const size_t id = build.RowId(bcol, i);
-          if (bc.IsNull(id)) return false;
-          *k = bc.CodeAt(id);
-          return true;
-        },
-        [&](size_t i, uint32_t* k) {
-          const size_t id = probe.RowId(pcol, i);
-          if (pc.IsNull(id)) return false;
-          const uint32_t code = pc.CodeAt(id);
-          if (same_dict) {
-            *k = code;
-            return true;
-          }
-          const int64_t t = trans[code];
-          if (t < 0) return false;
-          *k = static_cast<uint32_t>(t);
-          return true;
-        });
-    return out;
-  }
-
-  // Generic fallback (a mixed-encoding key column): owned Value keys with
-  // Value hashing/equality, same partitioned structure.
-  out.tuples = PartitionedJoin<rel::Value>(
-      left, right, build_left, threads,
-      [](const rel::Value& k) { return k.Hash(); },
-      [&](size_t i, rel::Value* k) {
-        rel::Value v = bcol.col->ValueAt(build.RowId(bcol, i));
-        if (v.is_null()) return false;
-        *k = std::move(v);
-        return true;
-      },
-      [&](size_t i, rel::Value* k) {
-        rel::Value v = pcol.col->ValueAt(probe.RowId(pcol, i));
-        if (v.is_null()) return false;
-        *k = std::move(v);
-        return true;
+  // An impossible key-encoding pair (WithTypedJoinKeys returns false)
+  // leaves tuples empty — correct schema/bindings, no rows.
+  WithTypedJoinKeys(
+      build, probe, bcol, pcol,
+      [&](auto tag, auto hash, auto bkey, auto pkey) {
+        using Key = typename decltype(tag)::type;
+        out.tuples = PartitionedJoin<Key>(left, right, sides.build_left,
+                                          threads, hash, bkey, pkey);
       });
   return out;
 }
 
+Result<RowIdResult> Executor::JoinDistinctColumnar(
+    const ProjectNode& node, const HashJoinNode& join) const {
+  GRAPHGEN_ASSIGN_OR_RETURN(RowIdResult left, ExecuteColumnar(join.left()));
+  GRAPHGEN_ASSIGN_OR_RETURN(RowIdResult right, ExecuteColumnar(join.right()));
+  // The join initially contributes only its output *metadata* (sources,
+  // bindings, qualified schema); whether its tuple vector is ever built
+  // is the fusion decision below.
+  RowIdResult joined;
+  GRAPHGEN_ASSIGN_OR_RETURN(JoinSides sides,
+                            PrepareJoin(join, left, right, &joined));
+  const bool build_left = sides.build_left;
+  const RowIdResult& build = build_left ? left : right;
+  const RowIdResult& probe = build_left ? right : left;
+  const size_t lw = left.Width();
+  const size_t rw = right.Width();
+
+  RowIdResult out;
+  GRAPHGEN_RETURN_NOT_OK(ProjectOutputSchema(
+      node, joined.schema, joined.origins, &out.schema, &out.origins));
+  out.sources = joined.sources;
+  out.columns.reserve(node.columns().size());
+  for (size_t c : node.columns()) out.columns.push_back(joined.columns[c]);
+
+  std::vector<DistinctCol> cols;
+  cols.reserve(node.columns().size());
+  for (size_t c : node.columns()) {
+    cols.push_back(DistinctCol::Make(joined.Bind(c)));
+  }
+
+  const BoundColumn bcol = build.Bind(sides.build_col);
+  const BoundColumn pcol = probe.Bind(sides.probe_col);
+  const size_t threads = options_.threads;
+  const size_t w = lw + rw;
+  const size_t pn = probe.NumRows();
+
+  bool fused = false;
+  WithTypedJoinKeys(build, probe, bcol, pcol, [&](auto tag, auto hash,
+                                                  auto bkey, auto pkey) {
+    using Key = typename decltype(tag)::type;
+    JoinBuild<Key> jb =
+        BuildJoinTables<Key>(build.NumRows(), threads, hash, bkey);
+
+    const size_t probe_ways =
+        (threads > 1 && pn >= kParallelProbeThreshold) ? threads : 1;
+    std::vector<IndexRange> ranges = EqualRanges(pn, probe_ways);
+
+    // Count pass: O(probe rows) chain-length lookups give every range's
+    // exact match count — and therefore the join's exact output size —
+    // before a single tuple is emitted.
+    std::vector<size_t> expected(ranges.size(), 0);
+    ParallelInvoke(ranges.size(), [&](size_t t) {
+      expected[t] = CountJoinRange(jb, ranges[t], hash, pkey);
+    });
+    size_t total_matches = 0;
+    for (size_t e : expected) total_matches += e;
+
+    // Fusion trades the materialize→rehash→re-read passes for streaming
+    // dedup; that wins once the output is too large to stay
+    // cache-resident and costs slightly otherwise, so small outputs
+    // materialize and take the classic DISTINCT below.
+    fused = total_matches * w * sizeof(uint32_t) >=
+            std::max<size_t>(options_.fuse_min_output_bytes, 1);
+    if (!fused) {
+      std::vector<std::vector<uint32_t>> parts(ranges.size());
+      ParallelInvoke(ranges.size(), [&](size_t t) {
+        parts[t].reserve(expected[t] * w);
+        EmitJoinRange(jb, ranges[t], hash, pkey, build, probe, build_left,
+                      lw, rw, parts[t]);
+      });
+      size_t total = 0;
+      for (const auto& buf : parts) total += buf.size();
+      joined.tuples.reserve(total);
+      for (auto& buf : parts) {
+        joined.tuples.insert(joined.tuples.end(), buf.begin(), buf.end());
+      }
+      return;
+    }
+
+    // Each probe range streams its matches into a range-local
+    // first-occurrence set through a bounded morsel buffer: matches
+    // accumulate as concatenated tuples, and a full morsel is hashed in
+    // one tight pass and offered to the set in a second — the same
+    // batched loop shape as the unfused operators, without ever holding
+    // more than one morsel of un-deduplicated join output per thread.
+    // The exact per-range counts presize each set, so the offer loop
+    // never rehashes.
+    std::vector<std::unique_ptr<FusedDistinctSet>> locals(ranges.size());
+    ParallelInvoke(ranges.size(), [&](size_t t) {
+      locals[t] = std::make_unique<FusedDistinctSet>(w, cols, expected[t]);
+      FuseJoinRange(jb, ranges[t], hash, pkey, build, probe, build_left, lw,
+                    rw, cols, *locals[t]);
+    });
+
+    if (ranges.size() == 1) {
+      out.tuples.assign(locals[0]->tuples(),
+                        locals[0]->tuples() + locals[0]->size() * w);
+      return;
+    }
+    // A range's survivors are its in-range-first occurrences in emission
+    // order, so merging ranges in index order keeps exactly the
+    // globally-first occurrence of every key, in the serial join's
+    // emission order — bit-identical to the unfused operator chain.
+    size_t total = 0;
+    for (const auto& local : locals) total += local->size();
+    FusedDistinctSet global(w, cols, total);
+    for (const auto& local : locals) {
+      const uint32_t* lt = local->tuples();
+      const uint64_t* lh = local->hashes();
+      global.ReserveBatch(local->size());
+      for (size_t i = 0; i < local->size(); ++i) {
+        global.Insert(lt + i * w, lh[i]);
+      }
+    }
+    out.tuples.assign(global.tuples(), global.tuples() + global.size() * w);
+  });
+  if (!fused) {
+    // Below the fusion threshold (or an impossible key pairing): the
+    // materialized join runs through the ordinary projection tail.
+    return ProjectFromChild(node, std::move(joined));
+  }
+  return out;
+}
+
 Result<RowIdResult> Executor::ProjectColumnar(const ProjectNode& node) const {
+  if (node.distinct() && options_.fuse_join_distinct &&
+      node.child().kind() == PlanNode::Kind::kHashJoin) {
+    return JoinDistinctColumnar(node,
+                                static_cast<const HashJoinNode&>(node.child()));
+  }
   GRAPHGEN_ASSIGN_OR_RETURN(RowIdResult child, ExecuteColumnar(node.child()));
+  return ProjectFromChild(node, std::move(child));
+}
+
+Result<RowIdResult> Executor::ProjectFromChild(const ProjectNode& node,
+                                               RowIdResult child) const {
   RowIdResult out;
   GRAPHGEN_RETURN_NOT_OK(ProjectOutputSchema(node, child.schema, child.origins,
                                              &out.schema, &out.origins));
@@ -953,14 +1377,8 @@ Result<RowIdResult> Executor::ProjectColumnar(const ProjectNode& node) const {
       n,
       [&](size_t begin, size_t end) {
         for (size_t i = begin; i < end; ++i) {
-          const uint32_t* tup = &child.tuples[i * w0];
-          uint64_t h = 1469598103934665603ull;
-          for (const DistinctCol& c : cols) {
-            h ^= c.Hash(tup[c.slot]);
-            h *= 1099511628211ull;
-          }
-          // Final avalanche: the flat set masks the low bits.
-          hashes[i] = MixInt64(h);
+          // FNV combine + final avalanche (the flat set masks low bits).
+          hashes[i] = DistinctHash(cols, &child.tuples[i * w0]);
         }
       },
       options_.threads);

@@ -25,6 +25,20 @@ struct ExecOptions {
   /// 1 = fully serial). Results are identical for every value.
   size_t threads = 0;
   ExecEngine engine = ExecEngine::kColumnar;
+  /// Fuse DISTINCT projections directly into the hash join beneath them:
+  /// probe matches feed the first-occurrence set per morsel instead of
+  /// materializing the intermediate row-id tuple vector. Output is
+  /// bitwise-identical either way (the parity suite proves it); the switch
+  /// exists so benches and tests can exercise both operator chains.
+  bool fuse_join_distinct = true;
+  /// Fusion pays when the join output is too big to stay cache-resident
+  /// (the morsel pipeline trades a second pass over materialized tuples
+  /// for streaming dedup); below this estimated output size the operator
+  /// materializes and runs the classic DISTINCT, which is faster in
+  /// cache. The join build's chain lengths give the exact output size
+  /// *before* any tuple is emitted, so the choice is free. 0 forces the
+  /// fused pipeline for any size (tests).
+  size_t fuse_min_output_bytes = size_t{32} << 20;
 };
 
 /// Executes plan trees against a Database. The columnar engine keeps
@@ -52,6 +66,18 @@ class Executor {
   Result<RowIdResult> ScanColumnar(const ScanNode& node) const;
   Result<RowIdResult> JoinColumnar(const HashJoinNode& node) const;
   Result<RowIdResult> ProjectColumnar(const ProjectNode& node) const;
+  /// The fused morsel pipeline for DISTINCT directly above a hash join:
+  /// executes the join's children, builds the partitioned hash tables,
+  /// sizes the output from the build chains, and — when the output is
+  /// large enough that fusion pays — streams probe matches straight into
+  /// the first-occurrence set without materializing the join's tuple
+  /// vector. Smaller joins materialize and take ProjectFromChild.
+  Result<RowIdResult> JoinDistinctColumnar(const ProjectNode& node,
+                                           const HashJoinNode& join) const;
+  /// Projection/DISTINCT over an already-executed child (the tail of
+  /// ProjectColumnar, shared with the fused path's materializing branch).
+  Result<RowIdResult> ProjectFromChild(const ProjectNode& node,
+                                       RowIdResult child) const;
 
   Result<ResultSet> ScanRows(const ScanNode& node) const;
   Result<ResultSet> JoinRows(const HashJoinNode& node) const;

@@ -1,11 +1,11 @@
 #include "relational/csv_loader.h"
 
 #include <cctype>
-#include <cerrno>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <optional>
+#include <system_error>
 #include <vector>
 
 namespace graphgen::rel {
@@ -142,6 +142,95 @@ bool IsDecimalLiteral(const std::string& s) {
   return i == s.size();
 }
 
+// Locale-independent full-string int64 parse via std::from_chars. An
+// out-of-range id returns nullopt so the cell stays a string, preserved
+// exactly — a double would round distinct large ids onto the same value
+// and silently merge entities / mismatch join keys. (strtoll instead
+// clamps to LLONG_MIN/MAX and reports through errno, which the two loader
+// passes used to interpret differently.)
+std::optional<int64_t> ParseInt64Field(const std::string& field) {
+  if (!LooksLikeInt(field)) return std::nullopt;
+  // from_chars accepts '-' but not the '+' LooksLikeInt allows.
+  const size_t skip = field[0] == '+' ? 1 : 0;
+  const char* first = field.data() + skip;
+  const char* last = field.data() + field.size();
+  int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  return value;
+}
+
+// Approximate power-of-ten magnitude of a decimal literal, from its text
+// alone: enough to tell a vanishing value (|x| < 1e-307) from an
+// overflowing one when from_chars reports result_out_of_range. Every
+// counter is clamped well below its type's range, so a hostile literal
+// ("13e2147483647", a gigabyte of digits) can neither overflow (UB) nor
+// flip the verdict — the clamp is orders of magnitude beyond any finite
+// double's exponent either way.
+int64_t ApproxDecimalExponent(const std::string& s) {
+  constexpr int64_t kClamp = 1'000'000'000;
+  size_t i = s[0] == '+' || s[0] == '-' ? 1 : 0;
+  int64_t int_digits = 0;   // significant digits before the point
+  int64_t frac_zeros = 0;   // zeros right after the point (if int part is 0)
+  bool leading = true;
+  for (; i < s.size() && s[i] != '.' && s[i] != 'e' && s[i] != 'E'; ++i) {
+    if (leading && s[i] == '0') continue;
+    leading = false;
+    if (int_digits < kClamp) ++int_digits;
+  }
+  if (i < s.size() && s[i] == '.') {
+    for (++i; i < s.size() && s[i] != 'e' && s[i] != 'E'; ++i) {
+      if (int_digits == 0 && s[i] == '0') {
+        if (frac_zeros < kClamp) ++frac_zeros;
+      } else if (int_digits == 0 && s[i] != '0') {
+        break;  // first significant fractional digit found
+      }
+    }
+    while (i < s.size() && s[i] != 'e' && s[i] != 'E') ++i;
+  }
+  int64_t exp = 0;
+  if (i < s.size()) {
+    // Manual digit loop with clamping: from_chars would *fail* on an
+    // exponent beyond int64 range and silently leave 0, misclassifying
+    // e.g. "1e-99999999999999999999" as overflow.
+    ++i;  // past 'e'/'E'
+    const bool neg = i < s.size() && s[i] == '-';
+    if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+    for (; i < s.size(); ++i) {
+      if (exp < kClamp) exp = exp * 10 + (s[i] - '0');
+    }
+    if (neg) exp = -exp;
+  }
+  return exp + (int_digits > 0 ? int_digits - 1 : -(frac_zeros + 1));
+}
+
+// Locale-independent full-string finite-double parse via std::from_chars,
+// restricted to plain decimal literals (IsDecimalLiteral already rejects
+// "nan"/"inf"/hex floats — NaN join keys silently drop rows in hash joins
+// since NaN != NaN). Underflow rounds to +-0 exactly like strtod;
+// overflow returns nullopt so the cell widens to string. Both loader
+// passes call this one routine, so a cell can never change value between
+// inference and append.
+std::optional<double> ParseDoubleField(const std::string& field) {
+  if (!IsDecimalLiteral(field)) return std::nullopt;
+  // from_chars accepts '-' but not the leading '+' the literal may carry.
+  const size_t skip = field[0] == '+' ? 1 : 0;
+  const char* first = field.data() + skip;
+  const char* last = field.data() + field.size();
+  double value = 0.0;
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ptr != last) return std::nullopt;
+  if (ec == std::errc::result_out_of_range) {
+    // The standard leaves `value` unspecified here; classify the literal
+    // from its text. A tiny magnitude underflows toward zero (keep it, as
+    // strtod did); a huge one would round to +-inf (widen to string).
+    if (ApproxDecimalExponent(field) >= 0) return std::nullopt;
+    return field[0] == '-' ? -0.0 : 0.0;
+  }
+  if (ec != std::errc() || !std::isfinite(value)) return std::nullopt;
+  return value;
+}
+
 // Cell classification for type inference. The *column* type is the widened
 // meet of its cells (int -> double -> string); cells are parsed once the
 // column type is final, so a column never mixes physical cell types.
@@ -149,22 +238,10 @@ ValueType ClassifyField(const std::string& field, bool infer_types) {
   if (field.empty()) return ValueType::kNull;
   if (!infer_types) return ValueType::kString;
   if (LooksLikeInt(field)) {
-    errno = 0;
-    (void)std::strtoll(field.c_str(), nullptr, 10);
-    // strtoll clamps out-of-range values to LLONG_MIN/MAX; such an id
-    // stays a string, preserved exactly — a double would round distinct
-    // large ids onto the same value and silently merge entities /
-    // mismatch join keys.
-    if (errno != ERANGE) return ValueType::kInt64;
-    return ValueType::kString;
+    return ParseInt64Field(field).has_value() ? ValueType::kInt64
+                                              : ValueType::kString;
   }
-  if (IsDecimalLiteral(field)) {
-    errno = 0;
-    const double d = std::strtod(field.c_str(), nullptr);
-    // Overflow to +-inf widens to string; underflow toward 0 stays finite
-    // and is accepted.
-    if (std::isfinite(d)) return ValueType::kDouble;
-  }
+  if (ParseDoubleField(field).has_value()) return ValueType::kDouble;
   return ValueType::kString;
 }
 
@@ -250,15 +327,30 @@ Result<Table> ParseCsv(const std::string& table_name, std::string_view text,
     columns.push_back({names[c], t});
     ColumnVector& col = data[c];
     col.Reserve(cells.size());
+    // Appends reuse the exact parse routines inference classified with,
+    // so a cell can never change value (or parse differently under a
+    // different locale) between the two passes. A parse failure here is
+    // impossible by construction — inference would have widened the
+    // column — but the string fallback keeps the cell text exact rather
+    // than silently storing a wrong number.
     for (const std::vector<std::string>& row : cells) {
       const std::string& field = row[c];
       if (field.empty()) {
         col.AppendNull();
       } else if (t == ValueType::kInt64) {
-        col.AppendInt64(static_cast<int64_t>(
-            std::strtoll(field.c_str(), nullptr, 10)));
+        const std::optional<int64_t> v = ParseInt64Field(field);
+        if (v.has_value()) {
+          col.AppendInt64(*v);
+        } else {
+          col.AppendString(field);
+        }
       } else if (t == ValueType::kDouble) {
-        col.AppendDouble(std::strtod(field.c_str(), nullptr));
+        const std::optional<double> v = ParseDoubleField(field);
+        if (v.has_value()) {
+          col.AppendDouble(*v);
+        } else {
+          col.AppendString(field);
+        }
       } else {
         col.AppendString(field);
       }

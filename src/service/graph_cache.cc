@@ -43,9 +43,20 @@ void GraphCache::Clear() {
   bytes_ = 0;
 }
 
+void GraphCache::SetBudget(size_t budget_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  budget_bytes_ = budget_bytes;
+  EvictToBudgetLocked();
+}
+
 size_t GraphCache::bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return bytes_;
+}
+
+size_t GraphCache::budget_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return budget_bytes_;
 }
 
 size_t GraphCache::size() const {
@@ -60,9 +71,13 @@ uint64_t GraphCache::evictions() const {
 
 void GraphCache::EvictToBudgetLocked() {
   if (budget_bytes_ == 0) return;
-  // The newest entry (front) is never the victim: Put rejects any graph
-  // that alone exceeds the budget, so the loop terminates with >= 1 entry.
-  while (bytes_ > budget_bytes_ && lru_.size() > 1) {
+  // Evicts from the LRU end until the budget holds — all the way to empty
+  // if necessary. After a Put the loop stops before the fresh entry (Put
+  // rejects any graph that alone exceeds the budget, so the front entry
+  // always fits); after SetBudget shrinks below the last resident entry's
+  // footprint, that entry is evicted too instead of staying pinned
+  // over-budget forever.
+  while (bytes_ > budget_bytes_ && !lru_.empty()) {
     const std::string& victim = lru_.back();
     auto it = entries_.find(victim);
     bytes_ -= it->second.bytes;

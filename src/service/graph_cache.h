@@ -39,9 +39,15 @@ class GraphCache {
   void Erase(const std::string& key);
   void Clear();
 
+  /// Changes the byte budget and immediately evicts LRU entries until the
+  /// new budget holds — down to an *empty* cache if even the single most
+  /// recently used entry exceeds it (a shrunken budget must never pin an
+  /// over-budget graph resident). 0 = unlimited.
+  void SetBudget(size_t budget_bytes);
+
   size_t bytes() const;
   size_t size() const;
-  size_t budget_bytes() const { return budget_bytes_; }
+  size_t budget_bytes() const;
   /// Total entries evicted to make room since construction.
   uint64_t evictions() const;
 
@@ -54,7 +60,7 @@ class GraphCache {
 
   void EvictToBudgetLocked();
 
-  const size_t budget_bytes_;
+  size_t budget_bytes_;
   mutable std::mutex mu_;
   size_t bytes_ = 0;
   uint64_t evictions_ = 0;

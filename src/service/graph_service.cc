@@ -204,6 +204,18 @@ void GraphService::ClearCache() {
   flat_views_.clear();
 }
 
+void GraphService::SetCacheBudget(size_t budget_bytes) {
+  cache_.SetBudget(budget_bytes);
+  // Shrinking is the memory-pressure lever, so release the CSR adapters
+  // of just-evicted graphs now rather than waiting for the next FlatView
+  // call to reap them — otherwise the bytes the shrink was meant to free
+  // can stay resident indefinitely.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = flat_views_.begin(); it != flat_views_.end();) {
+    it = it->second.owner.expired() ? flat_views_.erase(it) : std::next(it);
+  }
+}
+
 std::shared_ptr<const Graph> GraphService::FlatView(const GraphHandle& handle) {
   if (handle == nullptr || handle->graph == nullptr) return nullptr;
   const Graph* key = handle->graph.get();

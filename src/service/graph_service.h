@@ -121,6 +121,12 @@ class GraphService {
   /// cached flat view.
   void ClearCache();
 
+  /// Re-budgets the extraction cache at runtime (ops lever: shrink under
+  /// memory pressure, grow for a heavy analysis session). Shrinking
+  /// evicts immediately — to empty if even one resident graph exceeds the
+  /// new budget. 0 = unlimited. Named/pinned graphs are unaffected.
+  void SetCacheBudget(size_t budget_bytes);
+
   ServiceStats Stats() const;
   const rel::Database& db() const { return *db_; }
   const ServiceOptions& options() const { return options_; }

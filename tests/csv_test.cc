@@ -178,6 +178,60 @@ TEST(CsvTest, DecimalLiteralsStillInferDouble) {
   EXPECT_DOUBLE_EQ(table->row(0)[2].AsDouble(), 2000.0);
 }
 
+TEST(CsvTest, NumericParsingIsLocaleIndependent) {
+  // A comma-decimal locale would make strtod stop at the '.' and silently
+  // store 3.0 for "3.5"; the from_chars-based parser always reads the full
+  // C-locale literal or widens the column, regardless of the process
+  // locale, and inference and append share one routine so a cell can
+  // never change value between the two passes.
+  auto table = ParseCsv("T",
+                        "a,b\n"
+                        "3.5,+4\n"
+                        "-0.25,7\n");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->schema().column(0).type, ValueType::kDouble);
+  EXPECT_EQ(table->schema().column(1).type, ValueType::kInt64);
+  EXPECT_DOUBLE_EQ(table->row(0)[0].AsDouble(), 3.5);
+  EXPECT_DOUBLE_EQ(table->row(1)[0].AsDouble(), -0.25);
+  EXPECT_EQ(table->row(0)[1].AsInt64(), 4);
+}
+
+TEST(CsvTest, UnderflowingExponentRoundsToZeroLikeStrtod) {
+  // |x| below the smallest double underflows toward zero (kept as a
+  // double, matching strtod); only overflow widens the column to string.
+  auto table = ParseCsv("T", "tiny,huge\n1e-400,1e400\n4.25,9\n");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->schema().column(0).type, ValueType::kDouble);
+  EXPECT_EQ(table->schema().column(1).type, ValueType::kString);
+  EXPECT_DOUBLE_EQ(table->row(0)[0].AsDouble(), 0.0);
+  EXPECT_EQ(table->row(0)[1].AsString(), "1e400");
+}
+
+TEST(CsvTest, ExtremeExponentsClassifyWithoutOverflow) {
+  // Exponents beyond int range must neither trip UB in the magnitude
+  // estimate nor flip the under/overflow verdict: a vanishing literal
+  // still rounds to 0.0 (strtod behavior), a huge one stays a string.
+  auto table = ParseCsv(
+      "T", "tiny,huge\n1e-99999999999999999999,13e2147483647\n0.5,7.5\n");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->schema().column(0).type, ValueType::kDouble);
+  EXPECT_EQ(table->schema().column(1).type, ValueType::kString);
+  EXPECT_DOUBLE_EQ(table->row(0)[0].AsDouble(), 0.0);
+  EXPECT_EQ(table->row(0)[1].AsString(), "13e2147483647");
+}
+
+TEST(CsvTest, IntCellInDoubleColumnParsesUnderFinalType) {
+  // Pass 1 widens the column to double; pass 2 must parse the int-looking
+  // cell with the same routine the double cells use ("4" -> 4.0, and a
+  // 19-digit int rounds to the nearest double rather than clamping).
+  auto table = ParseCsv("T", "m\n4\n2.5\n9223372036854775807\n");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->schema().column(0).type, ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(table->row(0)[0].AsDouble(), 4.0);
+  EXPECT_DOUBLE_EQ(table->row(1)[0].AsDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(table->row(2)[0].AsDouble(), 9223372036854775807.0);
+}
+
 TEST(CsvTest, RoundTripFileWithQuotedNewlines) {
   std::string path = ::testing::TempDir() + "/quoted.csv";
   {

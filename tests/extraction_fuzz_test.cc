@@ -1,0 +1,216 @@
+// Extraction parity fuzz: randomized schemas and datasets (seeded via
+// common/rng, fully reproducible) extracted under every engine × thread
+// count × semi-join pushdown × fused/unfused join→DISTINCT combination
+// and diffed bitwise against the serial row-at-a-time oracle. The
+// datasets deliberately include dangling src/dst keys (link rows whose
+// endpoint is not a node), NULL keys, duplicate link rows, heterogeneous
+// key types (int64 / dictionary strings / mixed columns), and chains long
+// enough that factor 0.0 forces multi-segment assembly with virtual
+// nodes at the boundaries.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "planner/extractor.h"
+#include "relational/database.h"
+#include "relational/table.h"
+
+namespace graphgen::planner {
+namespace {
+
+using rel::Schema;
+using rel::Table;
+using rel::Value;
+using rel::ValueType;
+
+struct FuzzCase {
+  rel::Database db;
+  std::string datalog;
+  std::string description;
+};
+
+// Renders an entity key under the fuzzed key type.
+Value KeyValue(bool string_keys, uint64_t id) {
+  if (string_keys) return Value("k" + std::to_string(id));
+  return Value(static_cast<int64_t>(id));
+}
+
+FuzzCase MakeCase(uint64_t seed) {
+  Rng rng(seed);
+  FuzzCase fc;
+
+  const bool string_keys = rng.NextBool(0.5);
+  const bool string_attr = rng.NextBool(0.4);
+  // A sprinkle of wrong-typed cells turns a column kMixed and exercises
+  // the generic Value kernels end to end.
+  const bool poison_mixed = rng.NextBool(0.25);
+  const size_t num_nodes = 20 + rng.NextBounded(60);
+  // Link endpoints draw from a *superset* of the node keys, so some src
+  // and some dst rows dangle.
+  const size_t num_entities = num_nodes + 5 + rng.NextBounded(num_nodes);
+  const double null_rate = rng.NextBool(0.5) ? 0.08 : 0.0;
+  const size_t attr_domain = 3 + rng.NextBounded(12);
+  const int shape = static_cast<int>(rng.NextBounded(3));
+
+  Table nodes("N", Schema({{"id", string_keys ? ValueType::kString
+                                              : ValueType::kInt64},
+                           {"name", ValueType::kString}}));
+  for (size_t i = 0; i < num_nodes; ++i) {
+    nodes.AppendUnchecked(
+        {KeyValue(string_keys, i), Value("name" + std::to_string(i % 7))});
+  }
+  fc.db.PutTable(std::move(nodes));
+
+  auto attr_value = [&](uint64_t a) {
+    if (string_attr) return Value("a" + std::to_string(a));
+    return Value(static_cast<int64_t>(a));
+  };
+  auto link_row = [&](Table& t) {
+    Value id = rng.NextBool(null_rate)
+                   ? Value()
+                   : KeyValue(string_keys, rng.NextBounded(num_entities));
+    if (poison_mixed && rng.NextBool(0.02)) id = Value("oops");
+    Value attr = rng.NextBool(null_rate)
+                     ? Value()
+                     : attr_value(rng.NextBounded(attr_domain));
+    t.AppendUnchecked({std::move(id), std::move(attr)});
+  };
+
+  const size_t link_rows = 120 + rng.NextBounded(300);
+  Table l1("L1", Schema({{"id", string_keys ? ValueType::kString
+                                            : ValueType::kInt64},
+                         {"a", string_attr ? ValueType::kString
+                                           : ValueType::kInt64}}));
+  for (size_t i = 0; i < link_rows; ++i) link_row(l1);
+  // Exact duplicates make DISTINCT do real work.
+  for (size_t i = 0; i < link_rows / 4; ++i) {
+    l1.AppendUnchecked(l1.row(rng.NextBounded(l1.NumRows())));
+  }
+  fc.db.PutTable(std::move(l1));
+
+  switch (shape) {
+    case 0:
+      // Self-join co-occurrence: the canonical 2-atom chain.
+      fc.datalog =
+          "Nodes(ID, Name) :- N(ID, Name).\n"
+          "Edges(ID1, ID2) :- L1(ID1, A), L1(ID2, A).";
+      fc.description = "self-join";
+      break;
+    case 1: {
+      // Heterogeneous 2-atom chain over two link tables.
+      Table l2("L2", Schema({{"id", string_keys ? ValueType::kString
+                                                : ValueType::kInt64},
+                             {"a", string_attr ? ValueType::kString
+                                               : ValueType::kInt64}}));
+      for (size_t i = 0; i < link_rows; ++i) link_row(l2);
+      fc.db.PutTable(std::move(l2));
+      fc.datalog =
+          "Nodes(ID, Name) :- N(ID, Name).\n"
+          "Edges(ID1, ID2) :- L1(ID1, A), L2(ID2, A).";
+      fc.description = "two-table";
+      break;
+    }
+    default: {
+      // 3-atom chain through a bridge table: two join boundaries, so
+      // factor 0.0 condenses into multiple segments whose boundary values
+      // become virtual nodes while dangling dst keys are still dropped at
+      // the final segment only.
+      Table bridge("B", Schema({{"a", string_attr ? ValueType::kString
+                                                  : ValueType::kInt64},
+                                {"b", string_attr ? ValueType::kString
+                                                  : ValueType::kInt64}}));
+      const size_t bridge_rows = 60 + rng.NextBounded(200);
+      for (size_t i = 0; i < bridge_rows; ++i) {
+        Value a = rng.NextBool(null_rate)
+                      ? Value()
+                      : attr_value(rng.NextBounded(attr_domain));
+        Value b = rng.NextBool(null_rate)
+                      ? Value()
+                      : attr_value(rng.NextBounded(attr_domain));
+        bridge.AppendUnchecked({std::move(a), std::move(b)});
+      }
+      fc.db.PutTable(std::move(bridge));
+      fc.datalog =
+          "Nodes(ID, Name) :- N(ID, Name).\n"
+          "Edges(ID1, ID2) :- L1(ID1, A), B(A, C), L1(ID2, C).";
+      fc.description = "bridge-chain";
+      break;
+    }
+  }
+  fc.db.AnalyzeAll();
+  return fc;
+}
+
+// How the fused join→DISTINCT pipeline is driven: disabled entirely,
+// forced for any output size, or the adaptive default.
+enum class FuseMode { kNever, kAlways, kAuto };
+constexpr FuseMode kFuseModes[] = {FuseMode::kNever, FuseMode::kAlways,
+                                   FuseMode::kAuto};
+
+ExtractionResult RunExtract(const FuzzCase& fc, double factor,
+                            query::ExecEngine engine, size_t threads,
+                            bool pushdown, FuseMode fuse) {
+  ExtractOptions opts;
+  opts.large_output_factor = factor;
+  opts.preprocess = false;
+  opts.engine = engine;
+  opts.threads = threads;
+  opts.semi_join_pushdown = pushdown;
+  opts.fuse_join_distinct = fuse != FuseMode::kNever;
+  if (fuse == FuseMode::kAlways) opts.fuse_min_output_bytes = 0;
+  auto result = ExtractFromQuery(fc.db, fc.datalog, opts);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).ValueOrDie();
+}
+
+TEST(ExtractionFuzzTest, RandomizedSchemasAgreeAcrossAllConfigurations) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    FuzzCase fc = MakeCase(seed * 0x9e3779b97f4a7c15ull + seed);
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " " + fc.description);
+    // 0.0 forces every boundary condensed (multi-segment + virtual
+    // nodes), 1e18 forces full expansion, 2.0 lets the stats decide.
+    for (double factor : {0.0, 2.0, 1e18}) {
+      const ExtractionResult oracle =
+          RunExtract(fc, factor, query::ExecEngine::kRowAtATime, 1,
+                     /*pushdown=*/false, FuseMode::kNever);
+      for (const FuseMode fuse : kFuseModes) {
+        for (const size_t threads : {size_t{1}, size_t{4}}) {
+          const ExtractionResult got =
+              RunExtract(fc, factor, query::ExecEngine::kColumnar, threads,
+                         /*pushdown=*/false, fuse);
+          EXPECT_EQ(DiffExtraction(oracle, got), "")
+              << "factor=" << factor << " threads=" << threads
+              << " fuse=" << static_cast<int>(fuse);
+        }
+      }
+      // Pushdown legitimately scans fewer rows; the graph must not move.
+      for (const FuseMode fuse : kFuseModes) {
+        const ExtractionResult got =
+            RunExtract(fc, factor, query::ExecEngine::kColumnar, 4,
+                       /*pushdown=*/true, fuse);
+        EXPECT_EQ(DiffExtraction(oracle, got, /*compare_scan_counts=*/false),
+                  "")
+            << "factor=" << factor << " pushdown fuse="
+            << static_cast<int>(fuse);
+        EXPECT_LE(got.rows_scanned, oracle.rows_scanned);
+      }
+      // The row engine with pushdown is the pushdown oracle for the
+      // columnar pushdown path, scan counts included.
+      const ExtractionResult push_oracle =
+          RunExtract(fc, factor, query::ExecEngine::kRowAtATime, 1,
+                     /*pushdown=*/true, FuseMode::kNever);
+      const ExtractionResult push_col =
+          RunExtract(fc, factor, query::ExecEngine::kColumnar, 4,
+                     /*pushdown=*/true, FuseMode::kAuto);
+      EXPECT_EQ(DiffExtraction(push_oracle, push_col), "")
+          << "factor=" << factor << " pushdown scan-count parity";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace graphgen::planner

@@ -372,5 +372,52 @@ TEST(GraphCacheTest, LruOrderAndBudget) {
   EXPECT_EQ(unlimited.evictions(), 0u);
 }
 
+TEST(GraphCacheTest, SetBudgetEvictsToEmptyWhenLastEntryExceedsIt) {
+  auto make_graph = [](size_t vertices) {
+    auto g = std::make_shared<ExtractedGraph>();
+    g->graph = std::make_unique<ExpandedGraph>(vertices);
+    return std::static_pointer_cast<const ExtractedGraph>(g);
+  };
+  auto a = make_graph(10);
+  auto b = make_graph(10);
+  const size_t each = a->FootprintBytes();
+  ASSERT_GT(each, 0u);
+
+  service::GraphCache cache(4 * each);
+  EXPECT_TRUE(cache.Put("a", a));
+  EXPECT_TRUE(cache.Put("b", b));
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Shrinking to one entry's footprint evicts the LRU entry only.
+  cache.SetBudget(each);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.budget_bytes(), each);
+  EXPECT_EQ(cache.Get("a"), nullptr);  // "a" was least recently used
+  EXPECT_NE(cache.Get("b"), nullptr);
+
+  // Shrinking below the single remaining entry must evict it too — a
+  // resident graph must never stay pinned over-budget forever.
+  cache.SetBudget(each - 1);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(cache.Get("b"), nullptr);
+
+  // Growing the budget back admits new entries again.
+  cache.SetBudget(2 * each);
+  EXPECT_TRUE(cache.Put("a", a));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST_F(ServiceTest, SetCacheBudgetReleasesResidentGraphs) {
+  service::GraphService svc(&data_.db);
+  auto g = svc.Extract(kStudentQuery);
+  ASSERT_TRUE(g.ok());
+  ASSERT_GT(svc.Stats().cache_bytes, 0u);
+  // Clients holding the handle keep the graph alive; the cache lets go.
+  svc.SetCacheBudget(1);
+  EXPECT_EQ(svc.Stats().cache_bytes, 0u);
+  EXPECT_GT((*g)->graph->NumVertices(), 0u);
+}
+
 }  // namespace
 }  // namespace graphgen
