@@ -34,12 +34,10 @@ void AblationPreprocess(double scale) {
 
     CDupGraph g_without(std::move(without));
     CDupGraph g_with(std::move(with));
-    WallTimer t;
-    ComputeDegrees(g_without);
-    double before_s = t.Seconds();
-    t.Restart();
-    ComputeDegrees(g_with);
-    double after_s = t.Seconds();
+    double before_s = 0;
+    double after_s = 0;
+    { ScopedTimer t(&before_s); ComputeDegrees(g_without); }
+    { ScopedTimer t(&after_s); ComputeDegrees(g_with); }
 
     std::printf("%-12s %14" PRIu64 " %14" PRIu64 " %12zu %11.2fx\n",
                 std::string(gen::SmallDatasetName(id)).c_str(),
@@ -65,15 +63,18 @@ void AblationThreshold(double scale) {
     planner::ExtractOptions opts;
     opts.large_output_factor = factor;
     opts.preprocess = false;
-    WallTimer t;
-    auto result = planner::ExtractFromQuery(d.db, d.datalog, opts);
+    double extract_s = 0;
+    auto result = [&] {
+      ScopedTimer t(&extract_s);
+      return planner::ExtractFromQuery(d.db, d.datalog, opts);
+    }();
     if (!result.ok()) {
       std::printf("%8.1f extraction failed\n", factor);
       continue;
     }
     std::printf("%8.1f %12zu %14" PRIu64 " %9.3fs %10s\n",
                 factor == 1e18 ? 999.0 : factor, result->virtual_nodes,
-                result->condensed_edges, t.Seconds(),
+                result->condensed_edges, extract_s,
                 result->virtual_nodes > 0 ? "condensed" : "expanded");
   }
   std::printf(

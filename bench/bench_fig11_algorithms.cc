@@ -73,17 +73,16 @@ void RunDataset(gen::SmallDatasetId id, double scale) {
   std::printf("  %-9s %12s %12s %12s   (normalized to EXP)\n", "repr",
               "Degree", "BFS", "PageRank");
   for (const Repr& r : reprs) {
-    WallTimer t;
-    ComputeDegrees(*r.graph);
-    double degree_s = t.Seconds();
-
-    t.Restart();
-    for (NodeId src : sources) Bfs(*r.graph, src);
-    double bfs_s = t.Seconds() / 50.0;
-
-    t.Restart();
-    PageRank(*r.graph, {.iterations = 10});
-    double pr_s = t.Seconds();
+    double degree_s = 0;
+    double bfs_s = 0;
+    double pr_s = 0;
+    { ScopedTimer t(&degree_s); ComputeDegrees(*r.graph); }
+    {
+      ScopedTimer t(&bfs_s);
+      for (NodeId src : sources) Bfs(*r.graph, src);
+    }
+    bfs_s /= 50.0;
+    { ScopedTimer t(&pr_s); PageRank(*r.graph, {.iterations = 10}); }
 
     if (r.name == "EXP") {
       exp_degree = degree_s;

@@ -68,9 +68,13 @@ int main() {
                 s.NumRealNodes(), s.NumVirtualNodes());
     for (const Algo& a : AllAlgos()) {
       DedupOptions opts;  // RAND by default
-      WallTimer t;
-      bool ok = a.run(s, opts);
-      std::printf("  %-9s %10.3fms%s\n", a.name.c_str(), t.Seconds() * 1e3,
+      double dedup_ms = 0;
+      bool ok = false;
+      {
+        ScopedTimer t(&dedup_ms, ScopedTimer::Unit::kMillis);
+        ok = a.run(s, opts);
+      }
+      std::printf("  %-9s %10.3fms%s\n", a.name.c_str(), dedup_ms,
                   ok ? "" : "  (failed)");
     }
   }
@@ -83,10 +87,13 @@ int main() {
                            NodeOrdering::kDegreeDesc}) {
       DedupOptions opts;
       opts.ordering = o;
-      WallTimer t;
-      auto result = GreedyVirtualNodesFirst(s, opts);
+      double order_ms = 0;
+      auto result = [&] {
+        ScopedTimer t(&order_ms, ScopedTimer::Unit::kMillis);
+        return GreedyVirtualNodesFirst(s, opts);
+      }();
       std::printf("  %s=%8.3fms", std::string(NodeOrderingToString(o)).c_str(),
-                  t.Seconds() * 1e3);
+                  order_ms);
       if (!result.ok()) std::printf("(!)");
     }
     std::printf("\n");

@@ -47,17 +47,7 @@ struct KernelRow {
   double Speedup() const { return span_ms > 0 ? function_ms / span_ms : 0; }
 };
 
-double MedianMs(int iters, const std::function<void()>& fn) {
-  std::vector<double> times;
-  times.reserve(iters);
-  for (int i = 0; i < iters; ++i) {
-    WallTimer timer;
-    fn();
-    times.push_back(timer.Millis());
-  }
-  std::sort(times.begin(), times.end());
-  return times[times.size() / 2];
-}
+using bench::MedianMs;
 
 bool NearlyEqual(const std::vector<double>& a, const std::vector<double>& b) {
   if (a.size() != b.size()) return false;
@@ -77,7 +67,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
   }
   const double scale = smoke ? 0.05 : bench::BenchScale();
-  const int iters = smoke ? 1 : 5;
+  const int iters = bench::ParseRepeat(argc, argv, smoke ? 1 : 5);
 
   bench::PrintHeader("Kernel fast path: function-callback vs NeighborSpan");
 
@@ -96,9 +86,8 @@ int main(int argc, char** argv) {
   double expand_ms = 0;
   ExpandedGraph exp;
   {
-    WallTimer timer;
+    ScopedTimer timer(&expand_ms, ScopedTimer::Unit::kMillis);
     exp = ExpandCondensed(storage);
-    expand_ms = timer.Millis();
   }
   std::printf("graph: %zu vertices, %" PRIu64
               " expanded edges | ExpandCondensed %.1fms\n\n",
@@ -193,9 +182,8 @@ int main(int argc, char** argv) {
   double csr_build_ms = 0;
   std::unique_ptr<CsrGraph> csr;
   {
-    WallTimer timer;
+    ScopedTimer timer(&csr_build_ms, ScopedTimer::Unit::kMillis);
     csr = std::make_unique<CsrGraph>(CsrGraph::Build(cdup));
-    csr_build_ms = timer.Millis();
   }
   PageRankOptions pr_opt{.iterations = 10};
   double cdup_pagerank_ms =

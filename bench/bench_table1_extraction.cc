@@ -31,6 +31,8 @@
 #include "common/parallel.h"
 #include "common/timer.h"
 #include "gen/relational_generators.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
 #include "planner/extractor.h"
 
 namespace graphgen {
@@ -41,30 +43,21 @@ struct WorkloadRow {
   uint64_t input_rows = 0;
   uint64_t condensed_edges = 0;
   uint64_t full_edges = 0;
-  double serial_ms = 0;    // row-at-a-time interpreter, 1 thread
-  double parallel_ms = 0;  // columnar pipeline (adaptive fusion), hw threads
-  double fused_ms = 0;     // columnar, join→DISTINCT fusion forced on
-  double unfused_ms = 0;   // columnar, unfused operator chain
+  bench::RepeatStats serial;    // row-at-a-time interpreter, 1 thread
+  bench::RepeatStats parallel;  // columnar (adaptive fusion), hw threads
+  bench::RepeatStats fused;     // columnar, join→DISTINCT fusion forced on
+  bench::RepeatStats unfused;   // columnar, unfused operator chain
+  // Top-level extraction stages (nodes/edges/preprocess) of one profiled
+  // parallel run, from the flight recorder's QueryProfile.
+  std::vector<std::pair<std::string, double>> stage_ms;
   bool parity = true;
   double Speedup() const {
-    return parallel_ms > 0 ? serial_ms / parallel_ms : 0;
+    return parallel.median_ms > 0 ? serial.median_ms / parallel.median_ms : 0;
   }
   double FusedVsUnfused() const {
-    return fused_ms > 0 ? unfused_ms / fused_ms : 0;
+    return fused.median_ms > 0 ? unfused.median_ms / fused.median_ms : 0;
   }
 };
-
-double MedianMs(int iters, const std::function<void()>& fn) {
-  std::vector<double> times;
-  times.reserve(iters);
-  for (int i = 0; i < iters; ++i) {
-    WallTimer timer;
-    fn();
-    times.push_back(timer.Millis());
-  }
-  std::sort(times.begin(), times.end());
-  return times[times.size() / 2];
-}
 
 // Engine configurations measured per workload.
 enum class Mode {
@@ -136,17 +129,28 @@ bool RunWorkload(const std::string& name, const gen::GeneratedDatabase& data,
     (void)planner::ExtractFromQuery(data.db, data.datalog,
                                     MakeOpts(1e18, mode));
   };
-  row.serial_ms = MedianMs(iters, [&] { run_both(Mode::kSerial); });
-  row.parallel_ms = MedianMs(iters, [&] { run_both(Mode::kParallel); });
-  row.fused_ms = MedianMs(iters, [&] { run_both(Mode::kFused); });
-  row.unfused_ms = MedianMs(iters, [&] { run_both(Mode::kUnfused); });
+  row.serial = bench::Repeat(iters, [&] { run_both(Mode::kSerial); });
+  row.parallel = bench::Repeat(iters, [&] { run_both(Mode::kParallel); });
+  row.fused = bench::Repeat(iters, [&] { run_both(Mode::kFused); });
+  row.unfused = bench::Repeat(iters, [&] { run_both(Mode::kUnfused); });
+
+  // One profiled run feeds the per-stage breakdown in the JSON summary.
+  if (obs::Enabled()) {
+    auto profiled = planner::ExtractFromQuery(data.db, data.datalog,
+                                              MakeOpts(1e18, Mode::kParallel));
+    if (profiled.ok()) {
+      for (const obs::ProfileNode& stage : profiled->profile.root.children) {
+        row.stage_ms.emplace_back(stage.name, stage.seconds * 1e3);
+      }
+    }
+  }
 
   std::printf("%-8s %9" PRIu64 " rows | C-DUP %10" PRIu64 " e | EXP %11" PRIu64
               " e | serial %9.1fms | parallel %9.1fms | %5.2fx | fused %9.1fms"
               " | unfused %9.1fms | %s\n",
               name.c_str(), row.input_rows, row.condensed_edges,
-              row.full_edges, row.serial_ms, row.parallel_ms, row.Speedup(),
-              row.fused_ms, row.unfused_ms,
+              row.full_edges, row.serial.median_ms, row.parallel.median_ms,
+              row.Speedup(), row.fused.median_ms, row.unfused.median_ms,
               row.parity ? "ok" : "PARITY FAIL");
   bool ok = row.parity;
   rows.push_back(std::move(row));
@@ -169,23 +173,24 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
   }
   const double s = smoke ? 0.05 : graphgen::bench::BenchScale();
-  // Smoke runs are sub-50ms per mode, so the median-of-3 that stabilizes
-  // the fused-vs-unfused regression gate costs almost nothing.
-  const int iters = 3;
+  // Smoke runs are sub-50ms per mode, so the repeat-of-3 default that
+  // stabilizes the fused-vs-unfused regression gate costs almost nothing.
+  const int iters = graphgen::bench::ParseRepeat(argc, argv, 3);
 
   graphgen::bench::PrintHeader(
       "Table 1 extraction: serial row-at-a-time vs parallel columnar");
   std::printf(
       "(each timed run extracts both the condensed C-DUP graph and the\n"
-      " fully expanded EXP graph; parity = bitwise-identical output)\n\n");
+      " fully expanded EXP graph; parity = bitwise-identical output;\n"
+      " reported times are the median of %d runs)\n\n",
+      iters);
 
   std::vector<graphgen::WorkloadRow> rows;
   bool all_ok = true;
-  all_ok &= graphgen::RunWorkload(
-      "DBLP",
+  const graphgen::gen::GeneratedDatabase dblp =
       MakeDblpLike(static_cast<size_t>(16000 * s),
-                   static_cast<size_t>(30000 * s), 5.0),
-      iters, rows);
+                   static_cast<size_t>(30000 * s), 5.0);
+  all_ok &= graphgen::RunWorkload("DBLP", dblp, iters, rows);
   all_ok &= graphgen::RunWorkload(
       "IMDB",
       MakeImdbLike(static_cast<size_t>(9000 * s),
@@ -240,6 +245,40 @@ int main(int argc, char** argv) {
     fuse_regressed = true;
   }
 
+  // Smoke observability gate: the flight recorder (spans, histograms,
+  // profile trees) must cost < 3% on the fused extraction path. Counters
+  // always record, so the toggle isolates exactly the instrumentation
+  // that GRAPHGEN_OBS_OFF disables. Min-of-N on both sides rejects
+  // scheduler noise; the absolute slack keeps the gate meaningful when 3%
+  // of a sub-10ms smoke run is below the timer's jitter floor.
+  bool obs_regressed = false;
+  if (smoke) {
+    const int gate_iters = 15;
+    auto fused_once = [&] {
+      (void)graphgen::planner::ExtractFromQuery(
+          dblp.db, dblp.datalog,
+          graphgen::MakeOpts(1e18, graphgen::Mode::kFused));
+    };
+    const bool was_enabled = graphgen::obs::Enabled();
+    graphgen::obs::SetEnabled(true);
+    const double min_on = graphgen::bench::MinMs(gate_iters, fused_once);
+    graphgen::obs::SetEnabled(false);
+    const double min_off = graphgen::bench::MinMs(gate_iters, fused_once);
+    graphgen::obs::SetEnabled(was_enabled);
+    const double limit = min_off * 1.03 + 1.0;
+    std::printf(
+        "\nobservability overhead (fused path, min of %d): on %.2fms, "
+        "off %.2fms, limit %.2fms\n",
+        gate_iters, min_on, min_off, limit);
+    if (min_on > limit) {
+      std::fprintf(stderr,
+                   "FAIL: instrumentation overhead %.2fms (on) vs %.2fms "
+                   "(off) exceeds the 3%%+1ms gate\n",
+                   min_on, min_off);
+      obs_regressed = true;
+    }
+  }
+
   FILE* f = std::fopen(out_path.c_str(), "w");
   if (f != nullptr) {
     std::fprintf(f, "{\n  \"bench\": \"table1_extraction\",\n");
@@ -250,6 +289,7 @@ int main(int argc, char** argv) {
         "  \"serial\": \"row-at-a-time interpreter, 1 thread\",\n"
         "  \"parallel\": \"columnar pipeline (adaptive fused "
         "join->DISTINCT, typed-key assembly), hardware threads\",\n");
+    std::fprintf(f, "  \"repeat\": %d,\n", iters);
     std::fprintf(f, "  \"workloads\": [\n");
     for (size_t i = 0; i < rows.size(); ++i) {
       const auto& r = rows[i];
@@ -258,11 +298,20 @@ int main(int argc, char** argv) {
                    ", \"condensed_edges\": %" PRIu64 ", \"full_edges\": %" PRIu64
                    ", \"serial_ms\": %.2f, \"parallel_ms\": %.2f, "
                    "\"speedup\": %.2f, \"fused_ms\": %.2f, "
-                   "\"unfused_ms\": %.2f, \"parity\": %s}%s\n",
+                   "\"unfused_ms\": %.2f,\n     \"serial_min_ms\": %.2f, "
+                   "\"parallel_min_ms\": %.2f, \"fused_min_ms\": %.2f, "
+                   "\"unfused_min_ms\": %.2f, \"parity\": %s,\n"
+                   "     \"profile_stages_ms\": {",
                    r.name.c_str(), r.input_rows, r.condensed_edges,
-                   r.full_edges, r.serial_ms, r.parallel_ms, r.Speedup(),
-                   r.fused_ms, r.unfused_ms, r.parity ? "true" : "false",
-                   i + 1 < rows.size() ? "," : "");
+                   r.full_edges, r.serial.median_ms, r.parallel.median_ms,
+                   r.Speedup(), r.fused.median_ms, r.unfused.median_ms,
+                   r.serial.min_ms, r.parallel.min_ms, r.fused.min_ms,
+                   r.unfused.min_ms, r.parity ? "true" : "false");
+      for (size_t k = 0; k < r.stage_ms.size(); ++k) {
+        std::fprintf(f, "%s\"%s\": %.3f", k > 0 ? ", " : "",
+                     r.stage_ms[k].first.c_str(), r.stage_ms[k].second);
+      }
+      std::fprintf(f, "}}%s\n", i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(f,
                  "  ],\n  \"geomean_speedup\": %.2f,\n"
@@ -272,10 +321,10 @@ int main(int argc, char** argv) {
     std::printf("JSON written to %s\n", out_path.c_str());
   }
 
-  if (!all_ok || fuse_regressed) {
+  if (!all_ok || fuse_regressed || obs_regressed) {
     std::fprintf(stderr,
-                 "FAIL: extraction error, parity mismatch, or fused-path "
-                 "regression (see lines above)\n");
+                 "FAIL: extraction error, parity mismatch, fused-path or "
+                 "instrumentation regression (see lines above)\n");
     return 1;
   }
   return 0;

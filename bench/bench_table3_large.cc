@@ -24,15 +24,12 @@ namespace graphgen {
 namespace {
 
 void RunAlgos(const char* name, const Graph& g, double build_seconds) {
-  WallTimer t;
-  ComputeDegrees(g);
-  double degree_s = t.Seconds();
-  t.Restart();
-  PageRank(g, {.iterations = 5});
-  double pr_s = t.Seconds();
-  t.Restart();
-  Bfs(g, 0);
-  double bfs_s = t.Seconds();
+  double degree_s = 0;
+  double pr_s = 0;
+  double bfs_s = 0;
+  { ScopedTimer t(&degree_s); ComputeDegrees(g); }
+  { ScopedTimer t(&pr_s); PageRank(g, {.iterations = 5}); }
+  { ScopedTimer t(&bfs_s); Bfs(g, 0); }
   std::printf("  %-8s Degree %8.3fs  PR %8.3fs  BFS %8.3fs  mem %10s%s\n",
               name, degree_s, pr_s, bfs_s, FormatBytes(g.MemoryBytes()).c_str(),
               build_seconds > 0
@@ -52,9 +49,11 @@ void RunDataset(const std::string& name, const CondensedStorage& s,
     RunAlgos("C-DUP", cdup, 0);
   }
   {
-    WallTimer t;
-    auto bm = BuildBitmap2(s);
-    double dedup_s = t.Seconds();
+    double dedup_s = 0;
+    auto bm = [&] {
+      ScopedTimer t(&dedup_s);
+      return BuildBitmap2(s);
+    }();
     if (bm.ok()) {
       RunAlgos("BMP", *bm, dedup_s);
     } else {
@@ -62,9 +61,9 @@ void RunDataset(const std::string& name, const CondensedStorage& s,
     }
   }
   {
-    WallTimer t;
-    ExpandedGraph exp = ExpandCondensed(s);
-    double build_s = t.Seconds();
+    double build_s = 0;
+    ExpandedGraph exp;
+    { ScopedTimer t(&build_s); exp = ExpandCondensed(s); }
     RunAlgos("EXP", exp, build_s);
   }
 }

@@ -1,9 +1,15 @@
 #ifndef GRAPHGEN_BENCH_BENCH_UTIL_H_
 #define GRAPHGEN_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <functional>
 #include <string>
+#include <vector>
+
+#include "common/timer.h"
 
 namespace graphgen::bench {
 
@@ -26,6 +32,54 @@ inline void PrintHeader(const std::string& title) {
 
 inline void PrintRule() {
   std::printf("----------------------------------------------------------------\n");
+}
+
+/// Result of a repeated timing run. On noisy shared machines (this
+/// container shows ~2x run-to-run variance) the minimum is the most
+/// reproducible point estimate — it is the run with the least external
+/// interference — while the median describes what a typical run costs.
+struct RepeatStats {
+  double min_ms = 0;
+  double median_ms = 0;
+  size_t iterations = 0;
+};
+
+/// Times `fn` `iters` times (at least once) and reports min + median.
+inline RepeatStats Repeat(int iters, const std::function<void()>& fn) {
+  if (iters < 1) iters = 1;
+  std::vector<double> times;
+  times.reserve(static_cast<size_t>(iters));
+  for (int i = 0; i < iters; ++i) {
+    WallTimer timer;
+    fn();
+    times.push_back(timer.Millis());
+  }
+  std::sort(times.begin(), times.end());
+  RepeatStats stats;
+  stats.min_ms = times.front();
+  stats.median_ms = times[times.size() / 2];
+  stats.iterations = times.size();
+  return stats;
+}
+
+inline double MedianMs(int iters, const std::function<void()>& fn) {
+  return Repeat(iters, fn).median_ms;
+}
+
+inline double MinMs(int iters, const std::function<void()>& fn) {
+  return Repeat(iters, fn).min_ms;
+}
+
+/// Shared `--repeat=N` flag so every bench harness spells the repeat
+/// count the same way; `fallback` applies when the flag is absent.
+inline int ParseRepeat(int argc, char** argv, int fallback) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--repeat=", 9) == 0) {
+      int v = std::atoi(argv[i] + 9);
+      if (v > 0) return v;
+    }
+  }
+  return fallback;
 }
 
 }  // namespace graphgen::bench

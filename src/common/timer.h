@@ -2,6 +2,8 @@
 #define GRAPHGEN_COMMON_TIMER_H_
 
 #include <chrono>
+#include <functional>
+#include <utility>
 
 namespace graphgen {
 
@@ -22,6 +24,57 @@ class WallTimer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// Anything that can absorb an elapsed-time measurement — obs::Histogram
+/// implements this, and ScopedTimer feeds it, so timing call sites don't
+/// depend on the obs layer.
+class DurationSink {
+ public:
+  virtual ~DurationSink() = default;
+  virtual void RecordSeconds(double seconds) = 0;
+};
+
+/// RAII stopwatch: measures from construction to destruction and delivers
+/// the elapsed time to a double accumulator (+=), a DurationSink, or an
+/// arbitrary callback. Replaces the WallTimer + printf copy-pasta in the
+/// benches:
+///
+///   { ScopedTimer t(&build_seconds); BuildIndex(); }          // accumulate
+///   { ScopedTimer t(histogram); RunQuery(); }                 // histogram
+///   { ScopedTimer t([&](double s) { Report(s); }); ... }      // callback
+class ScopedTimer {
+ public:
+  enum class Unit { kSeconds, kMillis };
+
+  explicit ScopedTimer(double* accumulator, Unit unit = Unit::kSeconds)
+      : accumulator_(accumulator), unit_(unit) {}
+  explicit ScopedTimer(DurationSink* sink) : sink_(sink) {}
+  explicit ScopedTimer(DurationSink& sink) : sink_(&sink) {}
+  explicit ScopedTimer(std::function<void(double)> on_done)
+      : on_done_(std::move(on_done)) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    const double s = timer_.Seconds();
+    if (accumulator_ != nullptr) {
+      *accumulator_ += unit_ == Unit::kMillis ? s * 1e3 : s;
+    }
+    if (sink_ != nullptr) sink_->RecordSeconds(s);
+    if (on_done_) on_done_(s);
+  }
+
+  /// Elapsed time so far, without stopping the timer.
+  double Seconds() const { return timer_.Seconds(); }
+
+ private:
+  WallTimer timer_;
+  double* accumulator_ = nullptr;
+  Unit unit_ = Unit::kSeconds;
+  DurationSink* sink_ = nullptr;
+  std::function<void(double)> on_done_;
 };
 
 }  // namespace graphgen

@@ -35,6 +35,7 @@ std::string_view Dedup1AlgorithmToString(Dedup1Algorithm a) {
 
 Result<ExtractedGraph> GraphGen::Extract(std::string_view datalog,
                                          const GraphGenOptions& options) const {
+  WallTimer wall;
   GRAPHGEN_ASSIGN_OR_RETURN(
       planner::ExtractionResult extraction,
       planner::ExtractFromQuery(*db_, datalog, options.extract));
@@ -47,11 +48,18 @@ Result<ExtractedGraph> GraphGen::Extract(std::string_view datalog,
   stats_copy.nodes_seconds = extraction.nodes_seconds;
   stats_copy.edges_seconds = extraction.edges_seconds;
   stats_copy.preprocess_seconds = extraction.preprocess_seconds;
+  stats_copy.profile = std::move(extraction.profile);
 
   GRAPHGEN_ASSIGN_OR_RETURN(
       ExtractedGraph out,
       Materialize(std::move(extraction.storage), options));
   stats_copy.storage = CondensedStorage();  // storage moved into the graph
+  if (!stats_copy.profile.empty()) {
+    obs::ProfileNode* m = stats_copy.profile.root.AddChild(
+        "materialize", RepresentationToString(out.representation));
+    m->seconds = out.dedup_seconds;
+  }
+  stats_copy.profile.wall_seconds = wall.Seconds();
   out.stats = std::move(stats_copy);
   return out;
 }

@@ -1,0 +1,246 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace graphgen::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{[] {
+  const char* env = std::getenv("GRAPHGEN_OBS_OFF");
+  return !(env != nullptr && env[0] != '\0' && env[0] != '0');
+}()};
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetEnabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+size_t Counter::HomeShard() {
+  // One hash per thread lifetime; thread_local beats re-hashing the id on
+  // every Add.
+  static thread_local const size_t shard =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      Counter::kShards;
+  return shard;
+}
+
+void Histogram::Record(uint64_t value) {
+  if (!Enabled()) return;
+  static thread_local const size_t home =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+  Shard& s = shards_[home];
+  const size_t bucket = static_cast<size_t>(std::bit_width(value));
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(value, std::memory_order_relaxed);
+  s.buckets[bucket < kBuckets ? bucket : kBuckets - 1].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot out;
+  for (const Shard& s : shards_) {
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    for (size_t b = 0; b < kBuckets; ++b) {
+      out.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+uint64_t Histogram::Snapshot::Percentile(double p) const {
+  if (count == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  const uint64_t target =
+      static_cast<uint64_t>(p * static_cast<double>(count) + 0.5);
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets[b];
+    if (seen >= target) {
+      // Upper bound of bucket b: values v with bit_width(v) == b, so
+      // v < 2^b (bucket 0 is exactly {0}).
+      return b == 0 ? 0 : (uint64_t{1} << b) - 1;
+    }
+  }
+  return ~uint64_t{0};
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+std::vector<MetricValue> MetricsRegistry::Snapshot() const {
+  std::vector<MetricValue> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+    for (const auto& [name, c] : counters_) {
+      MetricValue v;
+      v.name = name;
+      v.type = MetricValue::Type::kCounter;
+      v.counter = c->Value();
+      out.push_back(std::move(v));
+    }
+    for (const auto& [name, g] : gauges_) {
+      MetricValue v;
+      v.name = name;
+      v.type = MetricValue::Type::kGauge;
+      v.gauge = g->Value();
+      out.push_back(std::move(v));
+    }
+    for (const auto& [name, h] : histograms_) {
+      MetricValue v;
+      v.name = name;
+      v.type = MetricValue::Type::kHistogram;
+      v.hist = h->Snap();
+      out.push_back(std::move(v));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricValue& a, const MetricValue& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  const std::vector<MetricValue> snap = Snapshot();
+  std::string out = "{";
+  bool first = true;
+  char buf[160];
+  for (const MetricValue& m : snap) {
+    if (!first) out += ", ";
+    first = false;
+    AppendJsonString(&out, m.name);
+    switch (m.type) {
+      case MetricValue::Type::kCounter:
+        std::snprintf(buf, sizeof(buf),
+                      ": {\"type\": \"counter\", \"value\": %llu}",
+                      static_cast<unsigned long long>(m.counter));
+        out += buf;
+        break;
+      case MetricValue::Type::kGauge:
+        std::snprintf(buf, sizeof(buf),
+                      ": {\"type\": \"gauge\", \"value\": %lld}",
+                      static_cast<long long>(m.gauge));
+        out += buf;
+        break;
+      case MetricValue::Type::kHistogram:
+        std::snprintf(buf, sizeof(buf),
+                      ": {\"type\": \"histogram\", \"count\": %llu, "
+                      "\"sum\": %llu, \"mean\": %.3f, \"p50\": %llu, "
+                      "\"p99\": %llu}",
+                      static_cast<unsigned long long>(m.hist.count),
+                      static_cast<unsigned long long>(m.hist.sum),
+                      m.hist.Mean(),
+                      static_cast<unsigned long long>(m.hist.Percentile(0.5)),
+                      static_cast<unsigned long long>(m.hist.Percentile(0.99)));
+        out += buf;
+        break;
+    }
+  }
+  out += "}";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+std::string FormatSnapshot(const std::vector<MetricValue>& snapshot) {
+  size_t width = 0;
+  for (const MetricValue& m : snapshot) width = std::max(width, m.name.size());
+  std::string out;
+  char buf[224];
+  for (const MetricValue& m : snapshot) {
+    switch (m.type) {
+      case MetricValue::Type::kCounter:
+        std::snprintf(buf, sizeof(buf), "  %-*s %llu\n",
+                      static_cast<int>(width), m.name.c_str(),
+                      static_cast<unsigned long long>(m.counter));
+        break;
+      case MetricValue::Type::kGauge:
+        std::snprintf(buf, sizeof(buf), "  %-*s %lld\n",
+                      static_cast<int>(width), m.name.c_str(),
+                      static_cast<long long>(m.gauge));
+        break;
+      case MetricValue::Type::kHistogram:
+        std::snprintf(
+            buf, sizeof(buf),
+            "  %-*s count=%llu mean=%.1fus p50<=%lluus p99<=%lluus\n",
+            static_cast<int>(width), m.name.c_str(),
+            static_cast<unsigned long long>(m.hist.count), m.hist.Mean(),
+            static_cast<unsigned long long>(m.hist.Percentile(0.5)),
+            static_cast<unsigned long long>(m.hist.Percentile(0.99)));
+        break;
+    }
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace graphgen::obs

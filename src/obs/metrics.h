@@ -1,0 +1,160 @@
+#ifndef GRAPHGEN_OBS_METRICS_H_
+#define GRAPHGEN_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace graphgen::obs {
+
+/// Global observability switch. Counters always record (they back
+/// correctness-relevant accounting like ServiceStats); histograms and
+/// trace spans honor this flag, so GRAPHGEN_OBS_OFF=1 (or
+/// SetEnabled(false)) turns the *instrumentation* — span bookkeeping,
+/// latency histograms, profile trees — into no-ops. The bench overhead
+/// gate measures exactly that delta.
+bool Enabled();
+void SetEnabled(bool on);
+
+/// Monotonic counter with per-thread-sharded accumulation: Add() is one
+/// relaxed atomic add on the calling thread's home shard (no contention
+/// between workers bumping the same metric), Value() merges the shards.
+/// Near-zero cost when nobody reads — there is no read-side coordination
+/// to pay for on the write path.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    shards_[HomeShard()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  /// Merged total across shards (racy-by-nature point-in-time read).
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  static constexpr size_t kShards = 16;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+
+  static size_t HomeShard();
+
+  Shard shards_[kShards];
+};
+
+/// Point-in-time signed value (resident bytes, queue depth, ...).
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Log-scale (power-of-two bucket) histogram over a non-negative integer
+/// domain — latencies are recorded in microseconds. Sharded like Counter;
+/// Record() is a handful of relaxed adds on one shard, merging happens on
+/// read. Honors Enabled(): recording is a no-op when observability is off.
+class Histogram : public DurationSink {
+ public:
+  /// Bucket b holds values v with bit_width(v) == b, i.e. [2^(b-1), 2^b).
+  static constexpr size_t kBuckets = 64;
+
+  void Record(uint64_t value);
+  /// DurationSink: records seconds as whole microseconds.
+  void RecordSeconds(double seconds) override {
+    if (seconds < 0) return;
+    Record(static_cast<uint64_t>(seconds * 1e6));
+  }
+
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t buckets[kBuckets] = {};
+
+    double Mean() const {
+      return count == 0 ? 0.0 : static_cast<double>(sum) / count;
+    }
+    /// Upper bucket bound below which at least `p` (0..1) of recorded
+    /// values fall — log2-quantized, an estimate not an exact order
+    /// statistic.
+    uint64_t Percentile(double p) const;
+  };
+
+  Snapshot Snap() const;
+
+ private:
+  static constexpr size_t kShards = 4;
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> buckets[kBuckets] = {};
+  };
+
+  Shard shards_[kShards];
+};
+
+/// One row of MetricsRegistry::Snapshot().
+struct MetricValue {
+  enum class Type { kCounter, kGauge, kHistogram };
+  std::string name;
+  Type type = Type::kCounter;
+  uint64_t counter = 0;       // kCounter
+  int64_t gauge = 0;          // kGauge
+  Histogram::Snapshot hist;   // kHistogram
+};
+
+/// Name → metric registry. Get*() registers on first use and returns a
+/// stable pointer (callers cache it; lookups take a mutex, recording does
+/// not). Snapshot() merges every metric in one pass, so a consumer reads
+/// one consistent view instead of racing field-by-field getters.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  /// All metrics, sorted by name, read in one pass.
+  std::vector<MetricValue> Snapshot() const;
+
+  /// Machine-readable dump: {"name": {"type": ..., "value": ...}, ...}.
+  std::string ToJson() const;
+
+  /// Process-wide registry used by the engine layers (executor, CSR
+  /// builds); services own their own instance on top of this.
+  static MetricsRegistry& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Renders a registry snapshot as aligned "name value" text lines (the
+/// shell `stats` dump). Histograms render count/mean/p50/p99.
+std::string FormatSnapshot(const std::vector<MetricValue>& snapshot);
+
+}  // namespace graphgen::obs
+
+#endif  // GRAPHGEN_OBS_METRICS_H_

@@ -1,0 +1,185 @@
+#include "obs/profile.h"
+
+#include <cstdio>
+
+namespace graphgen::obs {
+
+namespace {
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string FormatSeconds(double s) {
+  char buf[32];
+  if (s >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", s);
+  } else if (s >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fus", s * 1e6);
+  }
+  return buf;
+}
+
+std::string FormatStat(double v) {
+  char buf[48];
+  // Counters arrive as exact integers; ratios (load factors) don't.
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      v > -1e15 && v < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+  }
+  return buf;
+}
+
+void AppendText(const ProfileNode& node, int depth, std::string* out) {
+  if (depth > 0) {
+    out->append(static_cast<size_t>(3 * (depth - 1)), ' ');
+    out->append("-> ");
+  }
+  *out += node.name;
+  if (!node.detail.empty()) {
+    *out += "  [";
+    *out += node.detail;
+    *out += "]";
+  }
+  *out += "  ";
+  *out += FormatSeconds(node.seconds);
+  if (node.rows >= 0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "  rows=%lld",
+                  static_cast<long long>(node.rows));
+    *out += buf;
+  }
+  for (const auto& [key, value] : node.stats) {
+    *out += "  ";
+    *out += key;
+    *out += "=";
+    *out += FormatStat(value);
+  }
+  for (const auto& [key, value] : node.notes) {
+    *out += "  ";
+    *out += key;
+    *out += "=";
+    *out += value;
+  }
+  *out += "\n";
+  for (const ProfileNode& child : node.children) {
+    AppendText(child, depth + 1, out);
+  }
+}
+
+void AppendJson(const ProfileNode& node, std::string* out) {
+  char buf[64];
+  *out += "{\"name\": ";
+  AppendJsonString(out, node.name);
+  if (!node.detail.empty()) {
+    *out += ", \"detail\": ";
+    AppendJsonString(out, node.detail);
+  }
+  std::snprintf(buf, sizeof(buf), ", \"seconds\": %.6f", node.seconds);
+  *out += buf;
+  if (node.rows >= 0) {
+    std::snprintf(buf, sizeof(buf), ", \"rows\": %lld",
+                  static_cast<long long>(node.rows));
+    *out += buf;
+  }
+  if (!node.stats.empty()) {
+    *out += ", \"stats\": {";
+    bool first = true;
+    for (const auto& [key, value] : node.stats) {
+      if (!first) *out += ", ";
+      first = false;
+      AppendJsonString(out, key);
+      *out += ": ";
+      *out += FormatStat(value);
+    }
+    *out += "}";
+  }
+  if (!node.notes.empty()) {
+    *out += ", \"notes\": {";
+    bool first = true;
+    for (const auto& [key, value] : node.notes) {
+      if (!first) *out += ", ";
+      first = false;
+      AppendJsonString(out, key);
+      *out += ": ";
+      AppendJsonString(out, value);
+    }
+    *out += "}";
+  }
+  if (!node.children.empty()) {
+    *out += ", \"children\": [";
+    bool first = true;
+    for (const ProfileNode& child : node.children) {
+      if (!first) *out += ", ";
+      first = false;
+      AppendJson(child, out);
+    }
+    *out += "]";
+  }
+  *out += "}";
+}
+
+}  // namespace
+
+double ProfileNode::ChildSeconds() const {
+  double total = 0.0;
+  for (const ProfileNode& child : children) total += child.seconds;
+  return total;
+}
+
+std::string QueryProfile::ToText() const {
+  std::string out = root.name;
+  out += "  (wall ";
+  out += FormatSeconds(wall_seconds);
+  out += ")\n";
+  for (const ProfileNode& child : root.children) {
+    AppendText(child, 1, &out);
+  }
+  return out;
+}
+
+std::string QueryProfile::ToJson() const {
+  std::string out = "{\"query\": ";
+  AppendJsonString(&out, query);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ", \"wall_seconds\": %.6f", wall_seconds);
+  out += buf;
+  out += ", \"root\": ";
+  AppendJson(root, &out);
+  out += "}";
+  return out;
+}
+
+}  // namespace graphgen::obs

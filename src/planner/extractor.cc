@@ -349,7 +349,8 @@ class VirtualNodeResolver {
 // split never changes results — output is identical for every count.
 std::vector<ExecOutput> RunPlans(
     const rel::Database& db, const std::vector<const query::PlanNode*>& plans,
-    const ExtractOptions& options) {
+    const ExtractOptions& options,
+    const std::vector<obs::ProfileNode*>* profs = nullptr) {
   const size_t n = plans.size();
   const size_t budget =
       options.threads == 0 ? DefaultThreadCount() : options.threads;
@@ -361,13 +362,19 @@ std::vector<ExecOutput> RunPlans(
             .fuse_join_distinct = options.fuse_join_distinct,
             .fuse_min_output_bytes = options.fuse_min_output_bytes});
   std::vector<ExecOutput> outs(plans.size());
-  auto run_one = [&executor, &plans, &outs, &options](size_t i) {
+  // Per-plan profile slots are pre-created by the caller (deque children:
+  // stable pointers), so each worker writes only its own subtree — no
+  // synchronization needed on the profile during the fan-out.
+  auto run_one = [&executor, &plans, &outs, &options, profs](size_t i) {
+    obs::ProfileNode* prof =
+        (profs != nullptr && i < profs->size()) ? (*profs)[i] : nullptr;
+    obs::Span span(prof);
     if (options.engine == query::ExecEngine::kColumnar) {
-      auto result = executor.ExecuteColumnar(*plans[i]);
+      auto result = executor.ExecuteColumnar(*plans[i], prof);
       outs[i].status = result.status();
       if (result.ok()) outs[i].columnar = std::move(result).ValueOrDie();
     } else {
-      auto result = executor.ExecuteRowAtATime(*plans[i]);
+      auto result = executor.ExecuteRowAtATime(*plans[i], prof);
       outs[i].status = result.status();
       if (result.ok()) outs[i].rows = std::move(result).ValueOrDie();
     }
@@ -404,7 +411,8 @@ std::vector<ExecOutput> RunPlans(
 // distinct code, and only mixed columns (or the row oracle) touch Values.
 Status ExecuteNodesRules(const rel::Database& db, const dsl::Program& program,
                          const ExtractOptions& options,
-                         ExtractionResult& result, TypedIdMap& node_ids) {
+                         ExtractionResult& result, TypedIdMap& node_ids,
+                         obs::ProfileNode* stage) {
   CondensedStorage& storage = result.storage;
 
   // Phase 1: translate each rule into a DISTINCT projection plan.
@@ -473,17 +481,29 @@ Status ExecuteNodesRules(const rel::Database& db, const dsl::Program& program,
     plans.push_back(std::move(plan));
   }
 
-  // Phase 2: run the node queries concurrently.
+  // Phase 2: run the node queries concurrently, one profile slot per rule
+  // (created up front so worker threads never append to a shared node).
   std::vector<const query::PlanNode*> refs;
   refs.reserve(plans.size());
   for (const auto& p : plans) refs.push_back(p.get());
-  std::vector<ExecOutput> outs = RunPlans(db, refs, options);
+  std::vector<obs::ProfileNode*> profs;
+  if (stage != nullptr) {
+    profs.reserve(plans.size());
+    for (size_t r = 0; r < plans.size(); ++r) {
+      profs.push_back(stage->AddChild("rule", result.sql[r]));
+    }
+  }
+  std::vector<ExecOutput> outs =
+      RunPlans(db, refs, options, stage != nullptr ? &profs : nullptr);
 
   // Phase 3: apply serially in rule order.
   for (size_t r = 0; r < program.nodes_rules.size(); ++r) {
     const dsl::Rule& rule = program.nodes_rules[r];
     GRAPHGEN_RETURN_NOT_OK(outs[r].status);
     result.rows_scanned += outs[r].NumRows();
+    if (stage != nullptr) {
+      profs[r]->rows = static_cast<int64_t>(outs[r].NumRows());
+    }
 
     // Property columns registered once.
     std::vector<size_t> prop_cols;
@@ -682,12 +702,27 @@ Result<ExtractionResult> Extract(const rel::Database& db,
   ExtractionResult result;
   TypedIdMap node_ids;
 
+  // One flight-recorder stage node per pipeline phase; all null (and all
+  // recording skipped) when observability is off.
+  const bool profiling = obs::Enabled();
+  obs::ProfileNode* nodes_stage =
+      profiling ? result.profile.root.AddChild("nodes") : nullptr;
+
   WallTimer timer;
-  GRAPHGEN_RETURN_NOT_OK(
-      ExecuteNodesRules(db, program, options, result, node_ids));
+  {
+    obs::Span span(nodes_stage);
+    GRAPHGEN_RETURN_NOT_OK(
+        ExecuteNodesRules(db, program, options, result, node_ids,
+                          nodes_stage));
+  }
   result.nodes_seconds = timer.Seconds();
+  if (nodes_stage != nullptr) {
+    nodes_stage->rows = static_cast<int64_t>(result.real_nodes);
+  }
 
   timer.Restart();
+  obs::ProfileNode* edges_stage =
+      profiling ? result.profile.root.AddChild("edges") : nullptr;
 
   // Optional semi-join pushdown: bucket the node keys once; edge-rule
   // endpoint scans then drop dangling rows inside the query. The typed
@@ -711,42 +746,62 @@ Result<ExtractionResult> Extract(const rel::Database& db,
   // Phase 1: analyze every Edges rule and collect all query units.
   std::vector<EdgeRuleWork> works;
   std::vector<const query::PlanNode*> units;
-  for (size_t rule_idx = 0; rule_idx < program.edges_rules.size();
-       ++rule_idx) {
-    const dsl::Rule& rule = program.edges_rules[rule_idx];
-    GRAPHGEN_ASSIGN_OR_RETURN(
-        JoinChain chain,
-        AnalyzeEdgesRule(rule, db, options.large_output_factor));
+  std::vector<obs::ProfileNode*> unit_profs;
+  obs::ProfileNode* plan_node =
+      edges_stage != nullptr ? edges_stage->AddChild("plan") : nullptr;
+  {
+    obs::Span plan_span(plan_node);
+    for (size_t rule_idx = 0; rule_idx < program.edges_rules.size();
+         ++rule_idx) {
+      const dsl::Rule& rule = program.edges_rules[rule_idx];
+      GRAPHGEN_ASSIGN_OR_RETURN(
+          JoinChain chain,
+          AnalyzeEdgesRule(rule, db, options.large_output_factor));
 
-    EdgeRuleWork work;
-    work.first_unit = units.size();
-    if (rule.count_constraint.has_value()) {
-      GRAPHGEN_ASSIGN_OR_RETURN(
-          CountPlanParts parts,
-          BuildCountConstraintPlan(chain, *rule.count_constraint, node_keys));
-      result.sql.push_back(parts.sql);
-      work.count_plan = std::move(parts.plan);
-      units.push_back(work.count_plan.get());
-    } else {
-      // dst-side pushdown is only sound on a single-segment chain: with
-      // multiple segments the assembly loop allocates the src boundary's
-      // virtual node before checking dst, so early dst filtering would
-      // renumber virtual nodes.
-      const bool single_segment = !chain.HasLargeOutputJoin();
-      GRAPHGEN_ASSIGN_OR_RETURN(
-          work.segments,
-          BuildSegments(chain, node_keys,
-                        single_segment ? node_keys : nullptr));
-      for (const Segment& seg : work.segments) {
-        result.sql.push_back(seg.sql);
-        units.push_back(seg.plan.get());
+      EdgeRuleWork work;
+      work.first_unit = units.size();
+      if (rule.count_constraint.has_value()) {
+        GRAPHGEN_ASSIGN_OR_RETURN(
+            CountPlanParts parts,
+            BuildCountConstraintPlan(chain, *rule.count_constraint,
+                                     node_keys));
+        result.sql.push_back(parts.sql);
+        work.count_plan = std::move(parts.plan);
+        units.push_back(work.count_plan.get());
+        if (edges_stage != nullptr) {
+          unit_profs.push_back(
+              edges_stage->AddChild("count_query", parts.sql));
+        }
+      } else {
+        // dst-side pushdown is only sound on a single-segment chain: with
+        // multiple segments the assembly loop allocates the src boundary's
+        // virtual node before checking dst, so early dst filtering would
+        // renumber virtual nodes.
+        const bool single_segment = !chain.HasLargeOutputJoin();
+        GRAPHGEN_ASSIGN_OR_RETURN(
+            work.segments,
+            BuildSegments(chain, node_keys,
+                          single_segment ? node_keys : nullptr));
+        for (const Segment& seg : work.segments) {
+          result.sql.push_back(seg.sql);
+          units.push_back(seg.plan.get());
+          if (edges_stage != nullptr) {
+            unit_profs.push_back(edges_stage->AddChild("segment", seg.sql));
+          }
+        }
       }
+      works.push_back(std::move(work));
     }
-    works.push_back(std::move(work));
+    if (plan_node != nullptr) {
+      plan_node->AddStat("rules",
+                         static_cast<double>(program.edges_rules.size()));
+      plan_node->AddStat("queries", static_cast<double>(units.size()));
+    }
   }
 
   // Phase 2: execute all segment/count queries, rules concurrently.
-  std::vector<ExecOutput> outs = RunPlans(db, units, options);
+  std::vector<ExecOutput> outs = RunPlans(
+      db, units, options, edges_stage != nullptr ? &unit_profs : nullptr);
 
   // Phase 3: assemble the condensed graph serially in (rule, segment,
   // row) order — virtual-node numbering and edge order are identical to
@@ -758,12 +813,19 @@ Result<ExtractionResult> Extract(const rel::Database& db,
                                       size_t boundary) -> TypedIdMap& {
     return virtual_maps[(static_cast<uint64_t>(rule) << 32) | boundary];
   };
+  obs::ProfileNode* assembly_node =
+      edges_stage != nullptr ? edges_stage->AddChild("assembly") : nullptr;
+  WallTimer assembly_timer;
   for (size_t rule_idx = 0; rule_idx < works.size(); ++rule_idx) {
     EdgeRuleWork& work = works[rule_idx];
     if (work.count_plan != nullptr) {
       ExecOutput& out = outs[work.first_unit];
       GRAPHGEN_RETURN_NOT_OK(out.status);
       result.rows_scanned += out.NumRows();
+      if (assembly_node != nullptr) {
+        unit_profs[work.first_unit]->rows =
+            static_cast<int64_t>(out.NumRows());
+      }
       GRAPHGEN_RETURN_NOT_OK(ApplyCountConstraint(
           out, *program.edges_rules[rule_idx].count_constraint, node_ids,
           result));
@@ -775,6 +837,10 @@ Result<ExtractionResult> Extract(const rel::Database& db,
       ExecOutput& out = outs[work.first_unit + si];
       GRAPHGEN_RETURN_NOT_OK(out.status);
       result.rows_scanned += out.NumRows();
+      if (assembly_node != nullptr) {
+        unit_profs[work.first_unit + si]->rows =
+            static_cast<int64_t>(out.NumRows());
+      }
 
       const bool first = si == 0;
       const bool last = si + 1 == work.segments.size();
@@ -833,17 +899,36 @@ Result<ExtractionResult> Extract(const rel::Database& db,
     }
   }
   result.edges_seconds = timer.Seconds();
+  if (assembly_node != nullptr) {
+    assembly_node->seconds = assembly_timer.Seconds();
+    assembly_node->AddStat("rows_scanned_total",
+                           static_cast<double>(result.rows_scanned));
+  }
+  if (edges_stage != nullptr) edges_stage->seconds = result.edges_seconds;
 
   if (options.preprocess) {
     timer.Restart();
+    obs::ProfileNode* pp_node =
+        profiling ? result.profile.root.AddChild("preprocess") : nullptr;
     PreprocessResult pp =
         ExpandSmallVirtualNodes(result.storage, options.threads);
     (void)pp;
     result.preprocess_seconds = timer.Seconds();
+    if (pp_node != nullptr) {
+      pp_node->seconds = result.preprocess_seconds;
+      pp_node->AddStat("expanded_virtual_nodes",
+                       static_cast<double>(pp.expanded_virtual_nodes));
+      pp_node->AddStat("rounds", static_cast<double>(pp.rounds));
+    }
   }
 
   result.condensed_edges = result.storage.CountCondensedEdges();
   result.virtual_nodes = result.storage.NumVirtualNodes();
+  if (edges_stage != nullptr) {
+    edges_stage->rows = static_cast<int64_t>(result.condensed_edges);
+    edges_stage->AddStat("virtual_nodes",
+                         static_cast<double>(result.virtual_nodes));
+  }
   return result;
 }
 
@@ -852,7 +937,10 @@ Result<ExtractionResult> ExtractFromQuery(const rel::Database& db,
                                           const ExtractOptions& options) {
   GRAPHGEN_ASSIGN_OR_RETURN(dsl::Program program, dsl::Parse(datalog));
   GRAPHGEN_RETURN_NOT_OK(dsl::Validate(program, db));
-  return Extract(db, program, options);
+  GRAPHGEN_ASSIGN_OR_RETURN(ExtractionResult result,
+                            Extract(db, program, options));
+  result.profile.query = std::string(datalog);
+  return result;
 }
 
 std::string DiffExtraction(const ExtractionResult& a,

@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "datalog/ast.h"
 #include "graph/storage.h"
+#include "obs/profile.h"
 #include "query/executor.h"
 #include "relational/database.h"
 
@@ -68,6 +69,10 @@ struct ExtractionResult {
   double nodes_seconds = 0.0;
   double edges_seconds = 0.0;
   double preprocess_seconds = 0.0;
+  /// Per-stage flight record (EXPLAIN ANALYZE tree): the nodes/edges
+  /// query subtrees the executor fills, planning, assembly, and
+  /// virtual-node expansion. Empty when observability is disabled.
+  obs::QueryProfile profile;
 };
 
 /// Runs the full §4.2 pipeline for a validated program: executes the

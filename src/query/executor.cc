@@ -11,10 +11,52 @@
 
 #include "common/hash.h"
 #include "common/parallel.h"
+#include "obs/metrics.h"
 
 namespace graphgen::query {
 
 namespace {
+
+// Engine-level counters in the global registry. Pointers are resolved
+// once (registry lookups take a lock; Add() does not) and shared by every
+// Executor instance.
+struct ExecMetrics {
+  obs::Counter* scan_rows_in;
+  obs::Counter* scan_rows_out;
+  obs::Counter* join_build_rows;
+  obs::Counter* join_probe_rows;
+  obs::Counter* join_matches;
+  obs::Counter* distinct_rows_in;
+  obs::Counter* distinct_rows_out;
+  obs::Counter* fused_pipelines;
+  obs::Counter* unfused_pipelines;
+};
+
+const ExecMetrics& Metrics() {
+  static const ExecMetrics m = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+    ExecMetrics em;
+    em.scan_rows_in = r.GetCounter("query.scan.rows_in");
+    em.scan_rows_out = r.GetCounter("query.scan.rows_out");
+    em.join_build_rows = r.GetCounter("query.join.build_rows");
+    em.join_probe_rows = r.GetCounter("query.join.probe_rows");
+    em.join_matches = r.GetCounter("query.join.matches");
+    em.distinct_rows_in = r.GetCounter("query.distinct.rows_in");
+    em.distinct_rows_out = r.GetCounter("query.distinct.rows_out");
+    em.fused_pipelines = r.GetCounter("query.fused_pipelines");
+    em.unfused_pipelines = r.GetCounter("query.unfused_pipelines");
+    return em;
+  }();
+  return m;
+}
+
+// The per-operator profile child for an operator about to run, or null
+// when nobody is recording.
+obs::ProfileNode* OpNode(obs::ProfileNode* parent, std::string_view name,
+                         std::string_view detail = {}) {
+  if (parent == nullptr || !obs::Enabled()) return nullptr;
+  return parent->AddChild(name, detail);
+}
 
 using rel::ColumnVector;
 using Encoding = rel::ColumnVector::Encoding;
@@ -852,6 +894,27 @@ void FuseJoinRange(const JoinBuild<Key>& jb, IndexRange range, HashFn hash,
   flush();
 }
 
+// Hash-table shape facts for the profile tree, filled only when someone
+// is recording (the occupancy sums cost a pass over the build input).
+struct JoinProfInfo {
+  size_t partitions = 1;
+  size_t build_keys = 0;  // non-NULL build rows inserted into the tables
+  size_t capacity = 0;    // total slots across partition tables
+};
+
+template <typename Key>
+void FillJoinProfInfo(const JoinBuild<Key>& jb, size_t bn,
+                      JoinProfInfo* info) {
+  if (info == nullptr) return;
+  info->partitions = jb.partitions;
+  size_t nulls = 0;
+  for (size_t i = 0; i < bn; ++i) nulls += jb.bnull[i];
+  info->build_keys = bn - nulls;
+  for (const FlatChainTable<Key>& t : jb.tables) {
+    info->capacity += t.mask + 1;
+  }
+}
+
 // Partitioned hash join over typed keys. `bkey`/`pkey` extract the key of
 // a build/probe row (returning false for NULL — NULL joins nothing), and
 // `hash` mixes it. Output row order is the serial probe order for every
@@ -864,7 +927,8 @@ std::vector<uint32_t> PartitionedJoin(const RowIdResult& left,
                                       const RowIdResult& right,
                                       bool build_left, size_t threads,
                                       HashFn hash, BuildKeyFn bkey,
-                                      ProbeKeyFn pkey) {
+                                      ProbeKeyFn pkey,
+                                      JoinProfInfo* info = nullptr) {
   const RowIdResult& build = build_left ? left : right;
   const RowIdResult& probe = build_left ? right : left;
   const size_t pn = probe.NumRows();
@@ -873,6 +937,7 @@ std::vector<uint32_t> PartitionedJoin(const RowIdResult& left,
 
   JoinBuild<Key> jb = BuildJoinTables<Key>(build.NumRows(), threads, hash,
                                            bkey);
+  FillJoinProfInfo(jb, build.NumRows(), info);
 
   // Probe in contiguous ranges; each range emits matches in probe-row
   // order into its own buffer and buffers concatenate in range order.
@@ -1024,41 +1089,53 @@ Executor::Executor(const rel::Database* db, ExecOptions options)
   if (options_.threads == 0) options_.threads = DefaultThreadCount();
 }
 
-Result<ResultSet> Executor::Execute(const PlanNode& plan) const {
+Result<ResultSet> Executor::Execute(const PlanNode& plan,
+                                    obs::ProfileNode* parent) const {
   if (options_.engine == ExecEngine::kRowAtATime) {
-    return ExecuteRowAtATime(plan);
+    return ExecuteRowAtATime(plan, parent);
   }
-  GRAPHGEN_ASSIGN_OR_RETURN(RowIdResult result, ExecuteColumnar(plan));
-  return result.Materialize(options_.threads);
+  GRAPHGEN_ASSIGN_OR_RETURN(RowIdResult result, ExecuteColumnar(plan, parent));
+  obs::ProfileNode* prof = OpNode(parent, "materialize_values");
+  obs::Span span(prof);
+  Result<ResultSet> out = result.Materialize(options_.threads);
+  if (prof != nullptr && out.ok()) {
+    prof->rows = static_cast<int64_t>(out->NumRows());
+  }
+  return out;
 }
 
-Result<RowIdResult> Executor::ExecuteColumnar(const PlanNode& plan) const {
+Result<RowIdResult> Executor::ExecuteColumnar(const PlanNode& plan,
+                                              obs::ProfileNode* parent) const {
   switch (plan.kind()) {
     case PlanNode::Kind::kScan:
-      return ScanColumnar(static_cast<const ScanNode&>(plan));
+      return ScanColumnar(static_cast<const ScanNode&>(plan), parent);
     case PlanNode::Kind::kHashJoin:
-      return JoinColumnar(static_cast<const HashJoinNode&>(plan));
+      return JoinColumnar(static_cast<const HashJoinNode&>(plan), parent);
     case PlanNode::Kind::kProject:
-      return ProjectColumnar(static_cast<const ProjectNode&>(plan));
+      return ProjectColumnar(static_cast<const ProjectNode&>(plan), parent);
   }
   return Status::Internal("unknown plan node type");
 }
 
-Result<ResultSet> Executor::ExecuteRowAtATime(const PlanNode& plan) const {
+Result<ResultSet> Executor::ExecuteRowAtATime(const PlanNode& plan,
+                                              obs::ProfileNode* parent) const {
   switch (plan.kind()) {
     case PlanNode::Kind::kScan:
-      return ScanRows(static_cast<const ScanNode&>(plan));
+      return ScanRows(static_cast<const ScanNode&>(plan), parent);
     case PlanNode::Kind::kHashJoin:
-      return JoinRows(static_cast<const HashJoinNode&>(plan));
+      return JoinRows(static_cast<const HashJoinNode&>(plan), parent);
     case PlanNode::Kind::kProject:
-      return ProjectRows(static_cast<const ProjectNode&>(plan));
+      return ProjectRows(static_cast<const ProjectNode&>(plan), parent);
   }
   return Status::Internal("unknown plan node type");
 }
 
 // ---------------------------------------------------------------- columnar
 
-Result<RowIdResult> Executor::ScanColumnar(const ScanNode& node) const {
+Result<RowIdResult> Executor::ScanColumnar(const ScanNode& node,
+                                           obs::ProfileNode* parent) const {
+  obs::ProfileNode* prof = OpNode(parent, "scan", node.table());
+  obs::Span span(prof);
   GRAPHGEN_ASSIGN_OR_RETURN(const rel::Table* table,
                             db_->GetTable(node.table()));
   for (const Predicate& p : node.predicates()) {
@@ -1086,6 +1163,7 @@ Result<RowIdResult> Executor::ScanColumnar(const ScanNode& node) const {
   for (size_t c = 0; c < table->NumColumns(); ++c) {
     out.columns[c] = {0, static_cast<uint32_t>(c)};
   }
+  Metrics().scan_rows_in->Add(n);
   if (node.predicates().empty() && node.semi_joins().empty()) {
     out.tuples.resize(n);
     ParallelFor(
@@ -1096,6 +1174,11 @@ Result<RowIdResult> Executor::ScanColumnar(const ScanNode& node) const {
           }
         },
         options_.threads);
+    Metrics().scan_rows_out->Add(n);
+    if (prof != nullptr) {
+      prof->rows = static_cast<int64_t>(n);
+      prof->AddStat("rows_in", static_cast<double>(n));
+    }
     return out;
   }
 
@@ -1133,6 +1216,15 @@ Result<RowIdResult> Executor::ScanColumnar(const ScanNode& node) const {
   out.tuples.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     if (keep[i] != 0) out.tuples.push_back(static_cast<uint32_t>(i));
+  }
+  Metrics().scan_rows_out->Add(out.tuples.size());
+  if (prof != nullptr) {
+    prof->rows = static_cast<int64_t>(out.tuples.size());
+    prof->AddStat("rows_in", static_cast<double>(n));
+    prof->AddStat("predicates", static_cast<double>(node.predicates().size()));
+    prof->AddStat("semi_joins", static_cast<double>(node.semi_joins().size()));
+    prof->AddStat("morsels", static_cast<double>(
+        (n + kScanMorselRows - 1) / kScanMorselRows));
   }
   return out;
 }
@@ -1184,9 +1276,14 @@ Result<JoinSides> PrepareJoin(const HashJoinNode& node,
 
 }  // namespace
 
-Result<RowIdResult> Executor::JoinColumnar(const HashJoinNode& node) const {
-  GRAPHGEN_ASSIGN_OR_RETURN(RowIdResult left, ExecuteColumnar(node.left()));
-  GRAPHGEN_ASSIGN_OR_RETURN(RowIdResult right, ExecuteColumnar(node.right()));
+Result<RowIdResult> Executor::JoinColumnar(const HashJoinNode& node,
+                                           obs::ProfileNode* parent) const {
+  obs::ProfileNode* prof = OpNode(parent, "hash_join");
+  obs::Span span(prof);
+  GRAPHGEN_ASSIGN_OR_RETURN(RowIdResult left,
+                            ExecuteColumnar(node.left(), prof));
+  GRAPHGEN_ASSIGN_OR_RETURN(RowIdResult right,
+                            ExecuteColumnar(node.right(), prof));
   RowIdResult out;
   GRAPHGEN_ASSIGN_OR_RETURN(JoinSides sides,
                             PrepareJoin(node, left, right, &out));
@@ -1198,20 +1295,42 @@ Result<RowIdResult> Executor::JoinColumnar(const HashJoinNode& node) const {
 
   // An impossible key-encoding pair (WithTypedJoinKeys returns false)
   // leaves tuples empty — correct schema/bindings, no rows.
+  JoinProfInfo info;
   WithTypedJoinKeys(
       build, probe, bcol, pcol,
       [&](auto tag, auto hash, auto bkey, auto pkey) {
         using Key = typename decltype(tag)::type;
         out.tuples = PartitionedJoin<Key>(left, right, sides.build_left,
-                                          threads, hash, bkey, pkey);
+                                          threads, hash, bkey, pkey,
+                                          prof != nullptr ? &info : nullptr);
       });
+  const size_t matches = out.NumRows();
+  Metrics().join_build_rows->Add(build.NumRows());
+  Metrics().join_probe_rows->Add(probe.NumRows());
+  Metrics().join_matches->Add(matches);
+  if (prof != nullptr) {
+    prof->rows = static_cast<int64_t>(matches);
+    prof->AddStat("build_rows", static_cast<double>(build.NumRows()));
+    prof->AddStat("probe_rows", static_cast<double>(probe.NumRows()));
+    prof->AddStat("partitions", static_cast<double>(info.partitions));
+    if (info.capacity > 0) {
+      prof->AddStat("load_factor", static_cast<double>(info.build_keys) /
+                                       static_cast<double>(info.capacity));
+    }
+    prof->AddNote("build_side", sides.build_left ? "left" : "right");
+  }
   return out;
 }
 
 Result<RowIdResult> Executor::JoinDistinctColumnar(
-    const ProjectNode& node, const HashJoinNode& join) const {
-  GRAPHGEN_ASSIGN_OR_RETURN(RowIdResult left, ExecuteColumnar(join.left()));
-  GRAPHGEN_ASSIGN_OR_RETURN(RowIdResult right, ExecuteColumnar(join.right()));
+    const ProjectNode& node, const HashJoinNode& join,
+    obs::ProfileNode* parent) const {
+  obs::ProfileNode* prof = OpNode(parent, "join_distinct");
+  obs::Span span(prof);
+  GRAPHGEN_ASSIGN_OR_RETURN(RowIdResult left,
+                            ExecuteColumnar(join.left(), prof));
+  GRAPHGEN_ASSIGN_OR_RETURN(RowIdResult right,
+                            ExecuteColumnar(join.right(), prof));
   // The join initially contributes only its output *metadata* (sources,
   // bindings, qualified schema); whether its tuple vector is ever built
   // is the fusion decision below.
@@ -1244,11 +1363,15 @@ Result<RowIdResult> Executor::JoinDistinctColumnar(
   const size_t pn = probe.NumRows();
 
   bool fused = false;
+  size_t matches = 0;
+  size_t fused_morsels = 0;
+  JoinProfInfo info;
   WithTypedJoinKeys(build, probe, bcol, pcol, [&](auto tag, auto hash,
                                                   auto bkey, auto pkey) {
     using Key = typename decltype(tag)::type;
     JoinBuild<Key> jb =
         BuildJoinTables<Key>(build.NumRows(), threads, hash, bkey);
+    FillJoinProfInfo(jb, build.NumRows(), prof != nullptr ? &info : nullptr);
 
     const size_t probe_ways =
         (threads > 1 && pn >= kParallelProbeThreshold) ? threads : 1;
@@ -1263,6 +1386,10 @@ Result<RowIdResult> Executor::JoinDistinctColumnar(
     });
     size_t total_matches = 0;
     for (size_t e : expected) total_matches += e;
+    matches = total_matches;
+    for (size_t e : expected) {
+      fused_morsels += (e + kFusedMorselRows - 1) / kFusedMorselRows;
+    }
 
     // Fusion trades the materialize→rehash→re-read passes for streaming
     // dedup; that wins once the output is too large to stay
@@ -1323,26 +1450,55 @@ Result<RowIdResult> Executor::JoinDistinctColumnar(
     }
     out.tuples.assign(global.tuples(), global.tuples() + global.size() * w);
   });
+  Metrics().join_build_rows->Add(build.NumRows());
+  Metrics().join_probe_rows->Add(probe.NumRows());
+  Metrics().join_matches->Add(matches);
+  (fused ? Metrics().fused_pipelines : Metrics().unfused_pipelines)->Add(1);
+  if (prof != nullptr) {
+    prof->AddStat("build_rows", static_cast<double>(build.NumRows()));
+    prof->AddStat("probe_rows", static_cast<double>(probe.NumRows()));
+    prof->AddStat("join_matches", static_cast<double>(matches));
+    prof->AddStat("partitions", static_cast<double>(info.partitions));
+    if (info.capacity > 0) {
+      prof->AddStat("load_factor", static_cast<double>(info.build_keys) /
+                                       static_cast<double>(info.capacity));
+    }
+    prof->AddStat("est_join_bytes",
+                  static_cast<double>(matches * w * sizeof(uint32_t)));
+    prof->AddNote("fused", fused ? "yes" : "no");
+  }
   if (!fused) {
     // Below the fusion threshold (or an impossible key pairing): the
     // materialized join runs through the ordinary projection tail.
-    return ProjectFromChild(node, std::move(joined));
+    return ProjectFromChild(node, std::move(joined), prof);
+  }
+  Metrics().distinct_rows_in->Add(matches);
+  Metrics().distinct_rows_out->Add(out.NumRows());
+  if (prof != nullptr) {
+    prof->rows = static_cast<int64_t>(out.NumRows());
+    prof->AddStat("morsels", static_cast<double>(fused_morsels));
   }
   return out;
 }
 
-Result<RowIdResult> Executor::ProjectColumnar(const ProjectNode& node) const {
+Result<RowIdResult> Executor::ProjectColumnar(const ProjectNode& node,
+                                              obs::ProfileNode* parent) const {
   if (node.distinct() && options_.fuse_join_distinct &&
       node.child().kind() == PlanNode::Kind::kHashJoin) {
-    return JoinDistinctColumnar(node,
-                                static_cast<const HashJoinNode&>(node.child()));
+    return JoinDistinctColumnar(
+        node, static_cast<const HashJoinNode&>(node.child()), parent);
   }
-  GRAPHGEN_ASSIGN_OR_RETURN(RowIdResult child, ExecuteColumnar(node.child()));
-  return ProjectFromChild(node, std::move(child));
+  obs::ProfileNode* prof =
+      OpNode(parent, node.distinct() ? "project_distinct" : "project");
+  obs::Span span(prof);
+  GRAPHGEN_ASSIGN_OR_RETURN(RowIdResult child,
+                            ExecuteColumnar(node.child(), prof));
+  return ProjectFromChild(node, std::move(child), prof);
 }
 
 Result<RowIdResult> Executor::ProjectFromChild(const ProjectNode& node,
-                                               RowIdResult child) const {
+                                               RowIdResult child,
+                                               obs::ProfileNode* prof) const {
   RowIdResult out;
   GRAPHGEN_RETURN_NOT_OK(ProjectOutputSchema(node, child.schema, child.origins,
                                              &out.schema, &out.origins));
@@ -1351,6 +1507,7 @@ Result<RowIdResult> Executor::ProjectFromChild(const ProjectNode& node,
   for (size_t c : node.columns()) out.columns.push_back(child.columns[c]);
   if (!node.distinct()) {
     out.tuples = std::move(child.tuples);
+    if (prof != nullptr) prof->rows = static_cast<int64_t>(out.NumRows());
     return out;
   }
 
@@ -1431,12 +1588,22 @@ Result<RowIdResult> Executor::ProjectFromChild(const ProjectNode& node,
         }
       },
       options_.threads);
+  Metrics().distinct_rows_in->Add(n);
+  Metrics().distinct_rows_out->Add(survivors.size());
+  if (prof != nullptr) {
+    prof->rows = static_cast<int64_t>(survivors.size());
+    prof->AddStat("distinct_in", static_cast<double>(n));
+    prof->AddStat("distinct_partitions", static_cast<double>(partitions));
+  }
   return out;
 }
 
 // ------------------------------------------------------------ row-at-a-time
 
-Result<ResultSet> Executor::ScanRows(const ScanNode& node) const {
+Result<ResultSet> Executor::ScanRows(const ScanNode& node,
+                                     obs::ProfileNode* parent) const {
+  obs::ProfileNode* prof = OpNode(parent, "scan", node.table());
+  obs::Span span(prof);
   GRAPHGEN_ASSIGN_OR_RETURN(const rel::Table* table,
                             db_->GetTable(node.table()));
   ResultSet out;
@@ -1472,12 +1639,21 @@ Result<ResultSet> Executor::ScanRows(const ScanNode& node) const {
     }
     if (keep) out.rows.push_back(std::move(row));
   }
+  if (prof != nullptr) {
+    prof->rows = static_cast<int64_t>(out.NumRows());
+    prof->AddStat("rows_in", static_cast<double>(table->NumRows()));
+  }
   return out;
 }
 
-Result<ResultSet> Executor::JoinRows(const HashJoinNode& node) const {
-  GRAPHGEN_ASSIGN_OR_RETURN(ResultSet left, ExecuteRowAtATime(node.left()));
-  GRAPHGEN_ASSIGN_OR_RETURN(ResultSet right, ExecuteRowAtATime(node.right()));
+Result<ResultSet> Executor::JoinRows(const HashJoinNode& node,
+                                     obs::ProfileNode* parent) const {
+  obs::ProfileNode* prof = OpNode(parent, "hash_join");
+  obs::Span span(prof);
+  GRAPHGEN_ASSIGN_OR_RETURN(ResultSet left,
+                            ExecuteRowAtATime(node.left(), prof));
+  GRAPHGEN_ASSIGN_OR_RETURN(ResultSet right,
+                            ExecuteRowAtATime(node.right(), prof));
   if (node.left_col() >= left.schema.NumColumns() ||
       node.right_col() >= right.schema.NumColumns()) {
     return Status::PlanError("join column out of range");
@@ -1517,11 +1693,21 @@ Result<ResultSet> Executor::JoinRows(const HashJoinNode& node) const {
       out.rows.push_back(std::move(joined));
     }
   }
+  if (prof != nullptr) {
+    prof->rows = static_cast<int64_t>(out.NumRows());
+    prof->AddStat("build_rows", static_cast<double>(build.NumRows()));
+    prof->AddStat("probe_rows", static_cast<double>(probe.NumRows()));
+  }
   return out;
 }
 
-Result<ResultSet> Executor::ProjectRows(const ProjectNode& node) const {
-  GRAPHGEN_ASSIGN_OR_RETURN(ResultSet child, ExecuteRowAtATime(node.child()));
+Result<ResultSet> Executor::ProjectRows(const ProjectNode& node,
+                                        obs::ProfileNode* parent) const {
+  obs::ProfileNode* prof =
+      OpNode(parent, node.distinct() ? "project_distinct" : "project");
+  obs::Span span(prof);
+  GRAPHGEN_ASSIGN_OR_RETURN(ResultSet child,
+                            ExecuteRowAtATime(node.child(), prof));
   ResultSet out;
   GRAPHGEN_RETURN_NOT_OK(ProjectOutputSchema(node, child.schema, child.origins,
                                              &out.schema, &out.origins));
@@ -1537,6 +1723,12 @@ Result<ResultSet> Executor::ProjectRows(const ProjectNode& node) const {
       if (!seen.insert(projected).second) continue;
     }
     out.rows.push_back(std::move(projected));
+  }
+  if (prof != nullptr) {
+    prof->rows = static_cast<int64_t>(out.NumRows());
+    if (node.distinct()) {
+      prof->AddStat("distinct_in", static_cast<double>(child.NumRows()));
+    }
   }
   return out;
 }

@@ -2,6 +2,7 @@
 #define GRAPHGEN_QUERY_EXECUTOR_H_
 
 #include "common/status.h"
+#include "obs/profile.h"
 #include "query/columnar.h"
 #include "query/plan.h"
 #include "relational/database.h"
@@ -51,21 +52,31 @@ class Executor {
  public:
   explicit Executor(const rel::Database* db, ExecOptions options = {});
 
-  /// Runs the plan and returns its materialized result set.
-  Result<ResultSet> Execute(const PlanNode& plan) const;
+  /// Runs the plan and returns its materialized result set. When `parent`
+  /// is non-null (and observability is enabled) the engine appends an
+  /// EXPLAIN ANALYZE operator subtree under it: per-operator inclusive
+  /// timings, input/output cardinalities, join build/probe breakdowns,
+  /// hash-table load factors, and the fusion decision taken.
+  Result<ResultSet> Execute(const PlanNode& plan,
+                            obs::ProfileNode* parent = nullptr) const;
 
   /// Runs the plan on the columnar engine without materializing values.
-  Result<RowIdResult> ExecuteColumnar(const PlanNode& plan) const;
+  Result<RowIdResult> ExecuteColumnar(const PlanNode& plan,
+                                      obs::ProfileNode* parent = nullptr) const;
 
   /// Runs the plan on the legacy row-at-a-time interpreter.
-  Result<ResultSet> ExecuteRowAtATime(const PlanNode& plan) const;
+  Result<ResultSet> ExecuteRowAtATime(const PlanNode& plan,
+                                      obs::ProfileNode* parent = nullptr) const;
 
   const ExecOptions& options() const { return options_; }
 
  private:
-  Result<RowIdResult> ScanColumnar(const ScanNode& node) const;
-  Result<RowIdResult> JoinColumnar(const HashJoinNode& node) const;
-  Result<RowIdResult> ProjectColumnar(const ProjectNode& node) const;
+  Result<RowIdResult> ScanColumnar(const ScanNode& node,
+                                   obs::ProfileNode* parent) const;
+  Result<RowIdResult> JoinColumnar(const HashJoinNode& node,
+                                   obs::ProfileNode* parent) const;
+  Result<RowIdResult> ProjectColumnar(const ProjectNode& node,
+                                      obs::ProfileNode* parent) const;
   /// The fused morsel pipeline for DISTINCT directly above a hash join:
   /// executes the join's children, builds the partitioned hash tables,
   /// sizes the output from the build chains, and — when the output is
@@ -73,15 +84,22 @@ class Executor {
   /// the first-occurrence set without materializing the join's tuple
   /// vector. Smaller joins materialize and take ProjectFromChild.
   Result<RowIdResult> JoinDistinctColumnar(const ProjectNode& node,
-                                           const HashJoinNode& join) const;
+                                           const HashJoinNode& join,
+                                           obs::ProfileNode* parent) const;
   /// Projection/DISTINCT over an already-executed child (the tail of
   /// ProjectColumnar, shared with the fused path's materializing branch).
+  /// `prof` is the caller's already-created operator node, filled in
+  /// place (null = no recording).
   Result<RowIdResult> ProjectFromChild(const ProjectNode& node,
-                                       RowIdResult child) const;
+                                       RowIdResult child,
+                                       obs::ProfileNode* prof) const;
 
-  Result<ResultSet> ScanRows(const ScanNode& node) const;
-  Result<ResultSet> JoinRows(const HashJoinNode& node) const;
-  Result<ResultSet> ProjectRows(const ProjectNode& node) const;
+  Result<ResultSet> ScanRows(const ScanNode& node,
+                             obs::ProfileNode* parent) const;
+  Result<ResultSet> JoinRows(const HashJoinNode& node,
+                             obs::ProfileNode* parent) const;
+  Result<ResultSet> ProjectRows(const ProjectNode& node,
+                                obs::ProfileNode* parent) const;
 
   const rel::Database* db_;
   ExecOptions options_;

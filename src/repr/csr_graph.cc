@@ -4,10 +4,18 @@
 
 #include "common/memory.h"
 #include "common/parallel.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace graphgen {
 
 CsrGraph CsrGraph::Build(const Graph& g, size_t threads) {
+  static obs::Counter* const builds =
+      obs::MetricsRegistry::Global().GetCounter("repr.csr_builds");
+  static obs::Histogram* const build_us =
+      obs::MetricsRegistry::Global().GetHistogram("repr.csr_build_us");
+  builds->Increment();
+  ScopedTimer build_timer(build_us);
   CsrGraph out;
   const size_t n = g.NumVertices();
   out.exists_.assign(n, 0);

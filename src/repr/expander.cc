@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/parallel.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace graphgen {
 
@@ -14,6 +16,12 @@ namespace graphgen {
 // paid for every path edge. The deduplicated ranges are then compacted
 // into the final out-CSR, and the in-CSR is derived from it.
 ExpandedGraph ExpandCondensed(const CondensedStorage& storage) {
+  static obs::Counter* const expands =
+      obs::MetricsRegistry::Global().GetCounter("repr.expand_calls");
+  static obs::Histogram* const expand_us =
+      obs::MetricsRegistry::Global().GetHistogram("repr.expand_us");
+  expands->Increment();
+  ScopedTimer expand_timer(expand_us);
   const size_t n = storage.NumRealNodes();
   ExpandedGraph graph(n);
 

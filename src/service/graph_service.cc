@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/timer.h"
 #include "repr/csr_graph.h"
 #include "service/cache_key.h"
 
@@ -12,6 +13,20 @@ GraphService::GraphService(const rel::Database* db, ServiceOptions options)
       options_(std::move(options)),
       engine_(db),
       cache_(options_.cache_budget_bytes),
+      requests_(registry_.GetCounter("service.requests")),
+      cache_hits_(registry_.GetCounter("service.cache_hits")),
+      cold_extractions_(registry_.GetCounter("service.cold_extractions")),
+      coalesced_(registry_.GetCounter("service.coalesced")),
+      failed_(registry_.GetCounter("service.failed")),
+      uncacheable_(registry_.GetCounter("service.uncacheable")),
+      csr_builds_(registry_.GetCounter("service.csr_builds")),
+      slow_requests_(registry_.GetCounter("service.slow_requests")),
+      cache_bytes_gauge_(registry_.GetGauge("service.cache_bytes")),
+      cache_graphs_gauge_(registry_.GetGauge("service.cache_graphs")),
+      cache_evictions_gauge_(registry_.GetGauge("service.cache_evictions")),
+      flat_views_gauge_(registry_.GetGauge("service.flat_views")),
+      named_graphs_gauge_(registry_.GetGauge("service.named_graphs")),
+      request_us_(registry_.GetHistogram("service.extract_us")),
       pool_(options_.worker_threads) {}
 
 GraphService::~GraphService() = default;
@@ -44,15 +59,11 @@ std::future<Result<GraphHandle>> GraphService::ExtractAsync(
 Result<GraphHandle> GraphService::ExtractWithKey(
     std::string_view datalog, const GraphGenOptions& options) {
   auto record_failure = [this](Status status) -> Result<GraphHandle> {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++failed_;
+    failed_->Increment();
     return status;
   };
 
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++requests_;
-  }
+  requests_->Increment();
   auto key = CanonicalCacheKey(datalog, options);
   if (!key.ok()) return record_failure(key.status());
 
@@ -61,13 +72,13 @@ Result<GraphHandle> GraphService::ExtractWithKey(
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (GraphHandle cached = cache_.Get(*key)) {
-      ++cache_hits_;
+      cache_hits_->Increment();
       return cached;
     }
     auto it = inflight_.find(*key);
     if (it != inflight_.end()) {
       flight = it->second;
-      ++coalesced_;
+      coalesced_->Increment();
     } else {
       flight = std::make_shared<Inflight>();
       inflight_[*key] = flight;
@@ -88,6 +99,7 @@ Result<GraphHandle> GraphService::ExtractWithKey(
   // every later request for this key — convert it to a Status instead.
   GraphHandle handle;
   Status status;
+  WallTimer extract_timer;
   try {
     // Share the service pool with the extraction pipeline so independent
     // Datalog rules fan out onto idle workers. RunBatch lets this thread
@@ -107,14 +119,18 @@ Result<GraphHandle> GraphService::ExtractWithKey(
     handle = nullptr;
     status = Status::Internal("extraction threw an unknown exception");
   }
+  const double extract_seconds = extract_timer.Seconds();
+  if (handle != nullptr) {
+    cold_extractions_->Increment();
+    RecordExtractionLatency(datalog, extract_seconds, handle->stats.profile);
+  } else {
+    failed_->Increment();
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     inflight_.erase(*key);
-    if (handle != nullptr) {
-      ++cold_extractions_;
-      if (!cache_.Put(*key, handle)) ++uncacheable_;
-    } else {
-      ++failed_;
+    if (handle != nullptr && !cache_.Put(*key, handle)) {
+      uncacheable_->Increment();
     }
   }
   {
@@ -243,8 +259,8 @@ std::shared_ptr<const Graph> GraphService::FlatView(const GraphHandle& handle) {
   // condensed representation. Concurrent callers may race to build the
   // same adapter; the first insert wins and the losers share it.
   auto built = std::make_shared<const CsrGraph>(CsrGraph::Build(*key));
+  csr_builds_->Increment();
   std::lock_guard<std::mutex> lock(mu_);
-  ++csr_builds_;
   auto [it, inserted] = flat_views_.try_emplace(key);
   if (inserted || it->second.owner.lock() != handle) {
     it->second = {handle, built};
@@ -252,17 +268,64 @@ std::shared_ptr<const Graph> GraphService::FlatView(const GraphHandle& handle) {
   return it->second.view;
 }
 
-ServiceStats GraphService::Stats() const {
-  ServiceStats stats;
+void GraphService::RecordExtractionLatency(std::string_view datalog,
+                                           double seconds,
+                                           const obs::QueryProfile& profile) {
+  request_us_->RecordSeconds(seconds);
+  if (options_.slow_request_seconds <= 0 || options_.slow_log_capacity == 0 ||
+      seconds < options_.slow_request_seconds) {
+    return;
+  }
+  slow_requests_->Increment();
+  SlowRequest entry;
+  entry.datalog = std::string(datalog);
+  entry.seconds = seconds;
+  // The profile is empty (not captured) when observability was off during
+  // the extraction; retain the slow request anyway — the timing and query
+  // text are still actionable.
+  if (!profile.empty()) {
+    entry.profile = std::make_shared<const obs::QueryProfile>(profile);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  entry.sequence = slow_sequence_++;
+  slow_log_.push_back(std::move(entry));
+  while (slow_log_.size() > options_.slow_log_capacity) slow_log_.pop_front();
+}
+
+std::vector<SlowRequest> GraphService::SlowRequests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {slow_log_.begin(), slow_log_.end()};
+}
+
+std::vector<obs::MetricValue> GraphService::MetricsSnapshot() const {
+  // Gauges mirror derived state (cache footprint, map sizes); refresh them
+  // from the source of truth so the snapshot is current.
   {
     std::lock_guard<std::mutex> lock(mu_);
-    stats.requests = requests_;
-    stats.cache_hits = cache_hits_;
-    stats.cold_extractions = cold_extractions_;
-    stats.coalesced = coalesced_;
-    stats.failed = failed_;
-    stats.uncacheable = uncacheable_;
-    stats.csr_builds = csr_builds_;
+    flat_views_gauge_->Set(static_cast<int64_t>(flat_views_.size()));
+    named_graphs_gauge_->Set(static_cast<int64_t>(names_.size()));
+  }
+  cache_bytes_gauge_->Set(static_cast<int64_t>(cache_.bytes()));
+  cache_graphs_gauge_->Set(static_cast<int64_t>(cache_.size()));
+  cache_evictions_gauge_->Set(static_cast<int64_t>(cache_.evictions()));
+  return registry_.Snapshot();
+}
+
+ServiceStats GraphService::Stats() const {
+  // Compatibility view over the registry: one consistent, uniformly
+  // uint64_t snapshot (the counters are this instance's own, so they are
+  // exact once its requests have quiesced).
+  ServiceStats stats;
+  stats.requests = requests_->Value();
+  stats.cache_hits = cache_hits_->Value();
+  stats.cold_extractions = cold_extractions_->Value();
+  stats.coalesced = coalesced_->Value();
+  stats.failed = failed_->Value();
+  stats.uncacheable = uncacheable_->Value();
+  stats.csr_builds = csr_builds_->Value();
+  stats.slow_requests = slow_requests_->Value();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
     stats.flat_views = flat_views_.size();
     stats.named_graphs = names_.size();
   }

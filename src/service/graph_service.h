@@ -2,6 +2,7 @@
 #define GRAPHGEN_SERVICE_GRAPH_SERVICE_H_
 
 #include <condition_variable>
+#include <deque>
 #include <future>
 #include <map>
 #include <memory>
@@ -14,6 +15,8 @@
 #include "common/parallel.h"
 #include "common/status.h"
 #include "core/graphgen.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
 #include "service/graph_cache.h"
 
 namespace graphgen::service {
@@ -26,6 +29,11 @@ struct ServiceOptions {
   size_t worker_threads = 0;
   /// Extraction options applied when a request does not pass its own.
   GraphGenOptions default_options;
+  /// Cold extractions at least this slow land in the slow-request log
+  /// with their full QueryProfile retained. <= 0 disables the log.
+  double slow_request_seconds = 1.0;
+  /// Ring-buffer capacity of the slow-request log (oldest evicted first).
+  size_t slow_log_capacity = 32;
 };
 
 /// One row of List(): a graph the analyst has registered under a name.
@@ -39,6 +47,8 @@ struct NamedGraphInfo {
 };
 
 /// Counters exposed by Stats() (monotonic except the gauge fields).
+/// All fields are uint64_t so callers can print / diff them uniformly;
+/// the snapshot is sourced from the service's MetricsRegistry in one pass.
 struct ServiceStats {
   uint64_t requests = 0;          // Extract calls (sync + async)
   uint64_t cache_hits = 0;        // served from cache, no pipeline run
@@ -48,12 +58,23 @@ struct ServiceStats {
   uint64_t evictions = 0;         // cache entries dropped for the budget
   uint64_t uncacheable = 0;       // graphs larger than the whole budget
   uint64_t csr_builds = 0;        // materialized-CSR adapters built
-  size_t flat_views = 0;          // gauge: resident CSR adapters
-  size_t cache_bytes = 0;         // gauge: resident cache footprint
-  size_t cache_graphs = 0;        // gauge: resident cache entries
-  size_t named_graphs = 0;        // gauge: registry size
-  size_t cache_budget_bytes = 0;
-  size_t worker_threads = 0;
+  uint64_t slow_requests = 0;     // cold extractions over the slow threshold
+  uint64_t flat_views = 0;        // gauge: resident CSR adapters
+  uint64_t cache_bytes = 0;       // gauge: resident cache footprint
+  uint64_t cache_graphs = 0;      // gauge: resident cache entries
+  uint64_t named_graphs = 0;      // gauge: registry size
+  uint64_t cache_budget_bytes = 0;
+  uint64_t worker_threads = 0;
+};
+
+/// One retained slow request: what ran, how long it took, and the full
+/// EXPLAIN ANALYZE profile captured while it ran (null when observability
+/// was disabled during the extraction).
+struct SlowRequest {
+  std::string datalog;
+  double seconds = 0;
+  uint64_t sequence = 0;  // monotonically increasing admission order
+  std::shared_ptr<const obs::QueryProfile> profile;
 };
 
 /// The serving layer of §3.1: a long-lived engine that owns a relational
@@ -128,6 +149,21 @@ class GraphService {
   void SetCacheBudget(size_t budget_bytes);
 
   ServiceStats Stats() const;
+
+  /// The per-service metrics registry backing Stats(). Counters stay
+  /// exact per instance (they are not shared with the process-global
+  /// registry); gauges are refreshed by MetricsSnapshot()/Stats().
+  obs::MetricsRegistry& metrics() { return registry_; }
+
+  /// Registry snapshot with the gauge metrics (cache footprint, resident
+  /// views, registry size) refreshed first — the `stats` shell command
+  /// and JSON exports read this.
+  std::vector<obs::MetricValue> MetricsSnapshot() const;
+
+  /// Retained slow requests, oldest first (bounded ring buffer; see
+  /// ServiceOptions::slow_request_seconds / slow_log_capacity).
+  std::vector<SlowRequest> SlowRequests() const;
+
   const rel::Database& db() const { return *db_; }
   const ServiceOptions& options() const { return options_; }
 
@@ -158,17 +194,38 @@ class GraphService {
     std::shared_ptr<const Graph> view;
   };
 
-  mutable std::mutex mu_;  // guards inflight_, names_, flat_views_, counters
+  /// Records one finished cold extraction: request-latency histogram plus
+  /// slow-request retention. Takes mu_ internally.
+  void RecordExtractionLatency(std::string_view datalog, double seconds,
+                               const obs::QueryProfile& profile);
+
+  mutable std::mutex mu_;  // guards inflight_, names_, flat_views_, slow_log_
   std::unordered_map<std::string, std::shared_ptr<Inflight>> inflight_;
   std::map<std::string, GraphHandle> names_;
   std::unordered_map<const Graph*, FlatViewEntry> flat_views_;
-  uint64_t requests_ = 0;
-  uint64_t cache_hits_ = 0;
-  uint64_t cold_extractions_ = 0;
-  uint64_t coalesced_ = 0;
-  uint64_t failed_ = 0;
-  uint64_t uncacheable_ = 0;
-  uint64_t csr_builds_ = 0;
+
+  /// Per-instance registry so a service's counters are exact for that
+  /// instance (tests assert precise values); engine-level metrics live in
+  /// obs::MetricsRegistry::Global(). Counter/gauge pointers are resolved
+  /// once in the constructor — registry entries are never invalidated.
+  obs::MetricsRegistry registry_;
+  obs::Counter* requests_;
+  obs::Counter* cache_hits_;
+  obs::Counter* cold_extractions_;
+  obs::Counter* coalesced_;
+  obs::Counter* failed_;
+  obs::Counter* uncacheable_;
+  obs::Counter* csr_builds_;
+  obs::Counter* slow_requests_;
+  obs::Gauge* cache_bytes_gauge_;
+  obs::Gauge* cache_graphs_gauge_;
+  obs::Gauge* cache_evictions_gauge_;
+  obs::Gauge* flat_views_gauge_;
+  obs::Gauge* named_graphs_gauge_;
+  obs::Histogram* request_us_;
+
+  std::deque<SlowRequest> slow_log_;  // ring buffer, oldest at front
+  uint64_t slow_sequence_ = 0;
 
   // Last member: destroyed (and joined) first, so queued tasks finish
   // while the rest of the service is still alive.

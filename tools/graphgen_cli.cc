@@ -25,6 +25,7 @@
 #include "core/graphgen.h"
 #include "core/serialization.h"
 #include "gen/relational_generators.h"
+#include "obs/profile.h"
 #include "relational/csv_loader.h"
 
 namespace {
@@ -38,6 +39,7 @@ struct CliOptions {
   std::string repr = "auto";
   std::string algo = "none";
   std::string out;
+  std::string profile_out;
   double scale = 1.0;
   bool force_condensed = false;
 };
@@ -52,7 +54,10 @@ void PrintUsage() {
       "  --repr=auto|cdup|exp|dedup1|dedup2|bitmap1|bitmap2\n"
       "  --algo=none|degree|pagerank|components|kcore\n"
       "  --force-condensed               treat every join as large-output\n"
-      "  --out=<file>                    serialize expanded edge list");
+      "  --out=<file>                    serialize expanded edge list\n"
+      "  --profile=<file.json>           write the extraction's EXPLAIN\n"
+      "                                  ANALYZE profile as JSON and print\n"
+      "                                  the operator tree");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* opts) {
@@ -82,6 +87,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       opts->algo = v;
     } else if (const char* v = value_of("--out=")) {
       opts->out = v;
+    } else if (const char* v = value_of("--profile=")) {
+      opts->profile_out = v;
     } else if (arg == "--force-condensed") {
       opts->force_condensed = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -194,6 +201,30 @@ int Run(const CliOptions& opts) {
       g.NumActiveVertices(), g.NumVirtualNodes(),
       static_cast<unsigned long long>(g.CountStoredEdges()),
       FormatBytes(g.MemoryBytes()).c_str());
+
+  // 3b. Optional EXPLAIN ANALYZE export: print the operator tree and
+  // round-trip the same profile through JSON for external tooling.
+  if (!opts.profile_out.empty()) {
+    const obs::QueryProfile& profile = extracted->stats.profile;
+    if (profile.empty()) {
+      std::fprintf(stderr,
+                   "--profile requested but observability is disabled "
+                   "(GRAPHGEN_OBS_OFF is set)\n");
+      return 1;
+    }
+    std::printf("\nEXPLAIN ANALYZE:\n%s\n", profile.ToText().c_str());
+    std::ofstream out(opts.profile_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", opts.profile_out.c_str());
+      return 1;
+    }
+    out << profile.ToJson() << '\n';
+    if (!out.good()) {
+      std::fprintf(stderr, "error writing %s\n", opts.profile_out.c_str());
+      return 1;
+    }
+    std::printf("Profile JSON written to %s\n", opts.profile_out.c_str());
+  }
 
   // 4. Optional analysis.
   timer.Restart();

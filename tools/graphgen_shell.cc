@@ -31,6 +31,8 @@
 #include "common/memory.h"
 #include "common/timer.h"
 #include "gen/relational_generators.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
 #include "relational/csv_loader.h"
 #include "service/graph_service.h"
 
@@ -69,7 +71,12 @@ void PrintHelp() {
       "                                      triangles|clustering|bfs\n"
       "  list                                registered graphs\n"
       "  drop <name>                         unregister a graph\n"
+      "  profile <name>                      EXPLAIN ANALYZE tree of the last\n"
+      "                                      cold extraction of that graph\n"
       "  stats                               service counters (cache, workers)\n"
+      "                                      plus the full metrics registry\n"
+      "  slowlog                             retained slow requests (threshold-\n"
+      "                                      gated profiles, capped ring)\n"
       "  tables                              per-table storage: column types,\n"
       "                                      encodings, dictionary sizes, bytes\n"
       "  clear-cache                         drop all cached extractions\n"
@@ -297,25 +304,81 @@ void CmdStats(const ShellState& state) {
       "  cold extractions  %llu\n"
       "  coalesced         %llu\n"
       "  failed            %llu\n"
-      "cache               %zu graphs, %s / %s budget\n"
+      "  slow (logged)     %llu\n"
+      "cache               %llu graphs, %s / %s budget\n"
       "  evictions         %llu\n"
       "  uncacheable       %llu\n"
-      "flat views          %zu resident (%llu CSR builds)\n"
-      "registry            %zu named graphs\n"
-      "workers             %zu threads\n"
+      "flat views          %llu resident (%llu CSR builds)\n"
+      "registry            %llu named graphs\n"
+      "workers             %llu threads\n"
       "database            %s\n",
       static_cast<unsigned long long>(s.requests),
       static_cast<unsigned long long>(s.cache_hits),
       static_cast<unsigned long long>(s.cold_extractions),
       static_cast<unsigned long long>(s.coalesced),
-      static_cast<unsigned long long>(s.failed), s.cache_graphs,
+      static_cast<unsigned long long>(s.failed),
+      static_cast<unsigned long long>(s.slow_requests),
+      static_cast<unsigned long long>(s.cache_graphs),
       FormatBytes(s.cache_bytes).c_str(),
       s.cache_budget_bytes == 0 ? "unlimited"
                                 : FormatBytes(s.cache_budget_bytes).c_str(),
       static_cast<unsigned long long>(s.evictions),
-      static_cast<unsigned long long>(s.uncacheable), s.flat_views,
-      static_cast<unsigned long long>(s.csr_builds), s.named_graphs,
-      s.worker_threads, FormatBytes(state.db.MemoryBytes()).c_str());
+      static_cast<unsigned long long>(s.uncacheable),
+      static_cast<unsigned long long>(s.flat_views),
+      static_cast<unsigned long long>(s.csr_builds),
+      static_cast<unsigned long long>(s.named_graphs),
+      static_cast<unsigned long long>(s.worker_threads),
+      FormatBytes(state.db.MemoryBytes()).c_str());
+  std::printf("\nservice metrics:\n%s",
+              obs::FormatSnapshot(state.svc->MetricsSnapshot()).c_str());
+  std::printf("\nengine metrics (process-wide):\n%s",
+              obs::FormatSnapshot(obs::MetricsRegistry::Global().Snapshot())
+                  .c_str());
+}
+
+void CmdProfile(const ShellState& state, const std::vector<std::string>& args) {
+  if (state.svc == nullptr) {
+    std::puts("no database: use `open` or `csv` first");
+    return;
+  }
+  if (args.size() != 2) {
+    std::puts("usage: profile <name>");
+    return;
+  }
+  auto handle = state.svc->Lookup(args[1]);
+  if (!handle.ok()) {
+    std::printf("%s\n", handle.status().ToString().c_str());
+    return;
+  }
+  const obs::QueryProfile& profile = (*handle)->stats.profile;
+  if (profile.empty()) {
+    std::puts(
+        "(no profile: the graph was served from cache before profiling, or\n"
+        " observability was disabled — unset GRAPHGEN_OBS_OFF and re-extract\n"
+        " after `clear-cache`)");
+    return;
+  }
+  std::printf("%s", profile.ToText().c_str());
+}
+
+void CmdSlowlog(const ShellState& state) {
+  if (state.svc == nullptr) {
+    std::puts("no database: use `open` or `csv` first");
+    return;
+  }
+  auto slow = state.svc->SlowRequests();
+  if (slow.empty()) {
+    std::printf("(no slow requests: threshold %.3fs, capacity %zu)\n",
+                state.svc->options().slow_request_seconds,
+                state.svc->options().slow_log_capacity);
+    return;
+  }
+  for (const service::SlowRequest& r : slow) {
+    std::printf("#%llu  %.3fs  %s\n",
+                static_cast<unsigned long long>(r.sequence), r.seconds,
+                r.datalog.c_str());
+    if (r.profile != nullptr) std::printf("%s", r.profile->ToText().c_str());
+  }
 }
 
 // Storage introspection for the typed columnar layer: one block per
@@ -392,6 +455,10 @@ int RunShell(ShellState& state, std::istream& in, bool interactive) {
       }
     } else if (cmd == "stats") {
       CmdStats(state);
+    } else if (cmd == "profile") {
+      CmdProfile(state, args);
+    } else if (cmd == "slowlog") {
+      CmdSlowlog(state);
     } else if (cmd == "tables") {
       CmdTables(state);
     } else if (cmd == "clear-cache") {
