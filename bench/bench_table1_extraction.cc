@@ -16,18 +16,28 @@
 // builds.
 //
 // Writes a JSON summary (default BENCH_extraction.json, override with
-// --out=<path>). --smoke shrinks the datasets and runs one iteration.
+// --out=<path>). --smoke shrinks the datasets and runs one iteration,
+// and additionally gates the robustness plumbing (cancellation polls,
+// deadline checks, disarmed fault points) at < 1% overhead.
+// --cancel-at-ms=N skips the benchmark and probes mid-flight
+// cancellation latency instead.
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/cancel.h"
+#include "common/faultpoints.h"
 #include "common/parallel.h"
 #include "common/timer.h"
 #include "gen/relational_generators.h"
@@ -157,6 +167,58 @@ bool RunWorkload(const std::string& name, const gen::GeneratedDatabase& data,
   return ok;
 }
 
+// --cancel-at-ms=N: measures cooperative-cancellation latency instead of
+// throughput. A deliberately heavy co-enrollment self-join (~1.6e9
+// candidate pairs, several seconds uncancelled) is cancelled N ms after it
+// starts; the harness reports how long the pipeline took to unwind after
+// the flag was raised — the morsel-poll quantum made observable.
+int RunCancelProbe(double cancel_at_ms) {
+  std::printf("cancellation-latency probe (cancel at %.1fms)\n", cancel_at_ms);
+  gen::GeneratedDatabase data = gen::MakeUniversity(10000, 40, 100, 40.0);
+  planner::ExtractOptions opts = MakeOpts(0.0, Mode::kFused);
+  opts.ctx.cancel = CancelToken::Cancellable();
+  CancelToken token = opts.ctx.cancel;
+
+  std::atomic<int64_t> cancel_ns{0};
+  std::thread canceller([token, cancel_at_ms, &cancel_ns] {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        cancel_at_ms));
+    cancel_ns.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now().time_since_epoch())
+                        .count(),
+                    std::memory_order_release);
+    token.RequestCancel();
+  });
+  WallTimer wall;
+  auto result = planner::ExtractFromQuery(data.db, data.datalog, opts);
+  const double total_ms = wall.Seconds() * 1e3;
+  const int64_t now_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  canceller.join();
+
+  if (result.ok()) {
+    std::printf(
+        "extraction finished in %.1fms before the cancel landed — lower "
+        "--cancel-at-ms to probe mid-flight unwind\n",
+        total_ms);
+    return 0;
+  }
+  if (result.status().code() != StatusCode::kCancelled) {
+    std::fprintf(stderr, "FAIL: expected Cancelled, got %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  const double unwind_ms =
+      (now_ns - cancel_ns.load(std::memory_order_acquire)) * 1e-6;
+  std::printf(
+      "cancelled OK: total %.1fms, unwind latency after RequestCancel "
+      "%.2fms\n",
+      total_ms, unwind_ms);
+  return 0;
+}
+
 }  // namespace
 }  // namespace graphgen
 
@@ -168,10 +230,15 @@ int main(int argc, char** argv) {
 
   std::string out_path = "BENCH_extraction.json";
   bool smoke = false;
+  double cancel_at_ms = -1.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strncmp(argv[i], "--cancel-at-ms=", 15) == 0) {
+      cancel_at_ms = std::atof(argv[i] + 15);
+    }
   }
+  if (cancel_at_ms >= 0) return graphgen::RunCancelProbe(cancel_at_ms);
   const double s = smoke ? 0.05 : graphgen::bench::BenchScale();
   // Smoke runs are sub-50ms per mode, so the repeat-of-3 default that
   // stabilizes the fused-vs-unfused regression gate costs almost nothing.
@@ -279,6 +346,52 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Smoke robustness gate: the cancellation/deadline/budget plumbing and
+  // the disarmed fault points must together cost < 1% on the fused path.
+  // "Armed" here means the worst no-fault case: every registered point
+  // armed at a probability that rounds to zero ppm (Fire() runs, nothing
+  // fires) plus a live cancel token and a far deadline, so every strided
+  // poll actually executes Check(). Min-of-N on both sides rejects
+  // scheduler noise; the 1ms absolute slack keeps the gate meaningful when
+  // 1% of a sub-10ms smoke run is below the timer's jitter floor.
+  bool robust_regressed = false;
+  if (smoke) {
+    const int gate_iters = 15;
+    graphgen::fault::FaultRegistry& faults =
+        graphgen::fault::FaultRegistry::Instance();
+    faults.DisarmAll();
+    const double min_plain = graphgen::bench::MinMs(gate_iters, [&] {
+      (void)graphgen::planner::ExtractFromQuery(
+          dblp.db, dblp.datalog,
+          graphgen::MakeOpts(1e18, graphgen::Mode::kFused));
+    });
+    graphgen::fault::FaultSpec never_fires;
+    never_fires.probability = 1e-9;  // armed; rounds to 0 ppm
+    for (const std::string& name : faults.Names()) {
+      faults.Arm(name, never_fires);
+    }
+    const double min_armed = graphgen::bench::MinMs(gate_iters, [&] {
+      graphgen::planner::ExtractOptions opts =
+          graphgen::MakeOpts(1e18, graphgen::Mode::kFused);
+      opts.ctx.cancel = graphgen::CancelToken::Cancellable();
+      opts.ctx.SetDeadlineAfter(3600.0);
+      (void)graphgen::planner::ExtractFromQuery(dblp.db, dblp.datalog, opts);
+    });
+    faults.DisarmAll();
+    const double limit = min_plain * 1.01 + 1.0;
+    std::printf(
+        "robustness overhead (fused path, min of %d): plain %.2fms, "
+        "armed+ctx %.2fms, limit %.2fms\n",
+        gate_iters, min_plain, min_armed, limit);
+    if (min_armed > limit) {
+      std::fprintf(stderr,
+                   "FAIL: robustness plumbing overhead %.2fms (armed) vs "
+                   "%.2fms (plain) exceeds the 1%%+1ms gate\n",
+                   min_armed, min_plain);
+      robust_regressed = true;
+    }
+  }
+
   FILE* f = std::fopen(out_path.c_str(), "w");
   if (f != nullptr) {
     std::fprintf(f, "{\n  \"bench\": \"table1_extraction\",\n");
@@ -321,10 +434,11 @@ int main(int argc, char** argv) {
     std::printf("JSON written to %s\n", out_path.c_str());
   }
 
-  if (!all_ok || fuse_regressed || obs_regressed) {
+  if (!all_ok || fuse_regressed || obs_regressed || robust_regressed) {
     std::fprintf(stderr,
-                 "FAIL: extraction error, parity mismatch, fused-path or "
-                 "instrumentation regression (see lines above)\n");
+                 "FAIL: extraction error, parity mismatch, fused-path, "
+                 "instrumentation, or robustness-plumbing regression (see "
+                 "lines above)\n");
     return 1;
   }
   return 0;

@@ -1,0 +1,41 @@
+#include "common/cancel.h"
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace graphgen {
+
+Status MemoryBudget::TryCharge(size_t bytes, std::string_view what) {
+  size_t prev = used_.fetch_add(bytes, std::memory_order_relaxed);
+  size_t now = prev + bytes;
+  if (limit_ != 0 && now > limit_) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        std::string(what) + " needs " + std::to_string(bytes) +
+        " bytes; request memory budget " + std::to_string(limit_) +
+        " has " + std::to_string(limit_ > prev ? limit_ - prev : 0) +
+        " left");
+  }
+  // Racy max is fine: peak is advisory (stats), not a gate.
+  size_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+  return Status::OK();
+}
+
+Status ExecContext::Charge(size_t bytes, std::string_view what) const {
+  if (budget == nullptr) return Status::OK();
+  Status st = budget->TryCharge(bytes, what);
+  if (!st.ok()) {
+    // The one engine-level counter the service can't see from its own
+    // registry: how often the memory ceiling actually fired.
+    static obs::Counter* hits =
+        obs::MetricsRegistry::Global().GetCounter("query.mem_limit_hits");
+    hits->Increment();
+  }
+  return st;
+}
+
+}  // namespace graphgen

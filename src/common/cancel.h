@@ -1,0 +1,211 @@
+#ifndef GRAPHGEN_COMMON_CANCEL_H_
+#define GRAPHGEN_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <utility>
+
+#include "common/status.h"
+
+namespace graphgen {
+
+/// A shared cancellation flag. Copies of a token observe the same flag, so
+/// the caller keeps one copy and hands another to the pipeline; requesting
+/// cancellation is visible to every morsel loop on the next boundary check.
+/// A default-constructed token is a *null* token: it can never be cancelled
+/// and checking it is a single pointer test. Thread-safe.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// A token whose flag can actually be raised.
+  static CancelToken Cancellable() {
+    CancelToken t;
+    t.state_ = std::make_shared<std::atomic<bool>>(false);
+    return t;
+  }
+
+  /// Raises the flag. No-op on a null token.
+  void RequestCancel() const {
+    if (state_) state_->store(true, std::memory_order_release);
+  }
+
+  bool CancelRequested() const {
+    return state_ && state_->load(std::memory_order_relaxed);
+  }
+
+  bool cancellable() const { return state_ != nullptr; }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> state_;
+};
+
+/// Per-request transient-memory accounting gate. The big allocators in the
+/// pipeline (hash-join tables, first-occurrence sets, morsel buffers, CSR
+/// build arrays, output tuple vectors) charge their sizes *before*
+/// allocating; when a charge would push usage past the limit it is refunded
+/// and the operator unwinds with Status::ResourceExhausted instead of
+/// letting the process OOM. limit 0 = track only, never fail. Thread-safe;
+/// charges from parallel workers interleave on relaxed atomics.
+class MemoryBudget {
+ public:
+  explicit MemoryBudget(size_t limit_bytes) : limit_(limit_bytes) {}
+
+  /// Charges `bytes` against the budget. On failure the charge is rolled
+  /// back and the returned status names the allocator that tripped it.
+  Status TryCharge(size_t bytes, std::string_view what);
+
+  /// Refunds a previous charge (operator-scope scratch that was freed).
+  void Release(size_t bytes) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  size_t used() const { return used_.load(std::memory_order_relaxed); }
+  size_t peak() const { return peak_.load(std::memory_order_relaxed); }
+  size_t limit() const { return limit_; }
+
+ private:
+  const size_t limit_;
+  std::atomic<size_t> used_{0};
+  std::atomic<size_t> peak_{0};
+};
+
+/// The request context threaded through ExtractOptions -> ExecOptions into
+/// every operator: a cancel flag, an absolute deadline, and a transient-
+/// memory budget. Copies share state (shared_ptr / time_point by value);
+/// a default ExecContext is free to check — no clock read, no atomics.
+struct ExecContext {
+  CancelToken cancel;
+  /// Absolute steady-clock deadline; meaningful only when has_deadline.
+  std::chrono::steady_clock::time_point deadline{};
+  bool has_deadline = false;
+  std::shared_ptr<MemoryBudget> budget;
+
+  /// Derives the deadline from a relative timeout (<= 0 = none).
+  void SetDeadlineAfter(double seconds) {
+    if (seconds <= 0) return;
+    has_deadline = true;
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(seconds));
+  }
+
+  bool DeadlineExpired() const {
+    return has_deadline && std::chrono::steady_clock::now() >= deadline;
+  }
+
+  /// The morsel-boundary poll: OK, Cancelled, or DeadlineExceeded. The
+  /// fast path (null token, no deadline) is two predictable branches.
+  Status Check() const {
+    if (cancel.CancelRequested()) {
+      return Status::Cancelled("request cancelled by caller");
+    }
+    if (DeadlineExpired()) {
+      return Status::DeadlineExceeded("request deadline passed");
+    }
+    return Status::OK();
+  }
+
+  /// Charges `bytes` against the budget (no-op without one). A failed
+  /// charge also bumps the global `query.mem_limit_hits` counter.
+  Status Charge(size_t bytes, std::string_view what) const;
+
+  void Release(size_t bytes) const {
+    if (budget) budget->Release(bytes);
+  }
+};
+
+/// RAII charge for operator-scope scratch (join build arrays, hash
+/// vectors): acquired at the allocation site, refunded on scope exit so a
+/// failed or cancelled operator never leaks budget.
+class ScopedCharge {
+ public:
+  ScopedCharge() = default;
+  ~ScopedCharge() { Reset(); }
+  ScopedCharge(const ScopedCharge&) = delete;
+  ScopedCharge& operator=(const ScopedCharge&) = delete;
+  ScopedCharge(ScopedCharge&& other) noexcept
+      : ctx_(other.ctx_), bytes_(other.bytes_) {
+    other.ctx_ = nullptr;
+    other.bytes_ = 0;
+  }
+
+  Status Acquire(const ExecContext& ctx, size_t bytes, std::string_view what) {
+    GRAPHGEN_RETURN_NOT_OK(ctx.Charge(bytes, what));
+    Reset();
+    ctx_ = &ctx;
+    bytes_ = bytes;
+    return Status::OK();
+  }
+
+  /// Folds `more` bytes that were already charged through the same
+  /// context into this lease, so one Reset refunds them together.
+  void Grow(size_t more) {
+    if (ctx_ != nullptr) bytes_ += more;
+  }
+
+  void Reset() {
+    if (ctx_ != nullptr && bytes_ > 0) ctx_->Release(bytes_);
+    ctx_ = nullptr;
+    bytes_ = 0;
+  }
+
+ private:
+  const ExecContext* ctx_ = nullptr;
+  size_t bytes_ = 0;
+};
+
+/// Failure slot for parallel regions: workers can't return a Status out of
+/// a ParallelFor lambda, so the first failure parks its Status here and
+/// every worker polls Failed() at morsel boundaries to unwind early. The
+/// caller propagates Take() after the region joins.
+class AbortSlot {
+ public:
+  bool Failed() const { return failed_.load(std::memory_order_acquire); }
+
+  void Fail(Status status) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!failed_.load(std::memory_order_relaxed)) {
+      status_ = std::move(status);
+      failed_.store(true, std::memory_order_release);
+    }
+  }
+
+  /// OK unless a worker failed; the first failure wins.
+  Status Take() const {
+    if (!Failed()) return Status::OK();
+    std::lock_guard<std::mutex> lock(mu_);
+    return status_;
+  }
+
+  /// Convenience poll for worker loops: checks the slot, then the context;
+  /// on a context failure parks it. Returns false when the worker should
+  /// unwind.
+  bool Continue(const ExecContext& ctx) {
+    if (Failed()) return false;
+    Status st = ctx.Check();
+    if (st.ok()) return true;
+    Fail(std::move(st));
+    return false;
+  }
+
+ private:
+  std::atomic<bool> failed_{false};
+  mutable std::mutex mu_;
+  Status status_;
+};
+
+/// How many rows a tight per-row loop processes between cooperative
+/// cancellation polls. Coarse enough that the poll (two branches, a clock
+/// read only when a deadline is set) vanishes, fine enough that cancel
+/// latency is a few morsel quanta even on the serial engine.
+inline constexpr size_t kCancelStrideRows = size_t{1} << 13;
+
+}  // namespace graphgen
+
+#endif  // GRAPHGEN_COMMON_CANCEL_H_

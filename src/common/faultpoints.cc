@@ -1,0 +1,265 @@
+#include "common/faultpoints.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <new>
+#include <thread>
+
+namespace graphgen::fault {
+
+namespace {
+
+/// SplitMix64: cheap, decent, and seedable — each thread derives its own
+/// stream from the registry seed so a fixed seed reproduces the same fault
+/// schedule for a fixed thread interleaving.
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::atomic<uint64_t> g_seed{0x6772617068ULL};  // "graph"
+
+bool RollProbability(uint32_t prob_ppm) {
+  thread_local uint64_t state = 0;
+  if (state == 0) {
+    state = g_seed.load(std::memory_order_relaxed) ^
+            (std::hash<std::thread::id>{}(std::this_thread::get_id()) |
+             1ULL);
+  }
+  return (SplitMix64(state) % 1000000ULL) < prob_ppm;
+}
+
+}  // namespace
+
+struct FaultRegistry::Impl {
+  mutable std::mutex mu;
+  std::condition_variable stall_cv;
+  std::deque<FaultPoint> points;               // stable addresses
+  std::map<std::string, FaultPoint*> by_name;  // sorted for List()
+  std::map<std::string, FaultSpec> pending;    // armed before registration
+};
+
+FaultRegistry& FaultRegistry::Instance() {
+  static FaultRegistry* instance = new FaultRegistry();
+  return *instance;
+}
+
+FaultRegistry::FaultRegistry() : impl_(new Impl()) {
+  if (const char* seed_env = std::getenv("GRAPHGEN_FAULT_SEED")) {
+    g_seed.store(std::strtoull(seed_env, nullptr, 10) | 1ULL,
+                 std::memory_order_relaxed);
+  }
+  if (const char* faults = std::getenv("GRAPHGEN_FAULTS")) {
+    std::string_view rest = faults;
+    while (!rest.empty()) {
+      size_t comma = rest.find(',');
+      std::string_view item = rest.substr(0, comma);
+      rest = comma == std::string_view::npos ? std::string_view{}
+                                             : rest.substr(comma + 1);
+      size_t eq = item.find('=');
+      if (eq == std::string_view::npos || eq == 0) continue;
+      FaultSpec spec;
+      if (ParseSpec(item.substr(eq + 1), &spec).ok()) {
+        impl_->pending.emplace(std::string(item.substr(0, eq)), spec);
+      }
+    }
+  }
+}
+
+namespace {
+
+void ApplySpecLocked(FaultPoint& point, const FaultSpec& spec) {
+  point.action.store(static_cast<int>(spec.action),
+                     std::memory_order_relaxed);
+  point.prob_ppm.store(
+      spec.probability > 0
+          ? static_cast<uint32_t>(std::min(spec.probability, 1.0) * 1e6)
+          : 0,
+      std::memory_order_relaxed);
+  point.countdown.store(
+      spec.fire_on_hit > 0 ? static_cast<int64_t>(spec.fire_on_hit) : -1,
+      std::memory_order_relaxed);
+  // Armed last: a hot loop that sees armed also sees the trigger fields.
+  point.armed.store(true, std::memory_order_release);
+}
+
+}  // namespace
+
+FaultPoint& FaultRegistry::GetPoint(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->by_name.find(std::string(name));
+  if (it != impl_->by_name.end()) return *it->second;
+  impl_->points.emplace_back(std::string(name));
+  FaultPoint& point = impl_->points.back();
+  impl_->by_name.emplace(point.name, &point);
+  auto pending = impl_->pending.find(point.name);
+  if (pending != impl_->pending.end()) {
+    ApplySpecLocked(point, pending->second);
+    impl_->pending.erase(pending);
+  }
+  return point;
+}
+
+void FaultRegistry::Arm(std::string_view name, const FaultSpec& spec) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->by_name.find(std::string(name));
+  if (it != impl_->by_name.end()) {
+    ApplySpecLocked(*it->second, spec);
+  } else {
+    impl_->pending[std::string(name)] = spec;
+  }
+}
+
+void FaultRegistry::Disarm(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->pending.erase(std::string(name));
+  auto it = impl_->by_name.find(std::string(name));
+  if (it != impl_->by_name.end()) {
+    it->second->armed.store(false, std::memory_order_release);
+  }
+  impl_->stall_cv.notify_all();
+}
+
+void FaultRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->pending.clear();
+  for (FaultPoint& point : impl_->points) {
+    point.armed.store(false, std::memory_order_release);
+  }
+  impl_->stall_cv.notify_all();
+}
+
+std::vector<FaultPointInfo> FaultRegistry::List() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<FaultPointInfo> out;
+  out.reserve(impl_->by_name.size());
+  for (const auto& [name, point] : impl_->by_name) {
+    FaultPointInfo info;
+    info.name = name;
+    info.armed = point->armed.load(std::memory_order_relaxed);
+    info.action =
+        static_cast<Action>(point->action.load(std::memory_order_relaxed));
+    info.probability =
+        point->prob_ppm.load(std::memory_order_relaxed) / 1e6;
+    info.countdown = point->countdown.load(std::memory_order_relaxed);
+    info.hits = point->hits.load(std::memory_order_relaxed);
+    info.fires = point->fires.load(std::memory_order_relaxed);
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::vector<std::string> FaultRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<std::string> out;
+  out.reserve(impl_->by_name.size());
+  for (const auto& [name, point] : impl_->by_name) out.push_back(name);
+  return out;
+}
+
+uint64_t FaultRegistry::hits(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->by_name.find(std::string(name));
+  return it == impl_->by_name.end()
+             ? 0
+             : it->second->hits.load(std::memory_order_relaxed);
+}
+
+uint64_t FaultRegistry::fires(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->by_name.find(std::string(name));
+  return it == impl_->by_name.end()
+             ? 0
+             : it->second->fires.load(std::memory_order_relaxed);
+}
+
+void FaultRegistry::SetSeed(uint64_t seed) {
+  g_seed.store(seed | 1ULL, std::memory_order_relaxed);
+}
+
+uint64_t FaultRegistry::seed() const {
+  return g_seed.load(std::memory_order_relaxed);
+}
+
+Status FaultRegistry::ParseSpec(std::string_view spec_text, FaultSpec* out) {
+  FaultSpec spec;
+  std::string_view trigger = spec_text;
+  size_t bang = spec_text.find('!');
+  if (bang != std::string_view::npos) {
+    trigger = spec_text.substr(0, bang);
+    std::string_view action = spec_text.substr(bang + 1);
+    if (action == "fail") {
+      spec.action = Action::kFail;
+    } else if (action == "throw") {
+      spec.action = Action::kThrow;
+    } else if (action == "stall") {
+      spec.action = Action::kStall;
+    } else {
+      return Status::InvalidArgument("unknown fault action '" +
+                                     std::string(action) +
+                                     "' (fail|throw|stall)");
+    }
+  }
+  if (trigger.size() < 2 || (trigger[0] != 'p' && trigger[0] != 'n')) {
+    return Status::InvalidArgument(
+        "fault trigger must be p<float> or n<int>, got '" +
+        std::string(trigger) + "'");
+  }
+  std::string value(trigger.substr(1));
+  char* end = nullptr;
+  if (trigger[0] == 'p') {
+    spec.probability = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || spec.probability <= 0 ||
+        spec.probability > 1) {
+      return Status::InvalidArgument("fault probability must be in (0,1]");
+    }
+  } else {
+    spec.fire_on_hit = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || spec.fire_on_hit == 0) {
+      return Status::InvalidArgument("fault hit count must be >= 1");
+    }
+  }
+  *out = spec;
+  return Status::OK();
+}
+
+FireResult Fire(FaultPoint& point) {
+  point.hits.fetch_add(1, std::memory_order_relaxed);
+  bool fire;
+  int64_t countdown = point.countdown.load(std::memory_order_relaxed);
+  if (countdown >= 0) {
+    // Hit-count mode: exactly one evaluation observes 1 -> 0.
+    fire = point.countdown.fetch_sub(1, std::memory_order_relaxed) == 1;
+  } else {
+    fire = RollProbability(point.prob_ppm.load(std::memory_order_relaxed));
+  }
+  if (!fire) return FireResult::kContinue;
+  point.fires.fetch_add(1, std::memory_order_relaxed);
+  switch (static_cast<Action>(point.action.load(std::memory_order_relaxed))) {
+    case Action::kFail:
+      return FireResult::kFail;
+    case Action::kThrow:
+      throw std::bad_alloc();
+    case Action::kStall: {
+      // Park until disarmed (tests release deterministically); the safety
+      // cap keeps a forgotten stall from wedging a suite forever.
+      auto& impl = *FaultRegistry::Instance().impl_;
+      std::unique_lock<std::mutex> lock(impl.mu);
+      impl.stall_cv.wait_for(lock, std::chrono::seconds(30), [&] {
+        return !point.armed.load(std::memory_order_relaxed);
+      });
+      return FireResult::kContinue;
+    }
+  }
+  return FireResult::kContinue;
+}
+
+}  // namespace graphgen::fault

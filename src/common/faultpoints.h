@@ -1,0 +1,138 @@
+#ifndef GRAPHGEN_COMMON_FAULTPOINTS_H_
+#define GRAPHGEN_COMMON_FAULTPOINTS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+/// Fault-injection harness: named fault points compiled into the pipeline's
+/// allocation/stage boundaries, each triggerable by probability or
+/// hit-count via the registry API or the GRAPHGEN_FAULTS env knob.
+///
+///   GRAPHGEN_FAULT_POINT("query.join.build");
+///
+/// expands to a single relaxed atomic load when the point is disarmed (the
+/// bench smoke gate prices this at <1%); when armed it can fail (return a
+/// non-OK Status from the enclosing function), throw std::bad_alloc, or
+/// stall until disarmed — the last two exercise the exception-safety and
+/// admission-control paths deterministically.
+///
+/// Env knob (parsed once, first registry use):
+///   GRAPHGEN_FAULTS="<name>=<trigger>[!<action>][,...]"
+///     trigger:  pF   fire with probability F (e.g. p0.01)
+///               nN   fire on the Nth armed evaluation (e.g. n1)
+///     action:   fail (default) | throw | stall
+///   GRAPHGEN_FAULT_SEED=<uint64>   seed for the probability RNG
+namespace graphgen::fault {
+
+enum class Action : int { kFail = 0, kThrow = 1, kStall = 2 };
+
+/// How an armed point decides to fire.
+struct FaultSpec {
+  Action action = Action::kFail;
+  /// Probability mode: fire each evaluation with this probability (>0).
+  double probability = 0.0;
+  /// Hit-count mode: fire on exactly the Nth armed evaluation (1-based,
+  /// >0). Takes precedence over probability when both are set.
+  uint64_t fire_on_hit = 0;
+};
+
+/// One registered point. Stable address for the macro's function-local
+/// static; all fields are atomics so arming races cleanly with hot loops.
+struct FaultPoint {
+  explicit FaultPoint(std::string n) : name(std::move(n)) {}
+  FaultPoint(const FaultPoint&) = delete;
+  FaultPoint& operator=(const FaultPoint&) = delete;
+
+  const std::string name;
+  std::atomic<bool> armed{false};
+  std::atomic<int> action{0};
+  std::atomic<uint32_t> prob_ppm{0};   // probability * 1e6
+  std::atomic<int64_t> countdown{-1};  // hit-count mode; fires at 1 -> 0
+  std::atomic<uint64_t> hits{0};       // evaluations while armed
+  std::atomic<uint64_t> fires{0};
+};
+
+enum class FireResult { kContinue, kFail };
+
+/// Evaluates an armed point: kFail tells the macro to return a Status,
+/// kThrow raises std::bad_alloc from here, kStall blocks until the point
+/// is disarmed (30s safety cap), then continues.
+FireResult Fire(FaultPoint& point);
+
+/// One row of List().
+struct FaultPointInfo {
+  std::string name;
+  bool armed = false;
+  Action action = Action::kFail;
+  double probability = 0.0;
+  int64_t countdown = -1;
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+};
+
+class FaultRegistry {
+ public:
+  /// Process-wide singleton; first use parses GRAPHGEN_FAULTS /
+  /// GRAPHGEN_FAULT_SEED.
+  static FaultRegistry& Instance();
+
+  /// Registers (or finds) a point. Called by the macro's function-local
+  /// static, so each site pays this exactly once. A pending spec for the
+  /// name (env knob, or Arm() before the site first executed) is applied.
+  FaultPoint& GetPoint(std::string_view name);
+
+  /// Arms a point. Unregistered names are remembered and armed when the
+  /// site first executes.
+  void Arm(std::string_view name, const FaultSpec& spec);
+  /// Disarms one point (stalled evaluations resume). No-op if unknown.
+  void Disarm(std::string_view name);
+  /// Disarms everything, clears pending specs, releases stalls.
+  void DisarmAll();
+
+  /// Registered points, sorted by name.
+  std::vector<FaultPointInfo> List() const;
+  /// Registered names, sorted (the sweep test iterates this to fixpoint).
+  std::vector<std::string> Names() const;
+
+  uint64_t hits(std::string_view name) const;
+  uint64_t fires(std::string_view name) const;
+
+  /// Seed for the probability RNG (also GRAPHGEN_FAULT_SEED).
+  void SetSeed(uint64_t seed);
+  uint64_t seed() const;
+
+  /// Parses "name=trigger[!action]" into a spec; used by the env knob and
+  /// the shell `faults arm` command.
+  static Status ParseSpec(std::string_view spec_text, FaultSpec* out);
+
+ private:
+  friend FireResult Fire(FaultPoint& point);  // stall waits on the cv
+  FaultRegistry();
+  struct Impl;
+  Impl* impl_;  // leaked singleton state: fault points outlive everything
+};
+
+}  // namespace graphgen::fault
+
+/// The site macro. Disarmed cost: one function-local-static guard check
+/// (branch on an already-initialized flag) plus one relaxed atomic load.
+/// Must appear in a function returning Status or Result<T>.
+#define GRAPHGEN_FAULT_POINT(name)                                     \
+  do {                                                                 \
+    static ::graphgen::fault::FaultPoint& gg_fault_point =             \
+        ::graphgen::fault::FaultRegistry::Instance().GetPoint(name);   \
+    if (gg_fault_point.armed.load(std::memory_order_relaxed)) {        \
+      if (::graphgen::fault::Fire(gg_fault_point) ==                   \
+          ::graphgen::fault::FireResult::kFail) {                      \
+        return ::graphgen::Status::Internal(                           \
+            std::string("fault injected: ") + (name));                 \
+      }                                                                \
+    }                                                                  \
+  } while (0)
+
+#endif  // GRAPHGEN_COMMON_FAULTPOINTS_H_

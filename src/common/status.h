@@ -20,6 +20,15 @@ enum class StatusCode {
   kUnsupported,
   kOutOfRange,
   kInternal,
+  /// The caller cancelled the request via its CancelToken; the pipeline
+  /// unwound cooperatively at the next morsel/stage boundary.
+  kCancelled,
+  /// The request's deadline passed while it was queued or running.
+  kDeadlineExceeded,
+  /// The request's transient-memory budget (MemoryBudget) was exhausted.
+  kResourceExhausted,
+  /// The service's admission queue is full; retry later.
+  kOverloaded,
 };
 
 /// Returns a short human-readable name for a status code ("Parse error", ...).
@@ -62,6 +71,18 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

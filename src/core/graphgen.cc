@@ -1,5 +1,7 @@
 #include "core/graphgen.h"
 
+#include "common/cancel.h"
+#include "common/faultpoints.h"
 #include "common/timer.h"
 #include "core/representation_picker.h"
 #include "dedup/bitmap_algorithms.h"
@@ -88,6 +90,15 @@ Result<std::vector<ExtractedGraph>> GraphGen::ExtractMany(
 
 Result<ExtractedGraph> GraphGen::Materialize(CondensedStorage storage,
                                              const GraphGenOptions& options) {
+  GRAPHGEN_FAULT_POINT("core.materialize");
+  const ExecContext& ctx = options.extract.ctx;
+  GRAPHGEN_RETURN_NOT_OK(ctx.Check());
+  // Representation builds copy the adjacency into fresh CSR-style arrays;
+  // charge that up front so a budgeted request fails cleanly instead of
+  // OOMing mid-build. Estimate: one NodeRef pair per condensed edge.
+  GRAPHGEN_RETURN_NOT_OK(
+      ctx.Charge(storage.CountCondensedEdges() * 2 * sizeof(NodeRef),
+                 "representation build arrays"));
   ExtractedGraph out;
   Representation target = options.representation;
   if (target == Representation::kAuto) {

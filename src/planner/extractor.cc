@@ -10,6 +10,8 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "common/cancel.h"
+#include "common/faultpoints.h"
 #include "common/hash.h"
 #include "common/parallel.h"
 #include "common/timer.h"
@@ -23,6 +25,12 @@
 namespace graphgen::planner {
 
 namespace {
+
+// Serial assembly loops only pay the strided deadline/cancel poll when
+// the context can actually fire.
+bool NeedsCtxPoll(const ExecContext& ctx) {
+  return ctx.cancel.cancellable() || ctx.has_deadline;
+}
 
 // Flat open-addressing map from int64 keys to 32-bit ids (linear probing,
 // power-of-two capacity, no per-node allocation). Insert-only — exactly
@@ -360,23 +368,35 @@ std::vector<ExecOutput> RunPlans(
       &db, {.threads = std::max<size_t>(1, budget / fan_out),
             .engine = options.engine,
             .fuse_join_distinct = options.fuse_join_distinct,
-            .fuse_min_output_bytes = options.fuse_min_output_bytes});
+            .fuse_min_output_bytes = options.fuse_min_output_bytes,
+            .ctx = options.ctx});
   std::vector<ExecOutput> outs(plans.size());
   // Per-plan profile slots are pre-created by the caller (deque children:
   // stable pointers), so each worker writes only its own subtree — no
   // synchronization needed on the profile during the fan-out.
+  // The catch keeps pool workers throw-free: an injected or real
+  // std::bad_alloc inside a query surfaces as this plan's Status instead
+  // of terminating the process (ThreadPool tasks must not throw).
   auto run_one = [&executor, &plans, &outs, &options, profs](size_t i) {
     obs::ProfileNode* prof =
         (profs != nullptr && i < profs->size()) ? (*profs)[i] : nullptr;
     obs::Span span(prof);
-    if (options.engine == query::ExecEngine::kColumnar) {
-      auto result = executor.ExecuteColumnar(*plans[i], prof);
-      outs[i].status = result.status();
-      if (result.ok()) outs[i].columnar = std::move(result).ValueOrDie();
-    } else {
-      auto result = executor.ExecuteRowAtATime(*plans[i], prof);
-      outs[i].status = result.status();
-      if (result.ok()) outs[i].rows = std::move(result).ValueOrDie();
+    try {
+      if (options.engine == query::ExecEngine::kColumnar) {
+        auto result = executor.ExecuteColumnar(*plans[i], prof);
+        outs[i].status = result.status();
+        if (result.ok()) outs[i].columnar = std::move(result).ValueOrDie();
+      } else {
+        auto result = executor.ExecuteRowAtATime(*plans[i], prof);
+        outs[i].status = result.status();
+        if (result.ok()) outs[i].rows = std::move(result).ValueOrDie();
+      }
+    } catch (const std::exception& e) {
+      outs[i].status = Status::ExecutionError(
+          std::string("extraction query threw: ") + e.what());
+    } catch (...) {
+      outs[i].status =
+          Status::ExecutionError("extraction query threw a non-exception");
     }
   };
   if (fan_out <= 1) {
@@ -413,6 +433,8 @@ Status ExecuteNodesRules(const rel::Database& db, const dsl::Program& program,
                          const ExtractOptions& options,
                          ExtractionResult& result, TypedIdMap& node_ids,
                          obs::ProfileNode* stage) {
+  GRAPHGEN_FAULT_POINT("extract.nodes.plan");
+  GRAPHGEN_RETURN_NOT_OK(options.ctx.Check());
   CondensedStorage& storage = result.storage;
 
   // Phase 1: translate each rule into a DISTINCT projection plan.
@@ -497,8 +519,11 @@ Status ExecuteNodesRules(const rel::Database& db, const dsl::Program& program,
       RunPlans(db, refs, options, stage != nullptr ? &profs : nullptr);
 
   // Phase 3: apply serially in rule order.
+  GRAPHGEN_FAULT_POINT("extract.nodes.apply");
+  const bool poll = NeedsCtxPoll(options.ctx);
   for (size_t r = 0; r < program.nodes_rules.size(); ++r) {
     const dsl::Rule& rule = program.nodes_rules[r];
+    GRAPHGEN_RETURN_NOT_OK(options.ctx.Check());
     GRAPHGEN_RETURN_NOT_OK(outs[r].status);
     result.rows_scanned += outs[r].NumRows();
     if (stage != nullptr) {
@@ -519,6 +544,9 @@ Status ExecuteNodesRules(const rel::Database& db, const dsl::Program& program,
       code_cache.assign(key_col.dict().size(), -1);
     }
     for (size_t ri = 0; ri < rows.NumRows(); ++ri) {
+      if (poll && ri % kCancelStrideRows == 0) {
+        GRAPHGEN_RETURN_NOT_OK(options.ctx.Check());
+      }
       if (key_col.IsNull(ri)) continue;
       bool fresh = false;
       auto alloc = [&] {
@@ -651,15 +679,26 @@ Result<CountPlanParts> BuildCountConstraintPlan(
 // order, which must never leak into the stored adjacency.
 Status ApplyCountConstraint(const ExecOutput& out,
                             const dsl::AggregateConstraint& agg,
-                            const TypedIdMap& node_ids,
+                            const TypedIdMap& node_ids, const ExecContext& ctx,
                             ExtractionResult& result) {
+  GRAPHGEN_FAULT_POINT("extract.edges.count");
+  GRAPHGEN_RETURN_NOT_OK(ctx.Check());
   EndpointColumn src_col(out, 0);
   EndpointColumn dst_col(out, 1);
   RealNodeResolver src(src_col, node_ids);
   RealNodeResolver dst(dst_col, node_ids);
   const size_t n = out.NumRows();
+  // The pair-count map is count-constraint scratch, refunded on return;
+  // sized for the worst case of all-distinct pairs.
+  ScopedCharge scratch;
+  GRAPHGEN_RETURN_NOT_OK(scratch.Acquire(
+      ctx, n * (sizeof(uint64_t) + sizeof(int64_t)), "COUNT pair map"));
+  const bool poll = NeedsCtxPoll(ctx);
   std::unordered_map<uint64_t, int64_t> counts;  // (src << 32 | dst) → count
   for (size_t ri = 0; ri < n; ++ri) {
+    if (poll && ri % kCancelStrideRows == 0) {
+      GRAPHGEN_RETURN_NOT_OK(ctx.Check());
+    }
     if (src_col.IsNull(ri) || dst_col.IsNull(ri)) continue;
     NodeId s = 0;
     NodeId d = 0;
@@ -751,8 +790,10 @@ Result<ExtractionResult> Extract(const rel::Database& db,
       edges_stage != nullptr ? edges_stage->AddChild("plan") : nullptr;
   {
     obs::Span plan_span(plan_node);
+    GRAPHGEN_FAULT_POINT("extract.edges.plan");
     for (size_t rule_idx = 0; rule_idx < program.edges_rules.size();
          ++rule_idx) {
+      GRAPHGEN_RETURN_NOT_OK(options.ctx.Check());
       const dsl::Rule& rule = program.edges_rules[rule_idx];
       GRAPHGEN_ASSIGN_OR_RETURN(
           JoinChain chain,
@@ -816,8 +857,11 @@ Result<ExtractionResult> Extract(const rel::Database& db,
   obs::ProfileNode* assembly_node =
       edges_stage != nullptr ? edges_stage->AddChild("assembly") : nullptr;
   WallTimer assembly_timer;
+  GRAPHGEN_FAULT_POINT("extract.edges.assembly");
+  const bool assembly_poll = NeedsCtxPoll(options.ctx);
   for (size_t rule_idx = 0; rule_idx < works.size(); ++rule_idx) {
     EdgeRuleWork& work = works[rule_idx];
+    GRAPHGEN_RETURN_NOT_OK(options.ctx.Check());
     if (work.count_plan != nullptr) {
       ExecOutput& out = outs[work.first_unit];
       GRAPHGEN_RETURN_NOT_OK(out.status);
@@ -828,7 +872,7 @@ Result<ExtractionResult> Extract(const rel::Database& db,
       }
       GRAPHGEN_RETURN_NOT_OK(ApplyCountConstraint(
           out, *program.edges_rules[rule_idx].count_constraint, node_ids,
-          result));
+          options.ctx, result));
       continue;
     }
 
@@ -867,9 +911,18 @@ Result<ExtractionResult> Extract(const rel::Database& db,
       }
 
       const size_t nrows = out.NumRows();
+      // Edge batch scratch: refunded after AddEdges copies it into the
+      // adjacency lists.
+      ScopedCharge batch_charge;
+      GRAPHGEN_RETURN_NOT_OK(batch_charge.Acquire(
+          options.ctx, nrows * sizeof(std::pair<NodeRef, NodeRef>),
+          "assembly edge batch"));
       std::vector<std::pair<NodeRef, NodeRef>> batch;
       batch.reserve(nrows);
       for (size_t ri = 0; ri < nrows; ++ri) {
+        if (assembly_poll && ri % kCancelStrideRows == 0) {
+          GRAPHGEN_RETURN_NOT_OK(options.ctx.Check());
+        }
         // Both NULL checks come before any virtual-node allocation, and a
         // dangling src skips the row before dst is resolved — exactly the
         // legacy order, so numbering never shifts.
@@ -907,6 +960,8 @@ Result<ExtractionResult> Extract(const rel::Database& db,
   if (edges_stage != nullptr) edges_stage->seconds = result.edges_seconds;
 
   if (options.preprocess) {
+    GRAPHGEN_FAULT_POINT("extract.preprocess");
+    GRAPHGEN_RETURN_NOT_OK(options.ctx.Check());
     timer.Restart();
     obs::ProfileNode* pp_node =
         profiling ? result.profile.root.AddChild("preprocess") : nullptr;
@@ -935,6 +990,7 @@ Result<ExtractionResult> Extract(const rel::Database& db,
 Result<ExtractionResult> ExtractFromQuery(const rel::Database& db,
                                           std::string_view datalog,
                                           const ExtractOptions& options) {
+  GRAPHGEN_FAULT_POINT("extract.parse");
   GRAPHGEN_ASSIGN_OR_RETURN(dsl::Program program, dsl::Parse(datalog));
   GRAPHGEN_RETURN_NOT_OK(dsl::Validate(program, db));
   GRAPHGEN_ASSIGN_OR_RETURN(ExtractionResult result,

@@ -54,6 +54,13 @@ struct ExtractOptions {
   /// (tests exercise the morsel path on small data that way). See
   /// query::ExecOptions::fuse_min_output_bytes.
   size_t fuse_min_output_bytes = size_t{32} << 20;
+  /// Request lifecycle context threaded into every executed query and
+  /// checked at rule/assembly stage boundaries: cooperative cancel flag,
+  /// absolute deadline, and per-request transient-memory budget. A
+  /// cancelled, expired, or over-budget extraction unwinds with
+  /// Cancelled / DeadlineExceeded / ResourceExhausted in bounded time.
+  /// The default context is inert and costs nothing measurable.
+  ExecContext ctx;
 };
 
 /// What Extract produces: the condensed (possibly duplicated) graph plus

@@ -9,6 +9,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/cancel.h"
+#include "common/faultpoints.h"
 #include "common/hash.h"
 #include "common/parallel.h"
 #include "obs/metrics.h"
@@ -48,6 +50,30 @@ const ExecMetrics& Metrics() {
     return em;
   }();
   return m;
+}
+
+// True when the request context can actually fail a poll (a live cancel
+// flag or a deadline); an inert context skips the strided polling paths
+// entirely, so the no-deadline fast path stays at seed cost.
+bool NeedsPoll(const ExecContext& ctx) {
+  return ctx.cancel.cancellable() || ctx.has_deadline;
+}
+
+// Runs body(begin, end) over [begin, end) in kCancelStrideRows blocks,
+// polling the context between blocks; the first failure parks its Status
+// in the slot and the remaining blocks are skipped. With poll == false the
+// body runs once over the whole range (no per-block cost).
+template <typename Body>
+void StridedRun(const ExecContext& ctx, AbortSlot& slot, bool poll,
+                size_t begin, size_t end, Body body) {
+  if (!poll) {
+    body(begin, end);
+    return;
+  }
+  for (size_t b = begin; b < end; b += kCancelStrideRows) {
+    if (!slot.Continue(ctx)) return;
+    body(b, std::min(end, b + kCancelStrideRows));
+  }
 }
 
 // The per-operator profile child for an operator about to run, or null
@@ -748,30 +774,48 @@ struct JoinBuild {
   std::vector<int32_t> chain_next;
   std::vector<FlatChainTable<Key>> tables;
   size_t partitions = 1;
+  /// Build-side scratch charged against the request's memory budget,
+  /// refunded when the build dies at the end of the operator.
+  ScopedCharge charge;
 };
 
 template <typename Key, typename HashFn, typename BuildKeyFn>
 JoinBuild<Key> BuildJoinTables(size_t bn, size_t threads, HashFn hash,
-                               BuildKeyFn bkey) {
+                               BuildKeyFn bkey, const ExecContext& ctx,
+                               AbortSlot& slot) {
   JoinBuild<Key> jb;
+  // Key/hash/null/chain arrays are the first of the join's two big
+  // allocations; the per-partition slot arrays are priced below once the
+  // partition fan-out is known.
+  const size_t key_bytes =
+      bn * (sizeof(uint64_t) + 1 + sizeof(Key) + sizeof(int32_t));
+  if (Status st = jb.charge.Acquire(ctx, key_bytes, "hash-join build keys");
+      !st.ok()) {
+    slot.Fail(std::move(st));
+    return jb;
+  }
   jb.bhash.resize(bn);
   jb.bnull.resize(bn);
   jb.bkeys.resize(bn);
+  const bool poll = NeedsPoll(ctx);
   ParallelFor(
       bn,
       [&](size_t begin, size_t end) {
-        for (size_t i = begin; i < end; ++i) {
-          Key k{};
-          if (bkey(i, &k)) {
-            jb.bkeys[i] = std::move(k);
-            jb.bhash[i] = hash(jb.bkeys[i]);
-            jb.bnull[i] = 0;
-          } else {
-            jb.bnull[i] = 1;
+        StridedRun(ctx, slot, poll, begin, end, [&](size_t b, size_t e) {
+          for (size_t i = b; i < e; ++i) {
+            Key k{};
+            if (bkey(i, &k)) {
+              jb.bkeys[i] = std::move(k);
+              jb.bhash[i] = hash(jb.bkeys[i]);
+              jb.bnull[i] = 0;
+            } else {
+              jb.bnull[i] = 1;
+            }
           }
-        }
+        });
       },
       threads);
+  if (slot.Failed()) return jb;
 
   jb.partitions = (threads > 1 && bn >= kPartitionedBuildThreshold)
                       ? std::min(threads, kMaxPartitions)
@@ -786,15 +830,31 @@ JoinBuild<Key> BuildJoinTables(size_t bn, size_t threads, HashFn hash,
       if (jb.bnull[i] == 0) ++partition_rows[jb.bhash[i] % jb.partitions];
     }
   }
+  // Per-slot: key + cached hash + head + tail + count.
+  constexpr size_t kSlotBytes =
+      sizeof(Key) + sizeof(int64_t) + 2 * sizeof(int32_t) + sizeof(uint32_t);
+  size_t table_bytes = 0;
+  for (size_t rows : partition_rows) {
+    table_bytes += PowerOfTwoCapacity(rows) * kSlotBytes;
+  }
+  if (Status st = ctx.Charge(table_bytes, "hash-join slot tables");
+      !st.ok()) {
+    slot.Fail(std::move(st));
+    return jb;
+  }
+  jb.charge.Grow(table_bytes);
   jb.chain_next.resize(bn);
   jb.tables.resize(jb.partitions);
   ParallelInvoke(jb.partitions, [&](size_t p) {
+    if (slot.Failed()) return;
     FlatChainTable<Key>& ht = jb.tables[p];
     ht.Init(partition_rows[p], jb.chain_next.data());
-    for (size_t i = 0; i < bn; ++i) {
-      if (jb.bnull[i] != 0 || jb.bhash[i] % jb.partitions != p) continue;
-      ht.Insert(jb.bkeys[i], jb.bhash[i], static_cast<uint32_t>(i));
-    }
+    StridedRun(ctx, slot, poll, 0, bn, [&](size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) {
+        if (jb.bnull[i] != 0 || jb.bhash[i] % jb.partitions != p) continue;
+        ht.Insert(jb.bkeys[i], jb.bhash[i], static_cast<uint32_t>(i));
+      }
+    });
   });
   return jb;
 }
@@ -852,7 +912,8 @@ void FuseJoinRange(const JoinBuild<Key>& jb, IndexRange range, HashFn hash,
                    ProbeKeyFn pkey, const RowIdResult& build,
                    const RowIdResult& probe, bool build_left, size_t lw,
                    size_t rw, const std::vector<DistinctCol>& cols,
-                   FusedDistinctSet& local) {
+                   FusedDistinctSet& local, const ExecContext& ctx,
+                   AbortSlot& slot, bool poll) {
   const size_t w = lw + rw;
   const size_t bw = build_left ? lw : rw;
   const size_t pw = build_left ? rw : lw;
@@ -871,7 +932,15 @@ void FuseJoinRange(const JoinBuild<Key>& jb, IndexRange range, HashFn hash,
     }
     morsel.clear();
   };
+  // Cooperative poll every kCancelStrideRows probe rows; the morsel
+  // buffers keep their reservations across blocks, so an active deadline
+  // costs one strided Continue() poll, not per-block reallocation.
+  size_t tick = kCancelStrideRows;
   for (size_t pr = range.begin; pr < range.end; ++pr) {
+    if (poll && --tick == 0) {
+      tick = kCancelStrideRows;
+      if (!slot.Continue(ctx)) return;
+    }
     Key k{};
     if (!pkey(pr, &k)) continue;
     const uint64_t h = hash(k);
@@ -927,7 +996,8 @@ std::vector<uint32_t> PartitionedJoin(const RowIdResult& left,
                                       const RowIdResult& right,
                                       bool build_left, size_t threads,
                                       HashFn hash, BuildKeyFn bkey,
-                                      ProbeKeyFn pkey,
+                                      ProbeKeyFn pkey, const ExecContext& ctx,
+                                      AbortSlot& slot,
                                       JoinProfInfo* info = nullptr) {
   const RowIdResult& build = build_left ? left : right;
   const RowIdResult& probe = build_left ? right : left;
@@ -936,21 +1006,35 @@ std::vector<uint32_t> PartitionedJoin(const RowIdResult& left,
   const size_t rw = right.Width();
 
   JoinBuild<Key> jb = BuildJoinTables<Key>(build.NumRows(), threads, hash,
-                                           bkey);
+                                           bkey, ctx, slot);
+  if (slot.Failed()) return {};
   FillJoinProfInfo(jb, build.NumRows(), info);
 
   // Probe in contiguous ranges; each range emits matches in probe-row
   // order into its own buffer and buffers concatenate in range order.
   const size_t probe_ways =
       (threads > 1 && pn >= kParallelProbeThreshold) ? threads : 1;
+  const bool poll = NeedsPoll(ctx);
   std::vector<IndexRange> ranges = EqualRanges(pn, probe_ways);
   std::vector<std::vector<uint32_t>> parts(ranges.size());
   ParallelInvoke(ranges.size(), [&](size_t t) {
-    EmitJoinRange(jb, ranges[t], hash, pkey, build, probe, build_left, lw,
-                  rw, parts[t]);
+    StridedRun(ctx, slot, poll, ranges[t].begin, ranges[t].end,
+               [&](size_t b, size_t e) {
+                 EmitJoinRange(jb, {b, e}, hash, pkey, build, probe,
+                               build_left, lw, rw, parts[t]);
+               });
   });
+  if (slot.Failed()) return {};
   size_t total = 0;
   for (const auto& buf : parts) total += buf.size();
+  // The output tuple vector momentarily doubles the matches (per-range
+  // buffers + concatenation); charge the concatenated copy — it is the
+  // piece that survives the operator.
+  if (Status st = ctx.Charge(total * sizeof(uint32_t), "join output tuples");
+      !st.ok()) {
+    slot.Fail(std::move(st));
+    return {};
+  }
   std::vector<uint32_t> tuples;
   tuples.reserve(total);
   for (auto& buf : parts) {
@@ -1095,6 +1179,11 @@ Result<ResultSet> Executor::Execute(const PlanNode& plan,
     return ExecuteRowAtATime(plan, parent);
   }
   GRAPHGEN_ASSIGN_OR_RETURN(RowIdResult result, ExecuteColumnar(plan, parent));
+  GRAPHGEN_FAULT_POINT("query.materialize");
+  GRAPHGEN_RETURN_NOT_OK(options_.ctx.Check());
+  GRAPHGEN_RETURN_NOT_OK(options_.ctx.Charge(
+      result.NumRows() * result.Width() * sizeof(rel::Value),
+      "materialized result values"));
   obs::ProfileNode* prof = OpNode(parent, "materialize_values");
   obs::Span span(prof);
   Result<ResultSet> out = result.Materialize(options_.threads);
@@ -1134,6 +1223,8 @@ Result<ResultSet> Executor::ExecuteRowAtATime(const PlanNode& plan,
 
 Result<RowIdResult> Executor::ScanColumnar(const ScanNode& node,
                                            obs::ProfileNode* parent) const {
+  GRAPHGEN_FAULT_POINT("query.scan");
+  GRAPHGEN_RETURN_NOT_OK(options_.ctx.Check());
   obs::ProfileNode* prof = OpNode(parent, "scan", node.table());
   obs::Span span(prof);
   GRAPHGEN_ASSIGN_OR_RETURN(const rel::Table* table,
@@ -1165,6 +1256,8 @@ Result<RowIdResult> Executor::ScanColumnar(const ScanNode& node,
   }
   Metrics().scan_rows_in->Add(n);
   if (node.predicates().empty() && node.semi_joins().empty()) {
+    GRAPHGEN_RETURN_NOT_OK(
+        options_.ctx.Charge(n * sizeof(uint32_t), "scan selection vector"));
     out.tuples.resize(n);
     ParallelFor(
         n,
@@ -1197,13 +1290,19 @@ Result<RowIdResult> Executor::ScanColumnar(const ScanNode& node,
     filters.push_back(CompileSemiJoin(table->column(sj.column), sj));
   }
 
+  ScopedCharge keep_charge;
+  GRAPHGEN_RETURN_NOT_OK(
+      keep_charge.Acquire(options_.ctx, n, "scan keep mask"));
   std::vector<uint8_t> keep(n, 1);
   const size_t ways =
       (options_.threads > 1 && n >= kParallelScanThreshold)
           ? options_.threads
           : 1;
+  const bool poll = NeedsPoll(options_.ctx);
+  AbortSlot slot;
   ParallelForRanges(EqualRanges(n, ways), [&](size_t begin, size_t end) {
     for (size_t mb = begin; mb < end; mb += kScanMorselRows) {
+      if (poll && !slot.Continue(options_.ctx)) return;
       const size_t me = std::min(end, mb + kScanMorselRows);
       for (const CompiledPredicate& cp : preds) {
         cp.Apply(mb, me, keep.data());
@@ -1213,6 +1312,9 @@ Result<RowIdResult> Executor::ScanColumnar(const ScanNode& node,
       }
     }
   });
+  GRAPHGEN_RETURN_NOT_OK(slot.Take());
+  GRAPHGEN_RETURN_NOT_OK(
+      options_.ctx.Charge(n * sizeof(uint32_t), "scan selection vector"));
   out.tuples.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     if (keep[i] != 0) out.tuples.push_back(static_cast<uint32_t>(i));
@@ -1278,6 +1380,8 @@ Result<JoinSides> PrepareJoin(const HashJoinNode& node,
 
 Result<RowIdResult> Executor::JoinColumnar(const HashJoinNode& node,
                                            obs::ProfileNode* parent) const {
+  GRAPHGEN_FAULT_POINT("query.join.build.alloc");
+  GRAPHGEN_RETURN_NOT_OK(options_.ctx.Check());
   obs::ProfileNode* prof = OpNode(parent, "hash_join");
   obs::Span span(prof);
   GRAPHGEN_ASSIGN_OR_RETURN(RowIdResult left,
@@ -1296,14 +1400,17 @@ Result<RowIdResult> Executor::JoinColumnar(const HashJoinNode& node,
   // An impossible key-encoding pair (WithTypedJoinKeys returns false)
   // leaves tuples empty — correct schema/bindings, no rows.
   JoinProfInfo info;
+  AbortSlot slot;
   WithTypedJoinKeys(
       build, probe, bcol, pcol,
       [&](auto tag, auto hash, auto bkey, auto pkey) {
         using Key = typename decltype(tag)::type;
         out.tuples = PartitionedJoin<Key>(left, right, sides.build_left,
                                           threads, hash, bkey, pkey,
+                                          options_.ctx, slot,
                                           prof != nullptr ? &info : nullptr);
       });
+  GRAPHGEN_RETURN_NOT_OK(slot.Take());
   const size_t matches = out.NumRows();
   Metrics().join_build_rows->Add(build.NumRows());
   Metrics().join_probe_rows->Add(probe.NumRows());
@@ -1325,6 +1432,8 @@ Result<RowIdResult> Executor::JoinColumnar(const HashJoinNode& node,
 Result<RowIdResult> Executor::JoinDistinctColumnar(
     const ProjectNode& node, const HashJoinNode& join,
     obs::ProfileNode* parent) const {
+  GRAPHGEN_FAULT_POINT("query.join.build.alloc");
+  GRAPHGEN_RETURN_NOT_OK(options_.ctx.Check());
   obs::ProfileNode* prof = OpNode(parent, "join_distinct");
   obs::Span span(prof);
   GRAPHGEN_ASSIGN_OR_RETURN(RowIdResult left,
@@ -1366,11 +1475,14 @@ Result<RowIdResult> Executor::JoinDistinctColumnar(
   size_t matches = 0;
   size_t fused_morsels = 0;
   JoinProfInfo info;
+  AbortSlot slot;
+  const bool poll = NeedsPoll(options_.ctx);
   WithTypedJoinKeys(build, probe, bcol, pcol, [&](auto tag, auto hash,
                                                   auto bkey, auto pkey) {
     using Key = typename decltype(tag)::type;
-    JoinBuild<Key> jb =
-        BuildJoinTables<Key>(build.NumRows(), threads, hash, bkey);
+    JoinBuild<Key> jb = BuildJoinTables<Key>(build.NumRows(), threads, hash,
+                                             bkey, options_.ctx, slot);
+    if (slot.Failed()) return;
     FillJoinProfInfo(jb, build.NumRows(), prof != nullptr ? &info : nullptr);
 
     const size_t probe_ways =
@@ -1382,8 +1494,12 @@ Result<RowIdResult> Executor::JoinDistinctColumnar(
     // before a single tuple is emitted.
     std::vector<size_t> expected(ranges.size(), 0);
     ParallelInvoke(ranges.size(), [&](size_t t) {
-      expected[t] = CountJoinRange(jb, ranges[t], hash, pkey);
+      StridedRun(options_.ctx, slot, poll, ranges[t].begin, ranges[t].end,
+                 [&](size_t b, size_t e) {
+                   expected[t] += CountJoinRange(jb, {b, e}, hash, pkey);
+                 });
     });
+    if (slot.Failed()) return;
     size_t total_matches = 0;
     for (size_t e : expected) total_matches += e;
     matches = total_matches;
@@ -1398,12 +1514,25 @@ Result<RowIdResult> Executor::JoinDistinctColumnar(
     fused = total_matches * w * sizeof(uint32_t) >=
             std::max<size_t>(options_.fuse_min_output_bytes, 1);
     if (!fused) {
+      // Materializing branch: per-range buffers plus the concatenated
+      // copy peak at 2x the exact output size; charge both up front.
+      if (Status st = options_.ctx.Charge(
+              2 * total_matches * w * sizeof(uint32_t),
+              "materialized join output");
+          !st.ok()) {
+        slot.Fail(std::move(st));
+        return;
+      }
       std::vector<std::vector<uint32_t>> parts(ranges.size());
       ParallelInvoke(ranges.size(), [&](size_t t) {
         parts[t].reserve(expected[t] * w);
-        EmitJoinRange(jb, ranges[t], hash, pkey, build, probe, build_left,
-                      lw, rw, parts[t]);
+        StridedRun(options_.ctx, slot, poll, ranges[t].begin, ranges[t].end,
+                   [&](size_t b, size_t e) {
+                     EmitJoinRange(jb, {b, e}, hash, pkey, build, probe,
+                                   build_left, lw, rw, parts[t]);
+                   });
       });
+      if (slot.Failed()) return;
       size_t total = 0;
       for (const auto& buf : parts) total += buf.size();
       joined.tuples.reserve(total);
@@ -1423,10 +1552,20 @@ Result<RowIdResult> Executor::JoinDistinctColumnar(
     // never rehashes.
     std::vector<std::unique_ptr<FusedDistinctSet>> locals(ranges.size());
     ParallelInvoke(ranges.size(), [&](size_t t) {
+      // Worst case every offer survives: slot table + tuple/hash storage.
+      const size_t set_bytes =
+          PowerOfTwoCapacity(expected[t]) * sizeof(uint32_t) +
+          expected[t] * (w * sizeof(uint32_t) + sizeof(uint64_t));
+      if (Status st = options_.ctx.Charge(set_bytes, "fused DISTINCT set");
+          !st.ok()) {
+        slot.Fail(std::move(st));
+        return;
+      }
       locals[t] = std::make_unique<FusedDistinctSet>(w, cols, expected[t]);
       FuseJoinRange(jb, ranges[t], hash, pkey, build, probe, build_left, lw,
-                    rw, cols, *locals[t]);
+                    rw, cols, *locals[t], options_.ctx, slot, poll);
     });
+    if (slot.Failed()) return;
 
     if (ranges.size() == 1) {
       out.tuples.assign(locals[0]->tuples(),
@@ -1450,6 +1589,7 @@ Result<RowIdResult> Executor::JoinDistinctColumnar(
     }
     out.tuples.assign(global.tuples(), global.tuples() + global.size() * w);
   });
+  GRAPHGEN_RETURN_NOT_OK(slot.Take());
   Metrics().join_build_rows->Add(build.NumRows());
   Metrics().join_probe_rows->Add(probe.NumRows());
   Metrics().join_matches->Add(matches);
@@ -1499,6 +1639,8 @@ Result<RowIdResult> Executor::ProjectColumnar(const ProjectNode& node,
 Result<RowIdResult> Executor::ProjectFromChild(const ProjectNode& node,
                                                RowIdResult child,
                                                obs::ProfileNode* prof) const {
+  GRAPHGEN_FAULT_POINT("query.distinct.alloc");
+  GRAPHGEN_RETURN_NOT_OK(options_.ctx.Check());
   RowIdResult out;
   GRAPHGEN_RETURN_NOT_OK(ProjectOutputSchema(node, child.schema, child.origins,
                                              &out.schema, &out.origins));
@@ -1529,16 +1671,31 @@ Result<RowIdResult> Executor::ProjectFromChild(const ProjectNode& node,
   }
 
   const size_t w0 = child.Width();
+  // Hash array + first-occurrence slot tables are DISTINCT scratch,
+  // refunded when the operator returns; the poll stride keeps an armed
+  // deadline responsive even on a single huge partition.
+  ScopedCharge scratch;
+  GRAPHGEN_RETURN_NOT_OK(scratch.Acquire(
+      options_.ctx,
+      n * sizeof(uint64_t) + PowerOfTwoCapacity(n) * sizeof(uint32_t),
+      "DISTINCT hash scratch"));
+  const bool poll = NeedsPoll(options_.ctx);
+  AbortSlot slot;
   std::vector<uint64_t> hashes(n);
   ParallelFor(
       n,
       [&](size_t begin, size_t end) {
-        for (size_t i = begin; i < end; ++i) {
-          // FNV combine + final avalanche (the flat set masks low bits).
-          hashes[i] = DistinctHash(cols, &child.tuples[i * w0]);
-        }
+        StridedRun(options_.ctx, slot, poll, begin, end,
+                   [&](size_t b, size_t e) {
+                     for (size_t i = b; i < e; ++i) {
+                       // FNV combine + final avalanche (the flat set masks
+                       // low bits).
+                       hashes[i] = DistinctHash(cols, &child.tuples[i * w0]);
+                     }
+                   });
       },
       options_.threads);
+  GRAPHGEN_RETURN_NOT_OK(slot.Take());
 
   std::vector<uint32_t> survivors;
   const size_t partitions =
@@ -1548,7 +1705,12 @@ Result<RowIdResult> Executor::ProjectFromChild(const ProjectNode& node,
   if (partitions == 1) {
     FlatDistinctSet seen(n, hashes, child, cols);
     survivors.reserve(n);
+    size_t tick = kCancelStrideRows;
     for (size_t i = 0; i < n; ++i) {
+      if (poll && --tick == 0) {
+        tick = kCancelStrideRows;
+        GRAPHGEN_RETURN_NOT_OK(options_.ctx.Check());
+      }
       if (seen.Insert(static_cast<uint32_t>(i))) {
         survivors.push_back(static_cast<uint32_t>(i));
       }
@@ -1561,13 +1723,16 @@ Result<RowIdResult> Executor::ProjectFromChild(const ProjectNode& node,
         if (hashes[i] % partitions == p) ++mine;
       }
       FlatDistinctSet seen(mine, hashes, child, cols);
-      for (size_t i = 0; i < n; ++i) {
-        if (hashes[i] % partitions != p) continue;
-        if (seen.Insert(static_cast<uint32_t>(i))) {
-          parts[p].push_back(static_cast<uint32_t>(i));
+      StridedRun(options_.ctx, slot, poll, 0, n, [&](size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i) {
+          if (hashes[i] % partitions != p) continue;
+          if (seen.Insert(static_cast<uint32_t>(i))) {
+            parts[p].push_back(static_cast<uint32_t>(i));
+          }
         }
-      }
+      });
     });
+    GRAPHGEN_RETURN_NOT_OK(slot.Take());
     size_t total = 0;
     for (const auto& part : parts) total += part.size();
     survivors.reserve(total);
@@ -1602,6 +1767,8 @@ Result<RowIdResult> Executor::ProjectFromChild(const ProjectNode& node,
 
 Result<ResultSet> Executor::ScanRows(const ScanNode& node,
                                      obs::ProfileNode* parent) const {
+  GRAPHGEN_FAULT_POINT("query.row.scan");
+  GRAPHGEN_RETURN_NOT_OK(options_.ctx.Check());
   obs::ProfileNode* prof = OpNode(parent, "scan", node.table());
   obs::Span span(prof);
   GRAPHGEN_ASSIGN_OR_RETURN(const rel::Table* table,
@@ -1624,7 +1791,11 @@ Result<ResultSet> Executor::ScanRows(const ScanNode& node,
   const bool unfiltered =
       node.predicates().empty() && node.semi_joins().empty();
   out.rows.reserve(unfiltered ? table->NumRows() : 0);
+  const bool poll = NeedsPoll(options_.ctx);
   for (size_t i = 0; i < table->NumRows(); ++i) {
+    if (poll && i % kCancelStrideRows == 0) {
+      GRAPHGEN_RETURN_NOT_OK(options_.ctx.Check());
+    }
     rel::Row row = table->row(i);
     bool keep = true;
     for (const Predicate& p : node.predicates()) {
@@ -1648,6 +1819,8 @@ Result<ResultSet> Executor::ScanRows(const ScanNode& node,
 
 Result<ResultSet> Executor::JoinRows(const HashJoinNode& node,
                                      obs::ProfileNode* parent) const {
+  GRAPHGEN_FAULT_POINT("query.row.join");
+  GRAPHGEN_RETURN_NOT_OK(options_.ctx.Check());
   obs::ProfileNode* prof = OpNode(parent, "hash_join");
   obs::Span span(prof);
   GRAPHGEN_ASSIGN_OR_RETURN(ResultSet left,
@@ -1668,7 +1841,11 @@ Result<ResultSet> Executor::JoinRows(const HashJoinNode& node,
 
   std::unordered_map<rel::Value, std::vector<size_t>, rel::ValueHash> ht;
   ht.reserve(build.NumRows());
+  const bool build_poll = NeedsPoll(options_.ctx);
   for (size_t i = 0; i < build.NumRows(); ++i) {
+    if (build_poll && i % kCancelStrideRows == 0) {
+      GRAPHGEN_RETURN_NOT_OK(options_.ctx.Check());
+    }
     const rel::Value& key = build.rows[i][build_col];
     if (key.is_null()) continue;  // SQL semantics: NULL joins nothing.
     ht[key].push_back(i);
@@ -1677,7 +1854,13 @@ Result<ResultSet> Executor::JoinRows(const HashJoinNode& node,
   ResultSet out;
   JoinOutputSchema(left.schema, left.origins, right.schema, right.origins,
                    &out.schema, &out.origins);
+  const bool poll = NeedsPoll(options_.ctx);
+  size_t tick = kCancelStrideRows;
   for (const rel::Row& prow : probe.rows) {
+    if (poll && --tick == 0) {
+      tick = kCancelStrideRows;
+      GRAPHGEN_RETURN_NOT_OK(options_.ctx.Check());
+    }
     const rel::Value& key = prow[probe_col];
     if (key.is_null()) continue;
     auto it = ht.find(key);
@@ -1703,6 +1886,8 @@ Result<ResultSet> Executor::JoinRows(const HashJoinNode& node,
 
 Result<ResultSet> Executor::ProjectRows(const ProjectNode& node,
                                         obs::ProfileNode* parent) const {
+  GRAPHGEN_FAULT_POINT("query.row.project");
+  GRAPHGEN_RETURN_NOT_OK(options_.ctx.Check());
   obs::ProfileNode* prof =
       OpNode(parent, node.distinct() ? "project_distinct" : "project");
   obs::Span span(prof);
@@ -1715,7 +1900,13 @@ Result<ResultSet> Executor::ProjectRows(const ProjectNode& node,
   std::unordered_set<rel::Row, RowHash> seen;
   if (node.distinct()) seen.reserve(child.NumRows());
   out.rows.reserve(child.NumRows());
+  const bool poll = NeedsPoll(options_.ctx);
+  size_t tick = kCancelStrideRows;
   for (const rel::Row& row : child.rows) {
+    if (poll && --tick == 0) {
+      tick = kCancelStrideRows;
+      GRAPHGEN_RETURN_NOT_OK(options_.ctx.Check());
+    }
     rel::Row projected;
     projected.reserve(node.columns().size());
     for (size_t c : node.columns()) projected.push_back(row[c]);

@@ -1,6 +1,7 @@
 #ifndef GRAPHGEN_QUERY_EXECUTOR_H_
 #define GRAPHGEN_QUERY_EXECUTOR_H_
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "obs/profile.h"
 #include "query/columnar.h"
@@ -40,6 +41,13 @@ struct ExecOptions {
   /// *before* any tuple is emitted, so the choice is free. 0 forces the
   /// fused pipeline for any size (tests).
   size_t fuse_min_output_bytes = size_t{32} << 20;
+  /// Request lifecycle context: cooperative cancel flag, deadline, and
+  /// transient-memory budget. Every operator polls it at morsel/stride
+  /// boundaries and charges its big allocations, so a cancelled, expired,
+  /// or over-budget request unwinds with Cancelled / DeadlineExceeded /
+  /// ResourceExhausted in bounded time. The default context is inert and
+  /// costs two predictable branches per poll.
+  ExecContext ctx;
 };
 
 /// Executes plan trees against a Database. The columnar engine keeps

@@ -1,18 +1,35 @@
 #include "service/graph_service.h"
 
+#include <algorithm>
+#include <chrono>
 #include <utility>
 
+#include "common/faultpoints.h"
 #include "common/timer.h"
 #include "repr/csr_graph.h"
 #include "service/cache_key.h"
 
 namespace graphgen::service {
 
+namespace {
+
+/// The service-layer fault point lives in a helper so kThrow unwinds into
+/// the owner's try block (the macro returns from its enclosing function,
+/// which must not be ExtractWithKey itself — that would strand the
+/// single-flight entry).
+Status BeginExtractionFault() {
+  GRAPHGEN_FAULT_POINT("service.extract.begin");
+  return Status::OK();
+}
+
+}  // namespace
+
 GraphService::GraphService(const rel::Database* db, ServiceOptions options)
     : db_(db),
       options_(std::move(options)),
       engine_(db),
       cache_(options_.cache_budget_bytes),
+      stale_(options_.stale_budget_bytes),
       requests_(registry_.GetCounter("service.requests")),
       cache_hits_(registry_.GetCounter("service.cache_hits")),
       cold_extractions_(registry_.GetCounter("service.cold_extractions")),
@@ -21,6 +38,13 @@ GraphService::GraphService(const rel::Database* db, ServiceOptions options)
       uncacheable_(registry_.GetCounter("service.uncacheable")),
       csr_builds_(registry_.GetCounter("service.csr_builds")),
       slow_requests_(registry_.GetCounter("service.slow_requests")),
+      cancelled_(registry_.GetCounter("service.cancelled")),
+      deadline_exceeded_(registry_.GetCounter("service.deadline_exceeded")),
+      overload_rejected_(registry_.GetCounter("service.overload_rejected")),
+      resource_exhausted_(registry_.GetCounter("service.resource_exhausted")),
+      stale_served_(registry_.GetCounter("service.stale_served")),
+      inflight_gauge_(registry_.GetGauge("service.inflight_extractions")),
+      admission_queue_gauge_(registry_.GetGauge("service.admission_queued")),
       cache_bytes_gauge_(registry_.GetGauge("service.cache_bytes")),
       cache_graphs_gauge_(registry_.GetGauge("service.cache_graphs")),
       cache_evictions_gauge_(registry_.GetGauge("service.cache_evictions")),
@@ -32,40 +56,149 @@ GraphService::GraphService(const rel::Database* db, ServiceOptions options)
 GraphService::~GraphService() = default;
 
 Result<GraphHandle> GraphService::Extract(std::string_view datalog) {
-  return ExtractWithKey(datalog, options_.default_options);
+  return ExtractWithKey(datalog, options_.default_options, RequestOptions{});
 }
 
 Result<GraphHandle> GraphService::Extract(std::string_view datalog,
                                           const GraphGenOptions& options) {
-  return ExtractWithKey(datalog, options);
+  return ExtractWithKey(datalog, options, RequestOptions{});
+}
+
+Result<GraphHandle> GraphService::Extract(std::string_view datalog,
+                                          const GraphGenOptions& options,
+                                          const RequestOptions& request) {
+  return ExtractWithKey(datalog, options, request);
 }
 
 std::future<Result<GraphHandle>> GraphService::ExtractAsync(
     std::string datalog) {
-  return ExtractAsync(std::move(datalog), options_.default_options);
+  return ExtractAsync(std::move(datalog), options_.default_options,
+                      RequestOptions{});
 }
 
 std::future<Result<GraphHandle>> GraphService::ExtractAsync(
     std::string datalog, GraphGenOptions options) {
+  return ExtractAsync(std::move(datalog), std::move(options),
+                      RequestOptions{});
+}
+
+std::future<Result<GraphHandle>> GraphService::ExtractAsync(
+    std::string datalog, GraphGenOptions options, RequestOptions request) {
   auto promise = std::make_shared<std::promise<Result<GraphHandle>>>();
   std::future<Result<GraphHandle>> future = promise->get_future();
+  // The task must never throw (ThreadPool workers don't catch): anything
+  // escaping ExtractWithKey resolves the future to ExecutionError so the
+  // caller's get() always returns.
   pool_.Submit([this, promise, datalog = std::move(datalog),
-                options = std::move(options)] {
-    promise->set_value(ExtractWithKey(datalog, options));
+                options = std::move(options), request = std::move(request)] {
+    try {
+      promise->set_value(ExtractWithKey(datalog, options, request));
+    } catch (const std::exception& e) {
+      promise->set_value(Result<GraphHandle>(Status::ExecutionError(
+          std::string("async extraction threw: ") + e.what())));
+    } catch (...) {
+      promise->set_value(Result<GraphHandle>(
+          Status::ExecutionError("async extraction threw a non-exception")));
+    }
   });
   return future;
 }
 
-Result<GraphHandle> GraphService::ExtractWithKey(
-    std::string_view datalog, const GraphGenOptions& options) {
-  auto record_failure = [this](Status status) -> Result<GraphHandle> {
-    failed_->Increment();
-    return status;
-  };
+Result<GraphHandle> GraphService::ResolveFailure(
+    Status status, const std::string& key, const RequestOptions& request) {
+  failed_->Increment();
+  switch (status.code()) {
+    case StatusCode::kCancelled: cancelled_->Increment(); break;
+    case StatusCode::kDeadlineExceeded: deadline_exceeded_->Increment(); break;
+    case StatusCode::kOverloaded: overload_rejected_->Increment(); break;
+    case StatusCode::kResourceExhausted:
+      resource_exhausted_->Increment();
+      break;
+    default: break;
+  }
+  if (request.allow_stale && !key.empty()) {
+    if (GraphHandle stale = stale_.Get(key)) {
+      stale_served_->Increment();
+      return stale;
+    }
+  }
+  return status;
+}
 
+Status GraphService::AdmitExtraction(const ExecContext& ctx) {
+  std::unique_lock<std::mutex> lock(admit_mu_);
+  const size_t max = options_.max_inflight_extractions;
+  if (max == 0) {
+    ++inflight_extractions_;
+    return Status::OK();
+  }
+  if (inflight_extractions_ < max && admit_queue_.empty()) {
+    ++inflight_extractions_;
+    return Status::OK();
+  }
+  if (admit_queue_.size() >= options_.admission_queue_capacity) {
+    return Status::Overloaded(
+        "extraction rejected: " + std::to_string(inflight_extractions_) +
+        " in flight, " + std::to_string(admit_queue_.size()) +
+        " queued (capacity " +
+        std::to_string(options_.admission_queue_capacity) + ")");
+  }
+  const uint64_t ticket = admit_ticket_++;
+  admit_queue_.push_back(ticket);
+  auto my_turn = [&] {
+    return inflight_extractions_ < max && !admit_queue_.empty() &&
+           admit_queue_.front() == ticket;
+  };
+  while (!my_turn() && ctx.Check().ok()) {
+    // Deadlines are honored while queued; a cancel-only context is polled
+    // because nothing kicks the cv when a caller raises the flag.
+    if (ctx.has_deadline) {
+      admit_cv_.wait_until(lock, ctx.deadline);
+      if (ctx.DeadlineExpired()) break;
+    } else if (ctx.cancel.cancellable()) {
+      admit_cv_.wait_for(lock, std::chrono::milliseconds(20));
+    } else {
+      admit_cv_.wait(lock);
+    }
+  }
+  if (!my_turn()) {
+    auto it = std::find(admit_queue_.begin(), admit_queue_.end(), ticket);
+    if (it != admit_queue_.end()) admit_queue_.erase(it);
+    admit_cv_.notify_all();  // our slot in line opened up
+    Status st = ctx.Check();
+    return st.ok() ? Status::DeadlineExceeded(
+                         "request expired while queued for admission")
+                   : st;
+  }
+  admit_queue_.pop_front();
+  ++inflight_extractions_;
+  admit_cv_.notify_all();
+  return Status::OK();
+}
+
+void GraphService::ReleaseExtraction() {
+  {
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    --inflight_extractions_;
+  }
+  admit_cv_.notify_all();
+}
+
+Result<GraphHandle> GraphService::ExtractWithKey(
+    std::string_view datalog, const GraphGenOptions& options,
+    const RequestOptions& request) {
   requests_->Increment();
   auto key = CanonicalCacheKey(datalog, options);
-  if (!key.ok()) return record_failure(key.status());
+  if (!key.ok()) return ResolveFailure(key.status(), "", request);
+
+  // Request lifecycle context threaded through the whole pipeline. The
+  // deadline clock starts here, so admission queueing counts against it.
+  ExecContext ctx;
+  ctx.cancel = request.cancel;
+  ctx.SetDeadlineAfter(request.deadline_seconds);
+  if (request.memory_limit_bytes > 0) {
+    ctx.budget = std::make_shared<MemoryBudget>(request.memory_limit_bytes);
+  }
 
   std::shared_ptr<Inflight> flight;
   bool owner = false;
@@ -89,7 +222,9 @@ Result<GraphHandle> GraphService::ExtractWithKey(
   if (!owner) {
     std::unique_lock<std::mutex> wait_lock(flight->mu);
     flight->cv.wait(wait_lock, [&] { return flight->done; });
-    if (!flight->status.ok()) return record_failure(flight->status);
+    if (!flight->status.ok()) {
+      return ResolveFailure(flight->status, *key, request);
+    }
     return flight->graph;
   }
 
@@ -97,40 +232,57 @@ Result<GraphHandle> GraphService::ExtractWithKey(
   // escaping exception (std::bad_alloc on a huge graph) must still reach
   // the cleanup below, or the stranded inflight_ entry would deadlock
   // every later request for this key — convert it to a Status instead.
+  // Admission gates the owner only: cache hits and coalesced waiters cost
+  // no pipeline slot. A rejected owner publishes Overloaded to its
+  // waiters — the same single-flight failure semantics as any other
+  // pipeline error (nothing cached, key immediately retryable).
   GraphHandle handle;
   Status status;
   WallTimer extract_timer;
-  try {
-    // Share the service pool with the extraction pipeline so independent
-    // Datalog rules fan out onto idle workers. RunBatch lets this thread
-    // participate, so running on a pool worker (ExtractAsync) can never
-    // deadlock.
-    GraphGenOptions run_options = options;
-    run_options.extract.pool = &pool_;
-    Result<ExtractedGraph> extracted = engine_.Extract(datalog, run_options);
-    status = extracted.status();
-    if (extracted.ok()) {
-      handle = std::make_shared<const ExtractedGraph>(std::move(*extracted));
+  status = AdmitExtraction(ctx);
+  if (status.ok()) {
+    try {
+      status = BeginExtractionFault();
+      if (status.ok()) status = ctx.Check();
+      if (status.ok()) {
+        // Share the service pool with the extraction pipeline so
+        // independent Datalog rules fan out onto idle workers. RunBatch
+        // lets this thread participate, so running on a pool worker
+        // (ExtractAsync) can never deadlock.
+        GraphGenOptions run_options = options;
+        run_options.extract.pool = &pool_;
+        run_options.extract.ctx = ctx;
+        Result<ExtractedGraph> extracted =
+            engine_.Extract(datalog, run_options);
+        status = extracted.status();
+        if (extracted.ok()) {
+          handle =
+              std::make_shared<const ExtractedGraph>(std::move(*extracted));
+        }
+      }
+    } catch (const std::exception& e) {
+      handle = nullptr;
+      status =
+          Status::ExecutionError(std::string("extraction threw: ") + e.what());
+    } catch (...) {
+      handle = nullptr;
+      status = Status::ExecutionError("extraction threw an unknown exception");
     }
-  } catch (const std::exception& e) {
-    handle = nullptr;
-    status = Status::Internal(std::string("extraction threw: ") + e.what());
-  } catch (...) {
-    handle = nullptr;
-    status = Status::Internal("extraction threw an unknown exception");
+    ReleaseExtraction();
   }
   const double extract_seconds = extract_timer.Seconds();
   if (handle != nullptr) {
     cold_extractions_->Increment();
     RecordExtractionLatency(datalog, extract_seconds, handle->stats.profile);
-  } else {
-    failed_->Increment();
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
     inflight_.erase(*key);
-    if (handle != nullptr && !cache_.Put(*key, handle)) {
-      uncacheable_->Increment();
+    if (handle != nullptr) {
+      if (!cache_.Put(*key, handle)) uncacheable_->Increment();
+      // Remember the success for allow_stale fallbacks; failures never
+      // touch either store.
+      stale_.Put(*key, handle);
     }
   }
   {
@@ -140,20 +292,27 @@ Result<GraphHandle> GraphService::ExtractWithKey(
     flight->graph = handle;
   }
   flight->cv.notify_all();
-  if (!status.ok()) return status;
+  if (!status.ok()) return ResolveFailure(status, *key, request);
   return handle;
 }
 
 Result<GraphHandle> GraphService::ExtractNamed(const std::string& name,
                                                std::string_view datalog) {
-  return ExtractNamed(name, datalog, options_.default_options);
+  return ExtractNamed(name, datalog, options_.default_options,
+                      RequestOptions{});
 }
 
 Result<GraphHandle> GraphService::ExtractNamed(
     const std::string& name, std::string_view datalog,
     const GraphGenOptions& options) {
+  return ExtractNamed(name, datalog, options, RequestOptions{});
+}
+
+Result<GraphHandle> GraphService::ExtractNamed(
+    const std::string& name, std::string_view datalog,
+    const GraphGenOptions& options, const RequestOptions& request) {
   GRAPHGEN_ASSIGN_OR_RETURN(GraphHandle handle,
-                            ExtractWithKey(datalog, options));
+                            ExtractWithKey(datalog, options, request));
   GRAPHGEN_RETURN_NOT_OK(Register(name, handle, /*overwrite=*/true));
   return handle;
 }
@@ -305,6 +464,11 @@ std::vector<obs::MetricValue> GraphService::MetricsSnapshot() const {
     flat_views_gauge_->Set(static_cast<int64_t>(flat_views_.size()));
     named_graphs_gauge_->Set(static_cast<int64_t>(names_.size()));
   }
+  {
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    inflight_gauge_->Set(static_cast<int64_t>(inflight_extractions_));
+    admission_queue_gauge_->Set(static_cast<int64_t>(admit_queue_.size()));
+  }
   cache_bytes_gauge_->Set(static_cast<int64_t>(cache_.bytes()));
   cache_graphs_gauge_->Set(static_cast<int64_t>(cache_.size()));
   cache_evictions_gauge_->Set(static_cast<int64_t>(cache_.evictions()));
@@ -324,10 +488,20 @@ ServiceStats GraphService::Stats() const {
   stats.uncacheable = uncacheable_->Value();
   stats.csr_builds = csr_builds_->Value();
   stats.slow_requests = slow_requests_->Value();
+  stats.cancelled = cancelled_->Value();
+  stats.deadline_exceeded = deadline_exceeded_->Value();
+  stats.overload_rejected = overload_rejected_->Value();
+  stats.resource_exhausted = resource_exhausted_->Value();
+  stats.stale_served = stale_served_->Value();
   {
     std::lock_guard<std::mutex> lock(mu_);
     stats.flat_views = flat_views_.size();
     stats.named_graphs = names_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    stats.inflight_extractions = inflight_extractions_;
+    stats.admission_queued = admit_queue_.size();
   }
   stats.evictions = cache_.evictions();
   stats.cache_bytes = cache_.bytes();

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/parallel.h"
 #include "common/status.h"
 #include "core/graphgen.h"
@@ -34,6 +35,38 @@ struct ServiceOptions {
   double slow_request_seconds = 1.0;
   /// Ring-buffer capacity of the slow-request log (oldest evicted first).
   size_t slow_log_capacity = 32;
+  /// Admission control: at most this many cold extractions run the
+  /// pipeline concurrently (cache hits and coalesced waiters are never
+  /// gated). 0 = unlimited (no admission control).
+  size_t max_inflight_extractions = 0;
+  /// How many extraction owners may wait in the FIFO admission queue
+  /// before new arrivals are rejected with Status::Overloaded.
+  size_t admission_queue_capacity = 16;
+  /// Budget for the stale-graph store backing RequestOptions::allow_stale:
+  /// every successful extraction is also remembered here, and a failing
+  /// re-extraction of the same key can fall back to it. Survives
+  /// ClearCache (that is its use case). 0 = unlimited.
+  size_t stale_budget_bytes = size_t{64} << 20;
+};
+
+/// Per-request robustness knobs, orthogonal to GraphGenOptions (they
+/// never enter the cache key: the same graph is the same graph whatever
+/// deadline it was extracted under).
+struct RequestOptions {
+  /// Relative deadline for the whole request, including time spent queued
+  /// for admission. <= 0 = none. Expiry surfaces as DeadlineExceeded.
+  double deadline_seconds = 0;
+  /// Transient-memory ceiling for the extraction pipeline (hash-join
+  /// tables, DISTINCT sets, morsel buffers, assembly batches, CSR build
+  /// arrays). 0 = unlimited. Tripping it surfaces as ResourceExhausted.
+  size_t memory_limit_bytes = 0;
+  /// When the pipeline fails (fault, deadline, memory, overload), serve
+  /// the most recent successfully extracted graph for this key instead,
+  /// if one exists. Counted in stats as stale_served.
+  bool allow_stale = false;
+  /// Cooperative cancellation: keep a copy, call RequestCancel(), and the
+  /// request unwinds with Cancelled within a few morsel quanta.
+  CancelToken cancel;
 };
 
 /// One row of List(): a graph the analyst has registered under a name.
@@ -59,6 +92,13 @@ struct ServiceStats {
   uint64_t uncacheable = 0;       // graphs larger than the whole budget
   uint64_t csr_builds = 0;        // materialized-CSR adapters built
   uint64_t slow_requests = 0;     // cold extractions over the slow threshold
+  uint64_t cancelled = 0;         // failures: caller cancelled
+  uint64_t deadline_exceeded = 0;  // failures: deadline passed
+  uint64_t overload_rejected = 0;  // failures: admission queue full
+  uint64_t resource_exhausted = 0;  // failures: memory ceiling tripped
+  uint64_t stale_served = 0;      // failures answered from the stale store
+  uint64_t inflight_extractions = 0;  // gauge: pipelines running now
+  uint64_t admission_queued = 0;      // gauge: owners waiting for a slot
   uint64_t flat_views = 0;        // gauge: resident CSR adapters
   uint64_t cache_bytes = 0;       // gauge: resident cache footprint
   uint64_t cache_graphs = 0;      // gauge: resident cache entries
@@ -99,15 +139,25 @@ class GraphService {
   GraphService& operator=(const GraphService&) = delete;
 
   /// Extracts the hidden graph `datalog` describes (or returns the cached
-  /// instance). Blocks until the graph is available.
+  /// instance). Blocks until the graph is available. The RequestOptions
+  /// overloads add per-request deadline / memory ceiling / cancellation /
+  /// stale-fallback without affecting what gets cached.
   Result<GraphHandle> Extract(std::string_view datalog);
   Result<GraphHandle> Extract(std::string_view datalog,
                               const GraphGenOptions& options);
+  Result<GraphHandle> Extract(std::string_view datalog,
+                              const GraphGenOptions& options,
+                              const RequestOptions& request);
 
   /// Queues the extraction on the worker pool and returns immediately.
+  /// The future always resolves — a task that throws resolves it to
+  /// ExecutionError rather than terminating the worker.
   std::future<Result<GraphHandle>> ExtractAsync(std::string datalog);
   std::future<Result<GraphHandle>> ExtractAsync(std::string datalog,
                                                 GraphGenOptions options);
+  std::future<Result<GraphHandle>> ExtractAsync(std::string datalog,
+                                                GraphGenOptions options,
+                                                RequestOptions request);
 
   /// Extract + bind the result to `name` (rebinding a taken name replaces
   /// the old graph, like shell variable assignment).
@@ -116,6 +166,10 @@ class GraphService {
   Result<GraphHandle> ExtractNamed(const std::string& name,
                                    std::string_view datalog,
                                    const GraphGenOptions& options);
+  Result<GraphHandle> ExtractNamed(const std::string& name,
+                                   std::string_view datalog,
+                                   const GraphGenOptions& options,
+                                   const RequestOptions& request);
 
   /// Binds an externally produced graph. Fails with kAlreadyExists if the
   /// name is taken and `overwrite` is false.
@@ -139,7 +193,8 @@ class GraphService {
   std::shared_ptr<const Graph> FlatView(const GraphHandle& handle);
 
   /// Drops every cached graph (named graphs stay pinned) and every
-  /// cached flat view.
+  /// cached flat view. The stale store survives — it exists precisely to
+  /// answer allow_stale requests after the cache is gone.
   void ClearCache();
 
   /// Re-budgets the extraction cache at runtime (ops lever: shrink under
@@ -179,12 +234,29 @@ class GraphService {
   };
 
   Result<GraphHandle> ExtractWithKey(std::string_view datalog,
-                                     const GraphGenOptions& options);
+                                     const GraphGenOptions& options,
+                                     const RequestOptions& request);
+
+  /// Admission control for cold-extraction owners: bounded concurrency
+  /// with a FIFO wait queue. Returns OK once a slot is held (pair with
+  /// ReleaseExtraction), Overloaded when the queue is full, or the
+  /// context's Cancelled/DeadlineExceeded when the request dies queued.
+  Status AdmitExtraction(const ExecContext& ctx);
+  void ReleaseExtraction();
+
+  /// Classifies a request failure into the per-cause counters and, when
+  /// the request allows it, answers from the stale store instead.
+  Result<GraphHandle> ResolveFailure(Status status, const std::string& key,
+                                     const RequestOptions& request);
 
   const rel::Database* db_;
   const ServiceOptions options_;
   GraphGen engine_;
   GraphCache cache_;
+  /// Last-known-good store for allow_stale: written on every successful
+  /// extraction, read when a re-extraction of the same key fails.
+  /// Deliberately not cleared by ClearCache.
+  GraphCache stale_;
 
   /// One cached flat view: the CSR adapter plus a weak reference to the
   /// ExtractedGraph that owns the source Graph, so a recycled Graph*
@@ -217,6 +289,13 @@ class GraphService {
   obs::Counter* uncacheable_;
   obs::Counter* csr_builds_;
   obs::Counter* slow_requests_;
+  obs::Counter* cancelled_;
+  obs::Counter* deadline_exceeded_;
+  obs::Counter* overload_rejected_;
+  obs::Counter* resource_exhausted_;
+  obs::Counter* stale_served_;
+  obs::Gauge* inflight_gauge_;
+  obs::Gauge* admission_queue_gauge_;
   obs::Gauge* cache_bytes_gauge_;
   obs::Gauge* cache_graphs_gauge_;
   obs::Gauge* cache_evictions_gauge_;
@@ -226,6 +305,14 @@ class GraphService {
 
   std::deque<SlowRequest> slow_log_;  // ring buffer, oldest at front
   uint64_t slow_sequence_ = 0;
+
+  /// Admission state, under its own lock so queued owners never contend
+  /// with cache lookups on mu_.
+  mutable std::mutex admit_mu_;
+  std::condition_variable admit_cv_;
+  size_t inflight_extractions_ = 0;
+  std::deque<uint64_t> admit_queue_;  // FIFO of waiting owner tickets
+  uint64_t admit_ticket_ = 0;
 
   // Last member: destroyed (and joined) first, so queued tasks finish
   // while the rest of the service is still alive.

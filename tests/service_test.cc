@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/cancel.h"
+#include "common/faultpoints.h"
 #include "gen/relational_generators.h"
 #include "repr/expanded_graph.h"
 #include "service/cache_key.h"
@@ -417,6 +420,269 @@ TEST_F(ServiceTest, SetCacheBudgetReleasesResidentGraphs) {
   svc.SetCacheBudget(1);
   EXPECT_EQ(svc.Stats().cache_bytes, 0u);
   EXPECT_GT((*g)->graph->NumVertices(), 0u);
+}
+
+// ------------------------------------------------------------- robustness
+
+/// ServiceTest plus a quiet fault registry around every test: these tests
+/// arm process-global fault points and must never leak armed state.
+class RobustServiceTest : public ServiceTest {
+ protected:
+  void SetUp() override {
+    ServiceTest::SetUp();
+    fault::FaultRegistry::Instance().DisarmAll();
+  }
+  void TearDown() override { fault::FaultRegistry::Instance().DisarmAll(); }
+
+  static fault::FaultSpec OnHit(uint64_t n, fault::Action action) {
+    fault::FaultSpec spec;
+    spec.fire_on_hit = n;
+    spec.action = action;
+    return spec;
+  }
+
+  /// Spins until `pred` holds (the stalled-owner tests synchronize on
+  /// fault-point fire counters and service stats, not sleeps).
+  template <typename Pred>
+  static bool WaitFor(Pred pred, double seconds = 5.0) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(seconds);
+    while (!pred()) {
+      if (std::chrono::steady_clock::now() > deadline) return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return true;
+  }
+};
+
+TEST_F(RobustServiceTest, CancelledBeforeStartSurfacesAndCounts) {
+  service::GraphService svc(&data_.db);
+  service::RequestOptions request;
+  request.cancel = CancelToken::Cancellable();
+  request.cancel.RequestCancel();
+  auto result = svc.Extract(kStudentQuery, CDupOptions(), request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  service::ServiceStats stats = svc.Stats();
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.failed, 1u);
+  // Nothing half-extracted was cached; a clean retry works.
+  EXPECT_EQ(stats.cache_graphs, 0u);
+  EXPECT_TRUE(svc.Extract(kStudentQuery, CDupOptions()).ok());
+}
+
+TEST_F(RobustServiceTest, ExpiredDeadlineSurfacesAndCounts) {
+  service::GraphService svc(&data_.db);
+  service::RequestOptions request;
+  request.deadline_seconds = 1e-9;
+  auto result = svc.Extract(kStudentQuery, CDupOptions(), request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(svc.Stats().deadline_exceeded, 1u);
+  EXPECT_TRUE(svc.Extract(kStudentQuery, CDupOptions()).ok());
+}
+
+TEST_F(RobustServiceTest, MemoryCeilingSurfacesAndCounts) {
+  obs::Counter* hits =
+      obs::MetricsRegistry::Global().GetCounter("query.mem_limit_hits");
+  const uint64_t hits_before = hits->Value();
+
+  service::GraphService svc(&data_.db);
+  service::RequestOptions request;
+  request.memory_limit_bytes = 1;  // nothing fits
+  auto result = svc.Extract(kStudentQuery, CDupOptions(), request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(svc.Stats().resource_exhausted, 1u);
+  EXPECT_GT(hits->Value(), hits_before);
+  // The ceiling is per-request: the next unlimited request succeeds.
+  EXPECT_TRUE(svc.Extract(kStudentQuery, CDupOptions()).ok());
+}
+
+TEST_F(RobustServiceTest, AsyncInjectedThrowResolvesTheFuture) {
+  service::GraphService svc(&data_.db);
+  // A std::bad_alloc out of the scan must resolve the future with
+  // ExecutionError instead of terminating a pool worker.
+  fault::FaultRegistry::Instance().Arm(
+      "query.scan", OnHit(1, fault::Action::kThrow));
+  auto future = svc.ExtractAsync(kStudentQuery, CDupOptions());
+  Result<service::GraphHandle> result = future.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kExecutionError);
+
+  // Same contract when the throw happens at the service boundary itself.
+  fault::FaultRegistry::Instance().Arm(
+      "service.extract.begin", OnHit(1, fault::Action::kThrow));
+  result = svc.ExtractAsync(kStudentQuery, CDupOptions()).get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kExecutionError);
+
+  // The pool and the cache survived both.
+  EXPECT_TRUE(svc.Extract(kStudentQuery, CDupOptions()).ok());
+}
+
+TEST_F(RobustServiceTest, SingleFlightFailureHygiene) {
+  fault::FaultRegistry& registry = fault::FaultRegistry::Instance();
+  // The pool must fit the stalled owner plus both waiters at once —
+  // DefaultThreadCount() can be 1 on a small CI box.
+  service::ServiceOptions opts;
+  opts.worker_threads = 4;
+  service::GraphService svc(&data_.db, opts);
+
+  // The owner stalls at the service boundary while waiters pile onto its
+  // flight; when released it dies in the parser. Everyone must see the
+  // SAME terminal Status, the key must not be poisoned, and nothing may
+  // be cached.
+  const uint64_t fires0 = registry.fires("service.extract.begin");
+  registry.Arm("service.extract.begin", OnHit(1, fault::Action::kStall));
+  registry.Arm("extract.parse", OnHit(1, fault::Action::kFail));
+
+  auto owner = svc.ExtractAsync(kStudentQuery, CDupOptions());
+  ASSERT_TRUE(WaitFor([&] {
+    return registry.fires("service.extract.begin") > fires0;
+  })) << "owner never reached the stall point";
+
+  // Two waiters coalesce onto the stalled owner's flight.
+  auto w1 = svc.ExtractAsync(kStudentQuery, CDupOptions());
+  auto w2 = svc.ExtractAsync(kStudentQuery, CDupOptions());
+  ASSERT_TRUE(WaitFor([&] { return svc.Stats().coalesced >= 2; }))
+      << "waiters never coalesced";
+
+  // Release the stall ONLY — the parse fault must stay armed.
+  registry.Disarm("service.extract.begin");
+
+  Result<service::GraphHandle> ro = owner.get();
+  Result<service::GraphHandle> r1 = w1.get();
+  Result<service::GraphHandle> r2 = w2.get();
+  ASSERT_FALSE(ro.ok());
+  ASSERT_FALSE(r1.ok());
+  ASSERT_FALSE(r2.ok());
+  EXPECT_NE(ro.status().message().find("extract.parse"), std::string::npos)
+      << ro.status().ToString();
+  EXPECT_EQ(ro.status().message(), r1.status().message());
+  EXPECT_EQ(ro.status().message(), r2.status().message());
+
+  service::ServiceStats stats = svc.Stats();
+  EXPECT_EQ(stats.failed, 3u);       // owner + both waiters
+  EXPECT_EQ(stats.cache_graphs, 0u); // the failure was not cached
+  EXPECT_EQ(stats.coalesced, 2u);
+
+  // The key is immediately retryable once the fault clears.
+  registry.DisarmAll();
+  auto retry = svc.Extract(kStudentQuery, CDupOptions());
+  EXPECT_TRUE(retry.ok()) << retry.status().ToString();
+}
+
+TEST_F(RobustServiceTest, AdmissionRejectsWhenSaturated) {
+  fault::FaultRegistry& registry = fault::FaultRegistry::Instance();
+  service::ServiceOptions opts;
+  opts.max_inflight_extractions = 1;
+  opts.admission_queue_capacity = 0;  // no waiting: reject outright
+  service::GraphService svc(&data_.db, opts);
+
+  const uint64_t fires0 = registry.fires("service.extract.begin");
+  registry.Arm("service.extract.begin", OnHit(1, fault::Action::kStall));
+  auto owner = svc.ExtractAsync(kStudentQuery, CDupOptions());
+  ASSERT_TRUE(WaitFor([&] {
+    return registry.fires("service.extract.begin") > fires0;
+  })) << "owner never reached the stall point";
+
+  // A different graph cannot coalesce; with the one slot held and no
+  // queue, it must bounce immediately.
+  auto rejected = svc.Extract(kBipartiteQuery, CDupOptions());
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kOverloaded);
+  EXPECT_EQ(svc.Stats().overload_rejected, 1u);
+
+  registry.Disarm("service.extract.begin");
+  Result<service::GraphHandle> ro = owner.get();
+  EXPECT_TRUE(ro.ok()) << ro.status().ToString();
+  // With the slot free again the rejected graph extracts fine.
+  EXPECT_TRUE(svc.Extract(kBipartiteQuery, CDupOptions()).ok());
+}
+
+TEST_F(RobustServiceTest, QueuedRequestHonorsItsDeadline) {
+  fault::FaultRegistry& registry = fault::FaultRegistry::Instance();
+  service::ServiceOptions opts;
+  opts.max_inflight_extractions = 1;
+  opts.admission_queue_capacity = 4;
+  service::GraphService svc(&data_.db, opts);
+
+  const uint64_t fires0 = registry.fires("service.extract.begin");
+  registry.Arm("service.extract.begin", OnHit(1, fault::Action::kStall));
+  auto owner = svc.ExtractAsync(kStudentQuery, CDupOptions());
+  ASSERT_TRUE(WaitFor([&] {
+    return registry.fires("service.extract.begin") > fires0;
+  })) << "owner never reached the stall point";
+
+  // Queued behind the stalled owner; the deadline covers queue time, so
+  // it must expire in the queue rather than wait forever.
+  service::RequestOptions request;
+  request.deadline_seconds = 0.05;
+  auto expired = svc.Extract(kBipartiteQuery, CDupOptions(), request);
+  ASSERT_FALSE(expired.ok());
+  EXPECT_EQ(expired.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(svc.Stats().deadline_exceeded, 1u);
+
+  registry.Disarm("service.extract.begin");
+  EXPECT_TRUE(owner.get().ok());
+}
+
+TEST_F(RobustServiceTest, StaleFallbackServesLastKnownGood) {
+  fault::FaultRegistry& registry = fault::FaultRegistry::Instance();
+  service::GraphService svc(&data_.db);
+
+  auto good = svc.Extract(kStudentQuery, CDupOptions());
+  ASSERT_TRUE(good.ok());
+  // Drop the primary cache; only the stale store remembers the graph.
+  svc.ClearCache();
+
+  // Re-extraction now fails — without allow_stale that propagates...
+  registry.Arm("extract.parse", OnHit(1, fault::Action::kFail));
+  auto hard = svc.Extract(kStudentQuery, CDupOptions());
+  ASSERT_FALSE(hard.ok());
+  EXPECT_EQ(svc.Stats().stale_served, 0u);
+
+  // ...with allow_stale the last-known-good instance is served instead.
+  registry.Arm("extract.parse", OnHit(1, fault::Action::kFail));
+  service::RequestOptions request;
+  request.allow_stale = true;
+  auto stale = svc.Extract(kStudentQuery, CDupOptions(), request);
+  ASSERT_TRUE(stale.ok()) << stale.status().ToString();
+  EXPECT_EQ(stale->get(), good->get());  // literally the old graph
+  EXPECT_EQ(svc.Stats().stale_served, 1u);
+
+  // allow_stale on a healthy pipeline changes nothing.
+  auto fresh = svc.Extract(kBipartiteQuery, CDupOptions(), request);
+  EXPECT_TRUE(fresh.ok());
+}
+
+TEST_F(RobustServiceTest, RobustnessCountersAreExported) {
+  service::GraphService svc(&data_.db);
+  service::RequestOptions request;
+  request.deadline_seconds = 1e-9;
+  (void)svc.Extract(kStudentQuery, CDupOptions(), request);
+
+  bool saw_deadline = false, saw_cancelled = false, saw_overload = false,
+       saw_stale = false, saw_inflight = false;
+  for (const obs::MetricValue& m : svc.MetricsSnapshot()) {
+    if (m.name == "service.deadline_exceeded") {
+      saw_deadline = true;
+      EXPECT_EQ(m.counter, 1u);
+    }
+    if (m.name == "service.cancelled") saw_cancelled = true;
+    if (m.name == "service.overload_rejected") saw_overload = true;
+    if (m.name == "service.stale_served") saw_stale = true;
+    if (m.name == "service.inflight_extractions") {
+      saw_inflight = true;
+      EXPECT_EQ(m.gauge, 0);  // nothing running now
+    }
+  }
+  EXPECT_TRUE(saw_deadline);
+  EXPECT_TRUE(saw_cancelled);
+  EXPECT_TRUE(saw_overload);
+  EXPECT_TRUE(saw_stale);
+  EXPECT_TRUE(saw_inflight);
 }
 
 }  // namespace

@@ -28,6 +28,7 @@
 #include "algos/kcore.h"
 #include "algos/pagerank.h"
 #include "algos/triangles.h"
+#include "common/faultpoints.h"
 #include "common/memory.h"
 #include "common/timer.h"
 #include "gen/relational_generators.h"
@@ -80,6 +81,11 @@ void PrintHelp() {
       "  tables                              per-table storage: column types,\n"
       "                                      encodings, dictionary sizes, bytes\n"
       "  clear-cache                         drop all cached extractions\n"
+      "  faults                              list registered fault points\n"
+      "  faults arm <point> <spec>           arm one, e.g. p0.01!throw or n1\n"
+      "                                      (trigger p<prob>|n<hit>, action\n"
+      "                                      !fail|!throw|!stall)\n"
+      "  faults disarm [<point>]             disarm one point, or all of them\n"
       "  help | quit");
 }
 
@@ -304,6 +310,11 @@ void CmdStats(const ShellState& state) {
       "  cold extractions  %llu\n"
       "  coalesced         %llu\n"
       "  failed            %llu\n"
+      "    cancelled       %llu\n"
+      "    deadline        %llu\n"
+      "    overloaded      %llu\n"
+      "    memory ceiling  %llu\n"
+      "  stale served      %llu\n"
       "  slow (logged)     %llu\n"
       "cache               %llu graphs, %s / %s budget\n"
       "  evictions         %llu\n"
@@ -317,6 +328,11 @@ void CmdStats(const ShellState& state) {
       static_cast<unsigned long long>(s.cold_extractions),
       static_cast<unsigned long long>(s.coalesced),
       static_cast<unsigned long long>(s.failed),
+      static_cast<unsigned long long>(s.cancelled),
+      static_cast<unsigned long long>(s.deadline_exceeded),
+      static_cast<unsigned long long>(s.overload_rejected),
+      static_cast<unsigned long long>(s.resource_exhausted),
+      static_cast<unsigned long long>(s.stale_served),
       static_cast<unsigned long long>(s.slow_requests),
       static_cast<unsigned long long>(s.cache_graphs),
       FormatBytes(s.cache_bytes).c_str(),
@@ -413,6 +429,73 @@ void CmdTables(const ShellState& state) {
               FormatBytes(state.db.MemoryBytes()).c_str());
 }
 
+// Fault-injection control (the shell face of common/faultpoints.h):
+//   faults                  list every registered point and its state
+//   faults arm <name> <spec>  spec = p<prob>|n<hit>[!fail|!throw|!stall]
+//   faults disarm [<name>]  one point, or everything when omitted
+// Points register lazily the first time their code path executes, so an
+// empty list just means no extraction has run yet; arming an unseen name
+// is remembered and applied when the point first registers.
+void CmdFaults(const std::vector<std::string>& args) {
+  fault::FaultRegistry& registry = fault::FaultRegistry::Instance();
+  if (args.empty() || args[0] == "list") {
+    std::vector<fault::FaultPointInfo> points = registry.List();
+    if (points.empty()) {
+      std::puts(
+          "(no fault points registered yet: they appear as their code "
+          "paths first execute)");
+      return;
+    }
+    std::printf("%-28s %-9s %-6s %-12s %8s %8s\n", "point", "state", "action",
+                "trigger", "hits", "fires");
+    for (const fault::FaultPointInfo& p : points) {
+      const char* action = p.action == fault::Action::kFail    ? "fail"
+                           : p.action == fault::Action::kThrow ? "throw"
+                                                               : "stall";
+      std::string trigger;
+      if (p.armed) {
+        trigger = p.countdown >= 0
+                      ? "n" + std::to_string(p.countdown)
+                      : "p" + std::to_string(p.probability);
+      }
+      std::printf("%-28s %-9s %-6s %-12s %8llu %8llu\n", p.name.c_str(),
+                  p.armed ? "ARMED" : "disarmed", p.armed ? action : "-",
+                  p.armed ? trigger.c_str() : "-",
+                  static_cast<unsigned long long>(p.hits),
+                  static_cast<unsigned long long>(p.fires));
+    }
+    return;
+  }
+  if (args[0] == "arm") {
+    if (args.size() != 3) {
+      std::puts("usage: faults arm <point> <spec>   e.g. faults arm "
+                "query.scan p0.01!throw");
+      return;
+    }
+    fault::FaultSpec spec;
+    Status parsed = fault::FaultRegistry::ParseSpec(args[2], &spec);
+    if (!parsed.ok()) {
+      std::printf("bad spec: %s\n", parsed.ToString().c_str());
+      return;
+    }
+    registry.Arm(args[1], spec);
+    std::printf("armed %s (%s)\n", args[1].c_str(), args[2].c_str());
+    return;
+  }
+  if (args[0] == "disarm") {
+    if (args.size() >= 2) {
+      registry.Disarm(args[1]);
+      std::printf("disarmed %s\n", args[1].c_str());
+    } else {
+      registry.DisarmAll();
+      std::puts("disarmed all fault points");
+    }
+    return;
+  }
+  std::puts("usage: faults [list] | faults arm <point> <spec> | "
+            "faults disarm [<point>]");
+}
+
 int RunShell(ShellState& state, std::istream& in, bool interactive) {
   std::string line;
   for (;;) {
@@ -463,6 +546,8 @@ int RunShell(ShellState& state, std::istream& in, bool interactive) {
       CmdTables(state);
     } else if (cmd == "clear-cache") {
       if (state.svc != nullptr) state.svc->ClearCache();
+    } else if (cmd == "faults") {
+      CmdFaults({args.begin() + 1, args.end()});
     } else {
       std::printf("unknown command: %s (try `help`)\n", cmd.c_str());
     }
