@@ -6,11 +6,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string_view>
 #include <utility>
 
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace graphgen {
 
@@ -35,11 +35,11 @@ class CancelToken {
     if (state_) state_->store(true, std::memory_order_release);
   }
 
-  bool CancelRequested() const {
+  [[nodiscard]] bool CancelRequested() const {
     return state_ && state_->load(std::memory_order_relaxed);
   }
 
-  bool cancellable() const { return state_ != nullptr; }
+  [[nodiscard]] bool cancellable() const { return state_ != nullptr; }
 
  private:
   std::shared_ptr<std::atomic<bool>> state_;
@@ -58,7 +58,7 @@ class MemoryBudget {
 
   /// Charges `bytes` against the budget. On failure the charge is rolled
   /// back and the returned status names the allocator that tripped it.
-  Status TryCharge(size_t bytes, std::string_view what);
+  [[nodiscard]] Status TryCharge(size_t bytes, std::string_view what);
 
   /// Refunds a previous charge (operator-scope scratch that was freed).
   void Release(size_t bytes) {
@@ -95,13 +95,13 @@ struct ExecContext {
                    std::chrono::duration<double>(seconds));
   }
 
-  bool DeadlineExpired() const {
+  [[nodiscard]] bool DeadlineExpired() const {
     return has_deadline && std::chrono::steady_clock::now() >= deadline;
   }
 
   /// The morsel-boundary poll: OK, Cancelled, or DeadlineExceeded. The
   /// fast path (null token, no deadline) is two predictable branches.
-  Status Check() const {
+  [[nodiscard]] Status Check() const {
     if (cancel.CancelRequested()) {
       return Status::Cancelled("request cancelled by caller");
     }
@@ -113,7 +113,7 @@ struct ExecContext {
 
   /// Charges `bytes` against the budget (no-op without one). A failed
   /// charge also bumps the global `query.mem_limit_hits` counter.
-  Status Charge(size_t bytes, std::string_view what) const;
+  [[nodiscard]] Status Charge(size_t bytes, std::string_view what) const;
 
   void Release(size_t bytes) const {
     if (budget) budget->Release(bytes);
@@ -135,7 +135,8 @@ class ScopedCharge {
     other.bytes_ = 0;
   }
 
-  Status Acquire(const ExecContext& ctx, size_t bytes, std::string_view what) {
+  [[nodiscard]] Status Acquire(const ExecContext& ctx, size_t bytes,
+                               std::string_view what) {
     GRAPHGEN_RETURN_NOT_OK(ctx.Charge(bytes, what));
     Reset();
     ctx_ = &ctx;
@@ -166,10 +167,12 @@ class ScopedCharge {
 /// caller propagates Take() after the region joins.
 class AbortSlot {
  public:
-  bool Failed() const { return failed_.load(std::memory_order_acquire); }
+  [[nodiscard]] bool Failed() const {
+    return failed_.load(std::memory_order_acquire);
+  }
 
   void Fail(Status status) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!failed_.load(std::memory_order_relaxed)) {
       status_ = std::move(status);
       failed_.store(true, std::memory_order_release);
@@ -177,16 +180,16 @@ class AbortSlot {
   }
 
   /// OK unless a worker failed; the first failure wins.
-  Status Take() const {
+  [[nodiscard]] Status Take() const {
     if (!Failed()) return Status::OK();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return status_;
   }
 
   /// Convenience poll for worker loops: checks the slot, then the context;
   /// on a context failure parks it. Returns false when the worker should
   /// unwind.
-  bool Continue(const ExecContext& ctx) {
+  [[nodiscard]] bool Continue(const ExecContext& ctx) {
     if (Failed()) return false;
     Status st = ctx.Check();
     if (st.ok()) return true;
@@ -196,8 +199,11 @@ class AbortSlot {
 
  private:
   std::atomic<bool> failed_{false};
-  mutable std::mutex mu_;
-  Status status_;
+  mutable Mutex mu_;
+  /// The parked failure; `failed_` (atomic, release-published after the
+  /// write) is the lock-free fast-path check, the value itself is only
+  /// touched under mu_.
+  Status status_ GUARDED_BY(mu_);
 };
 
 /// How many rows a tight per-row loop processes between cooperative

@@ -2,14 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <cstdlib>
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <new>
 #include <thread>
+
+#include "common/sync.h"
 
 namespace graphgen::fault {
 
@@ -40,11 +40,15 @@ bool RollProbability(uint32_t prob_ppm) {
 }  // namespace
 
 struct FaultRegistry::Impl {
-  mutable std::mutex mu;
-  std::condition_variable stall_cv;
-  std::deque<FaultPoint> points;               // stable addresses
-  std::map<std::string, FaultPoint*> by_name;  // sorted for List()
-  std::map<std::string, FaultSpec> pending;    // armed before registration
+  mutable Mutex mu;
+  CondVar stall_cv;
+  /// Points are appended, never removed; the deque keeps their addresses
+  /// stable for the macro's cached reference. Registration and spec
+  /// application happen under mu; the points' own fields are atomics so
+  /// hot-loop evaluation never takes it.
+  std::deque<FaultPoint> points GUARDED_BY(mu);
+  std::map<std::string, FaultPoint*> by_name GUARDED_BY(mu);  // sorted
+  std::map<std::string, FaultSpec> pending GUARDED_BY(mu);
 };
 
 FaultRegistry& FaultRegistry::Instance() {
@@ -58,6 +62,9 @@ FaultRegistry::FaultRegistry() : impl_(new Impl()) {
                  std::memory_order_relaxed);
   }
   if (const char* faults = std::getenv("GRAPHGEN_FAULTS")) {
+    // No other thread can reach impl_ during construction, but taking the
+    // lock keeps the guarded-field contract analyzable (and is free here).
+    MutexLock lock(impl_->mu);
     std::string_view rest = faults;
     while (!rest.empty()) {
       size_t comma = rest.find(',');
@@ -94,7 +101,7 @@ void ApplySpecLocked(FaultPoint& point, const FaultSpec& spec) {
 }  // namespace
 
 FaultPoint& FaultRegistry::GetPoint(std::string_view name) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   auto it = impl_->by_name.find(std::string(name));
   if (it != impl_->by_name.end()) return *it->second;
   impl_->points.emplace_back(std::string(name));
@@ -109,7 +116,7 @@ FaultPoint& FaultRegistry::GetPoint(std::string_view name) {
 }
 
 void FaultRegistry::Arm(std::string_view name, const FaultSpec& spec) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   auto it = impl_->by_name.find(std::string(name));
   if (it != impl_->by_name.end()) {
     ApplySpecLocked(*it->second, spec);
@@ -119,26 +126,26 @@ void FaultRegistry::Arm(std::string_view name, const FaultSpec& spec) {
 }
 
 void FaultRegistry::Disarm(std::string_view name) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   impl_->pending.erase(std::string(name));
   auto it = impl_->by_name.find(std::string(name));
   if (it != impl_->by_name.end()) {
     it->second->armed.store(false, std::memory_order_release);
   }
-  impl_->stall_cv.notify_all();
+  impl_->stall_cv.NotifyAll();
 }
 
 void FaultRegistry::DisarmAll() {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   impl_->pending.clear();
   for (FaultPoint& point : impl_->points) {
     point.armed.store(false, std::memory_order_release);
   }
-  impl_->stall_cv.notify_all();
+  impl_->stall_cv.NotifyAll();
 }
 
 std::vector<FaultPointInfo> FaultRegistry::List() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   std::vector<FaultPointInfo> out;
   out.reserve(impl_->by_name.size());
   for (const auto& [name, point] : impl_->by_name) {
@@ -158,7 +165,7 @@ std::vector<FaultPointInfo> FaultRegistry::List() const {
 }
 
 std::vector<std::string> FaultRegistry::Names() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   std::vector<std::string> out;
   out.reserve(impl_->by_name.size());
   for (const auto& [name, point] : impl_->by_name) out.push_back(name);
@@ -166,7 +173,7 @@ std::vector<std::string> FaultRegistry::Names() const {
 }
 
 uint64_t FaultRegistry::hits(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   auto it = impl_->by_name.find(std::string(name));
   return it == impl_->by_name.end()
              ? 0
@@ -174,7 +181,7 @@ uint64_t FaultRegistry::hits(std::string_view name) const {
 }
 
 uint64_t FaultRegistry::fires(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   auto it = impl_->by_name.find(std::string(name));
   return it == impl_->by_name.end()
              ? 0
@@ -252,10 +259,13 @@ FireResult Fire(FaultPoint& point) {
       // Park until disarmed (tests release deterministically); the safety
       // cap keeps a forgotten stall from wedging a suite forever.
       auto& impl = *FaultRegistry::Instance().impl_;
-      std::unique_lock<std::mutex> lock(impl.mu);
-      impl.stall_cv.wait_for(lock, std::chrono::seconds(30), [&] {
-        return !point.armed.load(std::memory_order_relaxed);
-      });
+      const auto cap = std::chrono::steady_clock::now() +
+                       std::chrono::seconds(30);
+      MutexLock lock(impl.mu);
+      while (point.armed.load(std::memory_order_relaxed) &&
+             std::chrono::steady_clock::now() < cap) {
+        impl.stall_cv.WaitUntil(impl.mu, cap);
+      }
       return FireResult::kContinue;
     }
   }

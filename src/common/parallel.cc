@@ -104,19 +104,19 @@ ThreadPool::ThreadPool(size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::RunBatch(std::vector<std::function<void()>> tasks) {
@@ -132,8 +132,8 @@ void ThreadPool::RunBatch(std::vector<std::function<void()>> tasks) {
     std::vector<std::function<void()>> tasks;
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
-    std::mutex mu;
-    std::condition_variable cv;
+    Mutex mu;
+    CondVar cv;
   };
   auto state = std::make_shared<BatchState>();
   state->tasks = std::move(tasks);
@@ -144,27 +144,27 @@ void ThreadPool::RunBatch(std::vector<std::function<void()>> tasks) {
       if (i >= total) return;
       state->tasks[i]();
       if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == total) {
-        std::lock_guard<std::mutex> lock(state->mu);
-        state->cv.notify_all();
+        MutexLock lock(state->mu);
+        state->cv.NotifyAll();
       }
     }
   };
   const size_t helpers = std::min(workers_.size(), total - 1);
   for (size_t h = 0; h < helpers; ++h) Submit(drain);
   drain();
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&] {
-    return state->done.load(std::memory_order_acquire) == total;
-  });
+  MutexLock lock(state->mu);
+  while (state->done.load(std::memory_order_acquire) != total) {
+    state->cv.Wait(state->mu);
+  }
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mu_);
+  while (!queue_.empty() || active_ != 0) all_idle_.Wait(mu_);
 }
 
 size_t ThreadPool::QueueDepth() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 
@@ -172,9 +172,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock,
-                           [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) work_available_.Wait(mu_);
       // Drain the queue before honoring stop so submitted work completes.
       if (queue_.empty()) return;
       task = std::move(queue_.front());
@@ -189,9 +188,9 @@ void ThreadPool::WorkerLoop() {
     } catch (...) {
     }
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --active_;
-      if (queue_.empty() && active_ == 0) all_idle_.notify_all();
+      if (queue_.empty() && active_ == 0) all_idle_.NotifyAll();
     }
   }
 }

@@ -1,14 +1,14 @@
 #ifndef GRAPHGEN_COMMON_PARALLEL_H_
 #define GRAPHGEN_COMMON_PARALLEL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace graphgen {
 
@@ -87,12 +87,14 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  mutable std::mutex mu_;
-  std::condition_variable work_available_;
-  std::condition_variable all_idle_;
-  std::deque<std::function<void()>> queue_;
-  size_t active_ = 0;
-  bool stopping_ = false;
+  mutable Mutex mu_;
+  CondVar work_available_;
+  CondVar all_idle_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  size_t active_ GUARDED_BY(mu_) = 0;
+  bool stopping_ GUARDED_BY(mu_) = false;
+  /// Written only by the constructor before any concurrency exists; read
+  /// freely afterwards (NumThreads, RunBatch's helper sizing).
   std::vector<std::thread> workers_;
 };
 

@@ -37,7 +37,12 @@ std::string_view StatusCodeToString(StatusCode code);
 /// A lightweight success-or-error value. Functions that can fail return a
 /// Status (or a Result<T>, below) instead of throwing; this keeps failure
 /// paths explicit at call sites.
-class Status {
+///
+/// The class is [[nodiscard]]: silently dropping a returned Status is a
+/// build error under -Werror=unused-result (set unconditionally in the
+/// root CMakeLists). The rare call site that genuinely cannot act on a
+/// failure writes `(void)Fn();` with a comment saying why that's safe.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -98,9 +103,10 @@ class Status {
 };
 
 /// Either a value of type T or an error Status. Moves the value out with
-/// ValueOrDie()/operator*; check ok() first.
+/// ValueOrDie()/operator*; check ok() first. [[nodiscard]] for the same
+/// reason as Status: an unexamined Result hides the failure inside it.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /* implicit */ Result(T value) : value_(std::move(value)) {}
   /* implicit */ Result(Status status) : status_(std::move(status)) {}

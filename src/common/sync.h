@@ -1,0 +1,205 @@
+#ifndef GRAPHGEN_COMMON_SYNC_H_
+#define GRAPHGEN_COMMON_SYNC_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+/// Annotated synchronization primitives.
+///
+/// Every lock in the codebase goes through these wrappers instead of the
+/// bare std:: types so that Clang's -Wthread-safety analysis can prove, at
+/// compile time, that every GUARDED_BY field is only touched with its lock
+/// held, that *Locked() helpers are only called under the right mutex, and
+/// that no path double-acquires or leaks a capability. Under GCC (which has
+/// no thread-safety analysis) the attribute macros expand to nothing and
+/// the wrappers compile down to the std:: types they hold.
+///
+/// Invariant (enforced by tools/lint_invariants.py): no file in src/ other
+/// than this one names std::mutex / std::shared_mutex /
+/// std::condition_variable or their lock guards directly.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define GRAPHGEN_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef GRAPHGEN_THREAD_ANNOTATION_
+#define GRAPHGEN_THREAD_ANNOTATION_(x)  // no-op outside clang
+#endif
+
+/// The capability itself (a lockable type).
+#define CAPABILITY(x) GRAPHGEN_THREAD_ANNOTATION_(capability(x))
+/// An RAII type that acquires in its constructor, releases in its destructor.
+#define SCOPED_CAPABILITY GRAPHGEN_THREAD_ANNOTATION_(scoped_lockable)
+/// Field may only be read/written with the named mutex held.
+#define GUARDED_BY(x) GRAPHGEN_THREAD_ANNOTATION_(guarded_by(x))
+/// Pointee (not the pointer) is protected by the named mutex.
+#define PT_GUARDED_BY(x) GRAPHGEN_THREAD_ANNOTATION_(pt_guarded_by(x))
+/// Caller must hold the mutex (exclusively) to call this function.
+#define REQUIRES(...) \
+  GRAPHGEN_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+/// Caller must hold the mutex at least shared to call this function.
+#define REQUIRES_SHARED(...) \
+  GRAPHGEN_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+/// Function acquires the mutex and returns with it held.
+#define ACQUIRE(...) \
+  GRAPHGEN_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  GRAPHGEN_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+/// Function releases a mutex the caller held on entry.
+#define RELEASE(...) \
+  GRAPHGEN_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  GRAPHGEN_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+/// Function acquires the mutex only when it returns `ret`.
+#define TRY_ACQUIRE(ret, ...) \
+  GRAPHGEN_THREAD_ANNOTATION_(try_acquire_capability(ret, __VA_ARGS__))
+/// Caller must NOT hold the mutex (deadlock guard for self-calling APIs).
+#define EXCLUDES(...) GRAPHGEN_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+/// Escape hatch for code the analysis cannot follow; use sparingly and
+/// leave a comment saying why at each site.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  GRAPHGEN_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace graphgen {
+
+class CondVar;
+
+/// Annotated exclusive mutex. Method names are capitalized (Abseil idiom)
+/// so locked regions read differently from the std:: API and the analysis
+/// attributes have somewhere to live.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Annotated reader/writer mutex for read-mostly state. No current user —
+/// it exists so the next read-heavy structure (ROADMAP: incremental
+/// extraction's table-version map) starts annotated instead of importing
+/// std::shared_mutex and escaping the analysis.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock over Mutex (the only way locks are taken outside
+/// CondVar waits).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII exclusive lock over SharedMutex.
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() RELEASE() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared lock over SharedMutex.
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderMutexLock() RELEASE_SHARED() { mu_.UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable bound to the annotated Mutex. Waits take the Mutex
+/// the caller already holds (REQUIRES), so the analysis checks the classic
+/// condvar contract — wait only under the lock that guards the predicate.
+///
+/// Deliberately predicate-less: Clang analyzes a wait-predicate lambda as
+/// a separate function with no held capabilities, so `cv.wait(lock, [&]{
+/// return guarded_field; })` warns even when correct. Call sites spell the
+/// loop instead:
+///
+///   MutexLock lock(mu_);
+///   while (!condition) cv_.Wait(mu_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, reacquires before returning.
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();
+  }
+
+  /// Wait with a relative timeout; spurious wakeups and timeouts look the
+  /// same to the caller, who re-checks the predicate either way.
+  template <typename Rep, typename Period>
+  void WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    cv_.wait_for(lk, timeout);
+    lk.release();
+  }
+
+  /// Wait until an absolute deadline (any clock).
+  template <typename Clock, typename Duration>
+  void WaitUntil(Mutex& mu,
+                 const std::chrono::time_point<Clock, Duration>& deadline)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    cv_.wait_until(lk, deadline);
+    lk.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace graphgen
+
+#endif  // GRAPHGEN_COMMON_SYNC_H_

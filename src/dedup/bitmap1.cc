@@ -1,9 +1,9 @@
-#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/sync.h"
 #include "dedup/bitmap_algorithms.h"
 
 namespace graphgen {
@@ -76,7 +76,7 @@ Result<BitmapGraph> BuildBitmap1(const CondensedStorage& input,
   const CondensedStorage& s = graph.storage();
   const size_t n = s.NumRealNodes();
 
-  std::vector<std::mutex> locks(kLockShards);
+  std::vector<Mutex> locks(kLockShards);
   ParallelFor(
       n,
       [&](size_t begin, size_t end) {
@@ -87,7 +87,7 @@ Result<BitmapGraph> BuildBitmap1(const CondensedStorage& input,
           local.clear();
           builder.Run(static_cast<NodeId>(u));
           for (auto& [v, bm] : local) {
-            std::lock_guard<std::mutex> guard(locks[v % kLockShards]);
+            MutexLock guard(locks[v % kLockShards]);
             graph.MutableBitmapsFor(v).emplace(static_cast<NodeId>(u),
                                                std::move(bm));
           }

@@ -1,9 +1,9 @@
-#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/sync.h"
 #include "dedup/bitmap_algorithms.h"
 
 namespace graphgen {
@@ -151,8 +151,8 @@ Result<BitmapGraph> BuildBitmap2(const CondensedStorage& input,
   const CondensedStorage& s = graph.storage();
   const size_t n = s.NumRealNodes();
 
-  std::vector<std::mutex> locks(kLockShards);
-  std::mutex deletions_lock;
+  std::vector<Mutex> locks(kLockShards);
+  Mutex deletions_lock;
   // (u, v) membership edges to delete, applied after the parallel phase so
   // shared in-lists are never mutated concurrently.
   std::vector<std::pair<NodeId, uint32_t>> all_deletions;
@@ -172,13 +172,13 @@ Result<BitmapGraph> BuildBitmap2(const CondensedStorage& input,
             // All-ones bitmaps add no information beyond "traverse all";
             // skipping them is a pure memory optimization.
             if (!bm.AllOne()) {
-              std::lock_guard<std::mutex> guard(locks[v % kLockShards]);
+              MutexLock guard(locks[v % kLockShards]);
               graph.MutableBitmapsFor(v).emplace(static_cast<NodeId>(u),
                                                  std::move(bm));
             }
           }
           if (!deletions.empty()) {
-            std::lock_guard<std::mutex> guard(deletions_lock);
+            MutexLock guard(deletions_lock);
             for (uint32_t v : deletions) {
               all_deletions.emplace_back(static_cast<NodeId>(u), v);
             }

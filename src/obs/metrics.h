@@ -5,11 +5,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/sync.h"
 #include "common/timer.h"
 
 namespace graphgen::obs {
@@ -145,10 +145,17 @@ class MetricsRegistry {
   static MetricsRegistry& Global();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable Mutex mu_;
+  /// The maps are guarded; the Counter/Gauge/Histogram objects they own
+  /// are not (deliberately — recording is lock-free on sharded atomics and
+  /// the unique_ptrs give each metric a stable address for cached
+  /// pointers, so entries are never removed or reallocated).
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      GUARDED_BY(mu_);
 };
 
 /// Renders a registry snapshot as aligned "name value" text lines (the

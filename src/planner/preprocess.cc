@@ -1,10 +1,10 @@
 #include "planner/preprocess.h"
 
 #include <algorithm>
-#include <mutex>
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/sync.h"
 
 namespace graphgen::planner {
 
@@ -17,7 +17,7 @@ PreprocessResult ExpandSmallVirtualNodes(CondensedStorage& storage,
     ++result.rounds;
     const size_t nv = storage.NumVirtualNodes();
     std::vector<uint32_t> candidates;
-    std::mutex mu;
+    Mutex mu;
     ParallelFor(
         nv,
         [&](size_t begin, size_t end) {
@@ -35,7 +35,7 @@ PreprocessResult ExpandSmallVirtualNodes(CondensedStorage& storage,
             }
           }
           if (!local.empty()) {
-            std::lock_guard<std::mutex> guard(mu);
+            MutexLock guard(mu);
             candidates.insert(candidates.end(), local.begin(), local.end());
           }
         },

@@ -1432,7 +1432,7 @@ Result<RowIdResult> Executor::JoinColumnar(const HashJoinNode& node,
 Result<RowIdResult> Executor::JoinDistinctColumnar(
     const ProjectNode& node, const HashJoinNode& join,
     obs::ProfileNode* parent) const {
-  GRAPHGEN_FAULT_POINT("query.join.build.alloc");
+  GRAPHGEN_FAULT_POINT("query.join_distinct.alloc");
   GRAPHGEN_RETURN_NOT_OK(options_.ctx.Check());
   obs::ProfileNode* prof = OpNode(parent, "join_distinct");
   obs::Span span(prof);

@@ -3,7 +3,7 @@
 namespace graphgen::service {
 
 GraphHandle GraphCache::Get(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) return nullptr;
   lru_.splice(lru_.begin(), lru_, it->second.lru_it);
@@ -12,7 +12,7 @@ GraphHandle GraphCache::Get(const std::string& key) {
 
 bool GraphCache::Put(const std::string& key, GraphHandle graph) {
   const size_t cost = graph == nullptr ? 0 : graph->FootprintBytes();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (budget_bytes_ > 0 && cost > budget_bytes_) return false;
   auto it = entries_.find(key);
   if (it != entries_.end()) {
@@ -28,7 +28,7 @@ bool GraphCache::Put(const std::string& key, GraphHandle graph) {
 }
 
 void GraphCache::Erase(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) return;
   bytes_ -= it->second.bytes;
@@ -37,36 +37,46 @@ void GraphCache::Erase(const std::string& key) {
 }
 
 void GraphCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_.clear();
   lru_.clear();
   bytes_ = 0;
 }
 
 void GraphCache::SetBudget(size_t budget_bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   budget_bytes_ = budget_bytes;
   EvictToBudgetLocked();
 }
 
 size_t GraphCache::bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return bytes_;
 }
 
 size_t GraphCache::budget_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return budget_bytes_;
 }
 
 size_t GraphCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 
 uint64_t GraphCache::evictions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return evictions_;
+}
+
+GraphCache::StatsSnapshot GraphCache::Stats() const {
+  MutexLock lock(mu_);
+  StatsSnapshot snap;
+  snap.bytes = bytes_;
+  snap.entries = entries_.size();
+  snap.budget_bytes = budget_bytes_;
+  snap.evictions = evictions_;
+  return snap;
 }
 
 void GraphCache::EvictToBudgetLocked() {

@@ -3,10 +3,10 @@
 
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/sync.h"
 #include "core/graphgen.h"
 
 namespace graphgen::service {
@@ -28,13 +28,14 @@ class GraphCache {
   explicit GraphCache(size_t budget_bytes) : budget_bytes_(budget_bytes) {}
 
   /// Returns the cached graph and marks it most recently used, or nullptr.
-  GraphHandle Get(const std::string& key);
+  [[nodiscard]] GraphHandle Get(const std::string& key);
 
   /// Inserts (or replaces) an entry and evicts LRU entries until the
   /// budget holds again. A graph whose footprint alone exceeds a non-zero
   /// budget is not cached at all (it would just evict everything else);
-  /// returns false in that case.
-  bool Put(const std::string& key, GraphHandle graph);
+  /// returns false in that case. Callers that cache best-effort discard
+  /// the result explicitly with (void).
+  [[nodiscard]] bool Put(const std::string& key, GraphHandle graph);
 
   void Erase(const std::string& key);
   void Clear();
@@ -51,6 +52,19 @@ class GraphCache {
   /// Total entries evicted to make room since construction.
   uint64_t evictions() const;
 
+  /// All four stats fields read under one lock acquisition. The
+  /// field-by-field getters each lock separately, so reading them in
+  /// sequence can interleave with a concurrent Put/eviction and report a
+  /// torn view (bytes from before an eviction, evictions from after);
+  /// consumers that publish the numbers together use this instead.
+  struct StatsSnapshot {
+    size_t bytes = 0;
+    size_t entries = 0;
+    size_t budget_bytes = 0;
+    uint64_t evictions = 0;
+  };
+  StatsSnapshot Stats() const;
+
  private:
   struct Entry {
     GraphHandle graph;
@@ -58,14 +72,14 @@ class GraphCache {
     std::list<std::string>::iterator lru_it;
   };
 
-  void EvictToBudgetLocked();
+  void EvictToBudgetLocked() REQUIRES(mu_);
 
-  size_t budget_bytes_;
-  mutable std::mutex mu_;
-  size_t bytes_ = 0;
-  uint64_t evictions_ = 0;
-  std::list<std::string> lru_;  // front = most recently used
-  std::unordered_map<std::string, Entry> entries_;
+  mutable Mutex mu_;
+  size_t budget_bytes_ GUARDED_BY(mu_);
+  size_t bytes_ GUARDED_BY(mu_) = 0;
+  uint64_t evictions_ GUARDED_BY(mu_) = 0;
+  std::list<std::string> lru_ GUARDED_BY(mu_);  // front = most recently used
+  std::unordered_map<std::string, Entry> entries_ GUARDED_BY(mu_);
 };
 
 }  // namespace graphgen::service

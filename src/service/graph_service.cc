@@ -125,8 +125,13 @@ Result<GraphHandle> GraphService::ResolveFailure(
   return status;
 }
 
+bool GraphService::AdmissionTurnLocked(uint64_t ticket) const {
+  return inflight_extractions_ < options_.max_inflight_extractions &&
+         !admit_queue_.empty() && admit_queue_.front() == ticket;
+}
+
 Status GraphService::AdmitExtraction(const ExecContext& ctx) {
-  std::unique_lock<std::mutex> lock(admit_mu_);
+  MutexLock lock(admit_mu_);
   const size_t max = options_.max_inflight_extractions;
   if (max == 0) {
     ++inflight_extractions_;
@@ -145,26 +150,22 @@ Status GraphService::AdmitExtraction(const ExecContext& ctx) {
   }
   const uint64_t ticket = admit_ticket_++;
   admit_queue_.push_back(ticket);
-  auto my_turn = [&] {
-    return inflight_extractions_ < max && !admit_queue_.empty() &&
-           admit_queue_.front() == ticket;
-  };
-  while (!my_turn() && ctx.Check().ok()) {
+  while (!AdmissionTurnLocked(ticket) && ctx.Check().ok()) {
     // Deadlines are honored while queued; a cancel-only context is polled
     // because nothing kicks the cv when a caller raises the flag.
     if (ctx.has_deadline) {
-      admit_cv_.wait_until(lock, ctx.deadline);
+      admit_cv_.WaitUntil(admit_mu_, ctx.deadline);
       if (ctx.DeadlineExpired()) break;
     } else if (ctx.cancel.cancellable()) {
-      admit_cv_.wait_for(lock, std::chrono::milliseconds(20));
+      admit_cv_.WaitFor(admit_mu_, std::chrono::milliseconds(20));
     } else {
-      admit_cv_.wait(lock);
+      admit_cv_.Wait(admit_mu_);
     }
   }
-  if (!my_turn()) {
+  if (!AdmissionTurnLocked(ticket)) {
     auto it = std::find(admit_queue_.begin(), admit_queue_.end(), ticket);
     if (it != admit_queue_.end()) admit_queue_.erase(it);
-    admit_cv_.notify_all();  // our slot in line opened up
+    admit_cv_.NotifyAll();  // our slot in line opened up
     Status st = ctx.Check();
     return st.ok() ? Status::DeadlineExceeded(
                          "request expired while queued for admission")
@@ -172,16 +173,16 @@ Status GraphService::AdmitExtraction(const ExecContext& ctx) {
   }
   admit_queue_.pop_front();
   ++inflight_extractions_;
-  admit_cv_.notify_all();
+  admit_cv_.NotifyAll();
   return Status::OK();
 }
 
 void GraphService::ReleaseExtraction() {
   {
-    std::lock_guard<std::mutex> lock(admit_mu_);
+    MutexLock lock(admit_mu_);
     --inflight_extractions_;
   }
-  admit_cv_.notify_all();
+  admit_cv_.NotifyAll();
 }
 
 Result<GraphHandle> GraphService::ExtractWithKey(
@@ -203,7 +204,7 @@ Result<GraphHandle> GraphService::ExtractWithKey(
   std::shared_ptr<Inflight> flight;
   bool owner = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (GraphHandle cached = cache_.Get(*key)) {
       cache_hits_->Increment();
       return cached;
@@ -220,12 +221,21 @@ Result<GraphHandle> GraphService::ExtractWithKey(
   }
 
   if (!owner) {
-    std::unique_lock<std::mutex> wait_lock(flight->mu);
-    flight->cv.wait(wait_lock, [&] { return flight->done; });
-    if (!flight->status.ok()) {
-      return ResolveFailure(flight->status, *key, request);
+    Status flight_status;
+    GraphHandle flight_graph;
+    {
+      MutexLock wait_lock(flight->mu);
+      while (!flight->done) flight->cv.Wait(flight->mu);
+      flight_status = flight->status;
+      flight_graph = flight->graph;
     }
-    return flight->graph;
+    // Copied out first: ResolveFailure reads the stale store (its own
+    // lock), which a coalesced waiter has no business holding this flight
+    // lock across.
+    if (!flight_status.ok()) {
+      return ResolveFailure(flight_status, *key, request);
+    }
+    return flight_graph;
   }
 
   // This thread runs the pipeline; everyone else with this key waits. An
@@ -276,22 +286,23 @@ Result<GraphHandle> GraphService::ExtractWithKey(
     RecordExtractionLatency(datalog, extract_seconds, handle->stats.profile);
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     inflight_.erase(*key);
     if (handle != nullptr) {
       if (!cache_.Put(*key, handle)) uncacheable_->Increment();
       // Remember the success for allow_stale fallbacks; failures never
-      // touch either store.
-      stale_.Put(*key, handle);
+      // touch either store. Best-effort: a graph too large for the stale
+      // budget just isn't retained, the request still succeeds.
+      (void)stale_.Put(*key, handle);
     }
   }
   {
-    std::lock_guard<std::mutex> flight_lock(flight->mu);
+    MutexLock flight_lock(flight->mu);
     flight->done = true;
     flight->status = status;
     flight->graph = handle;
   }
-  flight->cv.notify_all();
+  flight->cv.NotifyAll();
   if (!status.ok()) return ResolveFailure(status, *key, request);
   return handle;
 }
@@ -325,7 +336,7 @@ Status GraphService::Register(const std::string& name, GraphHandle graph,
   if (graph == nullptr || graph->graph == nullptr) {
     return Status::InvalidArgument("cannot register a null graph");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!overwrite && names_.count(name) > 0) {
     return Status::AlreadyExists("graph '" + name + "' is already registered");
   }
@@ -334,7 +345,7 @@ Status GraphService::Register(const std::string& name, GraphHandle graph,
 }
 
 Result<GraphHandle> GraphService::Lookup(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = names_.find(name);
   if (it == names_.end()) {
     return Status::NotFound("no graph named '" + name + "'");
@@ -343,7 +354,7 @@ Result<GraphHandle> GraphService::Lookup(const std::string& name) const {
 }
 
 Status GraphService::Drop(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (names_.erase(name) == 0) {
     return Status::NotFound("no graph named '" + name + "'");
   }
@@ -355,7 +366,7 @@ std::vector<NamedGraphInfo> GraphService::List() const {
   // walks adjacency lists) without holding mu_ — handles are immutable.
   std::vector<std::pair<std::string, GraphHandle>> snapshot;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     snapshot.assign(names_.begin(), names_.end());
   }
   std::vector<NamedGraphInfo> out;
@@ -375,7 +386,7 @@ std::vector<NamedGraphInfo> GraphService::List() const {
 
 void GraphService::ClearCache() {
   cache_.Clear();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   flat_views_.clear();
 }
 
@@ -385,7 +396,7 @@ void GraphService::SetCacheBudget(size_t budget_bytes) {
   // of just-evicted graphs now rather than waiting for the next FlatView
   // call to reap them — otherwise the bytes the shrink was meant to free
   // can stay resident indefinitely.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto it = flat_views_.begin(); it != flat_views_.end();) {
     it = it->second.owner.expired() ? flat_views_.erase(it) : std::next(it);
   }
@@ -400,7 +411,7 @@ std::shared_ptr<const Graph> GraphService::FlatView(const GraphHandle& handle) {
     return std::shared_ptr<const Graph>(handle, key);
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // Reap adapters whose source graphs have been released (eviction,
     // Drop) so abandoned CSR snapshots don't accumulate between builds.
     for (auto it = flat_views_.begin(); it != flat_views_.end();) {
@@ -419,7 +430,7 @@ std::shared_ptr<const Graph> GraphService::FlatView(const GraphHandle& handle) {
   // same adapter; the first insert wins and the losers share it.
   auto built = std::make_shared<const CsrGraph>(CsrGraph::Build(*key));
   csr_builds_->Increment();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto [it, inserted] = flat_views_.try_emplace(key);
   if (inserted || it->second.owner.lock() != handle) {
     it->second = {handle, built};
@@ -445,14 +456,14 @@ void GraphService::RecordExtractionLatency(std::string_view datalog,
   if (!profile.empty()) {
     entry.profile = std::make_shared<const obs::QueryProfile>(profile);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entry.sequence = slow_sequence_++;
   slow_log_.push_back(std::move(entry));
   while (slow_log_.size() > options_.slow_log_capacity) slow_log_.pop_front();
 }
 
 std::vector<SlowRequest> GraphService::SlowRequests() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return {slow_log_.begin(), slow_log_.end()};
 }
 
@@ -460,18 +471,19 @@ std::vector<obs::MetricValue> GraphService::MetricsSnapshot() const {
   // Gauges mirror derived state (cache footprint, map sizes); refresh them
   // from the source of truth so the snapshot is current.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     flat_views_gauge_->Set(static_cast<int64_t>(flat_views_.size()));
     named_graphs_gauge_->Set(static_cast<int64_t>(names_.size()));
   }
   {
-    std::lock_guard<std::mutex> lock(admit_mu_);
+    MutexLock lock(admit_mu_);
     inflight_gauge_->Set(static_cast<int64_t>(inflight_extractions_));
     admission_queue_gauge_->Set(static_cast<int64_t>(admit_queue_.size()));
   }
-  cache_bytes_gauge_->Set(static_cast<int64_t>(cache_.bytes()));
-  cache_graphs_gauge_->Set(static_cast<int64_t>(cache_.size()));
-  cache_evictions_gauge_->Set(static_cast<int64_t>(cache_.evictions()));
+  const GraphCache::StatsSnapshot cache_stats = cache_.Stats();
+  cache_bytes_gauge_->Set(static_cast<int64_t>(cache_stats.bytes));
+  cache_graphs_gauge_->Set(static_cast<int64_t>(cache_stats.entries));
+  cache_evictions_gauge_->Set(static_cast<int64_t>(cache_stats.evictions));
   return registry_.Snapshot();
 }
 
@@ -494,19 +506,20 @@ ServiceStats GraphService::Stats() const {
   stats.resource_exhausted = resource_exhausted_->Value();
   stats.stale_served = stale_served_->Value();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats.flat_views = flat_views_.size();
     stats.named_graphs = names_.size();
   }
   {
-    std::lock_guard<std::mutex> lock(admit_mu_);
+    MutexLock lock(admit_mu_);
     stats.inflight_extractions = inflight_extractions_;
     stats.admission_queued = admit_queue_.size();
   }
-  stats.evictions = cache_.evictions();
-  stats.cache_bytes = cache_.bytes();
-  stats.cache_graphs = cache_.size();
-  stats.cache_budget_bytes = cache_.budget_bytes();
+  const GraphCache::StatsSnapshot cache_stats = cache_.Stats();
+  stats.evictions = cache_stats.evictions;
+  stats.cache_bytes = cache_stats.bytes;
+  stats.cache_graphs = cache_stats.entries;
+  stats.cache_budget_bytes = cache_stats.budget_bytes;
   stats.worker_threads = pool_.NumThreads();
   return stats;
 }

@@ -1,12 +1,10 @@
 #ifndef GRAPHGEN_SERVICE_GRAPH_SERVICE_H_
 #define GRAPHGEN_SERVICE_GRAPH_SERVICE_H_
 
-#include <condition_variable>
 #include <deque>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -15,6 +13,7 @@
 #include "common/cancel.h"
 #include "common/parallel.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "core/graphgen.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
@@ -226,11 +225,11 @@ class GraphService {
   /// A request being extracted right now; later arrivals with the same
   /// key block on `cv` instead of re-running the pipeline.
   struct Inflight {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;
-    Status status;
-    GraphHandle graph;
+    Mutex mu;
+    CondVar cv;
+    bool done GUARDED_BY(mu) = false;
+    Status status GUARDED_BY(mu);
+    GraphHandle graph GUARDED_BY(mu);
   };
 
   Result<GraphHandle> ExtractWithKey(std::string_view datalog,
@@ -241,8 +240,11 @@ class GraphService {
   /// with a FIFO wait queue. Returns OK once a slot is held (pair with
   /// ReleaseExtraction), Overloaded when the queue is full, or the
   /// context's Cancelled/DeadlineExceeded when the request dies queued.
-  Status AdmitExtraction(const ExecContext& ctx);
-  void ReleaseExtraction();
+  Status AdmitExtraction(const ExecContext& ctx) EXCLUDES(admit_mu_);
+  void ReleaseExtraction() EXCLUDES(admit_mu_);
+  /// True when `ticket` is at the head of the admission queue and a
+  /// pipeline slot is free.
+  bool AdmissionTurnLocked(uint64_t ticket) const REQUIRES(admit_mu_);
 
   /// Classifies a request failure into the per-cause counters and, when
   /// the request allows it, answers from the stale store instead.
@@ -271,10 +273,11 @@ class GraphService {
   void RecordExtractionLatency(std::string_view datalog, double seconds,
                                const obs::QueryProfile& profile);
 
-  mutable std::mutex mu_;  // guards inflight_, names_, flat_views_, slow_log_
-  std::unordered_map<std::string, std::shared_ptr<Inflight>> inflight_;
-  std::map<std::string, GraphHandle> names_;
-  std::unordered_map<const Graph*, FlatViewEntry> flat_views_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Inflight>> inflight_
+      GUARDED_BY(mu_);
+  std::map<std::string, GraphHandle> names_ GUARDED_BY(mu_);
+  std::unordered_map<const Graph*, FlatViewEntry> flat_views_ GUARDED_BY(mu_);
 
   /// Per-instance registry so a service's counters are exact for that
   /// instance (tests assert precise values); engine-level metrics live in
@@ -303,16 +306,18 @@ class GraphService {
   obs::Gauge* named_graphs_gauge_;
   obs::Histogram* request_us_;
 
-  std::deque<SlowRequest> slow_log_;  // ring buffer, oldest at front
-  uint64_t slow_sequence_ = 0;
+  /// Ring buffer, oldest at front.
+  std::deque<SlowRequest> slow_log_ GUARDED_BY(mu_);
+  uint64_t slow_sequence_ GUARDED_BY(mu_) = 0;
 
   /// Admission state, under its own lock so queued owners never contend
   /// with cache lookups on mu_.
-  mutable std::mutex admit_mu_;
-  std::condition_variable admit_cv_;
-  size_t inflight_extractions_ = 0;
-  std::deque<uint64_t> admit_queue_;  // FIFO of waiting owner tickets
-  uint64_t admit_ticket_ = 0;
+  mutable Mutex admit_mu_;
+  CondVar admit_cv_;
+  size_t inflight_extractions_ GUARDED_BY(admit_mu_) = 0;
+  /// FIFO of waiting owner tickets.
+  std::deque<uint64_t> admit_queue_ GUARDED_BY(admit_mu_);
+  uint64_t admit_ticket_ GUARDED_BY(admit_mu_) = 0;
 
   // Last member: destroyed (and joined) first, so queued tasks finish
   // while the rest of the service is still alive.

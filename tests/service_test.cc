@@ -297,7 +297,9 @@ TEST_F(ServiceTest, ConcurrentStress) {
         if (!svc.Register(name, *result, /*overwrite=*/true).ok()) ++failures;
         auto looked_up = svc.Lookup(name);
         if (!looked_up.ok()) ++failures;
-        if (i % 10 == 9) svc.Drop(name);
+        // Drop races with other iterations re-registering the same name;
+        // either outcome is valid in this stress test.
+        if (i % 10 == 9) (void)svc.Drop(name);
         svc.List();
         svc.Stats();
       }

@@ -1,0 +1,26 @@
+// Minimal tree that satisfies every invariant: one fault point (documented),
+// one metric (documented), a charging function that polls, locks through
+// the annotated wrappers only.
+#include "common/sync.h"
+
+namespace demo {
+
+void Record() {
+  GRAPHGEN_FAULT_POINT("demo.stage");
+  GetCounter("demo.rows")->Increment();
+}
+
+Status FillBuffer(const ExecContext& ctx) {
+  GRAPHGEN_RETURN_NOT_OK(ctx.Charge(1024, "demo buffer"));
+  for (size_t i = 0; i < 8; ++i) {
+    GRAPHGEN_RETURN_NOT_OK(ctx.Check());
+  }
+  return Status::OK();
+}
+
+class Guarded {
+  Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace demo

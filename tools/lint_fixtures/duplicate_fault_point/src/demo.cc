@@ -1,0 +1,4 @@
+// The same fault point registered at two sites: arming "demo.stage" would
+// fire an unpredictable subset, so the linter must reject it.
+void StageA() { GRAPHGEN_FAULT_POINT("demo.stage"); }
+void StageB() { GRAPHGEN_FAULT_POINT("demo.stage"); }

@@ -1,0 +1,3 @@
+// A fault point the README table doesn't list: the CI fault-sweep and the
+// shell's `faults` listing would disagree with the docs.
+void Stage() { GRAPHGEN_FAULT_POINT("demo.undocumented"); }

@@ -1,0 +1,13 @@
+// A raw std::mutex outside common/sync.h: invisible to Clang thread-safety
+// analysis, so the linter forces it through the annotated wrappers.
+#include <mutex>
+
+namespace demo {
+std::mutex g_lock;
+int g_value = 0;
+
+void Bump() {
+  std::lock_guard<std::mutex> guard(g_lock);
+  ++g_value;
+}
+}  // namespace demo

@@ -1,0 +1,3 @@
+// A registry metric missing from the README table: dashboards built off the
+// docs would never find it.
+void Record() { GetCounter("demo.hidden_rows")->Increment(); }

@@ -1,0 +1,9 @@
+// Charges the request budget but never polls the ExecContext: the
+// allocation is bounded but the loop is uncancellable.
+Status FillBuffer(const ExecContext& ctx, std::vector<int>* out) {
+  GRAPHGEN_RETURN_NOT_OK(ctx.Charge(1 << 20, "demo buffer"));
+  for (size_t i = 0; i < (1u << 18); ++i) {
+    out->push_back(static_cast<int>(i));
+  }
+  return Status::OK();
+}
