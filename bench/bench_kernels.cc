@@ -23,6 +23,7 @@
 
 #include "algos/bfs.h"
 #include "algos/clustering.h"
+#include "algos/intersect.h"
 #include "algos/connected_components.h"
 #include "algos/degree.h"
 #include "algos/kcore.h"
@@ -57,17 +58,148 @@ bool NearlyEqual(const std::vector<double>& a, const std::vector<double>& b) {
   return true;
 }
 
+// ------------------------- --gallop: intersection-threshold crossover sweep
+//
+// Times the two IntersectSortedCount strategies in isolation (linear
+// merge vs gallop, bypassing the size heuristic) across skew ratios, to
+// measure where the crossover actually sits on this machine — the source
+// of the kGallopRatio constant in algos/intersect.h. Also times the
+// bounds pre-check on disjoint inputs, where it short-circuits the whole
+// intersection to two comparisons.
+
+uint64_t MergeCountOnly(std::span<const NodeId> a, std::span<const NodeId> b) {
+  uint64_t count = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+uint64_t GallopCountOnly(std::span<const NodeId> a, std::span<const NodeId> b) {
+  uint64_t count = 0;
+  const NodeId* lo = b.data();
+  const NodeId* end = b.data() + b.size();
+  for (NodeId x : a) {
+    lo = std::lower_bound(lo, end, x);
+    if (lo == end) break;
+    if (*lo == x) {
+      ++count;
+      ++lo;
+    }
+  }
+  return count;
+}
+
+std::vector<NodeId> RandomSorted(size_t n, NodeId universe, uint64_t seed) {
+  std::vector<NodeId> v;
+  v.reserve(n);
+  uint64_t s = seed * 0x9e3779b97f4a7c15ull + 1;
+  while (v.size() < n) {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    v.push_back(static_cast<NodeId>(s % universe));
+    if (v.size() == n) {
+      std::sort(v.begin(), v.end());
+      v.erase(std::unique(v.begin(), v.end()), v.end());
+    }
+  }
+  return v;
+}
+
+int RunGallopSweep(int iters) {
+  bench::PrintHeader("IntersectSortedCount: merge vs gallop crossover");
+  std::printf("configured kGallopRatio = %zu\n\n", detail::kGallopRatio);
+  std::printf("%8s %8s %8s %12s %12s %9s %8s\n", "short", "long", "ratio",
+              "merge (ms)", "gallop (ms)", "g/m", "winner");
+  bench::PrintRule();
+  constexpr size_t kShort = 256;
+  constexpr size_t kPairs = 512;  // fresh pairs per timing pass (cache-cold-ish)
+  for (size_t ratio = 1; ratio <= 256; ratio *= 2) {
+    const size_t long_len = kShort * ratio;
+    std::vector<std::vector<NodeId>> shorts(kPairs);
+    std::vector<std::vector<NodeId>> longs(kPairs);
+    for (size_t p = 0; p < kPairs; ++p) {
+      const NodeId universe = static_cast<NodeId>(4 * long_len);
+      shorts[p] = RandomSorted(kShort, universe, 2 * p + 1);
+      longs[p] = RandomSorted(long_len, universe, 2 * p + 2);
+    }
+    uint64_t sink_m = 0;
+    uint64_t sink_g = 0;
+    const double merge_ms = bench::MedianMs(iters, [&] {
+      for (size_t p = 0; p < kPairs; ++p) {
+        sink_m += MergeCountOnly(shorts[p], longs[p]);
+      }
+    });
+    const double gallop_ms = bench::MedianMs(iters, [&] {
+      for (size_t p = 0; p < kPairs; ++p) {
+        sink_g += GallopCountOnly(shorts[p], longs[p]);
+      }
+    });
+    uint64_t check_m = 0;
+    uint64_t check_g = 0;
+    for (size_t p = 0; p < kPairs; ++p) {
+      check_m += MergeCountOnly(shorts[p], longs[p]);
+      check_g += GallopCountOnly(shorts[p], longs[p]);
+    }
+    if (check_m != check_g || sink_m < check_m || sink_g < check_g) {
+      std::fprintf(stderr, "FAIL: merge/gallop counts disagree\n");
+      return 1;
+    }
+    std::printf("%8zu %8zu %7zux %12.3f %12.3f %9.2f %8s\n", kShort, long_len,
+                ratio, merge_ms, gallop_ms,
+                merge_ms > 0 ? gallop_ms / merge_ms : 0,
+                gallop_ms < merge_ms ? "gallop" : "merge");
+  }
+
+  // Bounds pre-check: disjoint inputs short-circuit to two compares.
+  const size_t long_len = kShort * 64;
+  std::vector<NodeId> lo_list = RandomSorted(kShort, 1 << 16, 11);
+  std::vector<NodeId> hi_list = RandomSorted(long_len, 1 << 16, 12);
+  for (NodeId& x : hi_list) x += 1 << 17;  // fully above lo_list
+  uint64_t sink = 0;
+  const double checked_ms = bench::MedianMs(iters, [&] {
+    for (size_t rep = 0; rep < kPairs; ++rep) {
+      sink += detail::IntersectSortedCount(lo_list, hi_list);
+    }
+  });
+  const double unchecked_ms = bench::MedianMs(iters, [&] {
+    for (size_t rep = 0; rep < kPairs; ++rep) {
+      sink += GallopCountOnly(lo_list, hi_list);
+    }
+  });
+  std::printf(
+      "\nbounds pre-check on disjoint %zu∩%zu: with %.4fms | without %.4fms "
+      "(%.0fx) [sink %" PRIu64 "]\n",
+      kShort, long_len, checked_ms, unchecked_ms,
+      checked_ms > 0 ? unchecked_ms / checked_ms : 0, sink);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_kernels.json";
   bool smoke = false;
+  bool gallop = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--gallop") == 0) gallop = true;
   }
   const double scale = smoke ? 0.05 : bench::BenchScale();
   const int iters = bench::ParseRepeat(argc, argv, smoke ? 1 : 5);
+  if (gallop) return RunGallopSweep(iters);
 
   bench::PrintHeader("Kernel fast path: function-callback vs NeighborSpan");
 

@@ -28,20 +28,42 @@ std::vector<double> ClusteringSpan(const Graph& graph) {
             return uint64_t{1} + csr.Out(static_cast<NodeId>(r)).size();
           }),
       [&](size_t begin, size_t end) {
+        // Reused across this worker's roots; set/clear are O(degree).
+        detail::NeighborBitmap bm(n);
+        // Worker-local triangle tallies, merged once at the end: three
+        // contended atomic adds per triangle would dominate the whole
+        // kernel on triangle-dense graphs. Addition commutes, so the
+        // merged counts are bit-identical to the shared-counter walk.
+        std::vector<uint64_t> local(n, 0);
         for (size_t r = begin; r < end; ++r) {
           const std::span<const NodeId> nu = csr.Out(static_cast<NodeId>(r));
           const NodeId u = csr.order[r];
-          for (NodeId s : nu) {
-            const NodeId v = csr.order[s];
-            detail::IntersectSortedForEach(nu, csr.Out(s), [&](NodeId t) {
-              const NodeId w = csr.order[t];
-              std::atomic_ref<uint64_t>(tri[u]).fetch_add(
-                  1, std::memory_order_relaxed);
-              std::atomic_ref<uint64_t>(tri[v]).fetch_add(
-                  1, std::memory_order_relaxed);
-              std::atomic_ref<uint64_t>(tri[w]).fetch_add(
-                  1, std::memory_order_relaxed);
-            });
+          const auto credit = [&](NodeId s, NodeId t) {
+            ++local[u];
+            ++local[csr.order[s]];
+            ++local[csr.order[t]];
+          };
+          if (nu.size() >= detail::kBitmapMinDegree) {
+            // High-degree root: flag nu once, then each wedge closes with
+            // one bit test. Visits the same (s, t) pairs in the same
+            // order as the sorted-list path.
+            for (NodeId s : nu) bm.Set(s);
+            for (NodeId s : nu) {
+              detail::IntersectBitmapForEach(
+                  bm, csr.Out(s), [&](NodeId t) { credit(s, t); });
+            }
+            bm.Clear(nu);
+          } else {
+            for (NodeId s : nu) {
+              detail::IntersectSortedForEach(
+                  nu, csr.Out(s), [&](NodeId t) { credit(s, t); });
+            }
+          }
+        }
+        for (size_t i = 0; i < n; ++i) {
+          if (local[i] != 0) {
+            std::atomic_ref<uint64_t>(tri[i]).fetch_add(
+                local[i], std::memory_order_relaxed);
           }
         }
       });

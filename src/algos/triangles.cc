@@ -17,9 +17,10 @@ namespace {
 /// Every triangle has exactly one vertex from which both others are
 /// higher-ranked, so it is counted once from that root; degree ordering
 /// bounds out-fanouts by the degeneracy. Intersections use a per-thread
-/// mark array instead of list merges: the root's out-neighborhood is
-/// flagged once, then every wedge closes with a single byte lookup —
-/// half the memory touches of a merge and no branch misprediction.
+/// bit-packed mark bitmap instead of list merges: the root's
+/// out-neighborhood is flagged once, then every wedge closes with a
+/// single bit test — half the memory touches of a merge, no branch
+/// misprediction, and 8x denser than a byte mark array.
 uint64_t CountTrianglesSpan(const Graph& graph) {
   const detail::OrientedCsr csr = detail::BuildOrientedCsr(graph);
   const size_t n = csr.order.size();
@@ -31,15 +32,15 @@ uint64_t CountTrianglesSpan(const Graph& graph) {
                               csr.Out(static_cast<NodeId>(r)).size();
                      }),
       [&](size_t begin, size_t end) {
-        std::vector<uint8_t> mark(n, 0);
+        detail::NeighborBitmap bm(n);
         uint64_t local = 0;
         for (size_t r = begin; r < end; ++r) {
           const std::span<const NodeId> nu = csr.Out(static_cast<NodeId>(r));
-          for (NodeId s : nu) mark[s] = 1;
+          for (NodeId s : nu) bm.Set(s);
           for (NodeId s : nu) {
-            for (NodeId t : csr.Out(s)) local += mark[t];
+            local += detail::IntersectBitmapCount(bm, csr.Out(s));
           }
-          for (NodeId s : nu) mark[s] = 0;
+          bm.Clear(nu);
         }
         total.fetch_add(local, std::memory_order_relaxed);
       });

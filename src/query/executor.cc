@@ -9,10 +9,13 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include <bit>
+
 #include "common/cancel.h"
 #include "common/faultpoints.h"
 #include "common/hash.h"
 #include "common/parallel.h"
+#include "common/simd.h"
 #include "obs/metrics.h"
 
 namespace graphgen::query {
@@ -32,6 +35,12 @@ struct ExecMetrics {
   obs::Counter* distinct_rows_out;
   obs::Counter* fused_pipelines;
   obs::Counter* unfused_pipelines;
+  obs::Counter* simd_scan_vector;
+  obs::Counter* simd_scan_scalar;
+  obs::Counter* simd_probe_vector;
+  obs::Counter* simd_probe_scalar;
+  obs::Counter* simd_translate_vector;
+  obs::Counter* simd_translate_scalar;
 };
 
 const ExecMetrics& Metrics() {
@@ -47,6 +56,12 @@ const ExecMetrics& Metrics() {
     em.distinct_rows_out = r.GetCounter("query.distinct.rows_out");
     em.fused_pipelines = r.GetCounter("query.fused_pipelines");
     em.unfused_pipelines = r.GetCounter("query.unfused_pipelines");
+    em.simd_scan_vector = r.GetCounter("query.simd.scan_vector");
+    em.simd_scan_scalar = r.GetCounter("query.simd.scan_scalar");
+    em.simd_probe_vector = r.GetCounter("query.simd.probe_vector");
+    em.simd_probe_scalar = r.GetCounter("query.simd.probe_scalar");
+    em.simd_translate_vector = r.GetCounter("query.simd.translate_vector");
+    em.simd_translate_scalar = r.GetCounter("query.simd.translate_scalar");
     return em;
   }();
   return m;
@@ -201,22 +216,30 @@ Status ProjectOutputSchema(const ProjectNode& node, const rel::Schema& child,
 // A predicate compiled against the physical encoding of its column. The
 // compile step hoists everything value-independent out of the row loop:
 // the NULL verdict, comparisons that cannot read the cell (a string
-// constant against an int64 column), and — for dictionary columns — one
-// verdict per distinct string instead of per row.
+// constant against an int64 column), for dictionary columns one verdict
+// per distinct string instead of per row — and, for numeric columns, the
+// reduction of the row loop to a single simd mask kernel. Ordering on an
+// int64 column scalar-promotes through double (Value semantics); the
+// compile step converts that bound to a pure int64 threshold once
+// (int64→double conversion is monotone, see MaxInt64WithDoubleLess), so
+// the kernel runs integer compares only — AVX2 has no epi64→pd convert.
 struct CompiledPredicate {
-  enum class Kind { kConst, kInt64Exact, kNumeric, kCodeTable, kGeneric };
+  enum class Kind { kConst, kI64Mask, kF64Mask, kCodeTable, kGeneric };
 
   const ColumnVector* col = nullptr;
   const Predicate* pred = nullptr;
   Kind kind = Kind::kGeneric;
   bool null_match = false;
   bool const_match = false;           // kConst
-  double const_double = 0.0;          // kNumeric / kInt64Exact
-  int64_t const_int = 0;              // kInt64Exact
-  bool same_type = false;             // kNumeric: exact equality possible
-  std::vector<uint8_t> code_match;    // kCodeTable
+  simd::I64MaskOp i64_op = simd::I64MaskOp::kEq;  // kI64Mask
+  int64_t i64_bound = 0;
+  int64_t i64_eq = 0;
+  simd::F64MaskOp f64_op = simd::F64MaskOp::kEq;  // kF64Mask
+  double f64_bound = 0.0;
+  bool gather_ok = false;             // kCodeTable: codes fit i32 gathers
+  std::vector<uint32_t> code_match;   // kCodeTable, 0/1 verdict per code
 
-  void Apply(size_t begin, size_t end, uint8_t* keep) const;
+  void Apply(simd::Tier tier, size_t begin, size_t end, uint8_t* keep) const;
 };
 
 CompiledPredicate CompilePredicate(const ColumnVector& col,
@@ -228,39 +251,132 @@ CompiledPredicate CompilePredicate(const ColumnVector& col,
   const rel::ValueType ct = p.constant.type();
   const bool const_numeric =
       ct == rel::ValueType::kInt64 || ct == rel::ValueType::kDouble;
+  auto const_verdict = [&](bool match) {
+    cp.kind = CompiledPredicate::Kind::kConst;
+    cp.const_match = match;
+  };
+  auto i64_mask = [&](simd::I64MaskOp op, int64_t bound, int64_t eq) {
+    cp.kind = CompiledPredicate::Kind::kI64Mask;
+    cp.i64_op = op;
+    cp.i64_bound = bound;
+    cp.i64_eq = eq;
+  };
+  // `(double)x < cd` over an int64 column, as a pure int64 compare; when
+  // no int64 satisfies it the whole predicate term is constant false.
+  auto i64_less = [&](double cd) {
+    const std::optional<int64_t> b = simd::MaxInt64WithDoubleLess(cd);
+    if (b.has_value()) {
+      i64_mask(simd::I64MaskOp::kLe, *b, 0);
+    } else {
+      const_verdict(false);
+    }
+  };
+  auto i64_greater = [&](double cd) {
+    const std::optional<int64_t> b = simd::MinInt64WithDoubleGreater(cd);
+    if (b.has_value()) {
+      i64_mask(simd::I64MaskOp::kGe, *b, 0);
+    } else {
+      const_verdict(false);
+    }
+  };
   switch (col.encoding()) {
     case Encoding::kEmpty:
-      cp.kind = CompiledPredicate::Kind::kConst;
-      cp.const_match = cp.null_match;  // every cell is NULL
+      const_verdict(cp.null_match);  // every cell is NULL
       break;
     case Encoding::kInt64:
       if (ct == rel::ValueType::kInt64) {
-        cp.kind = CompiledPredicate::Kind::kInt64Exact;
-        cp.const_int = p.constant.AsInt64();
-        cp.const_double = static_cast<double>(cp.const_int);
+        // Ordering promotes through double exactly like Value::operator<;
+        // equality stays exact int64 like Value::operator==.
+        const int64_t c = p.constant.AsInt64();
+        const double cd = static_cast<double>(c);
+        switch (p.op) {
+          case CompareOp::kEq: i64_mask(simd::I64MaskOp::kEq, 0, c); break;
+          case CompareOp::kNe: i64_mask(simd::I64MaskOp::kNe, 0, c); break;
+          case CompareOp::kLt: i64_less(cd); break;
+          case CompareOp::kLe: {
+            // `(double)x < cd || x == c`: the eq term survives because c
+            // itself converts to cd, not below it.
+            const std::optional<int64_t> b = simd::MaxInt64WithDoubleLess(cd);
+            if (b.has_value()) {
+              i64_mask(simd::I64MaskOp::kLeOrEq, *b, c);
+            } else {
+              i64_mask(simd::I64MaskOp::kEq, 0, c);
+            }
+            break;
+          }
+          case CompareOp::kGt: i64_greater(cd); break;
+          case CompareOp::kGe: {
+            const std::optional<int64_t> b =
+                simd::MinInt64WithDoubleGreater(cd);
+            if (b.has_value()) {
+              i64_mask(simd::I64MaskOp::kGeOrEq, *b, c);
+            } else {
+              i64_mask(simd::I64MaskOp::kEq, 0, c);
+            }
+            break;
+          }
+        }
       } else if (ct == rel::ValueType::kDouble) {
-        cp.kind = CompiledPredicate::Kind::kNumeric;
-        cp.const_double = p.constant.AsDouble();
-        cp.same_type = false;
+        // Equality never crosses int64/double (Value semantics), so only
+        // the ordering terms can match.
+        const double cd = p.constant.AsDouble();
+        switch (p.op) {
+          case CompareOp::kEq: const_verdict(false); break;
+          case CompareOp::kNe: const_verdict(true); break;
+          case CompareOp::kLt:
+          case CompareOp::kLe: i64_less(cd); break;
+          case CompareOp::kGt:
+          case CompareOp::kGe: i64_greater(cd); break;
+        }
       } else {
         // Ordering against strings/NULL depends only on the types.
-        cp.kind = CompiledPredicate::Kind::kConst;
-        cp.const_match = p.MatchesValue(rel::Value(int64_t{0}));
+        const_verdict(p.MatchesValue(rel::Value(int64_t{0})));
       }
       break;
     case Encoding::kDouble:
       if (const_numeric) {
-        cp.kind = CompiledPredicate::Kind::kNumeric;
-        cp.const_double = p.constant.AsDouble();
-        cp.same_type = ct == rel::ValueType::kDouble;
+        const double cd = p.constant.AsDouble();
+        const bool same_type = ct == rel::ValueType::kDouble;
+        cp.kind = CompiledPredicate::Kind::kF64Mask;
+        cp.f64_bound = cd;
+        switch (p.op) {
+          case CompareOp::kEq:
+            if (same_type) {
+              cp.f64_op = simd::F64MaskOp::kEq;
+            } else {
+              const_verdict(false);
+            }
+            break;
+          case CompareOp::kNe:
+            if (same_type) {
+              cp.f64_op = simd::F64MaskOp::kNe;
+            } else {
+              const_verdict(true);
+            }
+            break;
+          case CompareOp::kLt:
+            cp.f64_op = simd::F64MaskOp::kLt;
+            break;
+          case CompareOp::kLe:
+            // `dv < cd || dv == cd` is IEEE `<=` (both false on NaN).
+            cp.f64_op = same_type ? simd::F64MaskOp::kLe : simd::F64MaskOp::kLt;
+            break;
+          case CompareOp::kGt:
+            cp.f64_op = simd::F64MaskOp::kGt;
+            break;
+          case CompareOp::kGe:
+            cp.f64_op = same_type ? simd::F64MaskOp::kGe : simd::F64MaskOp::kGt;
+            break;
+        }
       } else {
-        cp.kind = CompiledPredicate::Kind::kConst;
-        cp.const_match = p.MatchesValue(rel::Value(0.0));
+        const_verdict(p.MatchesValue(rel::Value(0.0)));
       }
       break;
     case Encoding::kDictString: {
       cp.kind = CompiledPredicate::Kind::kCodeTable;
       const rel::StringDictionary& dict = col.dict();
+      cp.gather_ok = dict.size() <= static_cast<size_t>(
+                                        std::numeric_limits<int32_t>::max());
       cp.code_match.resize(dict.size());
       for (uint32_t code = 0; code < dict.size(); ++code) {
         cp.code_match[code] =
@@ -275,103 +391,52 @@ CompiledPredicate CompilePredicate(const ColumnVector& col,
   return cp;
 }
 
-void CompiledPredicate::Apply(size_t begin, size_t end, uint8_t* keep) const {
+void CompiledPredicate::Apply(simd::Tier tier, size_t begin, size_t end,
+                              uint8_t* keep) const {
   const uint8_t* nulls = col->NullMask();
-  // AND-accumulates `match(i)` into keep over [begin, end) as straight
-  // byte arithmetic: no branch on keep, no branch on NULL. Typed arrays
-  // hold a zero placeholder at null positions, so match(i) is always safe
-  // (and cheap) to evaluate, and the loop body reduces to compares + byte
-  // ANDs the compiler can vectorize.
-  auto run = [&](auto match) {
-    if (nulls == nullptr) {
-      for (size_t i = begin; i < end; ++i) {
-        keep[i] &= static_cast<uint8_t>(match(i));
-      }
-      return;
-    }
-    const uint8_t nm = null_match ? 1 : 0;
-    for (size_t i = begin; i < end; ++i) {
-      const uint8_t nn = static_cast<uint8_t>(nulls[i] != 0);
-      keep[i] &= static_cast<uint8_t>(
-          (nn & nm) |
-          (static_cast<uint8_t>(nn ^ 1) & static_cast<uint8_t>(match(i))));
-    }
-  };
-  // The generic kind materializes a Value per cell — far too expensive to
-  // evaluate on rows other predicates already dropped, so it alone keeps
-  // the per-row guard.
-  auto run_guarded = [&](auto match) {
-    for (size_t i = begin; i < end; ++i) {
-      if (keep[i] == 0) continue;
-      const bool m =
-          (nulls != nullptr && nulls[i] != 0) ? null_match : match(i);
-      if (!m) keep[i] = 0;
-    }
-  };
+  const uint8_t* nsub = nulls != nullptr ? nulls + begin : nullptr;
+  const size_t n = end - begin;
   switch (kind) {
-    case Kind::kConst:
-      run([&](size_t) { return const_match; });
+    case Kind::kI64Mask:
+      simd::AndMaskI64(tier, i64_op, col->Int64Data() + begin, i64_bound,
+                       i64_eq, nsub, null_match, keep + begin, n);
       return;
-    case Kind::kInt64Exact: {
-      const int64_t* data = col->Int64Data();
-      const int64_t c = const_int;
-      const double cd = const_double;
-      switch (pred->op) {
-        // Ordering promotes through double exactly like Value::operator<;
-        // equality stays exact int64 like Value::operator==.
-        case CompareOp::kEq: run([&](size_t i) { return data[i] == c; }); return;
-        case CompareOp::kNe: run([&](size_t i) { return data[i] != c; }); return;
-        case CompareOp::kLt:
-          run([&](size_t i) { return static_cast<double>(data[i]) < cd; });
-          return;
-        case CompareOp::kLe:
-          run([&](size_t i) {
-            return static_cast<double>(data[i]) < cd || data[i] == c;
-          });
-          return;
-        case CompareOp::kGt:
-          run([&](size_t i) { return cd < static_cast<double>(data[i]); });
-          return;
-        case CompareOp::kGe:
-          run([&](size_t i) {
-            return cd < static_cast<double>(data[i]) || data[i] == c;
-          });
-          return;
+    case Kind::kF64Mask:
+      simd::AndMaskF64(tier, f64_op, col->DoubleData() + begin, f64_bound,
+                       nsub, null_match, keep + begin, n);
+      return;
+    case Kind::kCodeTable:
+      simd::AndMaskCodes(gather_ok ? tier : simd::Tier::kScalar,
+                         col->CodeData() + begin, code_match.data(), nsub,
+                         null_match, keep + begin, n);
+      return;
+    case Kind::kConst: {
+      // AND-accumulates the constant verdict as straight byte arithmetic:
+      // no branch on keep, no branch on NULL.
+      const uint8_t cm = const_match ? 1 : 0;
+      if (nulls == nullptr) {
+        for (size_t i = begin; i < end; ++i) keep[i] &= cm;
+        return;
       }
-      return;
-    }
-    case Kind::kNumeric: {
-      const int64_t* ip = col->Int64Data();
-      const double* dp = col->DoubleData();
-      const double cd = const_double;
-      auto dv = [&](size_t i) {
-        return ip != nullptr ? static_cast<double>(ip[i]) : dp[i];
-      };
-      // Equality never crosses int64/double (Value semantics); within
-      // kDouble it is exact double equality.
-      auto eq = [&](size_t i) { return same_type && dp[i] == cd; };
-      switch (pred->op) {
-        case CompareOp::kEq: run(eq); return;
-        case CompareOp::kNe: run([&](size_t i) { return !eq(i); }); return;
-        case CompareOp::kLt: run([&](size_t i) { return dv(i) < cd; }); return;
-        case CompareOp::kLe:
-          run([&](size_t i) { return dv(i) < cd || eq(i); });
-          return;
-        case CompareOp::kGt: run([&](size_t i) { return cd < dv(i); }); return;
-        case CompareOp::kGe:
-          run([&](size_t i) { return cd < dv(i) || eq(i); });
-          return;
+      const uint8_t nm = null_match ? 1 : 0;
+      for (size_t i = begin; i < end; ++i) {
+        const uint8_t nn = static_cast<uint8_t>(nulls[i] != 0);
+        keep[i] &= static_cast<uint8_t>(
+            (nn & nm) | (static_cast<uint8_t>(nn ^ 1) & cm));
       }
-      return;
-    }
-    case Kind::kCodeTable: {
-      const uint32_t* codes = col->CodeData();
-      run([&](size_t i) { return code_match[codes[i]] != 0; });
       return;
     }
     case Kind::kGeneric:
-      run_guarded(
-          [&](size_t i) { return pred->MatchesValue(col->ValueAt(i)); });
+      // The generic kind materializes a Value per cell — far too
+      // expensive to evaluate on rows other predicates already dropped,
+      // so it alone keeps the per-row guard.
+      for (size_t i = begin; i < end; ++i) {
+        if (keep[i] == 0) continue;
+        const bool m = (nulls != nullptr && nulls[i] != 0)
+                           ? null_match
+                           : pred->MatchesValue(col->ValueAt(i));
+        if (!m) keep[i] = 0;
+      }
       return;
   }
 }
@@ -381,9 +446,10 @@ void CompiledPredicate::Apply(size_t begin, size_t end, uint8_t* keep) const {
 struct CompiledSemiJoin {
   const ColumnVector* col = nullptr;
   const KeyFilter* keys = nullptr;
-  std::vector<uint8_t> code_match;  // dict columns: per-code membership
+  bool gather_ok = false;            // dict columns: codes fit i32 gathers
+  std::vector<uint32_t> code_match;  // dict columns: per-code membership
 
-  void Apply(size_t begin, size_t end, uint8_t* keep) const {
+  void Apply(simd::Tier tier, size_t begin, size_t end, uint8_t* keep) const {
     const uint8_t* nulls = col->NullMask();
     // Hash-set membership probes are too costly to run on rows already
     // dropped, so those paths keep the per-row guard; the dictionary path
@@ -405,21 +471,12 @@ struct CompiledSemiJoin {
         return;
       }
       case Encoding::kDictString: {
-        // NULL placeholders store code 0; masking the code verdict with
-        // the null byte keeps the loop free of per-row branches.
-        const uint32_t* codes = col->CodeData();
-        if (nulls == nullptr) {
-          for (size_t i = begin; i < end; ++i) {
-            keep[i] &= code_match[codes[i]];
-          }
-        } else {
-          for (size_t i = begin; i < end; ++i) {
-            const uint8_t nn = static_cast<uint8_t>(nulls[i] != 0);
-            keep[i] &=
-                static_cast<uint8_t>(static_cast<uint8_t>(nn ^ 1) &
-                                     code_match[codes[i]]);
-          }
-        }
+        // NULL placeholders store code 0, and NULL is never a member, so
+        // the shared mask kernel runs with null_match = false.
+        const uint8_t* nsub = nulls != nullptr ? nulls + begin : nullptr;
+        simd::AndMaskCodes(gather_ok ? tier : simd::Tier::kScalar,
+                           col->CodeData() + begin, code_match.data(), nsub,
+                           /*null_match=*/false, keep + begin, end - begin);
         return;
       }
       case Encoding::kDouble: {
@@ -443,6 +500,8 @@ CompiledSemiJoin CompileSemiJoin(const ColumnVector& col,
   cf.keys = sj.keys.get();
   if (col.encoding() == Encoding::kDictString) {
     const rel::StringDictionary& dict = col.dict();
+    cf.gather_ok = dict.size() <= static_cast<size_t>(
+                                      std::numeric_limits<int32_t>::max());
     cf.code_match.resize(dict.size());
     for (uint32_t code = 0; code < dict.size(); ++code) {
       cf.code_match[code] = sj.keys->strings.contains(dict.At(code)) ? 1 : 0;
@@ -453,10 +512,51 @@ CompiledSemiJoin CompileSemiJoin(const ColumnVector& col,
 
 // ---------------------------------------------------- typed join kernels
 
-size_t PowerOfTwoCapacity(size_t n) {
+// Capacity policy for the join/DISTINCT slot tables. The scalar walk
+// inspects one slot per step, so it needs headroom — at most 1/2 load.
+// Group probing scans 16 tags per step and stays cheap in long runs, so
+// vec-mode tables run up to 7/8 load instead: ~45% less slot memory for
+// the same key set, which is the point of carrying the tag array at all.
+// Capacity only affects slot placement, never results or output order,
+// so the two policies stay bit-compatible.
+size_t TableCapacity(size_t n, bool vec) {
   size_t cap = 16;
-  while (cap < 2 * n) cap <<= 1;
+  if (vec) {
+    while (7 * cap < 8 * n) cap <<= 1;
+  } else {
+    while (cap < 2 * n) cap <<= 1;
+  }
   return cap;
+}
+
+// The DISTINCT sets seed their slot tables at this many keys and double
+// on load-factor trips instead of presizing for the offer count: on
+// duplicate-heavy inputs the offer count overstates the key count by
+// orders of magnitude, and a right-sized table keeps the random-probe
+// working set cache-resident. 64K keys ≈ 512KB of slots — about one L2.
+constexpr size_t kDistinctSeedSlots = 64 * 1024;
+
+// How many offers ahead the batched DISTINCT insert loops prefetch their
+// first probe slot. The loops hash a whole batch before probing, so the
+// future slot address is one mask away; prefetching it lets the random
+// first-probe misses overlap instead of serializing on a grown table
+// that no longer fits in cache. Purely a cache hint — results are
+// untouched (a table growth between hint and probe only wastes the hint).
+constexpr size_t kProbePrefetchDist = 16;
+
+// Grow when the next insert could push occupancy past 1/2 (scalar walk)
+// or 7/8 (group probing) — the loads TableCapacity provisions for.
+size_t GrowThreshold(size_t cap, bool vec) {
+  return vec ? cap - cap / 8 : cap / 2;
+}
+
+// For group probing: the bits of `match` at positions strictly before the
+// lowest set bit of `stop` (all bits when stop == 0). Candidates at or
+// past the first empty slot can never hold the probed key — linear
+// probing would have claimed that empty slot first.
+inline uint32_t BitsBeforeFirst(uint32_t match, uint32_t stop) {
+  if (stop == 0) return match;
+  return match & ((stop & (~stop + 1u)) - 1u);
 }
 
 // Open-addressing hash table from Key to an ascending chain of build row
@@ -465,6 +565,17 @@ size_t PowerOfTwoCapacity(size_t n) {
 // is shared across partitions (partitions own disjoint rows), so chain
 // memory is paid once, not per partition. Rows must be inserted in
 // ascending order so chains stay ascending.
+//
+// With `use_vec` the table keeps a parallel 7-bit tag per slot
+// (simd::TagOfHash; 0xff = empty) and probes compare 16 tags per step
+// with one SSE2 compare+movemask instead of touching full slots one at a
+// time. The first 15 tags are mirrored past the end so a group load never
+// wraps. Candidates are examined in exactly the scalar linear-probe
+// order and stop at the first empty slot; group probing stays cheap in
+// long occupied runs, which is what lets vec tables allocate the denser
+// TableCapacity tier. Slot placement differs from a scalar-mode table
+// (capacity differs), but chain order and every lookup result are
+// identical — output never observes the layout.
 template <typename Key>
 struct FlatChainTable {
   std::vector<Key> keys;      // per slot; meaningful when head >= 0
@@ -472,11 +583,13 @@ struct FlatChainTable {
   std::vector<int32_t> head;  // per slot, first build row or -1 (empty)
   std::vector<int32_t> tail;  // per slot, last build row of the chain
   std::vector<uint32_t> count;  // per slot, chain length (match estimates)
+  std::vector<uint8_t> tags;  // per slot + 15 mirror bytes; group probing
   int32_t* next = nullptr;    // shared: per build row, next equal-key row
   uint64_t mask = 0;
+  bool vec = false;
 
-  void Init(size_t rows_in_partition, int32_t* shared_next) {
-    const size_t cap = PowerOfTwoCapacity(rows_in_partition);
+  void Init(size_t rows_in_partition, int32_t* shared_next, bool use_vec) {
+    const size_t cap = TableCapacity(rows_in_partition, use_vec);
     mask = cap - 1;
     keys.resize(cap);
     hash.resize(cap);
@@ -484,25 +597,28 @@ struct FlatChainTable {
     tail.resize(cap);
     count.assign(cap, 0);
     next = shared_next;
+    vec = use_vec;
+    if (vec) tags.assign(cap + simd::kTagGroupWidth - 1, simd::kTagEmpty);
+  }
+
+  void SetTag(size_t pos, uint8_t tag) {
+    tags[pos] = tag;
+    if (pos < simd::kTagGroupWidth - 1) tags[mask + 1 + pos] = tag;
   }
 
   void Insert(const Key& k, uint64_t h, uint32_t row) {
+    if (vec) {
+      InsertVec(k, h, row);
+      return;
+    }
     size_t pos = h & mask;
     for (;;) {
       if (head[pos] < 0) {
-        keys[pos] = k;
-        hash[pos] = static_cast<int64_t>(h);
-        head[pos] = static_cast<int32_t>(row);
-        tail[pos] = static_cast<int32_t>(row);
-        count[pos] = 1;
-        next[row] = -1;
+        Claim(pos, k, h, row);
         return;
       }
       if (hash[pos] == static_cast<int64_t>(h) && keys[pos] == k) {
-        next[tail[pos]] = static_cast<int32_t>(row);
-        tail[pos] = static_cast<int32_t>(row);
-        ++count[pos];
-        next[row] = -1;
+        Append(pos, row);
         return;
       }
       pos = (pos + 1) & mask;
@@ -511,6 +627,10 @@ struct FlatChainTable {
 
   // First build row with key k, or -1.
   int32_t Find(const Key& k, uint64_t h) const {
+    if (vec) {
+      const int64_t slot = FindSlotVec(k, h);
+      return slot < 0 ? -1 : head[slot];
+    }
     size_t pos = h & mask;
     for (;;) {
       if (head[pos] < 0) return -1;
@@ -523,6 +643,10 @@ struct FlatChainTable {
 
   // Number of build rows with key k (0 when absent).
   uint32_t CountFor(const Key& k, uint64_t h) const {
+    if (vec) {
+      const int64_t slot = FindSlotVec(k, h);
+      return slot < 0 ? 0 : count[slot];
+    }
     size_t pos = h & mask;
     for (;;) {
       if (head[pos] < 0) return 0;
@@ -530,6 +654,71 @@ struct FlatChainTable {
         return count[pos];
       }
       pos = (pos + 1) & mask;
+    }
+  }
+
+ private:
+  void Claim(size_t pos, const Key& k, uint64_t h, uint32_t row) {
+    keys[pos] = k;
+    hash[pos] = static_cast<int64_t>(h);
+    head[pos] = static_cast<int32_t>(row);
+    tail[pos] = static_cast<int32_t>(row);
+    count[pos] = 1;
+    next[row] = -1;
+  }
+
+  void Append(size_t pos, uint32_t row) {
+    next[tail[pos]] = static_cast<int32_t>(row);
+    tail[pos] = static_cast<int32_t>(row);
+    ++count[pos];
+    next[row] = -1;
+  }
+
+  void InsertVec(const Key& k, uint64_t h, uint32_t row) {
+    const uint8_t tag = simd::TagOfHash(h);
+    size_t pos = h & mask;
+    for (;;) {
+      const uint8_t* group = tags.data() + pos;
+      const uint32_t empty = simd::TagEmpty16(group);
+      uint32_t match = BitsBeforeFirst(simd::TagMatch16(group, tag), empty);
+      while (match != 0) {
+        const size_t cand =
+            (pos + static_cast<size_t>(std::countr_zero(match))) & mask;
+        if (hash[cand] == static_cast<int64_t>(h) && keys[cand] == k) {
+          Append(cand, row);
+          return;
+        }
+        match &= match - 1;
+      }
+      if (empty != 0) {
+        const size_t slot =
+            (pos + static_cast<size_t>(std::countr_zero(empty))) & mask;
+        Claim(slot, k, h, row);
+        SetTag(slot, tag);
+        return;
+      }
+      pos = (pos + simd::kTagGroupWidth) & mask;
+    }
+  }
+
+  // Slot index of key k, or -1 when the probe hits an empty slot first.
+  int64_t FindSlotVec(const Key& k, uint64_t h) const {
+    const uint8_t tag = simd::TagOfHash(h);
+    size_t pos = h & mask;
+    for (;;) {
+      const uint8_t* group = tags.data() + pos;
+      const uint32_t empty = simd::TagEmpty16(group);
+      uint32_t match = BitsBeforeFirst(simd::TagMatch16(group, tag), empty);
+      while (match != 0) {
+        const size_t cand =
+            (pos + static_cast<size_t>(std::countr_zero(match))) & mask;
+        if (hash[cand] == static_cast<int64_t>(h) && keys[cand] == k) {
+          return static_cast<int64_t>(cand);
+        }
+        match &= match - 1;
+      }
+      if (empty != 0) return -1;
+      pos = (pos + simd::kTagGroupWidth) & mask;
     }
   }
 };
@@ -613,26 +802,105 @@ struct DistinctCol {
 };
 
 // Open-addressing first-occurrence set over row ids with precomputed
-// hashes (no per-insert allocation). Rows must be offered in ascending
-// order; survivors come out in that same order.
+// hashes. Rows must be offered in ascending order; survivors come out in
+// that same order. With `use_vec` probes run over a parallel tag array,
+// 16 slots per step (same results as the scalar walk — see
+// FlatChainTable). The table is sized for the keys seen so far and
+// doubles on load-factor trips, so duplicate-heavy inputs probe a
+// cache-resident table instead of one sized for the full input.
 class FlatDistinctSet {
  public:
   FlatDistinctSet(size_t expected_rows, const std::vector<uint64_t>& hashes,
-                  const RowIdResult& rows, const std::vector<DistinctCol>& cols)
-      : hashes_(hashes), rows_(rows), cols_(cols) {
-    const size_t cap = PowerOfTwoCapacity(expected_rows);
+                  const RowIdResult& rows, const std::vector<DistinctCol>& cols,
+                  bool use_vec)
+      : hashes_(hashes), rows_(rows), cols_(cols), vec_(use_vec) {
+    const size_t cap =
+        TableCapacity(std::min(expected_rows, kDistinctSeedSlots), use_vec);
     mask_ = cap - 1;
+    grow_at_ = GrowThreshold(cap, vec_);
     slots_.assign(cap, kEmptySlot);
+    if (vec_) tags_.assign(cap + simd::kTagGroupWidth - 1, simd::kTagEmpty);
+  }
+
+  // Cache hint for a future Insert(i): pulls the first probe group of
+  // row i's slot walk. See kProbePrefetchDist.
+  void PrefetchSlot(uint32_t i) const {
+    const size_t pos = hashes_[i] & mask_;
+    __builtin_prefetch(slots_.data() + pos);
+    if (vec_) __builtin_prefetch(tags_.data() + pos);
+  }
+
+  // Second pipeline stage (see FusedDistinctSet::WarmProbe): reads the
+  // now-cached slot group and prefetches the candidates' hash and tuple
+  // records, so the real probe's dependent loads land warm. Read-only.
+  void WarmProbe(uint32_t i) const {
+    const uint64_t h = hashes_[i];
+    const size_t pos = h & mask_;
+    const size_t w = rows_.Width();
+    if (!vec_) {
+      const uint32_t r = slots_[pos];
+      if (r != kEmptySlot) {
+        __builtin_prefetch(hashes_.data() + r);
+        __builtin_prefetch(&rows_.tuples[static_cast<size_t>(r) * w]);
+      }
+      return;
+    }
+    const uint8_t* group = tags_.data() + pos;
+    uint32_t match = BitsBeforeFirst(
+        simd::TagMatch16(group, simd::TagOfHash(h)), simd::TagEmpty16(group));
+    while (match != 0) {
+      const size_t cand =
+          (pos + static_cast<size_t>(std::countr_zero(match))) & mask_;
+      const uint32_t r = slots_[cand];
+      // Vec probes verify by tuple compare alone, so only the tuple
+      // line needs warming.
+      if (r != kEmptySlot) {
+        __builtin_prefetch(&rows_.tuples[static_cast<size_t>(r) * w]);
+      }
+      match &= match - 1;
+    }
   }
 
   // True if row i is the first occurrence of its key.
   bool Insert(uint32_t i) {
+    if (size_ >= grow_at_) Grow();
     const uint64_t h = hashes_[i];
+    if (vec_) {
+      const uint8_t tag = simd::TagOfHash(h);
+      size_t pos = h & mask_;
+      for (;;) {
+        const uint8_t* group = tags_.data() + pos;
+        const uint32_t empty = simd::TagEmpty16(group);
+        uint32_t match = BitsBeforeFirst(simd::TagMatch16(group, tag), empty);
+        while (match != 0) {
+          const size_t cand =
+              (pos + static_cast<size_t>(std::countr_zero(match))) & mask_;
+          const uint32_t r = slots_[cand];
+          // Tag-filtered candidates skip the stored-hash pre-check; see
+          // FusedDistinctSet::Insert.
+          if (RowsEqual(r, i)) return false;
+          match &= match - 1;
+        }
+        if (empty != 0) {
+          const size_t slot =
+              (pos + static_cast<size_t>(std::countr_zero(empty))) & mask_;
+          slots_[slot] = i;
+          tags_[slot] = tag;
+          if (slot < simd::kTagGroupWidth - 1) {
+            tags_[mask_ + 1 + slot] = tag;
+          }
+          ++size_;
+          return true;
+        }
+        pos = (pos + simd::kTagGroupWidth) & mask_;
+      }
+    }
     size_t pos = h & mask_;
     for (;;) {
       const uint32_t r = slots_[pos];
       if (r == kEmptySlot) {
         slots_[pos] = i;
+        ++size_;
         return true;
       }
       if (hashes_[r] == h && RowsEqual(r, i)) return false;
@@ -642,6 +910,32 @@ class FlatDistinctSet {
 
  private:
   static constexpr uint32_t kEmptySlot = 0xffffffffu;
+
+  // Doubles the slot table and reinserts the retained rows (distinct
+  // keys, so each lands in its probe sequence's first empty slot — the
+  // slot both probe flavors pick). See FusedDistinctSet::Grow.
+  void Grow() {
+    const size_t cap = 2 * (mask_ + 1);
+    std::vector<uint32_t> old;
+    old.swap(slots_);
+    mask_ = cap - 1;
+    grow_at_ = GrowThreshold(cap, vec_);
+    slots_.assign(cap, kEmptySlot);
+    if (vec_) tags_.assign(cap + simd::kTagGroupWidth - 1, simd::kTagEmpty);
+    for (const uint32_t r : old) {
+      if (r == kEmptySlot) continue;
+      const uint64_t h = hashes_[r];
+      size_t pos = h & mask_;
+      while (slots_[pos] != kEmptySlot) pos = (pos + 1) & mask_;
+      slots_[pos] = r;
+      if (vec_) {
+        tags_[pos] = simd::TagOfHash(h);
+        if (pos < simd::kTagGroupWidth - 1) {
+          tags_[mask_ + 1 + pos] = tags_[pos];
+        }
+      }
+    }
+  }
 
   bool RowsEqual(uint32_t a, uint32_t b) const {
     const size_t w = rows_.Width();
@@ -657,7 +951,11 @@ class FlatDistinctSet {
   const RowIdResult& rows_;
   const std::vector<DistinctCol>& cols_;
   std::vector<uint32_t> slots_;
+  std::vector<uint8_t> tags_;
   uint64_t mask_ = 0;
+  size_t grow_at_ = 0;
+  size_t size_ = 0;
+  bool vec_ = false;
 };
 
 // ------------------------------------------- fused join→DISTINCT kernel
@@ -679,23 +977,30 @@ uint64_t DistinctHash(const std::vector<DistinctCol>& cols,
 // row-id tuple, and only first occurrences are retained — the join's full
 // output is never materialized anywhere. Hashing and equality run on the
 // projected typed base columns exactly like the unfused DISTINCT kernel.
-// The slot table is presized for the exact offer count (survivors can
-// never exceed offers), so Insert carries no load-factor check, and
-// ReserveBatch makes room for one morsel of potential survivors up front
-// so the insert loop writes raw arrays instead of re-checking vector
-// capacity per element.
+// The slot table is sized for the *survivors seen so far*, not the offer
+// count, and doubles on a load-factor trip: on duplicate-heavy joins
+// (the paper's dense co-purchase cliques offer 50x more candidates than
+// keys) an offer-sized table would be a multi-megabyte, ~2%-occupied
+// array probed at random — every lookup a cache miss. Growth relocates
+// slots only; survivor order and results are untouched. ReserveBatch
+// makes room for one morsel of potential survivors up front so the
+// insert loop writes raw arrays instead of re-checking vector capacity
+// per element.
 class FusedDistinctSet {
  public:
   // `expected` is the number of candidates that will be offered (the
-  // range's match count, from the join build's chain lengths) — the same
-  // presize guarantee the unfused DISTINCT gets from its materialized
-  // input's length.
+  // range's match count, from the join build's chain lengths); the slot
+  // table starts at the smaller of that and one growth step past
+  // kDistinctSeedSlots.
   FusedDistinctSet(size_t width, const std::vector<DistinctCol>& cols,
-                   size_t expected)
-      : width_(width), cols_(cols) {
-    const size_t cap = PowerOfTwoCapacity(expected);
+                   size_t expected, bool use_vec)
+      : width_(width), cols_(cols), vec_(use_vec) {
+    const size_t cap =
+        TableCapacity(std::min(expected, kDistinctSeedSlots), use_vec);
     slots_.assign(cap, kEmptySlot);
     mask_ = cap - 1;
+    grow_at_ = GrowThreshold(cap, vec_);
+    if (vec_) tags_.assign(cap + simd::kTagGroupWidth - 1, simd::kTagEmpty);
   }
 
   // Guarantees room for `n` more survivors; call before a batch of at
@@ -714,18 +1019,89 @@ class FusedDistinctSet {
     }
   }
 
+  // Cache hint for a future Insert(·, h): pulls the first probe group
+  // of the hash's slot walk. See kProbePrefetchDist.
+  void PrefetchSlot(uint64_t h) const {
+    const size_t pos = h & mask_;
+    __builtin_prefetch(slots_.data() + pos);
+    if (vec_) __builtin_prefetch(tags_.data() + pos);
+  }
+
+  // Second pipeline stage: by the time this runs the slot group is in
+  // cache (PrefetchSlot ran a distance earlier), so the group can be
+  // read — not just prefetched — and the *candidates'* survivor records
+  // pulled in. Duplicate offers otherwise serialize on that dependent
+  // hash/tuple load, which is the dominant miss on low-duplication
+  // streams once the survivor arrays outgrow the cache. Read-only: the
+  // real Insert re-probes from scratch, so a stale view (intervening
+  // inserts or growth) only weakens the hint.
+  void WarmProbe(uint64_t h) const {
+    const size_t pos = h & mask_;
+    if (!vec_) {
+      const uint32_t s = slots_[pos];
+      if (s != kEmptySlot) {
+        __builtin_prefetch(hashes_.get() + s);
+        __builtin_prefetch(tuples_.get() + static_cast<size_t>(s) * width_);
+      }
+      return;
+    }
+    const uint8_t* group = tags_.data() + pos;
+    uint32_t match = BitsBeforeFirst(
+        simd::TagMatch16(group, simd::TagOfHash(h)), simd::TagEmpty16(group));
+    while (match != 0) {
+      const size_t cand =
+          (pos + static_cast<size_t>(std::countr_zero(match))) & mask_;
+      const uint32_t s = slots_[cand];
+      // Vec probes verify by tuple compare alone, so only the tuple
+      // line needs warming.
+      if (s != kEmptySlot) {
+        __builtin_prefetch(tuples_.get() + static_cast<size_t>(s) * width_);
+      }
+      match &= match - 1;
+    }
+  }
+
   // True if the candidate's projected key is unseen; the tuple is then
   // retained (survivors keep their offer order). Requires ReserveBatch.
   bool Insert(const uint32_t* tup, uint64_t h) {
+    if (size_ >= grow_at_) Grow();
+    if (vec_) {
+      const uint8_t tag = simd::TagOfHash(h);
+      size_t pos = h & mask_;
+      for (;;) {
+        const uint8_t* group = tags_.data() + pos;
+        const uint32_t empty = simd::TagEmpty16(group);
+        uint32_t match = BitsBeforeFirst(simd::TagMatch16(group, tag), empty);
+        while (match != 0) {
+          const size_t cand =
+              (pos + static_cast<size_t>(std::countr_zero(match))) & mask_;
+          const uint32_t s = slots_[cand];
+          // No stored-hash pre-check here: the 7-bit tag already filtered
+          // to ~1% false candidates, Equal alone decides, and skipping
+          // hashes_[s] saves a dependent cache line per duplicate offer.
+          if (Equal(tuples_.get() + static_cast<size_t>(s) * width_, tup)) {
+            return false;
+          }
+          match &= match - 1;
+        }
+        if (empty != 0) {
+          const size_t slot =
+              (pos + static_cast<size_t>(std::countr_zero(empty))) & mask_;
+          Retain(slot, tup, h);
+          tags_[slot] = tag;
+          if (slot < simd::kTagGroupWidth - 1) {
+            tags_[mask_ + 1 + slot] = tag;
+          }
+          return true;
+        }
+        pos = (pos + simd::kTagGroupWidth) & mask_;
+      }
+    }
     size_t pos = h & mask_;
     for (;;) {
       const uint32_t s = slots_[pos];
       if (s == kEmptySlot) {
-        slots_[pos] = static_cast<uint32_t>(size_);
-        uint32_t* dst = tuples_.get() + size_ * width_;
-        for (size_t j = 0; j < width_; ++j) dst[j] = tup[j];
-        hashes_[size_] = h;
-        ++size_;
+        Retain(pos, tup, h);
         return true;
       }
       if (hashes_[s] == h &&
@@ -744,6 +1120,40 @@ class FusedDistinctSet {
  private:
   static constexpr uint32_t kEmptySlot = 0xffffffffu;
 
+  void Retain(size_t slot, const uint32_t* tup, uint64_t h) {
+    slots_[slot] = static_cast<uint32_t>(size_);
+    uint32_t* dst = tuples_.get() + size_ * width_;
+    for (size_t j = 0; j < width_; ++j) dst[j] = tup[j];
+    hashes_[size_] = h;
+    ++size_;
+  }
+
+  // Doubles the slot table and reinserts the survivors. Survivors are
+  // pairwise distinct, so each lands in the first empty slot of its
+  // probe sequence — the same slot both the scalar walk and the group
+  // scan would pick (the group scan takes the lowest empty lane, which
+  // is the linear-first empty). Final capacity never exceeds
+  // TableCapacity(offers) — what the presized table used to allocate.
+  void Grow() {
+    const size_t cap = 2 * (mask_ + 1);
+    mask_ = cap - 1;
+    grow_at_ = GrowThreshold(cap, vec_);
+    slots_.assign(cap, kEmptySlot);
+    if (vec_) tags_.assign(cap + simd::kTagGroupWidth - 1, simd::kTagEmpty);
+    for (size_t i = 0; i < size_; ++i) {
+      const uint64_t h = hashes_[i];
+      size_t pos = h & mask_;
+      while (slots_[pos] != kEmptySlot) pos = (pos + 1) & mask_;
+      slots_[pos] = static_cast<uint32_t>(i);
+      if (vec_) {
+        tags_[pos] = simd::TagOfHash(h);
+        if (pos < simd::kTagGroupWidth - 1) {
+          tags_[mask_ + 1 + pos] = tags_[pos];
+        }
+      }
+    }
+  }
+
   bool Equal(const uint32_t* a, const uint32_t* b) const {
     for (const DistinctCol& c : cols_) {
       if (!c.Equal(a[c.slot], b[c.slot])) return false;
@@ -754,7 +1164,10 @@ class FusedDistinctSet {
   size_t width_;
   const std::vector<DistinctCol>& cols_;
   std::vector<uint32_t> slots_;
+  std::vector<uint8_t> tags_;
   uint64_t mask_ = 0;
+  size_t grow_at_ = 0;
+  bool vec_ = false;
   size_t size_ = 0;
   size_t cap_ = 0;
   std::unique_ptr<uint32_t[]> tuples_;  // survivor tuples, width_ ids each
@@ -830,12 +1243,14 @@ JoinBuild<Key> BuildJoinTables(size_t bn, size_t threads, HashFn hash,
       if (jb.bnull[i] == 0) ++partition_rows[jb.bhash[i] % jb.partitions];
     }
   }
-  // Per-slot: key + cached hash + head + tail + count.
-  constexpr size_t kSlotBytes =
-      sizeof(Key) + sizeof(int64_t) + 2 * sizeof(int32_t) + sizeof(uint32_t);
+  // Per-slot: key + cached hash + head + tail + count + probe tag.
+  constexpr size_t kSlotBytes = sizeof(Key) + sizeof(int64_t) +
+                                2 * sizeof(int32_t) + sizeof(uint32_t) +
+                                sizeof(uint8_t);
+  const bool vec = simd::ActiveTier() == simd::Tier::kAvx2;
   size_t table_bytes = 0;
   for (size_t rows : partition_rows) {
-    table_bytes += PowerOfTwoCapacity(rows) * kSlotBytes;
+    table_bytes += TableCapacity(rows, vec) * kSlotBytes;
   }
   if (Status st = ctx.Charge(table_bytes, "hash-join slot tables");
       !st.ok()) {
@@ -848,7 +1263,7 @@ JoinBuild<Key> BuildJoinTables(size_t bn, size_t threads, HashFn hash,
   ParallelInvoke(jb.partitions, [&](size_t p) {
     if (slot.Failed()) return;
     FlatChainTable<Key>& ht = jb.tables[p];
-    ht.Init(partition_rows[p], jb.chain_next.data());
+    ht.Init(partition_rows[p], jb.chain_next.data(), vec);
     StridedRun(ctx, slot, poll, 0, bn, [&](size_t b, size_t e) {
       for (size_t i = b; i < e; ++i) {
         if (jb.bnull[i] != 0 || jb.bhash[i] % jb.partitions != p) continue;
@@ -875,12 +1290,14 @@ size_t CountJoinRange(const JoinBuild<Key>& jb, IndexRange range, HashFn hash,
 }
 
 // Materializes one probe range's matches as concatenated (left, right)
-// row-id tuples in serial probe order.
+// row-id tuples in serial probe order, writing through a raw cursor into
+// storage the caller presized from the range's exact match count —
+// no per-match vector bookkeeping. Returns the advanced cursor.
 template <typename Key, typename HashFn, typename ProbeKeyFn>
-void EmitJoinRange(const JoinBuild<Key>& jb, IndexRange range, HashFn hash,
-                   ProbeKeyFn pkey, const RowIdResult& build,
-                   const RowIdResult& probe, bool build_left, size_t lw,
-                   size_t rw, std::vector<uint32_t>& buf) {
+uint32_t* EmitJoinRange(const JoinBuild<Key>& jb, IndexRange range, HashFn hash,
+                        ProbeKeyFn pkey, const RowIdResult& build,
+                        const RowIdResult& probe, bool build_left, size_t lw,
+                        size_t rw, uint32_t* out) {
   const size_t bw = build_left ? lw : rw;
   const size_t pw = build_left ? rw : lw;
   for (size_t pr = range.begin; pr < range.end; ++pr) {
@@ -895,10 +1312,12 @@ void EmitJoinRange(const JoinBuild<Key>& jb, IndexRange range, HashFn hash,
       const uint32_t* btup = &build.tuples[static_cast<size_t>(bi) * bw];
       const uint32_t* ltup = build_left ? btup : ptup;
       const uint32_t* rtup = build_left ? ptup : btup;
-      buf.insert(buf.end(), ltup, ltup + lw);
-      buf.insert(buf.end(), rtup, rtup + rw);
+      for (size_t j = 0; j < lw; ++j) out[j] = ltup[j];
+      for (size_t j = 0; j < rw; ++j) out[lw + j] = rtup[j];
+      out += lw + rw;
     }
   }
+  return out;
 }
 
 // One probe range of the fused join→DISTINCT pipeline: walks the range's
@@ -918,8 +1337,71 @@ void FuseJoinRange(const JoinBuild<Key>& jb, IndexRange range, HashFn hash,
   const size_t bw = build_left ? lw : rw;
   const size_t pw = build_left ? rw : lw;
   std::vector<uint32_t> morsel;
-  morsel.reserve(2 * kFusedMorselRows * w);
   std::vector<uint64_t> mhashes(2 * kFusedMorselRows);
+
+  if (lw == 1 && rw == 1) {
+    // Dominant shape — scan⋈scan edge queries emit (left id, right id)
+    // pairs. The chain walk writes raw indexed slots into a fixed
+    // buffer instead of paying two vector inserts per match; the buffer
+    // flushes when full, mid-chain included (survivor selection depends
+    // only on offer order, which flush boundaries never change).
+    morsel.resize(4 * kFusedMorselRows);
+    uint32_t* buf = morsel.data();
+    const size_t cap = morsel.size();
+    const uint32_t* btups = build.tuples.data();
+    const uint32_t* ptups = probe.tuples.data();
+    size_t fill = 0;
+    auto flush2 = [&] {
+      const size_t m = fill / 2;
+      for (size_t i = 0; i < m; ++i) {
+        mhashes[i] = DistinctHash(cols, buf + i * 2);
+      }
+      local.ReserveBatch(m);
+      for (size_t i = 0; i < m; ++i) {
+        if (i + 2 * kProbePrefetchDist < m) {
+          local.PrefetchSlot(mhashes[i + 2 * kProbePrefetchDist]);
+        }
+        if (i + kProbePrefetchDist < m) {
+          local.WarmProbe(mhashes[i + kProbePrefetchDist]);
+        }
+        local.Insert(buf + i * 2, mhashes[i]);
+      }
+      fill = 0;
+    };
+    size_t tick = kCancelStrideRows;
+    for (size_t pr = range.begin; pr < range.end; ++pr) {
+      if (poll && --tick == 0) {
+        tick = kCancelStrideRows;
+        if (!slot.Continue(ctx)) return;
+      }
+      Key k{};
+      if (!pkey(pr, &k)) continue;
+      const uint64_t h = hash(k);
+      const FlatChainTable<Key>& ht = jb.tables[h % jb.partitions];
+      int32_t bi = ht.Find(k, h);
+      if (bi < 0) continue;
+      const uint32_t p = ptups[pr];
+      if (build_left) {
+        for (; bi >= 0; bi = ht.next[bi]) {
+          if (fill == cap) flush2();
+          buf[fill] = btups[bi];
+          buf[fill + 1] = p;
+          fill += 2;
+        }
+      } else {
+        for (; bi >= 0; bi = ht.next[bi]) {
+          if (fill == cap) flush2();
+          buf[fill] = p;
+          buf[fill + 1] = btups[bi];
+          fill += 2;
+        }
+      }
+    }
+    flush2();
+    return;
+  }
+
+  morsel.reserve(2 * kFusedMorselRows * w);
   auto flush = [&] {
     const size_t m = morsel.size() / w;
     if (mhashes.size() < m) mhashes.resize(m);
@@ -928,6 +1410,12 @@ void FuseJoinRange(const JoinBuild<Key>& jb, IndexRange range, HashFn hash,
     }
     local.ReserveBatch(m);
     for (size_t i = 0; i < m; ++i) {
+      if (i + 2 * kProbePrefetchDist < m) {
+        local.PrefetchSlot(mhashes[i + 2 * kProbePrefetchDist]);
+      }
+      if (i + kProbePrefetchDist < m) {
+        local.WarmProbe(mhashes[i + kProbePrefetchDist]);
+      }
       local.Insert(&morsel[i * w], mhashes[i]);
     }
     morsel.clear();
@@ -1010,36 +1498,43 @@ std::vector<uint32_t> PartitionedJoin(const RowIdResult& left,
   if (slot.Failed()) return {};
   FillJoinProfInfo(jb, build.NumRows(), info);
 
-  // Probe in contiguous ranges; each range emits matches in probe-row
-  // order into its own buffer and buffers concatenate in range order.
+  // Probe in contiguous ranges. A counting pre-pass over the probe rows
+  // (cached chain lengths, no chain walking) gives each range its exact
+  // match count, so the emit pass writes matches straight into the final
+  // tuple vector at per-range offsets — no per-range buffers, no
+  // concatenation copy over the full output, and the operator's memory
+  // peak is the output itself rather than twice it.
   const size_t probe_ways =
       (threads > 1 && pn >= kParallelProbeThreshold) ? threads : 1;
   const bool poll = NeedsPoll(ctx);
   std::vector<IndexRange> ranges = EqualRanges(pn, probe_ways);
-  std::vector<std::vector<uint32_t>> parts(ranges.size());
+  std::vector<size_t> counts(ranges.size(), 0);
   ParallelInvoke(ranges.size(), [&](size_t t) {
-    StridedRun(ctx, slot, poll, ranges[t].begin, ranges[t].end,
-               [&](size_t b, size_t e) {
-                 EmitJoinRange(jb, {b, e}, hash, pkey, build, probe,
-                               build_left, lw, rw, parts[t]);
-               });
+    counts[t] = CountJoinRange(jb, ranges[t], hash, pkey);
   });
-  if (slot.Failed()) return {};
+  const size_t w = lw + rw;
   size_t total = 0;
-  for (const auto& buf : parts) total += buf.size();
-  // The output tuple vector momentarily doubles the matches (per-range
-  // buffers + concatenation); charge the concatenated copy — it is the
-  // piece that survives the operator.
+  for (size_t c : counts) total += c * w;
   if (Status st = ctx.Charge(total * sizeof(uint32_t), "join output tuples");
       !st.ok()) {
     slot.Fail(std::move(st));
     return {};
   }
-  std::vector<uint32_t> tuples;
-  tuples.reserve(total);
-  for (auto& buf : parts) {
-    tuples.insert(tuples.end(), buf.begin(), buf.end());
+  std::vector<uint32_t> tuples(total);
+  std::vector<size_t> offsets(ranges.size(), 0);
+  for (size_t t = 0, off = 0; t < ranges.size(); ++t) {
+    offsets[t] = off;
+    off += counts[t] * w;
   }
+  ParallelInvoke(ranges.size(), [&](size_t t) {
+    uint32_t* out = tuples.data() + offsets[t];
+    StridedRun(ctx, slot, poll, ranges[t].begin, ranges[t].end,
+               [&](size_t b, size_t e) {
+                 out = EmitJoinRange(jb, {b, e}, hash, pkey, build, probe,
+                                     build_left, lw, rw, out);
+               });
+  });
+  if (slot.Failed()) return {};
   return tuples;
 }
 
@@ -1058,7 +1553,7 @@ struct KeyTag {
 template <typename Run>
 bool WithTypedJoinKeys(const RowIdResult& build, const RowIdResult& probe,
                        const BoundColumn& bcol, const BoundColumn& pcol,
-                       Run run) {
+                       const ExecContext& ctx, AbortSlot& slot, Run run) {
   const Encoding be = bcol.col->encoding();
   const Encoding pe = pcol.col->encoding();
   const bool impossible = be == Encoding::kEmpty || pe == Encoding::kEmpty ||
@@ -1110,36 +1605,95 @@ bool WithTypedJoinKeys(const RowIdResult& build, const RowIdResult& probe,
     // Dictionary kernel: join on build-side codes. Both dictionaries are
     // deduplicated, so "strings equal" <=> "codes equal after translating
     // probe codes into the build dictionary" — one string lookup per
-    // distinct probe value, zero per row.
+    // distinct probe value, zero per row. The probe side is translated in
+    // one batched pass up front (simd::TranslateCodes chains the
+    // tuple→row-id→code→build-code gathers 8 lanes at a time), so the
+    // count and emit passes both read a flat int32 array instead of
+    // re-deriving keys per probe row per pass.
     const ColumnVector& bc = *bcol.col;
     const ColumnVector& pc = *pcol.col;
     const rel::StringDictionary& bd = bc.dict();
     const rel::StringDictionary& pd = pc.dict();
     const bool same_dict = &bd == &pd;
-    std::vector<int64_t> trans;
-    if (!same_dict) {
-      trans.resize(pd.size());
+    auto bkey = [&](size_t i, uint32_t* k) {
+      const size_t id = build.RowId(bcol, i);
+      if (bc.IsNull(id)) return false;
+      *k = bc.CodeAt(id);
+      return true;
+    };
+    constexpr size_t kMaxCode =
+        static_cast<size_t>(std::numeric_limits<int32_t>::max());
+    if (bd.size() > kMaxCode || pd.size() > kMaxCode) {
+      // Codes beyond int32 cannot ride the batched path; keep the
+      // per-row translation (practically unreachable).
+      std::vector<int64_t> trans;
+      if (!same_dict) {
+        trans.resize(pd.size());
+        for (uint32_t code = 0; code < pd.size(); ++code) {
+          std::optional<uint32_t> t = bd.Find(pd.At(code));
+          trans[code] = t.has_value() ? static_cast<int64_t>(*t) : -1;
+        }
+      }
+      run(KeyTag<uint32_t>{}, [](uint32_t k) { return MixInt64(k); }, bkey,
+          [&](size_t i, uint32_t* k) {
+            const size_t id = probe.RowId(pcol, i);
+            if (pc.IsNull(id)) return false;
+            const uint32_t code = pc.CodeAt(id);
+            if (same_dict) {
+              *k = code;
+              return true;
+            }
+            const int64_t t = trans[code];
+            if (t < 0) return false;
+            *k = static_cast<uint32_t>(t);
+            return true;
+          });
+      return true;
+    }
+    const size_t pn = probe.NumRows();
+    ScopedCharge trans_charge;
+    if (Status st = trans_charge.Acquire(
+            ctx, pd.size() * sizeof(int32_t) + pn * sizeof(int32_t),
+            "join probe-code translation");
+        !st.ok()) {
+      slot.Fail(std::move(st));
+      return true;
+    }
+    std::vector<int32_t> trans(pd.size());
+    if (same_dict) {
+      for (uint32_t code = 0; code < pd.size(); ++code) {
+        trans[code] = static_cast<int32_t>(code);
+      }
+    } else {
       for (uint32_t code = 0; code < pd.size(); ++code) {
         std::optional<uint32_t> t = bd.Find(pd.At(code));
-        trans[code] = t.has_value() ? static_cast<int64_t>(*t) : -1;
+        trans[code] = t.has_value() ? static_cast<int32_t>(*t) : -1;
       }
     }
-    run(KeyTag<uint32_t>{}, [](uint32_t k) { return MixInt64(k); },
-        [&](size_t i, uint32_t* k) {
-          const size_t id = build.RowId(bcol, i);
-          if (bc.IsNull(id)) return false;
-          *k = bc.CodeAt(id);
-          return true;
-        },
-        [&](size_t i, uint32_t* k) {
-          const size_t id = probe.RowId(pcol, i);
-          if (pc.IsNull(id)) return false;
-          const uint32_t code = pc.CodeAt(id);
-          if (same_dict) {
-            *k = code;
-            return true;
-          }
-          const int64_t t = trans[code];
+    // pkeys[i] = build-dictionary code of probe row i, or -1 (NULL or
+    // absent from the build dictionary — joins nothing either way).
+    std::vector<int32_t> pkeys(pn);
+    const simd::Tier tier = simd::ActiveTier();
+    const size_t stride = probe.Width();
+    const uint32_t* tuples = probe.tuples.data();
+    const uint32_t* codes = pc.CodeData();
+    const uint8_t* nulls = pc.NullMask();
+    const size_t max_row = pc.size();
+    bool vec_used = false;
+    const bool poll = NeedsPoll(ctx);
+    StridedRun(ctx, slot, poll, 0, pn, [&](size_t b, size_t e) {
+      vec_used |= simd::TranslateCodes(tier, tuples + b * stride, stride,
+                                       pcol.slot, codes, trans.data(), nulls,
+                                       max_row, pkeys.data() + b, e - b);
+    });
+    if (slot.Failed()) return true;
+    (vec_used ? Metrics().simd_translate_vector
+              : Metrics().simd_translate_scalar)
+        ->Add(1);
+    const int32_t* pk = pkeys.data();
+    run(KeyTag<uint32_t>{}, [](uint32_t k) { return MixInt64(k); }, bkey,
+        [pk](size_t i, uint32_t* k) {
+          const int32_t t = pk[i];
           if (t < 0) return false;
           *k = static_cast<uint32_t>(t);
           return true;
@@ -1299,20 +1853,24 @@ Result<RowIdResult> Executor::ScanColumnar(const ScanNode& node,
           ? options_.threads
           : 1;
   const bool poll = NeedsPoll(options_.ctx);
+  const simd::Tier tier = simd::ActiveTier();
   AbortSlot slot;
   ParallelForRanges(EqualRanges(n, ways), [&](size_t begin, size_t end) {
     for (size_t mb = begin; mb < end; mb += kScanMorselRows) {
       if (poll && !slot.Continue(options_.ctx)) return;
       const size_t me = std::min(end, mb + kScanMorselRows);
       for (const CompiledPredicate& cp : preds) {
-        cp.Apply(mb, me, keep.data());
+        cp.Apply(tier, mb, me, keep.data());
       }
       for (const CompiledSemiJoin& cf : filters) {
-        cf.Apply(mb, me, keep.data());
+        cf.Apply(tier, mb, me, keep.data());
       }
     }
   });
   GRAPHGEN_RETURN_NOT_OK(slot.Take());
+  (tier == simd::Tier::kAvx2 ? Metrics().simd_scan_vector
+                             : Metrics().simd_scan_scalar)
+      ->Add(1);
   GRAPHGEN_RETURN_NOT_OK(
       options_.ctx.Charge(n * sizeof(uint32_t), "scan selection vector"));
   out.tuples.reserve(n);
@@ -1327,6 +1885,7 @@ Result<RowIdResult> Executor::ScanColumnar(const ScanNode& node,
     prof->AddStat("semi_joins", static_cast<double>(node.semi_joins().size()));
     prof->AddStat("morsels", static_cast<double>(
         (n + kScanMorselRows - 1) / kScanMorselRows));
+    prof->AddNote("simd", simd::TierName());
   }
   return out;
 }
@@ -1402,7 +1961,7 @@ Result<RowIdResult> Executor::JoinColumnar(const HashJoinNode& node,
   JoinProfInfo info;
   AbortSlot slot;
   WithTypedJoinKeys(
-      build, probe, bcol, pcol,
+      build, probe, bcol, pcol, options_.ctx, slot,
       [&](auto tag, auto hash, auto bkey, auto pkey) {
         using Key = typename decltype(tag)::type;
         out.tuples = PartitionedJoin<Key>(left, right, sides.build_left,
@@ -1415,6 +1974,9 @@ Result<RowIdResult> Executor::JoinColumnar(const HashJoinNode& node,
   Metrics().join_build_rows->Add(build.NumRows());
   Metrics().join_probe_rows->Add(probe.NumRows());
   Metrics().join_matches->Add(matches);
+  (simd::ActiveTier() == simd::Tier::kAvx2 ? Metrics().simd_probe_vector
+                                           : Metrics().simd_probe_scalar)
+      ->Add(1);
   if (prof != nullptr) {
     prof->rows = static_cast<int64_t>(matches);
     prof->AddStat("build_rows", static_cast<double>(build.NumRows()));
@@ -1425,6 +1987,7 @@ Result<RowIdResult> Executor::JoinColumnar(const HashJoinNode& node,
                                        static_cast<double>(info.capacity));
     }
     prof->AddNote("build_side", sides.build_left ? "left" : "right");
+    prof->AddNote("simd", simd::TierName());
   }
   return out;
 }
@@ -1477,8 +2040,9 @@ Result<RowIdResult> Executor::JoinDistinctColumnar(
   JoinProfInfo info;
   AbortSlot slot;
   const bool poll = NeedsPoll(options_.ctx);
-  WithTypedJoinKeys(build, probe, bcol, pcol, [&](auto tag, auto hash,
-                                                  auto bkey, auto pkey) {
+  const bool vec_tier = simd::ActiveTier() == simd::Tier::kAvx2;
+  WithTypedJoinKeys(build, probe, bcol, pcol, options_.ctx, slot,
+                    [&](auto tag, auto hash, auto bkey, auto pkey) {
     using Key = typename decltype(tag)::type;
     JoinBuild<Key> jb = BuildJoinTables<Key>(build.NumRows(), threads, hash,
                                              bkey, options_.ctx, slot);
@@ -1514,31 +2078,31 @@ Result<RowIdResult> Executor::JoinDistinctColumnar(
     fused = total_matches * w * sizeof(uint32_t) >=
             std::max<size_t>(options_.fuse_min_output_bytes, 1);
     if (!fused) {
-      // Materializing branch: per-range buffers plus the concatenated
-      // copy peak at 2x the exact output size; charge both up front.
+      // Materializing branch: the exact per-range counts place every
+      // range's matches directly into the final tuple vector, so the
+      // peak is the output itself — no per-range buffers, no
+      // concatenation pass.
       if (Status st = options_.ctx.Charge(
-              2 * total_matches * w * sizeof(uint32_t),
+              total_matches * w * sizeof(uint32_t),
               "materialized join output");
           !st.ok()) {
         slot.Fail(std::move(st));
         return;
       }
-      std::vector<std::vector<uint32_t>> parts(ranges.size());
+      joined.tuples.resize(total_matches * w);
+      std::vector<size_t> offsets(ranges.size(), 0);
+      for (size_t t = 0, off = 0; t < ranges.size(); ++t) {
+        offsets[t] = off;
+        off += expected[t] * w;
+      }
       ParallelInvoke(ranges.size(), [&](size_t t) {
-        parts[t].reserve(expected[t] * w);
+        uint32_t* out = joined.tuples.data() + offsets[t];
         StridedRun(options_.ctx, slot, poll, ranges[t].begin, ranges[t].end,
                    [&](size_t b, size_t e) {
-                     EmitJoinRange(jb, {b, e}, hash, pkey, build, probe,
-                                   build_left, lw, rw, parts[t]);
+                     out = EmitJoinRange(jb, {b, e}, hash, pkey, build, probe,
+                                         build_left, lw, rw, out);
                    });
       });
-      if (slot.Failed()) return;
-      size_t total = 0;
-      for (const auto& buf : parts) total += buf.size();
-      joined.tuples.reserve(total);
-      for (auto& buf : parts) {
-        joined.tuples.insert(joined.tuples.end(), buf.begin(), buf.end());
-      }
       return;
     }
 
@@ -1552,16 +2116,19 @@ Result<RowIdResult> Executor::JoinDistinctColumnar(
     // never rehashes.
     std::vector<std::unique_ptr<FusedDistinctSet>> locals(ranges.size());
     ParallelInvoke(ranges.size(), [&](size_t t) {
-      // Worst case every offer survives: slot table + tuple/hash storage.
+      // Worst case every offer survives: slot table (+ probe tags) +
+      // tuple/hash storage.
       const size_t set_bytes =
-          PowerOfTwoCapacity(expected[t]) * sizeof(uint32_t) +
+          TableCapacity(expected[t], vec_tier) *
+              (sizeof(uint32_t) + sizeof(uint8_t)) +
           expected[t] * (w * sizeof(uint32_t) + sizeof(uint64_t));
       if (Status st = options_.ctx.Charge(set_bytes, "fused DISTINCT set");
           !st.ok()) {
         slot.Fail(std::move(st));
         return;
       }
-      locals[t] = std::make_unique<FusedDistinctSet>(w, cols, expected[t]);
+      locals[t] =
+          std::make_unique<FusedDistinctSet>(w, cols, expected[t], vec_tier);
       FuseJoinRange(jb, ranges[t], hash, pkey, build, probe, build_left, lw,
                     rw, cols, *locals[t], options_.ctx, slot, poll);
     });
@@ -1576,24 +2143,93 @@ Result<RowIdResult> Executor::JoinDistinctColumnar(
     // order, so merging ranges in index order keeps exactly the
     // globally-first occurrence of every key, in the serial join's
     // emission order — bit-identical to the unfused operator chain.
-    size_t total = 0;
-    for (const auto& local : locals) total += local->size();
-    FusedDistinctSet global(w, cols, total);
-    for (const auto& local : locals) {
-      const uint32_t* lt = local->tuples();
-      const uint64_t* lh = local->hashes();
-      global.ReserveBatch(local->size());
-      for (size_t i = 0; i < local->size(); ++i) {
-        global.Insert(lt + i * w, lh[i]);
-      }
+    std::vector<size_t> bases(locals.size() + 1, 0);
+    for (size_t r = 0; r < locals.size(); ++r) {
+      bases[r + 1] = bases[r] + locals[r]->size();
     }
-    out.tuples.assign(global.tuples(), global.tuples() + global.size() * w);
+    const size_t offered = bases.back();
+    const size_t merge_ways =
+        (threads > 1 && offered >= kParallelDistinctThreshold)
+            ? std::min(threads, kMaxPartitions)
+            : 1;
+    if (merge_ways == 1) {
+      FusedDistinctSet global(w, cols, offered, vec_tier);
+      for (const auto& local : locals) {
+        const uint32_t* lt = local->tuples();
+        const uint64_t* lh = local->hashes();
+        global.ReserveBatch(local->size());
+        const size_t ln = local->size();
+        for (size_t i = 0; i < ln; ++i) {
+          if (i + 2 * kProbePrefetchDist < ln) {
+            global.PrefetchSlot(lh[i + 2 * kProbePrefetchDist]);
+          }
+          if (i + kProbePrefetchDist < ln) {
+            global.WarmProbe(lh[i + kProbePrefetchDist]);
+          }
+          global.Insert(lt + i * w, lh[i]);
+        }
+      }
+      out.tuples.assign(global.tuples(),
+                        global.tuples() + global.size() * w);
+      return;
+    }
+    // Low-duplication joins leave most offers alive in every range, so
+    // the concatenated survivor stream can approach the original match
+    // count and a serial re-insert walk becomes the pipeline's wall.
+    // Keys land in exactly one hash partition, so each partition worker
+    // replays the whole stream for its keys independently; a bitmap over
+    // stream ordinals records who survived, and prefix popcount ranks
+    // place every survivor at its serial output position — the same
+    // tuples in the same order as the serial merge.
+    std::vector<uint64_t> bits((offered + 63) / 64, 0);
+    ParallelInvoke(merge_ways, [&](size_t p) {
+      FusedDistinctSet part(w, cols, offered / merge_ways + 1, vec_tier);
+      for (size_t r = 0; r < locals.size(); ++r) {
+        const uint32_t* lt = locals[r]->tuples();
+        const uint64_t* lh = locals[r]->hashes();
+        const size_t ln = locals[r]->size();
+        for (size_t i = 0; i < ln; ++i) {
+          if (lh[i] % merge_ways != p) continue;
+          const size_t f = i + kProbePrefetchDist;
+          if (f < ln && lh[f] % merge_ways == p) part.PrefetchSlot(lh[f]);
+          part.ReserveBatch(1);
+          if (part.Insert(lt + i * w, lh[i])) {
+            const size_t o = bases[r] + i;
+            std::atomic_ref<uint64_t>(bits[o >> 6])
+                .fetch_or(uint64_t{1} << (o & 63),
+                          std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+    std::vector<size_t> rank(bits.size() + 1, 0);
+    for (size_t i = 0; i < bits.size(); ++i) {
+      rank[i + 1] = rank[i] + static_cast<size_t>(std::popcount(bits[i]));
+    }
+    out.tuples.resize(rank.back() * w);
+    ParallelInvoke(locals.size(), [&](size_t r) {
+      const uint32_t* lt = locals[r]->tuples();
+      const size_t ln = locals[r]->size();
+      for (size_t i = 0; i < ln; ++i) {
+        const size_t o = bases[r] + i;
+        const uint64_t word = bits[o >> 6];
+        if ((word & (uint64_t{1} << (o & 63))) == 0) continue;
+        const size_t pos =
+            rank[o >> 6] +
+            static_cast<size_t>(
+                std::popcount(word & ((uint64_t{1} << (o & 63)) - 1)));
+        uint32_t* dst = out.tuples.data() + pos * w;
+        for (size_t j = 0; j < w; ++j) dst[j] = lt[i * w + j];
+      }
+    });
   });
   GRAPHGEN_RETURN_NOT_OK(slot.Take());
   Metrics().join_build_rows->Add(build.NumRows());
   Metrics().join_probe_rows->Add(probe.NumRows());
   Metrics().join_matches->Add(matches);
   (fused ? Metrics().fused_pipelines : Metrics().unfused_pipelines)->Add(1);
+  (vec_tier ? Metrics().simd_probe_vector : Metrics().simd_probe_scalar)
+      ->Add(1);
   if (prof != nullptr) {
     prof->AddStat("build_rows", static_cast<double>(build.NumRows()));
     prof->AddStat("probe_rows", static_cast<double>(probe.NumRows()));
@@ -1606,6 +2242,7 @@ Result<RowIdResult> Executor::JoinDistinctColumnar(
     prof->AddStat("est_join_bytes",
                   static_cast<double>(matches * w * sizeof(uint32_t)));
     prof->AddNote("fused", fused ? "yes" : "no");
+    prof->AddNote("simd", simd::TierName());
   }
   if (!fused) {
     // Below the fusion threshold (or an impossible key pairing): the
@@ -1674,10 +2311,12 @@ Result<RowIdResult> Executor::ProjectFromChild(const ProjectNode& node,
   // Hash array + first-occurrence slot tables are DISTINCT scratch,
   // refunded when the operator returns; the poll stride keeps an armed
   // deadline responsive even on a single huge partition.
+  const bool vec_tier = simd::ActiveTier() == simd::Tier::kAvx2;
   ScopedCharge scratch;
   GRAPHGEN_RETURN_NOT_OK(scratch.Acquire(
       options_.ctx,
-      n * sizeof(uint64_t) + PowerOfTwoCapacity(n) * sizeof(uint32_t),
+      n * sizeof(uint64_t) +
+          TableCapacity(n, vec_tier) * (sizeof(uint32_t) + sizeof(uint8_t)),
       "DISTINCT hash scratch"));
   const bool poll = NeedsPoll(options_.ctx);
   AbortSlot slot;
@@ -1703,13 +2342,19 @@ Result<RowIdResult> Executor::ProjectFromChild(const ProjectNode& node,
           ? std::min(options_.threads, kMaxPartitions)
           : 1;
   if (partitions == 1) {
-    FlatDistinctSet seen(n, hashes, child, cols);
+    FlatDistinctSet seen(n, hashes, child, cols, vec_tier);
     survivors.reserve(n);
     size_t tick = kCancelStrideRows;
     for (size_t i = 0; i < n; ++i) {
       if (poll && --tick == 0) {
         tick = kCancelStrideRows;
         GRAPHGEN_RETURN_NOT_OK(options_.ctx.Check());
+      }
+      if (i + 2 * kProbePrefetchDist < n) {
+        seen.PrefetchSlot(static_cast<uint32_t>(i + 2 * kProbePrefetchDist));
+      }
+      if (i + kProbePrefetchDist < n) {
+        seen.WarmProbe(static_cast<uint32_t>(i + kProbePrefetchDist));
       }
       if (seen.Insert(static_cast<uint32_t>(i))) {
         survivors.push_back(static_cast<uint32_t>(i));
@@ -1722,10 +2367,16 @@ Result<RowIdResult> Executor::ProjectFromChild(const ProjectNode& node,
       for (size_t i = 0; i < n; ++i) {
         if (hashes[i] % partitions == p) ++mine;
       }
-      FlatDistinctSet seen(mine, hashes, child, cols);
+      FlatDistinctSet seen(mine, hashes, child, cols, vec_tier);
       StridedRun(options_.ctx, slot, poll, 0, n, [&](size_t b, size_t e) {
         for (size_t i = b; i < e; ++i) {
           if (hashes[i] % partitions != p) continue;
+          // Only hint rows this partition will actually probe; a foreign
+          // row's slot in our table is never touched.
+          const size_t f = i + kProbePrefetchDist;
+          if (f < e && hashes[f] % partitions == p) {
+            seen.PrefetchSlot(static_cast<uint32_t>(f));
+          }
           if (seen.Insert(static_cast<uint32_t>(i))) {
             parts[p].push_back(static_cast<uint32_t>(i));
           }
@@ -1755,10 +2406,13 @@ Result<RowIdResult> Executor::ProjectFromChild(const ProjectNode& node,
       options_.threads);
   Metrics().distinct_rows_in->Add(n);
   Metrics().distinct_rows_out->Add(survivors.size());
+  (vec_tier ? Metrics().simd_probe_vector : Metrics().simd_probe_scalar)
+      ->Add(1);
   if (prof != nullptr) {
     prof->rows = static_cast<int64_t>(survivors.size());
     prof->AddStat("distinct_in", static_cast<double>(n));
     prof->AddStat("distinct_partitions", static_cast<double>(partitions));
+    prof->AddNote("simd", simd::TierName());
   }
   return out;
 }

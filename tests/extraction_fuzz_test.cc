@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/simd.h"
 #include "planner/extractor.h"
 #include "relational/database.h"
 #include "relational/table.h"
@@ -208,6 +209,39 @@ TEST(ExtractionFuzzTest, RandomizedSchemasAgreeAcrossAllConfigurations) {
                      /*pushdown=*/true, FuseMode::kAuto);
       EXPECT_EQ(DiffExtraction(push_oracle, push_col), "")
           << "factor=" << factor << " pushdown scan-count parity";
+    }
+  }
+}
+
+// Forced-SIMD-tier axis: the same randomized cases extracted with the
+// dispatch pinned to scalar (the GRAPHGEN_SIMD=off path) must match both
+// the row-at-a-time oracle and the vector-tier columnar run bit for bit —
+// the end-to-end guarantee behind the per-kernel parity tests in
+// simd_test.cc.
+TEST(ExtractionFuzzTest, ForcedScalarSimdTierMatchesVectorTier) {
+  struct TierReset {
+    ~TierReset() { simd::ResetTierForTesting(); }
+  } reset;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    FuzzCase fc = MakeCase(seed * 0x9e3779b97f4a7c15ull + seed);
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " " + fc.description);
+    for (double factor : {0.0, 2.0}) {
+      simd::ResetTierForTesting();
+      const ExtractionResult oracle =
+          RunExtract(fc, factor, query::ExecEngine::kRowAtATime, 1,
+                     /*pushdown=*/false, FuseMode::kNever);
+      const ExtractionResult vec =
+          RunExtract(fc, factor, query::ExecEngine::kColumnar, 4,
+                     /*pushdown=*/false, FuseMode::kAuto);
+      simd::SetTierForTesting(simd::Tier::kScalar);
+      const ExtractionResult scalar =
+          RunExtract(fc, factor, query::ExecEngine::kColumnar, 4,
+                     /*pushdown=*/false, FuseMode::kAuto);
+      EXPECT_EQ(DiffExtraction(oracle, scalar), "")
+          << "factor=" << factor << " scalar tier vs row oracle";
+      EXPECT_EQ(DiffExtraction(vec, scalar), "")
+          << "factor=" << factor << " scalar tier vs "
+          << (simd::Avx2Available() ? "avx2" : "scalar") << " tier";
     }
   }
 }

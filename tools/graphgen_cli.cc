@@ -21,6 +21,7 @@
 #include "algos/kcore.h"
 #include "algos/pagerank.h"
 #include "common/memory.h"
+#include "common/simd.h"
 #include "common/timer.h"
 #include "core/graphgen.h"
 #include "core/serialization.h"
@@ -186,6 +187,7 @@ int Run(const CliOptions& opts) {
   if (opts.force_condensed) options.extract.large_output_factor = 0.0;
 
   GraphGen engine(&db);
+  std::printf("SIMD dispatch: %s\n", simd::TierDescription());
   WallTimer timer;
   auto extracted = engine.Extract(query, options);
   if (!extracted.ok()) {

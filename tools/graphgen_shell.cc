@@ -30,6 +30,7 @@
 #include "algos/triangles.h"
 #include "common/faultpoints.h"
 #include "common/memory.h"
+#include "common/simd.h"
 #include "common/timer.h"
 #include "gen/relational_generators.h"
 #include "obs/metrics.h"
@@ -322,6 +323,7 @@ void CmdStats(const ShellState& state) {
       "flat views          %llu resident (%llu CSR builds)\n"
       "registry            %llu named graphs\n"
       "workers             %llu threads\n"
+      "simd                %s\n"
       "database            %s\n",
       static_cast<unsigned long long>(s.requests),
       static_cast<unsigned long long>(s.cache_hits),
@@ -344,7 +346,7 @@ void CmdStats(const ShellState& state) {
       static_cast<unsigned long long>(s.csr_builds),
       static_cast<unsigned long long>(s.named_graphs),
       static_cast<unsigned long long>(s.worker_threads),
-      FormatBytes(state.db.MemoryBytes()).c_str());
+      simd::TierDescription(), FormatBytes(state.db.MemoryBytes()).c_str());
   std::printf("\nservice metrics:\n%s",
               obs::FormatSnapshot(state.svc->MetricsSnapshot()).c_str());
   std::printf("\nengine metrics (process-wide):\n%s",
