@@ -9,6 +9,7 @@
 #include "dedup/ordering.h"
 #include "graph/graph.h"
 #include "planner/extractor.h"
+#include "planner/incremental.h"
 #include "relational/database.h"
 
 namespace graphgen {
@@ -45,6 +46,15 @@ struct GraphGenOptions {
   /// kAuto expands when the expanded graph is at most (1 + threshold)
   /// times the condensed size (§6.5 suggests 20%).
   double expand_threshold = 0.2;
+  /// Captures the incremental-extraction state (first-occurrence sets,
+  /// canonical pre-preprocess graph, version-vector basis) during Extract
+  /// so later table appends can be advanced by PatchExtracted instead of
+  /// a cold run. Costs memory — FootprintBytes() includes it.
+  bool capture_incremental = false;
+  /// When PatchExtracted advances an EXP graph through its copy-on-write
+  /// overlay, the overlay is re-flattened (ExpandedGraph::Compact) once
+  /// more than this fraction of vertices carries patch entries.
+  double exp_compact_threshold = 0.05;
 };
 
 /// The product of an extraction: a ready-to-analyze Graph in the chosen
@@ -54,13 +64,34 @@ struct ExtractedGraph {
   Representation representation = Representation::kCDup;
   planner::ExtractionResult stats;
   double dedup_seconds = 0.0;
+  /// Present when the extraction was run with capture_incremental: the
+  /// state PatchExtracted advances on table appends. Immutable and shared
+  /// (successor states share nothing with it structurally).
+  std::shared_ptr<const planner::IncrementalState> incremental;
+  /// Database-global tick when the extraction started. Caches that cannot
+  /// do a per-table version check (no incremental state) compare this to
+  /// Database::CurrentTick(): unequal means *some* table changed and the
+  /// entry may be stale. Conservative by design.
+  uint64_t db_tick = 0;
 
   /// Bytes this graph costs to keep resident: the representation-aware
   /// footprint the batch extractor and the service cache charge against
-  /// their memory budgets.
+  /// their memory budgets, plus the incremental state riding along.
   size_t FootprintBytes() const {
-    return graph == nullptr ? 0 : graph->MemoryFootprint().Total();
+    size_t total = graph == nullptr ? 0 : graph->MemoryFootprint().Total();
+    if (incremental != nullptr) total += incremental->MemoryBytes();
+    return total;
   }
+};
+
+/// Outcome of a core-level patch attempt. `patched == false` is the soft
+/// fallback (reason in `fallback_reason`): run a cold Extract instead.
+struct PatchOutcome {
+  bool patched = false;
+  std::string fallback_reason;
+  /// Valid when patched: equivalent to a cold Extract against the current
+  /// database, with the successor incremental state attached.
+  ExtractedGraph graph;
 };
 
 /// The system facade (§3.1): parses a Datalog extraction program,
@@ -78,6 +109,16 @@ class GraphGen {
   /// graph (used by benchmarks and after deserialization).
   static Result<ExtractedGraph> Materialize(CondensedStorage storage,
                                             const GraphGenOptions& options);
+
+  /// Advances a cached extraction (made with capture_incremental) to the
+  /// database's current state by patching only the appended rows in.
+  /// EXP graphs advance in place through the copy-on-write overlay (with
+  /// threshold-triggered re-flattening); other representations rebuild
+  /// from the patched condensed graph. Soft fallbacks (rebased table,
+  /// count-constraint rule, segmentation drift, no captured state) return
+  /// patched == false; the caller runs a cold extraction instead.
+  Result<PatchOutcome> PatchExtracted(const ExtractedGraph& cached,
+                                      const GraphGenOptions& options) const;
 
   /// Extracts a collection of graphs in one batch (§3.1: GraphGen builds
   /// batches whose total condensed size fits in memory). Queries run in

@@ -301,6 +301,31 @@ void CondensedStorage::CompactVirtualNodes() {
   virt_in_.resize(next);
 }
 
+void CondensedStorage::PermuteVirtualNodes(const std::vector<uint32_t>& perm) {
+  const size_t nv = virt_out_.size();
+  if (perm.size() != nv) return;
+  auto rewrite = [&](std::vector<std::vector<NodeRef>>& lists) {
+    for (auto& l : lists) {
+      for (auto& r : l) {
+        if (r.is_virtual()) r = NodeRef::Virtual(perm[r.index()]);
+      }
+    }
+  };
+  rewrite(real_out_);
+  rewrite(real_in_);
+  rewrite(virt_out_);
+  rewrite(virt_in_);
+  std::vector<std::vector<NodeRef>> new_out(nv);
+  std::vector<std::vector<NodeRef>> new_in(nv);
+  for (uint32_t v = 0; v < nv; ++v) {
+    new_out[perm[v]] = std::move(virt_out_[v]);
+    new_in[perm[v]] = std::move(virt_in_[v]);
+  }
+  virt_out_ = std::move(new_out);
+  virt_in_ = std::move(new_in);
+  sorted_ = false;
+}
+
 void CondensedStorage::DetachAll(NodeRef node) {
   auto& out = MutableOutEdges(node);
   for (NodeRef to : out) {

@@ -142,6 +142,14 @@ class CondensedStorage {
   /// Drops virtual nodes with no in- and no out-edges, compacting indexes.
   void CompactVirtualNodes();
 
+  /// Renumbers every virtual node: slot v moves to slot perm[v] and every
+  /// adjacency reference is rewritten. `perm` must be a permutation of
+  /// [0, NumVirtualNodes()). The extractor uses this to put virtual ids
+  /// into canonical (key-sorted) order so a delta-patched graph is
+  /// bitwise identical to a fresh extraction regardless of the order in
+  /// which boundary values were first seen.
+  void PermuteVirtualNodes(const std::vector<uint32_t>& perm);
+
   /// Detaches `node` from all its edges (both directions).
   void DetachAll(NodeRef node);
 

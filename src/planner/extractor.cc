@@ -17,335 +17,15 @@
 #include "common/timer.h"
 #include "datalog/parser.h"
 #include "datalog/validator.h"
+#include "planner/extractor_internal.h"
+#include "planner/incremental.h"
 #include "planner/join_analysis.h"
 #include "planner/preprocess.h"
 #include "planner/segmenter.h"
+#include "planner/typed_maps.h"
 #include "query/executor.h"
 
 namespace graphgen::planner {
-
-namespace {
-
-// Serial assembly loops only pay the strided deadline/cancel poll when
-// the context can actually fire.
-bool NeedsCtxPoll(const ExecContext& ctx) {
-  return ctx.cancel.cancellable() || ctx.has_deadline;
-}
-
-// Flat open-addressing map from int64 keys to 32-bit ids (linear probing,
-// power-of-two capacity, no per-node allocation). Insert-only — exactly
-// the shape of the node-id and virtual-id tables.
-class FlatInt64Map {
- public:
-  static constexpr uint32_t kNotFound = 0xffffffffu;
-
-  FlatInt64Map() { Rehash(64); }
-
-  uint32_t Find(int64_t key) const {
-    size_t pos = MixInt64(static_cast<uint64_t>(key)) & mask_;
-    for (;;) {
-      if (used_[pos] == 0) return kNotFound;
-      if (keys_[pos] == key) return vals_[pos];
-      pos = (pos + 1) & mask_;
-    }
-  }
-
-  // Existing id of `key`, or the result of make() (invoked exactly once,
-  // only for a new key).
-  template <typename Make>
-  uint32_t GetOrInsert(int64_t key, Make make) {
-    if ((size_ + 1) * 4 >= (mask_ + 1) * 3) Grow();
-    size_t pos = MixInt64(static_cast<uint64_t>(key)) & mask_;
-    for (;;) {
-      if (used_[pos] == 0) {
-        used_[pos] = 1;
-        keys_[pos] = key;
-        vals_[pos] = make();
-        ++size_;
-        return vals_[pos];
-      }
-      if (keys_[pos] == key) return vals_[pos];
-      pos = (pos + 1) & mask_;
-    }
-  }
-
-  template <typename Fn>
-  void ForEach(Fn fn) const {
-    for (size_t i = 0; i <= mask_; ++i) {
-      if (used_[i] != 0) fn(keys_[i], vals_[i]);
-    }
-  }
-
-  size_t size() const { return size_; }
-
- private:
-  void Rehash(size_t cap) {
-    keys_.assign(cap, 0);
-    vals_.assign(cap, 0);
-    used_.assign(cap, 0);
-    mask_ = cap - 1;
-  }
-
-  void Grow() {
-    std::vector<int64_t> okeys = std::move(keys_);
-    std::vector<uint32_t> ovals = std::move(vals_);
-    std::vector<uint8_t> oused = std::move(used_);
-    Rehash((mask_ + 1) * 2);
-    for (size_t i = 0; i < oused.size(); ++i) {
-      if (oused[i] == 0) continue;
-      size_t pos = MixInt64(static_cast<uint64_t>(okeys[i])) & mask_;
-      while (used_[pos] != 0) pos = (pos + 1) & mask_;
-      used_[pos] = 1;
-      keys_[pos] = okeys[i];
-      vals_[pos] = ovals[i];
-    }
-  }
-
-  std::vector<int64_t> keys_;
-  std::vector<uint32_t> vals_;
-  std::vector<uint8_t> used_;
-  uint64_t mask_ = 0;
-  size_t size_ = 0;
-};
-
-struct TransparentStringHash {
-  using is_transparent = void;
-  size_t operator()(std::string_view s) const {
-    return std::hash<std::string_view>{}(s);
-  }
-};
-
-// Key → id table bucketed by physical type, replacing the former
-// unordered_map<Value, id>. Value equality never crosses
-// int64/double/string, so bucketing by type preserves the Value-map
-// semantics exactly: integer keys live in a flat open-addressing table,
-// string keys in a heterogeneous-lookup map (probed by dictionary entry
-// without copying), and doubles/exotics in the Value fallback.
-struct TypedIdMap {
-  FlatInt64Map ints;
-  std::unordered_map<std::string, uint32_t, TransparentStringHash,
-                     std::equal_to<>>
-      strings;
-  std::unordered_map<rel::Value, uint32_t, rel::ValueHash> others;
-
-  size_t size() const {
-    return ints.size() + strings.size() + others.size();
-  }
-
-  std::optional<uint32_t> FindString(std::string_view s) const {
-    auto it = strings.find(s);
-    if (it == strings.end()) return std::nullopt;
-    return it->second;
-  }
-
-  // Find by dynamically typed key; `v` must not be NULL.
-  std::optional<uint32_t> FindValue(const rel::Value& v) const {
-    switch (v.type()) {
-      case rel::ValueType::kInt64: {
-        const uint32_t id = ints.Find(v.AsInt64());
-        if (id == FlatInt64Map::kNotFound) return std::nullopt;
-        return id;
-      }
-      case rel::ValueType::kString:
-        return FindString(v.AsString());
-      default: {
-        auto it = others.find(v);
-        if (it == others.end()) return std::nullopt;
-        return it->second;
-      }
-    }
-  }
-
-  // Existing id of `v`, or make() (invoked exactly once for a new key).
-  template <typename Make>
-  uint32_t GetOrInsertValue(const rel::Value& v, Make make) {
-    switch (v.type()) {
-      case rel::ValueType::kInt64:
-        return ints.GetOrInsert(v.AsInt64(), make);
-      case rel::ValueType::kString: {
-        auto it = strings.find(std::string_view(v.AsString()));
-        if (it != strings.end()) return it->second;
-        const uint32_t id = make();
-        strings.emplace(v.AsString(), id);
-        return id;
-      }
-      default: {
-        auto it = others.find(v);
-        if (it != others.end()) return it->second;
-        const uint32_t id = make();
-        others.emplace(v, id);
-        return id;
-      }
-    }
-  }
-};
-
-// Output of one executed extraction query, under either engine.
-struct ExecOutput {
-  Status status = Status::OK();
-  std::optional<query::RowIdResult> columnar;
-  std::optional<query::ResultSet> rows;
-
-  query::RowsView View() const {
-    return columnar.has_value() ? query::RowsView(&*columnar)
-                                : query::RowsView(&*rows);
-  }
-  size_t NumRows() const {
-    if (columnar.has_value()) return columnar->NumRows();
-    return rows.has_value() ? rows->NumRows() : 0;
-  }
-};
-
-// One endpoint column of an executed query result, read without Value
-// construction whenever the storage is typed: raw int64 keys or raw
-// dictionary codes for the columnar engine, per-row Values only for mixed
-// columns and the row-at-a-time oracle.
-class EndpointColumn {
- public:
-  enum class Kind { kInt64, kDict, kValue };
-
-  EndpointColumn(const ExecOutput& out, size_t col)
-      : view_(out.View()), col_(col) {
-    if (out.columnar.has_value()) {
-      cr_ = &*out.columnar;
-      b_ = cr_->Bind(col);
-      switch (b_.col->encoding()) {
-        case rel::ColumnVector::Encoding::kInt64:
-          kind_ = Kind::kInt64;
-          break;
-        case rel::ColumnVector::Encoding::kDictString:
-          kind_ = Kind::kDict;
-          break;
-        default:
-          kind_ = Kind::kValue;
-          break;
-      }
-    }
-  }
-
-  Kind kind() const { return kind_; }
-
-  bool IsNull(size_t row) const {
-    if (cr_ == nullptr) return view_.IsNullAt(row, col_);
-    return b_.col->encoding() == rel::ColumnVector::Encoding::kEmpty ||
-           b_.col->IsNull(cr_->RowId(b_, row));
-  }
-  int64_t Int64(size_t row) const {
-    return b_.col->Int64At(cr_->RowId(b_, row));
-  }
-  uint32_t Code(size_t row) const {
-    return b_.col->CodeAt(cr_->RowId(b_, row));
-  }
-  const rel::StringDictionary& dict() const { return b_.col->dict(); }
-  rel::Value ValueAt(size_t row) const { return view_.ValueAt(row, col_); }
-
- private:
-  query::RowsView view_;
-  const query::RowIdResult* cr_ = nullptr;
-  query::BoundColumn b_{};
-  Kind kind_ = Kind::kValue;
-  size_t col_ = 0;
-};
-
-// Resolves endpoint keys of one result column against a const TypedIdMap
-// (the real-node table). Dictionary columns memoize the answer per code —
-// one string probe per *distinct* value, raw array reads per row; int64
-// columns probe the flat table directly. Rows must be non-NULL.
-class RealNodeResolver {
- public:
-  RealNodeResolver(const EndpointColumn& col, const TypedIdMap& ids)
-      : col_(col), ids_(ids) {
-    if (col_.kind() == EndpointColumn::Kind::kDict) {
-      code_cache_.assign(col_.dict().size(), kUnresolved);
-    }
-  }
-
-  // True with *id set when the key binds a real node; false when dangling.
-  bool Resolve(size_t row, NodeId* id) {
-    switch (col_.kind()) {
-      case EndpointColumn::Kind::kInt64: {
-        const uint32_t f = ids_.ints.Find(col_.Int64(row));
-        if (f == FlatInt64Map::kNotFound) return false;
-        *id = f;
-        return true;
-      }
-      case EndpointColumn::Kind::kDict: {
-        int64_t& c = code_cache_[col_.Code(row)];
-        if (c == kUnresolved) {
-          std::optional<uint32_t> f =
-              ids_.FindString(col_.dict().At(col_.Code(row)));
-          c = f.has_value() ? static_cast<int64_t>(*f) : kDangling;
-        }
-        if (c < 0) return false;
-        *id = static_cast<NodeId>(c);
-        return true;
-      }
-      case EndpointColumn::Kind::kValue: {
-        std::optional<uint32_t> f = ids_.FindValue(col_.ValueAt(row));
-        if (!f.has_value()) return false;
-        *id = *f;
-        return true;
-      }
-    }
-    return false;
-  }
-
- private:
-  static constexpr int64_t kUnresolved = -2;
-  static constexpr int64_t kDangling = -1;
-
-  EndpointColumn col_;
-  const TypedIdMap& ids_;
-  std::vector<int64_t> code_cache_;  // dict code → node id / kDangling
-};
-
-// Resolves boundary keys of one result column to virtual-node ids,
-// allocating on first sight. Allocation happens at the first row where a
-// key appears — the (rule, segment, row) visit order — so virtual-node
-// numbering is bit-identical to the legacy Value-keyed map for every
-// engine and thread count. Rows must be non-NULL.
-class VirtualNodeResolver {
- public:
-  VirtualNodeResolver(const EndpointColumn& col, TypedIdMap& keys,
-                      CondensedStorage& storage)
-      : col_(col), keys_(keys), storage_(storage) {
-    if (col_.kind() == EndpointColumn::Kind::kDict) {
-      code_cache_.assign(col_.dict().size(), kUnresolved);
-    }
-  }
-
-  NodeRef Resolve(size_t row) {
-    switch (col_.kind()) {
-      case EndpointColumn::Kind::kInt64:
-        return NodeRef::Virtual(keys_.ints.GetOrInsert(
-            col_.Int64(row), [this] { return storage_.AddVirtualNode(); }));
-      case EndpointColumn::Kind::kDict: {
-        int64_t& c = code_cache_[col_.Code(row)];
-        if (c < 0) {
-          const std::string& s = col_.dict().At(col_.Code(row));
-          auto it = keys_.strings.find(std::string_view(s));
-          if (it == keys_.strings.end()) {
-            it = keys_.strings.emplace(s, storage_.AddVirtualNode()).first;
-          }
-          c = it->second;
-        }
-        return NodeRef::Virtual(static_cast<uint32_t>(c));
-      }
-      case EndpointColumn::Kind::kValue:
-      default:
-        return NodeRef::Virtual(keys_.GetOrInsertValue(
-            col_.ValueAt(row), [this] { return storage_.AddVirtualNode(); }));
-    }
-  }
-
- private:
-  static constexpr int64_t kUnresolved = -1;
-
-  EndpointColumn col_;
-  TypedIdMap& keys_;
-  CondensedStorage& storage_;
-  std::vector<int64_t> code_cache_;  // dict code → virtual id
-};
 
 // Executes every plan, independent queries concurrently: on the shared
 // pool when one is provided (deadlock-free — RunBatch lets the caller
@@ -358,7 +38,7 @@ class VirtualNodeResolver {
 std::vector<ExecOutput> RunPlans(
     const rel::Database& db, const std::vector<const query::PlanNode*>& plans,
     const ExtractOptions& options,
-    const std::vector<obs::ProfileNode*>* profs = nullptr) {
+    const std::vector<obs::ProfileNode*>* profs) {
   const size_t n = plans.size();
   const size_t budget =
       options.threads == 0 ? DefaultThreadCount() : options.threads;
@@ -423,16 +103,87 @@ std::vector<ExecOutput> RunPlans(
   return outs;
 }
 
+Result<std::unique_ptr<query::PlanNode>> BuildNodesPlan(const dsl::Rule& rule,
+                                                        size_t row_begin,
+                                                        size_t row_end) {
+  if (rule.body.size() != 1) {
+    return Status::Unsupported(
+        "Nodes rules with multiple body atoms are not supported; define a "
+        "view table or use a single atom");
+  }
+  const dsl::Atom& atom = rule.body[0];
+
+  // Map head args to body columns.
+  std::vector<size_t> columns;
+  for (const std::string& head_var : rule.head_args) {
+    std::optional<size_t> col;
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      if (atom.args[i].kind == dsl::Term::Kind::kVariable &&
+          atom.args[i].variable == head_var) {
+        col = i;
+        break;
+      }
+    }
+    if (!col.has_value()) {
+      return Status::PlanError("head variable " + head_var +
+                               " not found in Nodes body");
+    }
+    columns.push_back(*col);
+  }
+
+  // Predicates: constants in args + comparisons.
+  std::vector<query::Predicate> predicates;
+  for (size_t c = 0; c < atom.args.size(); ++c) {
+    if (atom.args[c].kind == dsl::Term::Kind::kConstant) {
+      predicates.push_back({c, query::CompareOp::kEq, atom.args[c].constant});
+    }
+  }
+  for (const dsl::Comparison& cmp : rule.comparisons) {
+    if (cmp.rhs_is_var) {
+      return Status::Unsupported(
+          "variable-variable comparisons are not supported in Nodes rules");
+    }
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      if (atom.args[i].kind == dsl::Term::Kind::kVariable &&
+          atom.args[i].variable == cmp.lhs_var) {
+        query::CompareOp op = query::CompareOp::kEq;
+        switch (cmp.op) {
+          case dsl::PredOp::kEq: op = query::CompareOp::kEq; break;
+          case dsl::PredOp::kNe: op = query::CompareOp::kNe; break;
+          case dsl::PredOp::kLt: op = query::CompareOp::kLt; break;
+          case dsl::PredOp::kLe: op = query::CompareOp::kLe; break;
+          case dsl::PredOp::kGt: op = query::CompareOp::kGt; break;
+          case dsl::PredOp::kGe: op = query::CompareOp::kGe; break;
+        }
+        predicates.push_back({i, op, cmp.rhs_const});
+        break;
+      }
+    }
+  }
+
+  auto scan = std::make_unique<query::ScanNode>(atom.relation, predicates);
+  if (row_begin != 0 || row_end != SIZE_MAX) {
+    scan->SetRowRange(row_begin, row_end);
+  }
+  return std::unique_ptr<query::PlanNode>(std::make_unique<query::ProjectNode>(
+      std::move(scan), columns, rule.head_args, /*distinct=*/true));
+}
+
+namespace {
+
 // Executes the Nodes rules: creates real nodes, assigns properties, and
 // fills the typed external-key → NodeId table. Queries run concurrently
 // (phase 2); node-id assignment applies their results serially in rule
 // order (phase 3), so ids are deterministic. Key resolution is typed:
 // int64 keys probe the flat table, dictionary keys resolve once per
 // distinct code, and only mixed columns (or the row oracle) touch Values.
+// With `capture` set (and a single Nodes rule), every applied DISTINCT
+// tuple is also recorded so the incremental path can later skip delta
+// rows the basis already saw.
 Status ExecuteNodesRules(const rel::Database& db, const dsl::Program& program,
                          const ExtractOptions& options,
                          ExtractionResult& result, TypedIdMap& node_ids,
-                         obs::ProfileNode* stage) {
+                         obs::ProfileNode* stage, IncrementalState* capture) {
   GRAPHGEN_FAULT_POINT("extract.nodes.plan");
   GRAPHGEN_RETURN_NOT_OK(options.ctx.Check());
   CondensedStorage& storage = result.storage;
@@ -440,65 +191,8 @@ Status ExecuteNodesRules(const rel::Database& db, const dsl::Program& program,
   // Phase 1: translate each rule into a DISTINCT projection plan.
   std::vector<std::unique_ptr<query::PlanNode>> plans;
   for (const dsl::Rule& rule : program.nodes_rules) {
-    if (rule.body.size() != 1) {
-      return Status::Unsupported(
-          "Nodes rules with multiple body atoms are not supported; define a "
-          "view table or use a single atom");
-    }
-    const dsl::Atom& atom = rule.body[0];
-
-    // Map head args to body columns.
-    std::vector<size_t> columns;
-    for (const std::string& head_var : rule.head_args) {
-      std::optional<size_t> col;
-      for (size_t i = 0; i < atom.args.size(); ++i) {
-        if (atom.args[i].kind == dsl::Term::Kind::kVariable &&
-            atom.args[i].variable == head_var) {
-          col = i;
-          break;
-        }
-      }
-      if (!col.has_value()) {
-        return Status::PlanError("head variable " + head_var +
-                                 " not found in Nodes body");
-      }
-      columns.push_back(*col);
-    }
-
-    // Predicates: constants in args + comparisons.
-    std::vector<query::Predicate> predicates;
-    for (size_t c = 0; c < atom.args.size(); ++c) {
-      if (atom.args[c].kind == dsl::Term::Kind::kConstant) {
-        predicates.push_back(
-            {c, query::CompareOp::kEq, atom.args[c].constant});
-      }
-    }
-    for (const dsl::Comparison& cmp : rule.comparisons) {
-      if (cmp.rhs_is_var) {
-        return Status::Unsupported(
-            "variable-variable comparisons are not supported in Nodes rules");
-      }
-      for (size_t i = 0; i < atom.args.size(); ++i) {
-        if (atom.args[i].kind == dsl::Term::Kind::kVariable &&
-            atom.args[i].variable == cmp.lhs_var) {
-          query::CompareOp op = query::CompareOp::kEq;
-          switch (cmp.op) {
-            case dsl::PredOp::kEq: op = query::CompareOp::kEq; break;
-            case dsl::PredOp::kNe: op = query::CompareOp::kNe; break;
-            case dsl::PredOp::kLt: op = query::CompareOp::kLt; break;
-            case dsl::PredOp::kLe: op = query::CompareOp::kLe; break;
-            case dsl::PredOp::kGt: op = query::CompareOp::kGt; break;
-            case dsl::PredOp::kGe: op = query::CompareOp::kGe; break;
-          }
-          predicates.push_back({i, op, cmp.rhs_const});
-          break;
-        }
-      }
-    }
-
-    auto plan = std::make_unique<query::ProjectNode>(
-        std::make_unique<query::ScanNode>(atom.relation, predicates), columns,
-        rule.head_args, /*distinct=*/true);
+    GRAPHGEN_ASSIGN_OR_RETURN(std::unique_ptr<query::PlanNode> plan,
+                              BuildNodesPlan(rule));
     result.sql.push_back(plan->ToSql());
     plans.push_back(std::move(plan));
   }
@@ -521,6 +215,7 @@ Status ExecuteNodesRules(const rel::Database& db, const dsl::Program& program,
   // Phase 3: apply serially in rule order.
   GRAPHGEN_FAULT_POINT("extract.nodes.apply");
   const bool poll = NeedsCtxPoll(options.ctx);
+  const bool record = capture != nullptr && program.nodes_rules.size() == 1;
   for (size_t r = 0; r < program.nodes_rules.size(); ++r) {
     const dsl::Rule& rule = program.nodes_rules[r];
     GRAPHGEN_RETURN_NOT_OK(options.ctx.Check());
@@ -548,6 +243,10 @@ Status ExecuteNodesRules(const rel::Database& db, const dsl::Program& program,
         GRAPHGEN_RETURN_NOT_OK(options.ctx.Check());
       }
       if (key_col.IsNull(ri)) continue;
+      if (record) {
+        capture->node_tuples.insert(
+            EncodeNodeTuple(rows, ri, rule.head_args.size()));
+      }
       bool fresh = false;
       auto alloc = [&] {
         fresh = true;
@@ -733,13 +432,21 @@ struct EdgeRuleWork {
   size_t first_unit = 0;
 };
 
-}  // namespace
-
-Result<ExtractionResult> Extract(const rel::Database& db,
-                                 const dsl::Program& program,
-                                 const ExtractOptions& options) {
+// The full §4.2 pipeline; `capture` (nullable) additionally records the
+// incremental-extraction state: node tuples, per-segment emitted pairs,
+// boundary maps, the canonical pre-preprocess graph, and the basis
+// version vector.
+Result<ExtractionResult> ExtractImpl(const rel::Database& db,
+                                     const dsl::Program& program,
+                                     const ExtractOptions& options,
+                                     IncrementalState* capture) {
   ExtractionResult result;
   TypedIdMap node_ids;
+  if (capture != nullptr) {
+    *capture = IncrementalState{};
+    capture->program = program;
+    capture->edge_rules.resize(program.edges_rules.size());
+  }
 
   // One flight-recorder stage node per pipeline phase; all null (and all
   // recording skipped) when observability is off.
@@ -751,8 +458,8 @@ Result<ExtractionResult> Extract(const rel::Database& db,
   {
     obs::Span span(nodes_stage);
     GRAPHGEN_RETURN_NOT_OK(
-        ExecuteNodesRules(db, program, options, result, node_ids,
-                          nodes_stage));
+        ExecuteNodesRules(db, program, options, result, node_ids, nodes_stage,
+                          capture));
   }
   result.nodes_seconds = timer.Seconds();
   if (nodes_stage != nullptr) {
@@ -813,11 +520,15 @@ Result<ExtractionResult> Extract(const rel::Database& db,
           unit_profs.push_back(
               edges_stage->AddChild("count_query", parts.sql));
         }
+        // A COUNT recount cannot be patched from deltas.
+        if (capture != nullptr) {
+          capture->edge_rules[rule_idx].patchable = false;
+        }
       } else {
         // dst-side pushdown is only sound on a single-segment chain: with
         // multiple segments the assembly loop allocates the src boundary's
         // virtual node before checking dst, so early dst filtering would
-        // renumber virtual nodes.
+        // drop boundary values whose rows never produce an edge.
         const bool single_segment = !chain.HasLargeOutputJoin();
         GRAPHGEN_ASSIGN_OR_RETURN(
             work.segments,
@@ -829,6 +540,13 @@ Result<ExtractionResult> Extract(const rel::Database& db,
           if (edges_stage != nullptr) {
             unit_profs.push_back(edges_stage->AddChild("segment", seg.sql));
           }
+        }
+        if (capture != nullptr) {
+          EdgeRuleState& ers = capture->edge_rules[rule_idx];
+          for (const Segment& seg : work.segments) {
+            ers.segment_shape.emplace_back(seg.first_atom, seg.last_atom);
+          }
+          ers.seen_pairs.resize(work.segments.size());
         }
       }
       works.push_back(std::move(work));
@@ -845,10 +563,11 @@ Result<ExtractionResult> Extract(const rel::Database& db,
       db, units, options, edges_stage != nullptr ? &unit_profs : nullptr);
 
   // Phase 3: assemble the condensed graph serially in (rule, segment,
-  // row) order — virtual-node numbering and edge order are identical to
-  // a fully serial run. Endpoint keys stay typed end to end: dictionary
-  // codes and raw int64 keys resolve through flat maps and per-code
-  // caches; no Value is constructed on this loop for typed columns.
+  // row) order. Endpoint keys stay typed end to end: dictionary codes and
+  // raw int64 keys resolve through flat maps and per-code caches; no
+  // Value is constructed on this loop for typed columns. Emission order
+  // does not leak into the result — the canonicalization pass below
+  // renumbers virtual ids and sorts adjacency.
   std::unordered_map<uint64_t, TypedIdMap> virtual_maps;
   auto boundary_map = [&virtual_maps](size_t rule,
                                       size_t boundary) -> TypedIdMap& {
@@ -924,8 +643,8 @@ Result<ExtractionResult> Extract(const rel::Database& db,
           GRAPHGEN_RETURN_NOT_OK(options.ctx.Check());
         }
         // Both NULL checks come before any virtual-node allocation, and a
-        // dangling src skips the row before dst is resolved — exactly the
-        // legacy order, so numbering never shifts.
+        // dangling src skips the row before dst is resolved — the patch
+        // path mirrors this order exactly.
         if (src_col.IsNull(ri) || dst_col.IsNull(ri)) continue;
 
         NodeRef from;
@@ -945,12 +664,52 @@ Result<ExtractionResult> Extract(const rel::Database& db,
           to = dst_virt->Resolve(ri);
         }
         batch.emplace_back(from, to);
+        if (capture != nullptr) {
+          capture->edge_rules[rule_idx].seen_pairs[si].insert(
+              PackPair(from, to));
+        }
       }
       // Batched append: adjacency lists reserve their exact final size,
       // edge order identical to per-row AddEdge.
       result.storage.AddEdges(batch);
     }
   }
+
+  // Canonicalization: renumber virtual ids into key-sorted (rule,
+  // boundary) order and sort every adjacency list. This runs on every
+  // extraction, so the graph is a pure function of the database contents
+  // — the delta-patch path, whose emission order necessarily differs,
+  // converges on the identical bits.
+  {
+    GRAPHGEN_RETURN_NOT_OK(options.ctx.Check());
+    std::vector<BoundaryMapRef> maps;
+    maps.reserve(virtual_maps.size());
+    for (auto& [key, map] : virtual_maps) maps.push_back({key, &map});
+    const std::vector<uint32_t> perm =
+        CanonicalizeVirtualNodes(result.storage, std::move(maps));
+    if (capture != nullptr) {
+      for (EdgeRuleState& ers : capture->edge_rules) {
+        for (auto& set : ers.seen_pairs) {
+          std::unordered_set<uint64_t> remapped;
+          remapped.reserve(set.size());
+          for (uint64_t pair : set) {
+            remapped.insert(
+                (static_cast<uint64_t>(
+                     RemapRaw(static_cast<uint32_t>(pair >> 32), perm))
+                 << 32) |
+                RemapRaw(static_cast<uint32_t>(pair), perm));
+          }
+          set = std::move(remapped);
+        }
+      }
+      for (auto& [key, map] : virtual_maps) {
+        capture->edge_rules[key >> 32]
+            .boundaries[static_cast<size_t>(key & 0xffffffffu)] =
+            std::move(map);
+      }
+    }
+  }
+
   result.edges_seconds = timer.Seconds();
   if (assembly_node != nullptr) {
     assembly_node->seconds = assembly_timer.Seconds();
@@ -958,6 +717,31 @@ Result<ExtractionResult> Extract(const rel::Database& db,
                            static_cast<double>(result.rows_scanned));
   }
   if (edges_stage != nullptr) edges_stage->seconds = result.edges_seconds;
+
+  if (capture != nullptr) {
+    // Snapshot the canonical pre-preprocess graph, the key tables, and
+    // the basis version vector (every referenced table).
+    capture->node_ids = std::move(node_ids);
+    capture->graph = result.storage;
+    capture->rows_scanned = result.rows_scanned;
+    auto record_table = [&](const std::string& name) -> Status {
+      if (capture->basis.contains(name)) return Status::OK();
+      GRAPHGEN_ASSIGN_OR_RETURN(rel::TableVersion tv, db.VersionOf(name));
+      capture->basis[name] =
+          TableBasis{tv.version, tv.rebase_version, tv.rows};
+      return Status::OK();
+    };
+    for (const dsl::Rule& rule : program.nodes_rules) {
+      for (const dsl::Atom& atom : rule.body) {
+        GRAPHGEN_RETURN_NOT_OK(record_table(atom.relation));
+      }
+    }
+    for (const dsl::Rule& rule : program.edges_rules) {
+      for (const dsl::Atom& atom : rule.body) {
+        GRAPHGEN_RETURN_NOT_OK(record_table(atom.relation));
+      }
+    }
+  }
 
   if (options.preprocess) {
     GRAPHGEN_FAULT_POINT("extract.preprocess");
@@ -987,14 +771,30 @@ Result<ExtractionResult> Extract(const rel::Database& db,
   return result;
 }
 
+}  // namespace
+
+Result<ExtractionResult> Extract(const rel::Database& db,
+                                 const dsl::Program& program,
+                                 const ExtractOptions& options) {
+  return ExtractImpl(db, program, options, nullptr);
+}
+
+Result<ExtractionResult> ExtractWithCapture(const rel::Database& db,
+                                            const dsl::Program& program,
+                                            const ExtractOptions& options,
+                                            IncrementalState& capture) {
+  return ExtractImpl(db, program, options, &capture);
+}
+
 Result<ExtractionResult> ExtractFromQuery(const rel::Database& db,
                                           std::string_view datalog,
-                                          const ExtractOptions& options) {
+                                          const ExtractOptions& options,
+                                          IncrementalState* capture) {
   GRAPHGEN_FAULT_POINT("extract.parse");
   GRAPHGEN_ASSIGN_OR_RETURN(dsl::Program program, dsl::Parse(datalog));
   GRAPHGEN_RETURN_NOT_OK(dsl::Validate(program, db));
   GRAPHGEN_ASSIGN_OR_RETURN(ExtractionResult result,
-                            Extract(db, program, options));
+                            ExtractImpl(db, program, options, capture));
   result.profile.query = std::string(datalog);
   return result;
 }

@@ -93,10 +93,14 @@ Result<ExtractionResult> Extract(const rel::Database& db,
                                  const dsl::Program& program,
                                  const ExtractOptions& options = {});
 
-/// Convenience: parse + validate + extract.
+/// Convenience: parse + validate + extract. When `capture` is non-null
+/// the run also records the incremental-extraction state (see
+/// incremental.h) so later table appends can be delta-patched in.
+struct IncrementalState;
 Result<ExtractionResult> ExtractFromQuery(const rel::Database& db,
                                           std::string_view datalog,
-                                          const ExtractOptions& options = {});
+                                          const ExtractOptions& options = {},
+                                          IncrementalState* capture = nullptr);
 
 /// Exact structural comparison of two extraction results (adjacency in
 /// stored order, virtual nodes, properties, external keys). Returns ""

@@ -1,0 +1,292 @@
+#ifndef GRAPHGEN_PLANNER_EXTRACTOR_INTERNAL_H_
+#define GRAPHGEN_PLANNER_EXTRACTOR_INTERNAL_H_
+
+// Shared plumbing between the cold extraction pipeline (extractor.cc) and
+// the incremental delta-patch path (incremental.cc): typed endpoint
+// readers, key→id resolvers, the concurrent plan runner, and the
+// canonical virtual-node renumbering that makes the two paths produce
+// bitwise-identical graphs. Not part of the public planner API.
+
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/cancel.h"
+#include "graph/storage.h"
+#include "planner/extractor.h"
+#include "planner/typed_maps.h"
+#include "query/executor.h"
+
+namespace graphgen::planner {
+
+// Serial assembly loops only pay the strided deadline/cancel poll when
+// the context can actually fire.
+inline bool NeedsCtxPoll(const ExecContext& ctx) {
+  return ctx.cancel.cancellable() || ctx.has_deadline;
+}
+
+// Output of one executed extraction query, under either engine.
+struct ExecOutput {
+  Status status = Status::OK();
+  std::optional<query::RowIdResult> columnar;
+  std::optional<query::ResultSet> rows;
+
+  query::RowsView View() const {
+    return columnar.has_value() ? query::RowsView(&*columnar)
+                                : query::RowsView(&*rows);
+  }
+  size_t NumRows() const {
+    if (columnar.has_value()) return columnar->NumRows();
+    return rows.has_value() ? rows->NumRows() : 0;
+  }
+};
+
+// One endpoint column of an executed query result, read without Value
+// construction whenever the storage is typed: raw int64 keys or raw
+// dictionary codes for the columnar engine, per-row Values only for mixed
+// columns and the row-at-a-time oracle.
+class EndpointColumn {
+ public:
+  enum class Kind { kInt64, kDict, kValue };
+
+  EndpointColumn(const ExecOutput& out, size_t col)
+      : view_(out.View()), col_(col) {
+    if (out.columnar.has_value()) {
+      cr_ = &*out.columnar;
+      b_ = cr_->Bind(col);
+      switch (b_.col->encoding()) {
+        case rel::ColumnVector::Encoding::kInt64:
+          kind_ = Kind::kInt64;
+          break;
+        case rel::ColumnVector::Encoding::kDictString:
+          kind_ = Kind::kDict;
+          break;
+        default:
+          kind_ = Kind::kValue;
+          break;
+      }
+    }
+  }
+
+  Kind kind() const { return kind_; }
+
+  bool IsNull(size_t row) const {
+    if (cr_ == nullptr) return view_.IsNullAt(row, col_);
+    return b_.col->encoding() == rel::ColumnVector::Encoding::kEmpty ||
+           b_.col->IsNull(cr_->RowId(b_, row));
+  }
+  int64_t Int64(size_t row) const {
+    return b_.col->Int64At(cr_->RowId(b_, row));
+  }
+  uint32_t Code(size_t row) const {
+    return b_.col->CodeAt(cr_->RowId(b_, row));
+  }
+  const rel::StringDictionary& dict() const { return b_.col->dict(); }
+  rel::Value ValueAt(size_t row) const { return view_.ValueAt(row, col_); }
+
+ private:
+  query::RowsView view_;
+  const query::RowIdResult* cr_ = nullptr;
+  query::BoundColumn b_{};
+  Kind kind_ = Kind::kValue;
+  size_t col_ = 0;
+};
+
+// Resolves endpoint keys of one result column against a const TypedIdMap
+// (the real-node table). Dictionary columns memoize the answer per code —
+// one string probe per *distinct* value, raw array reads per row; int64
+// columns probe the flat table directly. Rows must be non-NULL.
+class RealNodeResolver {
+ public:
+  RealNodeResolver(const EndpointColumn& col, const TypedIdMap& ids)
+      : col_(col), ids_(ids) {
+    if (col_.kind() == EndpointColumn::Kind::kDict) {
+      code_cache_.assign(col_.dict().size(), kUnresolved);
+    }
+  }
+
+  // True with *id set when the key binds a real node; false when dangling.
+  bool Resolve(size_t row, NodeId* id) {
+    switch (col_.kind()) {
+      case EndpointColumn::Kind::kInt64: {
+        const uint32_t f = ids_.ints.Find(col_.Int64(row));
+        if (f == FlatInt64Map::kNotFound) return false;
+        *id = f;
+        return true;
+      }
+      case EndpointColumn::Kind::kDict: {
+        int64_t& c = code_cache_[col_.Code(row)];
+        if (c == kUnresolved) {
+          std::optional<uint32_t> f =
+              ids_.FindString(col_.dict().At(col_.Code(row)));
+          c = f.has_value() ? static_cast<int64_t>(*f) : kDangling;
+        }
+        if (c < 0) return false;
+        *id = static_cast<NodeId>(c);
+        return true;
+      }
+      case EndpointColumn::Kind::kValue: {
+        std::optional<uint32_t> f = ids_.FindValue(col_.ValueAt(row));
+        if (!f.has_value()) return false;
+        *id = *f;
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  static constexpr int64_t kUnresolved = -2;
+  static constexpr int64_t kDangling = -1;
+
+  EndpointColumn col_;
+  const TypedIdMap& ids_;
+  std::vector<int64_t> code_cache_;  // dict code → node id / kDangling
+};
+
+// Resolves boundary keys of one result column to virtual-node ids,
+// allocating on first sight. Allocation order is irrelevant to the final
+// graph: after assembly the extractor renumbers every virtual node into
+// canonical key-sorted order (CanonicalizeVirtualNodes), which is what
+// makes a delta-patched graph bitwise identical to a fresh extraction.
+// Rows must be non-NULL.
+class VirtualNodeResolver {
+ public:
+  VirtualNodeResolver(const EndpointColumn& col, TypedIdMap& keys,
+                      CondensedStorage& storage)
+      : col_(col), keys_(keys), storage_(storage) {
+    if (col_.kind() == EndpointColumn::Kind::kDict) {
+      code_cache_.assign(col_.dict().size(), kUnresolved);
+    }
+  }
+
+  NodeRef Resolve(size_t row) {
+    switch (col_.kind()) {
+      case EndpointColumn::Kind::kInt64:
+        return NodeRef::Virtual(keys_.ints.GetOrInsert(
+            col_.Int64(row), [this] { return storage_.AddVirtualNode(); }));
+      case EndpointColumn::Kind::kDict: {
+        int64_t& c = code_cache_[col_.Code(row)];
+        if (c < 0) {
+          const std::string& s = col_.dict().At(col_.Code(row));
+          auto it = keys_.strings.find(std::string_view(s));
+          if (it == keys_.strings.end()) {
+            it = keys_.strings.emplace(s, storage_.AddVirtualNode()).first;
+          }
+          c = it->second;
+        }
+        return NodeRef::Virtual(static_cast<uint32_t>(c));
+      }
+      case EndpointColumn::Kind::kValue:
+      default:
+        return NodeRef::Virtual(keys_.GetOrInsertValue(
+            col_.ValueAt(row), [this] { return storage_.AddVirtualNode(); }));
+    }
+  }
+
+ private:
+  static constexpr int64_t kUnresolved = -1;
+
+  EndpointColumn col_;
+  TypedIdMap& keys_;
+  CondensedStorage& storage_;
+  std::vector<int64_t> code_cache_;  // dict code → virtual id
+};
+
+// Packed (from, to) condensed edge, the key of the per-(rule, segment)
+// emitted-pair sets that deduplicate delta emissions against the basis.
+inline uint64_t PackPair(NodeRef from, NodeRef to) {
+  return (static_cast<uint64_t>(from.raw()) << 32) | to.raw();
+}
+
+// Applies a virtual-node permutation to one packed NodeRef raw value.
+inline uint32_t RemapRaw(uint32_t raw, const std::vector<uint32_t>& perm) {
+  if ((raw & NodeRef::kVirtualBit) == 0) return raw;
+  return perm[raw & ~NodeRef::kVirtualBit] | NodeRef::kVirtualBit;
+}
+
+// Injective, type-tagged encoding of one projected result tuple. The
+// incremental node path uses it to decide whether a delta row is a tuple
+// the basis extraction already applied (same DISTINCT semantics as the
+// fresh path: Value equality never crosses int64/double/string; doubles
+// encode their bit pattern so no two distinct values collide).
+inline std::string EncodeNodeTuple(const query::RowsView& rows, size_t ri,
+                                   size_t ncols) {
+  auto append64 = [](std::string& s, uint64_t bits) {
+    for (int b = 0; b < 8; ++b) {
+      s.push_back(static_cast<char>((bits >> (b * 8)) & 0xff));
+    }
+  };
+  std::string s;
+  for (size_t c = 0; c < ncols; ++c) {
+    if (rows.IsNullAt(ri, c)) {
+      s.push_back('\0');
+      continue;
+    }
+    const rel::Value v = rows.ValueAt(ri, c);
+    switch (v.type()) {
+      case rel::ValueType::kInt64:
+        s.push_back('i');
+        append64(s, static_cast<uint64_t>(v.AsInt64()));
+        break;
+      case rel::ValueType::kDouble: {
+        s.push_back('d');
+        uint64_t bits = 0;
+        const double d = v.AsDouble();
+        std::memcpy(&bits, &d, sizeof(bits));
+        append64(s, bits);
+        break;
+      }
+      case rel::ValueType::kString: {
+        const std::string& str = v.AsString();
+        s.push_back('s');
+        append64(s, str.size());
+        s.append(str);
+        break;
+      }
+      default:
+        s.push_back('\0');
+        break;
+    }
+  }
+  return s;
+}
+
+// Executes every plan, independent queries concurrently (see extractor.cc
+// for the threading contract). Results land at the plan's index so callers
+// consume them in deterministic order.
+std::vector<ExecOutput> RunPlans(
+    const rel::Database& db, const std::vector<const query::PlanNode*>& plans,
+    const ExtractOptions& options,
+    const std::vector<obs::ProfileNode*>* profs = nullptr);
+
+// Translates one Nodes rule into its DISTINCT projection plan, optionally
+// with the key scan ranged to [row_begin, row_end) (the delta-scan mode).
+Result<std::unique_ptr<query::PlanNode>> BuildNodesPlan(const dsl::Rule& rule,
+                                                        size_t row_begin = 0,
+                                                        size_t row_end =
+                                                            SIZE_MAX);
+
+// One boundary's key→virtual-id map, tagged with its canonical position:
+// key = (edge rule index << 32) | boundary atom index.
+struct BoundaryMapRef {
+  uint64_t key = 0;
+  TypedIdMap* map = nullptr;
+};
+
+// Renumbers the storage's virtual nodes into canonical order — maps sorted
+// by (rule, boundary), keys within a map sorted ints-numeric, then strings
+// lexicographic, then other Values by operator< — rewrites the maps' ids
+// in place, and sorts all adjacency lists. Returns the applied permutation
+// (old id → new id) so callers can remap any packed-pair bookkeeping.
+// Both the fresh and the patched pipeline end with this pass; it is the
+// reason emission and allocation order never show in the final graph.
+std::vector<uint32_t> CanonicalizeVirtualNodes(CondensedStorage& storage,
+                                               std::vector<BoundaryMapRef>
+                                                   maps);
+
+}  // namespace graphgen::planner
+
+#endif  // GRAPHGEN_PLANNER_EXTRACTOR_INTERNAL_H_

@@ -1,0 +1,520 @@
+#include "planner/incremental.h"
+
+#include <algorithm>
+#include <optional>
+#include <string_view>
+#include <utility>
+
+#include "common/cancel.h"
+#include "common/faultpoints.h"
+#include "common/timer.h"
+#include "planner/extractor_internal.h"
+#include "planner/join_analysis.h"
+#include "planner/preprocess.h"
+#include "planner/segmenter.h"
+
+namespace graphgen::planner {
+
+std::vector<uint32_t> CanonicalizeVirtualNodes(CondensedStorage& storage,
+                                               std::vector<BoundaryMapRef>
+                                                   maps) {
+  const size_t nv = storage.NumVirtualNodes();
+  std::vector<uint32_t> perm(nv, kInvalidNode);
+  std::sort(maps.begin(), maps.end(),
+            [](const BoundaryMapRef& a, const BoundaryMapRef& b) {
+              return a.key < b.key;
+            });
+  uint32_t next = 0;
+  for (const BoundaryMapRef& m : maps) {
+    TypedIdMap& map = *m.map;
+    std::vector<std::pair<int64_t, uint32_t>> ints;
+    ints.reserve(map.ints.size());
+    map.ints.ForEach([&](int64_t k, uint32_t v) { ints.emplace_back(k, v); });
+    std::sort(ints.begin(), ints.end());
+    for (const auto& [k, v] : ints) {
+      (void)k;
+      perm[v] = next++;
+    }
+    std::vector<std::pair<std::string_view, uint32_t>> strs;
+    strs.reserve(map.strings.size());
+    for (const auto& [s, v] : map.strings) strs.emplace_back(s, v);
+    std::sort(strs.begin(), strs.end());
+    for (const auto& [s, v] : strs) {
+      (void)s;
+      perm[v] = next++;
+    }
+    std::vector<std::pair<const rel::Value*, uint32_t>> vals;
+    vals.reserve(map.others.size());
+    for (const auto& [val, v] : map.others) vals.emplace_back(&val, v);
+    std::sort(vals.begin(), vals.end(),
+              [](const auto& a, const auto& b) { return *a.first < *b.first; });
+    for (const auto& [val, v] : vals) {
+      (void)val;
+      perm[v] = next++;
+    }
+  }
+  // Every virtual node is allocated through exactly one boundary map, so
+  // this tail is defensive only (it keeps the permutation total).
+  for (uint32_t v = 0; v < nv; ++v) {
+    if (perm[v] == kInvalidNode) perm[v] = next++;
+  }
+  storage.PermuteVirtualNodes(perm);
+  for (const BoundaryMapRef& m : maps) {
+    m.map->ints.ForEachMutable([&](int64_t, uint32_t& v) { v = perm[v]; });
+    for (auto& [s, v] : m.map->strings) {
+      (void)s;
+      v = perm[v];
+    }
+    for (auto& [val, v] : m.map->others) {
+      (void)val;
+      v = perm[v];
+    }
+  }
+  storage.SortAdjacency();
+  return perm;
+}
+
+size_t IncrementalState::MemoryBytes() const {
+  size_t total = graph.MemoryBytes() + graph.properties().MemoryBytes();
+  total += node_ids.MemoryBytes();
+  for (const auto& t : node_tuples) total += t.capacity() + 56;
+  for (const auto& er : edge_rules) {
+    for (const auto& s : er.seen_pairs) {
+      total += s.size() * 16 + s.bucket_count() * 8;
+    }
+    for (const auto& [b, m] : er.boundaries) {
+      (void)b;
+      total += m.MemoryBytes();
+    }
+  }
+  return total;
+}
+
+namespace {
+
+// Remaps one packed pair set through the canonical permutation.
+void RemapPairSet(std::unordered_set<uint64_t>& set,
+                  const std::vector<uint32_t>& perm) {
+  std::unordered_set<uint64_t> remapped;
+  remapped.reserve(set.size());
+  for (uint64_t pair : set) {
+    remapped.insert(
+        (static_cast<uint64_t>(RemapRaw(static_cast<uint32_t>(pair >> 32),
+                                        perm))
+         << 32) |
+        RemapRaw(static_cast<uint32_t>(pair), perm));
+  }
+  set = std::move(remapped);
+}
+
+void InsertKey(query::KeyFilter& filter, const rel::Value& v) {
+  switch (v.type()) {
+    case rel::ValueType::kNull:
+      return;  // NULL joins nothing
+    case rel::ValueType::kInt64:
+      filter.ints.insert(v.AsInt64());
+      return;
+    case rel::ValueType::kString:
+      filter.strings.insert(v.AsString());
+      return;
+    default:
+      filter.others.insert(v);
+      return;
+  }
+}
+
+// Distinct non-NULL values of `col` among rows [begin, end) of `t`,
+// optionally restricted to rows whose `via_col` value is in `via`.
+std::shared_ptr<query::KeyFilter> CollectKeys(const rel::Table& t, size_t col,
+                                              size_t begin, size_t end,
+                                              const query::KeyFilter* via,
+                                              size_t via_col) {
+  auto out = std::make_shared<query::KeyFilter>();
+  end = std::min(end, t.NumRows());
+  for (size_t i = begin; i < end; ++i) {
+    if (via != nullptr && !via->Contains(t.ValueAt(i, via_col))) continue;
+    InsertKey(*out, t.ValueAt(i, col));
+  }
+  return out;
+}
+
+// Yannakakis-style reduction for one patch pass over segment atoms
+// [fa, la]: the pass's restriction (a delta row window on `seed`, or a
+// key filter on the seed's in/out column for new-node passes) is turned
+// into semi-join filters on every other atom's join column, propagated
+// hop by hop through the table data. With a small delta the filters are
+// tiny, so the pass's joins build over near-empty inputs instead of
+// re-joining the full relations. Predicates are ignored while collecting
+// (a superset filter is always sound), and NULL join keys are dropped —
+// a NULL never matches anything.
+std::vector<AtomSemiJoin> ReductionFilters(
+    const rel::Database& db, const JoinChain& chain, size_t fa, size_t la,
+    size_t seed, size_t seed_begin, size_t seed_end,
+    const query::KeyFilter* seed_in, const query::KeyFilter* seed_out) {
+  std::vector<AtomSemiJoin> filters;
+  if (fa == la) return filters;  // single atom: nothing to reduce
+  auto table_of = [&](size_t a) -> const rel::Table* {
+    auto tr = db.GetTable(chain.atoms[a].atom->relation);
+    return tr.ok() ? *tr : nullptr;
+  };
+  const rel::Table* seed_table = table_of(seed);
+  if (seed_table == nullptr) return filters;
+  // Leftward: atom a-1 joins atom a via (a-1).out_col == a.in_col.
+  if (seed > fa) {
+    std::shared_ptr<const query::KeyFilter> k =
+        CollectKeys(*seed_table, chain.atoms[seed].in_col, seed_begin,
+                    seed_end, seed_out, chain.atoms[seed].out_col);
+    for (size_t a = seed; a-- > fa;) {
+      filters.push_back({a, chain.atoms[a].out_col, k});
+      if (a == fa) break;
+      const rel::Table* t = table_of(a);
+      if (t == nullptr) break;
+      k = CollectKeys(*t, chain.atoms[a].in_col, 0, SIZE_MAX, k.get(),
+                      chain.atoms[a].out_col);
+    }
+  }
+  // Rightward: atom a joins atom a+1 via a.out_col == (a+1).in_col.
+  if (seed < la) {
+    std::shared_ptr<const query::KeyFilter> k =
+        CollectKeys(*seed_table, chain.atoms[seed].out_col, seed_begin,
+                    seed_end, seed_in, chain.atoms[seed].in_col);
+    for (size_t a = seed + 1; a <= la; ++a) {
+      filters.push_back({a, chain.atoms[a].in_col, k});
+      if (a == la) break;
+      const rel::Table* t = table_of(a);
+      if (t == nullptr) break;
+      k = CollectKeys(*t, chain.atoms[a].out_col, 0, SIZE_MAX, k.get(),
+                      chain.atoms[a].in_col);
+    }
+  }
+  return filters;
+}
+
+}  // namespace
+
+Result<PatchAttempt> PatchExtraction(const rel::Database& db,
+                                     const IncrementalState& basis,
+                                     const ExtractOptions& options) {
+  GRAPHGEN_FAULT_POINT("extract.patch");
+  GRAPHGEN_RETURN_NOT_OK(options.ctx.Check());
+  PatchAttempt attempt;
+  auto fallback = [&attempt](std::string reason) {
+    attempt.patched = false;
+    attempt.fallback_reason = std::move(reason);
+    return std::move(attempt);
+  };
+  const dsl::Program& program = basis.program;
+  if (basis.edge_rules.size() != program.edges_rules.size()) {
+    return fallback("basis state is malformed");
+  }
+
+  // ---- 1. Classify every basis table: unchanged, append delta, or void.
+  std::map<std::string, std::pair<size_t, size_t>> deltas;  // [wm, rows)
+  std::map<std::string, rel::TableVersion> now_versions;
+  for (const auto& [name, tb] : basis.basis) {
+    auto vr = db.VersionOf(name);
+    if (!vr.ok()) return fallback("table " + name + " no longer exists");
+    const rel::TableVersion now = std::move(vr).ValueOrDie();
+    if (now.rebase_version > tb.version) {
+      return fallback("table " + name + " was rebased");
+    }
+    if (now.rows < tb.rows) return fallback("table " + name + " shrank");
+    now_versions[name] = now;
+    if (now.version != tb.version || now.rows != tb.rows) {
+      deltas[name] = {tb.rows, now.rows};
+    }
+  }
+
+  // ---- 2. Copy the basis; all splicing happens on the successor state.
+  auto next = std::make_shared<IncrementalState>(basis);
+  IncrementalState& st = *next;
+  ExtractionResult& result = attempt.result;
+
+  // ---- 3. Node delta: DISTINCT over appended key-table rows only; rows
+  // whose tuple the basis already applied are skipped, new tuples assign
+  // properties last-writer-wins and new keys become real nodes.
+  WallTimer timer;
+  std::shared_ptr<query::KeyFilter> new_keys;
+  bool node_tables_changed = false;
+  for (const dsl::Rule& rule : program.nodes_rules) {
+    for (const dsl::Atom& atom : rule.body) {
+      if (deltas.contains(atom.relation)) node_tables_changed = true;
+    }
+  }
+  if (node_tables_changed) {
+    if (program.nodes_rules.size() > 1) {
+      // A delta tuple could interleave real-node id assignment or
+      // property write order across rules; real ids must never renumber.
+      return fallback("node-table delta with multiple Nodes rules");
+    }
+    const dsl::Rule& rule = program.nodes_rules[0];
+    const auto& window = deltas.at(rule.body[0].relation);
+    GRAPHGEN_ASSIGN_OR_RETURN(
+        std::unique_ptr<query::PlanNode> plan,
+        BuildNodesPlan(rule, window.first, window.second));
+    result.sql.push_back(plan->ToSql());
+    std::vector<const query::PlanNode*> refs{plan.get()};
+    std::vector<ExecOutput> outs = RunPlans(db, refs, options);
+    GRAPHGEN_RETURN_NOT_OK(outs[0].status);
+    result.rows_scanned += outs[0].NumRows();
+
+    std::vector<size_t> prop_cols;
+    for (size_t i = 1; i < rule.head_args.size(); ++i) {
+      prop_cols.push_back(st.graph.properties().AddColumn(rule.head_args[i]));
+    }
+    const query::RowsView rows = outs[0].View();
+    EndpointColumn key_col(outs[0], 0);
+    const bool poll = NeedsCtxPoll(options.ctx);
+    for (size_t ri = 0; ri < rows.NumRows(); ++ri) {
+      if (poll && ri % kCancelStrideRows == 0) {
+        GRAPHGEN_RETURN_NOT_OK(options.ctx.Check());
+      }
+      if (key_col.IsNull(ri)) continue;
+      if (!st.node_tuples
+               .insert(EncodeNodeTuple(rows, ri, rule.head_args.size()))
+               .second) {
+        continue;  // the basis already applied this exact tuple
+      }
+      bool fresh = false;
+      auto alloc = [&] {
+        fresh = true;
+        return st.graph.AddRealNode();
+      };
+      const rel::Value key = rows.ValueAt(ri, 0);
+      const NodeId id = st.node_ids.GetOrInsertValue(key, alloc);
+      if (fresh) {
+        st.graph.properties().SetExternalKey(id, rows.ToStringAt(ri, 0));
+        if (new_keys == nullptr) {
+          new_keys = std::make_shared<query::KeyFilter>();
+        }
+        switch (key.type()) {
+          case rel::ValueType::kInt64:
+            new_keys->ints.insert(key.AsInt64());
+            break;
+          case rel::ValueType::kString:
+            new_keys->strings.insert(key.AsString());
+            break;
+          default:
+            new_keys->others.insert(key);
+            break;
+        }
+      }
+      for (size_t i = 1; i < rule.head_args.size(); ++i) {
+        st.graph.properties().Set(
+            id, prop_cols[i - 1],
+            rows.IsNullAt(ri, i) ? "" : rows.ToStringAt(ri, i));
+      }
+    }
+  }
+  result.real_nodes = st.graph.NumRealNodes();
+  result.nodes_seconds = timer.Seconds();
+
+  // ---- 4. Edge deltas per rule: one ranged pass per changed atom plus
+  // full-range passes keyed to the new node keys (rows the basis skipped
+  // as dangling). The per-(rule, segment) pair sets absorb all overlap.
+  timer.Restart();
+  const bool have_new_nodes = new_keys != nullptr;
+  std::shared_ptr<const query::KeyFilter> node_keys;
+  if (options.semi_join_pushdown) {
+    auto filter = std::make_shared<query::KeyFilter>();
+    st.node_ids.ints.ForEach(
+        [&](int64_t k, uint32_t) { filter->ints.insert(k); });
+    for (const auto& [s, id] : st.node_ids.strings) {
+      (void)id;
+      filter->strings.insert(s);
+    }
+    for (const auto& [v, id] : st.node_ids.others) {
+      (void)id;
+      filter->others.insert(v);
+    }
+    node_keys = std::move(filter);
+  }
+
+  for (size_t r = 0; r < program.edges_rules.size(); ++r) {
+    const dsl::Rule& rule = program.edges_rules[r];
+    EdgeRuleState& ers = st.edge_rules[r];
+    bool changed = false;
+    for (const dsl::Atom& atom : rule.body) {
+      if (deltas.contains(atom.relation)) changed = true;
+    }
+    if (!changed && !have_new_nodes) continue;
+    if (!ers.patchable) {
+      return fallback("COUNT-constraint rule affected by delta");
+    }
+    GRAPHGEN_ASSIGN_OR_RETURN(
+        JoinChain chain,
+        AnalyzeEdgesRule(rule, db, options.large_output_factor));
+    if (SegmentShapes(chain) != ers.segment_shape) {
+      return fallback("join segmentation drifted after appends");
+    }
+
+    const size_t nseg = ers.segment_shape.size();
+    struct Pass {
+      size_t si = 0;
+      Segment seg;
+    };
+    std::vector<Pass> passes;
+    for (size_t si = 0; si < nseg; ++si) {
+      const auto [fa, la] = ers.segment_shape[si];
+      const bool is_first = si == 0;
+      const bool is_last = si + 1 == nseg;
+      const bool single = nseg == 1;
+      const auto src_filter = is_first ? node_keys : nullptr;
+      const auto dst_filter = (is_last && single) ? node_keys : nullptr;
+      for (size_t a = fa; a <= la; ++a) {
+        auto it = deltas.find(chain.atoms[a].atom->relation);
+        if (it == deltas.end()) continue;
+        GRAPHGEN_ASSIGN_OR_RETURN(
+            Segment seg,
+            BuildSegmentVariant(
+                chain, fa, la, src_filter, dst_filter,
+                {{a, it->second.first, it->second.second}},
+                ReductionFilters(db, chain, fa, la, a, it->second.first,
+                                 it->second.second, nullptr, nullptr)));
+        passes.push_back({si, std::move(seg)});
+      }
+      if (have_new_nodes && is_first) {
+        GRAPHGEN_ASSIGN_OR_RETURN(
+            Segment seg,
+            BuildSegmentVariant(chain, fa, la, new_keys, dst_filter, {},
+                                ReductionFilters(db, chain, fa, la, fa, 0,
+                                                 SIZE_MAX, new_keys.get(),
+                                                 nullptr)));
+        passes.push_back({si, std::move(seg)});
+      }
+      if (have_new_nodes && is_last) {
+        GRAPHGEN_ASSIGN_OR_RETURN(
+            Segment seg,
+            BuildSegmentVariant(chain, fa, la, single ? src_filter : nullptr,
+                                new_keys, {},
+                                ReductionFilters(db, chain, fa, la, la, 0,
+                                                 SIZE_MAX, nullptr,
+                                                 new_keys.get())));
+        passes.push_back({si, std::move(seg)});
+      }
+    }
+
+    std::vector<const query::PlanNode*> refs;
+    refs.reserve(passes.size());
+    for (const Pass& p : passes) refs.push_back(p.seg.plan.get());
+    std::vector<ExecOutput> outs = RunPlans(db, refs, options);
+
+    const bool poll = NeedsCtxPoll(options.ctx);
+    for (size_t pi = 0; pi < passes.size(); ++pi) {
+      Pass& p = passes[pi];
+      ExecOutput& out = outs[pi];
+      GRAPHGEN_RETURN_NOT_OK(out.status);
+      result.rows_scanned += out.NumRows();
+      result.sql.push_back(p.seg.sql);
+      const bool first = p.si == 0;
+      const bool last = p.si + 1 == nseg;
+      EndpointColumn src_col(out, 0);
+      EndpointColumn dst_col(out, 1);
+      std::optional<RealNodeResolver> src_real;
+      std::optional<VirtualNodeResolver> src_virt;
+      if (first) {
+        src_real.emplace(src_col, st.node_ids);
+      } else {
+        src_virt.emplace(src_col,
+                         ers.boundaries[ers.segment_shape[p.si - 1].second],
+                         st.graph);
+      }
+      std::optional<RealNodeResolver> dst_real;
+      std::optional<VirtualNodeResolver> dst_virt;
+      if (last) {
+        dst_real.emplace(dst_col, st.node_ids);
+      } else {
+        dst_virt.emplace(dst_col,
+                         ers.boundaries[ers.segment_shape[p.si].second],
+                         st.graph);
+      }
+      auto& seen = ers.seen_pairs[p.si];
+      const size_t nrows = out.NumRows();
+      ScopedCharge batch_charge;
+      GRAPHGEN_RETURN_NOT_OK(batch_charge.Acquire(
+          options.ctx, nrows * sizeof(std::pair<NodeRef, NodeRef>),
+          "patch edge batch"));
+      std::vector<std::pair<NodeRef, NodeRef>> batch;
+      batch.reserve(nrows);
+      for (size_t ri = 0; ri < nrows; ++ri) {
+        if (poll && ri % kCancelStrideRows == 0) {
+          GRAPHGEN_RETURN_NOT_OK(options.ctx.Check());
+        }
+        // Same resolution order as the fresh assembly loop: NULL checks,
+        // then src (dangling skips before dst is touched), then dst.
+        if (src_col.IsNull(ri) || dst_col.IsNull(ri)) continue;
+        NodeRef from;
+        if (first) {
+          NodeId id = 0;
+          if (!src_real->Resolve(ri, &id)) continue;
+          from = NodeRef::Real(id);
+        } else {
+          from = src_virt->Resolve(ri);
+        }
+        NodeRef to;
+        if (last) {
+          NodeId id = 0;
+          if (!dst_real->Resolve(ri, &id)) continue;
+          to = NodeRef::Real(id);
+        } else {
+          to = dst_virt->Resolve(ri);
+        }
+        // Only genuinely new condensed pairs are spliced in.
+        if (!seen.insert(PackPair(from, to)).second) continue;
+        batch.emplace_back(from, to);
+      }
+      st.graph.AddEdges(batch);
+      attempt.new_edges.insert(attempt.new_edges.end(), batch.begin(),
+                               batch.end());
+    }
+  }
+
+  // ---- 5. Re-canonicalize: new virtual nodes interleave into key-sorted
+  // order, adjacency re-sorts, and all bookkeeping follows the renumber.
+  {
+    GRAPHGEN_RETURN_NOT_OK(options.ctx.Check());
+    std::vector<BoundaryMapRef> maps;
+    for (size_t r = 0; r < st.edge_rules.size(); ++r) {
+      for (auto& [b, map] : st.edge_rules[r].boundaries) {
+        maps.push_back({(static_cast<uint64_t>(r) << 32) | b, &map});
+      }
+    }
+    const std::vector<uint32_t> perm =
+        CanonicalizeVirtualNodes(st.graph, std::move(maps));
+    for (EdgeRuleState& ers : st.edge_rules) {
+      for (auto& set : ers.seen_pairs) RemapPairSet(set, perm);
+    }
+    for (auto& [from, to] : attempt.new_edges) {
+      from = NodeRef::FromRaw(RemapRaw(from.raw(), perm));
+      to = NodeRef::FromRaw(RemapRaw(to.raw(), perm));
+    }
+  }
+  result.edges_seconds = timer.Seconds();
+
+  // ---- 6. Materialize the result like a fresh extraction would.
+  result.rows_scanned += basis.rows_scanned;
+  result.storage = st.graph;
+  if (options.preprocess) {
+    GRAPHGEN_RETURN_NOT_OK(options.ctx.Check());
+    timer.Restart();
+    PreprocessResult pp =
+        ExpandSmallVirtualNodes(result.storage, options.threads);
+    (void)pp;
+    result.preprocess_seconds = timer.Seconds();
+  }
+  result.condensed_edges = result.storage.CountCondensedEdges();
+  result.virtual_nodes = result.storage.NumVirtualNodes();
+
+  // ---- 7. Advance the basis to the version vector read in step 1.
+  for (auto& [name, tb] : st.basis) {
+    const rel::TableVersion& tv = now_versions.at(name);
+    tb = TableBasis{tv.version, tv.rebase_version, tv.rows};
+  }
+  st.rows_scanned = result.rows_scanned;
+
+  attempt.patched = true;
+  attempt.state = std::move(next);
+  return std::move(attempt);
+}
+
+}  // namespace graphgen::planner

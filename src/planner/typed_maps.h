@@ -1,0 +1,193 @@
+#ifndef GRAPHGEN_PLANNER_TYPED_MAPS_H_
+#define GRAPHGEN_PLANNER_TYPED_MAPS_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "relational/value.h"
+
+namespace graphgen::planner {
+
+/// Flat open-addressing map from int64 keys to 32-bit ids (linear probing,
+/// power-of-two capacity, no per-node allocation). Insert-only — exactly
+/// the shape of the node-id and virtual-id tables. Shared between the
+/// extractor's assembly loop and the incremental patch path (which carries
+/// these tables across extractions as part of its persistent state).
+class FlatInt64Map {
+ public:
+  static constexpr uint32_t kNotFound = 0xffffffffu;
+
+  FlatInt64Map() { Rehash(64); }
+
+  uint32_t Find(int64_t key) const {
+    size_t pos = MixInt64(static_cast<uint64_t>(key)) & mask_;
+    for (;;) {
+      if (used_[pos] == 0) return kNotFound;
+      if (keys_[pos] == key) return vals_[pos];
+      pos = (pos + 1) & mask_;
+    }
+  }
+
+  // Existing id of `key`, or the result of make() (invoked exactly once,
+  // only for a new key).
+  template <typename Make>
+  uint32_t GetOrInsert(int64_t key, Make make) {
+    if ((size_ + 1) * 4 >= (mask_ + 1) * 3) Grow();
+    size_t pos = MixInt64(static_cast<uint64_t>(key)) & mask_;
+    for (;;) {
+      if (used_[pos] == 0) {
+        used_[pos] = 1;
+        keys_[pos] = key;
+        vals_[pos] = make();
+        ++size_;
+        return vals_[pos];
+      }
+      if (keys_[pos] == key) return vals_[pos];
+      pos = (pos + 1) & mask_;
+    }
+  }
+
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    for (size_t i = 0; i <= mask_; ++i) {
+      if (used_[i] != 0) fn(keys_[i], vals_[i]);
+    }
+  }
+
+  /// Mutable visit: fn(key, id&) may rewrite the stored id (the canonical
+  /// virtual-node renumbering does). Keys must not be changed.
+  template <typename Fn>
+  void ForEachMutable(Fn fn) {
+    for (size_t i = 0; i <= mask_; ++i) {
+      if (used_[i] != 0) fn(keys_[i], vals_[i]);
+    }
+  }
+
+  size_t size() const { return size_; }
+
+  size_t MemoryBytes() const {
+    return keys_.capacity() * sizeof(int64_t) +
+           vals_.capacity() * sizeof(uint32_t) + used_.capacity();
+  }
+
+ private:
+  void Rehash(size_t cap) {
+    keys_.assign(cap, 0);
+    vals_.assign(cap, 0);
+    used_.assign(cap, 0);
+    mask_ = cap - 1;
+  }
+
+  void Grow() {
+    std::vector<int64_t> okeys = std::move(keys_);
+    std::vector<uint32_t> ovals = std::move(vals_);
+    std::vector<uint8_t> oused = std::move(used_);
+    Rehash((mask_ + 1) * 2);
+    for (size_t i = 0; i < oused.size(); ++i) {
+      if (oused[i] == 0) continue;
+      size_t pos = MixInt64(static_cast<uint64_t>(okeys[i])) & mask_;
+      while (used_[pos] != 0) pos = (pos + 1) & mask_;
+      used_[pos] = 1;
+      keys_[pos] = okeys[i];
+      vals_[pos] = ovals[i];
+    }
+  }
+
+  std::vector<int64_t> keys_;
+  std::vector<uint32_t> vals_;
+  std::vector<uint8_t> used_;
+  uint64_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+/// Key → id table bucketed by physical type, replacing the former
+/// unordered_map<Value, id>. Value equality never crosses
+/// int64/double/string, so bucketing by type preserves the Value-map
+/// semantics exactly: integer keys live in a flat open-addressing table,
+/// string keys in a heterogeneous-lookup map (probed by dictionary entry
+/// without copying), and doubles/exotics in the Value fallback.
+struct TypedIdMap {
+  FlatInt64Map ints;
+  std::unordered_map<std::string, uint32_t, TransparentStringHash,
+                     std::equal_to<>>
+      strings;
+  std::unordered_map<rel::Value, uint32_t, rel::ValueHash> others;
+
+  size_t size() const {
+    return ints.size() + strings.size() + others.size();
+  }
+
+  std::optional<uint32_t> FindString(std::string_view s) const {
+    auto it = strings.find(s);
+    if (it == strings.end()) return std::nullopt;
+    return it->second;
+  }
+
+  // Find by dynamically typed key; `v` must not be NULL.
+  std::optional<uint32_t> FindValue(const rel::Value& v) const {
+    switch (v.type()) {
+      case rel::ValueType::kInt64: {
+        const uint32_t id = ints.Find(v.AsInt64());
+        if (id == FlatInt64Map::kNotFound) return std::nullopt;
+        return id;
+      }
+      case rel::ValueType::kString:
+        return FindString(v.AsString());
+      default: {
+        auto it = others.find(v);
+        if (it == others.end()) return std::nullopt;
+        return it->second;
+      }
+    }
+  }
+
+  // Existing id of `v`, or make() (invoked exactly once for a new key).
+  template <typename Make>
+  uint32_t GetOrInsertValue(const rel::Value& v, Make make) {
+    switch (v.type()) {
+      case rel::ValueType::kInt64:
+        return ints.GetOrInsert(v.AsInt64(), make);
+      case rel::ValueType::kString: {
+        auto it = strings.find(std::string_view(v.AsString()));
+        if (it != strings.end()) return it->second;
+        const uint32_t id = make();
+        strings.emplace(v.AsString(), id);
+        return id;
+      }
+      default: {
+        auto it = others.find(v);
+        if (it != others.end()) return it->second;
+        const uint32_t id = make();
+        others.emplace(v, id);
+        return id;
+      }
+    }
+  }
+
+  size_t MemoryBytes() const {
+    size_t total = ints.MemoryBytes();
+    for (const auto& [s, id] : strings) {
+      (void)id;
+      total += s.capacity() + 48;
+    }
+    total += others.size() * 64;
+    return total;
+  }
+};
+
+}  // namespace graphgen::planner
+
+#endif  // GRAPHGEN_PLANNER_TYPED_MAPS_H_

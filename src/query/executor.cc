@@ -1800,6 +1800,11 @@ Result<RowIdResult> Executor::ScanColumnar(const ScanNode& node,
     return Status::Unsupported("table " + node.table() +
                                " exceeds 2^32 rows");
   }
+  // Delta scans range the row window to [row_begin, row_end) ∩ [0, n);
+  // the full-table default leaves rb = 0, re = n.
+  const size_t rb = std::min(node.row_begin(), n);
+  const size_t re = std::max(rb, std::min(node.row_end(), n));
+  const size_t rows_in = re - rb;
   RowIdResult out;
   out.schema = table->schema();
   out.origins.assign(table->NumColumns(), node.table());
@@ -1808,23 +1813,23 @@ Result<RowIdResult> Executor::ScanColumnar(const ScanNode& node,
   for (size_t c = 0; c < table->NumColumns(); ++c) {
     out.columns[c] = {0, static_cast<uint32_t>(c)};
   }
-  Metrics().scan_rows_in->Add(n);
+  Metrics().scan_rows_in->Add(rows_in);
   if (node.predicates().empty() && node.semi_joins().empty()) {
-    GRAPHGEN_RETURN_NOT_OK(
-        options_.ctx.Charge(n * sizeof(uint32_t), "scan selection vector"));
-    out.tuples.resize(n);
+    GRAPHGEN_RETURN_NOT_OK(options_.ctx.Charge(rows_in * sizeof(uint32_t),
+                                               "scan selection vector"));
+    out.tuples.resize(rows_in);
     ParallelFor(
-        n,
+        rows_in,
         [&](size_t begin, size_t end) {
           for (size_t i = begin; i < end; ++i) {
-            out.tuples[i] = static_cast<uint32_t>(i);
+            out.tuples[i] = static_cast<uint32_t>(rb + i);
           }
         },
         options_.threads);
-    Metrics().scan_rows_out->Add(n);
+    Metrics().scan_rows_out->Add(rows_in);
     if (prof != nullptr) {
-      prof->rows = static_cast<int64_t>(n);
-      prof->AddStat("rows_in", static_cast<double>(n));
+      prof->rows = static_cast<int64_t>(rows_in);
+      prof->AddStat("rows_in", static_cast<double>(rows_in));
     }
     return out;
   }
@@ -1844,21 +1849,24 @@ Result<RowIdResult> Executor::ScanColumnar(const ScanNode& node,
     filters.push_back(CompileSemiJoin(table->column(sj.column), sj));
   }
 
+  // The keep mask stays table-sized because the compiled kernels index
+  // absolute row ids; only [rb, re) is ever evaluated or collected, so a
+  // narrow delta window does proportionally little work.
   ScopedCharge keep_charge;
   GRAPHGEN_RETURN_NOT_OK(
       keep_charge.Acquire(options_.ctx, n, "scan keep mask"));
   std::vector<uint8_t> keep(n, 1);
   const size_t ways =
-      (options_.threads > 1 && n >= kParallelScanThreshold)
+      (options_.threads > 1 && rows_in >= kParallelScanThreshold)
           ? options_.threads
           : 1;
   const bool poll = NeedsPoll(options_.ctx);
   const simd::Tier tier = simd::ActiveTier();
   AbortSlot slot;
-  ParallelForRanges(EqualRanges(n, ways), [&](size_t begin, size_t end) {
-    for (size_t mb = begin; mb < end; mb += kScanMorselRows) {
+  ParallelForRanges(EqualRanges(rows_in, ways), [&](size_t begin, size_t end) {
+    for (size_t mb = rb + begin; mb < rb + end; mb += kScanMorselRows) {
       if (poll && !slot.Continue(options_.ctx)) return;
-      const size_t me = std::min(end, mb + kScanMorselRows);
+      const size_t me = std::min(rb + end, mb + kScanMorselRows);
       for (const CompiledPredicate& cp : preds) {
         cp.Apply(tier, mb, me, keep.data());
       }
@@ -1871,20 +1879,20 @@ Result<RowIdResult> Executor::ScanColumnar(const ScanNode& node,
   (tier == simd::Tier::kAvx2 ? Metrics().simd_scan_vector
                              : Metrics().simd_scan_scalar)
       ->Add(1);
-  GRAPHGEN_RETURN_NOT_OK(
-      options_.ctx.Charge(n * sizeof(uint32_t), "scan selection vector"));
-  out.tuples.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
+  GRAPHGEN_RETURN_NOT_OK(options_.ctx.Charge(rows_in * sizeof(uint32_t),
+                                             "scan selection vector"));
+  out.tuples.reserve(rows_in);
+  for (size_t i = rb; i < re; ++i) {
     if (keep[i] != 0) out.tuples.push_back(static_cast<uint32_t>(i));
   }
   Metrics().scan_rows_out->Add(out.tuples.size());
   if (prof != nullptr) {
     prof->rows = static_cast<int64_t>(out.tuples.size());
-    prof->AddStat("rows_in", static_cast<double>(n));
+    prof->AddStat("rows_in", static_cast<double>(rows_in));
     prof->AddStat("predicates", static_cast<double>(node.predicates().size()));
     prof->AddStat("semi_joins", static_cast<double>(node.semi_joins().size()));
     prof->AddStat("morsels", static_cast<double>(
-        (n + kScanMorselRows - 1) / kScanMorselRows));
+        (rows_in + kScanMorselRows - 1) / kScanMorselRows));
     prof->AddNote("simd", simd::TierName());
   }
   return out;
@@ -2442,11 +2450,14 @@ Result<ResultSet> Executor::ScanRows(const ScanNode& node,
                                node.table());
     }
   }
+  const size_t rb = std::min(node.row_begin(), table->NumRows());
+  const size_t re =
+      std::max(rb, std::min(node.row_end(), table->NumRows()));
   const bool unfiltered =
       node.predicates().empty() && node.semi_joins().empty();
-  out.rows.reserve(unfiltered ? table->NumRows() : 0);
+  out.rows.reserve(unfiltered ? re - rb : 0);
   const bool poll = NeedsPoll(options_.ctx);
-  for (size_t i = 0; i < table->NumRows(); ++i) {
+  for (size_t i = rb; i < re; ++i) {
     if (poll && i % kCancelStrideRows == 0) {
       GRAPHGEN_RETURN_NOT_OK(options_.ctx.Check());
     }
@@ -2466,7 +2477,7 @@ Result<ResultSet> Executor::ScanRows(const ScanNode& node,
   }
   if (prof != nullptr) {
     prof->rows = static_cast<int64_t>(out.NumRows());
-    prof->AddStat("rows_in", static_cast<double>(table->NumRows()));
+    prof->AddStat("rows_in", static_cast<double>(re - rb));
   }
   return out;
 }

@@ -56,6 +56,11 @@ std::string ScanNode::ToSql() const {
     // millions of node keys.
     sql += "$" + std::to_string(sj.column) + " IN (SELECT key FROM Nodes)";
   }
+  if (IsRanged()) {
+    sql += where ? " AND " : " WHERE ";
+    sql += "ctid >= " + std::to_string(row_begin_);
+    if (row_end_ != SIZE_MAX) sql += " AND ctid < " + std::to_string(row_end_);
+  }
   return sql;
 }
 

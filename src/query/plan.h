@@ -1,6 +1,7 @@
 #ifndef GRAPHGEN_QUERY_PLAN_H_
 #define GRAPHGEN_QUERY_PLAN_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <unordered_set>
@@ -89,6 +90,12 @@ class PlanNode {
 
 /// Sequential scan of a base table with optional predicates and optional
 /// semi-join key filters (Nodes-filter pushdown).
+///
+/// A scan can additionally be *ranged* to a half-open row-id window
+/// [row_begin, row_end): the delta-scan mode of incremental extraction,
+/// which reads only the rows a table gained past a watermark. The window
+/// clamps to the table's current row count at execution time; the default
+/// window covers the whole table and costs nothing on the hot paths.
 class ScanNode : public PlanNode {
  public:
   ScanNode(std::string table, std::vector<Predicate> predicates = {})
@@ -102,12 +109,21 @@ class ScanNode : public PlanNode {
   void AddSemiJoin(size_t column, std::shared_ptr<const KeyFilter> keys) {
     semi_joins_.push_back({column, std::move(keys)});
   }
+  void SetRowRange(size_t begin, size_t end) {
+    row_begin_ = begin;
+    row_end_ = end;
+  }
+  size_t row_begin() const { return row_begin_; }
+  size_t row_end() const { return row_end_; }
+  bool IsRanged() const { return row_begin_ != 0 || row_end_ != SIZE_MAX; }
   std::string ToSql() const override;
 
  private:
   std::string table_;
   std::vector<Predicate> predicates_;
   std::vector<SemiJoin> semi_joins_;
+  size_t row_begin_ = 0;
+  size_t row_end_ = SIZE_MAX;
 };
 
 /// Hash equi-join on one column from each side. Output schema is the

@@ -7,12 +7,14 @@ Result<Table*> Database::CreateTable(const std::string& name, Schema schema) {
     return Status::AlreadyExists("table " + name + " already exists");
   }
   auto [it, _] = tables_.emplace(name, Table(name, std::move(schema)));
+  it->second.MarkRebase(Tick());
   return &it->second;
 }
 
 Table* Database::PutTable(Table table) {
   std::string name = table.name();
   auto [it, _] = tables_.insert_or_assign(name, std::move(table));
+  it->second.MarkRebase(Tick());
   catalog_.Analyze(it->second);
   return &it->second;
 }
@@ -26,7 +28,38 @@ Result<const Table*> Database::GetTable(const std::string& name) const {
 Result<Table*> Database::GetMutableTable(const std::string& name) {
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("no table named " + name);
+  it->second.MarkRebase(Tick());
   return &it->second;
+}
+
+Status Database::AppendRows(const std::string& name,
+                            const std::vector<Row>& rows) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table named " + name);
+  Table& table = it->second;
+  const size_t first_row = table.NumRows();
+  table.Reserve(first_row + rows.size());
+  for (const Row& row : rows) {
+    Status appended = table.Append(row);
+    if (!appended.ok()) {
+      // Partial batch: the rows appended so far are real, so stamp them as
+      // an append batch before surfacing the error — a silent unstamped
+      // change would let cached deltas miss these rows forever.
+      if (table.NumRows() > first_row) table.MarkAppend(Tick(), first_row);
+      catalog_.Analyze(table);
+      return appended;
+    }
+  }
+  table.MarkAppend(Tick(), first_row);
+  catalog_.Analyze(table);
+  return Status::OK();
+}
+
+Result<TableVersion> Database::VersionOf(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table named " + name);
+  const Table& t = it->second;
+  return TableVersion{t.version(), t.rebase_version(), t.NumRows()};
 }
 
 std::vector<std::string> Database::TableNames() const {

@@ -12,10 +12,26 @@
 
 namespace graphgen::rel {
 
+/// A snapshot of one table's version state, as read by extraction
+/// consumers deciding between "fresh", "append-only delta", and "rebased".
+struct TableVersion {
+  uint64_t version = 0;         // last stamped change (0 = never stamped)
+  uint64_t rebase_version = 0;  // last non-append change
+  size_t rows = 0;              // row count at the snapshot
+};
+
 /// The embedded relational database: a named collection of tables plus the
 /// system catalog. Stands in for PostgreSQL in this reproduction; the
 /// GraphGen planner needs only scans, hash joins, DISTINCT projection, and
 /// catalog statistics from it (paper footnote 2).
+///
+/// The database is the version-tick source for its tables: every mutation
+/// through the Database API stamps the affected table with the next value
+/// of a database-global monotonic counter. `PutTable`, `CreateTable`, and
+/// `GetMutableTable` stamp a *rebase* (contents may change arbitrarily);
+/// `AppendRows` stamps an *append* batch, which delta consumers can patch
+/// from. The map of each referenced table's `TableVersion` is the version
+/// vector a cached extraction records as its basis.
 class Database {
  public:
   Database() = default;
@@ -25,15 +41,34 @@ class Database {
   Database& operator=(const Database&) = delete;
 
   /// Creates an empty table; error if one with the same name exists.
+  /// Stamped as a rebase (the table is new; no prior basis can patch it).
   Result<Table*> CreateTable(const std::string& name, Schema schema);
 
   /// Adds a fully built table (generators use this), replacing any existing
-  /// table with the same name, and analyzes it.
+  /// table with the same name, and analyzes it. Stamped as a rebase.
   Table* PutTable(Table table);
 
   bool HasTable(const std::string& name) const { return tables_.contains(name); }
   Result<const Table*> GetTable(const std::string& name) const;
+
+  /// Hands out a mutable pointer, stamping a rebase conservatively: the
+  /// caller may change anything, so cached deltas against the table are
+  /// void. Callers that only append should use AppendRows instead, which
+  /// keeps the table patchable. The stamp happens at grab time; holding
+  /// the pointer across later version snapshots is the caller's hazard.
   Result<Table*> GetMutableTable(const std::string& name);
+
+  /// Appends rows to an existing table as one finalized batch: stamps an
+  /// append version, records the batch in the table's delta log, and
+  /// re-analyzes the table so planner statistics (join segmentation,
+  /// large-output tests) see the new cardinalities.
+  Status AppendRows(const std::string& name, const std::vector<Row>& rows);
+
+  /// Version snapshot of one table (NotFound if absent).
+  Result<TableVersion> VersionOf(const std::string& name) const;
+
+  /// The database-global tick most recently handed out.
+  uint64_t CurrentTick() const { return next_version_; }
 
   std::vector<std::string> TableNames() const;
 
@@ -48,8 +83,11 @@ class Database {
   size_t MemoryBytes() const;
 
  private:
+  uint64_t Tick() { return ++next_version_; }
+
   std::map<std::string, Table> tables_;
   Catalog catalog_;
+  uint64_t next_version_ = 0;
 };
 
 }  // namespace graphgen::rel

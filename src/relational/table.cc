@@ -81,4 +81,20 @@ size_t Table::MemoryBytes() const {
   return total;
 }
 
+void Table::MarkAppend(uint64_t version, size_t first_row) {
+  version_ = version;
+  append_log_.push_back(
+      {version, first_row, num_rows_ >= first_row ? num_rows_ - first_row : 0});
+  if (append_log_.size() > kMaxAppendLogEntries) {
+    append_log_.erase(append_log_.begin(),
+                      append_log_.end() - kMaxAppendLogEntries);
+  }
+}
+
+void Table::MarkRebase(uint64_t version) {
+  version_ = version;
+  rebase_version_ = version;
+  append_log_.clear();
+}
+
 }  // namespace graphgen::rel

@@ -14,6 +14,18 @@ namespace graphgen::rel {
 /// A materialized row (one Value per column).
 using Row = std::vector<Value>;
 
+/// One finalized append batch in a table's delta log: `first_row` is the
+/// row-id watermark before the batch landed (rows [first_row,
+/// first_row + num_rows) are the batch), `version` the database tick that
+/// stamped it. The log is bounded (kMaxAppendLogEntries); correctness of
+/// delta consumers never depends on retention, because an append-only
+/// table's delta since any basis is always [basis_rows, NumRows()).
+struct AppendBatch {
+  uint64_t version = 0;
+  size_t first_row = 0;
+  size_t num_rows = 0;
+};
+
 /// An in-memory table stored as typed column vectors (int64 / double /
 /// dictionary-encoded string arrays with null masks — see ColumnVector).
 /// This plays the role of a PostgreSQL heap table in the paper's
@@ -73,11 +85,40 @@ class Table {
   /// guarantee compare against).
   size_t MemoryBytes() const;
 
+  // ---- versioning (incremental extraction) --------------------------------
+  //
+  // A table carries a monotonic version and a bounded append-delta log,
+  // both stamped by the owning Database (the tick source), so extraction
+  // consumers can decide between "unchanged", "append-only delta", and
+  // "rebased" (in-place mutation of unknown shape — updates, deletes, or a
+  // whole-table replace). `version` advances on every stamped change;
+  // `rebase_version` records the version at the last non-append change.
+  // A basis taken at version V is patchable iff rebase_version() <= V.
+
+  static constexpr size_t kMaxAppendLogEntries = 64;
+
+  uint64_t version() const { return version_; }
+  uint64_t rebase_version() const { return rebase_version_; }
+
+  /// Stamps an append batch covering rows [first_row, NumRows()). The log
+  /// keeps the most recent kMaxAppendLogEntries batches.
+  void MarkAppend(uint64_t version, size_t first_row);
+
+  /// Stamps a rebase: the table's contents changed in a way that is not an
+  /// append (replace, in-place update, delete). Cached deltas are void.
+  void MarkRebase(uint64_t version);
+
+  /// The retained append batches, oldest first.
+  const std::vector<AppendBatch>& append_log() const { return append_log_; }
+
  private:
   std::string name_;
   Schema schema_;
   size_t num_rows_ = 0;
   std::vector<ColumnVector> columns_;
+  uint64_t version_ = 0;
+  uint64_t rebase_version_ = 0;
+  std::vector<AppendBatch> append_log_;
 };
 
 }  // namespace graphgen::rel

@@ -10,6 +10,7 @@ namespace graphgen {
 namespace {
 
 size_t PatchBytes(const std::unordered_map<NodeId, std::vector<NodeId>>& m) {
+  if (m.empty()) return 0;  // the sentinel bucket is not heap-allocated
   // Bucket array + node overhead estimate, plus the inner buffers.
   size_t total = m.bucket_count() * sizeof(void*);
   for (const auto& [u, list] : m) {
@@ -78,6 +79,72 @@ Status ExpandedGraph::AddEdge(NodeId u, NodeId v) {
   return Status::OK();
 }
 
+Status ExpandedGraph::AddEdges(std::span<const std::pair<NodeId, NodeId>> edges) {
+  if (edges.empty()) return Status::OK();
+  // Pack (u, v) into sortable keys so one pass groups the batch by source.
+  std::vector<uint64_t> keys;
+  keys.reserve(edges.size());
+  for (const auto& [u, v] : edges) {
+    if (!VertexExists(u) || !VertexExists(v)) {
+      return Status::InvalidArgument("AddEdge endpoint does not exist");
+    }
+    keys.push_back(static_cast<uint64_t>(u) << 32 | v);
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+  // Merges each key run [u | v...] into `patch[u]` as one sorted union
+  // against the vertex's current list. Keys whose edge was genuinely new
+  // are re-packed (v, u) into `reversed` to drive the other direction.
+  auto merge_runs = [this](const std::vector<uint64_t>& runs,
+                           std::unordered_map<NodeId, std::vector<NodeId>>& patch,
+                           const std::vector<uint64_t>& offsets,
+                           const std::vector<NodeId>& base,
+                           std::vector<uint64_t>* reversed) {
+    std::vector<NodeId> merged;
+    size_t i = 0;
+    while (i < runs.size()) {
+      const NodeId u = static_cast<NodeId>(runs[i] >> 32);
+      size_t j = i;
+      while (j < runs.size() && (runs[j] >> 32) == u) ++j;
+      auto it = patch.find(u);
+      const std::span<const NodeId> cur =
+          it != patch.end() ? std::span<const NodeId>(it->second)
+                            : BaseSlice(offsets, base, u);
+      merged.clear();
+      merged.reserve(cur.size() + (j - i));
+      const NodeId* p = cur.data();
+      const NodeId* pe = p + cur.size();
+      for (size_t k = i; k < j; ++k) {
+        const NodeId v = static_cast<NodeId>(runs[k]);
+        while (p != pe && *p < v) merged.push_back(*p++);
+        if (p != pe && *p == v) continue;  // present; emitted by a later drain
+        merged.push_back(v);
+        if (reversed != nullptr) {
+          reversed->push_back(static_cast<uint64_t>(v) << 32 | u);
+        }
+      }
+      while (p != pe) merged.push_back(*p++);
+      if (merged.size() != cur.size()) {
+        if (it != patch.end()) {
+          it->second = std::move(merged);
+        } else {
+          patch.emplace(u, std::move(merged));
+        }
+        merged = {};
+      }
+      i = j;
+    }
+  };
+
+  std::vector<uint64_t> reversed;
+  reversed.reserve(keys.size());
+  merge_runs(keys, out_patch_, out_offsets_, out_neighbors_, &reversed);
+  std::sort(reversed.begin(), reversed.end());
+  merge_runs(reversed, in_patch_, in_offsets_, in_neighbors_, nullptr);
+  return Status::OK();
+}
+
 Status ExpandedGraph::DeleteEdge(NodeId u, NodeId v) {
   if (!VertexExists(u) || !VertexExists(v)) {
     return Status::InvalidArgument("DeleteEdge endpoint does not exist");
@@ -128,6 +195,41 @@ uint64_t ExpandedGraph::CountStoredEdges() const {
     }
   }
   return total;
+}
+
+size_t ExpandedGraph::PatchOverlayBytes() const {
+  return PatchBytes(out_patch_) + PatchBytes(in_patch_);
+}
+
+size_t ExpandedGraph::Compact() {
+  const size_t folded = out_patch_.size() + in_patch_.size();
+  if (folded == 0 && stale_deletions_ == 0) return 0;
+  const size_t n = deleted_.size();
+  auto rebuild = [&](std::vector<uint64_t>& offsets,
+                     std::vector<NodeId>& neighbors, auto span_of) {
+    std::vector<uint64_t> new_offsets(n + 1, 0);
+    std::vector<NodeId> new_neighbors;
+    new_neighbors.reserve(neighbors.size());
+    for (size_t u = 0; u < n; ++u) {
+      if (!deleted_[u]) {
+        for (NodeId v : span_of(static_cast<NodeId>(u))) {
+          if (!deleted_[v]) new_neighbors.push_back(v);
+        }
+      }
+      new_offsets[u + 1] = new_neighbors.size();
+    }
+    offsets = std::move(new_offsets);
+    neighbors = std::move(new_neighbors);
+  };
+  rebuild(out_offsets_, out_neighbors_,
+          [&](NodeId u) { return OutSpan(u); });
+  // Move-assign fresh maps: clear() (and ={} list-assignment) would keep
+  // the grown bucket arrays resident.
+  out_patch_ = decltype(out_patch_)();
+  rebuild(in_offsets_, in_neighbors_, [&](NodeId u) { return InSpan(u); });
+  in_patch_ = decltype(in_patch_)();
+  stale_deletions_ = 0;  // stale targets are scrubbed now
+  return folded;
 }
 
 GraphFootprint ExpandedGraph::MemoryFootprint() const {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.h"
@@ -63,6 +64,15 @@ class ExpandedGraph : public Graph {
 
   bool ExistsEdge(NodeId u, NodeId v) const override;
   Status AddEdge(NodeId u, NodeId v) override;
+
+  /// Bulk AddEdge: inserts a batch of (u, v) edges into the COW overlay
+  /// with one sorted merge per touched vertex and direction, instead of a
+  /// binary search + shifting insert per edge. Duplicates within the batch
+  /// and edges already present are skipped, exactly like AddEdge. The
+  /// incremental patch path uses this — an appended delta expanding
+  /// through a hub virtual yields tens of thousands of new pairs that
+  /// concentrate on few vertices, where per-edge insertion is quadratic.
+  Status AddEdges(std::span<const std::pair<NodeId, NodeId>> edges);
   Status DeleteEdge(NodeId u, NodeId v) override;
   NodeId AddVertex() override;
   Status DeleteVertex(NodeId v) override;
@@ -89,6 +99,24 @@ class ExpandedGraph : public Graph {
                 std::vector<uint64_t> in_offsets,
                 std::vector<NodeId> in_neighbors,
                 std::vector<uint8_t> deleted = {});
+
+  /// Re-flattens the copy-on-write patch overlay into the CSR base arrays
+  /// and scrubs any stale targets left by post-build vertex deletions:
+  /// afterwards the overlay is empty, HasFlatAdjacency() is true again,
+  /// and every read is a pure base-array span. The incremental patch path
+  /// calls this once the overlay outgrows its threshold — COW keeps small
+  /// deltas cheap, Compact() keeps long-lived graphs flat. Returns the
+  /// number of overlay entries folded in.
+  size_t Compact();
+
+  /// Vertices currently carried in the patch overlay (out + in side).
+  size_t PatchedVertices() const {
+    return out_patch_.size() + in_patch_.size();
+  }
+
+  /// Heap bytes attributable to the overlay alone (also included in
+  /// MemoryFootprint().topology_bytes).
+  size_t PatchOverlayBytes() const;
 
   PropertyTable& properties() { return properties_; }
   const PropertyTable& properties() const { return properties_; }

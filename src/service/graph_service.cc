@@ -33,6 +33,8 @@ GraphService::GraphService(const rel::Database* db, ServiceOptions options)
       requests_(registry_.GetCounter("service.requests")),
       cache_hits_(registry_.GetCounter("service.cache_hits")),
       cold_extractions_(registry_.GetCounter("service.cold_extractions")),
+      delta_patched_(registry_.GetCounter("service.delta_patched")),
+      delta_fallback_(registry_.GetCounter("service.delta_fallback")),
       coalesced_(registry_.GetCounter("service.coalesced")),
       failed_(registry_.GetCounter("service.failed")),
       uncacheable_(registry_.GetCounter("service.uncacheable")),
@@ -53,7 +55,36 @@ GraphService::GraphService(const rel::Database* db, ServiceOptions options)
       request_us_(registry_.GetHistogram("service.extract_us")),
       pool_(options_.worker_threads) {}
 
+GraphService::GraphService(rel::Database* db, ServiceOptions options)
+    : GraphService(static_cast<const rel::Database*>(db), std::move(options)) {
+  mutable_db_ = db;
+}
+
 GraphService::~GraphService() = default;
+
+Status GraphService::Append(const std::string& table,
+                            const std::vector<rel::Row>& rows) {
+  if (mutable_db_ == nullptr) {
+    return Status::InvalidArgument(
+        "service database is read-only (constructed from a const Database)");
+  }
+  WriterMutexLock lock(db_mu_);
+  return mutable_db_->AppendRows(table, rows);
+}
+
+bool GraphService::IsFresh(const GraphHandle& handle) const {
+  if (handle->incremental != nullptr) {
+    for (const auto& [name, basis] : handle->incremental->basis) {
+      auto now = db_->VersionOf(name);
+      if (!now.ok() || now->version != basis.version ||
+          now->rows != basis.rows) {
+        return false;
+      }
+    }
+    return true;
+  }
+  return handle->db_tick == db_->CurrentTick();
+}
 
 Result<GraphHandle> GraphService::Extract(std::string_view datalog) {
   return ExtractWithKey(datalog, options_.default_options, RequestOptions{});
@@ -201,14 +232,34 @@ Result<GraphHandle> GraphService::ExtractWithKey(
     ctx.budget = std::make_shared<MemoryBudget>(request.memory_limit_bytes);
   }
 
+  // Cache lookup + version-vector freshness check (the staleness hole:
+  // serving a cached graph after its tables changed). A behind-version
+  // entry is NOT a hit — it becomes the patch basis for the owner below.
+  GraphHandle basis;
+  {
+    GraphHandle cached;
+    {
+      MutexLock lock(mu_);
+      cached = cache_.Get(*key);
+    }
+    if (cached != nullptr) {
+      bool fresh;
+      {
+        ReaderMutexLock db_lock(db_mu_);
+        fresh = IsFresh(cached);
+      }
+      if (fresh) {
+        cache_hits_->Increment();
+        return cached;
+      }
+      basis = std::move(cached);
+    }
+  }
+
   std::shared_ptr<Inflight> flight;
   bool owner = false;
   {
     MutexLock lock(mu_);
-    if (GraphHandle cached = cache_.Get(*key)) {
-      cache_hits_->Increment();
-      return cached;
-    }
     auto it = inflight_.find(*key);
     if (it != inflight_.end()) {
       flight = it->second;
@@ -248,6 +299,7 @@ Result<GraphHandle> GraphService::ExtractWithKey(
   // pipeline error (nothing cached, key immediately retryable).
   GraphHandle handle;
   Status status;
+  bool served_by_patch = false;
   WallTimer extract_timer;
   status = AdmitExtraction(ctx);
   if (status.ok()) {
@@ -262,12 +314,37 @@ Result<GraphHandle> GraphService::ExtractWithKey(
         GraphGenOptions run_options = options;
         run_options.extract.pool = &pool_;
         run_options.extract.ctx = ctx;
-        Result<ExtractedGraph> extracted =
-            engine_.Extract(datalog, run_options);
-        status = extracted.status();
-        if (extracted.ok()) {
-          handle =
-              std::make_shared<const ExtractedGraph>(std::move(*extracted));
+        run_options.capture_incremental =
+            run_options.capture_incremental || options_.incremental;
+        // Reader side of db_mu_ for the whole pipeline: Append cannot
+        // land a batch between the patch's version snapshot and its
+        // delta scans (acquired after admission; see db_mu_ ordering).
+        ReaderMutexLock db_lock(db_mu_);
+        if (basis != nullptr && options_.incremental) {
+          // Behind-version entry: advance it by delta patching. Soft
+          // fallbacks run the cold pipeline below; hard failures
+          // (cancel, deadline, memory, execution) fail the request.
+          Result<PatchOutcome> outcome =
+              engine_.PatchExtracted(*basis, run_options);
+          if (!outcome.ok()) {
+            status = outcome.status();
+          } else if (outcome->patched) {
+            delta_patched_->Increment();
+            handle = std::make_shared<const ExtractedGraph>(
+                std::move(outcome->graph));
+            served_by_patch = true;
+          } else {
+            delta_fallback_->Increment();
+          }
+        }
+        if (status.ok() && handle == nullptr) {
+          Result<ExtractedGraph> extracted =
+              engine_.Extract(datalog, run_options);
+          status = extracted.status();
+          if (extracted.ok()) {
+            handle =
+                std::make_shared<const ExtractedGraph>(std::move(*extracted));
+          }
         }
       }
     } catch (const std::exception& e) {
@@ -281,7 +358,7 @@ Result<GraphHandle> GraphService::ExtractWithKey(
     ReleaseExtraction();
   }
   const double extract_seconds = extract_timer.Seconds();
-  if (handle != nullptr) {
+  if (handle != nullptr && !served_by_patch) {
     cold_extractions_->Increment();
     RecordExtractionLatency(datalog, extract_seconds, handle->stats.profile);
   }
@@ -495,6 +572,8 @@ ServiceStats GraphService::Stats() const {
   stats.requests = requests_->Value();
   stats.cache_hits = cache_hits_->Value();
   stats.cold_extractions = cold_extractions_->Value();
+  stats.delta_patched = delta_patched_->Value();
+  stats.delta_fallback = delta_fallback_->Value();
   stats.coalesced = coalesced_->Value();
   stats.failed = failed_->Value();
   stats.uncacheable = uncacheable_->Value();

@@ -46,6 +46,15 @@ struct ServiceOptions {
   /// re-extraction of the same key can fall back to it. Survives
   /// ClearCache (that is its use case). 0 = unlimited.
   size_t stale_budget_bytes = size_t{64} << 20;
+  /// Incremental extraction: capture the delta-patching state with every
+  /// extraction, and advance behind-version cache entries by patching only
+  /// the appended rows in (service.delta_patched) instead of a cold run.
+  /// Non-append-safe changes (rebase, count rules, drift) fall back to a
+  /// cold extraction (service.delta_fallback). Independent of this flag,
+  /// every cache hit validates its version vector first — a mutated table
+  /// never produces a stale hit (allow_stale keeps its meaning: it only
+  /// answers *failing* re-extractions).
+  bool incremental = true;
 };
 
 /// Per-request robustness knobs, orthogonal to GraphGenOptions (they
@@ -85,6 +94,8 @@ struct ServiceStats {
   uint64_t requests = 0;          // Extract calls (sync + async)
   uint64_t cache_hits = 0;        // served from cache, no pipeline run
   uint64_t cold_extractions = 0;  // ran the full planner/executor pipeline
+  uint64_t delta_patched = 0;     // behind-version entries advanced by patch
+  uint64_t delta_fallback = 0;    // patch attempts that fell back to cold
   uint64_t coalesced = 0;         // waited on an identical in-flight request
   uint64_t failed = 0;            // requests that returned a non-OK status
   uint64_t evictions = 0;         // cache entries dropped for the budget
@@ -132,6 +143,9 @@ struct SlowRequest {
 class GraphService {
  public:
   explicit GraphService(const rel::Database* db, ServiceOptions options = {});
+  /// Mutable-database service: additionally enables Append(), the live
+  /// ingest path that keeps cached graphs patchable.
+  explicit GraphService(rel::Database* db, ServiceOptions options = {});
   ~GraphService();
 
   GraphService(const GraphService&) = delete;
@@ -147,6 +161,16 @@ class GraphService {
   Result<GraphHandle> Extract(std::string_view datalog,
                               const GraphGenOptions& options,
                               const RequestOptions& request);
+
+  /// Appends rows to a table of the owned database, serialized against
+  /// in-flight extractions (writer side of db_mu_): extractions and cache
+  /// freshness checks always see either the pre- or the post-append state,
+  /// never a half-applied batch. Requires the mutable-database
+  /// constructor; read-only services return InvalidArgument. Cached graphs
+  /// are NOT invalidated eagerly — the next Extract sees the version-vector
+  /// mismatch and patches (or re-extracts) then.
+  Status Append(const std::string& table, const std::vector<rel::Row>& rows)
+      EXCLUDES(db_mu_);
 
   /// Queues the extraction on the worker pool and returns immediately.
   /// The future always resolves — a task that throws resolves it to
@@ -251,7 +275,15 @@ class GraphService {
   Result<GraphHandle> ResolveFailure(Status status, const std::string& key,
                                      const RequestOptions& request);
 
+  /// True iff the cached entry still matches the database: per-table
+  /// version-vector comparison when incremental state was captured, else
+  /// the conservative whole-database tick check. Callers hold db_mu_
+  /// (reader side) so Append cannot interleave with the comparison.
+  bool IsFresh(const GraphHandle& handle) const REQUIRES_SHARED(db_mu_);
+
   const rel::Database* db_;
+  /// Non-null only for the mutable-database constructor; Append's target.
+  rel::Database* mutable_db_ = nullptr;
   const ServiceOptions options_;
   GraphGen engine_;
   GraphCache cache_;
@@ -287,6 +319,8 @@ class GraphService {
   obs::Counter* requests_;
   obs::Counter* cache_hits_;
   obs::Counter* cold_extractions_;
+  obs::Counter* delta_patched_;
+  obs::Counter* delta_fallback_;
   obs::Counter* coalesced_;
   obs::Counter* failed_;
   obs::Counter* uncacheable_;
@@ -309,6 +343,12 @@ class GraphService {
   /// Ring buffer, oldest at front.
   std::deque<SlowRequest> slow_log_ GUARDED_BY(mu_);
   uint64_t slow_sequence_ GUARDED_BY(mu_) = 0;
+
+  /// Database consistency for live ingest: Append holds the writer side;
+  /// extractions, patches, and freshness checks hold the reader side, so
+  /// a pipeline never observes a half-applied batch. Lock ordering:
+  /// db_mu_ is acquired *after* admission and never while holding mu_.
+  mutable SharedMutex db_mu_;
 
   /// Admission state, under its own lock so queued owners never contend
   /// with cache lookups on mu_.

@@ -1,12 +1,17 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/graphgen.h"
 #include "core/representation_picker.h"
 #include "core/serialization.h"
 #include "gen/relational_generators.h"
+#include "relational/table.h"
 #include "repr/cdup_graph.h"
+#include "repr/expanded_graph.h"
 #include "test_util.h"
 
 namespace graphgen {
@@ -89,6 +94,65 @@ TEST_F(GraphGenTest, Dedup1AlgorithmsSelectable) {
     ASSERT_TRUE(result.ok()) << Dedup1AlgorithmToString(a);
     EXPECT_TRUE(testing::IsDuplicateFree(*result->graph))
         << Dedup1AlgorithmToString(a);
+  }
+}
+
+TEST_F(GraphGenTest, PatchExtractedExpParityInBothModes) {
+  // Withhold a tail, capture an EXP basis, append, patch: the patched
+  // graph's expanded edge set must equal a cold kExp extraction of the
+  // grown database — in both application modes. exp_compact_threshold
+  // steers the mode: touched-vertex counts span both directions (up to
+  // 2n), so 2.0 keeps every delta in the COW overlay and 0.0 sends every
+  // delta through the flat single-pass rebuild.
+  for (const double threshold : {2.0, 0.0}) {
+    SCOPED_TRACE(threshold == 2.0 ? "overlay mode" : "rebuild mode");
+    rel::Database db;
+    std::vector<std::pair<std::string, std::vector<rel::Row>>> tails;
+    for (const std::string& name : data_.db.TableNames()) {
+      const rel::Table* t = *data_.db.GetTable(name);
+      const size_t delta = t->NumRows() / 10 + 1;
+      const size_t keep = t->NumRows() - delta;
+      rel::Table copy(name, t->schema());
+      for (size_t i = 0; i < keep; ++i) copy.AppendUnchecked(t->row(i));
+      db.PutTable(std::move(copy));
+      auto& tail =
+          tails.emplace_back(name, std::vector<rel::Row>{}).second;
+      for (size_t i = keep; i < t->NumRows(); ++i) tail.push_back(t->row(i));
+    }
+    db.AnalyzeAll();
+
+    GraphGenOptions opts;
+    opts.representation = Representation::kExp;
+    opts.capture_incremental = true;
+    opts.exp_compact_threshold = threshold;
+    opts.extract.large_output_factor = 0.0;
+    opts.extract.preprocess = false;
+
+    GraphGen engine(&db);
+    auto basis = engine.Extract(data_.datalog, opts);
+    ASSERT_TRUE(basis.ok()) << basis.status().ToString();
+    for (auto& [name, rows] : tails) {
+      ASSERT_TRUE(db.AppendRows(name, rows).ok());
+    }
+
+    auto outcome = engine.PatchExtracted(*basis, opts);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    ASSERT_TRUE(outcome->patched) << outcome->fallback_reason;
+    auto fresh = engine.Extract(data_.datalog, opts);
+    ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+
+    const Graph& patched = *outcome->graph.graph;
+    EXPECT_EQ(patched.NumVertices(), fresh->graph->NumVertices());
+    EXPECT_EQ(patched.ExpandedEdgeSet(), fresh->graph->ExpandedEdgeSet());
+
+    const auto* exp = dynamic_cast<const ExpandedGraph*>(&patched);
+    ASSERT_NE(exp, nullptr);
+    if (threshold == 2.0) {
+      EXPECT_GT(exp->PatchedVertices(), 0u);  // COW overlay carried the delta
+    } else {
+      EXPECT_EQ(exp->PatchedVertices(), 0u);  // rebuilt flat
+      EXPECT_TRUE(exp->HasFlatAdjacency());
+    }
   }
 }
 

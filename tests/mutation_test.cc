@@ -159,6 +159,33 @@ TEST(MutationEdgeCases, InterleavedAddDeleteSameEdge) {
   (void)existed;
 }
 
+// Random add/delete churn builds up the EXP copy-on-write overlay;
+// Compact must fold it back into flat adjacency without changing the
+// edge set, and a second Compact must be a no-op.
+TEST(MutationEdgeCases, ExpandedCompactSurvivesRandomChurn) {
+  CondensedStorage s = MakeRandomSymmetric(40, 12, 5, 15);
+  ExpandedGraph g = ExpandCondensed(s);
+  Rng rng(99);
+  for (int i = 0; i < 120; ++i) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(40));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(40));
+    if (u == v) continue;
+    if (g.ExistsEdge(u, v)) {
+      ASSERT_TRUE(g.DeleteEdge(u, v).ok());
+    } else {
+      ASSERT_TRUE(g.AddEdge(u, v).ok());
+    }
+  }
+  ASSERT_TRUE(g.DeleteVertex(7).ok());
+  auto before = g.ExpandedEdgeSet();
+  (void)g.Compact();
+  EXPECT_EQ(g.ExpandedEdgeSet(), before);
+  EXPECT_EQ(g.PatchedVertices(), 0u);
+  EXPECT_TRUE(g.HasFlatAdjacency());
+  EXPECT_TRUE(IsDuplicateFree(g));
+  EXPECT_EQ(g.Compact(), 0u);
+}
+
 TEST(MutationEdgeCases, AddEdgeToFreshVertex) {
   CondensedStorage s = MakeRandomSymmetric(10, 3, 3, 14);
   Dedup1Graph g = *GreedyVirtualNodesFirst(s);

@@ -124,6 +124,41 @@ TEST(ExpandedTest, DeleteVertexHidesEdges) {
   EXPECT_EQ(g.NumActiveVertices(), 2u);
 }
 
+TEST(ExpandedTest, CompactFoldsPatchOverlay) {
+  CondensedStorage s = MakeFigure1Graph();
+  ExpandedGraph g = ExpandCondensed(s);
+  ASSERT_TRUE(g.HasFlatAdjacency());
+  EXPECT_EQ(g.PatchedVertices(), 0u);
+  EXPECT_EQ(g.Compact(), 0u);  // nothing to fold
+
+  NodeId fresh = g.AddVertex();
+  ASSERT_TRUE(g.AddEdge(fresh, 0).ok());
+  ASSERT_TRUE(g.AddEdge(0, fresh).ok());
+  EXPECT_GT(g.PatchedVertices(), 0u);
+  EXPECT_GT(g.PatchOverlayBytes(), 0u);
+  const size_t overlay_footprint = g.MemoryFootprint().Total();
+
+  auto before = EdgeSetOf(g);
+  EXPECT_GT(g.Compact(), 0u);
+  EXPECT_EQ(g.PatchedVertices(), 0u);
+  EXPECT_EQ(g.PatchOverlayBytes(), 0u);
+  EXPECT_TRUE(g.HasFlatAdjacency());
+  EXPECT_EQ(EdgeSetOf(g), before);
+  // The overlay's hash-map overhead is gone from the footprint.
+  EXPECT_LT(g.MemoryFootprint().Total(), overlay_footprint);
+}
+
+TEST(ExpandedTest, CompactScrubsStaleDeletions) {
+  CondensedStorage s = MakeFigure1Graph();
+  ExpandedGraph g = ExpandCondensed(s);
+  ASSERT_TRUE(g.DeleteVertex(1).ok());
+  EXPECT_FALSE(g.HasFlatAdjacency());  // stale targets linger in the lists
+  auto before = EdgeSetOf(g);
+  g.Compact();
+  EXPECT_TRUE(g.HasFlatAdjacency());
+  EXPECT_EQ(EdgeSetOf(g), before);
+}
+
 TEST(ExpandedTest, ExpanderPropagatesDeletions) {
   CondensedStorage s = MakeFigure1Graph();
   s.DeleteRealNode(4);

@@ -659,6 +659,190 @@ TEST_F(RobustServiceTest, StaleFallbackServesLastKnownGood) {
   EXPECT_TRUE(fresh.ok());
 }
 
+// ---------------------------------------------------------------------------
+// Incremental serving: version-vector freshness, delta patching, fallbacks.
+
+class IncrementalServiceTest : public ServiceTest {
+ protected:
+  static std::vector<rel::Row> NewStudents(int64_t base, size_t n) {
+    std::vector<rel::Row> rows;
+    for (size_t i = 0; i < n; ++i) {
+      const int64_t id = base + static_cast<int64_t>(i);
+      rows.push_back(
+          {rel::Value(id), rel::Value("student_" + std::to_string(id))});
+    }
+    return rows;
+  }
+
+  static std::vector<rel::Row> NewEnrollments(
+      const std::vector<std::pair<int64_t, int64_t>>& pairs) {
+    std::vector<rel::Row> rows;
+    for (const auto& [sid, course] : pairs) {
+      rows.push_back({rel::Value(sid), rel::Value(course)});
+    }
+    return rows;
+  }
+};
+
+// The staleness hole this PR closes: a cached graph whose tables have
+// since changed must never be served as a hit, even with incremental
+// serving disabled (the conservative db-tick path).
+TEST_F(IncrementalServiceTest, MutatedTableIsNotServedStale) {
+  service::ServiceOptions opts;
+  opts.incremental = false;
+  service::GraphService svc(&data_.db, opts);
+
+  auto before = svc.Extract(kStudentQuery, CDupOptions());
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  const size_t vertices_before = (*before)->graph->NumVertices();
+
+  ASSERT_TRUE(svc.Append("Student", NewStudents(1000, 3)).ok());
+  ASSERT_TRUE(svc
+                  .Append("TookCourse", NewEnrollments({{1000, 0},
+                                                        {1001, 0},
+                                                        {1002, 1}}))
+                  .ok());
+
+  auto after = svc.Extract(kStudentQuery, CDupOptions());
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_NE(before->get(), after->get());
+  EXPECT_EQ((*after)->graph->NumVertices(), vertices_before + 3);
+
+  service::ServiceStats stats = svc.Stats();
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cold_extractions, 2u);
+  EXPECT_EQ(stats.delta_patched, 0u);
+
+  // Unchanged database: the refreshed entry is a plain hit again.
+  auto hit = svc.Extract(kStudentQuery, CDupOptions());
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(after->get(), hit->get());
+  EXPECT_EQ(svc.Stats().cache_hits, 1u);
+}
+
+// With incremental serving on (the default), a behind-version entry is
+// advanced by the delta path instead of a cold re-extraction, and the
+// patched graph matches what a cold run over the full data produces.
+TEST_F(IncrementalServiceTest, BehindVersionEntryIsDeltaPatched) {
+  service::GraphService svc(&data_.db);
+
+  auto before = svc.Extract(kStudentQuery, CDupOptions());
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  ASSERT_NE((*before)->incremental, nullptr)
+      << "service extractions must capture incremental state";
+
+  ASSERT_TRUE(svc.Append("Student", NewStudents(2000, 2)).ok());
+  ASSERT_TRUE(svc
+                  .Append("TookCourse", NewEnrollments({{2000, 2},
+                                                        {2001, 2},
+                                                        {0, 3}}))
+                  .ok());
+
+  auto patched = svc.Extract(kStudentQuery, CDupOptions());
+  ASSERT_TRUE(patched.ok()) << patched.status().ToString();
+  EXPECT_NE(before->get(), patched->get());
+
+  service::ServiceStats stats = svc.Stats();
+  EXPECT_EQ(stats.delta_patched, 1u);
+  EXPECT_EQ(stats.delta_fallback, 0u);
+  EXPECT_EQ(stats.cold_extractions, 1u);  // the patch is not a cold run
+
+  // Parity with a cold extraction over the grown database.
+  service::GraphService witness(&data_.db);
+  auto fresh = witness.Extract(kStudentQuery, CDupOptions());
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ((*patched)->graph->NumVertices(), (*fresh)->graph->NumVertices());
+  EXPECT_EQ((*patched)->stats.condensed_edges, (*fresh)->stats.condensed_edges);
+  EXPECT_EQ((*patched)->stats.virtual_nodes, (*fresh)->stats.virtual_nodes);
+  EXPECT_EQ((*patched)->stats.real_nodes, (*fresh)->stats.real_nodes);
+
+  // The patched entry replaced the stale one and is fresh now.
+  auto hit = svc.Extract(kStudentQuery, CDupOptions());
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(patched->get(), hit->get());
+  EXPECT_EQ(svc.Stats().cache_hits, 1u);
+}
+
+// A rebased table (arbitrary mutation, not an append) cannot be patched:
+// the entry is invalidated and re-extracted cold, counted as a fallback.
+TEST_F(IncrementalServiceTest, RebasedTableFallsBackToColdExtraction) {
+  service::GraphService svc(&data_.db);
+
+  auto before = svc.Extract(kStudentQuery, CDupOptions());
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+
+  // GetMutableTable stamps a rebase: contents may have changed arbitrarily.
+  auto table = data_.db.GetMutableTable("TookCourse");
+  ASSERT_TRUE(table.ok());
+  (*table)->AppendUnchecked({rel::Value(int64_t{1}), rel::Value(int64_t{4})});
+
+  auto after = svc.Extract(kStudentQuery, CDupOptions());
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_NE(before->get(), after->get());
+
+  service::ServiceStats stats = svc.Stats();
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.delta_patched, 0u);
+  EXPECT_EQ(stats.delta_fallback, 1u);
+  EXPECT_EQ(stats.cold_extractions, 2u);
+}
+
+// Appends through the service are serialized against in-flight
+// extractions by db_mu_: concurrent ingest and extraction must always
+// produce a successful, internally-consistent result (TSan-checked).
+TEST_F(IncrementalServiceTest, ConcurrentIngestAndExtractIsSafe) {
+  service::GraphService svc(&data_.db);
+
+  constexpr int kWaves = 8;
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+
+  std::thread ingest([&] {
+    for (int w = 0; w < kWaves; ++w) {
+      const int64_t base = 3000 + w * 10;
+      if (!svc.Append("Student", NewStudents(base, 2)).ok() ||
+          !svc.Append("TookCourse",
+                      NewEnrollments({{base, w % 6}, {base + 1, w % 6}}))
+               .ok()) {
+        failures.fetch_add(1);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    done.store(true);
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&] {
+      while (!done.load()) {
+        auto result = svc.Extract(kStudentQuery, CDupOptions());
+        if (!result.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  ingest.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Quiesced: one more extraction sees all appended rows.
+  auto final = svc.Extract(kStudentQuery, CDupOptions());
+  ASSERT_TRUE(final.ok()) << final.status().ToString();
+  service::GraphService witness(&data_.db);
+  auto fresh = witness.Extract(kStudentQuery, CDupOptions());
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ((*final)->graph->NumVertices(), (*fresh)->graph->NumVertices());
+  EXPECT_EQ((*final)->stats.condensed_edges, (*fresh)->stats.condensed_edges);
+}
+
+// Appending to a service built over a const database is refused.
+TEST_F(IncrementalServiceTest, ReadOnlyServiceRefusesAppends) {
+  const rel::Database& ro = data_.db;
+  service::GraphService svc(&ro);
+  Status status = svc.Append("Student", NewStudents(5000, 1));
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
 TEST_F(RobustServiceTest, RobustnessCountersAreExported) {
   service::GraphService svc(&data_.db);
   service::RequestOptions request;

@@ -64,6 +64,9 @@ void PrintHelp() {
       "Commands:\n"
       "  open <dblp|imdb|tpch|univ> [scale]  generate + serve a sample database\n"
       "  csv <Table> <file.csv>              load a CSV table into the database\n"
+      "  append <Table> <file.csv>           append CSV rows to an existing\n"
+      "                                      table; cached graphs delta-patch\n"
+      "                                      on their next extraction\n"
       "  repr <auto|cdup|exp|dedup1|dedup2|bitmap1|bitmap2>\n"
       "                                      representation for new extractions\n"
       "  extract <name>                      extract the dataset's canonical graph\n"
@@ -158,6 +161,40 @@ void CmdCsv(ShellState& state, const std::vector<std::string>& args) {
     state.svc->ClearCache();
   }
   std::printf("loaded %s: %zu rows\n", args[1].c_str(), (*loaded)->NumRows());
+}
+
+void CmdAppend(ShellState& state, const std::vector<std::string>& args) {
+  if (state.svc == nullptr) {
+    std::puts("no database: use `open` or `csv` first");
+    return;
+  }
+  if (args.size() != 3) {
+    std::puts("usage: append <Table> <file.csv>");
+    return;
+  }
+  std::ifstream in(args[2]);
+  if (!in) {
+    std::printf("cannot open %s\n", args[2].c_str());
+    return;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = rel::ParseCsv(args[1], buffer.str());
+  if (!parsed.ok()) {
+    std::printf("%s\n", parsed.status().ToString().c_str());
+    return;
+  }
+  std::vector<rel::Row> rows;
+  rows.reserve(parsed->NumRows());
+  for (size_t i = 0; i < parsed->NumRows(); ++i) rows.push_back(parsed->row(i));
+  // Through the service so the append is serialized against in-flight
+  // extractions and cached graphs see a consistent version vector.
+  Status appended = state.svc->Append(args[1], rows);
+  if (!appended.ok()) {
+    std::printf("%s\n", appended.ToString().c_str());
+    return;
+  }
+  std::printf("appended %zu rows to %s\n", rows.size(), args[1].c_str());
 }
 
 void CmdExtract(ShellState& state, const std::vector<std::string>& args,
@@ -514,6 +551,8 @@ int RunShell(ShellState& state, std::istream& in, bool interactive) {
       PrintHelp();
     } else if (cmd == "open") {
       CmdOpen(state, args);
+    } else if (cmd == "append") {
+      CmdAppend(state, args);
     } else if (cmd == "csv") {
       CmdCsv(state, args);
     } else if (cmd == "repr") {
